@@ -1,0 +1,236 @@
+//! The register-machine bytecode executed by the [`crate::vm`].
+//!
+//! Each function compiles to a [`CodeBlob`]: a flat instruction vector over
+//! an unbounded per-frame virtual register file (registers `0..arity` hold
+//! the arguments on entry). Control flow uses absolute instruction indices.
+
+use sfcc_ir::{BinKind, IcmpPred};
+use std::fmt;
+
+/// A virtual register index within a frame.
+pub type Reg = u32;
+
+/// A resolved function index within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FuncId(pub u32);
+
+/// A source operand: a register or an immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Src {
+    /// Read a register.
+    Reg(Reg),
+    /// A 64-bit immediate (booleans are 0/1).
+    Imm(i64),
+}
+
+impl fmt::Display for Src {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Src::Reg(r) => write!(f, "r{r}"),
+            Src::Imm(v) => write!(f, "#{v}"),
+        }
+    }
+}
+
+/// One bytecode instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Bc {
+    /// `dst = src`
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source operand.
+        src: Src,
+    },
+    /// `dst = a <kind> b` (wrapping; division traps).
+    Bin {
+        /// Operation.
+        kind: BinKind,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        a: Src,
+        /// Right operand.
+        b: Src,
+    },
+    /// `dst = a <pred> b` producing 0/1.
+    Icmp {
+        /// Predicate.
+        pred: IcmpPred,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        a: Src,
+        /// Right operand.
+        b: Src,
+    },
+    /// `dst = cond != 0 ? a : b`
+    Select {
+        /// Destination register.
+        dst: Reg,
+        /// Condition operand.
+        cond: Src,
+        /// Value when true.
+        a: Src,
+        /// Value when false.
+        b: Src,
+    },
+    /// Allocates a fresh memory region of `size` cells; `dst` gets a pointer
+    /// to offset 0. Freed automatically when the frame returns.
+    Alloca {
+        /// Destination register (holds a pointer).
+        dst: Reg,
+        /// Region size in cells.
+        size: u32,
+    },
+    /// `dst = memory[addr]`; traps when `addr` is out of bounds.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Address register (must hold a pointer).
+        addr: Reg,
+    },
+    /// `memory[addr] = src`; traps when `addr` is out of bounds.
+    Store {
+        /// Address register (must hold a pointer).
+        addr: Reg,
+        /// Stored value.
+        src: Src,
+    },
+    /// `dst = base + index` (pointer arithmetic in cells).
+    Gep {
+        /// Destination register (pointer).
+        dst: Reg,
+        /// Base pointer register.
+        base: Reg,
+        /// Element offset.
+        index: Src,
+    },
+    /// Direct call.
+    Call {
+        /// Callee.
+        func: FuncId,
+        /// Argument operands, copied into the callee's registers `0..n`.
+        args: Vec<Src>,
+        /// Where the return value lands (for non-void callees).
+        dst: Option<Reg>,
+    },
+    /// Writes the value to the program's output stream.
+    Print {
+        /// Printed operand.
+        src: Src,
+    },
+    /// Unconditional jump to an absolute instruction index.
+    Jump {
+        /// Target pc.
+        target: u32,
+    },
+    /// Two-way branch on `cond != 0`.
+    Branch {
+        /// Condition operand.
+        cond: Src,
+        /// Target when true.
+        then_pc: u32,
+        /// Target when false.
+        else_pc: u32,
+    },
+    /// Return, with the produced value for non-void functions.
+    Ret {
+        /// Returned operand.
+        src: Option<Src>,
+    },
+    /// Runtime trap (unreachable code reached).
+    Trap,
+}
+
+/// A compiled function.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CodeBlob {
+    /// Function's qualified name (`module.function`).
+    pub name: String,
+    /// Number of parameters (occupy registers `0..arity` on entry).
+    pub arity: u32,
+    /// Whether the function produces a value.
+    pub returns_value: bool,
+    /// Size of the register file.
+    pub num_regs: u32,
+    /// The instructions.
+    pub code: Vec<Bc>,
+}
+
+impl CodeBlob {
+    /// Static instruction count (a code-size proxy).
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the blob is empty (never true for compiled functions).
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+}
+
+/// A fully linked executable program.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// All functions; [`FuncId`] indexes into this.
+    pub funcs: Vec<CodeBlob>,
+    /// Entry function, when a `main.main`-style entry was found by the linker.
+    pub entry: Option<FuncId>,
+}
+
+impl Program {
+    /// Looks up a function by qualified name.
+    pub fn func_id(&self, qualified: &str) -> Option<FuncId> {
+        self.funcs
+            .iter()
+            .position(|f| f.name == qualified)
+            .map(|i| FuncId(i as u32))
+    }
+
+    /// The blob for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is out of range.
+    pub fn func(&self, id: FuncId) -> &CodeBlob {
+        &self.funcs[id.0 as usize]
+    }
+
+    /// Total static instruction count across all functions.
+    pub fn total_code_size(&self) -> usize {
+        self.funcs.iter().map(CodeBlob::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn src_display() {
+        assert_eq!(Src::Reg(3).to_string(), "r3");
+        assert_eq!(Src::Imm(-7).to_string(), "#-7");
+    }
+
+    #[test]
+    fn program_lookup() {
+        let mut p = Program::default();
+        p.funcs.push(CodeBlob { name: "m.f".into(), ..CodeBlob::default() });
+        assert_eq!(p.func_id("m.f"), Some(FuncId(0)));
+        assert_eq!(p.func_id("m.g"), None);
+        assert_eq!(p.func(FuncId(0)).name, "m.f");
+    }
+
+    #[test]
+    fn code_size_totals() {
+        let mut p = Program::default();
+        p.funcs.push(CodeBlob {
+            name: "a".into(),
+            code: vec![Bc::Trap, Bc::Trap],
+            ..CodeBlob::default()
+        });
+        p.funcs.push(CodeBlob { name: "b".into(), code: vec![Bc::Trap], ..CodeBlob::default() });
+        assert_eq!(p.total_code_size(), 3);
+    }
+}

@@ -1,0 +1,499 @@
+//! SSA IR → bytecode lowering.
+//!
+//! Blocks are linearized in reverse post-order. SSA phis are eliminated by
+//! inserting *parallel copies* on the incoming edges (critical edges get a
+//! synthetic edge block), sequentialized with a scratch register to resolve
+//! copy cycles — the classic out-of-SSA transformation.
+
+use crate::bytecode::{Bc, CodeBlob, FuncId, Reg, Src};
+use sfcc_ir::{
+    reverse_post_order, BlockId, Function, InstId, Op, Terminator, Ty, ValueRef,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A code-generation failure (unresolved call target).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodegenError {
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "codegen error: {}", self.message)
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+/// Resolves qualified callee names to [`FuncId`]s during codegen.
+pub trait CallResolver {
+    /// Returns the id for `qualified`, or `None` when unknown.
+    fn resolve(&self, qualified: &str) -> Option<FuncId>;
+}
+
+impl CallResolver for HashMap<String, FuncId> {
+    fn resolve(&self, qualified: &str) -> Option<FuncId> {
+        self.get(qualified).copied()
+    }
+}
+
+/// Compiles one function. `qualified_name` becomes the blob name.
+///
+/// # Errors
+///
+/// Fails when a call target (other than the builtin `print`) cannot be
+/// resolved by `resolver`.
+pub fn compile_function(
+    func: &Function,
+    qualified_name: &str,
+    resolver: &dyn CallResolver,
+) -> Result<CodeBlob, CodegenError> {
+    Codegen::new(func, resolver).run(qualified_name)
+}
+
+/// A pending copy for phi elimination: `dst ← src`.
+#[derive(Debug, Clone, Copy)]
+struct Copy {
+    dst: Reg,
+    src: Src,
+}
+
+struct Codegen<'a> {
+    func: &'a Function,
+    resolver: &'a dyn CallResolver,
+    regs: HashMap<InstId, Reg>,
+    next_reg: Reg,
+    code: Vec<Bc>,
+    /// Where each IR block begins in the emitted code.
+    block_pc: HashMap<BlockId, u32>,
+    /// Jump/branch fixups: `(code index, which operand, target block)`.
+    fixups: Vec<(usize, u8, BlockId)>,
+    /// Per-edge copy lists for phi elimination.
+    edge_copies: HashMap<(BlockId, BlockId), Vec<Copy>>,
+}
+
+impl<'a> Codegen<'a> {
+    fn new(func: &'a Function, resolver: &'a dyn CallResolver) -> Self {
+        Codegen {
+            func,
+            resolver,
+            regs: HashMap::new(),
+            next_reg: func.params.len() as Reg,
+            code: Vec::new(),
+            block_pc: HashMap::new(),
+            fixups: Vec::new(),
+            edge_copies: HashMap::new(),
+        }
+    }
+
+    fn reg_for(&mut self, id: InstId) -> Reg {
+        if let Some(&r) = self.regs.get(&id) {
+            return r;
+        }
+        let r = self.next_reg;
+        self.next_reg += 1;
+        self.regs.insert(id, r);
+        r
+    }
+
+    fn src_of(&mut self, v: ValueRef) -> Src {
+        match v {
+            ValueRef::Const(_, c) => Src::Imm(c),
+            ValueRef::Param(i) => Src::Reg(i),
+            ValueRef::Inst(id) => Src::Reg(self.reg_for(id)),
+        }
+    }
+
+    fn run(mut self, qualified_name: &str) -> Result<CodeBlob, CodegenError> {
+        let order = reverse_post_order(self.func);
+
+        // Pre-assign a register to every value-producing instruction so the
+        // register count is final before any code is emitted (the scratch
+        // register used for copy cycles sits just past the last one).
+        for &b in &order {
+            for &iid in &self.func.block(b).insts {
+                if self.func.inst(iid).ty != Ty::Void {
+                    self.reg_for(iid);
+                }
+            }
+        }
+
+        // Collect phi copies per incoming edge, and pre-assign phi registers.
+        for &b in &order {
+            for &iid in &self.func.block(b).insts {
+                let inst = self.func.inst(iid);
+                if let Op::Phi(blocks) = &inst.op {
+                    let dst = self.reg_for(iid);
+                    let args = inst.args.clone();
+                    for (pb, v) in blocks.clone().iter().zip(args) {
+                        let src = self.src_of(v);
+                        self.edge_copies
+                            .entry((*pb, b))
+                            .or_default()
+                            .push(Copy { dst, src });
+                    }
+                }
+            }
+        }
+
+        for &b in &order {
+            self.block_pc.insert(b, self.code.len() as u32);
+            for &iid in &self.func.block(b).insts {
+                self.emit_inst(iid)?;
+            }
+            self.emit_terminator(b, &order)?;
+        }
+
+        // Apply fixups now that every block's pc is known.
+        for (idx, operand, target) in std::mem::take(&mut self.fixups) {
+            let pc = self.block_pc[&target];
+            match (&mut self.code[idx], operand) {
+                (Bc::Jump { target }, 0) => *target = pc,
+                (Bc::Branch { then_pc, .. }, 0) => *then_pc = pc,
+                (Bc::Branch { else_pc, .. }, 1) => *else_pc = pc,
+                other => unreachable!("bad fixup {other:?}"),
+            }
+        }
+
+        Ok(CodeBlob {
+            name: qualified_name.to_string(),
+            arity: self.func.params.len() as u32,
+            returns_value: self.func.ret.is_some(),
+            num_regs: self.next_reg.max(1) + 1, // +1 scratch for copy cycles
+            code: self.code,
+        })
+    }
+
+    fn emit_inst(&mut self, iid: InstId) -> Result<(), CodegenError> {
+        let inst = self.func.inst(iid).clone();
+        match &inst.op {
+            Op::Phi(_) => {} // handled on the edges
+            Op::Bin(kind) => {
+                let a = self.src_of(inst.args[0]);
+                let b = self.src_of(inst.args[1]);
+                let dst = self.reg_for(iid);
+                self.code.push(Bc::Bin { kind: *kind, dst, a, b });
+            }
+            Op::Icmp(pred) => {
+                let a = self.src_of(inst.args[0]);
+                let b = self.src_of(inst.args[1]);
+                let dst = self.reg_for(iid);
+                self.code.push(Bc::Icmp { pred: *pred, dst, a, b });
+            }
+            Op::Select => {
+                let cond = self.src_of(inst.args[0]);
+                let a = self.src_of(inst.args[1]);
+                let b = self.src_of(inst.args[2]);
+                let dst = self.reg_for(iid);
+                self.code.push(Bc::Select { dst, cond, a, b });
+            }
+            Op::Alloca(size) => {
+                let dst = self.reg_for(iid);
+                self.code.push(Bc::Alloca { dst, size: *size });
+            }
+            Op::Load => {
+                let addr = self.addr_reg(inst.args[0])?;
+                let dst = self.reg_for(iid);
+                self.code.push(Bc::Load { dst, addr });
+            }
+            Op::Store => {
+                let addr = self.addr_reg(inst.args[0])?;
+                let src = self.src_of(inst.args[1]);
+                self.code.push(Bc::Store { addr, src });
+            }
+            Op::Gep => {
+                let base = self.addr_reg(inst.args[0])?;
+                let index = self.src_of(inst.args[1]);
+                let dst = self.reg_for(iid);
+                self.code.push(Bc::Gep { dst, base, index });
+            }
+            Op::Call(target) => {
+                let args: Vec<Src> =
+                    inst.args.iter().map(|&a| self.src_of(a)).collect();
+                if target == "print" {
+                    let [src] = args.as_slice() else {
+                        return Err(CodegenError {
+                            message: "print takes exactly one argument".into(),
+                        });
+                    };
+                    self.code.push(Bc::Print { src: *src });
+                } else {
+                    let func = self.resolver.resolve(target).ok_or_else(|| CodegenError {
+                        message: format!("unresolved call target '{target}'"),
+                    })?;
+                    let dst =
+                        if inst.ty != Ty::Void { Some(self.reg_for(iid)) } else { None };
+                    self.code.push(Bc::Call { func, args, dst });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Pointer operands are always registers (no pointer immediates).
+    fn addr_reg(&mut self, v: ValueRef) -> Result<Reg, CodegenError> {
+        match self.src_of(v) {
+            Src::Reg(r) => Ok(r),
+            Src::Imm(_) => Err(CodegenError {
+                message: "pointer operand cannot be an immediate".into(),
+            }),
+        }
+    }
+
+    fn emit_terminator(
+        &mut self,
+        b: BlockId,
+        _order: &[BlockId],
+    ) -> Result<(), CodegenError> {
+        match self.func.block(b).term.clone() {
+            Terminator::Br(t) => {
+                self.emit_edge_copies(b, t);
+                let idx = self.code.len();
+                self.code.push(Bc::Jump { target: 0 });
+                self.fixups.push((idx, 0, t));
+            }
+            Terminator::CondBr { cond, then_bb, else_bb } => {
+                let cond = self.src_of(cond);
+                let then_has = self
+                    .edge_copies
+                    .get(&(b, then_bb))
+                    .is_some_and(|c| !c.is_empty());
+                let else_has = self
+                    .edge_copies
+                    .get(&(b, else_bb))
+                    .is_some_and(|c| !c.is_empty());
+                if !then_has && !else_has {
+                    let idx = self.code.len();
+                    self.code.push(Bc::Branch { cond, then_pc: 0, else_pc: 0 });
+                    self.fixups.push((idx, 0, then_bb));
+                    self.fixups.push((idx, 1, else_bb));
+                } else {
+                    // Split edges: branch to local stubs that run the copies.
+                    let branch_idx = self.code.len();
+                    self.code.push(Bc::Branch { cond, then_pc: 0, else_pc: 0 });
+                    // then stub
+                    let then_stub = self.code.len() as u32;
+                    self.emit_edge_copies(b, then_bb);
+                    let jmp_then = self.code.len();
+                    self.code.push(Bc::Jump { target: 0 });
+                    self.fixups.push((jmp_then, 0, then_bb));
+                    // else stub
+                    let else_stub = self.code.len() as u32;
+                    self.emit_edge_copies(b, else_bb);
+                    let jmp_else = self.code.len();
+                    self.code.push(Bc::Jump { target: 0 });
+                    self.fixups.push((jmp_else, 0, else_bb));
+                    if let Bc::Branch { then_pc, else_pc, .. } = &mut self.code[branch_idx]
+                    {
+                        *then_pc = then_stub;
+                        *else_pc = else_stub;
+                    }
+                }
+            }
+            Terminator::Ret(v) => {
+                let src = v.map(|v| self.src_of(v));
+                self.code.push(Bc::Ret { src });
+            }
+            Terminator::Trap => self.code.push(Bc::Trap),
+        }
+        Ok(())
+    }
+
+    /// Emits the sequentialized parallel copies for edge `from → to`.
+    fn emit_edge_copies(&mut self, from: BlockId, to: BlockId) {
+        let Some(copies) = self.edge_copies.get(&(from, to)).cloned() else { return };
+        let scratch = self.next_reg; // reserved in `run` via num_regs + 1
+        let seq = sequentialize(&copies, scratch);
+        self.code.extend(seq.into_iter().map(|c| Bc::Mov { dst: c.dst, src: c.src }));
+    }
+}
+
+/// Orders parallel copies so that no source is clobbered before it is read,
+/// breaking cycles with `scratch`.
+fn sequentialize(copies: &[Copy], scratch: Reg) -> Vec<Copy> {
+    let mut pending: Vec<Copy> = copies
+        .iter()
+        .copied()
+        .filter(|c| c.src != Src::Reg(c.dst))
+        .collect();
+    let mut out = Vec::with_capacity(pending.len());
+    while !pending.is_empty() {
+        // Emit any copy whose destination is not needed as a source.
+        let ready = pending.iter().position(|c| {
+            !pending.iter().any(|other| other.src == Src::Reg(c.dst))
+        });
+        match ready {
+            Some(i) => {
+                out.push(pending.remove(i));
+            }
+            None => {
+                // Pure cycle: rotate through the scratch register.
+                let victim = pending[0];
+                out.push(Copy { dst: scratch, src: victim.src });
+                for c in pending.iter_mut() {
+                    if c.src == victim.src {
+                        c.src = Src::Reg(scratch);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfcc_ir::parse_function;
+
+    fn compile(text: &str) -> CodeBlob {
+        let f = parse_function(text).unwrap();
+        let resolver: HashMap<String, FuncId> =
+            [("m.g".to_string(), FuncId(1))].into_iter().collect();
+        compile_function(&f, "m.f", &resolver).unwrap()
+    }
+
+    #[test]
+    fn compiles_straightline() {
+        let blob = compile("fn @f(i64) -> i64 {\nbb0:\n  v0 = add i64 p0, 1\n  ret v0\n}");
+        assert_eq!(blob.arity, 1);
+        assert!(blob.returns_value);
+        assert!(matches!(blob.code[0], Bc::Bin { .. }));
+        assert!(matches!(blob.code[1], Bc::Ret { src: Some(_) }));
+    }
+
+    #[test]
+    fn phi_becomes_edge_copies() {
+        let blob = compile(
+            r"
+fn @f(i1) -> i64 {
+bb0:
+  condbr p0, bb1, bb2
+bb1:
+  br bb3
+bb2:
+  br bb3
+bb3:
+  v0 = phi i64 [bb1: 1], [bb2: 2]
+  ret v0
+}",
+        );
+        // Both arms get a Mov before jumping to the join.
+        let movs = blob.code.iter().filter(|b| matches!(b, Bc::Mov { .. })).count();
+        assert_eq!(movs, 2, "{blob:?}");
+    }
+
+    #[test]
+    fn critical_edges_get_stubs() {
+        // bb0 conditionally branches straight to a phi block: the taken
+        // edge needs a stub with the copy.
+        let blob = compile(
+            r"
+fn @f(i1) -> i64 {
+bb0:
+  condbr p0, bb1, bb2
+bb1:
+  br bb2
+bb2:
+  v0 = phi i64 [bb0: 1], [bb1: 2]
+  ret v0
+}",
+        );
+        let movs = blob.code.iter().filter(|b| matches!(b, Bc::Mov { .. })).count();
+        assert_eq!(movs, 2, "{blob:?}");
+        // The branch must target the stubs, not the blocks directly.
+        let Bc::Branch { then_pc, else_pc, .. } = blob.code[0] else { panic!() };
+        assert!(matches!(blob.code[then_pc as usize], Bc::Mov { .. } | Bc::Jump { .. }));
+        assert!(matches!(blob.code[else_pc as usize], Bc::Mov { .. } | Bc::Jump { .. }));
+    }
+
+    #[test]
+    fn unresolved_call_errors() {
+        let f = parse_function(
+            "fn @f() -> i64 {\nbb0:\n  v0 = call i64 @nosuch.fn()\n  ret v0\n}",
+        )
+        .unwrap();
+        let resolver: HashMap<String, FuncId> = HashMap::new();
+        let err = compile_function(&f, "m.f", &resolver).unwrap_err();
+        assert!(err.message.contains("unresolved"), "{err}");
+    }
+
+    #[test]
+    fn print_becomes_print_op() {
+        let blob = compile("fn @f(i64) {\nbb0:\n  call @print(p0)\n  ret\n}");
+        assert!(blob.code.iter().any(|b| matches!(b, Bc::Print { .. })));
+    }
+
+    #[test]
+    fn sequentialize_simple_chain() {
+        // r1 ← r0, r2 ← r1 must emit r2 ← r1 first.
+        let copies = vec![
+            Copy { dst: 1, src: Src::Reg(0) },
+            Copy { dst: 2, src: Src::Reg(1) },
+        ];
+        let seq = sequentialize(&copies, 99);
+        assert_eq!(seq.len(), 2);
+        assert_eq!(seq[0].dst, 2);
+        assert_eq!(seq[1].dst, 1);
+    }
+
+    #[test]
+    fn sequentialize_swap_uses_scratch() {
+        // r0 ↔ r1 swap.
+        let copies = vec![
+            Copy { dst: 0, src: Src::Reg(1) },
+            Copy { dst: 1, src: Src::Reg(0) },
+        ];
+        let seq = sequentialize(&copies, 9);
+        assert_eq!(seq.len(), 3);
+        // Simulate to verify the swap.
+        let mut regs = vec![10i64, 20, 0, 0, 0, 0, 0, 0, 0, 0];
+        for c in &seq {
+            let v = match c.src {
+                Src::Reg(r) => regs[r as usize],
+                Src::Imm(v) => v,
+            };
+            regs[c.dst as usize] = v;
+        }
+        assert_eq!(regs[0], 20);
+        assert_eq!(regs[1], 10);
+    }
+
+    #[test]
+    fn sequentialize_drops_self_copies() {
+        let copies = vec![Copy { dst: 0, src: Src::Reg(0) }];
+        assert!(sequentialize(&copies, 9).is_empty());
+    }
+
+    #[test]
+    fn loop_phi_rotation() {
+        // Two phis feeding each other across a back edge (swap in a loop).
+        let blob = compile(
+            r"
+fn @f(i64) -> i64 {
+bb0:
+  br bb1
+bb1:
+  v0 = phi i64 [bb0: 1], [bb2: v1]
+  v1 = phi i64 [bb0: 2], [bb2: v0]
+  v2 = phi i64 [bb0: 0], [bb2: v3]
+  v4 = icmp slt v2, p0
+  condbr v4, bb2, bb3
+bb2:
+  v3 = add i64 v2, 1
+  br bb1
+bb3:
+  ret v0
+}",
+        );
+        // The back edge carries a swap; a scratch register must appear.
+        let max_reg = blob.num_regs - 1;
+        let uses_scratch = blob.code.iter().any(|b| match b {
+            Bc::Mov { dst, .. } => *dst == max_reg,
+            _ => false,
+        });
+        assert!(uses_scratch, "{blob:?}");
+    }
+}

@@ -1,0 +1,159 @@
+//! Bytecode disassembler: renders [`CodeBlob`]s and whole [`Program`]s as
+//! readable assembly-style text, with symbolic call targets and branch
+//! target annotations.
+
+use crate::bytecode::{Bc, CodeBlob, Program, Src};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// Disassembles one function.
+///
+/// Call targets are rendered through `callee_name`: pass the surrounding
+/// program's function table, or object-local symbols.
+pub fn disasm_blob(blob: &CodeBlob, callee_name: impl Fn(u32) -> String) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} (arity {}, {} regs, {} instructions):",
+        blob.name,
+        blob.arity,
+        blob.num_regs,
+        blob.code.len()
+    );
+
+    // Mark jump targets so the listing shows where control lands.
+    let mut targets: HashSet<u32> = HashSet::new();
+    for bc in &blob.code {
+        match bc {
+            Bc::Jump { target } => {
+                targets.insert(*target);
+            }
+            Bc::Branch { then_pc, else_pc, .. } => {
+                targets.insert(*then_pc);
+                targets.insert(*else_pc);
+            }
+            _ => {}
+        }
+    }
+
+    for (pc, bc) in blob.code.iter().enumerate() {
+        let marker = if targets.contains(&(pc as u32)) { ">" } else { " " };
+        let text = match bc {
+            Bc::Mov { dst, src } => format!("mov    r{dst}, {src}"),
+            Bc::Bin { kind, dst, a, b } => format!("{:<6} r{dst}, {a}, {b}", kind.mnemonic()),
+            Bc::Icmp { pred, dst, a, b } => {
+                format!("cmp.{:<2} r{dst}, {a}, {b}", pred.mnemonic())
+            }
+            Bc::Select { dst, cond, a, b } => format!("sel    r{dst}, {cond} ? {a} : {b}"),
+            Bc::Alloca { dst, size } => format!("alloca r{dst}, {size}"),
+            Bc::Load { dst, addr } => format!("load   r{dst}, [r{addr}]"),
+            Bc::Store { addr, src } => format!("store  [r{addr}], {src}"),
+            Bc::Gep { dst, base, index } => format!("gep    r{dst}, r{base} + {index}"),
+            Bc::Call { func, args, dst } => {
+                let args: Vec<String> = args.iter().map(Src::to_string).collect();
+                match dst {
+                    Some(d) => {
+                        format!("call   r{d} = {}({})", callee_name(func.0), args.join(", "))
+                    }
+                    None => format!("call   {}({})", callee_name(func.0), args.join(", ")),
+                }
+            }
+            Bc::Print { src } => format!("print  {src}"),
+            Bc::Jump { target } => format!("jmp    @{target}"),
+            Bc::Branch { cond, then_pc, else_pc } => {
+                format!("br     {cond} ? @{then_pc} : @{else_pc}")
+            }
+            Bc::Ret { src: Some(s) } => format!("ret    {s}"),
+            Bc::Ret { src: None } => "ret".to_string(),
+            Bc::Trap => "trap".to_string(),
+        };
+        let _ = writeln!(out, "{marker}{pc:>5}  {text}");
+    }
+    out
+}
+
+/// Disassembles a whole linked program with resolved call names.
+pub fn disasm_program(program: &Program) -> String {
+    let mut out = String::new();
+    for (i, blob) in program.funcs.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&disasm_blob(blob, |id| {
+            program
+                .funcs
+                .get(id as usize)
+                .map(|f| f.name.clone())
+                .unwrap_or_else(|| format!("<fn {id}>"))
+        }));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::link;
+    use sfcc_ir::Module;
+
+    fn program_for(text: &str) -> Program {
+        let f = sfcc_ir::parse_function(text).unwrap();
+        let mut m = Module::new("main");
+        m.add_function(f);
+        link(&[m]).unwrap()
+    }
+
+    #[test]
+    fn disassembles_arith_and_ret() {
+        let p = program_for("fn @main(i64) -> i64 {\nbb0:\n  v0 = add i64 p0, 3\n  ret v0\n}");
+        let text = disasm_program(&p);
+        assert!(text.contains("main.main (arity 1"), "{text}");
+        assert!(text.contains("add"), "{text}");
+        assert!(text.contains("ret"), "{text}");
+    }
+
+    #[test]
+    fn branch_targets_are_marked() {
+        let p = program_for(
+            r"
+fn @main(i1) -> i64 {
+bb0:
+  condbr p0, bb1, bb2
+bb1:
+  ret 1
+bb2:
+  ret 2
+}",
+        );
+        let text = disasm_program(&p);
+        assert!(text.contains("br "), "{text}");
+        assert!(text.lines().any(|l| l.starts_with('>')), "targets unmarked: {text}");
+    }
+
+    #[test]
+    fn calls_resolve_symbolic_names() {
+        let f = sfcc_ir::parse_function(
+            "fn @main(i64) -> i64 {\nbb0:\n  v0 = call i64 @main.helper(p0)\n  ret v0\n}",
+        )
+        .unwrap();
+        let g = sfcc_ir::parse_function("fn @helper(i64) -> i64 {\nbb0:\n  ret p0\n}").unwrap();
+        let mut m = Module::new("main");
+        m.add_function(f);
+        m.add_function(g);
+        let p = link(&[m]).unwrap();
+        let text = disasm_program(&p);
+        assert!(text.contains("call   r"), "{text}");
+        assert!(text.contains("main.helper("), "{text}");
+    }
+
+    #[test]
+    fn memory_ops_render() {
+        let p = program_for(
+            "fn @main(i64) -> i64 {\nbb0:\n  v0 = alloca 4\n  v1 = gep v0, p0\n  store v1, 9\n  v2 = load i64 v1\n  ret v2\n}",
+        );
+        let text = disasm_program(&p);
+        for needle in ["alloca", "gep", "store", "load"] {
+            assert!(text.contains(needle), "missing {needle}: {text}");
+        }
+    }
+}

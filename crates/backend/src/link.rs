@@ -1,0 +1,140 @@
+//! Linking: compiled IR modules → an executable [`Program`].
+//!
+//! Two-phase like a real linker: first assign a [`FuncId`] to every
+//! qualified symbol across all modules, then compile each function against
+//! that symbol table. Duplicate and unresolved symbols are link errors.
+
+use crate::bytecode::{CodeBlob, FuncId, Program};
+use crate::codegen::{compile_function, CodegenError};
+use sfcc_ir::Module;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A linking failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkError {
+    /// Two modules exported the same qualified symbol.
+    DuplicateSymbol(String),
+    /// A call referenced a symbol no module provides.
+    Unresolved(String),
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::DuplicateSymbol(s) => write!(f, "duplicate symbol '{s}'"),
+            LinkError::Unresolved(s) => write!(f, "unresolved symbol '{s}'"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+impl From<CodegenError> for LinkError {
+    fn from(e: CodegenError) -> Self {
+        // The only codegen failure is an unresolved call target.
+        let name = e
+            .message
+            .split('\'')
+            .nth(1)
+            .unwrap_or("<unknown>")
+            .to_string();
+        LinkError::Unresolved(name)
+    }
+}
+
+/// Links compiled modules into a program.
+///
+/// When a module named `main` provides a function `main`, it becomes the
+/// program entry.
+///
+/// # Errors
+///
+/// Fails on duplicate or unresolved symbols.
+pub fn link(modules: &[Module]) -> Result<Program, LinkError> {
+    // Phase 1: symbol table.
+    let mut table: HashMap<String, FuncId> = HashMap::new();
+    let mut next = 0u32;
+    for m in modules {
+        for f in &m.functions {
+            let qualified = m.qualified_name(f);
+            if table.insert(qualified.clone(), FuncId(next)).is_some() {
+                return Err(LinkError::DuplicateSymbol(qualified));
+            }
+            next += 1;
+        }
+    }
+
+    // Phase 2: compile against the table.
+    let mut funcs: Vec<CodeBlob> = Vec::with_capacity(next as usize);
+    for m in modules {
+        for f in &m.functions {
+            let qualified = m.qualified_name(f);
+            funcs.push(compile_function(f, &qualified, &table)?);
+        }
+    }
+
+    let entry = table.get("main.main").copied();
+    Ok(Program { funcs, entry })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::{run, VmOptions};
+    use sfcc_frontend::{parse_and_check, Diagnostics, ModuleEnv, ModuleInterface};
+
+    fn lower(name: &str, src: &str, env: &ModuleEnv) -> Module {
+        let mut d = Diagnostics::new();
+        let checked = parse_and_check(name, src, env, &mut d)
+            .unwrap_or_else(|| panic!("frontend errors: {d:?}"));
+        sfcc_ir::lower_module(&checked, env)
+    }
+
+    #[test]
+    fn links_and_runs_two_modules() {
+        let mut env = ModuleEnv::new();
+        let util_src = "fn twice(x: int) -> int { return x * 2; }";
+        let mut d = Diagnostics::new();
+        let util_ast = sfcc_frontend::parser::parse("util", util_src, &mut d);
+        env.insert("util", ModuleInterface::of(&util_ast));
+
+        let util = lower("util", util_src, &ModuleEnv::new());
+        let main = lower(
+            "main",
+            "import util;\nfn main(n: int) -> int { return util::twice(n) + 1; }",
+            &env,
+        );
+        let program = link(&[util, main]).unwrap();
+        let out = run(&program, "main.main", &[20], VmOptions::default()).unwrap();
+        assert_eq!(out.return_value, Some(41));
+        assert_eq!(program.entry, program.func_id("main.main"));
+    }
+
+    #[test]
+    fn duplicate_symbol_rejected() {
+        let a = lower("m", "fn f() {}", &ModuleEnv::new());
+        let b = lower("m", "fn f() {}", &ModuleEnv::new());
+        assert_eq!(link(&[a, b]).unwrap_err(), LinkError::DuplicateSymbol("m.f".into()));
+    }
+
+    #[test]
+    fn unresolved_symbol_rejected() {
+        // Hand-build IR calling a missing function (the front end would
+        // reject this, but the linker must too).
+        let f = sfcc_ir::parse_function(
+            "fn @f() -> i64 {\nbb0:\n  v0 = call i64 @ghost.fn()\n  ret v0\n}",
+        )
+        .unwrap();
+        let mut m = Module::new("m");
+        m.add_function(f);
+        assert_eq!(link(&[m]).unwrap_err(), LinkError::Unresolved("ghost.fn".into()));
+    }
+
+    #[test]
+    fn entry_absent_without_main() {
+        let m = lower("util", "fn f() {}", &ModuleEnv::new());
+        let p = link(&[m]).unwrap();
+        assert_eq!(p.entry, None);
+    }
+}

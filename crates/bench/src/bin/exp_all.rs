@@ -1,0 +1,10 @@
+//! Runs every experiment and prints the combined report (the source of the
+//! measured numbers recorded in EXPERIMENTS.md).
+//!
+//! Usage: `cargo run -p sfcc-bench --release --bin exp_all [--quick]`
+
+fn main() {
+    let scale = sfcc_bench::Scale::from_args();
+    println!("# sfcc evaluation — all experiments ({scale:?} scale)\n");
+    print!("{}", sfcc_bench::experiments::run_all(scale));
+}

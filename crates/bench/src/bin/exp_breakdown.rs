@@ -1,0 +1,9 @@
+//! E7 / Figure 4 — compile-time breakdown
+//!
+//! Usage: `cargo run -p sfcc-bench --release --bin exp_breakdown [--quick]`
+
+fn main() {
+    let scale = sfcc_bench::Scale::from_args();
+    println!("# E7 / Figure 4 — compile-time breakdown\n");
+    print!("{}", sfcc_bench::experiments::end_to_end::breakdown(scale));
+}

@@ -1,0 +1,9 @@
+//! E9 / Table 4 — output correctness and code quality
+//!
+//! Usage: `cargo run -p sfcc-bench --release --bin exp_code_quality [--quick]`
+
+fn main() {
+    let scale = sfcc_bench::Scale::from_args();
+    println!("# E9 / Table 4 — output correctness and code quality\n");
+    print!("{}", sfcc_bench::experiments::quality::code_quality(scale));
+}

@@ -1,0 +1,9 @@
+//! E1 / Figure 1 — pass dormancy profile (motivation)
+//!
+//! Usage: `cargo run -p sfcc-bench --release --bin exp_dormancy_profile [--quick]`
+
+fn main() {
+    let scale = sfcc_bench::Scale::from_args();
+    println!("# E1 / Figure 1 — pass dormancy profile (motivation)\n");
+    print!("{}", sfcc_bench::experiments::profile::dormancy_profile(scale));
+}

@@ -1,0 +1,9 @@
+//! E8 / Figure 5 — build-over-build dormancy stability
+//!
+//! Usage: `cargo run -p sfcc-bench --release --bin exp_dormancy_stability [--quick]`
+
+fn main() {
+    let scale = sfcc_bench::Scale::from_args();
+    println!("# E8 / Figure 5 — build-over-build dormancy stability\n");
+    print!("{}", sfcc_bench::experiments::state_exp::dormancy_stability(scale));
+}

@@ -1,0 +1,9 @@
+//! E6 / Figure 3 — speedup vs edit size
+//!
+//! Usage: `cargo run -p sfcc-bench --release --bin exp_edit_size_sweep [--quick]`
+
+fn main() {
+    let scale = sfcc_bench::Scale::from_args();
+    println!("# E6 / Figure 3 — speedup vs edit size\n");
+    print!("{}", sfcc_bench::experiments::end_to_end::edit_size_sweep(scale));
+}

@@ -1,0 +1,9 @@
+//! E4 / Table 2 — end-to-end incremental build time (headline)
+//!
+//! Usage: `cargo run -p sfcc-bench --release --bin exp_end_to_end [--quick]`
+
+fn main() {
+    let scale = sfcc_bench::Scale::from_args();
+    println!("# E4 / Table 2 — end-to-end incremental build time (headline)\n");
+    print!("{}", sfcc_bench::experiments::end_to_end::end_to_end(scale));
+}

@@ -1,0 +1,9 @@
+//! E12 — extension: function-level IR cache
+//!
+//! Usage: `cargo run -p sfcc-bench --release --bin exp_fn_cache [--quick]`
+
+fn main() {
+    let scale = sfcc_bench::Scale::from_args();
+    println!("# E12 — extension: function-level IR cache\n");
+    print!("{}", sfcc_bench::experiments::extension::fn_cache_ablation(scale));
+}

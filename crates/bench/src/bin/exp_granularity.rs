@@ -1,0 +1,9 @@
+//! E11 — ablation: dormancy-state granularity
+//!
+//! Usage: `cargo run -p sfcc-bench --release --bin exp_granularity [--quick]`
+
+fn main() {
+    let scale = sfcc_bench::Scale::from_args();
+    println!("# E11 — ablation: dormancy-state granularity\n");
+    print!("{}", sfcc_bench::experiments::quality::granularity_ablation(scale));
+}

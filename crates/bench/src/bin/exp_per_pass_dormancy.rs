@@ -1,0 +1,9 @@
+//! E2 / Figure 2 — per-pass dormancy rates
+//!
+//! Usage: `cargo run -p sfcc-bench --release --bin exp_per_pass_dormancy [--quick]`
+
+fn main() {
+    let scale = sfcc_bench::Scale::from_args();
+    println!("# E2 / Figure 2 — per-pass dormancy rates\n");
+    print!("{}", sfcc_bench::experiments::profile::per_pass_dormancy(scale));
+}

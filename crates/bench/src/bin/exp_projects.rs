@@ -1,0 +1,9 @@
+//! E3 / Table 1 — benchmark project characteristics
+//!
+//! Usage: `cargo run -p sfcc-bench --release --bin exp_projects [--quick]`
+
+fn main() {
+    let scale = sfcc_bench::Scale::from_args();
+    println!("# E3 / Table 1 — benchmark project characteristics\n");
+    print!("{}", sfcc_bench::experiments::profile::projects_table(scale));
+}

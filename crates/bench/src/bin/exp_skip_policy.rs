@@ -1,0 +1,9 @@
+//! E10 — ablation: skip policies
+//!
+//! Usage: `cargo run -p sfcc-bench --release --bin exp_skip_policy [--quick]`
+
+fn main() {
+    let scale = sfcc_bench::Scale::from_args();
+    println!("# E10 — ablation: skip policies\n");
+    print!("{}", sfcc_bench::experiments::quality::skip_policy_ablation(scale));
+}

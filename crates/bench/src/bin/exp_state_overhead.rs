@@ -1,0 +1,9 @@
+//! E5 / Table 3 — state storage and maintenance overhead
+//!
+//! Usage: `cargo run -p sfcc-bench --release --bin exp_state_overhead [--quick]`
+
+fn main() {
+    let scale = sfcc_bench::Scale::from_args();
+    println!("# E5 / Table 3 — state storage and maintenance overhead\n");
+    print!("{}", sfcc_bench::experiments::state_exp::state_overhead(scale));
+}

@@ -1,0 +1,45 @@
+//! One module per experiment; see DESIGN.md's experiment index.
+//!
+//! | Id  | Item | Function |
+//! |-----|------|----------|
+//! | E1  | Fig. 1 motivation: dormancy profile | [`profile::dormancy_profile`] |
+//! | E2  | Fig. 2: per-pass dormancy rate | [`profile::per_pass_dormancy`] |
+//! | E3  | Table 1: benchmark characteristics | [`profile::projects_table`] |
+//! | E4  | Table 2 (headline): end-to-end build time | [`end_to_end::end_to_end`] |
+//! | E5  | Table 3: state storage & overhead | [`state_exp::state_overhead`] |
+//! | E6  | Fig. 3: speedup vs edit size | [`end_to_end::edit_size_sweep`] |
+//! | E7  | Fig. 4: compile-time breakdown | [`end_to_end::breakdown`] |
+//! | E8  | Fig. 5: dormancy stability | [`state_exp::dormancy_stability`] |
+//! | E9  | Table 4: output quality & correctness | [`quality::code_quality`] |
+//! | E10 | Ablation: skip policies | [`quality::skip_policy_ablation`] |
+//! | E11 | Ablation: state granularity | [`quality::granularity_ablation`] |
+//! | E12 | Extension: function-level IR cache | [`extension::fn_cache_ablation`] |
+
+pub mod end_to_end;
+pub mod extension;
+pub mod profile;
+pub mod quality;
+pub mod state_exp;
+
+/// Runs every experiment at the given scale and returns the combined report.
+pub fn run_all(scale: crate::Scale) -> String {
+    let sections: Vec<(&str, String)> = vec![
+        ("E3 / Table 1 — benchmark project characteristics", profile::projects_table(scale)),
+        ("E1 / Figure 1 — pass dormancy profile (motivation)", profile::dormancy_profile(scale)),
+        ("E2 / Figure 2 — per-pass dormancy rates", profile::per_pass_dormancy(scale)),
+        ("E4 / Table 2 — end-to-end incremental build time (headline)", end_to_end::end_to_end(scale)),
+        ("E5 / Table 3 — state storage and maintenance overhead", state_exp::state_overhead(scale)),
+        ("E6 / Figure 3 — speedup vs edit size", end_to_end::edit_size_sweep(scale)),
+        ("E7 / Figure 4 — compile-time breakdown", end_to_end::breakdown(scale)),
+        ("E8 / Figure 5 — build-over-build dormancy stability", state_exp::dormancy_stability(scale)),
+        ("E9 / Table 4 — output correctness and code quality", quality::code_quality(scale)),
+        ("E10 — ablation: skip policies", quality::skip_policy_ablation(scale)),
+        ("E11 — ablation: dormancy-state granularity", quality::granularity_ablation(scale)),
+        ("E12 — extension: function-level IR cache", extension::fn_cache_ablation(scale)),
+    ];
+    let mut out = String::new();
+    for (title, body) in sections {
+        out.push_str(&format!("## {title}\n\n{body}\n"));
+    }
+    out
+}

@@ -1,0 +1,621 @@
+//! The compiler session: front end → lowering → (skippable) pass pipeline →
+//! object code, with dormancy recording in stateful mode.
+
+use crate::config::{Config, Mode, OptLevel};
+use crate::fncache::{context_fingerprints, CacheStats, FunctionCache};
+use sfcc_backend::{compile_object, CodeObject};
+use sfcc_frontend::{Diagnostics, ModuleEnv, ModuleInterface, SourceFile};
+use sfcc_ir::Fingerprint;
+use sfcc_passes::{
+    default_pipeline, minimal_pipeline, run_pipeline, scalar_pipeline, NeverSkip, PassQuery,
+    Pipeline, PipelineTrace, RunOptions, SkipOracle,
+};
+use sfcc_state::{statefile, DbOracle, DecodeError, SkipPolicy, StateDb};
+use std::fmt;
+use std::io;
+use std::path::Path;
+use std::time::Instant;
+
+/// Wall-clock time per compilation phase, in nanoseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Lexing, parsing, semantic analysis.
+    pub frontend_ns: u64,
+    /// AST → IR lowering.
+    pub lower_ns: u64,
+    /// The optimization pipeline (including skipped-pass bookkeeping).
+    pub middle_ns: u64,
+    /// Codegen to object code.
+    pub backend_ns: u64,
+    /// State lookup + ingestion (stateful mode overhead).
+    pub state_ns: u64,
+}
+
+impl PhaseTimings {
+    /// Total across all phases.
+    pub fn total_ns(&self) -> u64 {
+        self.frontend_ns + self.lower_ns + self.middle_ns + self.backend_ns + self.state_ns
+    }
+}
+
+/// Everything a successful compilation produces.
+#[derive(Debug, Clone)]
+pub struct CompileOutput {
+    /// The relocatable object code.
+    pub object: CodeObject,
+    /// The optimized IR (useful for inspection and tests).
+    pub ir: sfcc_ir::Module,
+    /// The module's exported interface.
+    pub interface: ModuleInterface,
+    /// Per-pass instrumentation.
+    pub trace: PipelineTrace,
+    /// Phase timings.
+    pub timings: PhaseTimings,
+}
+
+impl CompileOutput {
+    /// `(active, dormant, skipped)` pass-slot totals.
+    pub fn outcome_totals(&self) -> (usize, usize, usize) {
+        self.trace.outcome_totals()
+    }
+}
+
+/// A compilation failure.
+#[derive(Debug, Clone)]
+pub enum CompileError {
+    /// The source did not parse or type-check; carries rendered diagnostics.
+    Frontend {
+        /// Human-readable diagnostics.
+        rendered: String,
+        /// Number of errors.
+        errors: usize,
+    },
+    /// Code generation failed (indicates an internal bug, not bad input).
+    Backend(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Frontend { rendered, errors } => {
+                write!(f, "{rendered}\n{errors} error(s)")
+            }
+            CompileError::Backend(msg) => write!(f, "backend failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Extracts a module's interface by parsing only (no type checking). Used by
+/// build systems to seed the [`ModuleEnv`] before compiling dependents.
+pub fn extract_interface(name: &str, source: &str) -> Result<ModuleInterface, CompileError> {
+    let mut diags = Diagnostics::new();
+    let ast = sfcc_frontend::parser::parse(name, source, &mut diags);
+    if diags.has_errors() {
+        let file = SourceFile::new(format!("{name}.mc"), source);
+        return Err(CompileError::Frontend {
+            rendered: diags.render_all(&file),
+            errors: diags.error_count(),
+        });
+    }
+    Ok(ModuleInterface::of(&ast))
+}
+
+/// A compiler session.
+///
+/// A session corresponds to one long-lived compiler process (or one state
+/// directory on disk): in stateful mode the dormancy database persists
+/// across [`Compiler::compile`] calls and, when
+/// [`Config::state_path`] is set, across sessions via
+/// [`Compiler::save_state`].
+pub struct Compiler {
+    config: Config,
+    pipeline: Pipeline,
+    pipeline_hash: Fingerprint,
+    state: StateDb,
+    state_load_error: Option<DecodeError>,
+    fn_cache: FunctionCache,
+}
+
+impl fmt::Debug for Compiler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Compiler")
+            .field("mode", &self.config.mode.label())
+            .field("functions_tracked", &self.state.function_count())
+            .finish()
+    }
+}
+
+impl Compiler {
+    /// Creates a session, loading persisted state when configured.
+    pub fn new(config: Config) -> Self {
+        let pipeline = match config.opt_level {
+            OptLevel::O0 => minimal_pipeline(),
+            OptLevel::O1 => scalar_pipeline(),
+            OptLevel::O2 => default_pipeline(),
+        };
+        let pipeline_hash = StateDb::pipeline_hash(&pipeline.slot_names());
+        let (state, state_load_error) = match (&config.state_path, config.mode.is_stateful()) {
+            (Some(path), true) => statefile::load_or_default(path),
+            _ => (StateDb::new(), None),
+        };
+        let fn_cache = match (&config.state_path, config.function_cache) {
+            (Some(path), true) => FunctionCache::load_or_default(&cache_path(path)),
+            _ => FunctionCache::new(),
+        };
+        Compiler { config, pipeline, pipeline_hash, state, state_load_error, fn_cache }
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Why the last state load fell back to a cold start, if it did.
+    pub fn state_load_error(&self) -> Option<DecodeError> {
+        self.state_load_error
+    }
+
+    /// Read access to the dormancy database.
+    pub fn state(&self) -> &StateDb {
+        &self.state
+    }
+
+    /// Serialized size of the current state (experiment E5).
+    pub fn state_bytes(&self) -> Vec<u8> {
+        statefile::to_bytes(&self.state)
+    }
+
+    /// Names of the pipeline's pass slots.
+    pub fn pipeline_slots(&self) -> Vec<&'static str> {
+        self.pipeline.slot_names()
+    }
+
+    /// Compiles one module.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Frontend`] for malformed source.
+    pub fn compile(
+        &mut self,
+        name: &str,
+        source: &str,
+        env: &ModuleEnv,
+    ) -> Result<CompileOutput, CompileError> {
+        let options = RunOptions { verify_each: self.config.verify_each };
+        let cache = if self.config.function_cache { Some(&mut self.fn_cache) } else { None };
+        let mut output = compile_unit(
+            name,
+            source,
+            env,
+            self.config.mode,
+            &self.pipeline,
+            &self.state,
+            options,
+            cache,
+        )?;
+        if self.config.mode.is_stateful() {
+            let t = Instant::now();
+            self.state.ingest(&output.trace, self.pipeline_hash);
+            output.timings.state_ns += t.elapsed().as_nanos() as u64;
+        }
+        Ok(output)
+    }
+
+    /// Hit/miss counters of the function-level IR cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.fn_cache.stats()
+    }
+
+    /// Compiles several independent modules, possibly in parallel.
+    ///
+    /// Mirrors `make -jN` invoking several compiler processes against one
+    /// shared state directory: all units read the *same* state snapshot
+    /// (they are independent, so ordering cannot matter), and the resulting
+    /// traces are ingested sequentially afterwards.
+    ///
+    /// Units are `(module_name, source, env)` triples; results come back in
+    /// the same order.
+    pub fn compile_batch(
+        &mut self,
+        units: &[(&str, &str, &ModuleEnv)],
+        parallel: bool,
+    ) -> Vec<Result<CompileOutput, CompileError>> {
+        if !parallel || units.len() <= 1 {
+            return units
+                .iter()
+                .map(|(name, source, env)| self.compile(name, source, env))
+                .collect();
+        }
+
+        // Parallel pipeline runs against an immutable state snapshot.
+        let options = RunOptions { verify_each: self.config.verify_each };
+        let mode = self.config.mode;
+        let pipeline = &self.pipeline;
+        let state = &self.state;
+        let results: Vec<Result<CompileOutput, CompileError>> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = units
+                    .iter()
+                    .map(|(name, source, env)| {
+                        scope.spawn(move |_| {
+                            // The parallel path bypasses the function cache:
+                            // its bookkeeping is not thread-shared.
+                            compile_unit(name, source, env, mode, pipeline, state, options, None)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            })
+            .expect("compile scope panicked");
+
+        if self.config.mode.is_stateful() {
+            for result in results.iter().flatten() {
+                self.state.ingest(&result.trace, self.pipeline_hash);
+            }
+        }
+        results
+    }
+
+    /// Persists the state database to the configured path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; does nothing (successfully) without a
+    /// configured path or in stateless mode.
+    pub fn save_state(&self) -> io::Result<()> {
+        if let (Some(path), true) = (&self.config.state_path, self.config.mode.is_stateful()) {
+            statefile::save(&self.state, path)?;
+        }
+        if let (Some(path), true) = (&self.config.state_path, self.config.function_cache) {
+            self.fn_cache.save(&cache_path(path))?;
+        }
+        Ok(())
+    }
+
+    /// Drops all accumulated state (for experiments that need a cold start).
+    pub fn reset_state(&mut self) {
+        self.state = StateDb::new();
+    }
+
+    /// Replaces the skip policy, keeping accumulated state (for ablations).
+    pub fn set_policy(&mut self, policy: SkipPolicy) {
+        self.config.mode = Mode::Stateful(policy);
+    }
+}
+
+/// Compiles one module against an immutable state snapshot (no ingestion).
+/// The IR-cache file that accompanies a state file.
+fn cache_path(state_path: &Path) -> std::path::PathBuf {
+    let mut os = state_path.as_os_str().to_os_string();
+    os.push(".ircache");
+    std::path::PathBuf::from(os)
+}
+
+/// An oracle layer that force-skips every slot of cache-hit functions so
+/// their (already optimized, swapped-in) bodies pass through untouched.
+struct CacheHits<'a> {
+    hits: std::collections::HashSet<String>,
+    inner: &'a dyn SkipOracle,
+}
+
+impl<'a> SkipOracle for CacheHits<'a> {
+    fn should_skip(&self, query: &PassQuery<'_>) -> bool {
+        self.hits.contains(query.function) || self.inner.should_skip(query)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn compile_unit(
+    name: &str,
+    source: &str,
+    env: &ModuleEnv,
+    mode: Mode,
+    pipeline: &Pipeline,
+    state: &StateDb,
+    options: RunOptions,
+    mut cache: Option<&mut FunctionCache>,
+) -> Result<CompileOutput, CompileError> {
+    let mut timings = PhaseTimings::default();
+
+    let t = Instant::now();
+    let mut diags = Diagnostics::new();
+    let checked = sfcc_frontend::parse_and_check(name, source, env, &mut diags);
+    timings.frontend_ns = t.elapsed().as_nanos() as u64;
+    let Some(checked) = checked else {
+        let file = SourceFile::new(format!("{name}.mc"), source);
+        return Err(CompileError::Frontend {
+            rendered: diags.render_all(&file),
+            errors: diags.error_count(),
+        });
+    };
+    let interface = checked.interface.clone();
+
+    let t = Instant::now();
+    let mut ir = sfcc_ir::lower_module(&checked, env);
+    timings.lower_ns = t.elapsed().as_nanos() as u64;
+
+    // Function-cache lookup: swap cached optimized bodies in and mark them
+    // so the pipeline skips them entirely.
+    let t = Instant::now();
+    let mut hits = std::collections::HashSet::new();
+    let mut contexts = std::collections::HashMap::new();
+    if let Some(cache) = cache.as_deref_mut() {
+        contexts = context_fingerprints(&ir);
+        for func in &mut ir.functions {
+            if let Some(&ctx) = contexts.get(&func.name) {
+                if let Some(mut cached) = cache.lookup(ctx) {
+                    cached.name = func.name.clone();
+                    *func = cached;
+                    hits.insert(func.name.clone());
+                }
+            }
+        }
+    }
+    timings.state_ns += t.elapsed().as_nanos() as u64;
+
+    let t = Instant::now();
+    let base: Box<dyn SkipOracle> = match mode {
+        Mode::Stateless => Box::new(NeverSkip),
+        Mode::Stateful(policy) => Box::new(DbOracle::new(state, policy)),
+    };
+    let trace = if hits.is_empty() {
+        run_pipeline(&mut ir, pipeline, base.as_ref(), options)
+    } else {
+        let oracle = CacheHits { hits: hits.clone(), inner: base.as_ref() };
+        run_pipeline(&mut ir, pipeline, &oracle, options)
+    };
+    timings.middle_ns = t.elapsed().as_nanos() as u64;
+
+    // Populate the cache with freshly optimized cacheable functions.
+    let t = Instant::now();
+    if let Some(cache) = cache.as_deref_mut() {
+        for func in &ir.functions {
+            if hits.contains(&func.name) {
+                continue;
+            }
+            if let Some(&ctx) = contexts.get(&func.name) {
+                cache.insert(ctx, func.clone());
+            }
+        }
+    }
+    timings.state_ns += t.elapsed().as_nanos() as u64;
+
+    let t = Instant::now();
+    let object = compile_object(&ir).map_err(|e| CompileError::Backend(e.to_string()))?;
+    timings.backend_ns = t.elapsed().as_nanos() as u64;
+
+    Ok(CompileOutput { object, ir, interface, trace, timings })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfcc_backend::{link_objects, run as vm_run, VmOptions};
+
+    const SRC_V1: &str = "
+fn helper(x: int) -> int { return x * 2 + 1; }
+fn main(n: int) -> int {
+    let s: int = 0;
+    for (let i: int = 0; i < n; i = i + 1) { s = s + helper(i); }
+    return s;
+}";
+
+    // V2: a small edit inside main (the constant 1 → 2 inside helper call use).
+    const SRC_V2: &str = "
+fn helper(x: int) -> int { return x * 2 + 1; }
+fn main(n: int) -> int {
+    let s: int = 2;
+    for (let i: int = 0; i < n; i = i + 1) { s = s + helper(i); }
+    return s;
+}";
+
+    fn run_output(out: &CompileOutput, args: &[i64]) -> Option<i64> {
+        let program = link_objects(std::slice::from_ref(&out.object)).unwrap();
+        vm_run(&program, "main.main", args, VmOptions::default()).unwrap().return_value
+    }
+
+    #[test]
+    fn stateless_compile_works() {
+        let mut c = Compiler::new(Config::stateless().with_verification());
+        let out = c.compile("main", SRC_V1, &ModuleEnv::new()).unwrap();
+        assert_eq!(run_output(&out, &[5]), Some(25));
+        let (_, _, skipped) = out.outcome_totals();
+        assert_eq!(skipped, 0);
+    }
+
+    #[test]
+    fn stateful_first_build_skips_nothing() {
+        let mut c = Compiler::new(Config::stateful().with_verification());
+        let out = c.compile("main", SRC_V1, &ModuleEnv::new()).unwrap();
+        let (_, _, skipped) = out.outcome_totals();
+        assert_eq!(skipped, 0, "cold start must not skip");
+        assert!(c.state().function_count() > 0, "state must be recorded");
+    }
+
+    #[test]
+    fn stateful_rebuild_skips_dormant_passes() {
+        let mut c = Compiler::new(Config::stateful().with_verification());
+        let first = c.compile("main", SRC_V1, &ModuleEnv::new()).unwrap();
+        let second = c.compile("main", SRC_V2, &ModuleEnv::new()).unwrap();
+        let (_, dormant_first, _) = first.outcome_totals();
+        let (_, _, skipped_second) = second.outcome_totals();
+        assert!(skipped_second > 0, "rebuild should skip dormant passes");
+        assert!(
+            skipped_second <= dormant_first + 2,
+            "cannot skip more than was dormant (±policy slack)"
+        );
+    }
+
+    #[test]
+    fn stateful_and_stateless_agree_behaviourally() {
+        let mut stateless = Compiler::new(Config::stateless().with_verification());
+        let mut stateful = Compiler::new(Config::stateful().with_verification());
+        // Warm up state with v1, then compile v2 with skipping active.
+        stateful.compile("main", SRC_V1, &ModuleEnv::new()).unwrap();
+        let a = stateless.compile("main", SRC_V2, &ModuleEnv::new()).unwrap();
+        let b = stateful.compile("main", SRC_V2, &ModuleEnv::new()).unwrap();
+        for n in [0, 1, 7, 20] {
+            assert_eq!(run_output(&a, &[n]), run_output(&b, &[n]), "n={n}");
+        }
+    }
+
+    #[test]
+    fn frontend_errors_are_reported() {
+        let mut c = Compiler::new(Config::stateless());
+        let err = c.compile("main", "fn broken( {", &ModuleEnv::new()).unwrap_err();
+        let CompileError::Frontend { errors, rendered } = err else { panic!("{err}") };
+        assert!(errors > 0);
+        assert!(rendered.contains("main.mc"), "{rendered}");
+    }
+
+    #[test]
+    fn state_persists_across_sessions() {
+        let dir = std::env::temp_dir().join(format!("sfcc-core-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.bin");
+
+        let cfg = Config::stateful().with_state_path(&path).with_verification();
+        let mut first_session = Compiler::new(cfg.clone());
+        first_session.compile("main", SRC_V1, &ModuleEnv::new()).unwrap();
+        first_session.save_state().unwrap();
+
+        let mut second_session = Compiler::new(cfg);
+        assert!(second_session.state_load_error().is_none());
+        let out = second_session.compile("main", SRC_V2, &ModuleEnv::new()).unwrap();
+        let (_, _, skipped) = out.outcome_totals();
+        assert!(skipped > 0, "persisted state should enable skipping");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let mut c = Compiler::new(Config::stateful());
+        let out = c.compile("main", SRC_V1, &ModuleEnv::new()).unwrap();
+        assert!(out.timings.frontend_ns > 0);
+        assert!(out.timings.middle_ns > 0);
+        assert!(out.timings.backend_ns > 0);
+        assert_eq!(
+            out.timings.total_ns(),
+            out.timings.frontend_ns
+                + out.timings.lower_ns
+                + out.timings.middle_ns
+                + out.timings.backend_ns
+                + out.timings.state_ns
+        );
+    }
+
+    #[test]
+    fn interface_extraction() {
+        let iface = extract_interface("m", SRC_V1).unwrap();
+        assert!(iface.functions.contains_key("helper"));
+        assert!(iface.functions.contains_key("main"));
+        assert!(extract_interface("m", "fn bad(").is_err());
+    }
+
+    #[test]
+    fn o0_pipeline_is_small() {
+        let c = Compiler::new(Config::stateless().with_opt_level(OptLevel::O0));
+        assert!(c.pipeline_slots().len() <= 3);
+    }
+
+    #[test]
+    fn opt_levels_are_ordered_and_agree() {
+        let o0 = Compiler::new(Config::stateless().with_opt_level(OptLevel::O0));
+        let o1 = Compiler::new(Config::stateless().with_opt_level(OptLevel::O1));
+        let o2 = Compiler::new(Config::stateless());
+        assert!(o0.pipeline_slots().len() < o1.pipeline_slots().len());
+        assert!(o1.pipeline_slots().len() < o2.pipeline_slots().len());
+        assert!(!o1.pipeline_slots().contains(&"inline"));
+        assert!(!o1.pipeline_slots().contains(&"loop-unroll"));
+
+        // All three levels agree behaviourally.
+        let src = "fn main(n: int) -> int { let s: int = 0; for (let i: int = 0; i < n; i = i + 1) { s = s + i * 3; } return s; }";
+        let mut results = Vec::new();
+        for mut c in [o0, o1, o2] {
+            let out = c.compile("main", src, &ModuleEnv::new()).unwrap();
+            results.push(run_output(&out, &[9]));
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+    }
+
+    #[test]
+    fn function_cache_hits_on_unchanged_functions() {
+        let mut c = Compiler::new(Config::stateful().with_function_cache().with_verification());
+        c.compile("main", SRC_V1, &ModuleEnv::new()).unwrap();
+        let cold = c.cache_stats();
+        assert_eq!(cold.hits, 0);
+        assert!(cold.entries > 0);
+
+        // The edit touches main only; helper hits the cache.
+        let out = c.compile("main", SRC_V2, &ModuleEnv::new()).unwrap();
+        let warm = c.cache_stats();
+        assert!(warm.hits >= 1, "{warm:?}");
+        // helper's trace is fully skipped.
+        let helper = out.trace.function("helper").unwrap();
+        assert_eq!(
+            helper.count(sfcc_passes::PassOutcome::Skipped),
+            helper.records.len()
+        );
+        assert_eq!(run_output(&out, &[5]), Some(27));
+    }
+
+    #[test]
+    fn function_cache_preserves_behaviour() {
+        let mut plain = Compiler::new(Config::stateless().with_verification());
+        let mut cached =
+            Compiler::new(Config::stateful().with_function_cache().with_verification());
+        cached.compile("main", SRC_V1, &ModuleEnv::new()).unwrap();
+        let a = plain.compile("main", SRC_V2, &ModuleEnv::new()).unwrap();
+        let b = cached.compile("main", SRC_V2, &ModuleEnv::new()).unwrap();
+        for n in [0, 1, 6, 13] {
+            assert_eq!(run_output(&a, &[n]), run_output(&b, &[n]), "n={n}");
+        }
+    }
+
+    #[test]
+    fn function_cache_persists_across_sessions() {
+        let dir = std::env::temp_dir().join(format!("sfcc-irc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.bin");
+        let cfg = Config::stateful()
+            .with_state_path(&path)
+            .with_function_cache()
+            .with_verification();
+
+        let mut first = Compiler::new(cfg.clone());
+        first.compile("main", SRC_V1, &ModuleEnv::new()).unwrap();
+        first.save_state().unwrap();
+        assert!(first.cache_stats().entries > 0);
+
+        let mut second = Compiler::new(cfg);
+        let out = second.compile("main", SRC_V2, &ModuleEnv::new()).unwrap();
+        assert!(second.cache_stats().hits >= 1, "{:?}", second.cache_stats());
+        assert_eq!(run_output(&out, &[5]), Some(27));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn callee_edit_invalidates_caller_cache() {
+        let v1 = "fn callee(x: int) -> int { return x + 1; }\nfn caller(x: int) -> int { return callee(x) * 2; }";
+        let v2 = "fn callee(x: int) -> int { return x + 5; }\nfn caller(x: int) -> int { return callee(x) * 2; }";
+        let mut c = Compiler::new(Config::stateful().with_function_cache().with_verification());
+        c.compile("m", v1, &ModuleEnv::new()).unwrap();
+        let before = c.cache_stats();
+        c.compile("m", v2, &ModuleEnv::new()).unwrap();
+        let after = c.cache_stats();
+        // caller's context changed with the callee's body: no hits at all.
+        assert_eq!(after.hits, before.hits, "caller must not hit a stale entry");
+    }
+
+    #[test]
+    fn reset_state_forgets_everything() {
+        let mut c = Compiler::new(Config::stateful());
+        c.compile("main", SRC_V1, &ModuleEnv::new()).unwrap();
+        assert!(c.state().function_count() > 0);
+        c.reset_state();
+        assert_eq!(c.state().function_count(), 0);
+    }
+}

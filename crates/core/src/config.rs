@@ -1,0 +1,147 @@
+//! Compiler session configuration.
+
+use sfcc_state::SkipPolicy;
+use std::path::PathBuf;
+
+/// Optimization level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OptLevel {
+    /// SSA construction only.
+    O0,
+    /// Scalar optimizations without inlining or loop transforms.
+    O1,
+    /// The full default pipeline.
+    #[default]
+    O2,
+}
+
+/// Whether the compiler keeps state across builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// The conventional stateless compiler: every pass always runs, nothing
+    /// is remembered. This is the paper's baseline.
+    Stateless,
+    /// The stateful compiler: dormancy is recorded every build and passes
+    /// are skipped according to the policy.
+    Stateful(SkipPolicy),
+}
+
+impl Mode {
+    /// The stateful mode at the paper's design point
+    /// ([`SkipPolicy::PreviousBuild`]).
+    pub fn stateful_default() -> Mode {
+        Mode::Stateful(SkipPolicy::PreviousBuild)
+    }
+
+    /// Whether this mode records and uses dormancy state.
+    pub fn is_stateful(&self) -> bool {
+        matches!(self, Mode::Stateful(_))
+    }
+
+    /// A short label for experiment tables.
+    pub fn label(&self) -> String {
+        match self {
+            Mode::Stateless => "stateless".to_string(),
+            Mode::Stateful(p) => format!("stateful/{}", p.label()),
+        }
+    }
+}
+
+/// Configuration of a [`crate::Compiler`] session.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Stateless baseline or stateful compilation.
+    pub mode: Mode,
+    /// Optimization level.
+    pub opt_level: OptLevel,
+    /// Verify the IR after every pass that reports a change (slow; meant
+    /// for tests).
+    pub verify_each: bool,
+    /// Where to persist the state database; `None` keeps state in memory
+    /// only (it still survives across compilations within one session).
+    pub state_path: Option<PathBuf>,
+    /// Enable the function-level IR cache (the reproduction's extension,
+    /// see [`crate::fncache`]): functions whose context fingerprint matches
+    /// a previous compilation reuse their optimized IR outright.
+    pub function_cache: bool,
+}
+
+impl Config {
+    /// A stateless `-O2` configuration (the baseline).
+    pub fn stateless() -> Self {
+        Config {
+            mode: Mode::Stateless,
+            opt_level: OptLevel::O2,
+            verify_each: false,
+            state_path: None,
+            function_cache: false,
+        }
+    }
+
+    /// A stateful `-O2` configuration at the paper's design point.
+    pub fn stateful() -> Self {
+        Config { mode: Mode::stateful_default(), ..Config::stateless() }
+    }
+
+    /// Sets the optimization level; returns `self` for chaining.
+    pub fn with_opt_level(mut self, level: OptLevel) -> Self {
+        self.opt_level = level;
+        self
+    }
+
+    /// Sets the skip policy (switching to stateful mode).
+    pub fn with_policy(mut self, policy: SkipPolicy) -> Self {
+        self.mode = Mode::Stateful(policy);
+        self
+    }
+
+    /// Enables per-pass IR verification.
+    pub fn with_verification(mut self) -> Self {
+        self.verify_each = true;
+        self
+    }
+
+    /// Sets the state-file path.
+    pub fn with_state_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.state_path = Some(path.into());
+        self
+    }
+
+    /// Enables the function-level IR cache.
+    pub fn with_function_cache(mut self) -> Self {
+        self.function_cache = true;
+        self
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config::stateless()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let c = Config::stateless()
+            .with_opt_level(OptLevel::O0)
+            .with_policy(SkipPolicy::Consecutive(2))
+            .with_verification()
+            .with_state_path("/tmp/x")
+            .with_function_cache();
+        assert_eq!(c.opt_level, OptLevel::O0);
+        assert!(c.mode.is_stateful());
+        assert!(c.verify_each);
+        assert!(c.state_path.is_some());
+        assert!(c.function_cache);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Mode::Stateless.label(), "stateless");
+        assert_eq!(Mode::stateful_default().label(), "stateful/prev-build");
+    }
+}

@@ -1,0 +1,205 @@
+//! Diagnostics: structured errors and warnings with source locations.
+
+use crate::source::{SourceFile, Span};
+use std::fmt;
+
+/// Severity of a [`Diagnostic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// A note attached to another diagnostic or informational output.
+    Note,
+    /// A condition that is suspicious but does not prevent compilation.
+    Warning,
+    /// A condition that prevents successful compilation.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single compiler diagnostic: severity, message, and primary location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// How serious the condition is.
+    pub severity: Severity,
+    /// Human-readable message (lowercase, no trailing punctuation).
+    pub message: String,
+    /// Primary source location.
+    pub span: Span,
+    /// Secondary notes with their own locations.
+    pub notes: Vec<(String, Span)>,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic { severity: Severity::Error, message: message.into(), span, notes: Vec::new() }
+    }
+
+    /// Creates a warning diagnostic.
+    pub fn warning(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic { severity: Severity::Warning, message: message.into(), span, notes: Vec::new() }
+    }
+
+    /// Attaches a secondary note; returns `self` for chaining.
+    pub fn with_note(mut self, message: impl Into<String>, span: Span) -> Self {
+        self.notes.push((message.into(), span));
+        self
+    }
+
+    /// Renders the diagnostic against its source file, e.g.
+    /// `t.mc:3:5: error: unknown variable 'y'`.
+    pub fn render(&self, file: &SourceFile) -> String {
+        use std::fmt::Write as _;
+        let lc = file.line_col(self.span.start);
+        let mut out = format!("{}:{}: {}: {}", file.name(), lc, self.severity, self.message);
+        if let Some(line) = file.line_text(lc.line) {
+            let _ = write!(out, "\n  | {line}\n  | {:>width$}", "^", width = lc.col as usize);
+        }
+        for (msg, span) in &self.notes {
+            let nlc = file.line_col(span.start);
+            let _ = write!(out, "\n{}:{}: note: {}", file.name(), nlc, msg);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} at {}", self.severity, self.message, self.span)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// A collection of diagnostics accumulated during a front-end phase.
+#[derive(Debug, Clone, Default)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a diagnostic.
+    pub fn push(&mut self, diag: Diagnostic) {
+        self.items.push(diag);
+    }
+
+    /// Records an error with the given message and span.
+    pub fn error(&mut self, message: impl Into<String>, span: Span) {
+        self.push(Diagnostic::error(message, span));
+    }
+
+    /// Records a warning with the given message and span.
+    pub fn warning(&mut self, message: impl Into<String>, span: Span) {
+        self.push(Diagnostic::warning(message, span));
+    }
+
+    /// Whether any error-severity diagnostic was recorded.
+    pub fn has_errors(&self) -> bool {
+        self.items.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of error-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.items.iter().filter(|d| d.severity == Severity::Error).count()
+    }
+
+    /// All recorded diagnostics, in emission order.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.items.len(); // keep clippy happy about unused receiver in some configs
+        self.items.iter()
+    }
+
+    /// Whether no diagnostics were recorded at all.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Total number of diagnostics.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Moves all diagnostics from `other` into `self`.
+    pub fn extend(&mut self, other: Diagnostics) {
+        self.items.extend(other.items);
+    }
+
+    /// Renders every diagnostic against `file`, one per line group.
+    pub fn render_all(&self, file: &SourceFile) -> String {
+        self.items.iter().map(|d| d.render(file)).collect::<Vec<_>>().join("\n")
+    }
+}
+
+impl IntoIterator for Diagnostics {
+    type Item = Diagnostic;
+    type IntoIter = std::vec::IntoIter<Diagnostic>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Note);
+    }
+
+    #[test]
+    fn diagnostics_track_errors() {
+        let mut d = Diagnostics::new();
+        assert!(!d.has_errors());
+        d.warning("suspicious", Span::point(0));
+        assert!(!d.has_errors());
+        d.error("broken", Span::point(1));
+        assert!(d.has_errors());
+        assert_eq!(d.error_count(), 1);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn render_includes_location_and_caret() {
+        let f = SourceFile::new("t.mc", "let y = x;");
+        let diag = Diagnostic::error("unknown variable 'x'", Span::new(8, 9));
+        let rendered = diag.render(&f);
+        assert!(rendered.starts_with("t.mc:1:9: error: unknown variable 'x'"), "{rendered}");
+        assert!(rendered.contains("let y = x;"), "{rendered}");
+    }
+
+    #[test]
+    fn notes_are_rendered() {
+        let f = SourceFile::new("t.mc", "fn a() -> int {}\n");
+        let diag = Diagnostic::error("duplicate function 'a'", Span::new(3, 4))
+            .with_note("previous definition here", Span::new(3, 4));
+        let rendered = diag.render(&f);
+        assert!(rendered.contains("note: previous definition here"), "{rendered}");
+    }
+
+    #[test]
+    fn extend_merges() {
+        let mut a = Diagnostics::new();
+        a.error("one", Span::point(0));
+        let mut b = Diagnostics::new();
+        b.error("two", Span::point(1));
+        a.extend(b);
+        assert_eq!(a.len(), 2);
+    }
+}

@@ -1,0 +1,288 @@
+//! The MiniC lexer: converts source text into a token stream.
+
+use crate::diag::Diagnostics;
+use crate::source::Span;
+use crate::token::{Token, TokenKind};
+
+/// Lexes `text` into tokens, recording malformed input in `diags`.
+///
+/// The returned vector always ends with a single [`TokenKind::Eof`] token.
+/// Lexing never fails outright: unknown characters produce an error
+/// diagnostic and are skipped so the parser can keep going.
+pub fn lex(text: &str, diags: &mut Diagnostics) -> Vec<Token> {
+    Lexer::new(text, diags).run()
+}
+
+struct Lexer<'a, 'd> {
+    bytes: &'a [u8],
+    pos: usize,
+    diags: &'d mut Diagnostics,
+    tokens: Vec<Token>,
+}
+
+impl<'a, 'd> Lexer<'a, 'd> {
+    fn new(text: &'a str, diags: &'d mut Diagnostics) -> Self {
+        Lexer { bytes: text.as_bytes(), pos: 0, diags, tokens: Vec::new() }
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            self.skip_trivia();
+            if self.pos >= self.bytes.len() {
+                break;
+            }
+            let start = self.pos as u32;
+            let b = self.bytes[self.pos];
+            match b {
+                b'0'..=b'9' => self.lex_number(start),
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_ident(start),
+                _ => self.lex_operator(start),
+            }
+        }
+        let end = self.bytes.len() as u32;
+        self.tokens.push(Token::new(TokenKind::Eof, Span::point(end)));
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.bytes.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek(0) {
+                b' ' | b'\t' | b'\r' | b'\n' => self.pos += 1,
+                b'/' if self.peek(1) == b'/' => {
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                b'/' if self.peek(1) == b'*' => {
+                    let start = self.pos as u32;
+                    self.pos += 2;
+                    let mut closed = false;
+                    while self.pos < self.bytes.len() {
+                        if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                            self.pos += 2;
+                            closed = true;
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    if !closed {
+                        self.diags.error(
+                            "unterminated block comment",
+                            Span::new(start, self.pos as u32),
+                        );
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn lex_number(&mut self, start: u32) {
+        let mut value: i64 = 0;
+        let mut overflow = false;
+        if self.peek(0) == b'0' && (self.peek(1) == b'x' || self.peek(1) == b'X') {
+            self.pos += 2;
+            let digits_start = self.pos;
+            while self.peek(0).is_ascii_hexdigit() || self.peek(0) == b'_' {
+                let b = self.bytes[self.pos];
+                self.pos += 1;
+                if b == b'_' {
+                    continue;
+                }
+                let digit = (b as char).to_digit(16).expect("hex digit") as i64;
+                let (v, o1) = value.overflowing_mul(16);
+                let (v, o2) = v.overflowing_add(digit);
+                value = v;
+                overflow |= o1 | o2;
+            }
+            if self.pos == digits_start {
+                self.diags.error("hex literal needs at least one digit", Span::new(start, self.pos as u32));
+            }
+        } else {
+            while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                let b = self.bytes[self.pos];
+                self.pos += 1;
+                if b == b'_' {
+                    continue;
+                }
+                let digit = (b - b'0') as i64;
+                let (v, o1) = value.overflowing_mul(10);
+                let (v, o2) = v.overflowing_add(digit);
+                value = v;
+                overflow |= o1 | o2;
+            }
+        }
+        let span = Span::new(start, self.pos as u32);
+        if overflow {
+            self.diags.error("integer literal does not fit in 64 bits", span);
+            value = 0;
+        }
+        self.tokens.push(Token::int(span, value));
+    }
+
+    fn lex_ident(&mut self, start: u32) {
+        while matches!(self.peek(0), b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_') {
+            self.pos += 1;
+        }
+        let span = Span::new(start, self.pos as u32);
+        let text = std::str::from_utf8(&self.bytes[start as usize..self.pos]).expect("ascii ident");
+        let kind = TokenKind::keyword(text).unwrap_or(TokenKind::Ident);
+        self.tokens.push(Token::new(kind, span));
+    }
+
+    fn lex_operator(&mut self, start: u32) {
+        use TokenKind::*;
+        let b = self.bytes[self.pos];
+        let two = |l: &Self| (l.peek(0), l.peek(1));
+        let (kind, len) = match b {
+            b'(' => (LParen, 1),
+            b')' => (RParen, 1),
+            b'{' => (LBrace, 1),
+            b'}' => (RBrace, 1),
+            b'[' => (LBracket, 1),
+            b']' => (RBracket, 1),
+            b',' => (Comma, 1),
+            b';' => (Semi, 1),
+            b':' if two(self) == (b':', b':') => (PathSep, 2),
+            b':' => (Colon, 1),
+            b'+' => (Plus, 1),
+            b'-' if self.peek(1) == b'>' => (Arrow, 2),
+            b'-' => (Minus, 1),
+            b'*' => (Star, 1),
+            b'/' => (Slash, 1),
+            b'%' => (Percent, 1),
+            b'=' if self.peek(1) == b'=' => (EqEq, 2),
+            b'=' => (Eq, 1),
+            b'!' if self.peek(1) == b'=' => (BangEq, 2),
+            b'!' => (Bang, 1),
+            b'<' if self.peek(1) == b'=' => (Le, 2),
+            b'<' if self.peek(1) == b'<' => (Shl, 2),
+            b'<' => (Lt, 1),
+            b'>' if self.peek(1) == b'=' => (Ge, 2),
+            b'>' if self.peek(1) == b'>' => (Shr, 2),
+            b'>' => (Gt, 1),
+            b'&' if self.peek(1) == b'&' => (AmpAmp, 2),
+            b'&' => (Amp, 1),
+            b'|' if self.peek(1) == b'|' => (PipePipe, 2),
+            b'|' => (Pipe, 1),
+            b'^' => (Caret, 1),
+            _ => {
+                // Skip one whole UTF-8 char so we never split a code point.
+                let text = std::str::from_utf8(&self.bytes[self.pos..]).unwrap_or("?");
+                let ch = text.chars().next().unwrap_or('?');
+                let clen = ch.len_utf8();
+                self.diags.error(
+                    format!("unexpected character '{ch}'"),
+                    Span::new(start, start + clen as u32),
+                );
+                self.pos += clen;
+                return;
+            }
+        };
+        self.pos += len;
+        self.tokens.push(Token::new(kind, Span::new(start, self.pos as u32)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        let mut d = Diagnostics::new();
+        let toks = lex(src, &mut d);
+        assert!(!d.has_errors(), "unexpected lex errors: {d:?}");
+        toks.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("fn main() -> int"),
+            vec![KwFn, Ident, LParen, RParen, Arrow, KwInt, Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        let mut d = Diagnostics::new();
+        let toks = lex("42 0x2A 1_000", &mut d);
+        assert!(!d.has_errors());
+        assert_eq!(toks[0].value, 42);
+        assert_eq!(toks[1].value, 42);
+        assert_eq!(toks[2].value, 1000);
+    }
+
+    #[test]
+    fn lexes_all_multichar_operators() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("== != <= >= && || << >> -> ::"),
+            vec![EqEq, BangEq, Le, Ge, AmpAmp, PipePipe, Shl, Shr, Arrow, PathSep, Eof]
+        );
+    }
+
+    #[test]
+    fn adjacent_angle_brackets() {
+        use TokenKind::*;
+        assert_eq!(kinds("a < b > c"), vec![Ident, Lt, Ident, Gt, Ident, Eof]);
+    }
+
+    #[test]
+    fn skips_line_and_block_comments() {
+        use TokenKind::*;
+        assert_eq!(kinds("a // c\n b /* x\n y */ c"), vec![Ident, Ident, Ident, Eof]);
+    }
+
+    #[test]
+    fn reports_unterminated_block_comment() {
+        let mut d = Diagnostics::new();
+        lex("a /* never closed", &mut d);
+        assert!(d.has_errors());
+    }
+
+    #[test]
+    fn reports_unknown_char_and_continues() {
+        let mut d = Diagnostics::new();
+        let toks = lex("a @ b", &mut d);
+        assert!(d.has_errors());
+        assert_eq!(toks.len(), 3); // a, b, eof
+    }
+
+    #[test]
+    fn reports_overflowing_literal() {
+        let mut d = Diagnostics::new();
+        let toks = lex("99999999999999999999999", &mut d);
+        assert!(d.has_errors());
+        assert_eq!(toks[0].value, 0);
+    }
+
+    #[test]
+    fn eof_token_at_end() {
+        let mut d = Diagnostics::new();
+        let toks = lex("", &mut d);
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].kind, TokenKind::Eof);
+    }
+
+    #[test]
+    fn non_ascii_char_is_single_error() {
+        let mut d = Diagnostics::new();
+        let toks = lex("a λ b", &mut d);
+        assert_eq!(d.error_count(), 1);
+        assert_eq!(toks.len(), 3);
+    }
+
+    #[test]
+    fn spans_are_correct() {
+        let mut d = Diagnostics::new();
+        let toks = lex("let x", &mut d);
+        assert_eq!(toks[0].span, Span::new(0, 3));
+        assert_eq!(toks[1].span, Span::new(4, 5));
+    }
+}

@@ -1,0 +1,117 @@
+//! # sfcc-frontend
+//!
+//! The MiniC front end of the `sfcc` stateful compiler: lexing, parsing,
+//! and semantic analysis.
+//!
+//! MiniC is a small C-like language (64-bit integers, booleans, fixed-size
+//! arrays, functions, module imports) designed so that a complete optimizing
+//! pipeline — the substrate required to reproduce *"Enabling Fine-Grained
+//! Incremental Builds by Making Compiler Stateful"* (CGO 2024) — can be built
+//! and evaluated end to end.
+//!
+//! # Examples
+//!
+//! ```
+//! use sfcc_frontend::{parse_and_check, ModuleEnv, Diagnostics};
+//!
+//! let src = "fn double(x: int) -> int { return x * 2; }";
+//! let mut diags = Diagnostics::new();
+//! let checked = parse_and_check("demo", src, &ModuleEnv::new(), &mut diags)
+//!     .expect("valid program");
+//! assert_eq!(checked.ast.functions[0].name, "double");
+//! ```
+
+pub mod ast;
+pub mod diag;
+pub mod lexer;
+pub mod parser;
+pub mod sema;
+pub mod source;
+pub mod token;
+
+pub use ast::Module;
+pub use diag::{Diagnostic, Diagnostics, Severity};
+pub use sema::{check, CheckedModule, FuncSig, ModuleEnv, ModuleInterface, BUILTIN_PRINT};
+pub use source::{LineCol, SourceFile, Span};
+
+/// Parses and type-checks `text` as module `name` in one step.
+///
+/// # Errors
+///
+/// Returns `None` when any parse or semantic error was recorded in `diags`.
+pub fn parse_and_check(
+    name: &str,
+    text: &str,
+    env: &ModuleEnv,
+    diags: &mut Diagnostics,
+) -> Option<CheckedModule> {
+    let module = parser::parse(name, text, diags);
+    if diags.has_errors() {
+        return None;
+    }
+    sema::check(module, env, diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_check_roundtrip() {
+        let mut d = Diagnostics::new();
+        let m = parse_and_check(
+            "m",
+            "const K: int = 3;\nfn f(x: int) -> int { return x * K; }",
+            &ModuleEnv::new(),
+            &mut d,
+        );
+        assert!(m.is_some());
+    }
+
+    #[test]
+    fn parse_errors_short_circuit_sema() {
+        let mut d = Diagnostics::new();
+        let m = parse_and_check("m", "fn f( {", &ModuleEnv::new(), &mut d);
+        assert!(m.is_none());
+        assert!(d.has_errors());
+    }
+}
+
+#[cfg(test)]
+mod fuzz {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// The lexer+parser+checker must never panic, whatever the input.
+        #[test]
+        fn frontend_never_panics_on_arbitrary_text(src in ".{0,400}") {
+            let mut d = Diagnostics::new();
+            let _ = parse_and_check("fuzz", &src, &ModuleEnv::new(), &mut d);
+        }
+
+        /// Same for inputs biased toward MiniC's own alphabet, which reach
+        /// much deeper into the parser.
+        #[test]
+        fn frontend_never_panics_on_minic_alphabet(
+            src in "[a-z0-9_ \\t\\n(){}\\[\\];:,+\\-*/%<>=!&|^]{0,400}"
+        ) {
+            let mut d = Diagnostics::new();
+            let _ = parse_and_check("fuzz", &src, &ModuleEnv::new(), &mut d);
+        }
+
+        /// Every diagnostic's span must be renderable against the source
+        /// (in bounds, on char boundaries).
+        #[test]
+        fn diagnostics_always_render(src in "[a-zλ0-9_ \\t\\n(){};:,+\\-*/<>=!]{0,200}") {
+            let mut d = Diagnostics::new();
+            let _ = parser::parse("fuzz", &src, &mut d);
+            let file = SourceFile::new("fuzz.mc", src);
+            for diag in d.iter() {
+                let _ = diag.render(&file);
+            }
+        }
+    }
+}

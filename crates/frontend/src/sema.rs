@@ -1,0 +1,1006 @@
+//! Semantic analysis for MiniC: name resolution, type checking, constant
+//! evaluation of globals, and structural checks (all paths return, loop
+//! context for `break`/`continue`).
+
+use crate::ast::*;
+use crate::diag::Diagnostics;
+use crate::source::Span;
+use std::collections::HashMap;
+
+/// The signature of a function as seen by callers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncSig {
+    /// Function name.
+    pub name: String,
+    /// Parameter types in order.
+    pub params: Vec<TypeAst>,
+    /// Return type; `None` for functions returning nothing.
+    pub ret: Option<TypeAst>,
+}
+
+impl FuncSig {
+    /// Builds the signature of an AST function definition.
+    pub fn of(def: &FunctionDef) -> Self {
+        FuncSig {
+            name: def.name.clone(),
+            params: def.params.iter().map(|p| p.ty).collect(),
+            ret: def.ret,
+        }
+    }
+}
+
+/// The exported interface of a module: its public function signatures.
+///
+/// Only signatures are visible across modules (globals are module-private),
+/// which mirrors how the build system computes interface hashes: a module
+/// needs recompiling only when an imported interface changes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ModuleInterface {
+    /// Function name → signature.
+    pub functions: HashMap<String, FuncSig>,
+}
+
+impl ModuleInterface {
+    /// Extracts the interface of a parsed module.
+    pub fn of(module: &Module) -> Self {
+        let functions =
+            module.functions.iter().map(|f| (f.name.clone(), FuncSig::of(f))).collect();
+        ModuleInterface { functions }
+    }
+}
+
+/// Interfaces of every module visible to the one being checked.
+#[derive(Debug, Clone, Default)]
+pub struct ModuleEnv {
+    interfaces: HashMap<String, ModuleInterface>,
+}
+
+impl ModuleEnv {
+    /// Creates an empty environment (no imports resolvable).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `interface` under `name`, replacing any previous entry.
+    pub fn insert(&mut self, name: impl Into<String>, interface: ModuleInterface) {
+        self.interfaces.insert(name.into(), interface);
+    }
+
+    /// Looks up a module interface by name.
+    pub fn get(&self, name: &str) -> Option<&ModuleInterface> {
+        self.interfaces.get(name)
+    }
+}
+
+/// A module that passed semantic analysis, with resolved constants.
+#[derive(Debug, Clone)]
+pub struct CheckedModule {
+    /// The underlying AST.
+    pub ast: Module,
+    /// Global constant values by name (sema restricts globals to scalars).
+    pub global_values: HashMap<String, i64>,
+    /// Global constant types by name.
+    pub global_types: HashMap<String, TypeAst>,
+    /// This module's exported interface.
+    pub interface: ModuleInterface,
+}
+
+/// The builtin print function name: `print(x: int)` writes `x` to the
+/// program's output stream.
+pub const BUILTIN_PRINT: &str = "print";
+
+/// Type-checks `module` against `env`, returning the checked module when no
+/// errors were found.
+///
+/// # Errors
+///
+/// Returns `None` after recording at least one error in `diags`. Warnings do
+/// not fail the check.
+pub fn check(module: Module, env: &ModuleEnv, diags: &mut Diagnostics) -> Option<CheckedModule> {
+    let before = diags.error_count();
+    let checker = Checker::new(&module, env, diags);
+    let (global_values, global_types) = checker.run();
+    if diags.error_count() > before {
+        return None;
+    }
+    let interface = ModuleInterface::of(&module);
+    Some(CheckedModule { ast: module, global_values, global_types, interface })
+}
+
+struct Checker<'a, 'd> {
+    module: &'a Module,
+    env: &'a ModuleEnv,
+    diags: &'d mut Diagnostics,
+    globals: HashMap<String, (TypeAst, i64)>,
+    local_sigs: HashMap<String, FuncSig>,
+    /// Set by `check_expr_allow_void` when the last expression was a legal
+    /// call to a function that returns nothing.
+    last_call_was_void: bool,
+}
+
+/// One declared local: type, declaration site, and whether it was read.
+#[derive(Debug, Clone, Copy)]
+struct Local {
+    ty: TypeAst,
+    span: Span,
+    used: bool,
+}
+
+/// Local variable scope stack.
+#[derive(Default)]
+struct Scopes {
+    frames: Vec<HashMap<String, Local>>,
+}
+
+impl Scopes {
+    fn push(&mut self) {
+        self.frames.push(HashMap::new());
+    }
+
+    /// Pops a frame, returning its never-read locals for diagnostics.
+    fn pop(&mut self) -> Vec<(String, Span)> {
+        let frame = self.frames.pop().unwrap_or_default();
+        let mut unused: Vec<(String, Span)> = frame
+            .into_iter()
+            .filter(|(name, local)| !local.used && !name.starts_with('_'))
+            .map(|(name, local)| (name, local.span))
+            .collect();
+        unused.sort_by_key(|(_, span)| span.start);
+        unused
+    }
+
+    fn declare(&mut self, name: &str, ty: TypeAst, span: Span) -> bool {
+        self.frames
+            .last_mut()
+            .expect("scope stack never empty while checking")
+            .insert(name.to_string(), Local { ty, span, used: false })
+            .is_none()
+    }
+
+    /// Looks up a variable and marks it read.
+    fn lookup(&mut self, name: &str) -> Option<TypeAst> {
+        for frame in self.frames.iter_mut().rev() {
+            if let Some(local) = frame.get_mut(name) {
+                local.used = true;
+                return Some(local.ty);
+            }
+        }
+        None
+    }
+
+    /// Looks up without marking a read (assignment targets are writes).
+    fn lookup_for_write(&self, name: &str) -> Option<TypeAst> {
+        self.frames.iter().rev().find_map(|f| f.get(name).map(|l| l.ty))
+    }
+}
+
+impl<'a, 'd> Checker<'a, 'd> {
+    fn new(module: &'a Module, env: &'a ModuleEnv, diags: &'d mut Diagnostics) -> Self {
+        Checker {
+            module,
+            env,
+            diags,
+            globals: HashMap::new(),
+            local_sigs: HashMap::new(),
+            last_call_was_void: false,
+        }
+    }
+
+    fn run(mut self) -> (HashMap<String, i64>, HashMap<String, TypeAst>) {
+        self.check_imports();
+        self.check_globals();
+        self.collect_signatures();
+        for func in &self.module.functions {
+            self.check_function(func);
+        }
+        let values = self.globals.iter().map(|(k, (_, v))| (k.clone(), *v)).collect();
+        let types = self.globals.iter().map(|(k, (t, _))| (k.clone(), *t)).collect();
+        (values, types)
+    }
+
+    fn check_imports(&mut self) {
+        let mut seen: HashMap<&str, Span> = HashMap::new();
+        for import in &self.module.imports {
+            if import.module == self.module.name {
+                self.diags.error("module imports itself", import.span);
+            }
+            if let Some(prev) = seen.insert(&import.module, import.span) {
+                self.diags.push(
+                    crate::diag::Diagnostic::warning(
+                        format!("duplicate import of '{}'", import.module),
+                        import.span,
+                    )
+                    .with_note("first imported here", prev),
+                );
+            }
+            if self.env.get(&import.module).is_none() {
+                self.diags.error(
+                    format!("imported module '{}' not found", import.module),
+                    import.span,
+                );
+            }
+        }
+    }
+
+    fn check_globals(&mut self) {
+        for global in &self.module.globals {
+            if matches!(global.ty, TypeAst::IntArray(_) | TypeAst::BoolArray(_)) {
+                self.diags.error("global constants must be scalar 'int' or 'bool'", global.span);
+                continue;
+            }
+            if self.globals.contains_key(&global.name) {
+                self.diags.error(format!("duplicate constant '{}'", global.name), global.span);
+                continue;
+            }
+            match self.const_eval(&global.init) {
+                Some((ty, value)) => {
+                    if ty != global.ty {
+                        self.diags.error(
+                            format!(
+                                "constant '{}' declared '{}' but initializer has type '{}'",
+                                global.name, global.ty, ty
+                            ),
+                            global.init.span,
+                        );
+                    } else {
+                        self.globals.insert(global.name.clone(), (ty, value));
+                    }
+                }
+                None => {
+                    // const_eval already reported the problem.
+                }
+            }
+        }
+    }
+
+    /// Evaluates a constant expression; booleans are represented as 0/1.
+    fn const_eval(&mut self, expr: &Expr) -> Option<(TypeAst, i64)> {
+        match &expr.kind {
+            ExprKind::Int(v) => Some((TypeAst::Int, *v)),
+            ExprKind::Bool(b) => Some((TypeAst::Bool, *b as i64)),
+            ExprKind::Var(name) => match self.globals.get(name) {
+                Some(&(ty, v)) => Some((ty, v)),
+                None => {
+                    self.diags.error(
+                        format!("'{name}' is not a previously defined constant"),
+                        expr.span,
+                    );
+                    None
+                }
+            },
+            ExprKind::Unary(op, inner) => {
+                let (ty, v) = self.const_eval(inner)?;
+                match op {
+                    UnOp::Neg if ty == TypeAst::Int => Some((TypeAst::Int, v.wrapping_neg())),
+                    UnOp::Not if ty == TypeAst::Bool => Some((TypeAst::Bool, (v == 0) as i64)),
+                    _ => {
+                        self.diags.error(
+                            format!("cannot apply '{op}' to '{ty}' in constant expression"),
+                            expr.span,
+                        );
+                        None
+                    }
+                }
+            }
+            ExprKind::Binary(op, lhs, rhs) => {
+                let (lt, lv) = self.const_eval(lhs)?;
+                let (rt, rv) = self.const_eval(rhs)?;
+                let int_args = lt == TypeAst::Int && rt == TypeAst::Int;
+                use BinOp::*;
+                let result = match op {
+                    Add if int_args => (TypeAst::Int, lv.wrapping_add(rv)),
+                    Sub if int_args => (TypeAst::Int, lv.wrapping_sub(rv)),
+                    Mul if int_args => (TypeAst::Int, lv.wrapping_mul(rv)),
+                    Div | Rem if int_args => {
+                        if rv == 0 {
+                            self.diags.error("division by zero in constant expression", expr.span);
+                            return None;
+                        }
+                        let v = if *op == Div { lv.wrapping_div(rv) } else { lv.wrapping_rem(rv) };
+                        (TypeAst::Int, v)
+                    }
+                    BitAnd if int_args => (TypeAst::Int, lv & rv),
+                    BitOr if int_args => (TypeAst::Int, lv | rv),
+                    BitXor if int_args => (TypeAst::Int, lv ^ rv),
+                    Shl if int_args => (TypeAst::Int, lv.wrapping_shl(rv as u32 & 63)),
+                    Shr if int_args => (TypeAst::Int, lv.wrapping_shr(rv as u32 & 63)),
+                    Eq | Ne | Lt | Le | Gt | Ge if int_args => {
+                        let b = match op {
+                            Eq => lv == rv,
+                            Ne => lv != rv,
+                            Lt => lv < rv,
+                            Le => lv <= rv,
+                            Gt => lv > rv,
+                            _ => lv >= rv,
+                        };
+                        (TypeAst::Bool, b as i64)
+                    }
+                    And | Or if lt == TypeAst::Bool && rt == TypeAst::Bool => {
+                        let b = if *op == And { lv != 0 && rv != 0 } else { lv != 0 || rv != 0 };
+                        (TypeAst::Bool, b as i64)
+                    }
+                    _ => {
+                        self.diags.error(
+                            format!("cannot apply '{op}' to '{lt}' and '{rt}' in constant expression"),
+                            expr.span,
+                        );
+                        return None;
+                    }
+                };
+                Some(result)
+            }
+            _ => {
+                self.diags.error("constant initializer must be a constant expression", expr.span);
+                None
+            }
+        }
+    }
+
+    fn collect_signatures(&mut self) {
+        for func in &self.module.functions {
+            if func.name == BUILTIN_PRINT {
+                self.diags.error(
+                    format!("'{BUILTIN_PRINT}' is a builtin and cannot be redefined"),
+                    func.span,
+                );
+                continue;
+            }
+            if self.local_sigs.insert(func.name.clone(), FuncSig::of(func)).is_some() {
+                self.diags.error(format!("duplicate function '{}'", func.name), func.span);
+            }
+            for p in &func.params {
+                if matches!(p.ty, TypeAst::IntArray(_) | TypeAst::BoolArray(_)) {
+                    self.diags.error("array types cannot be parameters", p.span);
+                }
+            }
+            if matches!(func.ret, Some(TypeAst::IntArray(_)) | Some(TypeAst::BoolArray(_))) {
+                self.diags.error("array types cannot be returned", func.span);
+            }
+        }
+    }
+
+    fn check_function(&mut self, func: &FunctionDef) {
+        let mut scopes = Scopes::default();
+        scopes.push();
+        let mut seen_params: HashMap<&str, ()> = HashMap::new();
+        for p in &func.params {
+            if seen_params.insert(&p.name, ()).is_some() {
+                self.diags.error(format!("duplicate parameter '{}'", p.name), p.span);
+            }
+            scopes.declare(&p.name, p.ty, p.span);
+        }
+        self.check_block(&func.body, func, &mut scopes, 0);
+        scopes.pop(); // parameters: unused params are not warned about
+        if func.ret.is_some() && !Self::always_returns(&func.body) {
+            self.diags.error(
+                format!("function '{}' does not return a value on all paths", func.name),
+                func.span,
+            );
+        }
+    }
+
+    /// Conservative "all paths return" analysis.
+    fn always_returns(block: &Block) -> bool {
+        block.stmts.iter().any(|stmt| match &stmt.kind {
+            StmtKind::Return(_) => true,
+            StmtKind::If { then_block, else_block: Some(eb), .. } => {
+                Self::always_returns(then_block) && Self::always_returns(eb)
+            }
+            StmtKind::Block(b) => Self::always_returns(b),
+            _ => false,
+        })
+    }
+
+    fn check_block(&mut self, block: &Block, func: &FunctionDef, scopes: &mut Scopes, loops: u32) {
+        scopes.push();
+        let mut terminated_at: Option<Span> = None;
+        for stmt in &block.stmts {
+            if let Some(span) = terminated_at.take() {
+                self.diags.push(
+                    crate::diag::Diagnostic::warning("unreachable statement", stmt.span)
+                        .with_note("control flow diverges here", span),
+                );
+            }
+            self.check_stmt(stmt, func, scopes, loops);
+            if matches!(stmt.kind, StmtKind::Return(_) | StmtKind::Break | StmtKind::Continue) {
+                terminated_at = Some(stmt.span);
+            }
+        }
+        self.warn_unused(scopes);
+    }
+
+    fn warn_unused(&mut self, scopes: &mut Scopes) {
+        for (name, span) in scopes.pop() {
+            self.diags
+                .warning(format!("variable '{name}' is never read"), span);
+        }
+    }
+
+    fn check_stmt(&mut self, stmt: &Stmt, func: &FunctionDef, scopes: &mut Scopes, loops: u32) {
+        match &stmt.kind {
+            StmtKind::Let { name, ty, init } => {
+                let is_array = matches!(ty, TypeAst::IntArray(_) | TypeAst::BoolArray(_));
+                match (is_array, init) {
+                    (true, Some(e)) => {
+                        self.diags.error("array declarations cannot have initializers", e.span);
+                    }
+                    (false, None) => {
+                        self.diags.error("scalar 'let' requires an initializer", stmt.span);
+                    }
+                    (false, Some(e)) => {
+                        if let Some(ety) = self.check_expr(e, scopes) {
+                            if ety != *ty {
+                                self.diags.error(
+                                    format!("'{name}' declared '{ty}' but initializer has type '{ety}'"),
+                                    e.span,
+                                );
+                            }
+                        }
+                    }
+                    (true, None) => {}
+                }
+                if self.globals.contains_key(name) {
+                    self.diags.warning(
+                        format!("local '{name}' shadows a module constant"),
+                        stmt.span,
+                    );
+                }
+                if !scopes.declare(name, *ty, stmt.span) {
+                    self.diags.error(
+                        format!("'{name}' is already defined in this scope"),
+                        stmt.span,
+                    );
+                }
+            }
+            StmtKind::Assign(lv, value) => {
+                let target_ty = self.check_lvalue(lv, scopes);
+                let value_ty = self.check_expr(value, scopes);
+                if let (Some(t), Some(v)) = (target_ty, value_ty) {
+                    if t != v {
+                        self.diags.error(
+                            format!("cannot assign '{v}' to '{t}' location"),
+                            value.span,
+                        );
+                    }
+                }
+            }
+            StmtKind::If { cond, then_block, else_block } => {
+                self.expect_type(cond, TypeAst::Bool, scopes);
+                self.check_block(then_block, func, scopes, loops);
+                if let Some(eb) = else_block {
+                    self.check_block(eb, func, scopes, loops);
+                }
+            }
+            StmtKind::While { cond, body } => {
+                self.expect_type(cond, TypeAst::Bool, scopes);
+                self.check_block(body, func, scopes, loops + 1);
+            }
+            StmtKind::For { init, cond, step, body } => {
+                scopes.push();
+                // (the induction variable is usually read by cond/step)
+                if let Some(init) = init {
+                    self.check_stmt(init, func, scopes, loops);
+                }
+                if let Some(cond) = cond {
+                    self.expect_type(cond, TypeAst::Bool, scopes);
+                }
+                if let Some(step) = step {
+                    self.check_stmt(step, func, scopes, loops + 1);
+                }
+                self.check_block(body, func, scopes, loops + 1);
+                self.warn_unused(scopes);
+            }
+            StmtKind::Return(value) => match (func.ret, value) {
+                (None, Some(e)) => {
+                    self.diags.error(
+                        format!("function '{}' returns nothing but a value is given", func.name),
+                        e.span,
+                    );
+                }
+                (Some(rt), None) => {
+                    self.diags.error(
+                        format!("function '{}' must return '{}'", func.name, rt),
+                        stmt.span,
+                    );
+                }
+                (Some(rt), Some(e)) => {
+                    if let Some(ety) = self.check_expr(e, scopes) {
+                        if ety != rt {
+                            self.diags.error(
+                                format!("return type mismatch: expected '{rt}', found '{ety}'"),
+                                e.span,
+                            );
+                        }
+                    }
+                }
+                (None, None) => {}
+            },
+            StmtKind::Break | StmtKind::Continue => {
+                if loops == 0 {
+                    let word =
+                        if matches!(stmt.kind, StmtKind::Break) { "break" } else { "continue" };
+                    self.diags.error(format!("'{word}' outside of a loop"), stmt.span);
+                }
+            }
+            StmtKind::Expr(e) => {
+                // Allow calls to void functions as statements; the type
+                // checker returns None for them without erroring here.
+                self.check_expr_allow_void(e, scopes);
+            }
+            StmtKind::Block(b) => self.check_block(b, func, scopes, loops),
+        }
+    }
+
+    fn check_lvalue(&mut self, lv: &LValue, scopes: &mut Scopes) -> Option<TypeAst> {
+        match lv {
+            LValue::Var(name, span) => match scopes.lookup_for_write(name) {
+                Some(TypeAst::IntArray(_)) | Some(TypeAst::BoolArray(_)) => {
+                    self.diags.error("cannot assign a whole array", *span);
+                    None
+                }
+                Some(ty) => Some(ty),
+                None => {
+                    if self.globals.contains_key(name) {
+                        self.diags.error(format!("cannot assign to constant '{name}'"), *span);
+                    } else {
+                        self.diags.error(format!("unknown variable '{name}'"), *span);
+                    }
+                    None
+                }
+            },
+            LValue::Index(name, idx, span) => {
+                self.expect_type(idx, TypeAst::Int, scopes);
+                match scopes.lookup(name) {
+                    Some(TypeAst::IntArray(_)) => Some(TypeAst::Int),
+                    Some(TypeAst::BoolArray(_)) => Some(TypeAst::Bool),
+                    Some(ty) => {
+                        self.diags.error(format!("cannot index '{ty}' value '{name}'"), *span);
+                        None
+                    }
+                    None => {
+                        self.diags.error(format!("unknown variable '{name}'"), *span);
+                        None
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_type(&mut self, expr: &Expr, want: TypeAst, scopes: &mut Scopes) {
+        if let Some(got) = self.check_expr(expr, scopes) {
+            if got != want {
+                self.diags
+                    .error(format!("expected '{want}', found '{got}'"), expr.span);
+            }
+        }
+    }
+
+    /// Type-checks an expression that must produce a value.
+    fn check_expr(&mut self, expr: &Expr, scopes: &mut Scopes) -> Option<TypeAst> {
+        let ty = self.check_expr_allow_void(expr, scopes);
+        if ty.is_none() && matches!(&expr.kind, ExprKind::Call { .. }) && self.last_call_was_void {
+            self.diags.error("call to a function that returns nothing used as a value", expr.span);
+        }
+        ty
+    }
+
+    /// Type-checks an expression; a `None` result with
+    /// `last_call_was_void == true` means a legal void call.
+    fn check_expr_allow_void(&mut self, expr: &Expr, scopes: &mut Scopes) -> Option<TypeAst> {
+        self.last_call_was_void = false;
+        match &expr.kind {
+            ExprKind::Int(_) => Some(TypeAst::Int),
+            ExprKind::Bool(_) => Some(TypeAst::Bool),
+            ExprKind::Var(name) => {
+                if let Some(ty) = scopes.lookup(name) {
+                    if matches!(ty, TypeAst::IntArray(_) | TypeAst::BoolArray(_)) {
+                        self.diags.error(
+                            format!("array '{name}' cannot be used as a value; index it"),
+                            expr.span,
+                        );
+                        return None;
+                    }
+                    Some(ty)
+                } else if let Some(&(ty, _)) = self.globals.get(name) {
+                    Some(ty)
+                } else {
+                    self.diags.error(format!("unknown variable '{name}'"), expr.span);
+                    None
+                }
+            }
+            ExprKind::Index(name, idx) => {
+                self.expect_type(idx, TypeAst::Int, scopes);
+                match scopes.lookup(name) {
+                    Some(TypeAst::IntArray(_)) => Some(TypeAst::Int),
+                    Some(TypeAst::BoolArray(_)) => Some(TypeAst::Bool),
+                    Some(ty) => {
+                        self.diags
+                            .error(format!("cannot index '{ty}' value '{name}'"), expr.span);
+                        None
+                    }
+                    None => {
+                        self.diags.error(format!("unknown variable '{name}'"), expr.span);
+                        None
+                    }
+                }
+            }
+            ExprKind::Unary(op, inner) => {
+                let ity = self.check_expr(inner, scopes)?;
+                match (op, ity) {
+                    (UnOp::Neg, TypeAst::Int) => Some(TypeAst::Int),
+                    (UnOp::Not, TypeAst::Bool) => Some(TypeAst::Bool),
+                    _ => {
+                        self.diags
+                            .error(format!("cannot apply '{op}' to '{ity}'"), expr.span);
+                        None
+                    }
+                }
+            }
+            ExprKind::Binary(op, lhs, rhs) => {
+                let lt = self.check_expr(lhs, scopes);
+                let rt = self.check_expr(rhs, scopes);
+                let (lt, rt) = (lt?, rt?);
+                if op.is_logical() {
+                    if lt == TypeAst::Bool && rt == TypeAst::Bool {
+                        Some(TypeAst::Bool)
+                    } else {
+                        self.diags.error(
+                            format!("'{op}' requires 'bool' operands, found '{lt}' and '{rt}'"),
+                            expr.span,
+                        );
+                        None
+                    }
+                } else if *op == BinOp::Eq || *op == BinOp::Ne {
+                    if lt == rt && matches!(lt, TypeAst::Int | TypeAst::Bool) {
+                        Some(TypeAst::Bool)
+                    } else {
+                        self.diags.error(
+                            format!("cannot compare '{lt}' with '{rt}'"),
+                            expr.span,
+                        );
+                        None
+                    }
+                } else if lt == TypeAst::Int && rt == TypeAst::Int {
+                    Some(if op.is_comparison() { TypeAst::Bool } else { TypeAst::Int })
+                } else {
+                    self.diags.error(
+                        format!("'{op}' requires 'int' operands, found '{lt}' and '{rt}'"),
+                        expr.span,
+                    );
+                    None
+                }
+            }
+            ExprKind::Call { module, name, args } => {
+                let sig: Option<FuncSig> = match module {
+                    Some(m) => {
+                        if !self.module.imports.iter().any(|i| &i.module == m) {
+                            self.diags.error(
+                                format!("module '{m}' is not imported"),
+                                expr.span,
+                            );
+                            return None;
+                        }
+                        match self.env.get(m).and_then(|i| i.functions.get(name)) {
+                            Some(sig) => Some(sig.clone()),
+                            None => {
+                                self.diags.error(
+                                    format!("module '{m}' has no function '{name}'"),
+                                    expr.span,
+                                );
+                                return None;
+                            }
+                        }
+                    }
+                    None if name == BUILTIN_PRINT => Some(FuncSig {
+                        name: BUILTIN_PRINT.to_string(),
+                        params: vec![TypeAst::Int],
+                        ret: None,
+                    }),
+                    None => match self.local_sigs.get(name) {
+                        Some(sig) => Some(sig.clone()),
+                        None => {
+                            self.diags
+                                .error(format!("unknown function '{name}'"), expr.span);
+                            return None;
+                        }
+                    },
+                };
+                let sig = sig.expect("resolved above");
+                if args.len() != sig.params.len() {
+                    self.diags.error(
+                        format!(
+                            "'{}' expects {} argument(s), {} given",
+                            name,
+                            sig.params.len(),
+                            args.len()
+                        ),
+                        expr.span,
+                    );
+                }
+                for (arg, want) in args.iter().zip(&sig.params) {
+                    self.expect_type(arg, *want, scopes);
+                }
+                // Still check extra args for their own errors.
+                for arg in args.iter().skip(sig.params.len()) {
+                    self.check_expr(arg, scopes);
+                }
+                if sig.ret.is_none() {
+                    self.last_call_was_void = true;
+                }
+                sig.ret
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> (Option<CheckedModule>, Diagnostics) {
+        check_src_env(src, &ModuleEnv::new())
+    }
+
+    fn check_src_env(src: &str, env: &ModuleEnv) -> (Option<CheckedModule>, Diagnostics) {
+        let mut d = Diagnostics::new();
+        let m = parse("test", src, &mut d);
+        assert!(!d.has_errors(), "parse errors: {d:?}");
+        let out = check(m, env, &mut d);
+        (out, d)
+    }
+
+    fn ok(src: &str) -> CheckedModule {
+        let (m, d) = check_src(src);
+        m.unwrap_or_else(|| panic!("expected success, got: {d:?}"))
+    }
+
+    fn err(src: &str) -> Diagnostics {
+        let (m, d) = check_src(src);
+        assert!(m.is_none(), "expected failure for {src:?}");
+        d
+    }
+
+    #[test]
+    fn accepts_valid_program() {
+        ok("fn add(a: int, b: int) -> int { return a + b; }");
+    }
+
+    #[test]
+    fn const_eval_globals() {
+        let m = ok("const A: int = 6 * 7;\nconst B: bool = A > 40;\nfn f() {}");
+        assert_eq!(m.global_values["A"], 42);
+        assert_eq!(m.global_values["B"], 1);
+    }
+
+    #[test]
+    fn rejects_forward_constant_reference() {
+        err("const A: int = B;\nconst B: int = 1;");
+    }
+
+    #[test]
+    fn rejects_const_div_by_zero() {
+        err("const A: int = 1 / 0;");
+    }
+
+    #[test]
+    fn rejects_type_mismatch_in_let() {
+        err("fn f() { let x: int = true; }");
+    }
+
+    #[test]
+    fn rejects_unknown_variable() {
+        err("fn f() -> int { return y; }");
+    }
+
+    #[test]
+    fn rejects_bool_arithmetic() {
+        err("fn f() -> int { return true + 1; }");
+    }
+
+    #[test]
+    fn rejects_int_condition() {
+        err("fn f(x: int) { if (x) { return; } }");
+    }
+
+    #[test]
+    fn rejects_missing_return_path() {
+        err("fn f(x: int) -> int { if (x > 0) { return 1; } }");
+    }
+
+    #[test]
+    fn accepts_if_else_return_paths() {
+        ok("fn f(x: int) -> int { if (x > 0) { return 1; } else { return 0; } }");
+    }
+
+    #[test]
+    fn rejects_break_outside_loop() {
+        err("fn f() { break; }");
+    }
+
+    #[test]
+    fn accepts_break_in_loop() {
+        ok("fn f() { while (true) { break; } }");
+    }
+
+    #[test]
+    fn rejects_duplicate_function() {
+        err("fn f() {}\nfn f() {}");
+    }
+
+    #[test]
+    fn rejects_duplicate_param() {
+        err("fn f(a: int, a: int) {}");
+    }
+
+    #[test]
+    fn rejects_array_param() {
+        err("fn f(a: [int; 4]) {}");
+    }
+
+    #[test]
+    fn rejects_assign_to_constant() {
+        err("const A: int = 1;\nfn f() { A = 2; }");
+    }
+
+    #[test]
+    fn rejects_whole_array_use() {
+        err("fn f() -> int { let a: [int; 4]; return a; }");
+    }
+
+    #[test]
+    fn array_indexing_types() {
+        ok("fn f() -> bool { let a: [bool; 4]; a[1] = true; return a[1]; }");
+        err("fn f() -> int { let a: [bool; 4]; return a[0]; }");
+    }
+
+    #[test]
+    fn rejects_index_on_scalar() {
+        err("fn f(x: int) -> int { return x[0]; }");
+    }
+
+    #[test]
+    fn builtin_print_accepts_int() {
+        ok("fn f() { print(42); }");
+        err("fn f() { print(true); }");
+        err("fn f() -> int { return print(1); }");
+    }
+
+    #[test]
+    fn rejects_redefining_print() {
+        err("fn print(x: int) {}");
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        err("fn g(a: int) -> int { return a; }\nfn f() -> int { return g(1, 2); }");
+    }
+
+    #[test]
+    fn cross_module_call_checked() {
+        let mut env = ModuleEnv::new();
+        let mut iface = ModuleInterface::default();
+        iface.functions.insert(
+            "helper".into(),
+            FuncSig { name: "helper".into(), params: vec![TypeAst::Int], ret: Some(TypeAst::Int) },
+        );
+        env.insert("util", iface);
+        let (m, d) =
+            check_src_env("import util;\nfn f() -> int { return util::helper(1); }", &env);
+        assert!(m.is_some(), "{d:?}");
+        // Wrong arg type:
+        let (m, _) =
+            check_src_env("import util;\nfn f() -> int { return util::helper(true); }", &env);
+        assert!(m.is_none());
+        // Not imported:
+        let (m, _) = check_src_env("fn f() -> int { return util::helper(1); }", &ModuleEnv::new());
+        assert!(m.is_none());
+    }
+
+    #[test]
+    fn missing_import_target_is_error() {
+        err("import nosuch;\nfn f() {}");
+    }
+
+    #[test]
+    fn self_import_is_error() {
+        err("import test;\nfn f() {}");
+    }
+
+    #[test]
+    fn shadowing_in_nested_scope_allowed() {
+        ok("fn f() -> int { let x: int = 1; { let x: int = 2; print(x); } return x; }");
+    }
+
+    #[test]
+    fn redeclaration_in_same_scope_rejected() {
+        err("fn f() { let x: int = 1; let x: int = 2; }");
+    }
+
+    #[test]
+    fn for_loop_scoping() {
+        // `i` is not visible after the loop.
+        err("fn f() -> int { for (let i: int = 0; i < 3; i = i + 1) {} return i; }");
+    }
+
+    #[test]
+    fn void_function_call_as_statement() {
+        ok("fn g() {}\nfn f() { g(); }");
+    }
+
+    #[test]
+    fn return_value_from_void_function_rejected() {
+        err("fn f() { return 1; }");
+    }
+
+    #[test]
+    fn bare_return_from_value_function_rejected() {
+        err("fn f() -> int { return; }");
+    }
+
+    #[test]
+    fn global_array_rejected() {
+        err("const A: [int; 4] = 0;");
+    }
+
+    #[test]
+    fn interface_extraction() {
+        let m = ok("fn a(x: int) -> bool { return x > 0; }\nfn b() {}");
+        assert_eq!(m.interface.functions.len(), 2);
+        assert_eq!(m.interface.functions["a"].ret, Some(TypeAst::Bool));
+    }
+
+    #[test]
+    fn warns_on_unused_variable() {
+        let (m, d) = check_src("fn f() { let x: int = 1; }");
+        assert!(m.is_some());
+        assert!(
+            d.iter().any(|diag| diag.message.contains("never read")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn underscore_names_suppress_unused_warning() {
+        let (_, d) = check_src("fn f() { let _x: int = 1; }");
+        assert!(!d.iter().any(|diag| diag.message.contains("never read")), "{d:?}");
+    }
+
+    #[test]
+    fn write_only_variable_still_warns() {
+        let (_, d) = check_src("fn f() { let x: int = 1; x = 2; }");
+        assert!(d.iter().any(|diag| diag.message.contains("never read")), "{d:?}");
+    }
+
+    #[test]
+    fn used_variable_does_not_warn() {
+        let (_, d) = check_src("fn f() -> int { let x: int = 1; return x; }");
+        assert!(!d.iter().any(|diag| diag.message.contains("never read")), "{d:?}");
+    }
+
+    #[test]
+    fn unused_parameter_does_not_warn() {
+        let (_, d) = check_src("fn f(a: int) {}");
+        assert!(!d.iter().any(|diag| diag.message.contains("never read")), "{d:?}");
+    }
+
+    #[test]
+    fn warns_on_unreachable_statement() {
+        let (m, d) = check_src("fn f() -> int { return 1; print(2); }");
+        assert!(m.is_some());
+        assert!(d.iter().any(|diag| diag.message.contains("unreachable")), "{d:?}");
+    }
+
+    #[test]
+    fn warns_on_code_after_break() {
+        let (_, d) =
+            check_src("fn f() { while (true) { break; print(1); } }");
+        assert!(d.iter().any(|diag| diag.message.contains("unreachable")), "{d:?}");
+    }
+
+    #[test]
+    fn no_unreachable_warning_for_straightline() {
+        let (_, d) = check_src("fn f() { print(1); print(2); }");
+        assert!(!d.iter().any(|diag| diag.message.contains("unreachable")), "{d:?}");
+    }
+}

@@ -1,0 +1,194 @@
+//! Source text management: byte spans and line/column resolution.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source file.
+///
+/// Spans are attached to tokens, AST nodes and diagnostics so that errors can
+/// be reported with precise locations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `start > end`.
+    pub fn new(start: u32, end: u32) -> Self {
+        debug_assert!(start <= end, "span start {start} > end {end}");
+        Span { start, end }
+    }
+
+    /// A zero-length span at `pos`.
+    pub fn point(pos: u32) -> Self {
+        Span { start: pos, end: pos }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Whether the span covers zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A line/column pair, both 1-based, for human-readable diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes, not grapheme clusters).
+    pub col: u32,
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A source file: its name, full text, and a lazily built line index.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    name: String,
+    text: String,
+    /// Byte offsets of the first character of every line.
+    line_starts: Vec<u32>,
+}
+
+impl SourceFile {
+    /// Creates a source file from a name (used in diagnostics) and its text.
+    pub fn new(name: impl Into<String>, text: impl Into<String>) -> Self {
+        let text = text.into();
+        let mut line_starts = vec![0u32];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        SourceFile { name: name.into(), text, line_starts }
+    }
+
+    /// The file name used in diagnostics.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The complete source text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The text covered by `span`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span is out of bounds or not on a char boundary.
+    pub fn snippet(&self, span: Span) -> &str {
+        &self.text[span.start as usize..span.end as usize]
+    }
+
+    /// Resolves a byte offset to a 1-based line/column pair.
+    pub fn line_col(&self, offset: u32) -> LineCol {
+        let line_idx = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        LineCol {
+            line: line_idx as u32 + 1,
+            col: offset - self.line_starts[line_idx] + 1,
+        }
+    }
+
+    /// Number of lines in the file (at least 1, even when empty).
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+
+    /// Returns the text of the 1-based `line`, without its trailing newline,
+    /// or `None` when out of range.
+    pub fn line_text(&self, line: u32) -> Option<&str> {
+        let idx = line.checked_sub(1)? as usize;
+        let start = *self.line_starts.get(idx)? as usize;
+        let end = self
+            .line_starts
+            .get(idx + 1)
+            .map(|&s| s as usize)
+            .unwrap_or(self.text.len());
+        Some(self.text[start..end].trim_end_matches(['\n', '\r']))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.merge(b), Span::new(3, 12));
+        assert_eq!(b.merge(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn span_point_is_empty() {
+        assert!(Span::point(9).is_empty());
+        assert_eq!(Span::new(2, 4).len(), 2);
+    }
+
+    #[test]
+    fn line_col_resolution() {
+        let f = SourceFile::new("t.mc", "ab\ncd\n\nefg");
+        assert_eq!(f.line_col(0), LineCol { line: 1, col: 1 });
+        assert_eq!(f.line_col(1), LineCol { line: 1, col: 2 });
+        assert_eq!(f.line_col(3), LineCol { line: 2, col: 1 });
+        assert_eq!(f.line_col(6), LineCol { line: 3, col: 1 });
+        assert_eq!(f.line_col(7), LineCol { line: 4, col: 1 });
+        assert_eq!(f.line_col(9), LineCol { line: 4, col: 3 });
+    }
+
+    #[test]
+    fn line_text_lookup() {
+        let f = SourceFile::new("t.mc", "ab\ncd\n\nefg");
+        assert_eq!(f.line_text(1), Some("ab"));
+        assert_eq!(f.line_text(2), Some("cd"));
+        assert_eq!(f.line_text(3), Some(""));
+        assert_eq!(f.line_text(4), Some("efg"));
+        assert_eq!(f.line_text(5), None);
+        assert_eq!(f.line_text(0), None);
+    }
+
+    #[test]
+    fn empty_file_has_one_line() {
+        let f = SourceFile::new("e.mc", "");
+        assert_eq!(f.line_count(), 1);
+        assert_eq!(f.line_col(0), LineCol { line: 1, col: 1 });
+    }
+
+    #[test]
+    fn snippet_extracts_span() {
+        let f = SourceFile::new("t.mc", "let x = 42;");
+        assert_eq!(f.snippet(Span::new(4, 5)), "x");
+    }
+}

@@ -1,0 +1,243 @@
+//! Token definitions for the MiniC lexer.
+
+use crate::source::Span;
+use std::fmt;
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    // Literals and identifiers
+    /// An integer literal; the value is stored in [`Token::value`].
+    IntLit,
+    /// An identifier.
+    Ident,
+
+    // Keywords
+    /// `fn`
+    KwFn,
+    /// `let`
+    KwLet,
+    /// `const`
+    KwConst,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `while`
+    KwWhile,
+    /// `for`
+    KwFor,
+    /// `return`
+    KwReturn,
+    /// `break`
+    KwBreak,
+    /// `continue`
+    KwContinue,
+    /// `true`
+    KwTrue,
+    /// `false`
+    KwFalse,
+    /// `int`
+    KwInt,
+    /// `bool`
+    KwBool,
+    /// `import`
+    KwImport,
+
+    // Punctuation
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `->`
+    Arrow,
+    /// `::` (module path separator)
+    PathSep,
+
+    // Operators
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `==`
+    EqEq,
+    /// `!=`
+    BangEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AmpAmp,
+    /// `||`
+    PipePipe,
+    /// `!`
+    Bang,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human-readable description, used in parse errors.
+    pub fn describe(self) -> &'static str {
+        use TokenKind::*;
+        match self {
+            IntLit => "integer literal",
+            Ident => "identifier",
+            KwFn => "'fn'",
+            KwLet => "'let'",
+            KwConst => "'const'",
+            KwIf => "'if'",
+            KwElse => "'else'",
+            KwWhile => "'while'",
+            KwFor => "'for'",
+            KwReturn => "'return'",
+            KwBreak => "'break'",
+            KwContinue => "'continue'",
+            KwTrue => "'true'",
+            KwFalse => "'false'",
+            KwInt => "'int'",
+            KwBool => "'bool'",
+            KwImport => "'import'",
+            LParen => "'('",
+            RParen => "')'",
+            LBrace => "'{'",
+            RBrace => "'}'",
+            LBracket => "'['",
+            RBracket => "']'",
+            Comma => "','",
+            Semi => "';'",
+            Colon => "':'",
+            Arrow => "'->'",
+            PathSep => "'::'",
+            Plus => "'+'",
+            Minus => "'-'",
+            Star => "'*'",
+            Slash => "'/'",
+            Percent => "'%'",
+            Eq => "'='",
+            EqEq => "'=='",
+            BangEq => "'!='",
+            Lt => "'<'",
+            Le => "'<='",
+            Gt => "'>'",
+            Ge => "'>='",
+            AmpAmp => "'&&'",
+            PipePipe => "'||'",
+            Bang => "'!'",
+            Amp => "'&'",
+            Pipe => "'|'",
+            Caret => "'^'",
+            Shl => "'<<'",
+            Shr => "'>>'",
+            Eof => "end of input",
+        }
+    }
+
+    /// Looks up the keyword kind for an identifier-shaped lexeme.
+    pub fn keyword(text: &str) -> Option<TokenKind> {
+        use TokenKind::*;
+        Some(match text {
+            "fn" => KwFn,
+            "let" => KwLet,
+            "const" => KwConst,
+            "if" => KwIf,
+            "else" => KwElse,
+            "while" => KwWhile,
+            "for" => KwFor,
+            "return" => KwReturn,
+            "break" => KwBreak,
+            "continue" => KwContinue,
+            "true" => KwTrue,
+            "false" => KwFalse,
+            "int" => KwInt,
+            "bool" => KwBool,
+            "import" => KwImport,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.describe())
+    }
+}
+
+/// A lexical token: kind, source span, and (for integer literals) the value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where in the source it came from.
+    pub span: Span,
+    /// The parsed value for [`TokenKind::IntLit`]; `0` otherwise.
+    pub value: i64,
+}
+
+impl Token {
+    /// Creates a non-literal token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span, value: 0 }
+    }
+
+    /// Creates an integer-literal token with its parsed value.
+    pub fn int(span: Span, value: i64) -> Self {
+        Token { kind: TokenKind::IntLit, span, value }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup() {
+        assert_eq!(TokenKind::keyword("fn"), Some(TokenKind::KwFn));
+        assert_eq!(TokenKind::keyword("while"), Some(TokenKind::KwWhile));
+        assert_eq!(TokenKind::keyword("notakw"), None);
+    }
+
+    #[test]
+    fn describe_is_nonempty() {
+        assert!(!TokenKind::Eof.describe().is_empty());
+        assert_eq!(TokenKind::Arrow.describe(), "'->'");
+    }
+}

@@ -1,0 +1,271 @@
+//! Canonical textual form of the IR.
+//!
+//! The printer renumbers blocks in reverse post-order and instructions in
+//! traversal order, so two structurally identical functions print
+//! identically regardless of arena history. Function fingerprints
+//! ([`mod@crate::fingerprint`]) hash this canonical text.
+
+use crate::cfg::reverse_post_order;
+use crate::function::{Function, Module};
+use crate::inst::{BlockId, InstId, Op, Terminator, Ty, ValueRef};
+use std::collections::HashMap;
+use std::fmt::{self, Write};
+
+/// Renders a whole module.
+pub fn module_to_string(module: &Module) -> String {
+    let mut s = String::new();
+    write_module(&mut s, module).expect("fmt to String cannot fail");
+    s
+}
+
+/// Renders one function.
+pub fn function_to_string(func: &Function) -> String {
+    let mut s = String::new();
+    write_function(&mut s, func).expect("fmt to String cannot fail");
+    s
+}
+
+/// Renders the function body with the name replaced by `@`, producing the
+/// exact text hashed by [`crate::fingerprint::fingerprint`].
+pub fn function_to_canonical_string(func: &Function) -> String {
+    let mut s = String::new();
+    write_function_impl(&mut s, func, "@").expect("fmt to String cannot fail");
+    s
+}
+
+/// Writes a module to a formatter; used by its `Display` impl.
+pub fn write_module(w: &mut impl Write, module: &Module) -> fmt::Result {
+    writeln!(w, "module {} {{", module.name)?;
+    for (i, f) in module.functions.iter().enumerate() {
+        if i > 0 {
+            writeln!(w)?;
+        }
+        write_function(w, f)?;
+    }
+    writeln!(w, "}}")
+}
+
+/// Writes a function to a formatter; used by its `Display` impl.
+pub fn write_function(w: &mut impl Write, func: &Function) -> fmt::Result {
+    let name = format!("@{}", func.name);
+    write_function_impl(w, func, &name)
+}
+
+fn write_function_impl(w: &mut impl Write, func: &Function, name: &str) -> fmt::Result {
+    write!(w, "fn {name}(")?;
+    for (i, p) in func.params.iter().enumerate() {
+        if i > 0 {
+            write!(w, ", ")?;
+        }
+        write!(w, "{p}")?;
+    }
+    write!(w, ")")?;
+    if let Some(rt) = func.ret {
+        write!(w, " -> {rt}")?;
+    }
+    writeln!(w, " {{")?;
+
+    let rpo = reverse_post_order(func);
+    let mut block_names: HashMap<BlockId, usize> = HashMap::new();
+    for (i, &b) in rpo.iter().enumerate() {
+        block_names.insert(b, i);
+    }
+    let mut inst_names: HashMap<InstId, usize> = HashMap::new();
+    for &b in &rpo {
+        for &inst in &func.block(b).insts {
+            if func.inst(inst).ty != Ty::Void {
+                let n = inst_names.len();
+                inst_names.insert(inst, n);
+            }
+        }
+    }
+
+    let value = |v: ValueRef| -> String {
+        match v {
+            ValueRef::Const(Ty::I1, 0) => "false".to_string(),
+            ValueRef::Const(Ty::I1, _) => "true".to_string(),
+            ValueRef::Const(_, c) => c.to_string(),
+            ValueRef::Param(i) => format!("p{i}"),
+            ValueRef::Inst(id) => match inst_names.get(&id) {
+                Some(n) => format!("v{n}"),
+                None => format!("v?{}", id.0),
+            },
+        }
+    };
+    let block = |b: BlockId| -> String {
+        match block_names.get(&b) {
+            Some(n) => format!("bb{n}"),
+            None => format!("bb?{}", b.0),
+        }
+    };
+
+    for &bid in &rpo {
+        writeln!(w, "{}:", block(bid))?;
+        for &iid in &func.block(bid).insts {
+            let inst = func.inst(iid);
+            write!(w, "  ")?;
+            if inst.ty != Ty::Void {
+                write!(w, "v{} = ", inst_names[&iid])?;
+            }
+            match &inst.op {
+                Op::Bin(k) => {
+                    write!(w, "{k} {} {}, {}", inst.ty, value(inst.args[0]), value(inst.args[1]))?
+                }
+                Op::Icmp(p) => {
+                    write!(w, "icmp {p} {}, {}", value(inst.args[0]), value(inst.args[1]))?
+                }
+                Op::Select => write!(
+                    w,
+                    "select {} {}, {}, {}",
+                    inst.ty,
+                    value(inst.args[0]),
+                    value(inst.args[1]),
+                    value(inst.args[2])
+                )?,
+                Op::Alloca(size) => write!(w, "alloca {size}")?,
+                Op::Load => write!(w, "load {} {}", inst.ty, value(inst.args[0]))?,
+                Op::Store => {
+                    write!(w, "store {}, {}", value(inst.args[0]), value(inst.args[1]))?
+                }
+                Op::Gep => write!(w, "gep {}, {}", value(inst.args[0]), value(inst.args[1]))?,
+                Op::Call(callee) => {
+                    write!(w, "call")?;
+                    if inst.ty != Ty::Void {
+                        write!(w, " {}", inst.ty)?;
+                    }
+                    write!(w, " @{callee}(")?;
+                    for (i, a) in inst.args.iter().enumerate() {
+                        if i > 0 {
+                            write!(w, ", ")?;
+                        }
+                        write!(w, "{}", value(*a))?;
+                    }
+                    write!(w, ")")?;
+                }
+                Op::Phi(blocks) => {
+                    write!(w, "phi {} ", inst.ty)?;
+                    // Canonical order: sort incoming edges by printed block
+                    // number so predecessor order does not affect the text.
+                    let mut edges: Vec<(String, String)> = blocks
+                        .iter()
+                        .zip(&inst.args)
+                        .map(|(b, v)| (block(*b), value(*v)))
+                        .collect();
+                    edges.sort();
+                    for (i, (b, v)) in edges.iter().enumerate() {
+                        if i > 0 {
+                            write!(w, ", ")?;
+                        }
+                        write!(w, "[{b}: {v}]")?;
+                    }
+                }
+            }
+            writeln!(w)?;
+        }
+        match &func.block(bid).term {
+            Terminator::Br(t) => writeln!(w, "  br {}", block(*t))?,
+            Terminator::CondBr { cond, then_bb, else_bb } => writeln!(
+                w,
+                "  condbr {}, {}, {}",
+                value(*cond),
+                block(*then_bb),
+                block(*else_bb)
+            )?,
+            Terminator::Ret(Some(v)) => writeln!(w, "  ret {}", value(*v))?,
+            Terminator::Ret(None) => writeln!(w, "  ret")?,
+            Terminator::Trap => writeln!(w, "  trap")?,
+        }
+    }
+    writeln!(w, "}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::{FuncBuilder, ENTRY};
+    use crate::inst::{BinKind, IcmpPred};
+
+    fn sample() -> Function {
+        let mut f = Function::new("clamp", vec![Ty::I64], Some(Ty::I64));
+        let big = f.add_block();
+        let done = f.add_block();
+        let mut b = FuncBuilder::at_entry(&mut f);
+        let c = b.icmp(IcmpPred::Sgt, ValueRef::Param(0), ValueRef::int(100));
+        b.cond_br(c, big, done);
+        b.switch_to(big);
+        b.br(done);
+        b.switch_to(done);
+        let phi = b.phi(Ty::I64);
+        b.add_phi_incoming(phi, ENTRY, ValueRef::Param(0));
+        b.add_phi_incoming(phi, big, ValueRef::int(100));
+        b.ret(Some(phi));
+        f
+    }
+
+    #[test]
+    fn prints_expected_shape() {
+        let text = function_to_string(&sample());
+        assert!(text.contains("fn @clamp(i64) -> i64 {"), "{text}");
+        assert!(text.contains("icmp sgt p0, 100"), "{text}");
+        assert!(text.contains("condbr v0, bb1, bb2"), "{text}");
+        assert!(text.contains("phi i64 [bb0: p0], [bb1: 100]"), "{text}");
+        assert!(text.contains("ret v1"), "{text}");
+    }
+
+    #[test]
+    fn canonical_form_hides_name() {
+        let a = function_to_canonical_string(&sample());
+        let mut renamed = sample();
+        renamed.name = "other".to_string();
+        let b = function_to_canonical_string(&renamed);
+        assert_eq!(a, b);
+        assert!(a.starts_with("fn @(i64)"), "{a}");
+    }
+
+    #[test]
+    fn renumbering_hides_tombstones() {
+        let mut f = Function::new("t", vec![Ty::I64], Some(Ty::I64));
+        let mut b = FuncBuilder::at_entry(&mut f);
+        let dead = b.bin(BinKind::Add, ValueRef::Param(0), ValueRef::int(1));
+        let live = b.bin(BinKind::Mul, ValueRef::Param(0), ValueRef::int(2));
+        b.ret(Some(live));
+        let before = function_to_string(&f);
+        assert!(before.contains("v1 = mul"), "{before}");
+
+        f.detach_inst(dead.as_inst().unwrap());
+        let after = function_to_string(&f);
+        // After detaching, `mul` renumbers to v0.
+        assert!(after.contains("v0 = mul"), "{after}");
+        assert!(!after.contains("add"), "{after}");
+    }
+
+    #[test]
+    fn void_instructions_have_no_result_name() {
+        let mut f = Function::new("t", vec![Ty::I64], None);
+        let mut b = FuncBuilder::at_entry(&mut f);
+        b.call("print", vec![ValueRef::Param(0)], None);
+        b.ret(None);
+        let text = function_to_string(&f);
+        assert!(text.contains("  call @print(p0)"), "{text}");
+        assert!(!text.contains("= call"), "{text}");
+    }
+
+    #[test]
+    fn module_display_wraps_functions() {
+        let mut m = Module::new("demo");
+        m.add_function(sample());
+        let text = module_to_string(&m);
+        assert!(text.starts_with("module demo {"), "{text}");
+        assert!(text.trim_end().ends_with('}'), "{text}");
+    }
+
+    #[test]
+    fn bool_constants_print_as_keywords() {
+        let mut f = Function::new("t", vec![], Some(Ty::I1));
+        let mut b = FuncBuilder::at_entry(&mut f);
+        let v = b.bin(BinKind::And, ValueRef::bool(true), ValueRef::bool(false));
+        b.ret(Some(v));
+        let text = function_to_string(&f);
+        assert!(text.contains("and i1 true, false"), "{text}");
+    }
+}

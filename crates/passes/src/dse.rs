@@ -1,0 +1,127 @@
+//! Dead-store elimination (block-local).
+//!
+//! A store is dead when the same address is overwritten later in the block
+//! with no possible intervening read. Conservative without alias analysis:
+//! any load or call between the two stores keeps the first one alive, and
+//! addresses must be the *same SSA value* (run after `cse`/`gvn` so equal
+//! `gep`s have been unified).
+
+use crate::util::detach_all;
+use crate::Pass;
+use sfcc_ir::{Function, InstId, Module, Op, ValueRef};
+use std::collections::HashMap;
+
+/// The `dse` pass. See the module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Dse;
+
+impl Pass for Dse {
+    fn name(&self) -> &'static str {
+        "dse"
+    }
+
+    fn run(&self, func: &mut Function, _snapshot: &Module) -> bool {
+        let mut dead: Vec<InstId> = Vec::new();
+        for b in func.block_ids().collect::<Vec<_>>() {
+            // Pending stores whose value has not been observable yet:
+            // address value → store instruction.
+            let mut pending: HashMap<ValueRef, InstId> = HashMap::new();
+            for &iid in &func.block(b).insts {
+                let inst = func.inst(iid);
+                match &inst.op {
+                    Op::Store => {
+                        let addr = inst.args[0];
+                        if let Some(prev) = pending.insert(addr, iid) {
+                            dead.push(prev);
+                        }
+                    }
+                    // Any read or escape point makes all pending stores
+                    // observable.
+                    Op::Load | Op::Call(_) => pending.clear(),
+                    _ => {}
+                }
+            }
+            // Stores still pending at block end are observable by
+            // successors — keep them.
+        }
+        detach_all(func, &dead) > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfcc_ir::{function_to_string, parse_function, verify_function};
+
+    fn run(text: &str) -> (bool, String) {
+        let mut f = parse_function(text).unwrap();
+        let changed = Dse.run(&mut f, &Module::new("t"));
+        verify_function(&f).unwrap_or_else(|e| panic!("{e}\n{f}"));
+        (changed, function_to_string(&f))
+    }
+
+    #[test]
+    fn removes_overwritten_store() {
+        let (c, text) = run(
+            "fn @f(i64) -> i64 {\nbb0:\n  v0 = alloca 1\n  store v0, 1\n  store v0, p0\n  v1 = load i64 v0\n  ret v1\n}",
+        );
+        assert!(c);
+        assert_eq!(text.matches("store").count(), 1, "{text}");
+        assert!(text.contains("store v0, p0"), "{text}");
+    }
+
+    #[test]
+    fn load_between_keeps_both() {
+        let (c, _) = run(
+            "fn @f() -> i64 {\nbb0:\n  v0 = alloca 1\n  store v0, 1\n  v1 = load i64 v0\n  store v0, 2\n  v2 = load i64 v0\n  v3 = add i64 v1, v2\n  ret v3\n}",
+        );
+        assert!(!c);
+    }
+
+    #[test]
+    fn call_between_keeps_both() {
+        let (c, _) = run(
+            "fn @f() {\nbb0:\n  v0 = alloca 1\n  store v0, 1\n  call @print(9)\n  store v0, 2\n  v1 = load i64 v0\n  call @print(v1)\n  ret\n}",
+        );
+        assert!(!c);
+    }
+
+    #[test]
+    fn different_addresses_not_confused() {
+        let (c, _) = run(
+            "fn @f(i64) -> i64 {\nbb0:\n  v0 = alloca 4\n  v1 = gep v0, 0\n  v2 = gep v0, 1\n  store v1, 1\n  store v2, 2\n  v3 = load i64 v1\n  ret v3\n}",
+        );
+        assert!(!c);
+    }
+
+    #[test]
+    fn final_store_survives_block_end() {
+        // The successor reads the slot; the store at the end must stay.
+        let (c, text) = run(
+            r"
+fn @f() -> i64 {
+bb0:
+  v0 = alloca 1
+  store v0, 1
+  store v0, 2
+  br bb1
+bb1:
+  v1 = load i64 v0
+  ret v1
+}",
+        );
+        assert!(c);
+        assert!(text.contains("store v0, 2"), "{text}");
+        assert!(!text.contains("store v0, 1"), "{text}");
+    }
+
+    #[test]
+    fn triple_overwrite_keeps_last_only() {
+        let (c, text) = run(
+            "fn @f() -> i64 {\nbb0:\n  v0 = alloca 1\n  store v0, 1\n  store v0, 2\n  store v0, 3\n  v1 = load i64 v0\n  ret v1\n}",
+        );
+        assert!(c);
+        assert_eq!(text.matches("store").count(), 1, "{text}");
+        assert!(text.contains("store v0, 3"), "{text}");
+    }
+}

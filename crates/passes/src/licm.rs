@@ -1,0 +1,247 @@
+//! Loop-invariant code motion.
+//!
+//! Hoists pure, non-trapping instructions whose operands are defined outside
+//! the loop into the loop preheader. Loads, stores, calls, and potentially
+//! trapping arithmetic (`sdiv`, `srem`) are never hoisted — executing them
+//! speculatively could introduce traps or reorder side effects.
+
+use crate::Pass;
+use sfcc_ir::{DomTree, Function, InstId, LoopForest, Module, Op, Predecessors, ValueRef};
+use std::collections::HashSet;
+
+/// The `licm` pass. See the module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Licm;
+
+fn hoistable(op: &Op) -> bool {
+    match op {
+        Op::Bin(k) => !k.can_trap(),
+        Op::Icmp(_) | Op::Select | Op::Gep => true,
+        _ => false,
+    }
+}
+
+impl Pass for Licm {
+    fn name(&self) -> &'static str {
+        "licm"
+    }
+
+    fn run(&self, func: &mut Function, _snapshot: &Module) -> bool {
+        let mut changed = false;
+        loop {
+            let dom = DomTree::compute(func);
+            let preds = Predecessors::compute(func);
+            let forest = LoopForest::compute(func, &dom);
+            if forest.loops.is_empty() {
+                return changed;
+            }
+
+            let mut moved_any = false;
+            // Innermost-last ordering lets outer loops pick up what inner
+            // loops exposed on the next fixpoint iteration.
+            for l in &forest.loops {
+                let Some(preheader) = l.preheader(func, &preds) else { continue };
+                let in_loop: HashSet<_> = l.blocks.iter().copied().collect();
+
+                // A value is invariant if defined outside the loop.
+                let mut inst_block = std::collections::HashMap::new();
+                for (b, i) in func.iter_insts() {
+                    inst_block.insert(i, b);
+                }
+                let is_invariant = |v: ValueRef, hoisted: &HashSet<InstId>| match v {
+                    ValueRef::Const(..) | ValueRef::Param(_) => true,
+                    ValueRef::Inst(i) => {
+                        hoisted.contains(&i)
+                            || inst_block.get(&i).is_some_and(|b| !in_loop.contains(b))
+                    }
+                };
+
+                let mut hoisted: HashSet<InstId> = HashSet::new();
+                // Iterate within the loop until no more hoists (a hoisted
+                // value can make its users invariant).
+                loop {
+                    let mut this_round: Vec<InstId> = Vec::new();
+                    for &b in &l.blocks {
+                        for &iid in &func.block(b).insts {
+                            if hoisted.contains(&iid) {
+                                continue;
+                            }
+                            let inst = func.inst(iid);
+                            if !hoistable(&inst.op) {
+                                continue;
+                            }
+                            if inst.args.iter().all(|&a| is_invariant(a, &hoisted)) {
+                                this_round.push(iid);
+                            }
+                        }
+                    }
+                    if this_round.is_empty() {
+                        break;
+                    }
+                    for iid in this_round {
+                        func.detach_inst(iid);
+                        func.block_mut(preheader).insts.push(iid);
+                        hoisted.insert(iid);
+                    }
+                }
+                if !hoisted.is_empty() {
+                    moved_any = true;
+                    changed = true;
+                    // CFG structure changed implicitly (inst placement);
+                    // restart with fresh analyses.
+                    break;
+                }
+            }
+            if !moved_any {
+                return changed;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfcc_ir::{function_to_string, parse_function, verify_function};
+
+    fn run(text: &str) -> (bool, String) {
+        let mut f = parse_function(text).unwrap();
+        let changed = Licm.run(&mut f, &Module::new("t"));
+        verify_function(&f).unwrap_or_else(|e| panic!("{e}\n{f}"));
+        (changed, function_to_string(&f))
+    }
+
+    const LOOP_WITH_INVARIANT: &str = r"
+fn @f(i64, i64) -> i64 {
+bb0:
+  br bb1
+bb1:
+  v0 = phi i64 [bb0: 0], [bb2: v1]
+  v2 = icmp slt v0, p0
+  condbr v2, bb2, bb3
+bb2:
+  v3 = mul i64 p1, 7
+  v1 = add i64 v0, v3
+  br bb1
+bb3:
+  ret v0
+}";
+
+    #[test]
+    fn hoists_invariant_mul_to_preheader() {
+        let (c, text) = run(LOOP_WITH_INVARIANT);
+        assert!(c);
+        // The mul now sits in bb0 (the preheader).
+        let entry: String = text
+            .lines()
+            .skip_while(|l| !l.starts_with("bb0"))
+            .take_while(|l| !l.starts_with("bb1"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(entry.contains("mul"), "{text}");
+    }
+
+    #[test]
+    fn hoists_dependent_chain() {
+        let (c, text) = run(
+            r"
+fn @f(i64, i64) -> i64 {
+bb0:
+  br bb1
+bb1:
+  v0 = phi i64 [bb0: 0], [bb2: v1]
+  v2 = icmp slt v0, p0
+  condbr v2, bb2, bb3
+bb2:
+  v3 = mul i64 p1, 7
+  v4 = add i64 v3, 9
+  v1 = add i64 v0, v4
+  br bb1
+bb3:
+  ret v0
+}",
+        );
+        assert!(c);
+        let entry: String = text
+            .lines()
+            .skip_while(|l| !l.starts_with("bb0"))
+            .take_while(|l| !l.starts_with("bb1"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(entry.contains("mul") && entry.contains("add i64"), "{text}");
+    }
+
+    #[test]
+    fn does_not_hoist_variant_values() {
+        let (c, _) = run(
+            r"
+fn @f(i64) -> i64 {
+bb0:
+  br bb1
+bb1:
+  v0 = phi i64 [bb0: 0], [bb2: v1]
+  v2 = icmp slt v0, p0
+  condbr v2, bb2, bb3
+bb2:
+  v1 = add i64 v0, 1
+  br bb1
+bb3:
+  ret v0
+}",
+        );
+        assert!(!c);
+    }
+
+    #[test]
+    fn does_not_hoist_trapping_div() {
+        let (c, _) = run(
+            r"
+fn @f(i64, i64) -> i64 {
+bb0:
+  br bb1
+bb1:
+  v0 = phi i64 [bb0: 0], [bb2: v1]
+  v2 = icmp slt v0, p0
+  condbr v2, bb2, bb3
+bb2:
+  v3 = sdiv i64 100, p1
+  v1 = add i64 v0, v3
+  br bb1
+bb3:
+  ret v0
+}",
+        );
+        assert!(!c, "sdiv may trap and must not be hoisted");
+    }
+
+    #[test]
+    fn does_not_hoist_loads() {
+        let (c, _) = run(
+            r"
+fn @f(i64) -> i64 {
+bb0:
+  v9 = alloca 4
+  store v9, 5
+  br bb1
+bb1:
+  v0 = phi i64 [bb0: 0], [bb2: v1]
+  v2 = icmp slt v0, p0
+  condbr v2, bb2, bb3
+bb2:
+  v3 = load i64 v9
+  v1 = add i64 v0, v3
+  br bb1
+bb3:
+  ret v0
+}",
+        );
+        assert!(!c, "loads must not be hoisted without alias analysis");
+    }
+
+    #[test]
+    fn idempotent_after_hoisting() {
+        let mut f = parse_function(LOOP_WITH_INVARIANT).unwrap();
+        assert!(Licm.run(&mut f, &Module::new("t")));
+        assert!(!Licm.run(&mut f, &Module::new("t")));
+    }
+}

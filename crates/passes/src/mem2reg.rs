@@ -1,0 +1,337 @@
+//! Promotion of single-element stack slots to SSA registers.
+//!
+//! The lowerer emits every scalar local as an `alloca` with loads and stores
+//! (Clang-style). This pass promotes those slots to SSA values, inserting
+//! phis at iterated dominance frontiers and renaming uses along the
+//! dominator tree — the textbook SSA-construction algorithm.
+
+use crate::Pass;
+use sfcc_ir::{
+    DomTree, Function, InstData, InstId, Module, Op, Ty, ValueRef, ENTRY,
+};
+use std::collections::{HashMap, HashSet};
+
+/// The `mem2reg` pass. See the module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mem2Reg;
+
+impl Pass for Mem2Reg {
+    fn name(&self) -> &'static str {
+        "mem2reg"
+    }
+
+    fn run(&self, func: &mut Function, _snapshot: &Module) -> bool {
+        promote(func)
+    }
+}
+
+/// A promotable alloca and its classified uses.
+struct Candidate {
+    alloca: InstId,
+    elem: Ty,
+    loads: Vec<InstId>,
+    stores: Vec<InstId>,
+}
+
+fn find_candidates(func: &Function) -> Vec<Candidate> {
+    // First collect every single-slot alloca.
+    let mut candidates: HashMap<InstId, Candidate> = HashMap::new();
+    for (_, iid) in func.iter_insts() {
+        if let Op::Alloca(1) = func.inst(iid).op {
+            candidates.insert(
+                iid,
+                Candidate { alloca: iid, elem: Ty::Void, loads: Vec::new(), stores: Vec::new() },
+            );
+        }
+    }
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+
+    // Classify uses; any escaping use disqualifies the slot.
+    let mut disqualified: HashSet<InstId> = HashSet::new();
+    for (_, iid) in func.iter_insts() {
+        let inst = func.inst(iid);
+        for (argpos, arg) in inst.args.iter().enumerate() {
+            let ValueRef::Inst(target) = arg else { continue };
+            let Some(cand) = candidates.get_mut(target) else { continue };
+            match (&inst.op, argpos) {
+                (Op::Load, 0) => {
+                    cand.loads.push(iid);
+                    if cand.elem == Ty::Void {
+                        cand.elem = inst.ty;
+                    } else if cand.elem != inst.ty {
+                        disqualified.insert(*target);
+                    }
+                }
+                (Op::Store, 0) => {
+                    cand.stores.push(iid);
+                    let vty = func.value_ty(inst.args[1]);
+                    if cand.elem == Ty::Void {
+                        cand.elem = vty;
+                    } else if cand.elem != vty {
+                        disqualified.insert(*target);
+                    }
+                }
+                // Address escapes: gep, call argument, stored as a value, …
+                _ => {
+                    disqualified.insert(*target);
+                }
+            }
+        }
+    }
+    // Terminator uses of an alloca address (returning a ptr) disqualify too —
+    // cannot happen in verified IR, but stay defensive.
+    for b in func.block_ids() {
+        for v in func.block(b).term.args() {
+            if let ValueRef::Inst(id) = v {
+                disqualified.insert(id);
+            }
+        }
+    }
+
+    candidates
+        .into_values()
+        .filter(|c| !disqualified.contains(&c.alloca))
+        .collect()
+}
+
+fn promote(func: &mut Function) -> bool {
+    let mut candidates = find_candidates(func);
+    if candidates.is_empty() {
+        return false;
+    }
+    // Stable order keeps output deterministic.
+    candidates.sort_by_key(|c| c.alloca);
+
+    let dom = DomTree::compute(func);
+    let frontiers = dom.frontiers(func);
+
+    // Block of every attached instruction.
+    let mut block_of: HashMap<InstId, sfcc_ir::BlockId> = HashMap::new();
+    for (b, i) in func.iter_insts() {
+        block_of.insert(i, b);
+    }
+
+    // 1. Phi placement at iterated dominance frontiers of store blocks.
+    //    placed[(block, cand_idx)] = phi inst id.
+    let mut placed: HashMap<(sfcc_ir::BlockId, usize), InstId> = HashMap::new();
+    for (ci, cand) in candidates.iter().enumerate() {
+        if cand.loads.is_empty() {
+            continue; // store-only slot: no phis needed.
+        }
+        let mut work: Vec<sfcc_ir::BlockId> =
+            cand.stores.iter().map(|s| block_of[s]).collect();
+        let mut has_phi: HashSet<sfcc_ir::BlockId> = HashSet::new();
+        while let Some(db) = work.pop() {
+            if !dom.is_reachable(db) {
+                continue;
+            }
+            for &fb in &frontiers[db.0 as usize] {
+                if has_phi.insert(fb) {
+                    let phi = func.alloc_inst(InstData::new(
+                        Op::Phi(Vec::new()),
+                        Vec::new(),
+                        cand.elem,
+                    ));
+                    func.block_mut(fb).insts.insert(0, phi);
+                    placed.insert((fb, ci), phi);
+                    work.push(fb); // a phi is itself a definition
+                }
+            }
+        }
+    }
+
+    let phi_to_cand: HashMap<InstId, usize> =
+        placed.iter().map(|(&(_, ci), &phi)| (phi, ci)).collect();
+
+    // 2. Renaming along the dominator tree.
+    let undef = |elem: Ty| ValueRef::Const(if elem == Ty::Void { Ty::I64 } else { elem }, 0);
+    let cand_index: HashMap<InstId, usize> =
+        candidates.iter().enumerate().map(|(i, c)| (c.alloca, i)).collect();
+
+    let mut replacements: HashMap<ValueRef, ValueRef> = HashMap::new();
+    let mut dead: Vec<InstId> = Vec::new();
+
+    // Iterative preorder DFS over the dominator tree carrying per-candidate
+    // definition stacks.
+    enum Step {
+        Enter(sfcc_ir::BlockId),
+        Exit(Vec<(usize, usize)>), // (cand, previous stack length)
+    }
+    let mut stacks: Vec<Vec<ValueRef>> = vec![Vec::new(); candidates.len()];
+    let mut agenda = vec![Step::Enter(ENTRY)];
+    while let Some(step) = agenda.pop() {
+        match step {
+            Step::Exit(restore) => {
+                for (ci, len) in restore {
+                    stacks[ci].truncate(len);
+                }
+            }
+            Step::Enter(b) => {
+                let mut pushed: Vec<(usize, usize)> = Vec::new();
+                let inst_list: Vec<InstId> = func.block(b).insts.clone();
+                for iid in inst_list {
+                    // A placed phi defines its candidate.
+                    if let Some(&ci) = phi_to_cand.get(&iid) {
+                        pushed.push((ci, stacks[ci].len()));
+                        stacks[ci].push(ValueRef::Inst(iid));
+                        continue;
+                    }
+                    let inst = func.inst(iid);
+                    match &inst.op {
+                        Op::Load => {
+                            if let ValueRef::Inst(a) = inst.args[0] {
+                                if let Some(&ci) = cand_index.get(&a) {
+                                    let cur = stacks[ci]
+                                        .last()
+                                        .copied()
+                                        .unwrap_or_else(|| undef(candidates[ci].elem));
+                                    replacements.insert(ValueRef::Inst(iid), cur);
+                                    dead.push(iid);
+                                }
+                            }
+                        }
+                        Op::Store => {
+                            if let ValueRef::Inst(a) = inst.args[0] {
+                                if let Some(&ci) = cand_index.get(&a) {
+                                    let value = inst.args[1];
+                                    pushed.push((ci, stacks[ci].len()));
+                                    stacks[ci].push(value);
+                                    dead.push(iid);
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                // Fill successor phis with the current definitions (each
+                // distinct successor once, even if both condbr edges target
+                // the same block).
+                let mut succs = func.block(b).term.successors();
+                succs.dedup();
+                for succ in succs {
+                    for ci in 0..candidates.len() {
+                        if let Some(&phi) = placed.get(&(succ, ci)) {
+                            let cur = stacks[ci]
+                                .last()
+                                .copied()
+                                .unwrap_or_else(|| undef(candidates[ci].elem));
+                            let inst = func.inst_mut(phi);
+                            let Op::Phi(blocks) = &mut inst.op else { unreachable!() };
+                            blocks.push(b);
+                            inst.args.push(cur);
+                        }
+                    }
+                }
+                agenda.push(Step::Exit(pushed));
+                for &child in dom.children(b) {
+                    agenda.push(Step::Enter(child));
+                }
+            }
+        }
+    }
+
+    // 3. Resolve phi-input chains (a load that fed a phi was itself replaced)
+    //    and sweep the dead memory operations plus the allocas.
+    for cand in &candidates {
+        dead.push(cand.alloca);
+    }
+    func.replace_uses(&replacements);
+    crate::util::detach_all(func, &dead);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfcc_ir::{module_to_string, parse_function, verify_function};
+    use sfcc_frontend::{parse_and_check, Diagnostics, ModuleEnv};
+
+    fn promote_src(src: &str) -> String {
+        let mut d = Diagnostics::new();
+        let checked =
+            parse_and_check("m", src, &ModuleEnv::new(), &mut d).expect("valid program");
+        let mut module = sfcc_ir::lower_module(&checked, &ModuleEnv::new());
+        let mut changed_any = false;
+        for f in &mut module.functions {
+            changed_any |= promote(f);
+            verify_function(f).unwrap_or_else(|e| panic!("{e}\n{f}"));
+        }
+        assert!(changed_any, "expected promotion to fire");
+        module_to_string(&module)
+    }
+
+    #[test]
+    fn promotes_straightline_scalars() {
+        let text = promote_src("fn f(a: int) -> int { let x: int = a + 1; return x * 2; }");
+        assert!(!text.contains("alloca"), "{text}");
+        assert!(!text.contains("load"), "{text}");
+        assert!(!text.contains("store"), "{text}");
+    }
+
+    #[test]
+    fn inserts_phi_at_join() {
+        let text = promote_src(
+            "fn f(c: bool) -> int { let x: int = 0; if (c) { x = 1; } else { x = 2; } return x; }",
+        );
+        assert!(text.contains("phi i64"), "{text}");
+        assert!(!text.contains("alloca"), "{text}");
+    }
+
+    #[test]
+    fn loop_variable_becomes_phi() {
+        let text = promote_src(
+            "fn f(n: int) -> int { let s: int = 0; let i: int = 0; while (i < n) { s = s + i; i = i + 1; } return s; }",
+        );
+        assert!(text.contains("phi i64"), "{text}");
+        assert!(!text.contains("alloca"), "{text}");
+    }
+
+    #[test]
+    fn arrays_are_not_promoted() {
+        let text = promote_src(
+            "fn f() -> int { let x: int = 1; let a: [int; 4]; a[0] = x; return a[0]; }",
+        );
+        // The scalar x goes away but the array stays in memory form.
+        assert!(text.contains("alloca 4"), "{text}");
+        assert!(text.contains("gep"), "{text}");
+    }
+
+    #[test]
+    fn dormant_when_nothing_to_promote() {
+        let mut f = parse_function(
+            "fn @f(i64) -> i64 {\nbb0:\n  v0 = add i64 p0, 1\n  ret v0\n}",
+        )
+        .unwrap();
+        assert!(!promote(&mut f));
+    }
+
+    #[test]
+    fn load_before_store_yields_zero_undef() {
+        // Manufactured IR: load from a slot never stored to.
+        let mut f = parse_function(
+            "fn @f() -> i64 {\nbb0:\n  v0 = alloca 1\n  v1 = load i64 v0\n  ret v1\n}",
+        )
+        .unwrap();
+        assert!(promote(&mut f));
+        verify_function(&f).unwrap();
+        let text = sfcc_ir::function_to_string(&f);
+        assert!(text.contains("ret 0"), "{text}");
+    }
+
+    #[test]
+    fn bool_slots_promote_with_i1_phi() {
+        let text = promote_src(
+            "fn f(c: bool) -> bool { let b: bool = false; if (c) { b = true; } return b; }",
+        );
+        assert!(text.contains("phi i1"), "{text}");
+    }
+
+    #[test]
+    fn short_circuit_temp_promotes() {
+        let text = promote_src("fn f(a: int, b: int) -> bool { return a > 0 && b > 0; }");
+        assert!(!text.contains("alloca"), "{text}");
+        assert!(text.contains("phi i1"), "{text}");
+    }
+}

@@ -1,0 +1,122 @@
+//! Shared helpers for transform passes.
+
+use sfcc_ir::{Function, InstId, Op, Ty, ValueRef};
+use std::collections::HashMap;
+
+/// Counts uses of every instruction result across operands, phi inputs, and
+/// terminator operands.
+pub fn use_counts(func: &Function) -> HashMap<InstId, usize> {
+    let mut counts: HashMap<InstId, usize> = HashMap::new();
+    for (_, iid) in func.iter_insts() {
+        for arg in &func.inst(iid).args {
+            if let ValueRef::Inst(d) = arg {
+                *counts.entry(*d).or_insert(0) += 1;
+            }
+        }
+    }
+    for b in func.block_ids() {
+        for v in func.block(b).term.args() {
+            if let ValueRef::Inst(d) = v {
+                *counts.entry(d).or_insert(0) += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Whether `inst` may be deleted when its result is unused.
+///
+/// Side-effecting instructions (stores, calls) are never removable. Trapping
+/// but otherwise pure instructions (`sdiv`, out-of-bounds loads) *are*
+/// removable: like C/LLVM, MiniC treats the trap conditions as undefined
+/// behaviour, so eliminating a dead trapping instruction is allowed.
+pub fn is_removable_when_dead(op: &Op) -> bool {
+    !op.has_side_effects()
+}
+
+/// Extracts the constant payload of a value, if it is a constant.
+pub fn const_of(v: ValueRef) -> Option<(Ty, i64)> {
+    v.as_const()
+}
+
+/// Whether the value is the integer constant `c`.
+pub fn is_const(v: ValueRef, c: i64) -> bool {
+    matches!(v.as_const(), Some((_, k)) if k == c)
+}
+
+/// Returns `Some(log2(c))` when `c` is a power of two greater than 1.
+pub fn power_of_two_shift(c: i64) -> Option<i64> {
+    if c > 1 && (c & (c - 1)) == 0 {
+        Some(c.trailing_zeros() as i64)
+    } else {
+        None
+    }
+}
+
+/// Removes, in one sweep, every instruction in `dead` from its block.
+/// Returns how many were detached.
+pub fn detach_all(func: &mut Function, dead: &[InstId]) -> usize {
+    if dead.is_empty() {
+        return 0;
+    }
+    let dead_set: std::collections::HashSet<InstId> = dead.iter().copied().collect();
+    let mut removed = 0;
+    for b in func.block_ids().collect::<Vec<_>>() {
+        let block = func.block_mut(b);
+        let before = block.insts.len();
+        block.insts.retain(|i| !dead_set.contains(i));
+        removed += before - block.insts.len();
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfcc_ir::{parse_function, BinKind};
+
+    #[test]
+    fn use_counts_cover_terminators() {
+        let f = parse_function(
+            "fn @f(i64) -> i64 {\nbb0:\n  v0 = add i64 p0, 1\n  v1 = add i64 v0, v0\n  ret v1\n}",
+        )
+        .unwrap();
+        let counts = use_counts(&f);
+        assert_eq!(counts.len(), 2);
+        let vals: Vec<usize> = {
+            let mut v: Vec<usize> = counts.values().copied().collect();
+            v.sort();
+            v
+        };
+        assert_eq!(vals, vec![1, 2]); // v1 used once (ret), v0 twice
+    }
+
+    #[test]
+    fn removability() {
+        assert!(is_removable_when_dead(&Op::Bin(BinKind::Sdiv)));
+        assert!(is_removable_when_dead(&Op::Load));
+        assert!(!is_removable_when_dead(&Op::Store));
+        assert!(!is_removable_when_dead(&Op::Call("f".into())));
+    }
+
+    #[test]
+    fn power_of_two() {
+        assert_eq!(power_of_two_shift(8), Some(3));
+        assert_eq!(power_of_two_shift(1), None);
+        assert_eq!(power_of_two_shift(6), None);
+        assert_eq!(power_of_two_shift(-8), None);
+        assert_eq!(power_of_two_shift(1 << 40), Some(40));
+    }
+
+    #[test]
+    fn detach_all_sweeps() {
+        let mut f = parse_function(
+            "fn @f() -> i64 {\nbb0:\n  v0 = add i64 1, 1\n  v1 = add i64 2, 2\n  ret v1\n}",
+        )
+        .unwrap();
+        let ids: Vec<InstId> = f.iter_insts().map(|(_, i)| i).collect();
+        assert_eq!(detach_all(&mut f, &ids[..1]), 1);
+        assert_eq!(f.live_inst_count(), 1);
+        assert_eq!(detach_all(&mut f, &[]), 0);
+    }
+}

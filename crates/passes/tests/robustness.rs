@@ -1,0 +1,194 @@
+//! Pass robustness: every pass, alone and in adversarial combinations, over
+//! a corpus of lowered real-world-shaped functions — each result must
+//! verify, and behaviour (via the pipeline tests elsewhere) must hold.
+//!
+//! This is the guard against the classic pass-manager failure mode: a pass
+//! that is correct after its usual predecessors but breaks on IR shapes it
+//! never sees in the default pipeline order.
+
+use sfcc_frontend::{parse_and_check, Diagnostics, ModuleEnv, ModuleInterface};
+use sfcc_ir::{verify_module, Module};
+use sfcc_passes::{
+    constfold::ConstFold, copyprop::CopyProp, cse::Cse, dce::Adce, dce::Dce, dse::Dse, gvn::Gvn,
+    inline::Inline, instcombine::InstCombine, licm::Licm, loop_delete::LoopDelete,
+    loop_unroll::LoopUnroll, mem2reg::Mem2Reg, memfwd::MemFwd, peephole::Peephole,
+    reassociate::Reassociate, sccp::Sccp, simplify_cfg::SimplifyCfg, Pass,
+};
+use sfcc_workload::{generate_model, GeneratorConfig};
+
+fn all_passes() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(Mem2Reg),
+        Box::new(SimplifyCfg),
+        Box::new(InstCombine),
+        Box::new(ConstFold),
+        Box::new(Dce),
+        Box::new(Adce),
+        Box::new(Inline),
+        Box::new(Sccp),
+        Box::new(Reassociate),
+        Box::new(Gvn),
+        Box::new(Cse),
+        Box::new(MemFwd),
+        Box::new(Dse),
+        Box::new(CopyProp),
+        Box::new(Licm),
+        Box::new(LoopUnroll),
+        Box::new(LoopDelete),
+        Box::new(Peephole),
+    ]
+}
+
+/// Lowers every module of a few generated projects into raw (unoptimized) IR.
+fn corpus() -> Vec<Module> {
+    let mut modules = Vec::new();
+    for seed in [1u64, 2, 3] {
+        let model = generate_model(&GeneratorConfig::small(seed));
+        let mut env = ModuleEnv::new();
+        for module in &model.modules {
+            let src = model.render_module(module);
+            let mut diags = Diagnostics::new();
+            let checked = parse_and_check(&module.name, &src, &env, &mut diags)
+                .expect("generated modules are valid");
+            env.insert(module.name.clone(), ModuleInterface::of(&checked.ast));
+            modules.push(sfcc_ir::lower_module(&checked, &env));
+        }
+    }
+    modules
+}
+
+fn apply(pass: &dyn Pass, module: &mut Module) {
+    let snapshot = module.clone();
+    for func in &mut module.functions {
+        pass.run(func, &snapshot);
+    }
+    verify_module(module)
+        .unwrap_or_else(|e| panic!("pass '{}' broke the IR: {e}\n{module}", pass.name()));
+}
+
+/// Every pass must keep raw pre-mem2reg IR verifiable, even though it
+/// normally runs after SSA construction.
+#[test]
+fn every_pass_is_safe_on_raw_ir() {
+    let corpus = corpus();
+    for pass in all_passes() {
+        for module in &corpus {
+            let mut m = module.clone();
+            apply(pass.as_ref(), &mut m);
+        }
+    }
+}
+
+/// Every ordered pair of passes must compose on SSA-form IR.
+#[test]
+fn every_pass_pair_composes_on_ssa() {
+    // Pre-promote the corpus once (mem2reg + cleanup) so pairs run on SSA.
+    let mut ssa_corpus = corpus();
+    for module in &mut ssa_corpus {
+        apply(&Mem2Reg, module);
+        apply(&SimplifyCfg, module);
+    }
+    let passes = all_passes();
+    for (i, first) in passes.iter().enumerate() {
+        for (j, second) in passes.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            // One representative module keeps the quadratic sweep fast.
+            let mut m = ssa_corpus[(i * passes.len() + j) % ssa_corpus.len()].clone();
+            apply(first.as_ref(), &mut m);
+            apply(second.as_ref(), &mut m);
+        }
+    }
+}
+
+/// Running any single pass twice: the second run of an idempotent-by-design
+/// pass must not crash, and the IR must still verify (we don't require
+/// dormancy — some passes legitimately iterate).
+#[test]
+fn double_application_is_safe() {
+    let corpus = corpus();
+    for pass in all_passes() {
+        let mut m = corpus[0].clone();
+        apply(pass.as_ref(), &mut m);
+        apply(pass.as_ref(), &mut m);
+    }
+}
+
+/// The inliner against snapshots at different optimization stages: the
+/// snapshot may be more or less optimized than the function being compiled.
+#[test]
+fn inline_handles_stale_and_fresh_snapshots() {
+    let mut modules = corpus();
+    let module = &mut modules[0];
+    let raw_snapshot = module.clone();
+    // Optimize the module heavily, then inline against the *raw* snapshot.
+    for pass in all_passes() {
+        let snap = module.clone();
+        for func in &mut module.functions {
+            pass.run(func, &snap);
+        }
+    }
+    for func in &mut module.functions {
+        Inline.run(func, &raw_snapshot);
+    }
+    verify_module(module).unwrap_or_else(|e| panic!("{e}\n{module}"));
+}
+
+/// simplify-cfg must tolerate hand-made degenerate CFGs.
+#[test]
+fn simplify_cfg_handles_degenerate_shapes() {
+    for text in [
+        // Self-loop with a constant exit.
+        "fn @f() -> i64 {\nbb0:\n  br bb1\nbb1:\n  condbr true, bb1, bb2\nbb2:\n  ret 1\n}",
+        // Chain of empty forwarders.
+        "fn @f() -> i64 {\nbb0:\n  br bb1\nbb1:\n  br bb2\nbb2:\n  br bb3\nbb3:\n  ret 4\n}",
+        // Condbr where both arms are the same empty forwarder.
+        "fn @f(i1) -> i64 {\nbb0:\n  condbr p0, bb1, bb1\nbb1:\n  br bb2\nbb2:\n  ret 9\n}",
+        // Unreachable cycle hanging off the function.
+        "fn @f() -> i64 {\nbb0:\n  ret 0\nbb1:\n  br bb2\nbb2:\n  br bb1\n}",
+    ] {
+        let f = sfcc_ir::parse_function(text).unwrap();
+        let mut m = Module::new("t");
+        m.add_function(f);
+        apply(&SimplifyCfg, &mut m);
+        // Fixpoint: a second run must be dormant.
+        let snapshot = m.clone();
+        let changed = SimplifyCfg.run(&mut m.functions[0], &snapshot);
+        assert!(!changed, "simplify-cfg not at fixpoint for {text}\n{m}");
+    }
+}
+
+/// loop passes must tolerate loops whose preheader is missing (multiple
+/// outside predecessors into the header).
+#[test]
+fn loop_passes_tolerate_missing_preheader() {
+    let text = r"
+fn @f(i1, i64) -> i64 {
+bb0:
+  condbr p0, bb1, bb2
+bb1:
+  br bb3
+bb2:
+  br bb3
+bb3:
+  v0 = phi i64 [bb1: 0], [bb2: 5], [bb4: v1]
+  v2 = icmp slt v0, p1
+  condbr v2, bb4, bb5
+bb4:
+  v1 = add i64 v0, 1
+  br bb3
+bb5:
+  ret v0
+}";
+    let f = sfcc_ir::parse_function(text).unwrap();
+    let mut m = Module::new("t");
+    m.add_function(f);
+    for pass in [&Licm as &dyn Pass, &LoopUnroll, &LoopDelete] {
+        let mut copy = m.clone();
+        let snapshot = copy.clone();
+        let changed = pass.run(&mut copy.functions[0], &snapshot);
+        assert!(!changed, "{} should bail without a preheader", pass.name());
+        verify_module(&copy).unwrap();
+    }
+}

@@ -1,0 +1,662 @@
+//! # sfcc-refinterp
+//!
+//! A reference tree-walking interpreter for MiniC, written directly against
+//! the AST with no shared code below the front end. Its only purpose is to
+//! be an *independent* definition of MiniC semantics: the differential test
+//! suite runs generated programs through this interpreter and through the
+//! full compile-optimize-execute pipeline and requires identical observable
+//! behaviour (prints, return value, and trap kind).
+//!
+//! Semantics mirrored from the language definition:
+//! * `int` is a wrapping 64-bit signed integer; `/` and `%` trap on zero
+//!   divisors and on `i64::MIN / -1`;
+//! * shift amounts are masked to 6 bits; `>>` is arithmetic;
+//! * `&&`/`||` short-circuit;
+//! * arrays are zero-initialized and bounds-checked;
+//! * `print` appends to the program output;
+//! * call depth and total evaluated steps are limited (like the VM's stack
+//!   and fuel limits), yielding [`RefError::StackOverflow`] /
+//!   [`RefError::OutOfFuel`].
+//!
+//! # Examples
+//!
+//! ```
+//! use sfcc_frontend::{parse_and_check, Diagnostics, ModuleEnv};
+//! use sfcc_refinterp::{Machine, RefOptions};
+//!
+//! let mut diags = Diagnostics::new();
+//! let checked = parse_and_check(
+//!     "main",
+//!     "fn main(n: int) -> int { let s: int = 0;
+//!      for (let i: int = 0; i <= n; i = i + 1) { s = s + i; } return s; }",
+//!     &ModuleEnv::new(),
+//!     &mut diags,
+//! ).expect("valid");
+//!
+//! let machine = Machine::new(vec![checked]);
+//! let out = machine.run("main", "main", &[10], RefOptions::default()).unwrap();
+//! assert_eq!(out.return_value, Some(55));
+//! ```
+
+use sfcc_frontend::ast::{BinOp, Block, Expr, ExprKind, FunctionDef, LValue, Stmt, StmtKind, TypeAst, UnOp};
+use sfcc_frontend::sema::{CheckedModule, BUILTIN_PRINT};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Default step budget.
+pub const DEFAULT_FUEL: u64 = 50_000_000;
+/// Default call-depth limit.
+pub const DEFAULT_MAX_DEPTH: usize = 256;
+
+/// Why reference execution stopped abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefError {
+    /// Division by zero or `i64::MIN / -1`.
+    ArithmeticTrap,
+    /// Array access out of bounds.
+    OutOfBounds {
+        /// The offending index.
+        index: i64,
+        /// Array length.
+        len: usize,
+    },
+    /// Step budget exhausted.
+    OutOfFuel,
+    /// Call depth exceeded.
+    StackOverflow,
+    /// Entry function not found.
+    NoSuchFunction(String),
+    /// Wrong number of entry arguments.
+    BadArity,
+}
+
+impl fmt::Display for RefError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RefError::ArithmeticTrap => write!(f, "arithmetic trap"),
+            RefError::OutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            RefError::OutOfFuel => write!(f, "fuel exhausted"),
+            RefError::StackOverflow => write!(f, "call depth exceeded"),
+            RefError::NoSuchFunction(n) => write!(f, "no such function '{n}'"),
+            RefError::BadArity => write!(f, "wrong number of arguments"),
+        }
+    }
+}
+
+impl std::error::Error for RefError {}
+
+/// Observable result of a reference run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RefOutput {
+    /// Values printed, in order.
+    pub prints: Vec<i64>,
+    /// The entry function's return value (if it returns one).
+    pub return_value: Option<i64>,
+}
+
+/// Execution limits.
+#[derive(Debug, Clone, Copy)]
+pub struct RefOptions {
+    /// Step budget (each evaluated statement/expression node is a step).
+    pub fuel: u64,
+    /// Maximum call depth.
+    pub max_depth: usize,
+}
+
+impl Default for RefOptions {
+    fn default() -> Self {
+        RefOptions { fuel: DEFAULT_FUEL, max_depth: DEFAULT_MAX_DEPTH }
+    }
+}
+
+/// A runtime value: scalar or array storage.
+#[derive(Debug, Clone)]
+enum Value {
+    Int(i64),
+    Array(Vec<i64>),
+}
+
+/// Control-flow signal bubbling out of statements.
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(Option<i64>),
+}
+
+/// A loaded multi-module MiniC program.
+#[derive(Debug)]
+pub struct Machine {
+    modules: HashMap<String, CheckedModule>,
+}
+
+impl Machine {
+    /// Creates a machine from type-checked modules.
+    pub fn new(modules: Vec<CheckedModule>) -> Self {
+        Machine {
+            modules: modules.into_iter().map(|m| (m.ast.name.clone(), m)).collect(),
+        }
+    }
+
+    /// Runs `module::function` with integer arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RefError`] on traps or resource exhaustion.
+    pub fn run(
+        &self,
+        module: &str,
+        function: &str,
+        args: &[i64],
+        options: RefOptions,
+    ) -> Result<RefOutput, RefError> {
+        let mut state = Exec {
+            machine: self,
+            prints: Vec::new(),
+            fuel: options.fuel,
+            max_depth: options.max_depth,
+        };
+        let ret = state.call(module, function, args, 0)?;
+        Ok(RefOutput { prints: state.prints, return_value: ret })
+    }
+}
+
+struct Exec<'m> {
+    machine: &'m Machine,
+    prints: Vec<i64>,
+    fuel: u64,
+    max_depth: usize,
+}
+
+/// One function invocation's local environment (a scope stack).
+struct Env {
+    scopes: Vec<HashMap<String, Value>>,
+}
+
+impl Env {
+    fn lookup(&mut self, name: &str) -> Option<&mut Value> {
+        self.scopes.iter_mut().rev().find_map(|s| s.get_mut(name))
+    }
+
+    fn declare(&mut self, name: &str, value: Value) {
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(name.to_string(), value);
+    }
+}
+
+impl<'m> Exec<'m> {
+    fn tick(&mut self) -> Result<(), RefError> {
+        if self.fuel == 0 {
+            return Err(RefError::OutOfFuel);
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    fn module(&self, name: &str) -> Result<&'m CheckedModule, RefError> {
+        self.machine
+            .modules
+            .get(name)
+            .ok_or_else(|| RefError::NoSuchFunction(format!("{name}::?")))
+    }
+
+    fn call(
+        &mut self,
+        module_name: &str,
+        function: &str,
+        args: &[i64],
+        depth: usize,
+    ) -> Result<Option<i64>, RefError> {
+        if depth >= self.max_depth {
+            return Err(RefError::StackOverflow);
+        }
+        let module = self.module(module_name)?;
+        let func: &FunctionDef = module
+            .ast
+            .function(function)
+            .ok_or_else(|| RefError::NoSuchFunction(format!("{module_name}::{function}")))?;
+        if func.params.len() != args.len() {
+            return Err(RefError::BadArity);
+        }
+        let mut env = Env { scopes: vec![HashMap::new()] };
+        for (param, &value) in func.params.iter().zip(args) {
+            env.declare(&param.name, Value::Int(value));
+        }
+        match self.block(module, func, &mut env, &func.body, depth)? {
+            Flow::Return(v) => Ok(v),
+            // Falling off the end: sema guarantees this only happens for
+            // void functions.
+            _ => Ok(None),
+        }
+    }
+
+    fn block(
+        &mut self,
+        module: &'m CheckedModule,
+        func: &'m FunctionDef,
+        env: &mut Env,
+        block: &'m Block,
+        depth: usize,
+    ) -> Result<Flow, RefError> {
+        env.scopes.push(HashMap::new());
+        let result = (|| {
+            for stmt in &block.stmts {
+                match self.stmt(module, func, env, stmt, depth)? {
+                    Flow::Normal => {}
+                    other => return Ok(other),
+                }
+            }
+            Ok(Flow::Normal)
+        })();
+        env.scopes.pop();
+        result
+    }
+
+    fn stmt(
+        &mut self,
+        module: &'m CheckedModule,
+        func: &'m FunctionDef,
+        env: &mut Env,
+        stmt: &'m Stmt,
+        depth: usize,
+    ) -> Result<Flow, RefError> {
+        self.tick()?;
+        match &stmt.kind {
+            StmtKind::Let { name, ty, init } => {
+                let value = match (ty, init) {
+                    (TypeAst::IntArray(n) | TypeAst::BoolArray(n), _) => {
+                        Value::Array(vec![0; *n as usize])
+                    }
+                    (_, Some(e)) => Value::Int(self.expr(module, func, env, e, depth)?),
+                    (_, None) => Value::Int(0), // unreachable per sema
+                };
+                env.declare(name, value);
+                Ok(Flow::Normal)
+            }
+            StmtKind::Assign(lv, e) => {
+                let value = self.expr(module, func, env, e, depth)?;
+                match lv {
+                    LValue::Var(name, _) => {
+                        let slot = env.lookup(name).expect("sema resolved");
+                        *slot = Value::Int(value);
+                    }
+                    LValue::Index(name, idx, _) => {
+                        let index = self.expr(module, func, env, idx, depth)?;
+                        let slot = env.lookup(name).expect("sema resolved");
+                        let Value::Array(data) = slot else { unreachable!("sema typed") };
+                        let len = data.len();
+                        if index < 0 || index as usize >= len {
+                            return Err(RefError::OutOfBounds { index, len });
+                        }
+                        data[index as usize] = value;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::If { cond, then_block, else_block } => {
+                if self.expr(module, func, env, cond, depth)? != 0 {
+                    self.block(module, func, env, then_block, depth)
+                } else if let Some(eb) = else_block {
+                    self.block(module, func, env, eb, depth)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            StmtKind::While { cond, body } => {
+                loop {
+                    self.tick()?;
+                    if self.expr(module, func, env, cond, depth)? == 0 {
+                        return Ok(Flow::Normal);
+                    }
+                    match self.block(module, func, env, body, depth)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => return Ok(Flow::Normal),
+                        ret @ Flow::Return(_) => return Ok(ret),
+                    }
+                }
+            }
+            StmtKind::For { init, cond, step, body } => {
+                env.scopes.push(HashMap::new());
+                let result = (|| {
+                    if let Some(init) = init {
+                        match self.stmt(module, func, env, init, depth)? {
+                            Flow::Normal => {}
+                            other => return Ok(other),
+                        }
+                    }
+                    loop {
+                        self.tick()?;
+                        if let Some(cond) = cond {
+                            if self.expr(module, func, env, cond, depth)? == 0 {
+                                return Ok(Flow::Normal);
+                            }
+                        }
+                        match self.block(module, func, env, body, depth)? {
+                            Flow::Normal | Flow::Continue => {}
+                            Flow::Break => return Ok(Flow::Normal),
+                            ret @ Flow::Return(_) => return Ok(ret),
+                        }
+                        if let Some(step) = step {
+                            match self.stmt(module, func, env, step, depth)? {
+                                Flow::Normal => {}
+                                other => return Ok(other),
+                            }
+                        }
+                    }
+                })();
+                env.scopes.pop();
+                result
+            }
+            StmtKind::Return(value) => {
+                let v = match value {
+                    Some(e) => Some(self.expr(module, func, env, e, depth)?),
+                    None => None,
+                };
+                Ok(Flow::Return(v))
+            }
+            StmtKind::Break => Ok(Flow::Break),
+            StmtKind::Continue => Ok(Flow::Continue),
+            StmtKind::Expr(e) => {
+                self.expr_maybe_void(module, func, env, e, depth)?;
+                Ok(Flow::Normal)
+            }
+            StmtKind::Block(b) => self.block(module, func, env, b, depth),
+        }
+    }
+
+    fn expr(
+        &mut self,
+        module: &'m CheckedModule,
+        func: &'m FunctionDef,
+        env: &mut Env,
+        expr: &'m Expr,
+        depth: usize,
+    ) -> Result<i64, RefError> {
+        Ok(self
+            .expr_maybe_void(module, func, env, expr, depth)?
+            .expect("sema rejected void value uses"))
+    }
+
+    fn expr_maybe_void(
+        &mut self,
+        module: &'m CheckedModule,
+        func: &'m FunctionDef,
+        env: &mut Env,
+        expr: &'m Expr,
+        depth: usize,
+    ) -> Result<Option<i64>, RefError> {
+        self.tick()?;
+        match &expr.kind {
+            ExprKind::Int(v) => Ok(Some(*v)),
+            ExprKind::Bool(b) => Ok(Some(*b as i64)),
+            ExprKind::Var(name) => match env.lookup(name) {
+                Some(Value::Int(v)) => Ok(Some(*v)),
+                Some(Value::Array(_)) => unreachable!("sema rejects array-as-value"),
+                None => Ok(Some(module.global_values[name])),
+            },
+            ExprKind::Index(name, idx) => {
+                let index = self.expr(module, func, env, idx, depth)?;
+                let Some(Value::Array(data)) = env.lookup(name) else {
+                    unreachable!("sema typed")
+                };
+                let len = data.len();
+                if index < 0 || index as usize >= len {
+                    return Err(RefError::OutOfBounds { index, len });
+                }
+                Ok(Some(data[index as usize]))
+            }
+            ExprKind::Unary(op, inner) => {
+                let v = self.expr(module, func, env, inner, depth)?;
+                Ok(Some(match op {
+                    UnOp::Neg => 0i64.wrapping_sub(v),
+                    UnOp::Not => (v == 0) as i64,
+                }))
+            }
+            ExprKind::Binary(op, lhs, rhs) => {
+                // Short-circuit forms first.
+                match op {
+                    BinOp::And => {
+                        let l = self.expr(module, func, env, lhs, depth)?;
+                        if l == 0 {
+                            return Ok(Some(0));
+                        }
+                        return Ok(Some(self.expr(module, func, env, rhs, depth)?));
+                    }
+                    BinOp::Or => {
+                        let l = self.expr(module, func, env, lhs, depth)?;
+                        if l != 0 {
+                            return Ok(Some(1));
+                        }
+                        return Ok(Some(self.expr(module, func, env, rhs, depth)?));
+                    }
+                    _ => {}
+                }
+                let a = self.expr(module, func, env, lhs, depth)?;
+                let b = self.expr(module, func, env, rhs, depth)?;
+                let v = match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Div | BinOp::Rem => {
+                        if b == 0 || (a == i64::MIN && b == -1) {
+                            return Err(RefError::ArithmeticTrap);
+                        }
+                        if *op == BinOp::Div {
+                            a / b
+                        } else {
+                            a % b
+                        }
+                    }
+                    BinOp::BitAnd => a & b,
+                    BinOp::BitOr => a | b,
+                    BinOp::BitXor => a ^ b,
+                    BinOp::Shl => a.wrapping_shl((b & 63) as u32),
+                    BinOp::Shr => a.wrapping_shr((b & 63) as u32),
+                    BinOp::Eq => (a == b) as i64,
+                    BinOp::Ne => (a != b) as i64,
+                    BinOp::Lt => (a < b) as i64,
+                    BinOp::Le => (a <= b) as i64,
+                    BinOp::Gt => (a > b) as i64,
+                    BinOp::Ge => (a >= b) as i64,
+                    BinOp::And | BinOp::Or => unreachable!("handled above"),
+                };
+                Ok(Some(v))
+            }
+            ExprKind::Call { module: target_module, name, args } => {
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args {
+                    argv.push(self.expr(module, func, env, a, depth)?);
+                }
+                if target_module.is_none() && name == BUILTIN_PRINT {
+                    self.prints.push(argv[0]);
+                    return Ok(None);
+                }
+                let callee_module = match target_module {
+                    Some(m) => m.as_str(),
+                    None => module.ast.name.as_str(),
+                };
+                self.call(callee_module, name, &argv, depth + 1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfcc_frontend::{parse_and_check, Diagnostics, ModuleEnv, ModuleInterface};
+
+    fn machine(sources: &[(&str, &str)]) -> Machine {
+        let mut env = ModuleEnv::new();
+        let mut modules = Vec::new();
+        for (name, src) in sources {
+            let mut diags = Diagnostics::new();
+            let checked = parse_and_check(name, src, &env, &mut diags)
+                .unwrap_or_else(|| panic!("invalid source: {diags:?}"));
+            env.insert(name.to_string(), ModuleInterface::of(&checked.ast));
+            modules.push(checked);
+        }
+        Machine::new(modules)
+    }
+
+    fn run_main(m: &Machine, args: &[i64]) -> Result<RefOutput, RefError> {
+        m.run("main", "main", args, RefOptions::default())
+    }
+
+    #[test]
+    fn arithmetic_and_loops() {
+        let m = machine(&[(
+            "main",
+            "fn main(n: int) -> int { let s: int = 0; for (let i: int = 1; i <= n; i = i + 1) { s = s + i * i; } return s; }",
+        )]);
+        assert_eq!(run_main(&m, &[4]).unwrap().return_value, Some(30));
+    }
+
+    #[test]
+    fn division_traps() {
+        let m = machine(&[("main", "fn main(n: int) -> int { return 10 / n; }")]);
+        assert_eq!(run_main(&m, &[0]).unwrap_err(), RefError::ArithmeticTrap);
+        assert_eq!(run_main(&m, &[3]).unwrap().return_value, Some(3));
+        let m = machine(&[("main", "fn main(n: int) -> int { return n % 0; }")]);
+        assert_eq!(run_main(&m, &[1]).unwrap_err(), RefError::ArithmeticTrap);
+    }
+
+    #[test]
+    fn min_div_minus_one_traps() {
+        // i64::MIN spelled without an overflowing literal.
+        let m = machine(&[(
+            "main",
+            "fn main(n: int) -> int { return (0 - 9223372036854775807 - 1) / n; }",
+        )]);
+        assert_eq!(run_main(&m, &[-1]).unwrap_err(), RefError::ArithmeticTrap);
+        assert_eq!(run_main(&m, &[1]).unwrap().return_value, Some(i64::MIN));
+    }
+
+    #[test]
+    fn arrays_and_bounds() {
+        let m = machine(&[(
+            "main",
+            "fn main(i: int) -> int { let a: [int; 4]; a[2] = 9; return a[i]; }",
+        )]);
+        assert_eq!(run_main(&m, &[2]).unwrap().return_value, Some(9));
+        assert_eq!(run_main(&m, &[0]).unwrap().return_value, Some(0)); // zero-init
+        assert!(matches!(run_main(&m, &[4]), Err(RefError::OutOfBounds { .. })));
+        assert!(matches!(run_main(&m, &[-1]), Err(RefError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn short_circuit_side_effects() {
+        let m = machine(&[(
+            "main",
+            "fn noisy(x: int) -> bool { print(x); return x > 0; }
+             fn main(n: int) -> int {
+                if (n > 5 && noisy(1)) { return 1; }
+                if (n > 5 || noisy(2)) { return 2; }
+                return 3;
+             }",
+        )]);
+        let out = run_main(&m, &[0]).unwrap();
+        // n>5 false: && skips noisy(1); || evaluates noisy(2), which is
+        // truthy, so the second branch is taken.
+        assert_eq!(out.prints, vec![2]);
+        assert_eq!(out.return_value, Some(2));
+    }
+
+    #[test]
+    fn break_continue_semantics() {
+        let m = machine(&[(
+            "main",
+            "fn main(n: int) -> int {
+                let s: int = 0;
+                for (let i: int = 0; i < n; i = i + 1) {
+                    if (i == 2) { continue; }
+                    if (i == 5) { break; }
+                    s = s + i;
+                }
+                return s;
+            }",
+        )]);
+        // 0+1+3+4 = 8
+        assert_eq!(run_main(&m, &[10]).unwrap().return_value, Some(8));
+    }
+
+    #[test]
+    fn cross_module_calls() {
+        let m = machine(&[
+            ("util", "fn triple(x: int) -> int { return x * 3; }"),
+            (
+                "main",
+                "import util;\nfn main(n: int) -> int { return util::triple(n) + 1; }",
+            ),
+        ]);
+        assert_eq!(run_main(&m, &[5]).unwrap().return_value, Some(16));
+    }
+
+    #[test]
+    fn globals_resolve() {
+        let m = machine(&[(
+            "main",
+            "const K: int = 6 * 7;\nfn main(n: int) -> int { return K + n; }",
+        )]);
+        assert_eq!(run_main(&m, &[1]).unwrap().return_value, Some(43));
+    }
+
+    #[test]
+    fn recursion_and_depth_limit() {
+        let m = machine(&[(
+            "main",
+            "fn main(n: int) -> int { if (n <= 0) { return 0; } return main(n - 1) + 1; }",
+        )]);
+        assert_eq!(run_main(&m, &[50]).unwrap().return_value, Some(50));
+        let deep = m.run("main", "main", &[100_000], RefOptions::default());
+        assert_eq!(deep.unwrap_err(), RefError::StackOverflow);
+    }
+
+    #[test]
+    fn infinite_loop_exhausts_fuel() {
+        let m = machine(&[("main", "fn main(n: int) -> int { while (true) {} return n; }")]);
+        let out = m.run("main", "main", &[1], RefOptions { fuel: 10_000, max_depth: 8 });
+        assert_eq!(out.unwrap_err(), RefError::OutOfFuel);
+    }
+
+    #[test]
+    fn wrapping_arithmetic() {
+        let m = machine(&[(
+            "main",
+            &format!("fn main(n: int) -> int {{ return ({}) + n; }}", i64::MAX),
+        )]);
+        assert_eq!(run_main(&m, &[1]).unwrap().return_value, Some(i64::MIN));
+    }
+
+    #[test]
+    fn shift_masking() {
+        let m = machine(&[("main", "fn main(n: int) -> int { return 1 << n; }")]);
+        // Shift of 64 masks to 0.
+        assert_eq!(run_main(&m, &[64]).unwrap().return_value, Some(1));
+        assert_eq!(run_main(&m, &[3]).unwrap().return_value, Some(8));
+    }
+
+    #[test]
+    fn scoping_shadows_correctly() {
+        let m = machine(&[(
+            "main",
+            "fn main(n: int) -> int { let x: int = 1; { let x: int = 2; print(x); } return x + n; }",
+        )]);
+        let out = run_main(&m, &[0]).unwrap();
+        assert_eq!(out.prints, vec![2]);
+        assert_eq!(out.return_value, Some(1));
+    }
+
+    #[test]
+    fn void_functions_work() {
+        let m = machine(&[(
+            "main",
+            "fn tell(x: int) { print(x); }\nfn main(n: int) -> int { tell(n); tell(n + 1); return 0; }",
+        )]);
+        assert_eq!(run_main(&m, &[7]).unwrap().prints, vec![7, 8]);
+    }
+}

@@ -1,0 +1,304 @@
+//! Dormancy records: what the stateful compiler remembers between builds.
+//!
+//! The paper's central data structure. For every function the compiler
+//! keeps, per pipeline *slot* (pass position), whether the pass was active
+//! or dormant in the previous build and how many consecutive builds it has
+//! been dormant — enough to drive every skip policy in the evaluation.
+
+use sfcc_ir::Fingerprint;
+use sfcc_passes::{FunctionTrace, PassOutcome, PipelineTrace};
+use std::collections::HashMap;
+
+/// Per-(function, slot) dormancy state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SlotRecord {
+    /// Outcome of the most recent *executed* run of this slot
+    /// (`true` = dormant). Skipped slots keep their previous value — a skip
+    /// is a bet that the pass is still dormant.
+    pub dormant: bool,
+    /// Number of consecutive builds (executed or skipped) this slot has been
+    /// dormant; reset to zero when the pass fires.
+    pub dormant_streak: u32,
+    /// Total times this slot was skipped for this function (statistics).
+    pub times_skipped: u32,
+    /// Sliding window of the last up-to-8 builds' outcomes, newest in bit 0
+    /// (`1` = dormant or skipped-as-dormant). Drives the majority policy.
+    pub history: u8,
+    /// How many builds have contributed to `history` (saturates at 8).
+    pub observations: u8,
+}
+
+impl SlotRecord {
+    /// Number of dormant outcomes among the last `window` observed builds.
+    pub fn dormant_in_window(&self, window: u8) -> u32 {
+        let n = window.min(self.observations).min(8);
+        if n == 0 {
+            return 0;
+        }
+        let mask = if n >= 8 { u8::MAX } else { (1u8 << n) - 1 };
+        (self.history & mask).count_ones()
+    }
+
+    /// Builds actually observed within `window` (≤ 8).
+    pub fn window_len(&self, window: u8) -> u8 {
+        window.min(self.observations).min(8)
+    }
+}
+
+/// What the compiler remembers about one function.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FunctionRecord {
+    /// Structural fingerprint at pipeline entry in the recorded build.
+    pub fingerprint: Fingerprint,
+    /// Fingerprint after the pipeline (used to detect output changes).
+    pub exit_fingerprint: Fingerprint,
+    /// One record per pipeline slot.
+    pub slots: Vec<SlotRecord>,
+    /// Build counter value when this record was last refreshed.
+    pub last_build: u64,
+}
+
+impl FunctionRecord {
+    /// Whether the slot at `index` is recorded dormant.
+    pub fn is_dormant(&self, index: usize) -> bool {
+        self.slots.get(index).is_some_and(|s| s.dormant)
+    }
+
+    /// The dormant streak of the slot at `index` (0 when unknown).
+    pub fn streak(&self, index: usize) -> u32 {
+        self.slots.get(index).map_or(0, |s| s.dormant_streak)
+    }
+}
+
+/// Per-module dormancy state.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ModuleState {
+    /// Hash of the pipeline's slot names; a mismatch invalidates the state.
+    pub pipeline_hash: Fingerprint,
+    /// Function name → record. Keyed by *name* so that an edited function
+    /// inherits its predecessor's dormancy profile (the paper's transfer
+    /// assumption: small edits rarely change which passes matter).
+    pub functions: HashMap<String, FunctionRecord>,
+    /// Monotonic build counter for this module.
+    pub build_counter: u64,
+}
+
+/// The complete on-disk state: one entry per module.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StateDb {
+    /// Module name → state.
+    pub modules: HashMap<String, ModuleState>,
+}
+
+impl StateDb {
+    /// Creates an empty database (a cold start).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total function records across all modules.
+    pub fn function_count(&self) -> usize {
+        self.modules.values().map(|m| m.functions.len()).sum()
+    }
+
+    /// Read access to a module's state.
+    pub fn module(&self, name: &str) -> Option<&ModuleState> {
+        self.modules.get(name)
+    }
+
+    /// Hash of a pipeline's slot names, for invalidation.
+    pub fn pipeline_hash(slot_names: &[&str]) -> Fingerprint {
+        Fingerprint::of_str(&slot_names.join("\u{1f}"))
+    }
+
+    /// Folds one build's [`PipelineTrace`] into the database.
+    ///
+    /// * Skipped slots extend their dormant streak (the skip presumed
+    ///   dormancy) and bump the skip counter.
+    /// * Function records absent from the trace are dropped (garbage
+    ///   collection of deleted functions).
+    /// * A pipeline-hash mismatch resets the module before ingesting.
+    pub fn ingest(&mut self, trace: &PipelineTrace, pipeline_hash: Fingerprint) {
+        let module = self.modules.entry(trace.module.clone()).or_default();
+        if module.pipeline_hash != pipeline_hash {
+            module.functions.clear();
+            module.pipeline_hash = pipeline_hash;
+        }
+        module.build_counter += 1;
+        let build = module.build_counter;
+
+        let mut fresh: HashMap<String, FunctionRecord> = HashMap::new();
+        for ftrace in &trace.functions {
+            let old = module.functions.get(&ftrace.function);
+            fresh.insert(ftrace.function.clone(), merge(old, ftrace, build));
+        }
+        module.functions = fresh;
+    }
+}
+
+/// Merges one function's new trace into its previous record.
+fn merge(old: Option<&FunctionRecord>, trace: &FunctionTrace, build: u64) -> FunctionRecord {
+    let mut slots = Vec::with_capacity(trace.records.len());
+    for (i, rec) in trace.records.iter().enumerate() {
+        let prev = old.and_then(|o| o.slots.get(i)).copied().unwrap_or_default();
+        let push_history = |dormant_bit: bool| -> (u8, u8) {
+            (
+                (prev.history << 1) | dormant_bit as u8,
+                prev.observations.saturating_add(1).min(8),
+            )
+        };
+        let slot = match rec.outcome {
+            PassOutcome::Active => {
+                let (history, observations) = push_history(false);
+                SlotRecord {
+                    dormant: false,
+                    dormant_streak: 0,
+                    times_skipped: prev.times_skipped,
+                    history,
+                    observations,
+                }
+            }
+            PassOutcome::Dormant => {
+                let (history, observations) = push_history(true);
+                SlotRecord {
+                    dormant: true,
+                    dormant_streak: prev.dormant_streak.saturating_add(1),
+                    times_skipped: prev.times_skipped,
+                    history,
+                    observations,
+                }
+            }
+            // A skip presumes dormancy; record it as such so the window
+            // reflects the compiler's acted-upon belief.
+            PassOutcome::Skipped => {
+                let (history, observations) = push_history(true);
+                SlotRecord {
+                    dormant: prev.dormant,
+                    dormant_streak: prev.dormant_streak.saturating_add(1),
+                    times_skipped: prev.times_skipped.saturating_add(1),
+                    history,
+                    observations,
+                }
+            }
+        };
+        slots.push(slot);
+    }
+    FunctionRecord {
+        fingerprint: trace.entry_fingerprint,
+        exit_fingerprint: trace.exit_fingerprint,
+        slots,
+        last_build: build,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfcc_passes::PassRecord;
+
+    fn trace_of(module: &str, func: &str, outcomes: &[PassOutcome]) -> PipelineTrace {
+        PipelineTrace {
+            module: module.to_string(),
+            functions: vec![FunctionTrace {
+                function: func.to_string(),
+                entry_fingerprint: Fingerprint(1),
+                exit_fingerprint: Fingerprint(2),
+                records: outcomes
+                    .iter()
+                    .enumerate()
+                    .map(|(slot, &outcome)| PassRecord {
+                        pass: format!("p{slot}"),
+                        slot,
+                        outcome,
+                        nanos: 1,
+                        cost_units: 1,
+                    })
+                    .collect(),
+            }],
+        }
+    }
+
+    const HASH: Fingerprint = Fingerprint(99);
+
+    #[test]
+    fn ingest_creates_records() {
+        let mut db = StateDb::new();
+        db.ingest(
+            &trace_of("m", "f", &[PassOutcome::Active, PassOutcome::Dormant]),
+            HASH,
+        );
+        let rec = &db.module("m").unwrap().functions["f"];
+        assert!(!rec.is_dormant(0));
+        assert!(rec.is_dormant(1));
+        assert_eq!(rec.streak(1), 1);
+        assert_eq!(db.function_count(), 1);
+    }
+
+    #[test]
+    fn streaks_accumulate_and_reset() {
+        let mut db = StateDb::new();
+        for _ in 0..3 {
+            db.ingest(&trace_of("m", "f", &[PassOutcome::Dormant]), HASH);
+        }
+        assert_eq!(db.module("m").unwrap().functions["f"].streak(0), 3);
+        db.ingest(&trace_of("m", "f", &[PassOutcome::Active]), HASH);
+        assert_eq!(db.module("m").unwrap().functions["f"].streak(0), 0);
+    }
+
+    #[test]
+    fn skip_extends_streak_and_counts() {
+        let mut db = StateDb::new();
+        db.ingest(&trace_of("m", "f", &[PassOutcome::Dormant]), HASH);
+        db.ingest(&trace_of("m", "f", &[PassOutcome::Skipped]), HASH);
+        let rec = &db.module("m").unwrap().functions["f"];
+        assert!(rec.is_dormant(0));
+        assert_eq!(rec.streak(0), 2);
+        assert_eq!(rec.slots[0].times_skipped, 1);
+    }
+
+    #[test]
+    fn deleted_functions_are_garbage_collected() {
+        let mut db = StateDb::new();
+        db.ingest(&trace_of("m", "f", &[PassOutcome::Dormant]), HASH);
+        db.ingest(&trace_of("m", "g", &[PassOutcome::Dormant]), HASH);
+        assert!(db.module("m").unwrap().functions.get("f").is_none());
+        assert!(db.module("m").unwrap().functions.get("g").is_some());
+    }
+
+    #[test]
+    fn pipeline_change_resets_module() {
+        let mut db = StateDb::new();
+        db.ingest(&trace_of("m", "f", &[PassOutcome::Dormant]), HASH);
+        assert_eq!(db.module("m").unwrap().functions["f"].streak(0), 1);
+        db.ingest(&trace_of("m", "f", &[PassOutcome::Dormant]), Fingerprint(7));
+        // Reset: streak restarts at 1, not 2.
+        assert_eq!(db.module("m").unwrap().functions["f"].streak(0), 1);
+    }
+
+    #[test]
+    fn build_counter_increments() {
+        let mut db = StateDb::new();
+        db.ingest(&trace_of("m", "f", &[]), HASH);
+        db.ingest(&trace_of("m", "f", &[]), HASH);
+        assert_eq!(db.module("m").unwrap().build_counter, 2);
+        assert_eq!(db.module("m").unwrap().functions["f"].last_build, 2);
+    }
+
+    #[test]
+    fn pipeline_hash_distinguishes_orders() {
+        let a = StateDb::pipeline_hash(&["x", "y"]);
+        let b = StateDb::pipeline_hash(&["y", "x"]);
+        let c = StateDb::pipeline_hash(&["x", "y"]);
+        assert_ne!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn modules_are_independent() {
+        let mut db = StateDb::new();
+        db.ingest(&trace_of("a", "f", &[PassOutcome::Dormant]), HASH);
+        db.ingest(&trace_of("b", "f", &[PassOutcome::Active]), HASH);
+        assert!(db.module("a").unwrap().functions["f"].is_dormant(0));
+        assert!(!db.module("b").unwrap().functions["f"].is_dormant(0));
+    }
+}

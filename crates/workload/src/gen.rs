@@ -1,0 +1,297 @@
+//! Project generation: configuration, presets, and model construction.
+
+use crate::model::{CalleeRef, FunctionModel, ModuleModel, ProjectModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Maximum call-graph depth a generated function may sit at (bounds VM
+/// recursion well below the interpreter's limit).
+pub const MAX_CALL_DEPTH: u32 = 24;
+
+/// Generator parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// RNG seed: same config + same seed ⇒ byte-identical project.
+    pub seed: u64,
+    /// Number of library modules (a `main` module is added on top).
+    pub modules: usize,
+    /// Functions per module, inclusive range.
+    pub functions_per_module: (usize, usize),
+    /// Statement budget per function, inclusive range.
+    pub stmts_per_function: (usize, usize),
+    /// Probability that a module imports any given earlier module.
+    pub import_density: f64,
+    /// Number of frozen callees per function, inclusive range.
+    pub callees_per_function: (usize, usize),
+    /// Human-readable preset name for tables.
+    pub name: String,
+}
+
+impl GeneratorConfig {
+    /// A tiny project (sanity runs): 4 modules.
+    pub fn small(seed: u64) -> Self {
+        GeneratorConfig {
+            seed,
+            modules: 4,
+            functions_per_module: (3, 6),
+            stmts_per_function: (4, 10),
+            import_density: 0.5,
+            callees_per_function: (0, 3),
+            name: "small".into(),
+        }
+    }
+
+    /// A medium project: 12 modules.
+    pub fn medium(seed: u64) -> Self {
+        GeneratorConfig {
+            seed,
+            modules: 12,
+            functions_per_module: (6, 12),
+            stmts_per_function: (6, 14),
+            import_density: 0.35,
+            callees_per_function: (1, 4),
+            name: "medium".into(),
+        }
+    }
+
+    /// A large project: 30 modules.
+    pub fn large(seed: u64) -> Self {
+        GeneratorConfig {
+            seed,
+            modules: 30,
+            functions_per_module: (8, 16),
+            stmts_per_function: (6, 16),
+            import_density: 0.25,
+            callees_per_function: (1, 5),
+            name: "large".into(),
+        }
+    }
+
+    /// An extra-large project: 60 modules.
+    pub fn xlarge(seed: u64) -> Self {
+        GeneratorConfig {
+            seed,
+            modules: 60,
+            functions_per_module: (8, 18),
+            stmts_per_function: (8, 18),
+            import_density: 0.15,
+            callees_per_function: (1, 5),
+            name: "xlarge".into(),
+        }
+    }
+
+    /// Call-heavy variant of medium (stresses the inliner).
+    pub fn call_heavy(seed: u64) -> Self {
+        GeneratorConfig {
+            callees_per_function: (3, 8),
+            name: "call-heavy".into(),
+            ..Self::medium(seed)
+        }
+    }
+
+    /// Loop-heavy variant of medium (stresses the loop passes): bigger
+    /// statement budgets make loop statements proportionally more likely.
+    pub fn loop_heavy(seed: u64) -> Self {
+        GeneratorConfig {
+            stmts_per_function: (12, 24),
+            callees_per_function: (0, 1),
+            name: "loop-heavy".into(),
+            ..Self::medium(seed)
+        }
+    }
+
+    /// The five standard evaluation projects, mirroring the paper's table of
+    /// benchmark C++ projects.
+    pub fn evaluation_suite(seed: u64) -> Vec<GeneratorConfig> {
+        vec![
+            Self::small(seed),
+            Self::medium(seed.wrapping_add(1)),
+            Self::large(seed.wrapping_add(2)),
+            Self::call_heavy(seed.wrapping_add(3)),
+            Self::loop_heavy(seed.wrapping_add(4)),
+        ]
+    }
+}
+
+/// Generates the structured model for `config`.
+pub fn generate_model(config: &GeneratorConfig) -> ProjectModel {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5fcc);
+    let mut modules: Vec<ModuleModel> = Vec::with_capacity(config.modules + 1);
+
+    for mi in 0..config.modules {
+        let name = format!("m{mi:02}");
+        let mut imports: Vec<usize> = (0..mi)
+            .filter(|_| rng.gen_bool(config.import_density))
+            .collect();
+        // Cap the import list so interfaces stay readable.
+        imports.truncate(6);
+
+        let fn_count =
+            rng.gen_range(config.functions_per_module.0..=config.functions_per_module.1);
+        let mut functions = Vec::with_capacity(fn_count);
+        for fi in 0..fn_count {
+            let func =
+                make_function(config, &mut rng, &modules, mi, &imports, fi, &functions);
+            functions.push(func);
+        }
+        modules.push(ModuleModel { name, imports, functions });
+    }
+
+    // The `main` module imports everything directly and calls a sample of
+    // functions so the whole program is reachable and runnable.
+    let main = make_main(&mut rng, &modules);
+    modules.push(main);
+
+    ProjectModel { modules }
+}
+
+/// Picks callees for a new function and computes its call depth.
+fn make_function(
+    config: &GeneratorConfig,
+    rng: &mut StdRng,
+    modules: &[ModuleModel],
+    module_idx: usize,
+    imports: &[usize],
+    fn_idx: usize,
+    earlier_in_module: &[FunctionModel],
+) -> FunctionModel {
+    // Candidate callees: earlier functions in this module, or any function
+    // of an imported module — always "backwards", so the call graph is a
+    // DAG by construction.
+    let mut candidates: Vec<(CalleeRef, u32)> = Vec::new();
+    for (i, f) in earlier_in_module.iter().enumerate() {
+        candidates.push((CalleeRef { module: module_idx, function: i }, f.depth));
+    }
+    for &imp in imports {
+        for (i, f) in modules[imp].functions.iter().enumerate() {
+            candidates.push((CalleeRef { module: imp, function: i }, f.depth));
+        }
+    }
+    candidates.retain(|(_, depth)| *depth < MAX_CALL_DEPTH);
+
+    let want = rng.gen_range(config.callees_per_function.0..=config.callees_per_function.1);
+    let mut callees = Vec::new();
+    let mut depth = 1;
+    for _ in 0..want {
+        if candidates.is_empty() {
+            break;
+        }
+        let (callee, cd) = candidates[rng.gen_range(0..candidates.len())];
+        callees.push(callee);
+        depth = depth.max(cd + 1);
+    }
+
+    FunctionModel {
+        name: format!("f{fn_idx}"),
+        params: rng.gen_range(1..=3),
+        body_seed: rng.gen(),
+        stmt_budget: rng
+            .gen_range(config.stmts_per_function.0..=config.stmts_per_function.1),
+        callees,
+        depth,
+        const_bump: 0,
+        extra_stmts: 0,
+    }
+}
+
+fn make_main(rng: &mut StdRng, modules: &[ModuleModel]) -> ModuleModel {
+    let imports: Vec<usize> = (0..modules.len()).collect();
+    // main calls up to 24 shallow functions across the project.
+    let mut callees = Vec::new();
+    let mut all: Vec<(CalleeRef, u32)> = Vec::new();
+    for (mi, m) in modules.iter().enumerate() {
+        for (fi, f) in m.functions.iter().enumerate() {
+            all.push((CalleeRef { module: mi, function: fi }, f.depth));
+        }
+    }
+    all.retain(|(_, d)| *d < MAX_CALL_DEPTH);
+    for _ in 0..24.min(all.len()) {
+        let (c, _) = all[rng.gen_range(0..all.len())];
+        callees.push(c);
+    }
+    let main_fn = FunctionModel {
+        name: "main".into(),
+        params: 1,
+        body_seed: rng.gen(),
+        stmt_budget: 10,
+        callees,
+        depth: MAX_CALL_DEPTH + 1,
+        const_bump: 0,
+        extra_stmts: 0,
+    };
+    ModuleModel { name: "main".into(), imports, functions: vec![main_fn] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfcc_frontend::{parse_and_check, Diagnostics, ModuleEnv, ModuleInterface};
+
+    /// Type-checks every generated module in dependency order.
+    fn check_project(model: &ProjectModel) {
+        let mut env = ModuleEnv::new();
+        for module in &model.modules {
+            let src = model.render_module(module);
+            let mut diags = Diagnostics::new();
+            let checked = parse_and_check(&module.name, &src, &env, &mut diags)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "generated module '{}' is invalid:\n{diags:?}\n--- source ---\n{src}",
+                        module.name
+                    )
+                });
+            env.insert(module.name.clone(), ModuleInterface::of(&checked.ast));
+        }
+    }
+
+    #[test]
+    fn small_projects_type_check() {
+        for seed in 0..8 {
+            check_project(&generate_model(&GeneratorConfig::small(seed)));
+        }
+    }
+
+    #[test]
+    fn medium_project_type_checks() {
+        check_project(&generate_model(&GeneratorConfig::medium(42)));
+    }
+
+    #[test]
+    fn all_presets_type_check() {
+        for config in GeneratorConfig::evaluation_suite(123) {
+            check_project(&generate_model(&config));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_model(&GeneratorConfig::medium(9)).render();
+        let b = generate_model(&GeneratorConfig::medium(9)).render();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn main_module_exists_with_entry() {
+        let m = generate_model(&GeneratorConfig::small(3));
+        let main = m.modules.last().unwrap();
+        assert_eq!(main.name, "main");
+        assert_eq!(main.functions[0].name, "main");
+    }
+
+    #[test]
+    fn call_depths_are_bounded() {
+        let m = generate_model(&GeneratorConfig::call_heavy(5));
+        for module in &m.modules[..m.modules.len() - 1] {
+            for f in &module.functions {
+                assert!(f.depth <= MAX_CALL_DEPTH, "{} too deep", f.name);
+            }
+        }
+    }
+
+    #[test]
+    fn module_counts_match_config() {
+        let cfg = GeneratorConfig::medium(1);
+        let m = generate_model(&cfg);
+        assert_eq!(m.modules.len(), cfg.modules + 1); // + main
+    }
+}

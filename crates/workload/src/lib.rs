@@ -1,0 +1,88 @@
+//! # sfcc-workload
+//!
+//! Deterministic synthetic workloads for the `sfcc` evaluation: a MiniC
+//! project generator with realistic module/function/call structure, and a
+//! commit simulator that replays sequences of localized edits — the
+//! substitute for the paper's real-world C++ projects with git histories
+//! (see DESIGN.md for the substitution argument).
+//!
+//! # Examples
+//!
+//! ```
+//! use sfcc_workload::{generate_model, EditScript, GeneratorConfig};
+//!
+//! let mut model = generate_model(&GeneratorConfig::small(42));
+//! let project = model.render();
+//! assert!(project.len() > 1);
+//!
+//! // Simulate a commit and re-render: exactly one file changes.
+//! let mut script = EditScript::new(7);
+//! let commit = script.commit(&mut model);
+//! let edited = model.render();
+//! assert_ne!(project.file(&commit.module), edited.file(&commit.module));
+//! ```
+
+pub mod edits;
+pub mod gen;
+pub mod model;
+pub mod stats;
+
+pub use edits::{Commit, EditKind, EditScript};
+pub use gen::{generate_model, GeneratorConfig, MAX_CALL_DEPTH};
+pub use model::{CalleeRef, FunctionModel, ModuleModel, ProjectModel};
+pub use stats::{ChurnStats, ProjectStats};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use sfcc_frontend::{parse_and_check, Diagnostics, ModuleEnv, ModuleInterface};
+
+    fn check(model: &ProjectModel) {
+        let mut env = ModuleEnv::new();
+        for module in &model.modules {
+            let src = model.render_module(module);
+            let mut diags = Diagnostics::new();
+            let checked = parse_and_check(&module.name, &src, &env, &mut diags)
+                .unwrap_or_else(|| panic!("invalid module {}:\n{diags:?}\n{src}", module.name));
+            env.insert(module.name.clone(), ModuleInterface::of(&checked.ast));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Any seed yields a type-correct project.
+        #[test]
+        fn any_seed_generates_valid_project(seed: u64) {
+            check(&generate_model(&GeneratorConfig::small(seed)));
+        }
+
+        /// Any seed + any edit sequence stays type-correct.
+        #[test]
+        fn any_edit_sequence_stays_valid(seed: u64, edit_seed: u64, edits in 1usize..12) {
+            let mut model = generate_model(&GeneratorConfig::small(seed));
+            let mut script = EditScript::new(edit_seed);
+            for _ in 0..edits {
+                script.commit(&mut model);
+            }
+            check(&model);
+        }
+
+        /// A commit changes exactly one module's rendered source.
+        #[test]
+        fn commits_stay_local(seed in 0u64..1000, edit_seed: u64) {
+            let mut model = generate_model(&GeneratorConfig::small(seed));
+            let before = model.render();
+            let mut script = EditScript::new(edit_seed);
+            let commit = script.commit(&mut model);
+            let after = model.render();
+            let changed: Vec<&str> = before
+                .iter()
+                .filter(|(name, src)| after.file(name) != Some(src))
+                .map(|(name, _)| name)
+                .collect();
+            prop_assert_eq!(changed, vec![commit.module.as_str()]);
+        }
+    }
+}

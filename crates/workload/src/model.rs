@@ -1,0 +1,406 @@
+//! The structured project model.
+//!
+//! Projects are generated as a *model* (per-function seeds and frozen call
+//! lists) and rendered to MiniC text on demand. Edits mutate the model —
+//! never the text — which guarantees that every simulated commit stays a
+//! valid program and that untouched functions render byte-identically
+//! (essential for meaningful incrementality measurements).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sfcc_buildsys::Project;
+use std::fmt::Write as _;
+
+/// A reference to a callee: `(module index, function index)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CalleeRef {
+    /// Index of the callee's module in [`ProjectModel::modules`].
+    pub module: usize,
+    /// Index of the callee within that module.
+    pub function: usize,
+}
+
+/// The model of one function.
+#[derive(Debug, Clone)]
+pub struct FunctionModel {
+    /// Function name, unique within its module.
+    pub name: String,
+    /// Number of `int` parameters (1–3).
+    pub params: usize,
+    /// Seed driving the deterministic body renderer.
+    pub body_seed: u64,
+    /// Approximate statement budget for the body.
+    pub stmt_budget: usize,
+    /// Callees this function may call, frozen at creation (keeps renders of
+    /// other functions stable under edits).
+    pub callees: Vec<CalleeRef>,
+    /// Call-graph depth (1 = leaf); used to bound VM recursion.
+    pub depth: u32,
+    /// Added to the function's first literal — the `TweakConstant` edit.
+    pub const_bump: i64,
+    /// Simple accumulator statements appended — the `AddStatement` edit.
+    pub extra_stmts: u32,
+}
+
+/// The model of one module.
+#[derive(Debug, Clone)]
+pub struct ModuleModel {
+    /// Module name (`m00`, `m01`, …).
+    pub name: String,
+    /// Indices of imported modules (all smaller than this module's index).
+    pub imports: Vec<usize>,
+    /// Functions in definition order.
+    pub functions: Vec<FunctionModel>,
+}
+
+/// A whole generated project.
+#[derive(Debug, Clone)]
+pub struct ProjectModel {
+    /// Modules in dependency-safe order (imports point backwards).
+    pub modules: Vec<ModuleModel>,
+}
+
+impl ProjectModel {
+    /// Renders the full project to MiniC sources.
+    pub fn render(&self) -> Project {
+        let mut project = Project::new();
+        for module in &self.modules {
+            project.set_file(module.name.clone(), self.render_module(module));
+        }
+        project
+    }
+
+    /// Renders a single module.
+    pub fn render_module(&self, module: &ModuleModel) -> String {
+        let mut src = String::new();
+        for &imp in &module.imports {
+            let _ = writeln!(src, "import {};", self.modules[imp].name);
+        }
+        if !module.imports.is_empty() {
+            src.push('\n');
+        }
+        for func in &module.functions {
+            src.push_str(&self.render_function(module, func));
+            src.push('\n');
+        }
+        src
+    }
+
+    /// Renders one function deterministically from its model.
+    pub fn render_function(&self, module: &ModuleModel, func: &FunctionModel) -> String {
+        let body = BodyBuilder::new(self, module, func);
+        body.build()
+    }
+
+    /// Total functions across all modules.
+    pub fn function_count(&self) -> usize {
+        self.modules.iter().map(|m| m.functions.len()).sum()
+    }
+
+    /// The qualified call expression for a callee as seen from `from`.
+    fn call_expr(&self, from: &ModuleModel, callee: CalleeRef, args: &str) -> String {
+        let target_module = &self.modules[callee.module];
+        let target = &target_module.functions[callee.function];
+        if target_module.name == from.name {
+            format!("{}({args})", target.name)
+        } else {
+            format!("{}::{}({args})", target_module.name, target.name)
+        }
+    }
+}
+
+/// Renders one function body from its seed.
+struct BodyBuilder<'a> {
+    model: &'a ProjectModel,
+    module: &'a ModuleModel,
+    func: &'a FunctionModel,
+    rng: StdRng,
+    src: String,
+    indent: usize,
+    /// In-scope `int` variables (per lexical scope frame).
+    scopes: Vec<Vec<String>>,
+    next_var: usize,
+    next_loop: usize,
+    next_array: usize,
+    stmts_left: usize,
+    /// Whether the first literal (the const-bump anchor) was emitted.
+    bumped: bool,
+    call_cursor: usize,
+}
+
+impl<'a> BodyBuilder<'a> {
+    fn new(model: &'a ProjectModel, module: &'a ModuleModel, func: &'a FunctionModel) -> Self {
+        BodyBuilder {
+            model,
+            module,
+            func,
+            rng: StdRng::seed_from_u64(func.body_seed),
+            src: String::new(),
+            indent: 1,
+            scopes: vec![(0..func.params).map(|i| format!("p{i}")).collect()],
+            next_var: 0,
+            next_loop: 0,
+            next_array: 0,
+            stmts_left: func.stmt_budget,
+            bumped: false,
+            call_cursor: 0,
+        }
+    }
+
+    fn line(&mut self, text: &str) {
+        for _ in 0..self.indent {
+            self.src.push_str("    ");
+        }
+        self.src.push_str(text);
+        self.src.push('\n');
+    }
+
+    fn vars(&self) -> Vec<String> {
+        self.scopes.iter().flatten().cloned().collect()
+    }
+
+    fn pick_var(&mut self) -> String {
+        let vars = self.vars();
+        let i = self.rng.gen_range(0..vars.len());
+        vars[i].clone()
+    }
+
+    /// The first literal of the body carries the const bump so the
+    /// `TweakConstant` edit changes exactly one token.
+    fn literal(&mut self) -> i64 {
+        let base = self.rng.gen_range(1..=9);
+        if !self.bumped {
+            self.bumped = true;
+            base + self.func.const_bump
+        } else {
+            base
+        }
+    }
+
+    /// A side-effect-free integer expression over in-scope variables.
+    fn expr(&mut self, depth: usize) -> String {
+        if depth == 0 || self.rng.gen_bool(0.35) {
+            return if self.rng.gen_bool(0.6) {
+                self.pick_var()
+            } else {
+                self.literal().to_string()
+            };
+        }
+        let a = self.expr(depth - 1);
+        let b = self.expr(depth - 1);
+        match self.rng.gen_range(0..10) {
+            0..=2 => format!("({a} + {b})"),
+            3..=4 => format!("({a} - {b})"),
+            5 => format!("({a} * {b})"),
+            // Division and modulo with a guaranteed-positive denominator.
+            6 => format!("({a} / (({b} & 15) + 1))"),
+            7 => format!("({a} % (({b} & 15) + 1))"),
+            8 => format!("({a} ^ {b})"),
+            _ => format!("(({a} << 1) + ({b} >> 2))"),
+        }
+    }
+
+    /// A boolean expression over in-scope variables.
+    fn cond(&mut self) -> String {
+        let a = self.expr(1);
+        let b = self.expr(1);
+        let cmp = ["<", "<=", ">", ">=", "==", "!="][self.rng.gen_range(0..6)];
+        if self.rng.gen_bool(0.25) {
+            let c = self.pick_var();
+            let d = self.literal();
+            let logic = if self.rng.gen_bool(0.5) { "&&" } else { "||" };
+            format!("({a} {cmp} {b}) {logic} ({c} != {d})")
+        } else {
+            format!("{a} {cmp} {b}")
+        }
+    }
+
+    fn fresh_var(&mut self) -> String {
+        let name = format!("v{}", self.next_var);
+        self.next_var += 1;
+        name
+    }
+
+    fn build(mut self) -> String {
+        let params: Vec<String> =
+            (0..self.func.params).map(|i| format!("p{i}: int")).collect();
+        let header = format!("fn {}({}) -> int {{", self.func.name, params.join(", "));
+
+        // Seed an accumulator so every body has a stable return value chain.
+        let acc = self.fresh_var();
+        self.scopes.last_mut().expect("scope").push(acc.clone());
+        let init = self.literal();
+        let acc_decl = format!("let {acc}: int = {init};");
+        self.line(&acc_decl);
+
+        while self.stmts_left > 0 {
+            self.stmts_left -= 1;
+            self.statement(&acc, 0);
+        }
+        // Appended accumulator statements (the `AddStatement` edit).
+        for k in 0..self.func.extra_stmts {
+            self.line(&format!("{acc} = {acc} + {};", k + 1));
+        }
+        self.line(&format!("return {acc};"));
+
+        format!("{header}\n{}}}\n", self.src)
+    }
+
+    fn statement(&mut self, acc: &str, nesting: usize) {
+        let choice = self.rng.gen_range(0..100);
+        match choice {
+            // Declare a new scalar.
+            0..=24 => {
+                let e = self.expr(2);
+                let v = self.fresh_var();
+                self.line(&format!("let {v}: int = {e};"));
+                self.scopes.last_mut().expect("scope").push(v);
+            }
+            // Mutate an existing scalar.
+            25..=44 => {
+                let v = self.pick_var();
+                // Parameters are assignable in MiniC (they are spilled).
+                let e = self.expr(2);
+                self.line(&format!("{v} = {e};"));
+            }
+            // Branch.
+            45..=59 if nesting < 2 => {
+                let c = self.cond();
+                self.line(&format!("if ({c}) {{"));
+                self.indent += 1;
+                self.scopes.push(Vec::new());
+                self.statement(acc, nesting + 1);
+                self.scopes.pop();
+                self.indent -= 1;
+                if self.rng.gen_bool(0.5) {
+                    self.line("} else {");
+                    self.indent += 1;
+                    self.scopes.push(Vec::new());
+                    self.statement(acc, nesting + 1);
+                    self.scopes.pop();
+                    self.indent -= 1;
+                }
+                self.line("}");
+            }
+            // Counted loop accumulating an expression.
+            60..=74 if nesting < 2 => {
+                let i = format!("i{}", self.next_loop);
+                self.next_loop += 1;
+                let trips = self.rng.gen_range(2..=12);
+                self.line(&format!(
+                    "for (let {i}: int = 0; {i} < {trips}; {i} = {i} + 1) {{"
+                ));
+                self.indent += 1;
+                self.scopes.push(vec![i.clone()]);
+                let e = self.expr(1);
+                self.line(&format!("{acc} = {acc} + {e} * {i};"));
+                if self.rng.gen_bool(0.4) {
+                    self.statement(acc, nesting + 1);
+                }
+                self.scopes.pop();
+                self.indent -= 1;
+                self.line("}");
+            }
+            // Array fill + reduce.
+            75..=84 if nesting == 0 => {
+                let a = format!("a{}", self.next_array);
+                self.next_array += 1;
+                let n = [8usize, 16][self.rng.gen_range(0..2)];
+                let i = format!("i{}", self.next_loop);
+                self.next_loop += 1;
+                self.line(&format!("let {a}: [int; {n}];"));
+                self.line(&format!(
+                    "for (let {i}: int = 0; {i} < {n}; {i} = {i} + 1) {{"
+                ));
+                self.indent += 1;
+                self.scopes.push(vec![i.clone()]);
+                let e = self.expr(1);
+                self.line(&format!("{a}[{i}] = {e} + {i};"));
+                self.scopes.pop();
+                self.indent -= 1;
+                self.line("}");
+                let j = format!("i{}", self.next_loop);
+                self.next_loop += 1;
+                self.line(&format!(
+                    "for (let {j}: int = 0; {j} < {n}; {j} = {j} + 1) {{"
+                ));
+                self.indent += 1;
+                self.line(&format!("{acc} = {acc} + {a}[{j}];"));
+                self.indent -= 1;
+                self.line("}");
+            }
+            // Call a frozen callee.
+            85..=94 if !self.func.callees.is_empty() => {
+                let callee =
+                    self.func.callees[self.call_cursor % self.func.callees.len()];
+                self.call_cursor += 1;
+                let target =
+                    &self.model.modules[callee.module].functions[callee.function];
+                let args: Vec<String> =
+                    (0..target.params).map(|_| self.expr(1)).collect();
+                let call = self.model.call_expr(self.module, callee, &args.join(", "));
+                self.line(&format!("{acc} = {acc} + {call};"));
+            }
+            // Occasional observable output.
+            95..=97 => {
+                let v = self.pick_var();
+                self.line(&format!("print({v});"));
+            }
+            // Fallback: accumulate an expression.
+            _ => {
+                let e = self.expr(2);
+                self.line(&format!("{acc} = {acc} + {e};"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate_model, GeneratorConfig};
+
+    fn small_model() -> ProjectModel {
+        generate_model(&GeneratorConfig::small(7))
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let m = small_model();
+        assert_eq!(m.render(), m.render());
+        let m2 = small_model();
+        assert_eq!(m.render(), m2.render());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_model(&GeneratorConfig::small(1)).render();
+        let b = generate_model(&GeneratorConfig::small(2)).render();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn const_bump_changes_exactly_one_module() {
+        let mut m = small_model();
+        let before = m.render();
+        m.modules[0].functions[0].const_bump += 5;
+        let after = m.render();
+        let mut changed = 0;
+        for (name, src) in before.iter() {
+            if after.file(name) != Some(src) {
+                changed += 1;
+            }
+        }
+        assert_eq!(changed, 1);
+    }
+
+    #[test]
+    fn extra_stmt_is_appended_before_return() {
+        let mut m = small_model();
+        m.modules[0].functions[0].extra_stmts = 2;
+        let module = &m.modules[0];
+        let text = m.render_function(module, &module.functions[0]);
+        assert!(text.contains("+ 1;"), "{text}");
+        assert!(text.contains("+ 2;"), "{text}");
+    }
+}

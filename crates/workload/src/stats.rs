@@ -1,0 +1,167 @@
+//! Project statistics for the benchmark-characteristics table (E3).
+
+use crate::model::ProjectModel;
+use sfcc_buildsys::Project;
+
+/// Size statistics of one generated project.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProjectStats {
+    /// Preset name.
+    pub name: String,
+    /// Number of modules (source files).
+    pub modules: usize,
+    /// Total functions.
+    pub functions: usize,
+    /// Total source lines.
+    pub lines: usize,
+    /// Total import edges.
+    pub import_edges: usize,
+}
+
+impl ProjectStats {
+    /// Computes the statistics of `model` rendered as `project`.
+    pub fn of(name: &str, model: &ProjectModel, project: &Project) -> Self {
+        ProjectStats {
+            name: name.to_string(),
+            modules: model.modules.len(),
+            functions: model.function_count(),
+            lines: project.total_lines(),
+            import_edges: model.modules.iter().map(|m| m.imports.len()).sum(),
+        }
+    }
+
+    /// One table row: `name modules functions lines imports`.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<12} {:>8} {:>10} {:>8} {:>8}",
+            self.name, self.modules, self.functions, self.lines, self.import_edges
+        )
+    }
+
+    /// The matching header row.
+    pub fn header() -> String {
+        format!(
+            "{:<12} {:>8} {:>10} {:>8} {:>8}",
+            "project", "modules", "functions", "lines", "imports"
+        )
+    }
+}
+
+/// Churn statistics over a simulated commit history: how many files and
+/// lines each commit touches (the evaluation's analogue of the paper's
+/// commit-size characterization of its git histories).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChurnStats {
+    /// Number of commits measured.
+    pub commits: usize,
+    /// Total files changed across commits.
+    pub files_changed: usize,
+    /// Total lines added or removed across commits (unified-diff style).
+    pub lines_changed: usize,
+}
+
+impl ChurnStats {
+    /// Measures `commits` commits of `script` over `model`, mutating both.
+    pub fn measure(
+        model: &mut ProjectModel,
+        script: &mut crate::edits::EditScript,
+        commits: usize,
+    ) -> ChurnStats {
+        let mut stats = ChurnStats { commits, ..ChurnStats::default() };
+        let mut before = model.render();
+        for _ in 0..commits {
+            script.commit(model);
+            let after = model.render();
+            for (name, old) in before.iter() {
+                match after.file(name) {
+                    Some(new) if new != old => {
+                        stats.files_changed += 1;
+                        stats.lines_changed += line_diff(old, new);
+                    }
+                    Some(_) => {}
+                    None => stats.files_changed += 1,
+                }
+            }
+            for (name, new) in after.iter() {
+                if before.file(name).is_none() {
+                    stats.files_changed += 1;
+                    stats.lines_changed += new.lines().count();
+                }
+            }
+            before = after;
+        }
+        stats
+    }
+
+    /// Mean files changed per commit.
+    pub fn files_per_commit(&self) -> f64 {
+        self.files_changed as f64 / self.commits.max(1) as f64
+    }
+
+    /// Mean changed lines per commit.
+    pub fn lines_per_commit(&self) -> f64 {
+        self.lines_changed as f64 / self.commits.max(1) as f64
+    }
+}
+
+/// Counts lines present in exactly one of the two texts (multiset
+/// symmetric difference) — a cheap proxy for `diff | wc -l`.
+fn line_diff(old: &str, new: &str) -> usize {
+    use std::collections::HashMap;
+    let mut counts: HashMap<&str, i64> = HashMap::new();
+    for l in old.lines() {
+        *counts.entry(l).or_default() += 1;
+    }
+    for l in new.lines() {
+        *counts.entry(l).or_default() -= 1;
+    }
+    counts.values().map(|c| c.unsigned_abs() as usize).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate_model, GeneratorConfig};
+
+    #[test]
+    fn stats_are_plausible() {
+        let cfg = GeneratorConfig::medium(3);
+        let model = generate_model(&cfg);
+        let project = model.render();
+        let stats = ProjectStats::of(&cfg.name, &model, &project);
+        assert_eq!(stats.modules, cfg.modules + 1);
+        assert!(stats.functions >= cfg.modules * cfg.functions_per_module.0);
+        assert!(stats.lines > stats.functions * 3);
+        assert!(stats.import_edges > 0);
+    }
+
+    #[test]
+    fn churn_counts_small_localized_edits() {
+        use crate::edits::EditScript;
+        let mut model = generate_model(&GeneratorConfig::small(9));
+        let mut script = EditScript::new(4);
+        let stats = ChurnStats::measure(&mut model, &mut script, 12);
+        assert_eq!(stats.commits, 12);
+        assert!(stats.files_changed >= 12, "{stats:?}");
+        // Localized edits: on average only ~1 file and a handful of lines.
+        assert!(stats.files_per_commit() < 2.0, "{stats:?}");
+        assert!(stats.lines_per_commit() > 0.0, "{stats:?}");
+        assert!(stats.lines_per_commit() < 60.0, "{stats:?}");
+    }
+
+    #[test]
+    fn line_diff_is_symmetric_difference() {
+        assert_eq!(line_diff("a\nb\nc", "a\nx\nc"), 2);
+        assert_eq!(line_diff("a", "a"), 0);
+        assert_eq!(line_diff("", "a\nb"), 2);
+    }
+
+    #[test]
+    fn rows_align_with_header() {
+        let cfg = GeneratorConfig::small(3);
+        let model = generate_model(&cfg);
+        let project = model.render();
+        let stats = ProjectStats::of(&cfg.name, &model, &project);
+        assert_eq!(stats.row().split_whitespace().count(), ProjectStats::header().split_whitespace().count());
+    }
+}

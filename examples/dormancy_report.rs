@@ -1,0 +1,62 @@
+//! Dormancy report: inspect what the stateful compiler actually remembers —
+//! the per-(function, pass) dormancy records behind the skip decisions.
+//!
+//! Run with: `cargo run --example dormancy_report`
+
+use sfcc::{Compiler, Config};
+use sfcc_frontend::ModuleEnv;
+
+const SRC: &str = r"
+fn fold(x: int) -> int {
+    return x * 8 + 0;
+}
+
+fn looped(n: int) -> int {
+    let s: int = 0;
+    for (let i: int = 0; i < 4; i = i + 1) { s = s + i * n; }
+    return s;
+}
+
+fn plain(a: int, b: int) -> int {
+    return a + b;
+}
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut compiler = Compiler::new(Config::stateful());
+    compiler.compile("demo", SRC, &ModuleEnv::new())?;
+
+    let slots = compiler.pipeline_slots();
+    println!("pipeline: {} pass slots\n", slots.len());
+
+    let module = compiler.state().module("demo").expect("recorded");
+    let mut names: Vec<&String> = module.functions.keys().collect();
+    names.sort();
+
+    // Legend + per-function dormancy bitmap (A = active, . = dormant).
+    println!("{:<8} {}", "", "A = pass fired, . = pass was dormant");
+    for name in names {
+        let record = &module.functions[name];
+        let bitmap: String = record
+            .slots
+            .iter()
+            .map(|s| if s.dormant { '.' } else { 'A' })
+            .collect();
+        println!("{name:<8} {bitmap}");
+    }
+
+    println!("\nslot legend:");
+    for (i, name) in slots.iter().enumerate() {
+        print!("{i:>3}={name} ");
+        if (i + 1) % 5 == 0 {
+            println!();
+        }
+    }
+    println!();
+
+    println!(
+        "\non the next compile of an edited 'demo', every '.' above is a\n\
+         candidate skip under the previous-build policy."
+    );
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Quickstart: compile a MiniC module twice — once before and once after an
+//! edit — and watch the stateful compiler skip the passes its history says
+//! are dormant.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use sfcc::{Compiler, Config};
+use sfcc_backend::{link_objects, run, VmOptions};
+use sfcc_frontend::ModuleEnv;
+
+const VERSION_1: &str = r"
+fn weight(x: int) -> int {
+    if (x < 0) { return -x; }
+    return x;
+}
+
+fn main(n: int) -> int {
+    let total: int = 0;
+    for (let i: int = -n; i < n; i = i + 1) {
+        total = total + weight(i * 3);
+    }
+    return total;
+}
+";
+
+// The developer tweaks one constant inside main.
+const VERSION_2: &str = r"
+fn weight(x: int) -> int {
+    if (x < 0) { return -x; }
+    return x;
+}
+
+fn main(n: int) -> int {
+    let total: int = 1;
+    for (let i: int = -n; i < n; i = i + 1) {
+        total = total + weight(i * 3);
+    }
+    return total;
+}
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A stateful compiler session (the paper's design point). The baseline
+    // would be `Config::stateless()` — same API, no memory between builds.
+    let mut compiler = Compiler::new(Config::stateful());
+    let env = ModuleEnv::new();
+
+    println!("== build 1: cold — every pass runs, dormancy is recorded ==");
+    let first = compiler.compile("main", VERSION_1, &env)?;
+    let (active, dormant, skipped) = first.outcome_totals();
+    println!("pass slots: {active} active, {dormant} dormant, {skipped} skipped");
+
+    println!("\n== build 2: the edited file — dormant passes are skipped ==");
+    let second = compiler.compile("main", VERSION_2, &env)?;
+    let (active, dormant, skipped) = second.outcome_totals();
+    println!("pass slots: {active} active, {dormant} dormant, {skipped} skipped");
+
+    // The output is still a complete, runnable program.
+    let program = link_objects(std::slice::from_ref(&second.object))?;
+    let out = run(&program, "main.main", &[10], VmOptions::default())?;
+    println!("\nprogram result for n=10: {:?}", out.return_value);
+    println!("dynamic instructions executed: {}", out.executed);
+
+    println!(
+        "\nstate now tracks {} function(s), {} bytes serialized",
+        compiler.state().function_count(),
+        compiler.state_bytes().len()
+    );
+    Ok(())
+}

@@ -1,0 +1,108 @@
+//! The strongest correctness anchor in the repository: generated projects
+//! executed by the *reference interpreter* (tree-walking, AST-level, shares
+//! nothing with the backend) must behave identically to the fully
+//! compiled, optimized, stateful pipeline.
+
+use sfcc::{Compiler, Config, OptLevel, SkipPolicy};
+use sfcc_backend::{run as vm_run, VmError, VmOptions};
+use sfcc_buildsys::{Builder, DepGraph};
+use sfcc_frontend::{parse_and_check, Diagnostics, ModuleEnv, ModuleInterface};
+use sfcc_refinterp::{Machine, RefError, RefOptions};
+use sfcc_workload::{generate_model, EditScript, GeneratorConfig, ProjectModel};
+
+/// Type-checks a rendered project into a reference machine.
+fn reference_machine(model: &ProjectModel) -> Machine {
+    let project = model.render();
+    let graph = DepGraph::build(&project).expect("generated projects have clean graphs");
+    let mut env = ModuleEnv::new();
+    let mut checked_modules = Vec::new();
+    for name in graph.topo_order() {
+        let mut diags = Diagnostics::new();
+        let checked = parse_and_check(name, project.file(name).unwrap(), &env, &mut diags)
+            .expect("generated modules are valid");
+        env.insert(name.clone(), ModuleInterface::of(&checked.ast));
+        checked_modules.push(checked);
+    }
+    Machine::new(checked_modules)
+}
+
+/// Compares one run: reference vs VM, including trap kinds.
+fn compare(
+    machine: &Machine,
+    report: &sfcc_buildsys::BuildReport,
+    arg: i64,
+    ctx: &str,
+) {
+    let want = machine.run("main", "main", &[arg], RefOptions::default());
+    let got = vm_run(&report.program, "main.main", &[arg], VmOptions::default());
+    match (want, got) {
+        (Ok(want), Ok(got)) => {
+            assert_eq!(want.prints, got.prints, "{ctx}, arg {arg}");
+            assert_eq!(want.return_value, got.return_value, "{ctx}, arg {arg}");
+        }
+        (Err(re), Err(ve)) => {
+            // Trap kinds must correspond.
+            let matches = matches!(
+                (&re, &ve),
+                (RefError::ArithmeticTrap, VmError::ArithmeticTrap)
+                    | (RefError::OutOfBounds { .. }, VmError::OutOfBounds { .. })
+                    | (RefError::StackOverflow, VmError::StackOverflow)
+                    | (RefError::OutOfFuel, VmError::OutOfFuel)
+            );
+            assert!(matches, "{ctx}, arg {arg}: ref {re:?} vs vm {ve:?}");
+        }
+        (want, got) => panic!("{ctx}, arg {arg}: ref {want:?} vs vm {got:?}"),
+    }
+}
+
+#[test]
+fn reference_matches_compiled_across_seeds_and_levels() {
+    for seed in [11u64, 22, 33, 44] {
+        let model = generate_model(&GeneratorConfig::small(seed));
+        let machine = reference_machine(&model);
+        for (label, cfg) in [
+            ("O0", Config::stateless().with_opt_level(OptLevel::O0)),
+            ("O1", Config::stateless().with_opt_level(OptLevel::O1)),
+            ("O2", Config::stateless()),
+        ] {
+            let mut builder = Builder::new(Compiler::new(cfg));
+            let report = builder.build(&model.render()).unwrap();
+            for arg in [0, 5, 19] {
+                compare(&machine, &report, arg, &format!("seed {seed}, {label}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn reference_matches_stateful_pipeline_through_history() {
+    let config = GeneratorConfig::small(606);
+    let mut model = generate_model(&config);
+    let mut script = EditScript::new(17);
+    let mut builder = Builder::new(Compiler::new(
+        Config::stateless()
+            .with_policy(SkipPolicy::PreviousBuild)
+            .with_function_cache(),
+    ));
+    builder.build(&model.render()).unwrap();
+
+    for commit in 1..=8 {
+        script.commit(&mut model);
+        let report = builder.build(&model.render()).unwrap();
+        let machine = reference_machine(&model);
+        for arg in [1, 8] {
+            compare(&machine, &report, arg, &format!("commit {commit}"));
+        }
+    }
+}
+
+#[test]
+fn reference_matches_medium_project() {
+    let model = generate_model(&GeneratorConfig::medium(77));
+    let machine = reference_machine(&model);
+    let mut builder = Builder::new(Compiler::new(Config::stateless()));
+    let report = builder.build(&model.render()).unwrap();
+    for arg in [0, 3, 13, 42] {
+        compare(&machine, &report, arg, "medium");
+    }
+}
