@@ -1,0 +1,312 @@
+//! `minicc` — the command-line driver for MiniC projects.
+//!
+//! ```text
+//! minicc build <dir> [-o out.sbx] [build flags]   compile + link to an image
+//! minicc run   <dir> [build flags] -- <args...>   build and run main.main
+//! minicc exec  <file.sbx> -- <args...>            run a prebuilt image
+//! minicc ir    <dir> <module> [build flags]       print a module's optimized IR
+//! minicc bc    <dir> [build flags]                disassemble the linked program
+//! minicc state <state-file>                       inspect a dormancy-state file
+//! ```
+//!
+//! Build flags: `--stateful` (persist dormancy state in `<dir>/.sfcc-state`),
+//! `--stateless` (default), `--fn-cache`, `--parallel`, `-O0`/`-O1`/`-O2`.
+
+use sfcc::{Compiler, Config};
+use sfcc_backend::{disasm_program, load_image, run, save_image, VmOptions};
+use sfcc_buildsys::{BuildReport, Builder, Project};
+use sfcc_state::statefile;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "minicc — incremental MiniC compiler driver
+
+usage:
+  minicc build <dir> [-o <out.sbx>] [build flags]
+  minicc run   <dir> [build flags] -- <args...>
+  minicc exec  <file.sbx> -- <args...>
+  minicc ir    <dir> <module> [build flags]
+  minicc bc    <dir> [build flags]
+  minicc state <state-file>
+
+build flags:
+  --stateful     stateful compilation; state persists in <dir>/.sfcc-state
+  --stateless    stateless compilation (default)
+  --fn-cache     enable the function-level IR cache
+  --parallel     compile independent modules in parallel
+  -O0 | -O1 | -O2  optimization level (default -O2)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err(USAGE.to_string());
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "build" => cmd_build(rest),
+        "run" => cmd_run(rest),
+        "exec" => cmd_exec(rest),
+        "ir" => cmd_ir(rest),
+        "bc" => cmd_bc(rest),
+        "state" => cmd_state(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}
+
+/// Options shared by every command that performs a build.
+struct BuildFlags {
+    stateful: bool,
+    fn_cache: bool,
+    parallel: bool,
+    opt: &'static str,
+    /// Non-flag operands in order (directory, module name, …).
+    operands: Vec<String>,
+    /// `-o` argument, when given.
+    output: Option<PathBuf>,
+    /// Everything after `--` (program arguments).
+    program_args: Vec<i64>,
+}
+
+fn parse_flags(args: &[String]) -> Result<BuildFlags, String> {
+    let mut flags = BuildFlags {
+        stateful: false,
+        fn_cache: false,
+        parallel: false,
+        opt: "-O2",
+        operands: Vec::new(),
+        output: None,
+        program_args: Vec::new(),
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--stateful" => flags.stateful = true,
+            "--stateless" => flags.stateful = false,
+            "--fn-cache" => flags.fn_cache = true,
+            "--parallel" => flags.parallel = true,
+            "-O0" | "-O1" | "-O2" => {
+                flags.opt = match arg.as_str() {
+                    "-O0" => "-O0",
+                    "-O1" => "-O1",
+                    _ => "-O2",
+                }
+            }
+            "-o" => {
+                let path = iter.next().ok_or("`-o` expects a path")?;
+                flags.output = Some(PathBuf::from(path));
+            }
+            "--" => {
+                for value in iter.by_ref() {
+                    let n: i64 = value
+                        .parse()
+                        .map_err(|_| format!("program argument `{value}` is not an integer"))?;
+                    flags.program_args.push(n);
+                }
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`\n\n{USAGE}"));
+            }
+            operand => flags.operands.push(operand.to_string()),
+        }
+    }
+    Ok(flags)
+}
+
+fn config_of(flags: &BuildFlags, dir: &Path) -> Config {
+    let mut config = if flags.stateful {
+        Config::stateful().with_state_path(dir.join(".sfcc-state"))
+    } else {
+        Config::stateless()
+    };
+    config = match flags.opt {
+        "-O0" => config.with_opt_level(sfcc::OptLevel::O0),
+        "-O1" => config.with_opt_level(sfcc::OptLevel::O1),
+        _ => config,
+    };
+    if flags.fn_cache {
+        config = config.with_function_cache();
+    }
+    config
+}
+
+/// Builds the project in `dir` under `flags`; persists state when stateful.
+fn build_project(flags: &BuildFlags, dir: &Path) -> Result<(Builder, BuildReport), String> {
+    let project = Project::from_dir(dir)
+        .map_err(|e| format!("cannot load project `{}`: {e}", dir.display()))?;
+    if project.is_empty() {
+        return Err(format!("no .mc files in `{}`", dir.display()));
+    }
+    let mut builder = Builder::new(Compiler::new(config_of(flags, dir)));
+    if flags.parallel {
+        builder = builder.with_parallelism();
+    }
+    let report = builder.build(&project).map_err(|e| e.to_string())?;
+    if flags.stateful {
+        builder.compiler().save_state().map_err(|e| format!("cannot save state: {e}"))?;
+    }
+    Ok((builder, report))
+}
+
+fn cmd_build(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let [dir] = flags.operands.as_slice() else {
+        return Err(format!("`build` expects one project directory\n\n{USAGE}"));
+    };
+    let dir = Path::new(dir);
+    let (_, report) = build_project(&flags, dir)?;
+    let out = flags
+        .output
+        .clone()
+        .unwrap_or_else(|| dir.with_extension("sbx"));
+    save_image(&report.program, &out)
+        .map_err(|e| format!("cannot write `{}`: {e}", out.display()))?;
+    let (active, dormant, skipped) = report.outcome_totals();
+    println!(
+        "built {} module(s) ({} recompiled) in {:.2} ms; pass slots: {} active, {} dormant, {} skipped",
+        report.modules.len(),
+        report.rebuilt_count(),
+        report.wall_ns as f64 / 1e6,
+        active,
+        dormant,
+        skipped,
+    );
+    println!("wrote {}", out.display());
+    Ok(())
+}
+
+fn run_report(program: &sfcc_backend::Program, args: &[i64]) -> Result<(), String> {
+    // The VM zero-fills missing argument registers; insist on an exact
+    // argument count here so a forgotten `-- <n>` fails loudly instead of
+    // silently running `main` on zeros.
+    if let Some(id) = program.func_id("main.main") {
+        let arity = program.func(id).arity as usize;
+        if args.len() != arity {
+            return Err(format!(
+                "main.main takes {arity} argument(s), got {} (pass them after `--`)",
+                args.len()
+            ));
+        }
+    }
+    let out = run(program, "main.main", args, VmOptions::default())
+        .map_err(|e| format!("runtime error: {e:?}"))?;
+    for value in &out.prints {
+        println!("{value}");
+    }
+    match out.return_value {
+        Some(v) => println!("main.main({args:?}) = {v}"),
+        None => println!("main.main({args:?}) returned"),
+    }
+    println!("({} instructions executed)", out.executed);
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let [dir] = flags.operands.as_slice() else {
+        return Err(format!("`run` expects one project directory\n\n{USAGE}"));
+    };
+    let (builder, report) = build_project(&flags, Path::new(dir))?;
+    let (_, _, skipped) = report.outcome_totals();
+    println!(
+        "built {} module(s) ({} recompiled, {} pass slot(s) skipped)",
+        report.modules.len(),
+        report.rebuilt_count(),
+        skipped,
+    );
+    if flags.fn_cache {
+        let stats = builder.compiler().cache_stats();
+        println!("fn-cache: {} hit(s), {} miss(es)", stats.hits, stats.misses);
+    }
+    run_report(&report.program, &flags.program_args)
+}
+
+fn cmd_exec(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let [image] = flags.operands.as_slice() else {
+        return Err(format!("`exec` expects one .sbx image\n\n{USAGE}"));
+    };
+    let program = load_image(Path::new(image))
+        .map_err(|e| format!("cannot load `{image}`: {e}"))?;
+    run_report(&program, &flags.program_args)
+}
+
+fn cmd_ir(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let [dir, module] = flags.operands.as_slice() else {
+        return Err(format!("`ir` expects a project directory and a module name\n\n{USAGE}"));
+    };
+    let (_, report) = build_project(&flags, Path::new(dir))?;
+    let found = report
+        .module(module)
+        .ok_or_else(|| format!("no module `{module}` in `{dir}`"))?;
+    let output = found
+        .output
+        .as_ref()
+        .expect("a fresh builder recompiles every module");
+    print!("{}", sfcc_ir::module_to_string(&output.ir));
+    Ok(())
+}
+
+fn cmd_bc(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let [dir] = flags.operands.as_slice() else {
+        return Err(format!("`bc` expects one project directory\n\n{USAGE}"));
+    };
+    let (_, report) = build_project(&flags, Path::new(dir))?;
+    print!("{}", disasm_program(&report.program));
+    Ok(())
+}
+
+fn cmd_state(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err(format!("`state` expects one state-file path\n\n{USAGE}"));
+    };
+    let path = Path::new(path);
+    if !path.exists() {
+        return Err(format!("no state file at `{}`", path.display()));
+    }
+    let (db, error) = statefile::load_or_default(path);
+    if let Some(error) = error {
+        return Err(format!("state file `{}` is unreadable: {error:?}", path.display()));
+    }
+    println!(
+        "state file {} — {} module(s), {} function(s) tracked",
+        path.display(),
+        db.modules.len(),
+        db.function_count(),
+    );
+    let mut module_names: Vec<&String> = db.modules.keys().collect();
+    module_names.sort();
+    for module_name in module_names {
+        let module = &db.modules[module_name];
+        println!("\nmodule {module_name} (build #{}):", module.build_counter);
+        let mut fn_names: Vec<&String> = module.functions.keys().collect();
+        fn_names.sort();
+        for fn_name in fn_names {
+            let record = &module.functions[fn_name];
+            let bitmap: String = record
+                .slots
+                .iter()
+                .map(|slot| if slot.dormant { '.' } else { 'A' })
+                .collect();
+            let skips: u32 = record.slots.iter().map(|slot| slot.times_skipped).sum();
+            println!("  {fn_name:<20} {bitmap}  ({skips} skip(s) so far)");
+        }
+    }
+    println!("\n(A = pass was active at the last build, . = dormant/skippable)");
+    Ok(())
+}

@@ -1,0 +1,414 @@
+//! The incremental build driver.
+//!
+//! A [`Builder`] owns a [`Compiler`] session and an object cache keyed by
+//! module name. Each [`Builder::build`] call:
+//!
+//! 1. extracts the import graph and its wave schedule ([`DepGraph`]);
+//! 2. decides staleness per module — a module recompiles iff its source
+//!    content hash changed *or* the interface hash of anything it imports
+//!    changed since the module was last compiled (so a body-only edit
+//!    rebuilds exactly one module, while an interface change ripples to
+//!    direct importers);
+//! 3. compiles each wave's stale modules as one batch (in parallel when
+//!    [`Builder::with_parallelism`] is set — waves are mutually
+//!    independent by construction);
+//! 4. relinks all objects — cached and fresh — into a complete program.
+//!
+//! The compiler session's dormancy state persists across builds (that is
+//! the paper's point); [`Builder::clear_cache`] drops only the *object*
+//! cache, forcing full recompilation while keeping the dormancy state, which
+//! is exactly the "fresh checkout, warm state" CI scenario.
+
+use crate::graph::{DepGraph, GraphError};
+use crate::project::Project;
+use crate::report::{BuildReport, ModuleReport};
+use sfcc::{CompileError, CompileOutput, Compiler};
+use sfcc_backend::{link_objects, CodeObject, LinkError};
+use sfcc_codec::fnv64;
+use sfcc_frontend::{ModuleEnv, ModuleInterface};
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Instant;
+
+/// Why a build failed.
+#[derive(Debug)]
+pub enum BuildError {
+    /// The project's import graph is unusable.
+    Graph(GraphError),
+    /// A module failed to compile.
+    Compile {
+        /// The failing module.
+        module: String,
+        /// The compiler's error.
+        error: CompileError,
+    },
+    /// Linking the objects failed.
+    Link(LinkError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Graph(e) => write!(f, "{e}"),
+            BuildError::Compile { module, error } => {
+                write!(f, "module `{module}` failed to compile:\n{error}")
+            }
+            BuildError::Link(e) => write!(f, "link failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<GraphError> for BuildError {
+    fn from(e: GraphError) -> Self {
+        BuildError::Graph(e)
+    }
+}
+
+impl From<LinkError> for BuildError {
+    fn from(e: LinkError) -> Self {
+        BuildError::Link(e)
+    }
+}
+
+/// What the builder remembers about a module between builds.
+struct CachedModule {
+    /// FNV-64 of the module's source text at its last compilation.
+    content_hash: u64,
+    /// Hash of the interface it exported then.
+    interface_hash: u64,
+    /// Interface hash of each import *as seen* at that compilation.
+    dep_hashes: HashMap<String, u64>,
+    /// The object produced then (reused by the link step when fresh).
+    object: CodeObject,
+    /// The exported interface (seeds dependents' environments).
+    interface: ModuleInterface,
+}
+
+/// The incremental build driver: compiler session + object cache.
+pub struct Builder {
+    compiler: Compiler,
+    cache: HashMap<String, CachedModule>,
+    parallel: bool,
+}
+
+impl fmt::Debug for Builder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Builder")
+            .field("cached_modules", &self.cache.len())
+            .field("parallel", &self.parallel)
+            .field("compiler", &self.compiler)
+            .finish()
+    }
+}
+
+impl Builder {
+    /// Creates a builder around a compiler session.
+    pub fn new(compiler: Compiler) -> Self {
+        Builder { compiler, cache: HashMap::new(), parallel: false }
+    }
+
+    /// Enables parallel compilation within each wave.
+    pub fn with_parallelism(mut self) -> Self {
+        self.parallel = true;
+        self
+    }
+
+    /// The underlying compiler session (state persistence, cache counters).
+    pub fn compiler(&self) -> &Compiler {
+        &self.compiler
+    }
+
+    /// Drops the object cache (forcing the next build to recompile every
+    /// module) while keeping the compiler's dormancy state.
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Builds the project incrementally and links a complete program.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::Graph`] for a bad import graph, [`BuildError::Compile`]
+    /// for the first module that fails to compile, [`BuildError::Link`] if
+    /// the final link fails.
+    pub fn build(&mut self, project: &Project) -> Result<BuildReport, BuildError> {
+        let start = Instant::now();
+        let graph = DepGraph::build(project)?;
+
+        // Drop cache entries for modules that left the project so their
+        // objects cannot leak into the link.
+        self.cache.retain(|name, _| project.contains(name));
+
+        let mut reports: Vec<ModuleReport> = Vec::with_capacity(graph.len());
+        for wave in graph.waves() {
+            // Staleness decisions for the whole wave are based on finalized
+            // earlier waves (imports always land in earlier waves).
+            let stale: Vec<String> = wave
+                .iter()
+                .filter(|name| self.is_stale(project, &graph, name.as_str()))
+                .cloned()
+                .collect();
+
+            // Seed one environment per stale module with its imports'
+            // (already up-to-date) interfaces.
+            let envs: Vec<ModuleEnv> = stale
+                .iter()
+                .map(|name| {
+                    let mut env = ModuleEnv::new();
+                    for dep in graph.imports_of(name) {
+                        if let Some(cached) = self.cache.get(dep) {
+                            env.insert(dep.clone(), cached.interface.clone());
+                        }
+                    }
+                    env
+                })
+                .collect();
+            let units: Vec<(&str, &str, &ModuleEnv)> = stale
+                .iter()
+                .zip(&envs)
+                .map(|(name, env)| {
+                    (name.as_str(), project.file(name).expect("module exists"), env)
+                })
+                .collect();
+
+            let results = self.compiler.compile_batch(&units, self.parallel);
+            for (name, result) in stale.iter().zip(results) {
+                let output = result
+                    .map_err(|error| BuildError::Compile { module: name.clone(), error })?;
+                self.remember(project, &graph, name, &output);
+                reports.push(ModuleReport {
+                    name: name.clone(),
+                    rebuilt: true,
+                    output: Some(output),
+                });
+            }
+            for name in wave {
+                if !stale.iter().any(|s| s == name) {
+                    reports.push(ModuleReport { name: name.clone(), rebuilt: false, output: None });
+                }
+            }
+        }
+
+        // Keep the per-module reports in topological order regardless of
+        // which ones recompiled.
+        let order: HashMap<&String, usize> =
+            graph.topo_order().iter().enumerate().map(|(i, n)| (n, i)).collect();
+        reports.sort_by_key(|m| order[&m.name]);
+
+        let objects: Vec<CodeObject> = graph
+            .topo_order()
+            .iter()
+            .map(|name| self.cache[name.as_str()].object.clone())
+            .collect();
+        let link_start = Instant::now();
+        let program = link_objects(&objects)?;
+        let link_ns = link_start.elapsed().as_nanos() as u64;
+
+        Ok(BuildReport {
+            program,
+            wall_ns: start.elapsed().as_nanos() as u64,
+            link_ns,
+            modules: reports,
+        })
+    }
+
+    /// Whether `name` must recompile given the current cache.
+    fn is_stale(&self, project: &Project, graph: &DepGraph, name: &str) -> bool {
+        let Some(cached) = self.cache.get(name) else {
+            return true;
+        };
+        let source = project.file(name).expect("module exists");
+        if fnv64(source.as_bytes()) != cached.content_hash {
+            return true;
+        }
+        // Rebuild when the set of imports changed, or when any import now
+        // exports a different interface than the one this module was
+        // compiled against.
+        let deps = graph.imports_of(name);
+        if deps.len() != cached.dep_hashes.len() {
+            return true;
+        }
+        deps.iter().any(|dep| {
+            let current = self.cache.get(dep).map(|c| c.interface_hash);
+            current.is_none() || current != cached.dep_hashes.get(dep).copied()
+        })
+    }
+
+    /// Records a fresh compilation in the cache.
+    fn remember(
+        &mut self,
+        project: &Project,
+        graph: &DepGraph,
+        name: &str,
+        output: &CompileOutput,
+    ) {
+        let source = project.file(name).expect("module exists");
+        let dep_hashes = graph
+            .imports_of(name)
+            .iter()
+            .map(|dep| {
+                let hash = self.cache.get(dep).map(|c| c.interface_hash).unwrap_or(0);
+                (dep.clone(), hash)
+            })
+            .collect();
+        self.cache.insert(
+            name.to_string(),
+            CachedModule {
+                content_hash: fnv64(source.as_bytes()),
+                interface_hash: interface_hash(&output.interface),
+                dep_hashes,
+                object: output.object.clone(),
+                interface: output.interface.clone(),
+            },
+        );
+    }
+}
+
+/// A deterministic hash of a module's exported interface: function names
+/// and signatures, order-independent (the underlying map is unordered).
+fn interface_hash(interface: &ModuleInterface) -> u64 {
+    let mut names: Vec<&String> = interface.functions.keys().collect();
+    names.sort();
+    let mut repr = String::new();
+    for name in names {
+        let sig = &interface.functions[name];
+        repr.push_str(name);
+        repr.push('(');
+        for param in &sig.params {
+            repr.push_str(&format!("{param:?},"));
+        }
+        repr.push_str(&format!(")->{:?};", sig.ret));
+    }
+    fnv64(repr.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfcc::Config;
+
+    fn project(files: &[(&str, &str)]) -> Project {
+        let mut p = Project::new();
+        for (name, src) in files {
+            p.set_file(name.to_string(), src.to_string());
+        }
+        p
+    }
+
+    fn three_module_project() -> Project {
+        project(&[
+            ("base", "fn g(x: int) -> int { return x * 2; }"),
+            ("lib", "import base;\nfn f(x: int) -> int { return base::g(x) + 1; }"),
+            ("main", "import lib;\nfn main(n: int) -> int { return lib::f(n); }"),
+        ])
+    }
+
+    #[test]
+    fn full_build_then_noop_rebuild() {
+        let mut builder = Builder::new(Compiler::new(Config::stateless()));
+        let p = three_module_project();
+        let first = builder.build(&p).unwrap();
+        assert_eq!(first.rebuilt_count(), 3);
+        let again = builder.build(&p).unwrap();
+        assert_eq!(again.rebuilt_count(), 0);
+        // The program is still complete and runnable.
+        let out = sfcc_backend::run(
+            &again.program,
+            "main.main",
+            &[21],
+            sfcc_backend::VmOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(out.return_value, Some(43));
+    }
+
+    #[test]
+    fn body_edit_rebuilds_one_module() {
+        let mut builder = Builder::new(Compiler::new(Config::stateless()));
+        let mut p = three_module_project();
+        builder.build(&p).unwrap();
+        p.set_file("base".into(), "fn g(x: int) -> int { return x * 3; }".into());
+        let report = builder.build(&p).unwrap();
+        assert_eq!(report.rebuilt_count(), 1);
+        assert!(report.module("base").unwrap().rebuilt);
+        assert!(!report.module("lib").unwrap().rebuilt);
+        assert!(report.module("lib").unwrap().output.is_none());
+    }
+
+    #[test]
+    fn interface_change_rebuilds_direct_importers_only() {
+        let mut builder = Builder::new(Compiler::new(Config::stateless()));
+        let mut p = three_module_project();
+        builder.build(&p).unwrap();
+        // Adding a function changes base's interface: lib (direct importer)
+        // rebuilds; main (transitive) does not, because lib's own interface
+        // is unchanged.
+        p.set_file(
+            "base".into(),
+            "fn g(x: int) -> int { return x * 2; }\nfn extra() -> int { return 7; }".into(),
+        );
+        let report = builder.build(&p).unwrap();
+        assert!(report.module("base").unwrap().rebuilt);
+        assert!(report.module("lib").unwrap().rebuilt);
+        assert!(!report.module("main").unwrap().rebuilt);
+        assert_eq!(report.rebuilt_count(), 2);
+    }
+
+    #[test]
+    fn import_list_change_makes_module_stale() {
+        let mut builder = Builder::new(Compiler::new(Config::stateless()));
+        let mut p = project(&[
+            ("a", "fn f() -> int { return 1; }"),
+            ("main", "fn main(n: int) -> int { return n; }"),
+        ]);
+        builder.build(&p).unwrap();
+        p.set_file("main".into(), "import a;\nfn main(n: int) -> int { return a::f() + n; }".into());
+        let report = builder.build(&p).unwrap();
+        assert!(report.module("main").unwrap().rebuilt);
+        assert!(!report.module("a").unwrap().rebuilt);
+    }
+
+    #[test]
+    fn removed_module_leaves_the_program() {
+        let mut builder = Builder::new(Compiler::new(Config::stateless()));
+        let mut p = project(&[
+            ("dead", "fn f() -> int { return 1; }"),
+            ("main", "fn main(n: int) -> int { return n; }"),
+        ]);
+        builder.build(&p).unwrap();
+        p.remove_file("dead");
+        let report = builder.build(&p).unwrap();
+        assert_eq!(report.modules.len(), 1);
+        assert!(report.module("dead").is_none());
+    }
+
+    #[test]
+    fn compile_errors_name_the_module() {
+        let mut builder = Builder::new(Compiler::new(Config::stateless()));
+        let p = project(&[("bad", "fn f( -> int { return 1; }")]);
+        let err = builder.build(&p).unwrap_err();
+        match err {
+            BuildError::Compile { module, .. } => assert_eq!(module, "bad"),
+            other => panic!("expected compile error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn interface_hash_ignores_bodies_and_order() {
+        let a = sfcc::extract_interface(
+            "m",
+            "fn f(x: int) -> int { return 1; }\nfn g() -> int { return 2; }",
+        )
+        .unwrap();
+        let b = sfcc::extract_interface(
+            "m",
+            "fn g() -> int { return 99; }\nfn f(x: int) -> int { return x * 5; }",
+        )
+        .unwrap();
+        assert_eq!(interface_hash(&a), interface_hash(&b));
+        let c = sfcc::extract_interface("m", "fn f(x: int, y: int) -> int { return 1; }").unwrap();
+        assert_ne!(interface_hash(&a), interface_hash(&c));
+    }
+}

@@ -1,0 +1,287 @@
+//! The import graph: extraction, diagnostics, and wave scheduling.
+//!
+//! Imports are read from each module's parsed `import m;` declarations (the
+//! real parser, not a text scan, so comments and strings cannot confuse the
+//! graph). The graph rejects missing imports and import cycles, and
+//! computes *waves*: a partition of the modules such that every module's
+//! imports live in strictly earlier waves. Modules within one wave are
+//! mutually independent and may compile in parallel.
+
+use crate::project::Project;
+use sfcc_frontend::Diagnostics;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+/// A structural problem with a project's import graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A module imports a module that is not part of the project.
+    MissingImport {
+        /// The importing module.
+        module: String,
+        /// The name it imports.
+        import: String,
+    },
+    /// The import relation contains a cycle; the path repeats its first
+    /// element at the end (e.g. `a -> b -> a`).
+    Cycle(Vec<String>),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::MissingImport { module, import } => {
+                write!(f, "module `{module}` imports `{import}`, which is not in the project")
+            }
+            GraphError::Cycle(path) => write!(f, "import cycle: {}", path.join(" -> ")),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// The import graph of a [`Project`], with a precomputed wave schedule.
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    /// module → its imports, sorted, deduplicated.
+    imports: BTreeMap<String, Vec<String>>,
+    /// Wave partition: every module's imports are in strictly earlier waves.
+    waves: Vec<Vec<String>>,
+    /// Concatenation of the waves (a topological order).
+    topo: Vec<String>,
+}
+
+impl DepGraph {
+    /// Extracts the import graph and computes the wave schedule.
+    ///
+    /// Sources that fail to parse contribute whatever imports the
+    /// error-recovering parser still saw; the compile step reports their
+    /// diagnostics properly later.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::MissingImport`] when a module imports something the
+    /// project does not contain, [`GraphError::Cycle`] when the import
+    /// relation is cyclic (a self-import is a cycle of length one).
+    pub fn build(project: &Project) -> Result<DepGraph, GraphError> {
+        let mut imports: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for (name, source) in project.iter() {
+            let mut diags = Diagnostics::new();
+            let ast = sfcc_frontend::parser::parse(name, source, &mut diags);
+            let mut deps: Vec<String> =
+                ast.imports.iter().map(|imp| imp.module.clone()).collect();
+            deps.sort();
+            deps.dedup();
+            for dep in &deps {
+                if !project.contains(dep) {
+                    return Err(GraphError::MissingImport {
+                        module: name.to_string(),
+                        import: dep.clone(),
+                    });
+                }
+            }
+            imports.insert(name.to_string(), deps);
+        }
+
+        let waves = compute_waves(&imports)?;
+        let topo = waves.iter().flatten().cloned().collect();
+        Ok(DepGraph { imports, waves, topo })
+    }
+
+    /// The modules a module imports (sorted, deduplicated). Empty for
+    /// unknown modules.
+    pub fn imports_of(&self, name: &str) -> &[String] {
+        self.imports.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All modules in a topological order (imports before importers);
+    /// deterministic for a given project.
+    pub fn topo_order(&self) -> &[String] {
+        &self.topo
+    }
+
+    /// The wave schedule: each wave lists modules (sorted by name) whose
+    /// imports all live in earlier waves.
+    pub fn waves(&self) -> &[Vec<String>] {
+        &self.waves
+    }
+
+    /// Number of modules in the graph.
+    pub fn len(&self) -> usize {
+        self.topo.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.topo.is_empty()
+    }
+}
+
+/// Kahn's algorithm, taking whole in-degree-zero layers at a time. The
+/// per-wave order is the sorted order inherited from the `BTreeMap`.
+fn compute_waves(
+    imports: &BTreeMap<String, Vec<String>>,
+) -> Result<Vec<Vec<String>>, GraphError> {
+    let mut remaining: HashMap<&str, usize> =
+        imports.iter().map(|(name, deps)| (name.as_str(), deps.len())).collect();
+    let mut done: HashSet<&str> = HashSet::new();
+    let mut waves: Vec<Vec<String>> = Vec::new();
+
+    while done.len() < imports.len() {
+        let wave: Vec<String> = imports
+            .iter()
+            .filter(|(name, _)| {
+                !done.contains(name.as_str()) && remaining[name.as_str()] == 0
+            })
+            .map(|(name, _)| name.clone())
+            .collect();
+        if wave.is_empty() {
+            return Err(GraphError::Cycle(find_cycle(imports, &done)));
+        }
+        for name in &wave {
+            done.insert(imports.get_key_value(name.as_str()).expect("known module").0.as_str());
+        }
+        for (name, deps) in imports {
+            if done.contains(name.as_str()) {
+                continue;
+            }
+            let satisfied = deps.iter().filter(|d| done.contains(d.as_str())).count();
+            *remaining.get_mut(name.as_str()).expect("known module") = deps.len() - satisfied;
+        }
+        waves.push(wave);
+    }
+    Ok(waves)
+}
+
+/// Walks import edges among the unscheduled modules until a node repeats,
+/// yielding a concrete cycle path for the error message.
+fn find_cycle(
+    imports: &BTreeMap<String, Vec<String>>,
+    done: &HashSet<&str>,
+) -> Vec<String> {
+    let start = imports
+        .keys()
+        .find(|name| !done.contains(name.as_str()))
+        .expect("a cycle implies unscheduled modules");
+    let mut path: Vec<String> = vec![start.clone()];
+    let mut seen: HashSet<String> = HashSet::from([start.clone()]);
+    loop {
+        let current = path.last().expect("non-empty path");
+        let next = imports[current]
+            .iter()
+            .find(|dep| !done.contains(dep.as_str()))
+            .expect("an unscheduled module keeps an unscheduled import");
+        if seen.contains(next) {
+            // Trim the tail leading into the loop, then close it.
+            let entry = path.iter().position(|n| n == next).expect("seen on path");
+            path.drain(..entry);
+            path.push(next.clone());
+            return path;
+        }
+        seen.insert(next.clone());
+        path.push(next.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn project(files: &[(&str, &str)]) -> Project {
+        let mut p = Project::new();
+        for (name, src) in files {
+            p.set_file(name.to_string(), src.to_string());
+        }
+        p
+    }
+
+    #[test]
+    fn linear_chain_waves() {
+        let p = project(&[
+            ("main", "import lib;\nfn main(n: int) -> int { return lib::f(n); }"),
+            ("lib", "import base;\nfn f(x: int) -> int { return base::g(x); }"),
+            ("base", "fn g(x: int) -> int { return x; }"),
+        ]);
+        let g = DepGraph::build(&p).unwrap();
+        assert_eq!(g.waves(), &[vec!["base".to_string()], vec!["lib".into()], vec!["main".into()]]);
+        assert_eq!(g.topo_order(), &["base".to_string(), "lib".into(), "main".into()]);
+        assert_eq!(g.imports_of("lib"), &["base".to_string()]);
+        assert!(g.imports_of("unknown").is_empty());
+        assert_eq!(g.len(), 3);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn independent_modules_share_a_wave() {
+        let p = project(&[
+            ("z", "fn f() -> int { return 1; }"),
+            ("a", "fn g() -> int { return 2; }"),
+            ("main", "import a;\nimport z;\nfn main(n: int) -> int { return a::g() + z::f(); }"),
+        ]);
+        let g = DepGraph::build(&p).unwrap();
+        // Wave order is sorted by name → deterministic.
+        assert_eq!(g.waves(), &[vec!["a".to_string(), "z".into()], vec!["main".into()]]);
+    }
+
+    #[test]
+    fn missing_import_is_diagnosed() {
+        let p = project(&[("main", "import ghost;\nfn main(n: int) -> int { return n; }")]);
+        let err = DepGraph::build(&p).unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::MissingImport { module: "main".into(), import: "ghost".into() }
+        );
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn cycles_are_rejected_with_a_path() {
+        let p = project(&[
+            ("a", "import b;\nfn f() -> int { return 1; }"),
+            ("b", "import a;\nfn g() -> int { return 2; }"),
+        ]);
+        let err = DepGraph::build(&p).unwrap_err();
+        match err {
+            GraphError::Cycle(path) => {
+                assert!(path.len() >= 3, "{path:?}");
+                assert_eq!(path.first(), path.last());
+            }
+            other => panic!("expected cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_import_is_a_cycle() {
+        let p = project(&[("a", "import a;\nfn f() -> int { return 1; }")]);
+        assert!(matches!(DepGraph::build(&p).unwrap_err(), GraphError::Cycle(_)));
+    }
+
+    #[test]
+    fn duplicate_imports_collapse() {
+        let p = project(&[
+            ("lib", "fn f() -> int { return 1; }"),
+            ("main", "import lib;\nimport lib;\nfn main(n: int) -> int { return lib::f(); }"),
+        ]);
+        let g = DepGraph::build(&p).unwrap();
+        assert_eq!(g.imports_of("main"), &["lib".to_string()]);
+    }
+
+    #[test]
+    fn comments_do_not_create_imports() {
+        let p = project(&[("a", "// import ghost;\nfn f() -> int { return 1; }")]);
+        let g = DepGraph::build(&p).unwrap();
+        assert!(g.imports_of("a").is_empty());
+    }
+
+    #[test]
+    fn demo_project_loads_from_disk_with_expected_waves() {
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../demo");
+        let p = Project::from_dir(dir).expect("demo/ should load");
+        let g = DepGraph::build(&p).unwrap();
+        assert_eq!(
+            g.waves(),
+            &[vec!["mathx".to_string()], vec!["stats".into()], vec!["main".into()]]
+        );
+        assert_eq!(g.imports_of("main"), &["mathx".to_string(), "stats".into()]);
+    }
+}

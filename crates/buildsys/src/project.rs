@@ -1,0 +1,166 @@
+//! An in-memory MiniC project: a named set of module sources.
+//!
+//! Modules are keyed by name (the file stem on disk); storage is ordered so
+//! that iteration, hashing, and builds are deterministic.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// Extension of MiniC source files on disk.
+pub const SOURCE_EXTENSION: &str = "mc";
+
+/// A MiniC project: module name → source text.
+///
+/// The build system treats the project as the complete input of a build —
+/// there is no implicit search path. [`Project::from_dir`] loads every
+/// `*.mc` file of a directory (one file = one module, named by its stem),
+/// and [`Project::write_to_dir`] writes the same layout back out.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Project {
+    files: BTreeMap<String, String>,
+}
+
+impl Project {
+    /// Creates an empty project.
+    pub fn new() -> Self {
+        Project::default()
+    }
+
+    /// Loads every `*.mc` file under `dir` (non-recursively).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; a directory without any `.mc` files yields
+    /// an empty project, not an error.
+    pub fn from_dir(dir: impl AsRef<Path>) -> io::Result<Project> {
+        let mut project = Project::new();
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(SOURCE_EXTENSION) {
+                continue;
+            }
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            project.set_file(stem.to_string(), std::fs::read_to_string(&path)?);
+        }
+        Ok(project)
+    }
+
+    /// Writes every module to `dir/<name>.mc`, creating `dir` if needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_to_dir(&self, dir: impl AsRef<Path>) -> io::Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        for (name, source) in &self.files {
+            std::fs::write(dir.join(format!("{name}.{SOURCE_EXTENSION}")), source)?;
+        }
+        Ok(())
+    }
+
+    /// Inserts or replaces a module's source.
+    pub fn set_file(&mut self, name: String, source: String) {
+        self.files.insert(name, source);
+    }
+
+    /// Removes a module; returns its source if it existed.
+    pub fn remove_file(&mut self, name: &str) -> Option<String> {
+        self.files.remove(name)
+    }
+
+    /// A module's source, if present.
+    pub fn file(&self, name: impl AsRef<str>) -> Option<&str> {
+        self.files.get(name.as_ref()).map(|s| s.as_str())
+    }
+
+    /// Whether the project contains a module.
+    pub fn contains(&self, name: impl AsRef<str>) -> bool {
+        self.files.contains_key(name.as_ref())
+    }
+
+    /// Iterates `(name, source)` pairs in deterministic (sorted) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.files.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Module names in deterministic (sorted) order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.files.keys().map(|k| k.as_str())
+    }
+
+    /// Number of modules.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether the project has no modules.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Total source lines across all modules (for workload statistics).
+    pub fn total_lines(&self) -> usize {
+        self.files.values().map(|s| s.lines().count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Project {
+        let mut p = Project::new();
+        p.set_file("b".into(), "fn g() -> int { return 2; }\n".into());
+        p.set_file("a".into(), "fn f() -> int { return 1; }\nfn h() -> int { return 3; }\n".into());
+        p
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let p = sample();
+        let names: Vec<&str> = p.names().collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn file_accepts_str_like_keys() {
+        let p = sample();
+        assert!(p.file("a").is_some());
+        assert!(p.file(String::from("a")).is_some());
+        assert!(p.file(&String::from("a")).is_some());
+        assert!(p.file("z").is_none());
+    }
+
+    #[test]
+    fn counts_lines_and_modules() {
+        let p = sample();
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.total_lines(), 3);
+    }
+
+    #[test]
+    fn directory_round_trip() {
+        let dir = std::env::temp_dir().join(format!("sfcc-proj-rt-{}", std::process::id()));
+        let p = sample();
+        p.write_to_dir(&dir).unwrap();
+        // A stray non-source file must be ignored on load.
+        std::fs::write(dir.join("notes.txt"), "ignore me").unwrap();
+        let loaded = Project::from_dir(&dir).unwrap();
+        assert_eq!(p, loaded);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn remove_file_drops_module() {
+        let mut p = sample();
+        let removed = p.remove_file("a");
+        assert!(removed.unwrap().starts_with("fn f"));
+        assert!(!p.contains("a"));
+        assert_eq!(p.len(), 1);
+    }
+}

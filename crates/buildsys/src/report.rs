@@ -1,0 +1,73 @@
+//! What one build produced: the linked program plus per-module accounting.
+
+use sfcc::CompileOutput;
+use sfcc_backend::Program;
+
+/// Per-module outcome of one build.
+#[derive(Debug, Clone)]
+pub struct ModuleReport {
+    /// Module name.
+    pub name: String,
+    /// Whether this build recompiled the module (vs. reusing its cached
+    /// object).
+    pub rebuilt: bool,
+    /// The compilation output — `Some` only when the module was rebuilt in
+    /// *this* build, so traces are never double-counted across builds.
+    pub output: Option<CompileOutput>,
+}
+
+/// The result of one [`crate::Builder::build`] call.
+#[derive(Debug, Clone)]
+pub struct BuildReport {
+    /// The fully linked program (always complete, even on a no-op build).
+    pub program: Program,
+    /// End-to-end wall time of the build (ns): staleness analysis,
+    /// compilation, and linking.
+    pub wall_ns: u64,
+    /// Wall time of the final link step (ns).
+    pub link_ns: u64,
+    /// Per-module outcomes, in topological (import-before-importer) order.
+    pub modules: Vec<ModuleReport>,
+}
+
+impl BuildReport {
+    /// Number of modules recompiled by this build.
+    pub fn rebuilt_count(&self) -> usize {
+        self.modules.iter().filter(|m| m.rebuilt).count()
+    }
+
+    /// A module's report, by name.
+    pub fn module(&self, name: &str) -> Option<&ModuleReport> {
+        self.modules.iter().find(|m| m.name == name)
+    }
+
+    /// Compile wall time summed over the modules rebuilt by this build (ns).
+    pub fn compile_ns(&self) -> u64 {
+        self.outputs().map(|out| out.timings.total_ns()).sum()
+    }
+
+    /// Deterministic executed middle-end cost, summed over rebuilt modules:
+    /// the cost units of every pass slot that actually ran.
+    pub fn executed_cost_units(&self) -> u64 {
+        self.outputs()
+            .flat_map(|out| out.trace.functions.iter())
+            .map(|func| func.executed_cost())
+            .sum()
+    }
+
+    /// `(active, dormant, skipped)` pass-slot totals over rebuilt modules.
+    pub fn outcome_totals(&self) -> (usize, usize, usize) {
+        let mut totals = (0, 0, 0);
+        for out in self.outputs() {
+            let (a, d, s) = out.outcome_totals();
+            totals.0 += a;
+            totals.1 += d;
+            totals.2 += s;
+        }
+        totals
+    }
+
+    fn outputs(&self) -> impl Iterator<Item = &CompileOutput> {
+        self.modules.iter().filter_map(|m| m.output.as_ref())
+    }
+}

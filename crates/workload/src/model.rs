@@ -126,6 +126,10 @@ struct BodyBuilder<'a> {
     /// Whether the first literal (the const-bump anchor) was emitted.
     bumped: bool,
     call_cursor: usize,
+    /// Nesting depth of enclosing loops; calls are only emitted at depth 0
+    /// so a body invokes each callee O(1) times and dynamic cost stays
+    /// polynomial along call chains (loops would compound ~12× per level).
+    loop_depth: usize,
 }
 
 impl<'a> BodyBuilder<'a> {
@@ -144,6 +148,7 @@ impl<'a> BodyBuilder<'a> {
             stmts_left: func.stmt_budget,
             bumped: false,
             call_cursor: 0,
+            loop_depth: 0,
         }
     }
 
@@ -161,6 +166,17 @@ impl<'a> BodyBuilder<'a> {
 
     fn pick_var(&mut self) -> String {
         let vars = self.vars();
+        let i = self.rng.gen_range(0..vars.len());
+        vars[i].clone()
+    }
+
+    /// A variable that is safe to assign to. Loop counters (`i*`) are
+    /// excluded: a nested statement that reset one inside its own loop body
+    /// would make the loop non-terminating. Never empty — the accumulator
+    /// (`v0`) is always in scope.
+    fn pick_assignable(&mut self) -> String {
+        let vars: Vec<String> =
+            self.vars().into_iter().filter(|v| !v.starts_with('i')).collect();
         let i = self.rng.gen_range(0..vars.len());
         vars[i].clone()
     }
@@ -258,7 +274,7 @@ impl<'a> BodyBuilder<'a> {
             }
             // Mutate an existing scalar.
             25..=44 => {
-                let v = self.pick_var();
+                let v = self.pick_assignable();
                 // Parameters are assignable in MiniC (they are spilled).
                 let e = self.expr(2);
                 self.line(&format!("{v} = {e};"));
@@ -295,7 +311,9 @@ impl<'a> BodyBuilder<'a> {
                 let e = self.expr(1);
                 self.line(&format!("{acc} = {acc} + {e} * {i};"));
                 if self.rng.gen_bool(0.4) {
+                    self.loop_depth += 1;
                     self.statement(acc, nesting + 1);
+                    self.loop_depth -= 1;
                 }
                 self.scopes.pop();
                 self.indent -= 1;
@@ -329,8 +347,8 @@ impl<'a> BodyBuilder<'a> {
                 self.indent -= 1;
                 self.line("}");
             }
-            // Call a frozen callee.
-            85..=94 if !self.func.callees.is_empty() => {
+            // Call a frozen callee (never under a loop; see `loop_depth`).
+            85..=94 if self.loop_depth == 0 && !self.func.callees.is_empty() => {
                 let callee =
                     self.func.callees[self.call_cursor % self.func.callees.len()];
                 self.call_cursor += 1;

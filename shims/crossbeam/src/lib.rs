@@ -1,0 +1,92 @@
+//! Offline stand-in for the slice of `crossbeam` this workspace uses:
+//! [`thread::scope`] with crossbeam's calling convention, implemented on
+//! `std::thread::scope` (no external dependency, no unsafe code).
+
+pub mod thread {
+    //! Scoped threads in the `crossbeam::thread` shape.
+
+    use std::any::Any;
+
+    /// Spawns scoped threads and joins them all before returning.
+    ///
+    /// Unlike `crossbeam`, a panic in an *unjoined* child propagates as a
+    /// panic rather than as `Err`; callers that join every handle (as this
+    /// workspace does) observe identical behavior.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err` in this implementation (see above).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    /// A handle for spawning threads that may borrow from the enclosing
+    /// scope.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread. The closure receives the scope again, so
+        /// children can spawn siblings (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(&scope)) }
+        }
+    }
+
+    /// Owned permission to join a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, yielding its result.
+        ///
+        /// # Errors
+        ///
+        /// The child thread's panic payload, if it panicked.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|scope| {
+            let handles: Vec<_> =
+                data.iter().map(|n| scope.spawn(move |_| n * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn children_can_spawn_siblings() {
+        let v = crate::thread::scope(|scope| {
+            scope.spawn(|inner| inner.spawn(|_| 7).join().unwrap()).join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 7);
+    }
+}

@@ -1,0 +1,571 @@
+//! Offline stand-in for the slice of `proptest` this workspace uses.
+//!
+//! Random testing without shrinking: each [`proptest!`] test runs its body
+//! over `cases` deterministically generated inputs (seeded from the test's
+//! path, so runs are reproducible), and the `prop_assert*` macros are plain
+//! assertions. The strategy combinators cover exactly the workspace's
+//! usage: [`any`], integer ranges, [`Just`], tuples, [`prop_oneof!`],
+//! [`Strategy::prop_map`], [`collection::vec`], and simple one-atom regex
+//! string patterns (`.{lo,hi}` and `[class]{lo,hi}`).
+
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+pub mod test_runner {
+    //! The deterministic RNG driving generation.
+
+    /// Splitmix64 generator; [`proptest!`](crate::proptest) seeds one per
+    /// test from the test's module path and name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator with the given seed.
+        pub fn new(seed: u64) -> TestRng {
+            TestRng { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+        }
+
+        /// The next word of the stream.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform index in `0..n` (`n` must be nonzero).
+        pub fn below(&mut self, n: usize) -> usize {
+            assert!(n > 0, "cannot choose from an empty set");
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Per-test configuration; only the case count is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated inputs per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` inputs per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { source: self, f }
+    }
+
+    /// Type-erases the strategy (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy { sample: Rc::new(move |rng| self.generate(rng)) }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// The strategy producing only the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A type-erased strategy; see [`Strategy::boxed`].
+pub struct BoxedStrategy<T> {
+    sample: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy { sample: Rc::clone(&self.sample) }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.sample)(rng)
+    }
+}
+
+/// The strategy built by [`prop_oneof!`]: one arm, chosen uniformly, per
+/// generated value.
+pub struct OneOf<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// Builds the choice from type-erased arms (at least one).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let arm = rng.below(self.arms.len());
+        self.arms[arm].generate(rng)
+    }
+}
+
+/// Types with a canonical whole-domain strategy, i.e. usable with [`any`].
+pub trait Arbitrary {
+    /// Samples an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> i128 {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+/// The canonical whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),+) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = u128::from(rng.next_u64()) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = u128::from(rng.next_u64()) % span;
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )+};
+}
+range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident $idx:tt),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategies! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    /// Interprets the string as a simple regex pattern (see [`mod@pattern`]).
+    fn generate(&self, rng: &mut TestRng) -> String {
+        pattern::generate(self, rng)
+    }
+}
+
+pub mod pattern {
+    //! Simplified regex-pattern string generation.
+    //!
+    //! Supports exactly one atom — `.` (printable ASCII) or a `[...]`
+    //! character class with ranges and `\`-escapes — followed by a
+    //! `{lo,hi}` repetition. Anything else falls back to short printable
+    //! text, which keeps fuzz tests meaningful without a regex engine.
+
+    use super::test_runner::TestRng;
+
+    /// Generates one string matching (the supported subset of) `pattern`.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let (alphabet, lo, hi) = match parse(pattern) {
+            Some(parsed) => parsed,
+            None => ((0x20u8..0x7f).map(char::from).collect(), 0, 16),
+        };
+        let len = lo + rng.below(hi - lo + 1);
+        (0..len).map(|_| alphabet[rng.below(alphabet.len())]).collect()
+    }
+
+    fn parse(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let (alphabet, next) = match chars.first()? {
+            '.' => ((0x20u8..0x7f).map(char::from).collect(), 1),
+            '[' => parse_class(&chars)?,
+            _ => return None,
+        };
+        let (lo, hi) = parse_repeat(&chars[next..])?;
+        if alphabet.is_empty() || hi < lo {
+            return None;
+        }
+        Some((alphabet, lo, hi))
+    }
+
+    /// Parses `[...]` starting at index 0; yields the alphabet and the
+    /// index just past the closing bracket.
+    fn parse_class(chars: &[char]) -> Option<(Vec<char>, usize)> {
+        let mut set: Vec<char> = Vec::new();
+        let mut last_literal = false;
+        let mut i = 1;
+        while i < chars.len() && chars[i] != ']' {
+            if chars[i] == '\\' {
+                set.push(unescape(*chars.get(i + 1)?));
+                last_literal = true;
+                i += 2;
+            } else if chars[i] == '-'
+                && last_literal
+                && chars.get(i + 1).is_some_and(|&n| n != ']')
+            {
+                // A range: the low end was just pushed; replace it.
+                let lo = set.pop()?;
+                let hi = if chars[i + 1] == '\\' {
+                    i += 1;
+                    unescape(*chars.get(i + 1)?)
+                } else {
+                    chars[i + 1]
+                };
+                for code in (lo as u32)..=(hi as u32) {
+                    set.extend(char::from_u32(code));
+                }
+                last_literal = false;
+                i += 2;
+            } else {
+                set.push(chars[i]);
+                last_literal = true;
+                i += 1;
+            }
+        }
+        if i >= chars.len() {
+            return None; // Unterminated class.
+        }
+        Some((set, i + 1))
+    }
+
+    /// Parses a full-pattern-consuming `{lo,hi}` suffix.
+    fn parse_repeat(chars: &[char]) -> Option<(usize, usize)> {
+        let inner: String = match (chars.first(), chars.last()) {
+            (Some('{'), Some('}')) if chars.len() >= 2 => {
+                chars[1..chars.len() - 1].iter().collect()
+            }
+            _ => return None,
+        };
+        let (lo, hi) = inner.split_once(',')?;
+        Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            't' => '\t',
+            'n' => '\n',
+            'r' => '\r',
+            other => other,
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::test_runner::TestRng;
+    use super::Strategy;
+
+    /// See [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// A `Vec` strategy: each element from `element`, length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.start + rng.below(self.size.end - self.size.start);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The customary `use proptest::prelude::*;` import surface.
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+/// FNV-1a of a test's path; the per-test RNG seed.
+#[doc(hidden)]
+pub fn __seed_of(name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Uniform choice among strategies generating the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Property assertion; a plain `assert!` in this implementation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Property equality assertion; a plain `assert_eq!` in this
+/// implementation.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Defines property tests over generated inputs.
+///
+/// Supports an optional `#![proptest_config(...)]` header and any number of
+/// test functions whose parameters are either `name in strategy` bindings
+/// or `name: Type` shorthand for `any::<Type>()`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let mut __rng = $crate::test_runner::TestRng::new(
+                $crate::__seed_of(concat!(module_path!(), "::", stringify!($name))),
+            );
+            for _ in 0..__config.cases {
+                $crate::__proptest_bind!(__rng $($params)*);
+                $body
+            }
+        }
+        $crate::__proptest_impl!(($config) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident) => {};
+    ($rng:ident $p:pat in $s:expr) => {
+        let $p = $crate::Strategy::generate(&($s), &mut $rng);
+    };
+    ($rng:ident $p:pat in $s:expr, $($rest:tt)*) => {
+        let $p = $crate::Strategy::generate(&($s), &mut $rng);
+        $crate::__proptest_bind!($rng $($rest)*);
+    };
+    ($rng:ident $i:ident : $t:ty) => {
+        let $i: $t = $crate::Arbitrary::arbitrary(&mut $rng);
+    };
+    ($rng:ident $i:ident : $t:ty, $($rest:tt)*) => {
+        let $i: $t = $crate::Arbitrary::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_tuples_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        let strat = (0usize..8, -100i64..100, 1u32..=3);
+        for _ in 0..200 {
+            let (a, b, c) = strat.generate(&mut rng);
+            assert!(a < 8);
+            assert!((-100..100).contains(&b));
+            assert!((1..=3).contains(&c));
+        }
+    }
+
+    #[test]
+    fn oneof_uses_every_arm() {
+        let mut rng = TestRng::new(2);
+        let strat = prop_oneof![Just(1u8), Just(2u8), 3u8..=9];
+        let mut seen = [false; 10];
+        for _ in 0..300 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3..=9].iter().any(|&s| s));
+        assert!(!seen[0]);
+    }
+
+    #[test]
+    fn class_patterns_respect_alphabet_and_length() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..100 {
+            let s = "[a-c\\t\\-x]{1,5}".generate(&mut rng);
+            assert!((1..=5).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| "abc\t-x".contains(c)), "{s:?}");
+        }
+        for _ in 0..100 {
+            let s = ".{0,12}".generate(&mut rng);
+            assert!(s.chars().count() <= 12);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn vec_and_map_compose() {
+        let mut rng = TestRng::new(4);
+        let strat = crate::collection::vec((any::<bool>(), 0u32..5), 2..7)
+            .prop_map(|pairs| pairs.len());
+        for _ in 0..50 {
+            let n = strat.generate(&mut rng);
+            assert!((2..7).contains(&n));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: mixed binding forms, bodies that assert.
+        #[test]
+        fn macro_binds_all_forms(x in 0i64..10, flag: bool, s in ".{0,4}") {
+            prop_assert!((0..10).contains(&x));
+            let _ = flag;
+            prop_assert!(s.len() <= 4);
+            prop_assert_eq!(x - x, 0, "x={}", x);
+        }
+    }
+
+    proptest! {
+        /// Default config and a trailing comma in the parameter list.
+        #[test]
+        fn macro_accepts_trailing_comma(v: u64,) {
+            prop_assert_eq!(v ^ v, 0);
+        }
+    }
+}
