@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Local CI gate: build, test, lint, format — exactly what a PR must pass.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings
+cargo fmt --check

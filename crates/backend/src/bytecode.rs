@@ -216,7 +216,10 @@ mod tests {
     #[test]
     fn program_lookup() {
         let mut p = Program::default();
-        p.funcs.push(CodeBlob { name: "m.f".into(), ..CodeBlob::default() });
+        p.funcs.push(CodeBlob {
+            name: "m.f".into(),
+            ..CodeBlob::default()
+        });
         assert_eq!(p.func_id("m.f"), Some(FuncId(0)));
         assert_eq!(p.func_id("m.g"), None);
         assert_eq!(p.func(FuncId(0)).name, "m.f");
@@ -230,7 +233,11 @@ mod tests {
             code: vec![Bc::Trap, Bc::Trap],
             ..CodeBlob::default()
         });
-        p.funcs.push(CodeBlob { name: "b".into(), code: vec![Bc::Trap], ..CodeBlob::default() });
+        p.funcs.push(CodeBlob {
+            name: "b".into(),
+            code: vec![Bc::Trap],
+            ..CodeBlob::default()
+        });
         assert_eq!(p.total_code_size(), 3);
     }
 }

@@ -6,9 +6,7 @@
 //! copy cycles — the classic out-of-SSA transformation.
 
 use crate::bytecode::{Bc, CodeBlob, FuncId, Reg, Src};
-use sfcc_ir::{
-    reverse_post_order, BlockId, Function, InstId, Op, Terminator, Ty, ValueRef,
-};
+use sfcc_ir::{reverse_post_order, BlockId, Function, InstId, Op, Terminator, Ty, ValueRef};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -174,13 +172,23 @@ impl<'a> Codegen<'a> {
                 let a = self.src_of(inst.args[0]);
                 let b = self.src_of(inst.args[1]);
                 let dst = self.reg_for(iid);
-                self.code.push(Bc::Bin { kind: *kind, dst, a, b });
+                self.code.push(Bc::Bin {
+                    kind: *kind,
+                    dst,
+                    a,
+                    b,
+                });
             }
             Op::Icmp(pred) => {
                 let a = self.src_of(inst.args[0]);
                 let b = self.src_of(inst.args[1]);
                 let dst = self.reg_for(iid);
-                self.code.push(Bc::Icmp { pred: *pred, dst, a, b });
+                self.code.push(Bc::Icmp {
+                    pred: *pred,
+                    dst,
+                    a,
+                    b,
+                });
             }
             Op::Select => {
                 let cond = self.src_of(inst.args[0]);
@@ -210,8 +218,7 @@ impl<'a> Codegen<'a> {
                 self.code.push(Bc::Gep { dst, base, index });
             }
             Op::Call(target) => {
-                let args: Vec<Src> =
-                    inst.args.iter().map(|&a| self.src_of(a)).collect();
+                let args: Vec<Src> = inst.args.iter().map(|&a| self.src_of(a)).collect();
                 if target == "print" {
                     let [src] = args.as_slice() else {
                         return Err(CodegenError {
@@ -223,8 +230,11 @@ impl<'a> Codegen<'a> {
                     let func = self.resolver.resolve(target).ok_or_else(|| CodegenError {
                         message: format!("unresolved call target '{target}'"),
                     })?;
-                    let dst =
-                        if inst.ty != Ty::Void { Some(self.reg_for(iid)) } else { None };
+                    let dst = if inst.ty != Ty::Void {
+                        Some(self.reg_for(iid))
+                    } else {
+                        None
+                    };
                     self.code.push(Bc::Call { func, args, dst });
                 }
             }
@@ -242,11 +252,7 @@ impl<'a> Codegen<'a> {
         }
     }
 
-    fn emit_terminator(
-        &mut self,
-        b: BlockId,
-        _order: &[BlockId],
-    ) -> Result<(), CodegenError> {
+    fn emit_terminator(&mut self, b: BlockId, _order: &[BlockId]) -> Result<(), CodegenError> {
         match self.func.block(b).term.clone() {
             Terminator::Br(t) => {
                 self.emit_edge_copies(b, t);
@@ -254,7 +260,11 @@ impl<'a> Codegen<'a> {
                 self.code.push(Bc::Jump { target: 0 });
                 self.fixups.push((idx, 0, t));
             }
-            Terminator::CondBr { cond, then_bb, else_bb } => {
+            Terminator::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
                 let cond = self.src_of(cond);
                 let then_has = self
                     .edge_copies
@@ -266,13 +276,21 @@ impl<'a> Codegen<'a> {
                     .is_some_and(|c| !c.is_empty());
                 if !then_has && !else_has {
                     let idx = self.code.len();
-                    self.code.push(Bc::Branch { cond, then_pc: 0, else_pc: 0 });
+                    self.code.push(Bc::Branch {
+                        cond,
+                        then_pc: 0,
+                        else_pc: 0,
+                    });
                     self.fixups.push((idx, 0, then_bb));
                     self.fixups.push((idx, 1, else_bb));
                 } else {
                     // Split edges: branch to local stubs that run the copies.
                     let branch_idx = self.code.len();
-                    self.code.push(Bc::Branch { cond, then_pc: 0, else_pc: 0 });
+                    self.code.push(Bc::Branch {
+                        cond,
+                        then_pc: 0,
+                        else_pc: 0,
+                    });
                     // then stub
                     let then_stub = self.code.len() as u32;
                     self.emit_edge_copies(b, then_bb);
@@ -285,7 +303,9 @@ impl<'a> Codegen<'a> {
                     let jmp_else = self.code.len();
                     self.code.push(Bc::Jump { target: 0 });
                     self.fixups.push((jmp_else, 0, else_bb));
-                    if let Bc::Branch { then_pc, else_pc, .. } = &mut self.code[branch_idx]
+                    if let Bc::Branch {
+                        then_pc, else_pc, ..
+                    } = &mut self.code[branch_idx]
                     {
                         *then_pc = then_stub;
                         *else_pc = else_stub;
@@ -303,10 +323,15 @@ impl<'a> Codegen<'a> {
 
     /// Emits the sequentialized parallel copies for edge `from → to`.
     fn emit_edge_copies(&mut self, from: BlockId, to: BlockId) {
-        let Some(copies) = self.edge_copies.get(&(from, to)).cloned() else { return };
+        let Some(copies) = self.edge_copies.get(&(from, to)).cloned() else {
+            return;
+        };
         let scratch = self.next_reg; // reserved in `run` via num_regs + 1
         let seq = sequentialize(&copies, scratch);
-        self.code.extend(seq.into_iter().map(|c| Bc::Mov { dst: c.dst, src: c.src }));
+        self.code.extend(seq.into_iter().map(|c| Bc::Mov {
+            dst: c.dst,
+            src: c.src,
+        }));
     }
 }
 
@@ -321,9 +346,9 @@ fn sequentialize(copies: &[Copy], scratch: Reg) -> Vec<Copy> {
     let mut out = Vec::with_capacity(pending.len());
     while !pending.is_empty() {
         // Emit any copy whose destination is not needed as a source.
-        let ready = pending.iter().position(|c| {
-            !pending.iter().any(|other| other.src == Src::Reg(c.dst))
-        });
+        let ready = pending
+            .iter()
+            .position(|c| !pending.iter().any(|other| other.src == Src::Reg(c.dst)));
         match ready {
             Some(i) => {
                 out.push(pending.remove(i));
@@ -331,7 +356,10 @@ fn sequentialize(copies: &[Copy], scratch: Reg) -> Vec<Copy> {
             None => {
                 // Pure cycle: rotate through the scratch register.
                 let victim = pending[0];
-                out.push(Copy { dst: scratch, src: victim.src });
+                out.push(Copy {
+                    dst: scratch,
+                    src: victim.src,
+                });
                 for c in pending.iter_mut() {
                     if c.src == victim.src {
                         c.src = Src::Reg(scratch);
@@ -381,7 +409,11 @@ bb3:
 }",
         );
         // Both arms get a Mov before jumping to the join.
-        let movs = blob.code.iter().filter(|b| matches!(b, Bc::Mov { .. })).count();
+        let movs = blob
+            .code
+            .iter()
+            .filter(|b| matches!(b, Bc::Mov { .. }))
+            .count();
         assert_eq!(movs, 2, "{blob:?}");
     }
 
@@ -401,20 +433,33 @@ bb2:
   ret v0
 }",
         );
-        let movs = blob.code.iter().filter(|b| matches!(b, Bc::Mov { .. })).count();
+        let movs = blob
+            .code
+            .iter()
+            .filter(|b| matches!(b, Bc::Mov { .. }))
+            .count();
         assert_eq!(movs, 2, "{blob:?}");
         // The branch must target the stubs, not the blocks directly.
-        let Bc::Branch { then_pc, else_pc, .. } = blob.code[0] else { panic!() };
-        assert!(matches!(blob.code[then_pc as usize], Bc::Mov { .. } | Bc::Jump { .. }));
-        assert!(matches!(blob.code[else_pc as usize], Bc::Mov { .. } | Bc::Jump { .. }));
+        let Bc::Branch {
+            then_pc, else_pc, ..
+        } = blob.code[0]
+        else {
+            panic!()
+        };
+        assert!(matches!(
+            blob.code[then_pc as usize],
+            Bc::Mov { .. } | Bc::Jump { .. }
+        ));
+        assert!(matches!(
+            blob.code[else_pc as usize],
+            Bc::Mov { .. } | Bc::Jump { .. }
+        ));
     }
 
     #[test]
     fn unresolved_call_errors() {
-        let f = parse_function(
-            "fn @f() -> i64 {\nbb0:\n  v0 = call i64 @nosuch.fn()\n  ret v0\n}",
-        )
-        .unwrap();
+        let f = parse_function("fn @f() -> i64 {\nbb0:\n  v0 = call i64 @nosuch.fn()\n  ret v0\n}")
+            .unwrap();
         let resolver: HashMap<String, FuncId> = HashMap::new();
         let err = compile_function(&f, "m.f", &resolver).unwrap_err();
         assert!(err.message.contains("unresolved"), "{err}");
@@ -430,8 +475,14 @@ bb2:
     fn sequentialize_simple_chain() {
         // r1 ← r0, r2 ← r1 must emit r2 ← r1 first.
         let copies = vec![
-            Copy { dst: 1, src: Src::Reg(0) },
-            Copy { dst: 2, src: Src::Reg(1) },
+            Copy {
+                dst: 1,
+                src: Src::Reg(0),
+            },
+            Copy {
+                dst: 2,
+                src: Src::Reg(1),
+            },
         ];
         let seq = sequentialize(&copies, 99);
         assert_eq!(seq.len(), 2);
@@ -443,8 +494,14 @@ bb2:
     fn sequentialize_swap_uses_scratch() {
         // r0 ↔ r1 swap.
         let copies = vec![
-            Copy { dst: 0, src: Src::Reg(1) },
-            Copy { dst: 1, src: Src::Reg(0) },
+            Copy {
+                dst: 0,
+                src: Src::Reg(1),
+            },
+            Copy {
+                dst: 1,
+                src: Src::Reg(0),
+            },
         ];
         let seq = sequentialize(&copies, 9);
         assert_eq!(seq.len(), 3);
@@ -463,7 +520,10 @@ bb2:
 
     #[test]
     fn sequentialize_drops_self_copies() {
-        let copies = vec![Copy { dst: 0, src: Src::Reg(0) }];
+        let copies = vec![Copy {
+            dst: 0,
+            src: Src::Reg(0),
+        }];
         assert!(sequentialize(&copies, 9).is_empty());
     }
 

@@ -28,7 +28,9 @@ pub fn disasm_blob(blob: &CodeBlob, callee_name: impl Fn(u32) -> String) -> Stri
             Bc::Jump { target } => {
                 targets.insert(*target);
             }
-            Bc::Branch { then_pc, else_pc, .. } => {
+            Bc::Branch {
+                then_pc, else_pc, ..
+            } => {
                 targets.insert(*then_pc);
                 targets.insert(*else_pc);
             }
@@ -37,7 +39,11 @@ pub fn disasm_blob(blob: &CodeBlob, callee_name: impl Fn(u32) -> String) -> Stri
     }
 
     for (pc, bc) in blob.code.iter().enumerate() {
-        let marker = if targets.contains(&(pc as u32)) { ">" } else { " " };
+        let marker = if targets.contains(&(pc as u32)) {
+            ">"
+        } else {
+            " "
+        };
         let text = match bc {
             Bc::Mov { dst, src } => format!("mov    r{dst}, {src}"),
             Bc::Bin { kind, dst, a, b } => format!("{:<6} r{dst}, {a}, {b}", kind.mnemonic()),
@@ -60,7 +66,11 @@ pub fn disasm_blob(blob: &CodeBlob, callee_name: impl Fn(u32) -> String) -> Stri
             }
             Bc::Print { src } => format!("print  {src}"),
             Bc::Jump { target } => format!("jmp    @{target}"),
-            Bc::Branch { cond, then_pc, else_pc } => {
+            Bc::Branch {
+                cond,
+                then_pc,
+                else_pc,
+            } => {
                 format!("br     {cond} ? @{then_pc} : @{else_pc}")
             }
             Bc::Ret { src: Some(s) } => format!("ret    {s}"),
@@ -127,7 +137,10 @@ bb2:
         );
         let text = disasm_program(&p);
         assert!(text.contains("br "), "{text}");
-        assert!(text.lines().any(|l| l.starts_with('>')), "targets unmarked: {text}");
+        assert!(
+            text.lines().any(|l| l.starts_with('>')),
+            "targets unmarked: {text}"
+        );
     }
 
     #[test]

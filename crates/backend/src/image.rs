@@ -1,9 +1,9 @@
 //! Program images: serializing linked [`Program`]s to disk.
 //!
 //! The executable artifact a build produces (`*.sbx`), analogous to the
-//! linked binary in the paper's toolchain: magic + version + function table
-//! + bytecode, FNV-64 trailer checksum, and cold rejection of anything
-//! malformed.
+//! linked binary in the paper's toolchain: magic, version, function table,
+//! and bytecode, with an FNV-64 trailer checksum and cold rejection of
+//! anything malformed.
 
 use crate::bytecode::{Bc, CodeBlob, FuncId, Program, Src};
 use sfcc_codec::{fnv64, DecodeError, Reader, Writer};
@@ -80,9 +80,19 @@ pub fn from_bytes(bytes: &[u8]) -> Result<Program, DecodeError> {
         for _ in 0..code_len {
             code.push(decode_bc(&mut r)?);
         }
-        funcs.push(CodeBlob { name, arity, returns_value, num_regs, code });
+        funcs.push(CodeBlob {
+            name,
+            arity,
+            returns_value,
+            num_regs,
+            code,
+        });
     }
-    let entry = if r.u8()? != 0 { Some(FuncId(r.u32()?)) } else { None };
+    let entry = if r.u8()? != 0 {
+        Some(FuncId(r.u32()?))
+    } else {
+        None
+    };
 
     let payload_end = bytes.len() - r.remaining();
     let declared = r.u64()?;
@@ -277,7 +287,11 @@ fn encode_bc(w: &mut Writer, bc: &Bc) {
             w.u8(10);
             w.u32(*target);
         }
-        Bc::Branch { cond, then_pc, else_pc } => {
+        Bc::Branch {
+            cond,
+            then_pc,
+            else_pc,
+        } => {
             w.u8(11);
             encode_src(w, *cond);
             w.u32(*then_pc);
@@ -299,7 +313,10 @@ fn encode_bc(w: &mut Writer, bc: &Bc) {
 
 fn decode_bc(r: &mut Reader<'_>) -> Result<Bc, DecodeError> {
     Ok(match r.u8()? {
-        0 => Bc::Mov { dst: r.u32()?, src: decode_src(r)? },
+        0 => Bc::Mov {
+            dst: r.u32()?,
+            src: decode_src(r)?,
+        },
         1 => Bc::Bin {
             kind: bin_from(r.u8()?)?,
             dst: r.u32()?,
@@ -318,10 +335,23 @@ fn decode_bc(r: &mut Reader<'_>) -> Result<Bc, DecodeError> {
             a: decode_src(r)?,
             b: decode_src(r)?,
         },
-        4 => Bc::Alloca { dst: r.u32()?, size: r.u32()? },
-        5 => Bc::Load { dst: r.u32()?, addr: r.u32()? },
-        6 => Bc::Store { addr: r.u32()?, src: decode_src(r)? },
-        7 => Bc::Gep { dst: r.u32()?, base: r.u32()?, index: decode_src(r)? },
+        4 => Bc::Alloca {
+            dst: r.u32()?,
+            size: r.u32()?,
+        },
+        5 => Bc::Load {
+            dst: r.u32()?,
+            addr: r.u32()?,
+        },
+        6 => Bc::Store {
+            addr: r.u32()?,
+            src: decode_src(r)?,
+        },
+        7 => Bc::Gep {
+            dst: r.u32()?,
+            base: r.u32()?,
+            index: decode_src(r)?,
+        },
         8 => {
             let func = FuncId(r.u32()?);
             let argc = r.usize()?;
@@ -335,10 +365,22 @@ fn decode_bc(r: &mut Reader<'_>) -> Result<Bc, DecodeError> {
             let dst = if r.u8()? != 0 { Some(r.u32()?) } else { None };
             Bc::Call { func, args, dst }
         }
-        9 => Bc::Print { src: decode_src(r)? },
+        9 => Bc::Print {
+            src: decode_src(r)?,
+        },
         10 => Bc::Jump { target: r.u32()? },
-        11 => Bc::Branch { cond: decode_src(r)?, then_pc: r.u32()?, else_pc: r.u32()? },
-        12 => Bc::Ret { src: if r.u8()? != 0 { Some(decode_src(r)?) } else { None } },
+        11 => Bc::Branch {
+            cond: decode_src(r)?,
+            then_pc: r.u32()?,
+            else_pc: r.u32()?,
+        },
+        12 => Bc::Ret {
+            src: if r.u8()? != 0 {
+                Some(decode_src(r)?)
+            } else {
+                None
+            },
+        },
         13 => Bc::Trap,
         _ => return Err(DecodeError::Corrupt),
     })

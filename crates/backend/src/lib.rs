@@ -40,7 +40,7 @@ pub mod vm;
 pub use bytecode::{Bc, CodeBlob, FuncId, Program, Src};
 pub use codegen::{compile_function, CallResolver, CodegenError};
 pub use disasm::{disasm_blob, disasm_program};
-pub use image::{save as save_image, load as load_image, IMAGE_VERSION};
+pub use image::{load as load_image, save as save_image, IMAGE_VERSION};
 pub use link::{link, LinkError};
 pub use object::{compile_object, link_objects, CodeObject};
 pub use vm::{run, RunOutput, VmError, VmOptions, DEFAULT_FUEL, DEFAULT_MAX_DEPTH};
@@ -58,7 +58,11 @@ mod end_to_end {
         let checked = parse_and_check("main", src, &ModuleEnv::new(), &mut d)
             .unwrap_or_else(|| panic!("frontend errors: {d:?}"));
         let mut module = sfcc_ir::lower_module(&checked, &ModuleEnv::new());
-        let pipeline = if optimize { default_pipeline() } else { minimal_pipeline() };
+        let pipeline = if optimize {
+            default_pipeline()
+        } else {
+            minimal_pipeline()
+        };
         run_pipeline(
             &mut module,
             &pipeline,
@@ -76,7 +80,10 @@ mod end_to_end {
         let slow = compile_and_run(src, false, args);
         let fast = compile_and_run(src, true, args);
         assert_eq!(slow.prints, fast.prints, "print mismatch for {src}");
-        assert_eq!(slow.return_value, fast.return_value, "return mismatch for {src}");
+        assert_eq!(
+            slow.return_value, fast.return_value,
+            "return mismatch for {src}"
+        );
         (slow.executed, fast.executed)
     }
 

@@ -115,7 +115,10 @@ mod tests {
     fn duplicate_symbol_rejected() {
         let a = lower("m", "fn f() {}", &ModuleEnv::new());
         let b = lower("m", "fn f() {}", &ModuleEnv::new());
-        assert_eq!(link(&[a, b]).unwrap_err(), LinkError::DuplicateSymbol("m.f".into()));
+        assert_eq!(
+            link(&[a, b]).unwrap_err(),
+            LinkError::DuplicateSymbol("m.f".into())
+        );
     }
 
     #[test]
@@ -128,7 +131,10 @@ mod tests {
         .unwrap();
         let mut m = Module::new("m");
         m.add_function(f);
-        assert_eq!(link(&[m]).unwrap_err(), LinkError::Unresolved("ghost.fn".into()));
+        assert_eq!(
+            link(&[m]).unwrap_err(),
+            LinkError::Unresolved("ghost.fn".into())
+        );
     }
 
     #[test]

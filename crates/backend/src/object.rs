@@ -64,7 +64,11 @@ pub fn compile_object(module: &Module) -> Result<CodeObject, CodegenError> {
         blobs.push(compile_function(f, &qualified, &interner)?);
     }
     let symbols = interner.inner.into_inner().0;
-    Ok(CodeObject { module: module.name.clone(), blobs, symbols })
+    Ok(CodeObject {
+        module: module.name.clone(),
+        blobs,
+        symbols,
+    })
 }
 
 /// Links object files into an executable program by patching call targets.
@@ -174,15 +178,28 @@ mod tests {
 
         let p1 = link_objects(&[util.clone(), main_v1]).unwrap();
         let p2 = link_objects(&[util, main_v2]).unwrap();
-        assert_eq!(run(&p1, "main.main", &[1], VmOptions::default()).unwrap().return_value, Some(4));
-        assert_eq!(run(&p2, "main.main", &[1], VmOptions::default()).unwrap().return_value, Some(104));
+        assert_eq!(
+            run(&p1, "main.main", &[1], VmOptions::default())
+                .unwrap()
+                .return_value,
+            Some(4)
+        );
+        assert_eq!(
+            run(&p2, "main.main", &[1], VmOptions::default())
+                .unwrap()
+                .return_value,
+            Some(104)
+        );
     }
 
     #[test]
     fn duplicate_definition_across_objects() {
         let a = compile_object(&lower("m", "fn f() {}", &ModuleEnv::new())).unwrap();
         let b = a.clone();
-        assert!(matches!(link_objects(&[a, b]), Err(LinkError::DuplicateSymbol(_))));
+        assert!(matches!(
+            link_objects(&[a, b]),
+            Err(LinkError::DuplicateSymbol(_))
+        ));
     }
 
     #[test]

@@ -64,7 +64,10 @@ impl fmt::Display for VmError {
         match self {
             VmError::ArithmeticTrap => write!(f, "arithmetic trap"),
             VmError::OutOfBounds { offset, len } => {
-                write!(f, "out-of-bounds access at offset {offset} of region length {len}")
+                write!(
+                    f,
+                    "out-of-bounds access at offset {offset} of region length {len}"
+                )
             }
             VmError::Unreachable => write!(f, "reached unreachable code"),
             VmError::OutOfFuel => write!(f, "fuel exhausted"),
@@ -119,7 +122,10 @@ pub struct VmOptions {
 
 impl Default for VmOptions {
     fn default() -> Self {
-        VmOptions { fuel: DEFAULT_FUEL, max_depth: DEFAULT_MAX_DEPTH }
+        VmOptions {
+            fuel: DEFAULT_FUEL,
+            max_depth: DEFAULT_MAX_DEPTH,
+        }
     }
 }
 
@@ -219,8 +225,11 @@ impl<'p> Vm<'p> {
                 }
                 Bc::Select { dst, cond, a, b } => {
                     let c = int(read(&regs, *cond))?;
-                    regs[*dst as usize] =
-                        if c != 0 { read(&regs, *a) } else { read(&regs, *b) };
+                    regs[*dst as usize] = if c != 0 {
+                        read(&regs, *a)
+                    } else {
+                        read(&regs, *b)
+                    };
                 }
                 Bc::Alloca { dst, size } => {
                     let region = self.regions.len() as u32;
@@ -240,16 +249,16 @@ impl<'p> Vm<'p> {
                         return Err(VmError::TypeConfusion);
                     };
                     let idx = int(read(&regs, *index))?;
-                    regs[*dst as usize] =
-                        Value::Ptr { region, offset: offset.wrapping_add(idx) };
+                    regs[*dst as usize] = Value::Ptr {
+                        region,
+                        offset: offset.wrapping_add(idx),
+                    };
                 }
                 Bc::Call { func, args, dst } => {
-                    let argv: Vec<Value> =
-                        args.iter().map(|&a| read(&regs, a)).collect();
+                    let argv: Vec<Value> = args.iter().map(|&a| read(&regs, a)).collect();
                     let ret = self.call(*func, &argv, depth + 1)?;
                     if let Some(dst) = dst {
-                        regs[*dst as usize] =
-                            ret.ok_or(VmError::TypeConfusion)?;
+                        regs[*dst as usize] = ret.ok_or(VmError::TypeConfusion)?;
                     }
                 }
                 Bc::Print { src } => {
@@ -257,7 +266,11 @@ impl<'p> Vm<'p> {
                     self.prints.push(v);
                 }
                 Bc::Jump { target } => pc = *target as usize,
-                Bc::Branch { cond, then_pc, else_pc } => {
+                Bc::Branch {
+                    cond,
+                    then_pc,
+                    else_pc,
+                } => {
                     let c = int(read(&regs, *cond))?;
                     pc = if c != 0 { *then_pc } else { *else_pc } as usize;
                 }
@@ -277,7 +290,10 @@ impl<'p> Vm<'p> {
         };
         let data = &self.regions[region as usize];
         if offset < 0 || offset as usize >= data.len() {
-            return Err(VmError::OutOfBounds { offset, len: data.len() });
+            return Err(VmError::OutOfBounds {
+                offset,
+                len: data.len(),
+            });
         }
         Ok(data[offset as usize])
     }
@@ -288,7 +304,10 @@ impl<'p> Vm<'p> {
         };
         let data = &mut self.regions[region as usize];
         if offset < 0 || offset as usize >= data.len() {
-            return Err(VmError::OutOfBounds { offset, len: data.len() });
+            return Err(VmError::OutOfBounds {
+                offset,
+                len: data.len(),
+            });
         }
         data[offset as usize] = value;
         Ok(())
@@ -302,7 +321,10 @@ mod tests {
     use sfcc_ir::{BinKind, IcmpPred};
 
     fn single(blob: CodeBlob) -> Program {
-        Program { funcs: vec![blob], entry: Some(FuncId(0)) }
+        Program {
+            funcs: vec![blob],
+            entry: Some(FuncId(0)),
+        }
     }
 
     #[test]
@@ -313,9 +335,21 @@ mod tests {
             returns_value: true,
             num_regs: 4,
             code: vec![
-                Bc::Bin { kind: BinKind::Add, dst: 2, a: Src::Reg(0), b: Src::Reg(1) },
-                Bc::Bin { kind: BinKind::Mul, dst: 3, a: Src::Reg(2), b: Src::Imm(10) },
-                Bc::Ret { src: Some(Src::Reg(3)) },
+                Bc::Bin {
+                    kind: BinKind::Add,
+                    dst: 2,
+                    a: Src::Reg(0),
+                    b: Src::Reg(1),
+                },
+                Bc::Bin {
+                    kind: BinKind::Mul,
+                    dst: 3,
+                    a: Src::Reg(2),
+                    b: Src::Imm(10),
+                },
+                Bc::Ret {
+                    src: Some(Src::Reg(3)),
+                },
             ],
         });
         let out = run(&p, "m.f", &[3, 4], VmOptions::default()).unwrap();
@@ -331,12 +365,27 @@ mod tests {
             returns_value: true,
             num_regs: 2,
             code: vec![
-                Bc::Bin { kind: BinKind::Sdiv, dst: 1, a: Src::Imm(1), b: Src::Reg(0) },
-                Bc::Ret { src: Some(Src::Reg(1)) },
+                Bc::Bin {
+                    kind: BinKind::Sdiv,
+                    dst: 1,
+                    a: Src::Imm(1),
+                    b: Src::Reg(0),
+                },
+                Bc::Ret {
+                    src: Some(Src::Reg(1)),
+                },
             ],
         });
-        assert_eq!(run(&p, "m.f", &[0], VmOptions::default()), Err(VmError::ArithmeticTrap));
-        assert_eq!(run(&p, "m.f", &[2], VmOptions::default()).unwrap().return_value, Some(0));
+        assert_eq!(
+            run(&p, "m.f", &[0], VmOptions::default()),
+            Err(VmError::ArithmeticTrap)
+        );
+        assert_eq!(
+            run(&p, "m.f", &[2], VmOptions::default())
+                .unwrap()
+                .return_value,
+            Some(0)
+        );
     }
 
     #[test]
@@ -348,13 +397,27 @@ mod tests {
             num_regs: 4,
             code: vec![
                 Bc::Alloca { dst: 1, size: 4 },
-                Bc::Gep { dst: 2, base: 1, index: Src::Reg(0) },
-                Bc::Store { addr: 2, src: Src::Imm(99) },
+                Bc::Gep {
+                    dst: 2,
+                    base: 1,
+                    index: Src::Reg(0),
+                },
+                Bc::Store {
+                    addr: 2,
+                    src: Src::Imm(99),
+                },
                 Bc::Load { dst: 3, addr: 2 },
-                Bc::Ret { src: Some(Src::Reg(3)) },
+                Bc::Ret {
+                    src: Some(Src::Reg(3)),
+                },
             ],
         });
-        assert_eq!(run(&p, "m.f", &[2], VmOptions::default()).unwrap().return_value, Some(99));
+        assert_eq!(
+            run(&p, "m.f", &[2], VmOptions::default())
+                .unwrap()
+                .return_value,
+            Some(99)
+        );
         // Index 9 is out of bounds for size 4.
         assert!(matches!(
             run(&p, "m.f", &[9], VmOptions::default()),
@@ -376,7 +439,15 @@ mod tests {
             code: vec![Bc::Jump { target: 0 }],
         });
         assert_eq!(
-            run(&p, "m.f", &[], VmOptions { fuel: 1000, max_depth: 8 }),
+            run(
+                &p,
+                "m.f",
+                &[],
+                VmOptions {
+                    fuel: 1000,
+                    max_depth: 8
+                }
+            ),
             Err(VmError::OutOfFuel)
         );
     }
@@ -390,8 +461,15 @@ mod tests {
             returns_value: true,
             num_regs: 2,
             code: vec![
-                Bc::Bin { kind: BinKind::Add, dst: 1, a: Src::Reg(0), b: Src::Imm(1) },
-                Bc::Ret { src: Some(Src::Reg(1)) },
+                Bc::Bin {
+                    kind: BinKind::Add,
+                    dst: 1,
+                    a: Src::Reg(0),
+                    b: Src::Imm(1),
+                },
+                Bc::Ret {
+                    src: Some(Src::Reg(1)),
+                },
             ],
         };
         let f = CodeBlob {
@@ -400,14 +478,25 @@ mod tests {
             returns_value: false,
             num_regs: 3,
             code: vec![
-                Bc::Call { func: FuncId(1), args: vec![Src::Reg(0)], dst: Some(1) },
+                Bc::Call {
+                    func: FuncId(1),
+                    args: vec![Src::Reg(0)],
+                    dst: Some(1),
+                },
                 Bc::Print { src: Src::Reg(1) },
-                Bc::Call { func: FuncId(1), args: vec![Src::Reg(1)], dst: Some(2) },
+                Bc::Call {
+                    func: FuncId(1),
+                    args: vec![Src::Reg(1)],
+                    dst: Some(2),
+                },
                 Bc::Print { src: Src::Reg(2) },
                 Bc::Ret { src: None },
             ],
         };
-        let p = Program { funcs: vec![f, g], entry: Some(FuncId(0)) };
+        let p = Program {
+            funcs: vec![f, g],
+            entry: Some(FuncId(0)),
+        };
         let out = run(&p, "m.f", &[10], VmOptions::default()).unwrap();
         assert_eq!(out.prints, vec![11, 12]);
     }
@@ -420,13 +509,30 @@ mod tests {
             returns_value: true,
             num_regs: 2,
             code: vec![
-                Bc::Call { func: FuncId(0), args: vec![Src::Reg(0)], dst: Some(1) },
-                Bc::Ret { src: Some(Src::Reg(1)) },
+                Bc::Call {
+                    func: FuncId(0),
+                    args: vec![Src::Reg(0)],
+                    dst: Some(1),
+                },
+                Bc::Ret {
+                    src: Some(Src::Reg(1)),
+                },
             ],
         };
-        let p = Program { funcs: vec![f], entry: Some(FuncId(0)) };
+        let p = Program {
+            funcs: vec![f],
+            entry: Some(FuncId(0)),
+        };
         assert_eq!(
-            run(&p, "m.f", &[1], VmOptions { fuel: 1_000_000, max_depth: 64 }),
+            run(
+                &p,
+                "m.f",
+                &[1],
+                VmOptions {
+                    fuel: 1_000_000,
+                    max_depth: 64
+                }
+            ),
             Err(VmError::StackOverflow)
         );
     }
@@ -440,14 +546,37 @@ mod tests {
             returns_value: true,
             num_regs: 2,
             code: vec![
-                Bc::Icmp { pred: IcmpPred::Slt, dst: 1, a: Src::Reg(0), b: Src::Imm(10) },
-                Bc::Branch { cond: Src::Reg(1), then_pc: 2, else_pc: 3 },
-                Bc::Ret { src: Some(Src::Imm(1)) },
-                Bc::Ret { src: Some(Src::Imm(2)) },
+                Bc::Icmp {
+                    pred: IcmpPred::Slt,
+                    dst: 1,
+                    a: Src::Reg(0),
+                    b: Src::Imm(10),
+                },
+                Bc::Branch {
+                    cond: Src::Reg(1),
+                    then_pc: 2,
+                    else_pc: 3,
+                },
+                Bc::Ret {
+                    src: Some(Src::Imm(1)),
+                },
+                Bc::Ret {
+                    src: Some(Src::Imm(2)),
+                },
             ],
         });
-        assert_eq!(run(&p, "m.f", &[5], VmOptions::default()).unwrap().return_value, Some(1));
-        assert_eq!(run(&p, "m.f", &[50], VmOptions::default()).unwrap().return_value, Some(2));
+        assert_eq!(
+            run(&p, "m.f", &[5], VmOptions::default())
+                .unwrap()
+                .return_value,
+            Some(1)
+        );
+        assert_eq!(
+            run(&p, "m.f", &[50], VmOptions::default())
+                .unwrap()
+                .return_value,
+            Some(2)
+        );
     }
 
     #[test]
@@ -459,7 +588,10 @@ mod tests {
             num_regs: 1,
             code: vec![Bc::Trap],
         });
-        assert_eq!(run(&p, "m.f", &[], VmOptions::default()), Err(VmError::Unreachable));
+        assert_eq!(
+            run(&p, "m.f", &[], VmOptions::default()),
+            Err(VmError::Unreachable)
+        );
     }
 
     #[test]
@@ -473,7 +605,9 @@ mod tests {
             code: vec![
                 Bc::Alloca { dst: 0, size: 8 },
                 Bc::Load { dst: 1, addr: 0 },
-                Bc::Ret { src: Some(Src::Reg(1)) },
+                Bc::Ret {
+                    src: Some(Src::Reg(1)),
+                },
             ],
         };
         let f = CodeBlob {
@@ -482,12 +616,25 @@ mod tests {
             returns_value: true,
             num_regs: 2,
             code: vec![
-                Bc::Call { func: FuncId(1), args: vec![], dst: Some(0) },
-                Bc::Call { func: FuncId(1), args: vec![], dst: Some(1) },
-                Bc::Ret { src: Some(Src::Reg(1)) },
+                Bc::Call {
+                    func: FuncId(1),
+                    args: vec![],
+                    dst: Some(0),
+                },
+                Bc::Call {
+                    func: FuncId(1),
+                    args: vec![],
+                    dst: Some(1),
+                },
+                Bc::Ret {
+                    src: Some(Src::Reg(1)),
+                },
             ],
         };
-        let p = Program { funcs: vec![f, g], entry: Some(FuncId(0)) };
+        let p = Program {
+            funcs: vec![f, g],
+            entry: Some(FuncId(0)),
+        };
         let out = run(&p, "m.f", &[], VmOptions::default()).unwrap();
         assert_eq!(out.return_value, Some(0));
     }

@@ -9,8 +9,7 @@
 use proptest::prelude::*;
 use sfcc_backend::{link_objects, run, VmError, VmOptions};
 use sfcc_ir::{
-    BinKind, FuncBuilder, Function, IcmpPred, InstId, Module, Op, Terminator, Ty, ValueRef,
-    ENTRY,
+    BinKind, FuncBuilder, Function, IcmpPred, InstId, Module, Op, Terminator, Ty, ValueRef, ENTRY,
 };
 use sfcc_passes::{default_pipeline, run_pipeline, NeverSkip, RunOptions};
 use std::collections::HashMap;
@@ -87,9 +86,11 @@ fn arb_step() -> impl Strategy<Value = Step> {
         Just(IcmpPred::Sge),
     ];
     prop_oneof![
-        (bin, any::<usize>(), any::<usize>(), -64i64..64).prop_map(|(k, a, b, c)| Step::Bin(k, a, b, c)),
+        (bin, any::<usize>(), any::<usize>(), -64i64..64)
+            .prop_map(|(k, a, b, c)| Step::Bin(k, a, b, c)),
         (pred, any::<usize>(), any::<usize>()).prop_map(|(p, a, b)| Step::Icmp(p, a, b)),
-        (any::<usize>(), any::<usize>(), any::<usize>()).prop_map(|(c, a, b)| Step::Select(c, a, b)),
+        (any::<usize>(), any::<usize>(), any::<usize>())
+            .prop_map(|(c, a, b)| Step::Select(c, a, b)),
     ]
 }
 
@@ -104,7 +105,11 @@ fn build_function(steps: &[Step]) -> Function {
         match step {
             Step::Bin(kind, a, bi, c) => {
                 let lhs = ints[a % ints.len()];
-                let rhs = if c % 3 == 0 { ValueRef::int(*c) } else { ints[bi % ints.len()] };
+                let rhs = if c % 3 == 0 {
+                    ValueRef::int(*c)
+                } else {
+                    ints[bi % ints.len()]
+                };
                 ints.push(b.bin(*kind, lhs, rhs));
             }
             Step::Icmp(pred, a, bi) => {

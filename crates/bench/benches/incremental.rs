@@ -17,7 +17,10 @@ fn bench_incremental(c: &mut Criterion) {
     let mut group = c.benchmark_group("incremental-rebuild");
     for (label, compiler_config) in [
         ("stateless", Config::stateless()),
-        ("stateful", Config::stateless().with_policy(SkipPolicy::PreviousBuild)),
+        (
+            "stateful",
+            Config::stateless().with_policy(SkipPolicy::PreviousBuild),
+        ),
     ] {
         group.bench_function(label, |b| {
             b.iter_batched(
@@ -25,8 +28,7 @@ fn bench_incremental(c: &mut Criterion) {
                     // Warm builder + one pending edit.
                     let mut model = generate_model(&config);
                     let mut script = EditScript::new(7);
-                    let mut builder =
-                        Builder::new(Compiler::new(compiler_config.clone()));
+                    let mut builder = Builder::new(Compiler::new(compiler_config.clone()));
                     builder.build(&model.render()).unwrap();
                     // A couple of warm-up commits so dormancy state exists.
                     for _ in 0..2 {

@@ -32,7 +32,10 @@ fn corpus_ir() -> sfcc_ir::Module {
                 .unwrap();
         env_by.insert(name.clone(), checked.interface.clone());
         let ir = lower_module(&checked, &env);
-        if best.as_ref().is_none_or(|b| ir.functions.len() > b.functions.len()) {
+        if best
+            .as_ref()
+            .is_none_or(|b| ir.functions.len() > b.functions.len())
+        {
             best = Some(ir);
         }
     }
@@ -62,7 +65,9 @@ fn bench_fingerprint(c: &mut Criterion) {
 fn bench_state_codec(c: &mut Criterion) {
     let db = warmed_state();
     let bytes = statefile::to_bytes(&db);
-    c.bench_function("state/encode", |b| b.iter(|| statefile::to_bytes(&db).len()));
+    c.bench_function("state/encode", |b| {
+        b.iter(|| statefile::to_bytes(&db).len())
+    });
     c.bench_function("state/decode", |b| {
         b.iter(|| statefile::from_bytes(&bytes).unwrap().function_count())
     });
@@ -75,7 +80,12 @@ fn bench_pipeline(c: &mut Criterion) {
         b.iter_batched(
             || ir.clone(),
             |mut m| {
-                run_pipeline(&mut m, &pipeline, &NeverSkip, RunOptions { verify_each: false })
+                run_pipeline(
+                    &mut m,
+                    &pipeline,
+                    &NeverSkip,
+                    RunOptions { verify_each: false },
+                )
             },
             BatchSize::SmallInput,
         )

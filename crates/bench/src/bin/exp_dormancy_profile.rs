@@ -5,5 +5,8 @@
 fn main() {
     let scale = sfcc_bench::Scale::from_args();
     println!("# E1 / Figure 1 — pass dormancy profile (motivation)\n");
-    print!("{}", sfcc_bench::experiments::profile::dormancy_profile(scale));
+    print!(
+        "{}",
+        sfcc_bench::experiments::profile::dormancy_profile(scale)
+    );
 }

@@ -5,5 +5,8 @@
 fn main() {
     let scale = sfcc_bench::Scale::from_args();
     println!("# E8 / Figure 5 — build-over-build dormancy stability\n");
-    print!("{}", sfcc_bench::experiments::state_exp::dormancy_stability(scale));
+    print!(
+        "{}",
+        sfcc_bench::experiments::state_exp::dormancy_stability(scale)
+    );
 }

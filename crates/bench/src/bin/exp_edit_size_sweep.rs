@@ -5,5 +5,8 @@
 fn main() {
     let scale = sfcc_bench::Scale::from_args();
     println!("# E6 / Figure 3 — speedup vs edit size\n");
-    print!("{}", sfcc_bench::experiments::end_to_end::edit_size_sweep(scale));
+    print!(
+        "{}",
+        sfcc_bench::experiments::end_to_end::edit_size_sweep(scale)
+    );
 }

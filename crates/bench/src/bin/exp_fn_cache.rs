@@ -5,5 +5,8 @@
 fn main() {
     let scale = sfcc_bench::Scale::from_args();
     println!("# E12 — extension: function-level IR cache\n");
-    print!("{}", sfcc_bench::experiments::extension::fn_cache_ablation(scale));
+    print!(
+        "{}",
+        sfcc_bench::experiments::extension::fn_cache_ablation(scale)
+    );
 }

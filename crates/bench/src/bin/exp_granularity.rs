@@ -5,5 +5,8 @@
 fn main() {
     let scale = sfcc_bench::Scale::from_args();
     println!("# E11 — ablation: dormancy-state granularity\n");
-    print!("{}", sfcc_bench::experiments::quality::granularity_ablation(scale));
+    print!(
+        "{}",
+        sfcc_bench::experiments::quality::granularity_ablation(scale)
+    );
 }

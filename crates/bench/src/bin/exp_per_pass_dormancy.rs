@@ -5,5 +5,8 @@
 fn main() {
     let scale = sfcc_bench::Scale::from_args();
     println!("# E2 / Figure 2 — per-pass dormancy rates\n");
-    print!("{}", sfcc_bench::experiments::profile::per_pass_dormancy(scale));
+    print!(
+        "{}",
+        sfcc_bench::experiments::profile::per_pass_dormancy(scale)
+    );
 }

@@ -5,5 +5,8 @@
 fn main() {
     let scale = sfcc_bench::Scale::from_args();
     println!("# E3 / Table 1 — benchmark project characteristics\n");
-    print!("{}", sfcc_bench::experiments::profile::projects_table(scale));
+    print!(
+        "{}",
+        sfcc_bench::experiments::profile::projects_table(scale)
+    );
 }

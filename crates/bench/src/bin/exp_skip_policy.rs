@@ -5,5 +5,8 @@
 fn main() {
     let scale = sfcc_bench::Scale::from_args();
     println!("# E10 — ablation: skip policies\n");
-    print!("{}", sfcc_bench::experiments::quality::skip_policy_ablation(scale));
+    print!(
+        "{}",
+        sfcc_bench::experiments::quality::skip_policy_ablation(scale)
+    );
 }

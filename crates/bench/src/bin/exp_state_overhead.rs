@@ -5,5 +5,8 @@
 fn main() {
     let scale = sfcc_bench::Scale::from_args();
     println!("# E5 / Table 3 — state storage and maintenance overhead\n");
-    print!("{}", sfcc_bench::experiments::state_exp::state_overhead(scale));
+    print!(
+        "{}",
+        sfcc_bench::experiments::state_exp::state_overhead(scale)
+    );
 }

@@ -20,7 +20,11 @@ pub fn end_to_end(scale: Scale) -> String {
     // wall-clock column carries a spread, not a single noisy sample.
     let edit_seeds: &[u64] = match scale {
         Scale::Quick => &[DEFAULT_SEED ^ 0xC0117],
-        Scale::Full => &[DEFAULT_SEED ^ 0xC0117, DEFAULT_SEED ^ 0xC0118, DEFAULT_SEED ^ 0xC0119],
+        Scale::Full => &[
+            DEFAULT_SEED ^ 0xC0117,
+            DEFAULT_SEED ^ 0xC0118,
+            DEFAULT_SEED ^ 0xC0119,
+        ],
     };
     let mut table = Table::new(&[
         "project",
@@ -40,8 +44,12 @@ pub fn end_to_end(scale: Scale) -> String {
         let mut fast_cost = 0u64;
         let mut skipped_total = 0u64;
         for &edit_seed in edit_seeds {
-            let (stateless, stateful) =
-                paired_replay(&config, scale.commits(), edit_seed, SkipPolicy::PreviousBuild);
+            let (stateless, stateful) = paired_replay(
+                &config,
+                scale.commits(),
+                edit_seed,
+                SkipPolicy::PreviousBuild,
+            );
             slow_total += stateless.incremental_wall_ns();
             fast_total += stateful.incremental_wall_ns();
             slow_cost += stateless.incremental_cost_units();
@@ -215,7 +223,10 @@ mod tests {
     fn edit_size_sweep_has_all_widths() {
         let out = edit_size_sweep(Scale::Quick);
         for w in ["1 ", "4 ", "16 "] {
-            assert!(out.lines().any(|l| l.trim_start().starts_with(w.trim())), "{out}");
+            assert!(
+                out.lines().any(|l| l.trim_start().starts_with(w.trim())),
+                "{out}"
+            );
         }
     }
 

@@ -24,18 +24,54 @@ pub mod state_exp;
 /// Runs every experiment at the given scale and returns the combined report.
 pub fn run_all(scale: crate::Scale) -> String {
     let sections: Vec<(&str, String)> = vec![
-        ("E3 / Table 1 — benchmark project characteristics", profile::projects_table(scale)),
-        ("E1 / Figure 1 — pass dormancy profile (motivation)", profile::dormancy_profile(scale)),
-        ("E2 / Figure 2 — per-pass dormancy rates", profile::per_pass_dormancy(scale)),
-        ("E4 / Table 2 — end-to-end incremental build time (headline)", end_to_end::end_to_end(scale)),
-        ("E5 / Table 3 — state storage and maintenance overhead", state_exp::state_overhead(scale)),
-        ("E6 / Figure 3 — speedup vs edit size", end_to_end::edit_size_sweep(scale)),
-        ("E7 / Figure 4 — compile-time breakdown", end_to_end::breakdown(scale)),
-        ("E8 / Figure 5 — build-over-build dormancy stability", state_exp::dormancy_stability(scale)),
-        ("E9 / Table 4 — output correctness and code quality", quality::code_quality(scale)),
-        ("E10 — ablation: skip policies", quality::skip_policy_ablation(scale)),
-        ("E11 — ablation: dormancy-state granularity", quality::granularity_ablation(scale)),
-        ("E12 — extension: function-level IR cache", extension::fn_cache_ablation(scale)),
+        (
+            "E3 / Table 1 — benchmark project characteristics",
+            profile::projects_table(scale),
+        ),
+        (
+            "E1 / Figure 1 — pass dormancy profile (motivation)",
+            profile::dormancy_profile(scale),
+        ),
+        (
+            "E2 / Figure 2 — per-pass dormancy rates",
+            profile::per_pass_dormancy(scale),
+        ),
+        (
+            "E4 / Table 2 — end-to-end incremental build time (headline)",
+            end_to_end::end_to_end(scale),
+        ),
+        (
+            "E5 / Table 3 — state storage and maintenance overhead",
+            state_exp::state_overhead(scale),
+        ),
+        (
+            "E6 / Figure 3 — speedup vs edit size",
+            end_to_end::edit_size_sweep(scale),
+        ),
+        (
+            "E7 / Figure 4 — compile-time breakdown",
+            end_to_end::breakdown(scale),
+        ),
+        (
+            "E8 / Figure 5 — build-over-build dormancy stability",
+            state_exp::dormancy_stability(scale),
+        ),
+        (
+            "E9 / Table 4 — output correctness and code quality",
+            quality::code_quality(scale),
+        ),
+        (
+            "E10 — ablation: skip policies",
+            quality::skip_policy_ablation(scale),
+        ),
+        (
+            "E11 — ablation: dormancy-state granularity",
+            quality::granularity_ablation(scale),
+        ),
+        (
+            "E12 — extension: function-level IR cache",
+            extension::fn_cache_ablation(scale),
+        ),
     ];
     let mut out = String::new();
     for (title, body) in sections {

@@ -47,7 +47,9 @@ pub fn projects_table(scale: Scale) -> String {
 fn full_build_profile(config: &GeneratorConfig) -> DormancyProfile {
     let model = generate_model(config);
     let mut builder = Builder::new(Compiler::new(Config::stateless()));
-    let report = builder.build(&model.render()).expect("generated project builds");
+    let report = builder
+        .build(&model.render())
+        .expect("generated project builds");
     let mut profile = DormancyProfile::new();
     for module in &report.modules {
         if let Some(out) = &module.output {
@@ -88,7 +90,11 @@ pub fn dormancy_profile(scale: Scale) -> String {
             frac_pct(profile.overall_dormancy_rate()),
             ms(total_ns),
             ms(dormant_ns),
-            frac_pct(if total_ns == 0 { 0.0 } else { dormant_ns as f64 / total_ns as f64 }),
+            frac_pct(if total_ns == 0 {
+                0.0
+            } else {
+                dormant_ns as f64 / total_ns as f64
+            }),
         ]);
     }
     let mut out = table.render();
@@ -113,8 +119,7 @@ pub fn per_pass_dormancy(scale: Scale) -> String {
             entry.cost_units += counters.cost_units;
         }
     }
-    let mut table =
-        Table::new(&["pass", "active", "dormant", "dormancy-rate", "total-ms"]);
+    let mut table = Table::new(&["pass", "active", "dormant", "dormancy-rate", "total-ms"]);
     for (pass, counters) in combined.ranked() {
         table.row(&[
             pass.to_string(),

@@ -25,8 +25,12 @@ pub fn code_quality(scale: Scale) -> String {
         "quality-loss",
     ]);
     for config in scale.suite(DEFAULT_SEED) {
-        let (stateless, stateful) =
-            paired_replay(&config, scale.commits(), DEFAULT_SEED ^ 0xE9, SkipPolicy::PreviousBuild);
+        let (stateless, stateful) = paired_replay(
+            &config,
+            scale.commits(),
+            DEFAULT_SEED ^ 0xE9,
+            SkipPolicy::PreviousBuild,
+        );
         let a = run_program(&stateless.final_report, &PROGRAM_ARGS);
         let b = run_program(&stateful.final_report, &PROGRAM_ARGS);
         let mut equivalent = 0usize;
@@ -146,11 +150,16 @@ struct ModuleGrainOracle<'a> {
 
 impl<'a> SkipOracle for ModuleGrainOracle<'a> {
     fn should_skip(&self, query: &PassQuery<'_>) -> bool {
-        let Some(module) = self.db.module(query.module) else { return false };
+        let Some(module) = self.db.module(query.module) else {
+            return false;
+        };
         if module.functions.is_empty() {
             return false;
         }
-        module.functions.values().all(|rec| rec.is_dormant(query.slot))
+        module
+            .functions
+            .values()
+            .all(|rec| rec.is_dormant(query.slot))
     }
 }
 
@@ -180,8 +189,12 @@ pub fn granularity_ablation(scale: Scale) -> String {
     // Baseline for reference.
     let mut model = generate_model(&config);
     let mut script = EditScript::new(DEFAULT_SEED ^ 0xEB);
-    let (baseline, _) =
-        replay_with(&mut model, &mut script, scale.commits(), Config::stateless());
+    let (baseline, _) = replay_with(
+        &mut model,
+        &mut script,
+        scale.commits(),
+        Config::stateless(),
+    );
 
     let base = baseline.incremental_cost_units();
     let mut table = Table::new(&["granularity", "cost-units", "cost-speedup"]);
@@ -194,7 +207,10 @@ pub fn granularity_ablation(scale: Scale) -> String {
     table.row(&[
         "function".into(),
         fine.incremental_cost_units().to_string(),
-        pct(speedup_percent(base as f64, fine.incremental_cost_units() as f64)),
+        pct(speedup_percent(
+            base as f64,
+            fine.incremental_cost_units() as f64,
+        )),
     ]);
     let mut out = table.render();
     out.push_str(&format!(
@@ -227,9 +243,9 @@ fn module_grain_cost(
         std::collections::HashMap::new();
 
     let build = |model: &sfcc_workload::ProjectModel,
-                     db: &mut StateDb,
-                     prev: &mut std::collections::HashMap<String, String>,
-                     count_cost: bool|
+                 db: &mut StateDb,
+                 prev: &mut std::collections::HashMap<String, String>,
+                 count_cost: bool|
      -> u64 {
         let project = model.render();
         let graph = sfcc_buildsys::DepGraph::build(&project).expect("graph");
@@ -255,9 +271,18 @@ fn module_grain_cost(
 
             let mut ir = sfcc_ir::lower_module(&checked, &env);
             let oracle = ModuleGrainOracle { db };
-            let trace = run_pipeline(&mut ir, &pipeline, &oracle, RunOptions { verify_each: false });
+            let trace = run_pipeline(
+                &mut ir,
+                &pipeline,
+                &oracle,
+                RunOptions { verify_each: false },
+            );
             if count_cost {
-                total += trace.functions.iter().map(|f| f.executed_cost()).sum::<u64>();
+                total += trace
+                    .functions
+                    .iter()
+                    .map(|f| f.executed_cost())
+                    .sum::<u64>();
             }
             db.ingest(&trace, pipeline_hash);
         }
@@ -309,7 +334,13 @@ mod tests {
             })
             .collect();
         assert_eq!(costs.len(), 3, "{out}");
-        assert!(costs[2] <= costs[1], "function grain should skip at least as much: {out}");
-        assert!(costs[1] <= costs[0], "module grain should not add work: {out}");
+        assert!(
+            costs[2] <= costs[1],
+            "function grain should skip at least as much: {out}"
+        );
+        assert!(
+            costs[1] <= costs[0],
+            "module grain should not add work: {out}"
+        );
     }
 }

@@ -44,11 +44,8 @@ pub fn state_overhead(scale: Scale) -> String {
         let bytes = stateful.compiler().state_bytes();
         let functions = stateful.compiler().state().function_count();
 
-        let dir = std::env::temp_dir().join(format!(
-            "sfcc-e5-{}-{}",
-            std::process::id(),
-            config.name
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("sfcc-e5-{}-{}", std::process::id(), config.name));
         std::fs::create_dir_all(&dir).expect("temp dir");
         let path = dir.join("state.bin");
         let t = Instant::now();
@@ -86,8 +83,12 @@ pub fn dormancy_stability(scale: Scale) -> String {
     let config = scale.single(DEFAULT_SEED + 30);
     let mut model = generate_model(&config);
     let mut script = EditScript::new(DEFAULT_SEED ^ 0xE8);
-    let (replay, _) =
-        replay_with(&mut model, &mut script, scale.commits(), Config::stateless());
+    let (replay, _) = replay_with(
+        &mut model,
+        &mut script,
+        scale.commits(),
+        Config::stateless(),
+    );
 
     let mut table = Table::new(&["pass", "stability", "samples"]);
     for (pass, stability, samples) in replay.stability.per_pass() {
@@ -95,7 +96,10 @@ pub fn dormancy_stability(scale: Scale) -> String {
     }
     let mut out = table.render();
     if let Some(overall) = replay.stability.overall() {
-        out.push_str(&format!("\noverall dormancy stability: {}\n", frac_pct(overall)));
+        out.push_str(&format!(
+            "\noverall dormancy stability: {}\n",
+            frac_pct(overall)
+        ));
         out.push_str(
             "shape check: the high-dormancy passes the technique actually skips\n\
              (cse, memfwd, sccp, inline, adce, peephole, …) are ≥90% stable;\n\

@@ -22,6 +22,10 @@ pub struct BuildMeasurement {
     pub cost_units: u64,
     /// `(active, dormant, skipped)` pass-slot totals.
     pub outcomes: (usize, usize, usize),
+    /// Query-engine tasks validated without executing.
+    pub query_hits: u64,
+    /// Query-engine tasks that (re-)executed.
+    pub query_misses: u64,
 }
 
 impl BuildMeasurement {
@@ -34,6 +38,8 @@ impl BuildMeasurement {
             compile_ns: report.compile_ns(),
             cost_units: report.executed_cost_units(),
             outcomes: report.outcome_totals(),
+            query_hits: report.query.hits,
+            query_misses: report.query.misses,
         }
     }
 }
@@ -105,25 +111,28 @@ pub fn replay_with(
     let mut stability = StabilityTracker::new();
     let mut applied = Vec::with_capacity(commits);
 
-    let observe = |report: &BuildReport,
-                       profile: &mut DormancyProfile,
-                       stability: &mut StabilityTracker| {
-        for module in &report.modules {
-            if let Some(out) = &module.output {
-                profile.add_trace(&out.trace);
-                stability.observe(&out.trace);
+    let observe =
+        |report: &BuildReport, profile: &mut DormancyProfile, stability: &mut StabilityTracker| {
+            for module in &report.modules {
+                if let Some(out) = &module.output {
+                    profile.add_trace(&out.trace);
+                    stability.observe(&out.trace);
+                }
             }
-        }
-    };
+        };
 
-    let first = builder.build(&model.render()).expect("generated project builds");
+    let first = builder
+        .build(&model.render())
+        .expect("generated project builds");
     observe(&first, &mut profile, &mut stability);
     builds.push(BuildMeasurement::of(0, &first));
     let mut last_report = first;
 
     for n in 1..=commits {
         applied.push(script.commit(model));
-        let report = builder.build(&model.render()).expect("edited project builds");
+        let report = builder
+            .build(&model.render())
+            .expect("edited project builds");
         observe(&report, &mut profile, &mut stability);
         builds.push(BuildMeasurement::of(n, &report));
         last_report = report;
@@ -192,8 +201,7 @@ mod tests {
     #[test]
     fn paired_replay_shapes_match() {
         let config = GeneratorConfig::small(33);
-        let (stateless, stateful) =
-            paired_replay(&config, 5, 7, SkipPolicy::PreviousBuild);
+        let (stateless, stateful) = paired_replay(&config, 5, 7, SkipPolicy::PreviousBuild);
         assert_eq!(stateless.builds.len(), 6);
         assert_eq!(stateful.builds.len(), 6);
         // Same history ⇒ identical rebuild counts per commit.
@@ -210,8 +218,7 @@ mod tests {
     #[test]
     fn stateful_reduces_deterministic_cost() {
         let config = GeneratorConfig::small(33);
-        let (stateless, stateful) =
-            paired_replay(&config, 6, 7, SkipPolicy::PreviousBuild);
+        let (stateless, stateful) = paired_replay(&config, 6, 7, SkipPolicy::PreviousBuild);
         assert!(
             stateful.incremental_cost_units() < stateless.incremental_cost_units(),
             "stateful {} < stateless {}",
@@ -223,8 +230,7 @@ mod tests {
     #[test]
     fn final_programs_behave_identically() {
         let config = GeneratorConfig::small(12);
-        let (stateless, stateful) =
-            paired_replay(&config, 8, 3, SkipPolicy::PreviousBuild);
+        let (stateless, stateful) = paired_replay(&config, 8, 3, SkipPolicy::PreviousBuild);
         let args = [0, 1, 5, 13];
         let a = run_program(&stateless.final_report, &args);
         let b = run_program(&stateful.final_report, &args);

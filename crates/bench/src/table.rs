@@ -10,7 +10,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
-        Table { header: header.iter().map(|s| s.to_string()). collect(), rows: Vec::new() }
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one row (cells are stringified by the caller).

@@ -10,7 +10,9 @@
 //! ```
 //!
 //! Build flags: `--stateful` (persist dormancy state in `<dir>/.sfcc-state`),
-//! `--stateless` (default), `--fn-cache`, `--parallel`, `-O0`/`-O1`/`-O2`.
+//! `--stateless` (default), `--fn-cache`, `--jobs N` (default: all cores),
+//! `-O0`/`-O1`/`-O2`; `build` also accepts `--report json` for a
+//! machine-readable summary including query-engine hit/miss counts.
 
 use sfcc::{Compiler, Config};
 use sfcc_backend::{disasm_program, load_image, run, save_image, VmOptions};
@@ -22,7 +24,7 @@ use std::process::ExitCode;
 const USAGE: &str = "minicc — incremental MiniC compiler driver
 
 usage:
-  minicc build <dir> [-o <out.sbx>] [build flags]
+  minicc build <dir> [-o <out.sbx>] [--report json] [build flags]
   minicc run   <dir> [build flags] -- <args...>
   minicc exec  <file.sbx> -- <args...>
   minicc ir    <dir> <module> [build flags]
@@ -33,7 +35,9 @@ build flags:
   --stateful     stateful compilation; state persists in <dir>/.sfcc-state
   --stateless    stateless compilation (default)
   --fn-cache     enable the function-level IR cache
-  --parallel     compile independent modules in parallel
+  --jobs <N>     worker threads per wave (default: all available cores)
+  --parallel     alias for the default --jobs behavior
+  --report json  (build) print a JSON build report instead of the summary
   -O0 | -O1 | -O2  optimization level (default -O2)";
 
 fn main() -> ExitCode {
@@ -71,7 +75,10 @@ fn dispatch(args: &[String]) -> Result<(), String> {
 struct BuildFlags {
     stateful: bool,
     fn_cache: bool,
-    parallel: bool,
+    /// Worker threads per wave; `None` means all available cores.
+    jobs: Option<usize>,
+    /// `--report json`: emit a machine-readable build report.
+    report_json: bool,
     opt: &'static str,
     /// Non-flag operands in order (directory, module name, …).
     operands: Vec<String>,
@@ -85,7 +92,8 @@ fn parse_flags(args: &[String]) -> Result<BuildFlags, String> {
     let mut flags = BuildFlags {
         stateful: false,
         fn_cache: false,
-        parallel: false,
+        jobs: None,
+        report_json: false,
         opt: "-O2",
         operands: Vec::new(),
         output: None,
@@ -97,7 +105,26 @@ fn parse_flags(args: &[String]) -> Result<BuildFlags, String> {
             "--stateful" => flags.stateful = true,
             "--stateless" => flags.stateful = false,
             "--fn-cache" => flags.fn_cache = true,
-            "--parallel" => flags.parallel = true,
+            "--parallel" => flags.jobs = None,
+            "--jobs" => {
+                let value = iter.next().ok_or("`--jobs` expects a worker count")?;
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| format!("`--jobs` expects a number, got `{value}`"))?;
+                if n == 0 {
+                    return Err("`--jobs` expects at least 1 worker".to_string());
+                }
+                flags.jobs = Some(n);
+            }
+            "--report" => {
+                let format = iter.next().ok_or("`--report` expects a format")?;
+                if format != "json" {
+                    return Err(format!(
+                        "unsupported report format `{format}` (only `json`)"
+                    ));
+                }
+                flags.report_json = true;
+            }
             "-O0" | "-O1" | "-O2" => {
                 flags.opt = match arg.as_str() {
                     "-O0" => "-O0",
@@ -151,12 +178,16 @@ fn build_project(flags: &BuildFlags, dir: &Path) -> Result<(Builder, BuildReport
         return Err(format!("no .mc files in `{}`", dir.display()));
     }
     let mut builder = Builder::new(Compiler::new(config_of(flags, dir)));
-    if flags.parallel {
-        builder = builder.with_parallelism();
-    }
+    builder = match flags.jobs {
+        Some(jobs) => builder.with_jobs(jobs),
+        None => builder.with_parallelism(),
+    };
     let report = builder.build(&project).map_err(|e| e.to_string())?;
     if flags.stateful {
-        builder.compiler().save_state().map_err(|e| format!("cannot save state: {e}"))?;
+        builder
+            .compiler()
+            .save_state()
+            .map_err(|e| format!("cannot save state: {e}"))?;
     }
     Ok((builder, report))
 }
@@ -174,15 +205,21 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         .unwrap_or_else(|| dir.with_extension("sbx"));
     save_image(&report.program, &out)
         .map_err(|e| format!("cannot write `{}`: {e}", out.display()))?;
+    if flags.report_json {
+        println!("{}", report.to_json());
+        return Ok(());
+    }
     let (active, dormant, skipped) = report.outcome_totals();
     println!(
-        "built {} module(s) ({} recompiled) in {:.2} ms; pass slots: {} active, {} dormant, {} skipped",
+        "built {} module(s) ({} recompiled) in {:.2} ms; pass slots: {} active, {} dormant, {} skipped; queries: {} hit(s), {} miss(es)",
         report.modules.len(),
         report.rebuilt_count(),
         report.wall_ns as f64 / 1e6,
         active,
         dormant,
         skipped,
+        report.query.hits,
+        report.query.misses,
     );
     println!("wrote {}", out.display());
     Ok(())
@@ -239,15 +276,17 @@ fn cmd_exec(args: &[String]) -> Result<(), String> {
     let [image] = flags.operands.as_slice() else {
         return Err(format!("`exec` expects one .sbx image\n\n{USAGE}"));
     };
-    let program = load_image(Path::new(image))
-        .map_err(|e| format!("cannot load `{image}`: {e}"))?;
+    let program =
+        load_image(Path::new(image)).map_err(|e| format!("cannot load `{image}`: {e}"))?;
     run_report(&program, &flags.program_args)
 }
 
 fn cmd_ir(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args)?;
     let [dir, module] = flags.operands.as_slice() else {
-        return Err(format!("`ir` expects a project directory and a module name\n\n{USAGE}"));
+        return Err(format!(
+            "`ir` expects a project directory and a module name\n\n{USAGE}"
+        ));
     };
     let (_, report) = build_project(&flags, Path::new(dir))?;
     let found = report
@@ -281,7 +320,10 @@ fn cmd_state(args: &[String]) -> Result<(), String> {
     }
     let (db, error) = statefile::load_or_default(path);
     if let Some(error) = error {
-        return Err(format!("state file `{}` is unreadable: {error:?}", path.display()));
+        return Err(format!(
+            "state file `{}` is unreadable: {error:?}",
+            path.display()
+        ));
     }
     println!(
         "state file {} — {} module(s), {} function(s) tracked",

@@ -1,34 +1,46 @@
 //! The incremental build driver.
 //!
-//! A [`Builder`] owns a [`Compiler`] session and an object cache keyed by
-//! module name. Each [`Builder::build`] call:
+//! A [`Builder`] owns a [`Compiler`] session and a demand-driven query
+//! [`Engine`] whose store of memoized task outputs persists across builds.
+//! Each [`Builder::build`] call:
 //!
-//! 1. extracts the import graph and its wave schedule ([`DepGraph`]);
-//! 2. decides staleness per module — a module recompiles iff its source
-//!    content hash changed *or* the interface hash of anything it imports
-//!    changed since the module was last compiled (so a body-only edit
-//!    rebuilds exactly one module, while an interface change ripples to
-//!    direct importers);
-//! 3. compiles each wave's stale modules as one batch (in parallel when
-//!    [`Builder::with_parallelism`] is set — waves are mutually
-//!    independent by construction);
-//! 4. relinks all objects — cached and fresh — into a complete program.
+//! 1. opens an engine session, which re-stamps every tracked input (source
+//!    files, the module manifest, dormancy state) and invalidates exactly
+//!    the tasks downstream of a changed stamp;
+//! 2. demands the [`BuildTask::Graph`] task (import extraction, cycle and
+//!    missing-import diagnostics, wave scheduling);
+//! 3. walks the wave schedule: modules whose `frontend` task fails
+//!    validation are pre-compiled in parallel against an immutable compiler
+//!    snapshot (when [`Builder::with_jobs`] allows), then each module's
+//!    `codegen` task is demanded in order — hitting the store wherever an
+//!    output fingerprint proves nothing changed (early cutoff);
+//! 4. demands [`BuildTask::Link`], which reuses the memoized program when
+//!    no object changed.
+//!
+//! The interface-hash staleness rule of the previous builder is now an
+//! emergent property of the task taxonomy (see [`crate::tasks`]): a
+//! body-only edit changes no `interface(m)` fingerprint, so dependents'
+//! tasks validate instead of re-running.
 //!
 //! The compiler session's dormancy state persists across builds (that is
-//! the paper's point); [`Builder::clear_cache`] drops only the *object*
-//! cache, forcing full recompilation while keeping the dormancy state, which
-//! is exactly the "fresh checkout, warm state" CI scenario.
+//! the paper's point); [`Builder::clear_cache`] drops only the *query
+//! store*, forcing full recompilation while keeping the dormancy state,
+//! which is exactly the "fresh checkout, warm state" CI scenario.
 
-use crate::graph::{DepGraph, GraphError};
+use crate::graph::GraphError;
 use crate::project::Project;
-use crate::report::{BuildReport, ModuleReport};
+use crate::report::{BuildReport, ModuleReport, QueryStats};
+use crate::tasks::{BuildSpec, BuildTask};
 use sfcc::{CompileError, CompileOutput, Compiler};
-use sfcc_backend::{link_objects, CodeObject, LinkError};
-use sfcc_codec::fnv64;
-use sfcc_frontend::{ModuleEnv, ModuleInterface};
-use std::collections::HashMap;
+use sfcc_backend::LinkError;
+use sfcc_frontend::ModuleEnv;
+use sfcc_passes::PipelineTrace;
+use sfcc_query::{Engine, QueryError};
+use std::collections::HashSet;
 use std::fmt;
 use std::time::Instant;
+
+use crate::tasks::BuildValue;
 
 /// Why a build failed.
 #[derive(Debug)]
@@ -72,46 +84,62 @@ impl From<LinkError> for BuildError {
     }
 }
 
-/// What the builder remembers about a module between builds.
-struct CachedModule {
-    /// FNV-64 of the module's source text at its last compilation.
-    content_hash: u64,
-    /// Hash of the interface it exported then.
-    interface_hash: u64,
-    /// Interface hash of each import *as seen* at that compilation.
-    dep_hashes: HashMap<String, u64>,
-    /// The object produced then (reused by the link step when fresh).
-    object: CodeObject,
-    /// The exported interface (seeds dependents' environments).
-    interface: ModuleInterface,
+/// Maps an engine-level failure back to the build's error type. Demand
+/// cycles cannot outlive the `graph` task (which rejects cyclic imports
+/// first), but are mapped defensively to the same diagnostic.
+fn seal(err: QueryError<BuildTask, BuildError>) -> BuildError {
+    match err {
+        QueryError::Task(e) => e,
+        QueryError::Cycle(path) => BuildError::Graph(GraphError::Cycle(
+            path.iter()
+                .map(|t| t.module().unwrap_or("?").to_string())
+                .collect(),
+        )),
+    }
 }
 
-/// The incremental build driver: compiler session + object cache.
+/// The incremental build driver: compiler session + persistent query store.
 pub struct Builder {
     compiler: Compiler,
-    cache: HashMap<String, CachedModule>,
-    parallel: bool,
+    engine: Engine<BuildTask, BuildValue>,
+    jobs: usize,
 }
 
 impl fmt::Debug for Builder {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Builder")
-            .field("cached_modules", &self.cache.len())
-            .field("parallel", &self.parallel)
+            .field("cached_tasks", &self.engine.len())
+            .field("jobs", &self.jobs)
             .field("compiler", &self.compiler)
             .finish()
     }
 }
 
 impl Builder {
-    /// Creates a builder around a compiler session.
+    /// Creates a builder around a compiler session. Builds run sequentially
+    /// until [`Builder::with_jobs`] or [`Builder::with_parallelism`] raises
+    /// the worker count.
     pub fn new(compiler: Compiler) -> Self {
-        Builder { compiler, cache: HashMap::new(), parallel: false }
+        Builder {
+            compiler,
+            engine: Engine::new(),
+            jobs: 1,
+        }
     }
 
-    /// Enables parallel compilation within each wave.
-    pub fn with_parallelism(mut self) -> Self {
-        self.parallel = true;
+    /// Enables parallel compilation within each wave, with one worker per
+    /// available core.
+    pub fn with_parallelism(self) -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1);
+        self.with_jobs(cores)
+    }
+
+    /// Sets the worker count for within-wave parallel compilation. `1`
+    /// (also the floor) means fully sequential builds.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
         self
     }
 
@@ -120,10 +148,10 @@ impl Builder {
         &self.compiler
     }
 
-    /// Drops the object cache (forcing the next build to recompile every
-    /// module) while keeping the compiler's dormancy state.
+    /// Drops the query store (forcing the next build to re-execute every
+    /// task) while keeping the compiler's dormancy state.
     pub fn clear_cache(&mut self) {
-        self.cache.clear();
+        self.engine.clear();
     }
 
     /// Builds the project incrementally and links a complete program.
@@ -135,158 +163,152 @@ impl Builder {
     /// the final link fails.
     pub fn build(&mut self, project: &Project) -> Result<BuildReport, BuildError> {
         let start = Instant::now();
-        let graph = DepGraph::build(project)?;
 
-        // Drop cache entries for modules that left the project so their
-        // objects cannot leak into the link.
-        self.cache.retain(|name, _| project.contains(name));
+        // Drop tasks of modules that left the project so their objects
+        // cannot leak into the link; dependents are invalidated by the
+        // missing nodes (and by the manifest stamp).
+        self.engine
+            .retain(|task| task.module().is_none_or(|m| project.contains(m)));
 
-        let mut reports: Vec<ModuleReport> = Vec::with_capacity(graph.len());
+        let mut spec = BuildSpec::new(project, &mut self.compiler);
+        self.engine.begin_session(&mut spec);
+
+        let graph = self
+            .engine
+            .require(&mut spec, &BuildTask::Graph)
+            .map_err(seal)?
+            .expect_graph();
+
         for wave in graph.waves() {
-            // Staleness decisions for the whole wave are based on finalized
-            // earlier waves (imports always land in earlier waves).
-            let stale: Vec<String> = wave
-                .iter()
-                .filter(|name| self.is_stale(project, &graph, name.as_str()))
-                .cloned()
-                .collect();
-
-            // Seed one environment per stale module with its imports'
-            // (already up-to-date) interfaces.
-            let envs: Vec<ModuleEnv> = stale
-                .iter()
-                .map(|name| {
+            // Plan the wave: modules whose frontend task fails validation
+            // will certainly execute, so they are worth pre-compiling in
+            // parallel (they are mutually independent by construction).
+            let mut stale: Vec<&String> = Vec::new();
+            for name in wave {
+                let fresh = self
+                    .engine
+                    .up_to_date(&mut spec, &BuildTask::Frontend(name.clone()))
+                    .map_err(seal)?;
+                if !fresh {
+                    stale.push(name);
+                }
+            }
+            if self.jobs > 1 && stale.len() > 1 {
+                let mut units = Vec::with_capacity(stale.len());
+                for name in &stale {
                     let mut env = ModuleEnv::new();
                     for dep in graph.imports_of(name) {
-                        if let Some(cached) = self.cache.get(dep) {
-                            env.insert(dep.clone(), cached.interface.clone());
-                        }
+                        let interface = self
+                            .engine
+                            .require(&mut spec, &BuildTask::Interface(dep.clone()))
+                            .map_err(seal)?
+                            .expect_interface();
+                        env.insert(dep.clone(), (*interface).clone());
                     }
-                    env
-                })
-                .collect();
-            let units: Vec<(&str, &str, &ModuleEnv)> = stale
-                .iter()
-                .zip(&envs)
-                .map(|(name, env)| {
-                    (name.as_str(), project.file(name).expect("module exists"), env)
-                })
-                .collect();
-
-            let results = self.compiler.compile_batch(&units, self.parallel);
-            for (name, result) in stale.iter().zip(results) {
-                let output = result
-                    .map_err(|error| BuildError::Compile { module: name.clone(), error })?;
-                self.remember(project, &graph, name, &output);
-                reports.push(ModuleReport {
-                    name: name.clone(),
-                    rebuilt: true,
-                    output: Some(output),
-                });
+                    let Some(source) = project.file(name) else {
+                        continue;
+                    };
+                    units.push(((*name).clone(), source.to_string(), env));
+                }
+                spec.prepare_wave(&units, self.jobs);
             }
             for name in wave {
-                if !stale.iter().any(|s| s == name) {
-                    reports.push(ModuleReport { name: name.clone(), rebuilt: false, output: None });
-                }
+                self.engine
+                    .require(&mut spec, &BuildTask::Codegen(name.clone()))
+                    .map_err(seal)?;
             }
         }
 
-        // Keep the per-module reports in topological order regardless of
-        // which ones recompiled.
-        let order: HashMap<&String, usize> =
-            graph.topo_order().iter().enumerate().map(|(i, n)| (n, i)).collect();
-        reports.sort_by_key(|m| order[&m.name]);
+        let program = (*self
+            .engine
+            .require(&mut spec, &BuildTask::Link)
+            .map_err(seal)?
+            .expect_link())
+        .clone();
 
-        let objects: Vec<CodeObject> = graph
-            .topo_order()
-            .iter()
-            .map(|name| self.cache[name.as_str()].object.clone())
-            .collect();
-        let link_start = Instant::now();
-        let program = link_objects(&objects)?;
-        let link_ns = link_start.elapsed().as_nanos() as u64;
+        // Assemble the report from the store: a module counts as rebuilt
+        // when any of its compile-pipeline tasks actually executed this
+        // session (validated-but-cached tasks do not count).
+        let executed: HashSet<&BuildTask> = self.engine.executed_keys().iter().collect();
+        let mut modules = Vec::with_capacity(graph.len());
+        for name in graph.topo_order() {
+            let pipeline_tasks = [
+                BuildTask::Frontend(name.clone()),
+                BuildTask::Lower(name.clone()),
+                BuildTask::Optimize(name.clone()),
+                BuildTask::Codegen(name.clone()),
+            ];
+            let rebuilt = pipeline_tasks.iter().any(|t| executed.contains(t));
+            let output = if rebuilt {
+                let front = self
+                    .engine
+                    .peek(&BuildTask::Frontend(name.clone()))
+                    .expect("a built module has a frontend value")
+                    .expect_frontend();
+                let art = self
+                    .engine
+                    .peek(&BuildTask::Optimize(name.clone()))
+                    .expect("a built module has an optimize value")
+                    .expect_optimize();
+                let object = self
+                    .engine
+                    .peek(&BuildTask::Codegen(name.clone()))
+                    .expect("a built module has a codegen value")
+                    .expect_codegen();
+                // A module can be "rebuilt" (its frontend re-ran) while the
+                // middle end was cut off: the trace is then empty, because
+                // no pass executed this build.
+                let trace = if executed.contains(&BuildTask::Optimize(name.clone())) {
+                    art.trace.clone()
+                } else {
+                    PipelineTrace {
+                        module: name.clone(),
+                        functions: Vec::new(),
+                    }
+                };
+                Some(CompileOutput {
+                    object: (*object).clone(),
+                    ir: art.ir.clone(),
+                    interface: front.checked.interface.clone(),
+                    trace,
+                    timings: spec.take_timings(name),
+                })
+            } else {
+                None
+            };
+            modules.push(ModuleReport {
+                name: name.clone(),
+                rebuilt,
+                output,
+            });
+        }
+
+        let stats = self.engine.session_stats();
+        let query = QueryStats {
+            hits: stats.hits,
+            misses: stats.misses,
+            executed: self
+                .engine
+                .executed_keys()
+                .iter()
+                .map(ToString::to_string)
+                .collect(),
+        };
 
         Ok(BuildReport {
             program,
             wall_ns: start.elapsed().as_nanos() as u64,
-            link_ns,
-            modules: reports,
+            link_ns: spec.link_ns(),
+            modules,
+            query,
         })
     }
-
-    /// Whether `name` must recompile given the current cache.
-    fn is_stale(&self, project: &Project, graph: &DepGraph, name: &str) -> bool {
-        let Some(cached) = self.cache.get(name) else {
-            return true;
-        };
-        let source = project.file(name).expect("module exists");
-        if fnv64(source.as_bytes()) != cached.content_hash {
-            return true;
-        }
-        // Rebuild when the set of imports changed, or when any import now
-        // exports a different interface than the one this module was
-        // compiled against.
-        let deps = graph.imports_of(name);
-        if deps.len() != cached.dep_hashes.len() {
-            return true;
-        }
-        deps.iter().any(|dep| {
-            let current = self.cache.get(dep).map(|c| c.interface_hash);
-            current.is_none() || current != cached.dep_hashes.get(dep).copied()
-        })
-    }
-
-    /// Records a fresh compilation in the cache.
-    fn remember(
-        &mut self,
-        project: &Project,
-        graph: &DepGraph,
-        name: &str,
-        output: &CompileOutput,
-    ) {
-        let source = project.file(name).expect("module exists");
-        let dep_hashes = graph
-            .imports_of(name)
-            .iter()
-            .map(|dep| {
-                let hash = self.cache.get(dep).map(|c| c.interface_hash).unwrap_or(0);
-                (dep.clone(), hash)
-            })
-            .collect();
-        self.cache.insert(
-            name.to_string(),
-            CachedModule {
-                content_hash: fnv64(source.as_bytes()),
-                interface_hash: interface_hash(&output.interface),
-                dep_hashes,
-                object: output.object.clone(),
-                interface: output.interface.clone(),
-            },
-        );
-    }
-}
-
-/// A deterministic hash of a module's exported interface: function names
-/// and signatures, order-independent (the underlying map is unordered).
-fn interface_hash(interface: &ModuleInterface) -> u64 {
-    let mut names: Vec<&String> = interface.functions.keys().collect();
-    names.sort();
-    let mut repr = String::new();
-    for name in names {
-        let sig = &interface.functions[name];
-        repr.push_str(name);
-        repr.push('(');
-        for param in &sig.params {
-            repr.push_str(&format!("{param:?},"));
-        }
-        repr.push_str(&format!(")->{:?};", sig.ret));
-    }
-    fnv64(repr.as_bytes())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tasks::interface_hash;
     use sfcc::Config;
 
     fn project(files: &[(&str, &str)]) -> Project {
@@ -300,8 +322,14 @@ mod tests {
     fn three_module_project() -> Project {
         project(&[
             ("base", "fn g(x: int) -> int { return x * 2; }"),
-            ("lib", "import base;\nfn f(x: int) -> int { return base::g(x) + 1; }"),
-            ("main", "import lib;\nfn main(n: int) -> int { return lib::f(n); }"),
+            (
+                "lib",
+                "import base;\nfn f(x: int) -> int { return base::g(x) + 1; }",
+            ),
+            (
+                "main",
+                "import lib;\nfn main(n: int) -> int { return lib::f(n); }",
+            ),
         ])
     }
 
@@ -313,6 +341,7 @@ mod tests {
         assert_eq!(first.rebuilt_count(), 3);
         let again = builder.build(&p).unwrap();
         assert_eq!(again.rebuilt_count(), 0);
+        assert_eq!(again.query.misses, 0);
         // The program is still complete and runnable.
         let out = sfcc_backend::run(
             &again.program,
@@ -329,12 +358,46 @@ mod tests {
         let mut builder = Builder::new(Compiler::new(Config::stateless()));
         let mut p = three_module_project();
         builder.build(&p).unwrap();
-        p.set_file("base".into(), "fn g(x: int) -> int { return x * 3; }".into());
+        p.set_file(
+            "base".into(),
+            "fn g(x: int) -> int { return x * 3; }".into(),
+        );
         let report = builder.build(&p).unwrap();
         assert_eq!(report.rebuilt_count(), 1);
         assert!(report.module("base").unwrap().rebuilt);
         assert!(!report.module("lib").unwrap().rebuilt);
         assert!(report.module("lib").unwrap().output.is_none());
+    }
+
+    #[test]
+    fn body_edit_executes_only_that_modules_tasks() {
+        let mut builder = Builder::new(Compiler::new(Config::stateless()));
+        let mut p = three_module_project();
+        builder.build(&p).unwrap();
+        p.set_file(
+            "base".into(),
+            "fn g(x: int) -> int { return x * 3; }".into(),
+        );
+        let report = builder.build(&p).unwrap();
+        // The re-executed tasks are exactly base's pipeline (plus the
+        // parse-only import/interface extraction whose unchanged
+        // fingerprints are what spare everyone else) and the relink.
+        let mut executed = report.query.executed.clone();
+        executed.sort();
+        assert_eq!(
+            executed,
+            vec![
+                "codegen(base)",
+                "frontend(base)",
+                "imports(base)",
+                "interface(base)",
+                "link",
+                "lower(base)",
+                "optimize(base)",
+            ]
+        );
+        assert_eq!(report.query.misses, 7);
+        assert!(report.query.hits > 0);
     }
 
     #[test]
@@ -354,6 +417,11 @@ mod tests {
         assert!(report.module("lib").unwrap().rebuilt);
         assert!(!report.module("main").unwrap().rebuilt);
         assert_eq!(report.rebuilt_count(), 2);
+        // lib's frontend re-checks against the new interface, but no task
+        // of main executes.
+        let executed = &report.query.executed;
+        assert!(executed.iter().any(|t| t == "frontend(lib)"));
+        assert!(!executed.iter().any(|t| t.ends_with("(main)")));
     }
 
     #[test]
@@ -364,7 +432,10 @@ mod tests {
             ("main", "fn main(n: int) -> int { return n; }"),
         ]);
         builder.build(&p).unwrap();
-        p.set_file("main".into(), "import a;\nfn main(n: int) -> int { return a::f() + n; }".into());
+        p.set_file(
+            "main".into(),
+            "import a;\nfn main(n: int) -> int { return a::f() + n; }".into(),
+        );
         let report = builder.build(&p).unwrap();
         assert!(report.module("main").unwrap().rebuilt);
         assert!(!report.module("a").unwrap().rebuilt);
@@ -385,6 +456,28 @@ mod tests {
     }
 
     #[test]
+    fn edit_introducing_cycle_is_diagnosed_not_hung() {
+        let mut builder = Builder::new(Compiler::new(Config::stateless()));
+        let mut p = project(&[
+            ("a", "fn f() -> int { return 1; }"),
+            ("b", "import a;\nfn g() -> int { return a::f(); }"),
+        ]);
+        builder.build(&p).unwrap();
+        // The edit closes a cycle a -> b -> a; the incremental build must
+        // report it exactly like a from-scratch build would.
+        p.set_file(
+            "a".into(),
+            "import b;\nfn f() -> int { return b::g(); }".into(),
+        );
+        let err = builder.build(&p).unwrap_err();
+        assert_eq!(err.to_string(), "import cycle: a -> b -> a");
+        // Fixing the edit recovers without clearing the cache.
+        p.set_file("a".into(), "fn f() -> int { return 2; }".into());
+        let report = builder.build(&p).unwrap();
+        assert!(report.module("a").unwrap().rebuilt);
+    }
+
+    #[test]
     fn compile_errors_name_the_module() {
         let mut builder = Builder::new(Compiler::new(Config::stateless()));
         let p = project(&[("bad", "fn f( -> int { return 1; }")]);
@@ -393,6 +486,20 @@ mod tests {
             BuildError::Compile { module, .. } => assert_eq!(module, "bad"),
             other => panic!("expected compile error, got {other}"),
         }
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let p = three_module_project();
+        let mut seq = Builder::new(Compiler::new(Config::stateless()));
+        let mut par = Builder::new(Compiler::new(Config::stateless())).with_jobs(4);
+        let a = seq.build(&p).unwrap();
+        let b = par.build(&p).unwrap();
+        assert_eq!(
+            sfcc_backend::image::to_bytes(&a.program),
+            sfcc_backend::image::to_bytes(&b.program)
+        );
+        assert_eq!(a.rebuilt_count(), b.rebuilt_count());
     }
 
     #[test]

@@ -31,7 +31,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::MissingImport { module, import } => {
-                write!(f, "module `{module}` imports `{import}`, which is not in the project")
+                write!(
+                    f,
+                    "module `{module}` imports `{import}`, which is not in the project"
+                )
             }
             GraphError::Cycle(path) => write!(f, "import cycle: {}", path.join(" -> ")),
         }
@@ -64,28 +67,40 @@ impl DepGraph {
     /// project does not contain, [`GraphError::Cycle`] when the import
     /// relation is cyclic (a self-import is a cycle of length one).
     pub fn build(project: &Project) -> Result<DepGraph, GraphError> {
-        let mut imports: BTreeMap<String, Vec<String>> = BTreeMap::new();
-        for (name, source) in project.iter() {
-            let mut diags = Diagnostics::new();
-            let ast = sfcc_frontend::parser::parse(name, source, &mut diags);
-            let mut deps: Vec<String> =
-                ast.imports.iter().map(|imp| imp.module.clone()).collect();
-            deps.sort();
-            deps.dedup();
-            for dep in &deps {
-                if !project.contains(dep) {
+        let imports = project
+            .iter()
+            .map(|(name, source)| (name.to_string(), parse_imports(name, source)))
+            .collect();
+        DepGraph::from_imports(imports)
+    }
+
+    /// Builds the graph from an already-extracted import relation (module →
+    /// sorted, deduplicated imports). The key set defines the project: an
+    /// import outside it is a [`GraphError::MissingImport`]. This is the
+    /// entry point for incremental drivers that memoize per-module import
+    /// lists separately from the graph.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DepGraph::build`].
+    pub fn from_imports(imports: BTreeMap<String, Vec<String>>) -> Result<DepGraph, GraphError> {
+        for (name, deps) in &imports {
+            for dep in deps {
+                if !imports.contains_key(dep) {
                     return Err(GraphError::MissingImport {
-                        module: name.to_string(),
+                        module: name.clone(),
                         import: dep.clone(),
                     });
                 }
             }
-            imports.insert(name.to_string(), deps);
         }
-
         let waves = compute_waves(&imports)?;
         let topo = waves.iter().flatten().cloned().collect();
-        Ok(DepGraph { imports, waves, topo })
+        Ok(DepGraph {
+            imports,
+            waves,
+            topo,
+        })
     }
 
     /// The modules a module imports (sorted, deduplicated). Empty for
@@ -117,29 +132,46 @@ impl DepGraph {
     }
 }
 
+/// Extracts one module's import list from its source: parsed `import m;`
+/// declarations (the real parser, so comments and strings cannot confuse
+/// it), sorted and deduplicated. Sources that fail to parse contribute
+/// whatever imports the error-recovering parser still saw.
+pub fn parse_imports(name: &str, source: &str) -> Vec<String> {
+    let mut diags = Diagnostics::new();
+    let ast = sfcc_frontend::parser::parse(name, source, &mut diags);
+    let mut deps: Vec<String> = ast.imports.iter().map(|imp| imp.module.clone()).collect();
+    deps.sort();
+    deps.dedup();
+    deps
+}
+
 /// Kahn's algorithm, taking whole in-degree-zero layers at a time. The
 /// per-wave order is the sorted order inherited from the `BTreeMap`.
-fn compute_waves(
-    imports: &BTreeMap<String, Vec<String>>,
-) -> Result<Vec<Vec<String>>, GraphError> {
-    let mut remaining: HashMap<&str, usize> =
-        imports.iter().map(|(name, deps)| (name.as_str(), deps.len())).collect();
+fn compute_waves(imports: &BTreeMap<String, Vec<String>>) -> Result<Vec<Vec<String>>, GraphError> {
+    let mut remaining: HashMap<&str, usize> = imports
+        .iter()
+        .map(|(name, deps)| (name.as_str(), deps.len()))
+        .collect();
     let mut done: HashSet<&str> = HashSet::new();
     let mut waves: Vec<Vec<String>> = Vec::new();
 
     while done.len() < imports.len() {
         let wave: Vec<String> = imports
             .iter()
-            .filter(|(name, _)| {
-                !done.contains(name.as_str()) && remaining[name.as_str()] == 0
-            })
+            .filter(|(name, _)| !done.contains(name.as_str()) && remaining[name.as_str()] == 0)
             .map(|(name, _)| name.clone())
             .collect();
         if wave.is_empty() {
             return Err(GraphError::Cycle(find_cycle(imports, &done)));
         }
         for name in &wave {
-            done.insert(imports.get_key_value(name.as_str()).expect("known module").0.as_str());
+            done.insert(
+                imports
+                    .get_key_value(name.as_str())
+                    .expect("known module")
+                    .0
+                    .as_str(),
+            );
         }
         for (name, deps) in imports {
             if done.contains(name.as_str()) {
@@ -155,10 +187,7 @@ fn compute_waves(
 
 /// Walks import edges among the unscheduled modules until a node repeats,
 /// yielding a concrete cycle path for the error message.
-fn find_cycle(
-    imports: &BTreeMap<String, Vec<String>>,
-    done: &HashSet<&str>,
-) -> Vec<String> {
+fn find_cycle(imports: &BTreeMap<String, Vec<String>>, done: &HashSet<&str>) -> Vec<String> {
     let start = imports
         .keys()
         .find(|name| !done.contains(name.as_str()))
@@ -198,13 +227,29 @@ mod tests {
     #[test]
     fn linear_chain_waves() {
         let p = project(&[
-            ("main", "import lib;\nfn main(n: int) -> int { return lib::f(n); }"),
-            ("lib", "import base;\nfn f(x: int) -> int { return base::g(x); }"),
+            (
+                "main",
+                "import lib;\nfn main(n: int) -> int { return lib::f(n); }",
+            ),
+            (
+                "lib",
+                "import base;\nfn f(x: int) -> int { return base::g(x); }",
+            ),
             ("base", "fn g(x: int) -> int { return x; }"),
         ]);
         let g = DepGraph::build(&p).unwrap();
-        assert_eq!(g.waves(), &[vec!["base".to_string()], vec!["lib".into()], vec!["main".into()]]);
-        assert_eq!(g.topo_order(), &["base".to_string(), "lib".into(), "main".into()]);
+        assert_eq!(
+            g.waves(),
+            &[
+                vec!["base".to_string()],
+                vec!["lib".into()],
+                vec!["main".into()]
+            ]
+        );
+        assert_eq!(
+            g.topo_order(),
+            &["base".to_string(), "lib".into(), "main".into()]
+        );
         assert_eq!(g.imports_of("lib"), &["base".to_string()]);
         assert!(g.imports_of("unknown").is_empty());
         assert_eq!(g.len(), 3);
@@ -216,20 +261,32 @@ mod tests {
         let p = project(&[
             ("z", "fn f() -> int { return 1; }"),
             ("a", "fn g() -> int { return 2; }"),
-            ("main", "import a;\nimport z;\nfn main(n: int) -> int { return a::g() + z::f(); }"),
+            (
+                "main",
+                "import a;\nimport z;\nfn main(n: int) -> int { return a::g() + z::f(); }",
+            ),
         ]);
         let g = DepGraph::build(&p).unwrap();
         // Wave order is sorted by name → deterministic.
-        assert_eq!(g.waves(), &[vec!["a".to_string(), "z".into()], vec!["main".into()]]);
+        assert_eq!(
+            g.waves(),
+            &[vec!["a".to_string(), "z".into()], vec!["main".into()]]
+        );
     }
 
     #[test]
     fn missing_import_is_diagnosed() {
-        let p = project(&[("main", "import ghost;\nfn main(n: int) -> int { return n; }")]);
+        let p = project(&[(
+            "main",
+            "import ghost;\nfn main(n: int) -> int { return n; }",
+        )]);
         let err = DepGraph::build(&p).unwrap_err();
         assert_eq!(
             err,
-            GraphError::MissingImport { module: "main".into(), import: "ghost".into() }
+            GraphError::MissingImport {
+                module: "main".into(),
+                import: "ghost".into()
+            }
         );
         assert!(err.to_string().contains("ghost"));
     }
@@ -253,14 +310,20 @@ mod tests {
     #[test]
     fn self_import_is_a_cycle() {
         let p = project(&[("a", "import a;\nfn f() -> int { return 1; }")]);
-        assert!(matches!(DepGraph::build(&p).unwrap_err(), GraphError::Cycle(_)));
+        assert!(matches!(
+            DepGraph::build(&p).unwrap_err(),
+            GraphError::Cycle(_)
+        ));
     }
 
     #[test]
     fn duplicate_imports_collapse() {
         let p = project(&[
             ("lib", "fn f() -> int { return 1; }"),
-            ("main", "import lib;\nimport lib;\nfn main(n: int) -> int { return lib::f(); }"),
+            (
+                "main",
+                "import lib;\nimport lib;\nfn main(n: int) -> int { return lib::f(); }",
+            ),
         ]);
         let g = DepGraph::build(&p).unwrap();
         assert_eq!(g.imports_of("main"), &["lib".to_string()]);
@@ -280,7 +343,11 @@ mod tests {
         let g = DepGraph::build(&p).unwrap();
         assert_eq!(
             g.waves(),
-            &[vec!["mathx".to_string()], vec!["stats".into()], vec!["main".into()]]
+            &[
+                vec!["mathx".to_string()],
+                vec!["stats".into()],
+                vec!["main".into()]
+            ]
         );
         assert_eq!(g.imports_of("main"), &["mathx".to_string(), "stats".into()]);
     }

@@ -11,10 +11,15 @@
 //!   of `*.mc` files;
 //! - [`DepGraph`]: import-graph extraction with missing-import and cycle
 //!   diagnostics, plus a topological *wave* schedule;
-//! - [`Builder`]: content-hash + interface-hash staleness, wave-parallel
-//!   compilation, and relinking of cached objects into a complete program;
-//! - [`BuildReport`]: per-module rebuild flags, traces, timings, and
-//!   pass-outcome totals, as consumed by the evaluation harness;
+//! - [`tasks`]: the build's task taxonomy over the demand-driven query
+//!   engine (`sfcc-query`) — imports, interface, graph, frontend, lower,
+//!   optimize, codegen, link — with per-task early-cutoff fingerprints;
+//! - [`Builder`]: a thin orchestrator that opens an engine session per
+//!   build, pre-compiles a wave's invalidated modules in parallel, then
+//!   demands each module's `codegen` task and the final `link`;
+//! - [`BuildReport`]: per-module rebuild flags, traces, timings,
+//!   pass-outcome totals, and query hit/miss counts ([`QueryStats`]), as
+//!   consumed by the evaluation harness;
 //! - the `minicc` binary: a command-line driver over all of the above
 //!   (`build` / `run` / `exec` / `ir` / `bc` / `state`).
 //!
@@ -40,8 +45,10 @@ pub mod builder;
 pub mod graph;
 pub mod project;
 pub mod report;
+pub mod tasks;
 
 pub use builder::{BuildError, Builder};
 pub use graph::{DepGraph, GraphError};
 pub use project::Project;
-pub use report::{BuildReport, ModuleReport};
+pub use report::{BuildReport, ModuleReport, QueryStats};
+pub use tasks::{BuildTask, BuildValue};

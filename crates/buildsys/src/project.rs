@@ -115,7 +115,10 @@ mod tests {
     fn sample() -> Project {
         let mut p = Project::new();
         p.set_file("b".into(), "fn g() -> int { return 2; }\n".into());
-        p.set_file("a".into(), "fn f() -> int { return 1; }\nfn h() -> int { return 3; }\n".into());
+        p.set_file(
+            "a".into(),
+            "fn f() -> int { return 1; }\nfn h() -> int { return 3; }\n".into(),
+        );
         p
     }
 
@@ -131,7 +134,7 @@ mod tests {
         let p = sample();
         assert!(p.file("a").is_some());
         assert!(p.file(String::from("a")).is_some());
-        assert!(p.file(&String::from("a")).is_some());
+        assert!(p.file(String::from("a")).is_some());
         assert!(p.file("z").is_none());
     }
 

@@ -1,7 +1,21 @@
-//! What one build produced: the linked program plus per-module accounting.
+//! What one build produced: the linked program plus per-module and
+//! per-query accounting.
 
 use sfcc::CompileOutput;
 use sfcc_backend::Program;
+use std::fmt::Write as _;
+
+/// Demand statistics of the query engine for one build session.
+#[derive(Debug, Clone, Default)]
+pub struct QueryStats {
+    /// Tasks validated from the store without executing.
+    pub hits: u64,
+    /// Tasks that (re-)executed.
+    pub misses: u64,
+    /// Display names of the executed tasks, in completion order (e.g.
+    /// `frontend(base)`, `link`).
+    pub executed: Vec<String>,
+}
 
 /// Per-module outcome of one build.
 #[derive(Debug, Clone)]
@@ -28,6 +42,8 @@ pub struct BuildReport {
     pub link_ns: u64,
     /// Per-module outcomes, in topological (import-before-importer) order.
     pub modules: Vec<ModuleReport>,
+    /// Query-engine hit/miss accounting for this build session.
+    pub query: QueryStats,
 }
 
 impl BuildReport {
@@ -70,4 +86,79 @@ impl BuildReport {
     fn outputs(&self) -> impl Iterator<Item = &CompileOutput> {
         self.modules.iter().filter_map(|m| m.output.as_ref())
     }
+
+    /// Renders the report as a JSON object (machine-readable build summary
+    /// for `minicc build --report json`). Hand-rolled — the workspace
+    /// carries no serialization dependency.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"wall_ns\":{},\"link_ns\":{},\"compile_ns\":{},\"rebuilt_count\":{},",
+            self.wall_ns,
+            self.link_ns,
+            self.compile_ns(),
+            self.rebuilt_count()
+        );
+        let (active, dormant, skipped) = self.outcome_totals();
+        let _ = write!(
+            out,
+            "\"outcomes\":{{\"active\":{active},\"dormant\":{dormant},\"skipped\":{skipped}}},"
+        );
+        let _ = write!(
+            out,
+            "\"query\":{{\"hits\":{},\"misses\":{},\"executed\":[",
+            self.query.hits, self.query.misses
+        );
+        for (i, task) in self.query.executed.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(&mut out, task);
+        }
+        out.push_str("]},\"modules\":[");
+        for (i, module) in self.modules.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            push_json_string(&mut out, &module.name);
+            let _ = write!(out, ",\"rebuilt\":{}", module.rebuilt);
+            if let Some(output) = &module.output {
+                let (a, d, s) = output.outcome_totals();
+                let _ = write!(
+                    out,
+                    ",\"timings_ns\":{{\"frontend\":{},\"lower\":{},\"middle\":{},\"backend\":{},\"state\":{}}},\"outcomes\":{{\"active\":{a},\"dormant\":{d},\"skipped\":{s}}}",
+                    output.timings.frontend_ns,
+                    output.timings.lower_ns,
+                    output.timings.middle_ns,
+                    output.timings.backend_ns,
+                    output.timings.state_ns,
+                );
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Appends `s` as a JSON string literal, escaping quotes, backslashes, and
+/// control characters.
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }

@@ -1,0 +1,500 @@
+//! The build's task taxonomy: what the incremental engine can be asked for.
+//!
+//! Each [`BuildTask`] key names one memoizable unit of work; [`BuildSpec`]
+//! executes them against a [`Project`] and a [`Compiler`] session, recording
+//! every dependency through the engine's [`Ctx`] so the next build can
+//! validate instead of re-run. The taxonomy mirrors the compiler pipeline,
+//! split where early cutoff pays:
+//!
+//! | task           | inputs/deps                                | fingerprint (cutoff) |
+//! |----------------|--------------------------------------------|----------------------|
+//! | `imports(m)`   | `src:m`                                    | import list          |
+//! | `interface(m)` | `src:m`                                    | exported signatures  |
+//! | `graph`        | `manifest`, every `imports(m)`             | whole import relation|
+//! | `frontend(m)`  | `src:m`, `imports(m)`, deps' `interface`   | source + env hashes  |
+//! | `lower(m)`     | `frontend(m)`                              | IR text              |
+//! | `optimize(m)`  | `lower(m)`, `state:m`                      | optimized IR text    |
+//! | `codegen(m)`   | `optimize(m)`                              | object contents      |
+//! | `link`         | `graph`, every `codegen(m)`                | image bytes          |
+//!
+//! The interface-hash cutoff of the old builder falls out of this table: a
+//! body-only edit re-executes `interface(m)` but leaves its fingerprint
+//! unchanged, so dependents' `frontend` tasks validate without running. A
+//! comment-only edit cuts off one level later, at `lower(m)`'s IR text.
+//! Dormancy state is a *tracked input* (`state:m`, stamped via
+//! [`Compiler::state_stamp`]), so stale skip decisions invalidate exactly
+//! the modules they would affect.
+
+use crate::builder::BuildError;
+use crate::graph::{parse_imports, DepGraph};
+use crate::project::Project;
+use sfcc::{Compiler, PhaseTimings};
+use sfcc_backend::{link_objects, CodeObject, Program};
+use sfcc_codec::fnv64;
+use sfcc_frontend::{CheckedModule, ModuleEnv, ModuleInterface};
+use sfcc_ir::print::module_to_string;
+use sfcc_passes::PipelineTrace;
+use sfcc_query::{Ctx, QueryError, TaskSpec};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One unit of memoizable build work, keyed by module where applicable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BuildTask {
+    /// Extract a module's import list from its source (parse-only).
+    Imports(String),
+    /// Extract a module's exported interface from its source (parse-only).
+    Interface(String),
+    /// Assemble the whole-project import graph and wave schedule.
+    Graph,
+    /// Lex, parse, and type-check a module against its imports' interfaces.
+    Frontend(String),
+    /// Lower a checked module to IR.
+    Lower(String),
+    /// Run the (skippable) optimization pipeline and ingest its trace.
+    Optimize(String),
+    /// Compile optimized IR to a relocatable object.
+    Codegen(String),
+    /// Link all objects into a complete program.
+    Link,
+}
+
+impl BuildTask {
+    /// The module this task belongs to, if it is a per-module task.
+    pub fn module(&self) -> Option<&str> {
+        match self {
+            BuildTask::Imports(m)
+            | BuildTask::Interface(m)
+            | BuildTask::Frontend(m)
+            | BuildTask::Lower(m)
+            | BuildTask::Optimize(m)
+            | BuildTask::Codegen(m) => Some(m),
+            BuildTask::Graph | BuildTask::Link => None,
+        }
+    }
+}
+
+impl fmt::Display for BuildTask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildTask::Imports(m) => write!(f, "imports({m})"),
+            BuildTask::Interface(m) => write!(f, "interface({m})"),
+            BuildTask::Graph => write!(f, "graph"),
+            BuildTask::Frontend(m) => write!(f, "frontend({m})"),
+            BuildTask::Lower(m) => write!(f, "lower({m})"),
+            BuildTask::Optimize(m) => write!(f, "optimize({m})"),
+            BuildTask::Codegen(m) => write!(f, "codegen({m})"),
+            BuildTask::Link => write!(f, "link"),
+        }
+    }
+}
+
+/// What the frontend task memoizes: the checked module plus the hashes its
+/// fingerprint is built from.
+#[derive(Debug, Clone)]
+pub struct FrontendArtifact {
+    /// The type-checked module (AST + interface + global constants).
+    pub checked: CheckedModule,
+    /// The import environment the module was checked against.
+    pub env: ModuleEnv,
+    /// FNV-64 of the module's source text.
+    pub src_hash: u64,
+    /// Hash of the imports' interface fingerprints, in import order.
+    pub env_hash: u64,
+}
+
+/// What the optimize task memoizes: the transformed IR and the pass trace
+/// that produced it.
+#[derive(Debug, Clone)]
+pub struct OptimizeArtifact {
+    /// The optimized IR.
+    pub ir: sfcc_ir::Module,
+    /// Per-pass instrumentation of the pipeline run.
+    pub trace: PipelineTrace,
+}
+
+/// A task's memoized output. Payloads are `Arc`-wrapped so cache hits clone
+/// a pointer, not a module.
+#[derive(Debug, Clone)]
+pub enum BuildValue {
+    /// Output of [`BuildTask::Imports`]: sorted, deduplicated import names.
+    Imports(Arc<Vec<String>>),
+    /// Output of [`BuildTask::Interface`].
+    Interface(Arc<ModuleInterface>),
+    /// Output of [`BuildTask::Graph`].
+    Graph(Arc<DepGraph>),
+    /// Output of [`BuildTask::Frontend`].
+    Frontend(Arc<FrontendArtifact>),
+    /// Output of [`BuildTask::Lower`]: the unoptimized IR.
+    Lower(Arc<sfcc_ir::Module>),
+    /// Output of [`BuildTask::Optimize`].
+    Optimize(Arc<OptimizeArtifact>),
+    /// Output of [`BuildTask::Codegen`].
+    Codegen(Arc<CodeObject>),
+    /// Output of [`BuildTask::Link`]: the complete program.
+    Link(Arc<Program>),
+}
+
+macro_rules! expect_variant {
+    ($name:ident, $variant:ident, $ty:ty, $label:literal) => {
+        pub(crate) fn $name(&self) -> Arc<$ty> {
+            match self {
+                BuildValue::$variant(v) => Arc::clone(v),
+                other => unreachable!(
+                    concat!($label, " task yields a matching value, got {:?}"),
+                    other
+                ),
+            }
+        }
+    };
+}
+
+impl BuildValue {
+    expect_variant!(expect_imports, Imports, Vec<String>, "imports");
+    expect_variant!(expect_interface, Interface, ModuleInterface, "interface");
+    expect_variant!(expect_graph, Graph, DepGraph, "graph");
+    expect_variant!(expect_frontend, Frontend, FrontendArtifact, "frontend");
+    expect_variant!(expect_lower, Lower, sfcc_ir::Module, "lower");
+    expect_variant!(expect_optimize, Optimize, OptimizeArtifact, "optimize");
+    expect_variant!(expect_codegen, Codegen, CodeObject, "codegen");
+    expect_variant!(expect_link, Link, Program, "link");
+}
+
+/// Artifacts a wave-parallel prepare pass computed ahead of demand. Each
+/// phase is taken at most once by the matching task execution; phases the
+/// engine validates instead of executing are simply dropped.
+#[derive(Debug, Default)]
+struct PreparedModule {
+    frontend: Option<(CheckedModule, u64)>,
+    lower: Option<(sfcc_ir::Module, u64)>,
+    optimize: Option<(sfcc_ir::Module, PipelineTrace, u64, u64)>,
+    codegen: Option<(CodeObject, u64)>,
+}
+
+/// The [`TaskSpec`] driving one build: a project snapshot, the (stateful)
+/// compiler session, and the scratch the driver reads back afterwards
+/// (per-module phase timings, link time, pre-computed wave artifacts).
+pub struct BuildSpec<'a> {
+    project: &'a Project,
+    compiler: &'a mut Compiler,
+    prepared: HashMap<String, PreparedModule>,
+    timings: HashMap<String, PhaseTimings>,
+    link_ns: u64,
+}
+
+impl<'a> BuildSpec<'a> {
+    pub(crate) fn new(project: &'a Project, compiler: &'a mut Compiler) -> Self {
+        BuildSpec {
+            project,
+            compiler,
+            prepared: HashMap::new(),
+            timings: HashMap::new(),
+            link_ns: 0,
+        }
+    }
+
+    /// Phase timings accumulated for a module this build (zeros for phases
+    /// the engine validated instead of running).
+    pub(crate) fn take_timings(&mut self, module: &str) -> PhaseTimings {
+        self.timings.remove(module).unwrap_or_default()
+    }
+
+    /// Wall time of the link step this build, 0 when the link was cached.
+    pub(crate) fn link_ns(&self) -> u64 {
+        self.link_ns
+    }
+
+    /// Compiles `units` — mutually independent modules of one wave — on up
+    /// to `jobs` worker threads against an immutable compiler snapshot,
+    /// parking the artifacts for the matching task executions to consume.
+    /// Units that fail to compile are skipped; the sequential demand re-runs
+    /// them and surfaces the error deterministically.
+    pub(crate) fn prepare_wave(&mut self, units: &[(String, String, ModuleEnv)], jobs: usize) {
+        let compiler: &Compiler = self.compiler;
+        let next = AtomicUsize::new(0);
+        let workers = jobs.min(units.len()).max(1);
+        let prepared = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    s.spawn(move |_| {
+                        let mut out: Vec<(String, PreparedModule)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some((name, source, env)) = units.get(i) else {
+                                break;
+                            };
+                            if let Some(p) = prepare_one(compiler, name, source, env) {
+                                out.push((name.clone(), p));
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("prepare worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("prepare scope panicked");
+        self.prepared.extend(prepared);
+    }
+
+    fn source_of(&self, module: &str) -> &'a str {
+        self.project.file(module).unwrap_or("")
+    }
+}
+
+/// Runs the full pipeline for one module against an immutable session
+/// snapshot (no function cache, no state ingestion — both are replayed by
+/// the sequenced task executions).
+fn prepare_one(
+    compiler: &Compiler,
+    name: &str,
+    source: &str,
+    env: &ModuleEnv,
+) -> Option<PreparedModule> {
+    let (checked, frontend_ns) = compiler.phase_frontend(name, source, env).ok()?;
+    let (ir, lower_ns) = compiler.phase_lower(&checked, env);
+    let (optimized, outcome) = compiler.phase_optimize_snapshot(&ir);
+    let (object, backend_ns) = compiler.phase_codegen(&optimized).ok()?;
+    Some(PreparedModule {
+        frontend: Some((checked, frontend_ns)),
+        lower: Some((ir, lower_ns)),
+        optimize: Some((
+            optimized,
+            outcome.trace,
+            outcome.middle_ns,
+            outcome.state_ns,
+        )),
+        codegen: Some((object, backend_ns)),
+    })
+}
+
+impl TaskSpec for BuildSpec<'_> {
+    type Key = BuildTask;
+    type Value = BuildValue;
+    type Error = BuildError;
+
+    fn execute(
+        &mut self,
+        key: &BuildTask,
+        ctx: &mut Ctx<'_, Self>,
+    ) -> Result<BuildValue, QueryError<BuildTask, BuildError>> {
+        match key {
+            BuildTask::Imports(m) => {
+                ctx.input(self, &format!("src:{m}"));
+                let deps = parse_imports(m, self.source_of(m));
+                Ok(BuildValue::Imports(Arc::new(deps)))
+            }
+            BuildTask::Interface(m) => {
+                ctx.input(self, &format!("src:{m}"));
+                let interface = sfcc::extract_interface(m, self.source_of(m)).map_err(|error| {
+                    QueryError::Task(BuildError::Compile {
+                        module: m.clone(),
+                        error,
+                    })
+                })?;
+                Ok(BuildValue::Interface(Arc::new(interface)))
+            }
+            BuildTask::Graph => {
+                ctx.input(self, "manifest");
+                let names: Vec<String> = self.project.names().map(str::to_string).collect();
+                let mut imports = BTreeMap::new();
+                for name in names {
+                    let deps = ctx.require(self, &BuildTask::Imports(name.clone()))?;
+                    imports.insert(name, (*deps.expect_imports()).clone());
+                }
+                let graph = DepGraph::from_imports(imports)
+                    .map_err(|e| QueryError::Task(BuildError::Graph(e)))?;
+                Ok(BuildValue::Graph(Arc::new(graph)))
+            }
+            BuildTask::Frontend(m) => {
+                ctx.input(self, &format!("src:{m}"));
+                let imports = ctx
+                    .require(self, &BuildTask::Imports(m.clone()))?
+                    .expect_imports();
+                let mut env = ModuleEnv::new();
+                let mut env_repr = String::new();
+                for dep in imports.iter() {
+                    let interface = ctx
+                        .require(self, &BuildTask::Interface(dep.clone()))?
+                        .expect_interface();
+                    env_repr.push_str(&format!("{dep}={:x};", interface_hash(&interface)));
+                    env.insert(dep.clone(), (*interface).clone());
+                }
+                let source = self.source_of(m);
+                let parked = self
+                    .prepared
+                    .get_mut(m.as_str())
+                    .and_then(|p| p.frontend.take());
+                let (checked, frontend_ns) = match parked {
+                    Some(ready) => ready,
+                    None => self
+                        .compiler
+                        .phase_frontend(m, source, &env)
+                        .map_err(|error| {
+                            QueryError::Task(BuildError::Compile {
+                                module: m.clone(),
+                                error,
+                            })
+                        })?,
+                };
+                self.timings.entry(m.clone()).or_default().frontend_ns = frontend_ns;
+                Ok(BuildValue::Frontend(Arc::new(FrontendArtifact {
+                    checked,
+                    env,
+                    src_hash: fnv64(source.as_bytes()),
+                    env_hash: fnv64(env_repr.as_bytes()),
+                })))
+            }
+            BuildTask::Lower(m) => {
+                let front = ctx
+                    .require(self, &BuildTask::Frontend(m.clone()))?
+                    .expect_frontend();
+                let parked = self
+                    .prepared
+                    .get_mut(m.as_str())
+                    .and_then(|p| p.lower.take());
+                let (ir, lower_ns) = match parked {
+                    Some(ready) => ready,
+                    None => self.compiler.phase_lower(&front.checked, &front.env),
+                };
+                self.timings.entry(m.clone()).or_default().lower_ns = lower_ns;
+                Ok(BuildValue::Lower(Arc::new(ir)))
+            }
+            BuildTask::Optimize(m) => {
+                let ir = ctx
+                    .require(self, &BuildTask::Lower(m.clone()))?
+                    .expect_lower();
+                let parked = self
+                    .prepared
+                    .get_mut(m.as_str())
+                    .and_then(|p| p.optimize.take());
+                let (optimized, trace, middle_ns, mut state_ns) = match parked {
+                    Some(ready) => ready,
+                    None => {
+                        let (optimized, outcome) = self.compiler.phase_optimize(&ir);
+                        (
+                            optimized,
+                            outcome.trace,
+                            outcome.middle_ns,
+                            outcome.state_ns,
+                        )
+                    }
+                };
+                state_ns += self.compiler.ingest_trace(&trace);
+                // Recorded *after* ingestion, so the dependency holds the
+                // post-write stamp and the task does not invalidate itself.
+                let stamp = self.compiler.state_stamp(m);
+                ctx.record_input(&format!("state:{m}"), stamp);
+                let timings = self.timings.entry(m.clone()).or_default();
+                timings.middle_ns = middle_ns;
+                timings.state_ns = state_ns;
+                Ok(BuildValue::Optimize(Arc::new(OptimizeArtifact {
+                    ir: optimized,
+                    trace,
+                })))
+            }
+            BuildTask::Codegen(m) => {
+                let art = ctx
+                    .require(self, &BuildTask::Optimize(m.clone()))?
+                    .expect_optimize();
+                let parked = self
+                    .prepared
+                    .get_mut(m.as_str())
+                    .and_then(|p| p.codegen.take());
+                let (object, backend_ns) = match parked {
+                    Some(ready) => ready,
+                    None => self.compiler.phase_codegen(&art.ir).map_err(|error| {
+                        QueryError::Task(BuildError::Compile {
+                            module: m.clone(),
+                            error,
+                        })
+                    })?,
+                };
+                self.timings.entry(m.clone()).or_default().backend_ns = backend_ns;
+                Ok(BuildValue::Codegen(Arc::new(object)))
+            }
+            BuildTask::Link => {
+                let graph = ctx.require(self, &BuildTask::Graph)?.expect_graph();
+                let mut objects = Vec::with_capacity(graph.len());
+                for m in graph.topo_order() {
+                    let object = ctx
+                        .require(self, &BuildTask::Codegen(m.clone()))?
+                        .expect_codegen();
+                    objects.push((*object).clone());
+                }
+                let t = Instant::now();
+                let program =
+                    link_objects(&objects).map_err(|e| QueryError::Task(BuildError::Link(e)))?;
+                self.link_ns = t.elapsed().as_nanos() as u64;
+                Ok(BuildValue::Link(Arc::new(program)))
+            }
+        }
+    }
+
+    fn fingerprint(&self, _key: &BuildTask, value: &BuildValue) -> u64 {
+        match value {
+            BuildValue::Imports(deps) => fnv64(deps.join(",").as_bytes()),
+            BuildValue::Interface(interface) => interface_hash(interface),
+            BuildValue::Graph(graph) => {
+                let mut repr = String::new();
+                for m in graph.topo_order() {
+                    repr.push_str(m);
+                    repr.push('=');
+                    repr.push_str(&graph.imports_of(m).join(","));
+                    repr.push(';');
+                }
+                fnv64(repr.as_bytes())
+            }
+            BuildValue::Frontend(art) => {
+                fnv64(format!("{:x}:{:x}", art.src_hash, art.env_hash).as_bytes())
+            }
+            BuildValue::Lower(ir) => fnv64(module_to_string(ir).as_bytes()),
+            BuildValue::Optimize(art) => fnv64(module_to_string(&art.ir).as_bytes()),
+            BuildValue::Codegen(object) => fnv64(format!("{object:?}").as_bytes()),
+            BuildValue::Link(program) => fnv64(&sfcc_backend::image::to_bytes(program)),
+        }
+    }
+
+    fn input_stamp(&mut self, input: &str) -> u64 {
+        if input == "manifest" {
+            let names: Vec<&str> = self.project.names().collect();
+            fnv64(names.join(",").as_bytes())
+        } else if let Some(m) = input.strip_prefix("src:") {
+            match self.project.file(m) {
+                Some(source) => fnv64(source.as_bytes()),
+                None => fnv64(b"<absent>"),
+            }
+        } else if let Some(m) = input.strip_prefix("state:") {
+            self.compiler.state_stamp(m)
+        } else {
+            0
+        }
+    }
+}
+
+/// A deterministic hash of a module's exported interface: function names
+/// and signatures, order-independent (the underlying map is unordered).
+/// Equal hashes mean dependents cannot observe a difference, which is what
+/// makes this the `interface(m)` task's early-cutoff fingerprint.
+pub fn interface_hash(interface: &ModuleInterface) -> u64 {
+    let mut names: Vec<&String> = interface.functions.keys().collect();
+    names.sort();
+    let mut repr = String::new();
+    for name in names {
+        let sig = &interface.functions[name];
+        repr.push_str(name);
+        repr.push('(');
+        for param in &sig.params {
+            repr.push_str(&format!("{param:?},"));
+        }
+        repr.push_str(&format!(")->{:?};", sig.ret));
+    }
+    fnv64(repr.as_bytes())
+}

@@ -2,15 +2,16 @@
 //! object code, with dormancy recording in stateful mode.
 
 use crate::config::{Config, Mode, OptLevel};
-use crate::fncache::{context_fingerprints, CacheStats, FunctionCache};
-use sfcc_backend::{compile_object, CodeObject};
-use sfcc_frontend::{Diagnostics, ModuleEnv, ModuleInterface, SourceFile};
+use crate::fncache::{CacheStats, FunctionCache};
+use crate::phases::{self, OptimizeOutcome};
+use sfcc_backend::CodeObject;
+use sfcc_codec::fnv64;
+use sfcc_frontend::{CheckedModule, Diagnostics, ModuleEnv, ModuleInterface, SourceFile};
 use sfcc_ir::Fingerprint;
 use sfcc_passes::{
-    default_pipeline, minimal_pipeline, run_pipeline, scalar_pipeline, NeverSkip, PassQuery,
-    Pipeline, PipelineTrace, RunOptions, SkipOracle,
+    default_pipeline, minimal_pipeline, scalar_pipeline, Pipeline, PipelineTrace, RunOptions,
 };
-use sfcc_state::{statefile, DbOracle, DecodeError, SkipPolicy, StateDb};
+use sfcc_state::{statefile, DecodeError, SkipPolicy, StateDb};
 use std::fmt;
 use std::io;
 use std::path::Path;
@@ -144,7 +145,14 @@ impl Compiler {
             (Some(path), true) => FunctionCache::load_or_default(&cache_path(path)),
             _ => FunctionCache::new(),
         };
-        Compiler { config, pipeline, pipeline_hash, state, state_load_error, fn_cache }
+        Compiler {
+            config,
+            pipeline,
+            pipeline_hash,
+            state,
+            state_load_error,
+            fn_cache,
+        }
     }
 
     /// The session configuration.
@@ -183,8 +191,14 @@ impl Compiler {
         source: &str,
         env: &ModuleEnv,
     ) -> Result<CompileOutput, CompileError> {
-        let options = RunOptions { verify_each: self.config.verify_each };
-        let cache = if self.config.function_cache { Some(&mut self.fn_cache) } else { None };
+        let options = RunOptions {
+            verify_each: self.config.verify_each,
+        };
+        let cache = if self.config.function_cache {
+            Some(&mut self.fn_cache)
+        } else {
+            None
+        };
         let mut output = compile_unit(
             name,
             source,
@@ -230,25 +244,29 @@ impl Compiler {
         }
 
         // Parallel pipeline runs against an immutable state snapshot.
-        let options = RunOptions { verify_each: self.config.verify_each };
+        let options = RunOptions {
+            verify_each: self.config.verify_each,
+        };
         let mode = self.config.mode;
         let pipeline = &self.pipeline;
         let state = &self.state;
-        let results: Vec<Result<CompileOutput, CompileError>> =
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = units
-                    .iter()
-                    .map(|(name, source, env)| {
-                        scope.spawn(move |_| {
-                            // The parallel path bypasses the function cache:
-                            // its bookkeeping is not thread-shared.
-                            compile_unit(name, source, env, mode, pipeline, state, options, None)
-                        })
+        let results: Vec<Result<CompileOutput, CompileError>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = units
+                .iter()
+                .map(|(name, source, env)| {
+                    scope.spawn(move |_| {
+                        // The parallel path bypasses the function cache:
+                        // its bookkeeping is not thread-shared.
+                        compile_unit(name, source, env, mode, pipeline, state, options, None)
                     })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-            })
-            .expect("compile scope panicked");
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+        .expect("compile scope panicked");
 
         if self.config.mode.is_stateful() {
             for result in results.iter().flatten() {
@@ -283,9 +301,123 @@ impl Compiler {
     pub fn set_policy(&mut self, policy: SkipPolicy) {
         self.config.mode = Mode::Stateful(policy);
     }
+
+    // --- Phase-level API (engine tasks) -------------------------------
+    //
+    // Incremental engines (sfcc-buildsys's query tasks) call the pipeline
+    // one phase at a time, so a build can stop as soon as a phase's output
+    // fingerprint is unchanged. `compile` composes the same functions.
+
+    /// Phase 1: parse + type-check (engine task `frontend`). Returns the
+    /// checked module and the phase's wall time (ns).
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::Frontend`] for malformed source.
+    pub fn phase_frontend(
+        &self,
+        name: &str,
+        source: &str,
+        env: &ModuleEnv,
+    ) -> Result<(CheckedModule, u64), CompileError> {
+        phases::frontend(name, source, env)
+    }
+
+    /// Phase 2: AST → IR lowering (engine task `lower`). Returns the IR and
+    /// the phase's wall time (ns).
+    pub fn phase_lower(&self, checked: &CheckedModule, env: &ModuleEnv) -> (sfcc_ir::Module, u64) {
+        phases::lower(checked, env)
+    }
+
+    /// Phase 3: the (skippable) optimization pipeline (engine task
+    /// `optimize`), including function-cache lookup/population when the
+    /// session has one. Does not ingest the trace — pair with
+    /// [`Compiler::ingest_trace`].
+    pub fn phase_optimize(&mut self, ir: &sfcc_ir::Module) -> (sfcc_ir::Module, OptimizeOutcome) {
+        let options = RunOptions {
+            verify_each: self.config.verify_each,
+        };
+        let cache = if self.config.function_cache {
+            Some(&mut self.fn_cache)
+        } else {
+            None
+        };
+        let mut ir = ir.clone();
+        let outcome = phases::optimize(
+            &mut ir,
+            self.config.mode,
+            &self.pipeline,
+            &self.state,
+            options,
+            cache,
+        );
+        (ir, outcome)
+    }
+
+    /// [`Compiler::phase_optimize`] against an immutable session snapshot:
+    /// no function cache, no ingestion — safe to call from worker threads
+    /// compiling independent modules of one wave in parallel.
+    pub fn phase_optimize_snapshot(
+        &self,
+        ir: &sfcc_ir::Module,
+    ) -> (sfcc_ir::Module, OptimizeOutcome) {
+        let options = RunOptions {
+            verify_each: self.config.verify_each,
+        };
+        let mut ir = ir.clone();
+        let outcome = phases::optimize(
+            &mut ir,
+            self.config.mode,
+            &self.pipeline,
+            &self.state,
+            options,
+            None,
+        );
+        (ir, outcome)
+    }
+
+    /// Folds one pipeline trace into the dormancy state (stateful mode;
+    /// a no-op otherwise). Returns the time spent (ns).
+    pub fn ingest_trace(&mut self, trace: &PipelineTrace) -> u64 {
+        if !self.config.mode.is_stateful() {
+            return 0;
+        }
+        let t = Instant::now();
+        self.state.ingest(trace, self.pipeline_hash);
+        t.elapsed().as_nanos() as u64
+    }
+
+    /// Phase 4: optimized IR → object code (engine task `codegen`). Returns
+    /// the object and the phase's wall time (ns).
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::Backend`] when codegen fails.
+    pub fn phase_codegen(&self, ir: &sfcc_ir::Module) -> Result<(CodeObject, u64), CompileError> {
+        phases::codegen(ir)
+    }
+
+    /// A deterministic stamp of everything that steers skip decisions for
+    /// `module`: the mode (policy), the pipeline, and the module's dormancy
+    /// records. Incremental engines record this as a tracked input of the
+    /// optimize task, so stale skip state invalidates exactly the modules
+    /// it would affect.
+    pub fn state_stamp(&self, module: &str) -> u64 {
+        let mut repr = format!(
+            "mode={};pipeline={:x};",
+            self.config.mode.label(),
+            self.pipeline_hash.0
+        );
+        if self.config.mode.is_stateful() {
+            match self.state.module(module) {
+                Some(state) => repr.push_str(&format!("state={:x}", state.content_stamp())),
+                None => repr.push_str("state=absent"),
+            }
+        }
+        fnv64(repr.as_bytes())
+    }
 }
 
-/// Compiles one module against an immutable state snapshot (no ingestion).
 /// The IR-cache file that accompanies a state file.
 fn cache_path(state_path: &Path) -> std::path::PathBuf {
     let mut os = state_path.as_os_str().to_os_string();
@@ -293,19 +425,8 @@ fn cache_path(state_path: &Path) -> std::path::PathBuf {
     std::path::PathBuf::from(os)
 }
 
-/// An oracle layer that force-skips every slot of cache-hit functions so
-/// their (already optimized, swapped-in) bodies pass through untouched.
-struct CacheHits<'a> {
-    hits: std::collections::HashSet<String>,
-    inner: &'a dyn SkipOracle,
-}
-
-impl<'a> SkipOracle for CacheHits<'a> {
-    fn should_skip(&self, query: &PassQuery<'_>) -> bool {
-        self.hits.contains(query.function) || self.inner.should_skip(query)
-    }
-}
-
+/// Compiles one module end to end against an immutable state snapshot (no
+/// ingestion), by composing the phase functions of [`crate::phases`].
 #[allow(clippy::too_many_arguments)]
 fn compile_unit(
     name: &str,
@@ -315,78 +436,31 @@ fn compile_unit(
     pipeline: &Pipeline,
     state: &StateDb,
     options: RunOptions,
-    mut cache: Option<&mut FunctionCache>,
+    cache: Option<&mut FunctionCache>,
 ) -> Result<CompileOutput, CompileError> {
     let mut timings = PhaseTimings::default();
 
-    let t = Instant::now();
-    let mut diags = Diagnostics::new();
-    let checked = sfcc_frontend::parse_and_check(name, source, env, &mut diags);
-    timings.frontend_ns = t.elapsed().as_nanos() as u64;
-    let Some(checked) = checked else {
-        let file = SourceFile::new(format!("{name}.mc"), source);
-        return Err(CompileError::Frontend {
-            rendered: diags.render_all(&file),
-            errors: diags.error_count(),
-        });
-    };
+    let (checked, frontend_ns) = phases::frontend(name, source, env)?;
+    timings.frontend_ns = frontend_ns;
     let interface = checked.interface.clone();
 
-    let t = Instant::now();
-    let mut ir = sfcc_ir::lower_module(&checked, env);
-    timings.lower_ns = t.elapsed().as_nanos() as u64;
+    let (mut ir, lower_ns) = phases::lower(&checked, env);
+    timings.lower_ns = lower_ns;
 
-    // Function-cache lookup: swap cached optimized bodies in and mark them
-    // so the pipeline skips them entirely.
-    let t = Instant::now();
-    let mut hits = std::collections::HashSet::new();
-    let mut contexts = std::collections::HashMap::new();
-    if let Some(cache) = cache.as_deref_mut() {
-        contexts = context_fingerprints(&ir);
-        for func in &mut ir.functions {
-            if let Some(&ctx) = contexts.get(&func.name) {
-                if let Some(mut cached) = cache.lookup(ctx) {
-                    cached.name = func.name.clone();
-                    *func = cached;
-                    hits.insert(func.name.clone());
-                }
-            }
-        }
-    }
-    timings.state_ns += t.elapsed().as_nanos() as u64;
+    let outcome = phases::optimize(&mut ir, mode, pipeline, state, options, cache);
+    timings.middle_ns = outcome.middle_ns;
+    timings.state_ns += outcome.state_ns;
 
-    let t = Instant::now();
-    let base: Box<dyn SkipOracle> = match mode {
-        Mode::Stateless => Box::new(NeverSkip),
-        Mode::Stateful(policy) => Box::new(DbOracle::new(state, policy)),
-    };
-    let trace = if hits.is_empty() {
-        run_pipeline(&mut ir, pipeline, base.as_ref(), options)
-    } else {
-        let oracle = CacheHits { hits: hits.clone(), inner: base.as_ref() };
-        run_pipeline(&mut ir, pipeline, &oracle, options)
-    };
-    timings.middle_ns = t.elapsed().as_nanos() as u64;
+    let (object, backend_ns) = phases::codegen(&ir)?;
+    timings.backend_ns = backend_ns;
 
-    // Populate the cache with freshly optimized cacheable functions.
-    let t = Instant::now();
-    if let Some(cache) = cache.as_deref_mut() {
-        for func in &ir.functions {
-            if hits.contains(&func.name) {
-                continue;
-            }
-            if let Some(&ctx) = contexts.get(&func.name) {
-                cache.insert(ctx, func.clone());
-            }
-        }
-    }
-    timings.state_ns += t.elapsed().as_nanos() as u64;
-
-    let t = Instant::now();
-    let object = compile_object(&ir).map_err(|e| CompileError::Backend(e.to_string()))?;
-    timings.backend_ns = t.elapsed().as_nanos() as u64;
-
-    Ok(CompileOutput { object, ir, interface, trace, timings })
+    Ok(CompileOutput {
+        object,
+        ir,
+        interface,
+        trace: outcome.trace,
+        timings,
+    })
 }
 
 #[cfg(test)]
@@ -413,7 +487,9 @@ fn main(n: int) -> int {
 
     fn run_output(out: &CompileOutput, args: &[i64]) -> Option<i64> {
         let program = link_objects(std::slice::from_ref(&out.object)).unwrap();
-        vm_run(&program, "main.main", args, VmOptions::default()).unwrap().return_value
+        vm_run(&program, "main.main", args, VmOptions::default())
+            .unwrap()
+            .return_value
     }
 
     #[test]
@@ -454,7 +530,9 @@ fn main(n: int) -> int {
         let mut stateful = Compiler::new(Config::stateful().with_verification());
         // Warm up state with v1, then compile v2 with skipping active.
         stateful.compile("main", SRC_V1, &ModuleEnv::new()).unwrap();
-        let a = stateless.compile("main", SRC_V2, &ModuleEnv::new()).unwrap();
+        let a = stateless
+            .compile("main", SRC_V2, &ModuleEnv::new())
+            .unwrap();
         let b = stateful.compile("main", SRC_V2, &ModuleEnv::new()).unwrap();
         for n in [0, 1, 7, 20] {
             assert_eq!(run_output(&a, &[n]), run_output(&b, &[n]), "n={n}");
@@ -464,8 +542,12 @@ fn main(n: int) -> int {
     #[test]
     fn frontend_errors_are_reported() {
         let mut c = Compiler::new(Config::stateless());
-        let err = c.compile("main", "fn broken( {", &ModuleEnv::new()).unwrap_err();
-        let CompileError::Frontend { errors, rendered } = err else { panic!("{err}") };
+        let err = c
+            .compile("main", "fn broken( {", &ModuleEnv::new())
+            .unwrap_err();
+        let CompileError::Frontend { errors, rendered } = err else {
+            panic!("{err}")
+        };
         assert!(errors > 0);
         assert!(rendered.contains("main.mc"), "{rendered}");
     }
@@ -476,14 +558,20 @@ fn main(n: int) -> int {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("state.bin");
 
-        let cfg = Config::stateful().with_state_path(&path).with_verification();
+        let cfg = Config::stateful()
+            .with_state_path(&path)
+            .with_verification();
         let mut first_session = Compiler::new(cfg.clone());
-        first_session.compile("main", SRC_V1, &ModuleEnv::new()).unwrap();
+        first_session
+            .compile("main", SRC_V1, &ModuleEnv::new())
+            .unwrap();
         first_session.save_state().unwrap();
 
         let mut second_session = Compiler::new(cfg);
         assert!(second_session.state_load_error().is_none());
-        let out = second_session.compile("main", SRC_V2, &ModuleEnv::new()).unwrap();
+        let out = second_session
+            .compile("main", SRC_V2, &ModuleEnv::new())
+            .unwrap();
         let (_, _, skipped) = out.outcome_totals();
         assert!(skipped > 0, "persisted state should enable skipping");
         std::fs::remove_dir_all(&dir).unwrap();

@@ -80,7 +80,10 @@ impl Config {
 
     /// A stateful `-O2` configuration at the paper's design point.
     pub fn stateful() -> Self {
-        Config { mode: Mode::stateful_default(), ..Config::stateless() }
+        Config {
+            mode: Mode::stateful_default(),
+            ..Config::stateless()
+        }
     }
 
     /// Sets the optimization level; returns `self` for chaining.

@@ -1,0 +1,165 @@
+//! The compilation pipeline, one phase at a time.
+//!
+//! [`Compiler::compile`](crate::Compiler::compile) runs a module through
+//! frontend → lowering → optimization → codegen as one unit. Incremental
+//! engines want the same phases *individually* — a body-only edit should
+//! re-run optimize+codegen without re-running the frontend of anything
+//! else — so each phase lives here as a free function over explicit state,
+//! and the session type re-exposes them as task-callable methods
+//! (`Compiler::phase_*`). `compile` is a composition of these functions;
+//! there is exactly one implementation of every phase.
+
+use crate::config::Mode;
+use crate::fncache::{context_fingerprints, FunctionCache};
+use sfcc_backend::{compile_object, CodeObject};
+use sfcc_frontend::{CheckedModule, Diagnostics, ModuleEnv, SourceFile};
+use sfcc_passes::{
+    run_pipeline, NeverSkip, PassQuery, Pipeline, PipelineTrace, RunOptions, SkipOracle,
+};
+use sfcc_state::{DbOracle, StateDb};
+use std::time::Instant;
+
+use crate::compiler::CompileError;
+
+/// Lexes, parses, and type-checks one module against its import
+/// environment. Returns the checked module and the phase's wall time (ns).
+///
+/// # Errors
+///
+/// [`CompileError::Frontend`] with rendered diagnostics for malformed
+/// source.
+pub fn frontend(
+    name: &str,
+    source: &str,
+    env: &ModuleEnv,
+) -> Result<(CheckedModule, u64), CompileError> {
+    let t = Instant::now();
+    let mut diags = Diagnostics::new();
+    let checked = sfcc_frontend::parse_and_check(name, source, env, &mut diags);
+    let elapsed = t.elapsed().as_nanos() as u64;
+    match checked {
+        Some(checked) => Ok((checked, elapsed)),
+        None => {
+            let file = SourceFile::new(format!("{name}.mc"), source);
+            Err(CompileError::Frontend {
+                rendered: diags.render_all(&file),
+                errors: diags.error_count(),
+            })
+        }
+    }
+}
+
+/// Lowers a checked module to IR. Returns the IR and the phase's wall time
+/// (ns).
+pub fn lower(checked: &CheckedModule, env: &ModuleEnv) -> (sfcc_ir::Module, u64) {
+    let t = Instant::now();
+    let ir = sfcc_ir::lower_module(checked, env);
+    (ir, t.elapsed().as_nanos() as u64)
+}
+
+/// What [`optimize`] reports alongside the transformed IR.
+#[derive(Debug, Clone)]
+pub struct OptimizeOutcome {
+    /// Per-pass instrumentation of the pipeline run.
+    pub trace: PipelineTrace,
+    /// Wall time of the pass pipeline itself (ns).
+    pub middle_ns: u64,
+    /// Wall time of function-cache bookkeeping (ns).
+    pub state_ns: u64,
+}
+
+/// An oracle layer that force-skips every slot of cache-hit functions so
+/// their (already optimized, swapped-in) bodies pass through untouched.
+struct CacheHits<'a> {
+    hits: std::collections::HashSet<String>,
+    inner: &'a dyn SkipOracle,
+}
+
+impl SkipOracle for CacheHits<'_> {
+    fn should_skip(&self, query: &PassQuery<'_>) -> bool {
+        self.hits.contains(query.function) || self.inner.should_skip(query)
+    }
+}
+
+/// Runs the optimization pipeline over `ir` in place: function-cache
+/// lookup/population (when a cache is supplied), skip-oracle construction
+/// from the dormancy state, and the pass pipeline itself. Does **not**
+/// ingest the trace — recording dormancy is the caller's (sequenced)
+/// responsibility, so this function can run against an immutable state
+/// snapshot on worker threads.
+pub fn optimize(
+    ir: &mut sfcc_ir::Module,
+    mode: Mode,
+    pipeline: &Pipeline,
+    state: &StateDb,
+    options: RunOptions,
+    mut cache: Option<&mut FunctionCache>,
+) -> OptimizeOutcome {
+    // Function-cache lookup: swap cached optimized bodies in and mark them
+    // so the pipeline skips them entirely.
+    let t = Instant::now();
+    let mut hits = std::collections::HashSet::new();
+    let mut contexts = std::collections::HashMap::new();
+    if let Some(cache) = cache.as_deref_mut() {
+        contexts = context_fingerprints(ir);
+        for func in &mut ir.functions {
+            if let Some(&ctx) = contexts.get(&func.name) {
+                if let Some(mut cached) = cache.lookup(ctx) {
+                    cached.name = func.name.clone();
+                    *func = cached;
+                    hits.insert(func.name.clone());
+                }
+            }
+        }
+    }
+    let mut state_ns = t.elapsed().as_nanos() as u64;
+
+    let t = Instant::now();
+    let base: Box<dyn SkipOracle> = match mode {
+        Mode::Stateless => Box::new(NeverSkip),
+        Mode::Stateful(policy) => Box::new(DbOracle::new(state, policy)),
+    };
+    let trace = if hits.is_empty() {
+        run_pipeline(ir, pipeline, base.as_ref(), options)
+    } else {
+        let oracle = CacheHits {
+            hits: hits.clone(),
+            inner: base.as_ref(),
+        };
+        run_pipeline(ir, pipeline, &oracle, options)
+    };
+    let middle_ns = t.elapsed().as_nanos() as u64;
+
+    // Populate the cache with freshly optimized cacheable functions.
+    let t = Instant::now();
+    if let Some(cache) = cache {
+        for func in &ir.functions {
+            if hits.contains(&func.name) {
+                continue;
+            }
+            if let Some(&ctx) = contexts.get(&func.name) {
+                cache.insert(ctx, func.clone());
+            }
+        }
+    }
+    state_ns += t.elapsed().as_nanos() as u64;
+
+    OptimizeOutcome {
+        trace,
+        middle_ns,
+        state_ns,
+    }
+}
+
+/// Compiles optimized IR to an object file. Returns the object and the
+/// phase's wall time (ns).
+///
+/// # Errors
+///
+/// [`CompileError::Backend`] when codegen fails (an internal bug, not bad
+/// input).
+pub fn codegen(ir: &sfcc_ir::Module) -> Result<(CodeObject, u64), CompileError> {
+    let t = Instant::now();
+    let object = compile_object(ir).map_err(|e| CompileError::Backend(e.to_string()))?;
+    Ok((object, t.elapsed().as_nanos() as u64))
+}

@@ -86,7 +86,10 @@ pub enum BinOp {
 impl BinOp {
     /// Whether this is a comparison producing `bool` from two `int`s.
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
     }
 
     /// Whether this is short-circuit boolean logic.
@@ -299,12 +302,15 @@ impl Block {
     pub fn stmt_count(&self) -> usize {
         fn count(stmt: &Stmt) -> usize {
             1 + match &stmt.kind {
-                StmtKind::If { then_block, else_block, .. } => {
-                    then_block.stmt_count()
-                        + else_block.as_ref().map_or(0, Block::stmt_count)
-                }
+                StmtKind::If {
+                    then_block,
+                    else_block,
+                    ..
+                } => then_block.stmt_count() + else_block.as_ref().map_or(0, Block::stmt_count),
                 StmtKind::While { body, .. } => body.stmt_count(),
-                StmtKind::For { body, init, step, .. } => {
+                StmtKind::For {
+                    body, init, step, ..
+                } => {
                     body.stmt_count()
                         + init.as_deref().map_or(0, count)
                         + step.as_deref().map_or(0, count)
@@ -426,7 +432,10 @@ mod tests {
     fn block_stmt_count_recurses() {
         let s = Span::point(0);
         let inner = Block {
-            stmts: vec![Stmt { kind: StmtKind::Break, span: s }],
+            stmts: vec![Stmt {
+                kind: StmtKind::Break,
+                span: s,
+            }],
             span: s,
         };
         let b = Block {

@@ -41,12 +41,22 @@ pub struct Diagnostic {
 impl Diagnostic {
     /// Creates an error diagnostic.
     pub fn error(message: impl Into<String>, span: Span) -> Self {
-        Diagnostic { severity: Severity::Error, message: message.into(), span, notes: Vec::new() }
+        Diagnostic {
+            severity: Severity::Error,
+            message: message.into(),
+            span,
+            notes: Vec::new(),
+        }
     }
 
     /// Creates a warning diagnostic.
     pub fn warning(message: impl Into<String>, span: Span) -> Self {
-        Diagnostic { severity: Severity::Warning, message: message.into(), span, notes: Vec::new() }
+        Diagnostic {
+            severity: Severity::Warning,
+            message: message.into(),
+            span,
+            notes: Vec::new(),
+        }
     }
 
     /// Attaches a secondary note; returns `self` for chaining.
@@ -60,9 +70,20 @@ impl Diagnostic {
     pub fn render(&self, file: &SourceFile) -> String {
         use std::fmt::Write as _;
         let lc = file.line_col(self.span.start);
-        let mut out = format!("{}:{}: {}: {}", file.name(), lc, self.severity, self.message);
+        let mut out = format!(
+            "{}:{}: {}: {}",
+            file.name(),
+            lc,
+            self.severity,
+            self.message
+        );
         if let Some(line) = file.line_text(lc.line) {
-            let _ = write!(out, "\n  | {line}\n  | {:>width$}", "^", width = lc.col as usize);
+            let _ = write!(
+                out,
+                "\n  | {line}\n  | {:>width$}",
+                "^",
+                width = lc.col as usize
+            );
         }
         for (msg, span) in &self.notes {
             let nlc = file.line_col(span.start);
@@ -114,7 +135,10 @@ impl Diagnostics {
 
     /// Number of error-severity diagnostics.
     pub fn error_count(&self) -> usize {
-        self.items.iter().filter(|d| d.severity == Severity::Error).count()
+        self.items
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
     }
 
     /// All recorded diagnostics, in emission order.
@@ -140,7 +164,11 @@ impl Diagnostics {
 
     /// Renders every diagnostic against `file`, one per line group.
     pub fn render_all(&self, file: &SourceFile) -> String {
-        self.items.iter().map(|d| d.render(file)).collect::<Vec<_>>().join("\n")
+        self.items
+            .iter()
+            .map(|d| d.render(file))
+            .collect::<Vec<_>>()
+            .join("\n")
     }
 }
 
@@ -180,7 +208,10 @@ mod tests {
         let f = SourceFile::new("t.mc", "let y = x;");
         let diag = Diagnostic::error("unknown variable 'x'", Span::new(8, 9));
         let rendered = diag.render(&f);
-        assert!(rendered.starts_with("t.mc:1:9: error: unknown variable 'x'"), "{rendered}");
+        assert!(
+            rendered.starts_with("t.mc:1:9: error: unknown variable 'x'"),
+            "{rendered}"
+        );
         assert!(rendered.contains("let y = x;"), "{rendered}");
     }
 
@@ -190,7 +221,10 @@ mod tests {
         let diag = Diagnostic::error("duplicate function 'a'", Span::new(3, 4))
             .with_note("previous definition here", Span::new(3, 4));
         let rendered = diag.render(&f);
-        assert!(rendered.contains("note: previous definition here"), "{rendered}");
+        assert!(
+            rendered.contains("note: previous definition here"),
+            "{rendered}"
+        );
     }
 
     #[test]

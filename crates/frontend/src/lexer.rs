@@ -22,7 +22,12 @@ struct Lexer<'a, 'd> {
 
 impl<'a, 'd> Lexer<'a, 'd> {
     fn new(text: &'a str, diags: &'d mut Diagnostics) -> Self {
-        Lexer { bytes: text.as_bytes(), pos: 0, diags, tokens: Vec::new() }
+        Lexer {
+            bytes: text.as_bytes(),
+            pos: 0,
+            diags,
+            tokens: Vec::new(),
+        }
     }
 
     fn run(mut self) -> Vec<Token> {
@@ -40,7 +45,8 @@ impl<'a, 'd> Lexer<'a, 'd> {
             }
         }
         let end = self.bytes.len() as u32;
-        self.tokens.push(Token::new(TokenKind::Eof, Span::point(end)));
+        self.tokens
+            .push(Token::new(TokenKind::Eof, Span::point(end)));
         self.tokens
     }
 
@@ -100,7 +106,10 @@ impl<'a, 'd> Lexer<'a, 'd> {
                 overflow |= o1 | o2;
             }
             if self.pos == digits_start {
-                self.diags.error("hex literal needs at least one digit", Span::new(start, self.pos as u32));
+                self.diags.error(
+                    "hex literal needs at least one digit",
+                    Span::new(start, self.pos as u32),
+                );
             }
         } else {
             while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
@@ -118,7 +127,8 @@ impl<'a, 'd> Lexer<'a, 'd> {
         }
         let span = Span::new(start, self.pos as u32);
         if overflow {
-            self.diags.error("integer literal does not fit in 64 bits", span);
+            self.diags
+                .error("integer literal does not fit in 64 bits", span);
             value = 0;
         }
         self.tokens.push(Token::int(span, value));
@@ -184,7 +194,8 @@ impl<'a, 'd> Lexer<'a, 'd> {
             }
         };
         self.pos += len;
-        self.tokens.push(Token::new(kind, Span::new(start, self.pos as u32)));
+        self.tokens
+            .push(Token::new(kind, Span::new(start, self.pos as u32)));
     }
 }
 
@@ -236,7 +247,10 @@ mod tests {
     #[test]
     fn skips_line_and_block_comments() {
         use TokenKind::*;
-        assert_eq!(kinds("a // c\n b /* x\n y */ c"), vec![Ident, Ident, Ident, Eof]);
+        assert_eq!(
+            kinds("a // c\n b /* x\n y */ c"),
+            vec![Ident, Ident, Ident, Eof]
+        );
     }
 
     #[test]

@@ -13,7 +13,13 @@ use crate::token::{Token, TokenKind};
 /// partially valid file still yields the valid parts.
 pub fn parse(module_name: &str, text: &str, diags: &mut Diagnostics) -> Module {
     let tokens = lex(text, diags);
-    Parser { source: text, tokens, pos: 0, diags }.module(module_name)
+    Parser {
+        source: text,
+        tokens,
+        pos: 0,
+        diags,
+    }
+    .module(module_name)
 }
 
 struct Parser<'a, 'd> {
@@ -85,7 +91,11 @@ impl<'a, 'd> Parser<'a, 'd> {
         } else {
             let got = self.peek();
             self.diags.error(
-                format!("expected {}, found {}", kind.describe(), got.kind.describe()),
+                format!(
+                    "expected {}, found {}",
+                    kind.describe(),
+                    got.kind.describe()
+                ),
                 got.span,
             );
             None
@@ -98,8 +108,10 @@ impl<'a, 'd> Parser<'a, 'd> {
             Some((self.snippet(t.span), t.span))
         } else {
             let got = self.peek();
-            self.diags
-                .error(format!("expected identifier, found {}", got.kind.describe()), got.span);
+            self.diags.error(
+                format!("expected identifier, found {}", got.kind.describe()),
+                got.span,
+            );
             None
         }
     }
@@ -111,14 +123,20 @@ impl<'a, 'd> Parser<'a, 'd> {
     // --- items ---------------------------------------------------------
 
     fn module(mut self, name: &str) -> Module {
-        let mut module = Module { name: name.to_string(), ..Module::default() };
+        let mut module = Module {
+            name: name.to_string(),
+            ..Module::default()
+        };
         while !self.at(TokenKind::Eof) {
             match self.peek_kind() {
                 TokenKind::KwImport => {
                     let start = self.bump().span;
                     if let Some((m, span)) = self.ident_text() {
                         self.expect(TokenKind::Semi);
-                        module.imports.push(Import { module: m, span: start.merge(span) });
+                        module.imports.push(Import {
+                            module: m,
+                            span: start.merge(span),
+                        });
                     } else {
                         self.recover_to_item();
                     }
@@ -170,7 +188,12 @@ impl<'a, 'd> Parser<'a, 'd> {
         self.expect(TokenKind::Eq)?;
         let init = self.expr()?;
         let end = self.expect(TokenKind::Semi)?.span;
-        Some(GlobalDef { name, ty, init, span: start.merge(end) })
+        Some(GlobalDef {
+            name,
+            ty,
+            init,
+            span: start.merge(end),
+        })
     }
 
     fn function(&mut self) -> Option<FunctionDef> {
@@ -182,16 +205,30 @@ impl<'a, 'd> Parser<'a, 'd> {
             let (pname, pspan) = self.ident_text()?;
             self.expect(TokenKind::Colon)?;
             let ty = self.type_ast()?;
-            params.push(Param { name: pname, ty, span: pspan });
+            params.push(Param {
+                name: pname,
+                ty,
+                span: pspan,
+            });
             if !self.eat(TokenKind::Comma) {
                 break;
             }
         }
         self.expect(TokenKind::RParen)?;
-        let ret = if self.eat(TokenKind::Arrow) { Some(self.type_ast()?) } else { None };
+        let ret = if self.eat(TokenKind::Arrow) {
+            Some(self.type_ast()?)
+        } else {
+            None
+        };
         let body = self.block()?;
         let span = start.merge(body.span);
-        Some(FunctionDef { name, params, ret, body, span })
+        Some(FunctionDef {
+            name,
+            params,
+            ret,
+            body,
+            span,
+        })
     }
 
     fn type_ast(&mut self) -> Option<TypeAst> {
@@ -212,7 +249,10 @@ impl<'a, 'd> Parser<'a, 'd> {
                     other => {
                         let span = self.peek().span;
                         self.diags.error(
-                            format!("expected 'int' or 'bool' array element, found {}", other.describe()),
+                            format!(
+                                "expected 'int' or 'bool' array element, found {}",
+                                other.describe()
+                            ),
                             span,
                         );
                         return None;
@@ -224,7 +264,8 @@ impl<'a, 'd> Parser<'a, 'd> {
                 self.expect(TokenKind::RBracket)?;
                 let len = len_tok.value;
                 if !(1..=1 << 20).contains(&len) {
-                    self.diags.error("array length must be between 1 and 2^20", len_tok.span);
+                    self.diags
+                        .error("array length must be between 1 and 2^20", len_tok.span);
                     return None;
                 }
                 Some(if elem_is_int {
@@ -235,7 +276,8 @@ impl<'a, 'd> Parser<'a, 'd> {
             }
             other => {
                 let span = self.peek().span;
-                self.diags.error(format!("expected type, found {}", other.describe()), span);
+                self.diags
+                    .error(format!("expected type, found {}", other.describe()), span);
                 None
             }
         }
@@ -253,7 +295,10 @@ impl<'a, 'd> Parser<'a, 'd> {
             }
         }
         let end = self.expect(TokenKind::RBrace)?.span;
-        Some(Block { stmts, span: start.merge(end) })
+        Some(Block {
+            stmts,
+            span: start.merge(end),
+        })
     }
 
     fn recover_to_stmt(&mut self) {
@@ -283,29 +328,48 @@ impl<'a, 'd> Parser<'a, 'd> {
                 self.expect(TokenKind::RParen)?;
                 let body = self.block()?;
                 let span = start.merge(body.span);
-                Some(Stmt { kind: StmtKind::While { cond, body }, span })
+                Some(Stmt {
+                    kind: StmtKind::While { cond, body },
+                    span,
+                })
             }
             TokenKind::KwFor => self.for_stmt(),
             TokenKind::KwReturn => {
                 self.bump();
-                let value = if self.at(TokenKind::Semi) { None } else { Some(self.expr()?) };
+                let value = if self.at(TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 let end = self.expect(TokenKind::Semi)?.span;
-                Some(Stmt { kind: StmtKind::Return(value), span: start.merge(end) })
+                Some(Stmt {
+                    kind: StmtKind::Return(value),
+                    span: start.merge(end),
+                })
             }
             TokenKind::KwBreak => {
                 self.bump();
                 let end = self.expect(TokenKind::Semi)?.span;
-                Some(Stmt { kind: StmtKind::Break, span: start.merge(end) })
+                Some(Stmt {
+                    kind: StmtKind::Break,
+                    span: start.merge(end),
+                })
             }
             TokenKind::KwContinue => {
                 self.bump();
                 let end = self.expect(TokenKind::Semi)?.span;
-                Some(Stmt { kind: StmtKind::Continue, span: start.merge(end) })
+                Some(Stmt {
+                    kind: StmtKind::Continue,
+                    span: start.merge(end),
+                })
             }
             TokenKind::LBrace => {
                 let b = self.block()?;
                 let span = b.span;
-                Some(Stmt { kind: StmtKind::Block(b), span })
+                Some(Stmt {
+                    kind: StmtKind::Block(b),
+                    span,
+                })
             }
             _ => self.assign_or_expr_stmt(),
         }
@@ -316,9 +380,16 @@ impl<'a, 'd> Parser<'a, 'd> {
         let (name, _) = self.ident_text()?;
         self.expect(TokenKind::Colon)?;
         let ty = self.type_ast()?;
-        let init = if self.eat(TokenKind::Eq) { Some(self.expr()?) } else { None };
+        let init = if self.eat(TokenKind::Eq) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let end = self.expect(TokenKind::Semi)?.span;
-        Some(Stmt { kind: StmtKind::Let { name, ty, init }, span: start.merge(end) })
+        Some(Stmt {
+            kind: StmtKind::Let { name, ty, init },
+            span: start.merge(end),
+        })
     }
 
     fn if_stmt(&mut self) -> Option<Stmt> {
@@ -334,7 +405,10 @@ impl<'a, 'd> Parser<'a, 'd> {
                 let nested = self.if_stmt()?;
                 let nspan = nested.span;
                 span = span.merge(nspan);
-                Some(Block { stmts: vec![nested], span: nspan })
+                Some(Block {
+                    stmts: vec![nested],
+                    span: nspan,
+                })
             } else {
                 let b = self.block()?;
                 span = span.merge(b.span);
@@ -343,7 +417,14 @@ impl<'a, 'd> Parser<'a, 'd> {
         } else {
             None
         };
-        Some(Stmt { kind: StmtKind::If { cond, then_block, else_block }, span })
+        Some(Stmt {
+            kind: StmtKind::If {
+                cond,
+                then_block,
+                else_block,
+            },
+            span,
+        })
     }
 
     fn for_stmt(&mut self) -> Option<Stmt> {
@@ -359,13 +440,29 @@ impl<'a, 'd> Parser<'a, 'd> {
             self.expect(TokenKind::Semi)?;
             Some(Box::new(s))
         };
-        let cond = if self.at(TokenKind::Semi) { None } else { Some(self.expr()?) };
+        let cond = if self.at(TokenKind::Semi) {
+            None
+        } else {
+            Some(self.expr()?)
+        };
         self.expect(TokenKind::Semi)?;
-        let step = if self.at(TokenKind::RParen) { None } else { Some(Box::new(self.simple_assign()?)) };
+        let step = if self.at(TokenKind::RParen) {
+            None
+        } else {
+            Some(Box::new(self.simple_assign()?))
+        };
         self.expect(TokenKind::RParen)?;
         let body = self.block()?;
         let span = start.merge(body.span);
-        Some(Stmt { kind: StmtKind::For { init, cond, step, body }, span })
+        Some(Stmt {
+            kind: StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            },
+            span,
+        })
     }
 
     /// Parses `lvalue = expr` without the trailing semicolon (for `for` headers).
@@ -375,7 +472,10 @@ impl<'a, 'd> Parser<'a, 'd> {
         self.expect(TokenKind::Eq)?;
         let value = self.expr()?;
         let span = start.merge(value.span);
-        Some(Stmt { kind: StmtKind::Assign(lv, value), span })
+        Some(Stmt {
+            kind: StmtKind::Assign(lv, value),
+            span,
+        })
     }
 
     fn lvalue(&mut self) -> Option<LValue> {
@@ -408,13 +508,20 @@ impl<'a, 'd> Parser<'a, 'd> {
             self.bump(); // `=`
             let value = self.expr()?;
             let end = self.expect(TokenKind::Semi)?.span;
-            Some(Stmt { kind: StmtKind::Assign(lv, value), span: start.merge(end) })
+            Some(Stmt {
+                kind: StmtKind::Assign(lv, value),
+                span: start.merge(end),
+            })
         } else {
             let end = self.expect(TokenKind::Semi)?.span;
             if !matches!(expr.kind, ExprKind::Call { .. }) {
-                self.diags.warning("expression statement has no effect", expr.span);
+                self.diags
+                    .warning("expression statement has no effect", expr.span);
             }
-            Some(Stmt { kind: StmtKind::Expr(expr), span: start.merge(end) })
+            Some(Stmt {
+                kind: StmtKind::Expr(expr),
+                span: start.merge(end),
+            })
         }
     }
 
@@ -486,10 +593,8 @@ impl<'a, 'd> Parser<'a, 'd> {
                         self.bump();
                         let (fname, fspan) = self.ident_text()?;
                         if !self.at(TokenKind::LParen) {
-                            self.diags.error(
-                                "module path must be followed by a call",
-                                span.merge(fspan),
-                            );
+                            self.diags
+                                .error("module path must be followed by a call", span.merge(fspan));
                             return None;
                         }
                         self.call(Some(name), fname, span.merge(fspan))
@@ -507,8 +612,10 @@ impl<'a, 'd> Parser<'a, 'd> {
                 }
             }
             other => {
-                self.diags
-                    .error(format!("expected expression, found {}", other.describe()), tok.span);
+                self.diags.error(
+                    format!("expected expression, found {}", other.describe()),
+                    tok.span,
+                );
                 None
             }
         }
@@ -524,7 +631,10 @@ impl<'a, 'd> Parser<'a, 'd> {
             }
         }
         let end = self.expect(TokenKind::RParen)?.span;
-        Some(Expr::new(ExprKind::Call { module, name, args }, start.merge(end)))
+        Some(Expr::new(
+            ExprKind::Call { module, name, args },
+            start.merge(end),
+        ))
     }
 }
 
@@ -575,7 +685,9 @@ mod tests {
     fn precedence_mul_over_add() {
         let m = parse_ok("fn f() -> int { return 1 + 2 * 3; }");
         let body = &m.functions[0].body.stmts[0];
-        let StmtKind::Return(Some(e)) = &body.kind else { panic!() };
+        let StmtKind::Return(Some(e)) = &body.kind else {
+            panic!()
+        };
         let ExprKind::Binary(BinOp::Add, _, rhs) = &e.kind else {
             panic!("expected add at top: {e:?}")
         };
@@ -585,7 +697,9 @@ mod tests {
     #[test]
     fn precedence_cmp_over_logic() {
         let m = parse_ok("fn f(a: int, b: int) -> bool { return a < b && b < 10; }");
-        let StmtKind::Return(Some(e)) = &m.functions[0].body.stmts[0].kind else { panic!() };
+        let StmtKind::Return(Some(e)) = &m.functions[0].body.stmts[0].kind else {
+            panic!()
+        };
         assert!(matches!(e.kind, ExprKind::Binary(BinOp::And, _, _)));
     }
 
@@ -594,7 +708,11 @@ mod tests {
         let m = parse_ok(
             "fn f(x: int) -> int { if (x < 0) { return 0; } else if (x < 10) { return 1; } else { return 2; } }",
         );
-        let StmtKind::If { else_block: Some(eb), .. } = &m.functions[0].body.stmts[0].kind else {
+        let StmtKind::If {
+            else_block: Some(eb),
+            ..
+        } = &m.functions[0].body.stmts[0].kind
+        else {
             panic!()
         };
         assert!(matches!(eb.stmts[0].kind, StmtKind::If { .. }));
@@ -605,7 +723,10 @@ mod tests {
         let m = parse_ok(
             "fn f() -> int { let s: int = 0; for (let i: int = 0; i < 10; i = i + 1) { s = s + i; } return s; }",
         );
-        let StmtKind::For { init, cond, step, .. } = &m.functions[0].body.stmts[1].kind else {
+        let StmtKind::For {
+            init, cond, step, ..
+        } = &m.functions[0].body.stmts[1].kind
+        else {
             panic!()
         };
         assert!(init.is_some() && cond.is_some() && step.is_some());
@@ -614,7 +735,10 @@ mod tests {
     #[test]
     fn parses_for_with_empty_parts() {
         let m = parse_ok("fn f() { for (;;) { break; } }");
-        let StmtKind::For { init, cond, step, .. } = &m.functions[0].body.stmts[0].kind else {
+        let StmtKind::For {
+            init, cond, step, ..
+        } = &m.functions[0].body.stmts[0].kind
+        else {
             panic!()
         };
         assert!(init.is_none() && cond.is_none() && step.is_none());
@@ -626,16 +750,27 @@ mod tests {
         let f = &m.functions[0];
         assert!(matches!(
             f.body.stmts[0].kind,
-            StmtKind::Let { ty: TypeAst::IntArray(4), init: None, .. }
+            StmtKind::Let {
+                ty: TypeAst::IntArray(4),
+                init: None,
+                ..
+            }
         ));
-        assert!(matches!(f.body.stmts[1].kind, StmtKind::Assign(LValue::Index(..), _)));
+        assert!(matches!(
+            f.body.stmts[1].kind,
+            StmtKind::Assign(LValue::Index(..), _)
+        ));
     }
 
     #[test]
     fn parses_cross_module_call() {
         let m = parse_ok("import util;\nfn f() -> int { return util::g(1, 2); }");
-        let StmtKind::Return(Some(e)) = &m.functions[0].body.stmts[0].kind else { panic!() };
-        let ExprKind::Call { module, name, args } = &e.kind else { panic!() };
+        let StmtKind::Return(Some(e)) = &m.functions[0].body.stmts[0].kind else {
+            panic!()
+        };
+        let ExprKind::Call { module, name, args } = &e.kind else {
+            panic!()
+        };
         assert_eq!(module.as_deref(), Some("util"));
         assert_eq!(name, "g");
         assert_eq!(args.len(), 2);
@@ -644,15 +779,23 @@ mod tests {
     #[test]
     fn parses_unary_chain() {
         let m = parse_ok("fn f(x: int) -> int { return --x; }");
-        let StmtKind::Return(Some(e)) = &m.functions[0].body.stmts[0].kind else { panic!() };
-        let ExprKind::Unary(UnOp::Neg, inner) = &e.kind else { panic!() };
+        let StmtKind::Return(Some(e)) = &m.functions[0].body.stmts[0].kind else {
+            panic!()
+        };
+        let ExprKind::Unary(UnOp::Neg, inner) = &e.kind else {
+            panic!()
+        };
         assert!(matches!(inner.kind, ExprKind::Unary(UnOp::Neg, _)));
     }
 
     #[test]
     fn error_recovery_keeps_later_functions() {
         let mut d = Diagnostics::new();
-        let m = parse("test", "fn broken( { }\nfn ok() -> int { return 1; }", &mut d);
+        let m = parse(
+            "test",
+            "fn broken( { }\nfn ok() -> int { return 1; }",
+            &mut d,
+        );
         assert!(d.has_errors());
         assert!(m.function("ok").is_some());
     }
@@ -694,12 +837,18 @@ mod tests {
     #[test]
     fn parses_bare_return() {
         let m = parse_ok("fn f() { return; }");
-        assert!(matches!(m.functions[0].body.stmts[0].kind, StmtKind::Return(None)));
+        assert!(matches!(
+            m.functions[0].body.stmts[0].kind,
+            StmtKind::Return(None)
+        ));
     }
 
     #[test]
     fn parses_nested_blocks() {
         let m = parse_ok("fn f() { { { return; } } }");
-        assert!(matches!(m.functions[0].body.stmts[0].kind, StmtKind::Block(_)));
+        assert!(matches!(
+            m.functions[0].body.stmts[0].kind,
+            StmtKind::Block(_)
+        ));
     }
 }

@@ -43,8 +43,11 @@ pub struct ModuleInterface {
 impl ModuleInterface {
     /// Extracts the interface of a parsed module.
     pub fn of(module: &Module) -> Self {
-        let functions =
-            module.functions.iter().map(|f| (f.name.clone(), FuncSig::of(f))).collect();
+        let functions = module
+            .functions
+            .iter()
+            .map(|f| (f.name.clone(), FuncSig::of(f)))
+            .collect();
         ModuleInterface { functions }
     }
 }
@@ -104,7 +107,12 @@ pub fn check(module: Module, env: &ModuleEnv, diags: &mut Diagnostics) -> Option
         return None;
     }
     let interface = ModuleInterface::of(&module);
-    Some(CheckedModule { ast: module, global_values, global_types, interface })
+    Some(CheckedModule {
+        ast: module,
+        global_values,
+        global_types,
+        interface,
+    })
 }
 
 struct Checker<'a, 'd> {
@@ -153,7 +161,14 @@ impl Scopes {
         self.frames
             .last_mut()
             .expect("scope stack never empty while checking")
-            .insert(name.to_string(), Local { ty, span, used: false })
+            .insert(
+                name.to_string(),
+                Local {
+                    ty,
+                    span,
+                    used: false,
+                },
+            )
             .is_none()
     }
 
@@ -170,7 +185,10 @@ impl Scopes {
 
     /// Looks up without marking a read (assignment targets are writes).
     fn lookup_for_write(&self, name: &str) -> Option<TypeAst> {
-        self.frames.iter().rev().find_map(|f| f.get(name).map(|l| l.ty))
+        self.frames
+            .iter()
+            .rev()
+            .find_map(|f| f.get(name).map(|l| l.ty))
     }
 }
 
@@ -193,8 +211,16 @@ impl<'a, 'd> Checker<'a, 'd> {
         for func in &self.module.functions {
             self.check_function(func);
         }
-        let values = self.globals.iter().map(|(k, (_, v))| (k.clone(), *v)).collect();
-        let types = self.globals.iter().map(|(k, (t, _))| (k.clone(), *t)).collect();
+        let values = self
+            .globals
+            .iter()
+            .map(|(k, (_, v))| (k.clone(), *v))
+            .collect();
+        let types = self
+            .globals
+            .iter()
+            .map(|(k, (t, _))| (k.clone(), *t))
+            .collect();
         (values, types)
     }
 
@@ -225,11 +251,15 @@ impl<'a, 'd> Checker<'a, 'd> {
     fn check_globals(&mut self) {
         for global in &self.module.globals {
             if matches!(global.ty, TypeAst::IntArray(_) | TypeAst::BoolArray(_)) {
-                self.diags.error("global constants must be scalar 'int' or 'bool'", global.span);
+                self.diags.error(
+                    "global constants must be scalar 'int' or 'bool'",
+                    global.span,
+                );
                 continue;
             }
             if self.globals.contains_key(&global.name) {
-                self.diags.error(format!("duplicate constant '{}'", global.name), global.span);
+                self.diags
+                    .error(format!("duplicate constant '{}'", global.name), global.span);
                 continue;
             }
             match self.const_eval(&global.init) {
@@ -293,10 +323,15 @@ impl<'a, 'd> Checker<'a, 'd> {
                     Mul if int_args => (TypeAst::Int, lv.wrapping_mul(rv)),
                     Div | Rem if int_args => {
                         if rv == 0 {
-                            self.diags.error("division by zero in constant expression", expr.span);
+                            self.diags
+                                .error("division by zero in constant expression", expr.span);
                             return None;
                         }
-                        let v = if *op == Div { lv.wrapping_div(rv) } else { lv.wrapping_rem(rv) };
+                        let v = if *op == Div {
+                            lv.wrapping_div(rv)
+                        } else {
+                            lv.wrapping_rem(rv)
+                        };
                         (TypeAst::Int, v)
                     }
                     BitAnd if int_args => (TypeAst::Int, lv & rv),
@@ -316,12 +351,18 @@ impl<'a, 'd> Checker<'a, 'd> {
                         (TypeAst::Bool, b as i64)
                     }
                     And | Or if lt == TypeAst::Bool && rt == TypeAst::Bool => {
-                        let b = if *op == And { lv != 0 && rv != 0 } else { lv != 0 || rv != 0 };
+                        let b = if *op == And {
+                            lv != 0 && rv != 0
+                        } else {
+                            lv != 0 || rv != 0
+                        };
                         (TypeAst::Bool, b as i64)
                     }
                     _ => {
                         self.diags.error(
-                            format!("cannot apply '{op}' to '{lt}' and '{rt}' in constant expression"),
+                            format!(
+                                "cannot apply '{op}' to '{lt}' and '{rt}' in constant expression"
+                            ),
                             expr.span,
                         );
                         return None;
@@ -330,7 +371,10 @@ impl<'a, 'd> Checker<'a, 'd> {
                 Some(result)
             }
             _ => {
-                self.diags.error("constant initializer must be a constant expression", expr.span);
+                self.diags.error(
+                    "constant initializer must be a constant expression",
+                    expr.span,
+                );
                 None
             }
         }
@@ -345,16 +389,25 @@ impl<'a, 'd> Checker<'a, 'd> {
                 );
                 continue;
             }
-            if self.local_sigs.insert(func.name.clone(), FuncSig::of(func)).is_some() {
-                self.diags.error(format!("duplicate function '{}'", func.name), func.span);
+            if self
+                .local_sigs
+                .insert(func.name.clone(), FuncSig::of(func))
+                .is_some()
+            {
+                self.diags
+                    .error(format!("duplicate function '{}'", func.name), func.span);
             }
             for p in &func.params {
                 if matches!(p.ty, TypeAst::IntArray(_) | TypeAst::BoolArray(_)) {
                     self.diags.error("array types cannot be parameters", p.span);
                 }
             }
-            if matches!(func.ret, Some(TypeAst::IntArray(_)) | Some(TypeAst::BoolArray(_))) {
-                self.diags.error("array types cannot be returned", func.span);
+            if matches!(
+                func.ret,
+                Some(TypeAst::IntArray(_)) | Some(TypeAst::BoolArray(_))
+            ) {
+                self.diags
+                    .error("array types cannot be returned", func.span);
             }
         }
     }
@@ -365,7 +418,8 @@ impl<'a, 'd> Checker<'a, 'd> {
         let mut seen_params: HashMap<&str, ()> = HashMap::new();
         for p in &func.params {
             if seen_params.insert(&p.name, ()).is_some() {
-                self.diags.error(format!("duplicate parameter '{}'", p.name), p.span);
+                self.diags
+                    .error(format!("duplicate parameter '{}'", p.name), p.span);
             }
             scopes.declare(&p.name, p.ty, p.span);
         }
@@ -373,7 +427,10 @@ impl<'a, 'd> Checker<'a, 'd> {
         scopes.pop(); // parameters: unused params are not warned about
         if func.ret.is_some() && !Self::always_returns(&func.body) {
             self.diags.error(
-                format!("function '{}' does not return a value on all paths", func.name),
+                format!(
+                    "function '{}' does not return a value on all paths",
+                    func.name
+                ),
                 func.span,
             );
         }
@@ -383,9 +440,11 @@ impl<'a, 'd> Checker<'a, 'd> {
     fn always_returns(block: &Block) -> bool {
         block.stmts.iter().any(|stmt| match &stmt.kind {
             StmtKind::Return(_) => true,
-            StmtKind::If { then_block, else_block: Some(eb), .. } => {
-                Self::always_returns(then_block) && Self::always_returns(eb)
-            }
+            StmtKind::If {
+                then_block,
+                else_block: Some(eb),
+                ..
+            } => Self::always_returns(then_block) && Self::always_returns(eb),
             StmtKind::Block(b) => Self::always_returns(b),
             _ => false,
         })
@@ -402,7 +461,10 @@ impl<'a, 'd> Checker<'a, 'd> {
                 );
             }
             self.check_stmt(stmt, func, scopes, loops);
-            if matches!(stmt.kind, StmtKind::Return(_) | StmtKind::Break | StmtKind::Continue) {
+            if matches!(
+                stmt.kind,
+                StmtKind::Return(_) | StmtKind::Break | StmtKind::Continue
+            ) {
                 terminated_at = Some(stmt.span);
             }
         }
@@ -422,16 +484,20 @@ impl<'a, 'd> Checker<'a, 'd> {
                 let is_array = matches!(ty, TypeAst::IntArray(_) | TypeAst::BoolArray(_));
                 match (is_array, init) {
                     (true, Some(e)) => {
-                        self.diags.error("array declarations cannot have initializers", e.span);
+                        self.diags
+                            .error("array declarations cannot have initializers", e.span);
                     }
                     (false, None) => {
-                        self.diags.error("scalar 'let' requires an initializer", stmt.span);
+                        self.diags
+                            .error("scalar 'let' requires an initializer", stmt.span);
                     }
                     (false, Some(e)) => {
                         if let Some(ety) = self.check_expr(e, scopes) {
                             if ety != *ty {
                                 self.diags.error(
-                                    format!("'{name}' declared '{ty}' but initializer has type '{ety}'"),
+                                    format!(
+                                        "'{name}' declared '{ty}' but initializer has type '{ety}'"
+                                    ),
                                     e.span,
                                 );
                             }
@@ -457,14 +523,16 @@ impl<'a, 'd> Checker<'a, 'd> {
                 let value_ty = self.check_expr(value, scopes);
                 if let (Some(t), Some(v)) = (target_ty, value_ty) {
                     if t != v {
-                        self.diags.error(
-                            format!("cannot assign '{v}' to '{t}' location"),
-                            value.span,
-                        );
+                        self.diags
+                            .error(format!("cannot assign '{v}' to '{t}' location"), value.span);
                     }
                 }
             }
-            StmtKind::If { cond, then_block, else_block } => {
+            StmtKind::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
                 self.expect_type(cond, TypeAst::Bool, scopes);
                 self.check_block(then_block, func, scopes, loops);
                 if let Some(eb) = else_block {
@@ -475,7 +543,12 @@ impl<'a, 'd> Checker<'a, 'd> {
                 self.expect_type(cond, TypeAst::Bool, scopes);
                 self.check_block(body, func, scopes, loops + 1);
             }
-            StmtKind::For { init, cond, step, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 scopes.push();
                 // (the induction variable is usually read by cond/step)
                 if let Some(init) = init {
@@ -493,7 +566,10 @@ impl<'a, 'd> Checker<'a, 'd> {
             StmtKind::Return(value) => match (func.ret, value) {
                 (None, Some(e)) => {
                     self.diags.error(
-                        format!("function '{}' returns nothing but a value is given", func.name),
+                        format!(
+                            "function '{}' returns nothing but a value is given",
+                            func.name
+                        ),
                         e.span,
                     );
                 }
@@ -517,9 +593,13 @@ impl<'a, 'd> Checker<'a, 'd> {
             },
             StmtKind::Break | StmtKind::Continue => {
                 if loops == 0 {
-                    let word =
-                        if matches!(stmt.kind, StmtKind::Break) { "break" } else { "continue" };
-                    self.diags.error(format!("'{word}' outside of a loop"), stmt.span);
+                    let word = if matches!(stmt.kind, StmtKind::Break) {
+                        "break"
+                    } else {
+                        "continue"
+                    };
+                    self.diags
+                        .error(format!("'{word}' outside of a loop"), stmt.span);
                 }
             }
             StmtKind::Expr(e) => {
@@ -541,9 +621,11 @@ impl<'a, 'd> Checker<'a, 'd> {
                 Some(ty) => Some(ty),
                 None => {
                     if self.globals.contains_key(name) {
-                        self.diags.error(format!("cannot assign to constant '{name}'"), *span);
+                        self.diags
+                            .error(format!("cannot assign to constant '{name}'"), *span);
                     } else {
-                        self.diags.error(format!("unknown variable '{name}'"), *span);
+                        self.diags
+                            .error(format!("unknown variable '{name}'"), *span);
                     }
                     None
                 }
@@ -554,11 +636,13 @@ impl<'a, 'd> Checker<'a, 'd> {
                     Some(TypeAst::IntArray(_)) => Some(TypeAst::Int),
                     Some(TypeAst::BoolArray(_)) => Some(TypeAst::Bool),
                     Some(ty) => {
-                        self.diags.error(format!("cannot index '{ty}' value '{name}'"), *span);
+                        self.diags
+                            .error(format!("cannot index '{ty}' value '{name}'"), *span);
                         None
                     }
                     None => {
-                        self.diags.error(format!("unknown variable '{name}'"), *span);
+                        self.diags
+                            .error(format!("unknown variable '{name}'"), *span);
                         None
                     }
                 }
@@ -579,7 +663,10 @@ impl<'a, 'd> Checker<'a, 'd> {
     fn check_expr(&mut self, expr: &Expr, scopes: &mut Scopes) -> Option<TypeAst> {
         let ty = self.check_expr_allow_void(expr, scopes);
         if ty.is_none() && matches!(&expr.kind, ExprKind::Call { .. }) && self.last_call_was_void {
-            self.diags.error("call to a function that returns nothing used as a value", expr.span);
+            self.diags.error(
+                "call to a function that returns nothing used as a value",
+                expr.span,
+            );
         }
         ty
     }
@@ -604,7 +691,8 @@ impl<'a, 'd> Checker<'a, 'd> {
                 } else if let Some(&(ty, _)) = self.globals.get(name) {
                     Some(ty)
                 } else {
-                    self.diags.error(format!("unknown variable '{name}'"), expr.span);
+                    self.diags
+                        .error(format!("unknown variable '{name}'"), expr.span);
                     None
                 }
             }
@@ -619,7 +707,8 @@ impl<'a, 'd> Checker<'a, 'd> {
                         None
                     }
                     None => {
-                        self.diags.error(format!("unknown variable '{name}'"), expr.span);
+                        self.diags
+                            .error(format!("unknown variable '{name}'"), expr.span);
                         None
                     }
                 }
@@ -654,14 +743,16 @@ impl<'a, 'd> Checker<'a, 'd> {
                     if lt == rt && matches!(lt, TypeAst::Int | TypeAst::Bool) {
                         Some(TypeAst::Bool)
                     } else {
-                        self.diags.error(
-                            format!("cannot compare '{lt}' with '{rt}'"),
-                            expr.span,
-                        );
+                        self.diags
+                            .error(format!("cannot compare '{lt}' with '{rt}'"), expr.span);
                         None
                     }
                 } else if lt == TypeAst::Int && rt == TypeAst::Int {
-                    Some(if op.is_comparison() { TypeAst::Bool } else { TypeAst::Int })
+                    Some(if op.is_comparison() {
+                        TypeAst::Bool
+                    } else {
+                        TypeAst::Int
+                    })
                 } else {
                     self.diags.error(
                         format!("'{op}' requires 'int' operands, found '{lt}' and '{rt}'"),
@@ -674,10 +765,8 @@ impl<'a, 'd> Checker<'a, 'd> {
                 let sig: Option<FuncSig> = match module {
                     Some(m) => {
                         if !self.module.imports.iter().any(|i| &i.module == m) {
-                            self.diags.error(
-                                format!("module '{m}' is not imported"),
-                                expr.span,
-                            );
+                            self.diags
+                                .error(format!("module '{m}' is not imported"), expr.span);
                             return None;
                         }
                         match self.env.get(m).and_then(|i| i.functions.get(name)) {
@@ -882,18 +971,29 @@ mod tests {
         let mut iface = ModuleInterface::default();
         iface.functions.insert(
             "helper".into(),
-            FuncSig { name: "helper".into(), params: vec![TypeAst::Int], ret: Some(TypeAst::Int) },
+            FuncSig {
+                name: "helper".into(),
+                params: vec![TypeAst::Int],
+                ret: Some(TypeAst::Int),
+            },
         );
         env.insert("util", iface);
-        let (m, d) =
-            check_src_env("import util;\nfn f() -> int { return util::helper(1); }", &env);
+        let (m, d) = check_src_env(
+            "import util;\nfn f() -> int { return util::helper(1); }",
+            &env,
+        );
         assert!(m.is_some(), "{d:?}");
         // Wrong arg type:
-        let (m, _) =
-            check_src_env("import util;\nfn f() -> int { return util::helper(true); }", &env);
+        let (m, _) = check_src_env(
+            "import util;\nfn f() -> int { return util::helper(true); }",
+            &env,
+        );
         assert!(m.is_none());
         // Not imported:
-        let (m, _) = check_src_env("fn f() -> int { return util::helper(1); }", &ModuleEnv::new());
+        let (m, _) = check_src_env(
+            "fn f() -> int { return util::helper(1); }",
+            &ModuleEnv::new(),
+        );
         assert!(m.is_none());
     }
 
@@ -963,44 +1063,64 @@ mod tests {
     #[test]
     fn underscore_names_suppress_unused_warning() {
         let (_, d) = check_src("fn f() { let _x: int = 1; }");
-        assert!(!d.iter().any(|diag| diag.message.contains("never read")), "{d:?}");
+        assert!(
+            !d.iter().any(|diag| diag.message.contains("never read")),
+            "{d:?}"
+        );
     }
 
     #[test]
     fn write_only_variable_still_warns() {
         let (_, d) = check_src("fn f() { let x: int = 1; x = 2; }");
-        assert!(d.iter().any(|diag| diag.message.contains("never read")), "{d:?}");
+        assert!(
+            d.iter().any(|diag| diag.message.contains("never read")),
+            "{d:?}"
+        );
     }
 
     #[test]
     fn used_variable_does_not_warn() {
         let (_, d) = check_src("fn f() -> int { let x: int = 1; return x; }");
-        assert!(!d.iter().any(|diag| diag.message.contains("never read")), "{d:?}");
+        assert!(
+            !d.iter().any(|diag| diag.message.contains("never read")),
+            "{d:?}"
+        );
     }
 
     #[test]
     fn unused_parameter_does_not_warn() {
         let (_, d) = check_src("fn f(a: int) {}");
-        assert!(!d.iter().any(|diag| diag.message.contains("never read")), "{d:?}");
+        assert!(
+            !d.iter().any(|diag| diag.message.contains("never read")),
+            "{d:?}"
+        );
     }
 
     #[test]
     fn warns_on_unreachable_statement() {
         let (m, d) = check_src("fn f() -> int { return 1; print(2); }");
         assert!(m.is_some());
-        assert!(d.iter().any(|diag| diag.message.contains("unreachable")), "{d:?}");
+        assert!(
+            d.iter().any(|diag| diag.message.contains("unreachable")),
+            "{d:?}"
+        );
     }
 
     #[test]
     fn warns_on_code_after_break() {
-        let (_, d) =
-            check_src("fn f() { while (true) { break; print(1); } }");
-        assert!(d.iter().any(|diag| diag.message.contains("unreachable")), "{d:?}");
+        let (_, d) = check_src("fn f() { while (true) { break; print(1); } }");
+        assert!(
+            d.iter().any(|diag| diag.message.contains("unreachable")),
+            "{d:?}"
+        );
     }
 
     #[test]
     fn no_unreachable_warning_for_straightline() {
         let (_, d) = check_src("fn f() { print(1); print(2); }");
-        assert!(!d.iter().any(|diag| diag.message.contains("unreachable")), "{d:?}");
+        assert!(
+            !d.iter().any(|diag| diag.message.contains("unreachable")),
+            "{d:?}"
+        );
     }
 }

@@ -215,12 +215,20 @@ pub struct Token {
 impl Token {
     /// Creates a non-literal token.
     pub fn new(kind: TokenKind, span: Span) -> Self {
-        Token { kind, span, value: 0 }
+        Token {
+            kind,
+            span,
+            value: 0,
+        }
     }
 
     /// Creates an integer-literal token with its parsed value.
     pub fn int(span: Span, value: i64) -> Self {
-        Token { kind: TokenKind::IntLit, span, value }
+        Token {
+            kind: TokenKind::IntLit,
+            span,
+            value,
+        }
     }
 }
 

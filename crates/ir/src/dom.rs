@@ -83,7 +83,12 @@ impl DomTree {
             }
         }
 
-        DomTree { idom, children, po_index, rpo }
+        DomTree {
+            idom,
+            children,
+            po_index,
+            rpo,
+        }
     }
 
     /// The immediate dominator of `block` (`entry`'s idom is itself);
@@ -247,8 +252,7 @@ mod tests {
     fn children_partition_reachable_blocks() {
         let (f, ..) = diamond();
         let dt = DomTree::compute(&f);
-        let total_children: usize =
-            f.block_ids().map(|b| dt.children(b).len()).sum();
+        let total_children: usize = f.block_ids().map(|b| dt.children(b).len()).sum();
         // every reachable non-entry block is someone's child
         assert_eq!(total_children, 3);
     }

@@ -87,17 +87,26 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(fingerprint(&make("a", BinKind::Add)), fingerprint(&make("a", BinKind::Add)));
+        assert_eq!(
+            fingerprint(&make("a", BinKind::Add)),
+            fingerprint(&make("a", BinKind::Add))
+        );
     }
 
     #[test]
     fn name_independent() {
-        assert_eq!(fingerprint(&make("a", BinKind::Add)), fingerprint(&make("b", BinKind::Add)));
+        assert_eq!(
+            fingerprint(&make("a", BinKind::Add)),
+            fingerprint(&make("b", BinKind::Add))
+        );
     }
 
     #[test]
     fn structure_sensitive() {
-        assert_ne!(fingerprint(&make("a", BinKind::Add)), fingerprint(&make("a", BinKind::Mul)));
+        assert_ne!(
+            fingerprint(&make("a", BinKind::Add)),
+            fingerprint(&make("a", BinKind::Mul))
+        );
     }
 
     #[test]

@@ -16,7 +16,10 @@ pub struct BlockData {
 
 impl Default for BlockData {
     fn default() -> Self {
-        BlockData { insts: Vec::new(), term: Terminator::Trap }
+        BlockData {
+            insts: Vec::new(),
+            term: Terminator::Trap,
+        }
     }
 }
 
@@ -130,9 +133,8 @@ impl Function {
 
     /// Iterates `(block, inst)` pairs in layout order.
     pub fn iter_insts(&self) -> impl Iterator<Item = (BlockId, InstId)> + '_ {
-        self.block_ids().flat_map(move |b| {
-            self.block(b).insts.iter().map(move |&i| (b, i))
-        })
+        self.block_ids()
+            .flat_map(move |b| self.block(b).insts.iter().map(move |&i| (b, i)))
     }
 
     /// The type of a value reference in this function.
@@ -205,7 +207,10 @@ pub struct Module {
 impl Module {
     /// Creates an empty module.
     pub fn new(name: impl Into<String>) -> Self {
-        Module { name: name.into(), functions: Vec::new() }
+        Module {
+            name: name.into(),
+            functions: Vec::new(),
+        }
     }
 
     /// Adds a function, returning its index.
@@ -265,12 +270,18 @@ pub struct FuncBuilder<'f> {
 impl<'f> FuncBuilder<'f> {
     /// Positions a builder at the function's entry block.
     pub fn at_entry(func: &'f mut Function) -> Self {
-        FuncBuilder { func, cursor: ENTRY }
+        FuncBuilder {
+            func,
+            cursor: ENTRY,
+        }
     }
 
     /// Positions a builder at `block`.
     pub fn at(func: &'f mut Function, block: BlockId) -> Self {
-        FuncBuilder { func, cursor: block }
+        FuncBuilder {
+            func,
+            cursor: block,
+        }
     }
 
     /// The block instructions are currently appended to.
@@ -294,7 +305,9 @@ impl<'f> FuncBuilder<'f> {
     }
 
     fn push(&mut self, op: Op, args: Vec<ValueRef>, ty: Ty) -> ValueRef {
-        let id = self.func.append_inst(self.cursor, InstData::new(op, args, ty));
+        let id = self
+            .func
+            .append_inst(self.cursor, InstData::new(op, args, ty));
         ValueRef::Inst(id)
     }
 
@@ -336,7 +349,12 @@ impl<'f> FuncBuilder<'f> {
     }
 
     /// Emits a call; `ret` of `None` produces a void instruction.
-    pub fn call(&mut self, callee: impl Into<String>, args: Vec<ValueRef>, ret: Option<Ty>) -> ValueRef {
+    pub fn call(
+        &mut self,
+        callee: impl Into<String>,
+        args: Vec<ValueRef>,
+        ret: Option<Ty>,
+    ) -> ValueRef {
         self.push(Op::Call(callee.into()), args, ret.unwrap_or(Ty::Void))
     }
 
@@ -371,7 +389,11 @@ impl<'f> FuncBuilder<'f> {
 
     /// Terminates the cursor block with a conditional branch.
     pub fn cond_br(&mut self, cond: ValueRef, then_bb: BlockId, else_bb: BlockId) {
-        self.func.block_mut(self.cursor).term = Terminator::CondBr { cond, then_bb, else_bb };
+        self.func.block_mut(self.cursor).term = Terminator::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        };
     }
 
     /// Terminates the cursor block with a return.
@@ -428,7 +450,10 @@ mod tests {
         let mut map = HashMap::new();
         map.insert(v, ValueRef::Param(0));
         f.replace_uses(&map);
-        assert_eq!(f.block(ENTRY).term, Terminator::Ret(Some(ValueRef::Param(0))));
+        assert_eq!(
+            f.block(ENTRY).term,
+            Terminator::Ret(Some(ValueRef::Param(0)))
+        );
     }
 
     #[test]
@@ -442,7 +467,10 @@ mod tests {
         map.insert(c, a);
         map.insert(a, ValueRef::Param(0));
         f.replace_uses(&map);
-        assert_eq!(f.block(ENTRY).term, Terminator::Ret(Some(ValueRef::Param(0))));
+        assert_eq!(
+            f.block(ENTRY).term,
+            Terminator::Ret(Some(ValueRef::Param(0)))
+        );
     }
 
     #[test]

@@ -372,7 +372,9 @@ impl Terminator {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Terminator::Br(b) => vec![*b],
-            Terminator::CondBr { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            Terminator::CondBr {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
             Terminator::Ret(_) | Terminator::Trap => vec![],
         }
     }
@@ -381,7 +383,9 @@ impl Terminator {
     pub fn map_successors(&mut self, mut f: impl FnMut(BlockId) -> BlockId) {
         match self {
             Terminator::Br(b) => *b = f(*b),
-            Terminator::CondBr { then_bb, else_bb, .. } => {
+            Terminator::CondBr {
+                then_bb, else_bb, ..
+            } => {
                 *then_bb = f(*then_bb);
                 *else_bb = f(*else_bb);
             }
@@ -424,9 +428,14 @@ mod tests {
     #[test]
     fn icmp_eval_and_negation() {
         for (a, b) in [(1, 2), (2, 2), (3, 2), (i64::MIN, i64::MAX)] {
-            for pred in
-                [IcmpPred::Eq, IcmpPred::Ne, IcmpPred::Slt, IcmpPred::Sle, IcmpPred::Sgt, IcmpPred::Sge]
-            {
+            for pred in [
+                IcmpPred::Eq,
+                IcmpPred::Ne,
+                IcmpPred::Slt,
+                IcmpPred::Sle,
+                IcmpPred::Sgt,
+                IcmpPred::Sge,
+            ] {
                 assert_eq!(pred.eval(a, b), !pred.negated().eval(a, b));
                 assert_eq!(pred.eval(a, b), pred.swapped().eval(b, a));
             }

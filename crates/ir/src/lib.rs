@@ -80,11 +80,14 @@ mod proptests {
             |steps| {
                 let mut f = Function::new("p", vec![Ty::I64, Ty::I64], Some(Ty::I64));
                 let mut b = FuncBuilder::at_entry(&mut f);
-                let mut defined: Vec<ValueRef> =
-                    vec![ValueRef::Param(0), ValueRef::Param(1)];
+                let mut defined: Vec<ValueRef> = vec![ValueRef::Param(0), ValueRef::Param(1)];
                 for (kind, l, r, c) in steps {
                     let lhs = defined[l % defined.len()];
-                    let rhs = if r % 3 == 0 { ValueRef::int(c) } else { defined[r % defined.len()] };
+                    let rhs = if r % 3 == 0 {
+                        ValueRef::int(c)
+                    } else {
+                        defined[r % defined.len()]
+                    };
                     let v = b.bin(kind, lhs, rhs);
                     defined.push(v);
                 }

@@ -32,7 +32,11 @@ impl Loop {
             .iter()
             .copied()
             .filter(|&b| {
-                func.block(b).term.successors().iter().any(|s| !self.contains(*s))
+                func.block(b)
+                    .term
+                    .successors()
+                    .iter()
+                    .any(|s| !self.contains(*s))
             })
             .collect()
     }
@@ -60,9 +64,7 @@ impl Loop {
             .filter(|p| !self.contains(*p))
             .collect();
         match outside.as_slice() {
-            [single] if func.block(*single).term.successors() == vec![self.header] => {
-                Some(*single)
-            }
+            [single] if func.block(*single).term.successors() == vec![self.header] => Some(*single),
             _ => None,
         }
     }
@@ -128,12 +130,20 @@ impl LoopForest {
             }
             let mut blocks: Vec<BlockId> = body.into_iter().collect();
             blocks.sort();
-            loops.push(Loop { header, blocks, depth: 0, parent: None });
+            loops.push(Loop {
+                header,
+                blocks,
+                depth: 0,
+                parent: None,
+            });
         }
 
         // Sort outermost first (larger body first; ties by header id).
         loops.sort_by(|a, b| {
-            b.blocks.len().cmp(&a.blocks.len()).then(a.header.cmp(&b.header))
+            b.blocks
+                .len()
+                .cmp(&a.blocks.len())
+                .then(a.header.cmp(&b.header))
         });
 
         // Nesting: a loop's parent is the smallest strictly-larger loop
@@ -141,9 +151,7 @@ impl LoopForest {
         for i in 0..loops.len() {
             let mut parent: Option<usize> = None;
             for j in 0..i {
-                if loops[j].header != loops[i].header
-                    && loops[j].contains(loops[i].header)
-                {
+                if loops[j].header != loops[i].header && loops[j].contains(loops[i].header) {
                     parent = Some(j); // loops are sorted largest-first, so the
                                       // last match is the tightest enclosing one
                 }

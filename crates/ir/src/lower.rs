@@ -69,7 +69,13 @@ fn lower_function(checked: &CheckedModule, env: &ModuleEnv, def: &ast::FunctionD
     for (i, p) in def.params.iter().enumerate() {
         let ptr = b.alloca(1);
         b.store(ptr, ValueRef::Param(i as u32));
-        lowerer.declare(&p.name, Slot { ptr, elem: type_of(p.ty) });
+        lowerer.declare(
+            &p.name,
+            Slot {
+                ptr,
+                elem: type_of(p.ty),
+            },
+        );
     }
 
     lowerer.block(&mut b, &def.body);
@@ -147,11 +153,19 @@ impl<'a> Lowerer<'a> {
                     }
                 }
             }
-            StmtKind::If { cond, then_block, else_block } => {
+            StmtKind::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
                 let c = self.expr(b, cond);
                 let then_bb = b.new_block();
                 let join_bb = b.new_block();
-                let else_bb = if else_block.is_some() { b.new_block() } else { join_bb };
+                let else_bb = if else_block.is_some() {
+                    b.new_block()
+                } else {
+                    join_bb
+                };
                 b.cond_br(c, then_bb, else_bb);
 
                 b.switch_to(then_bb);
@@ -196,7 +210,12 @@ impl<'a> Lowerer<'a> {
                 b.switch_to(exit);
                 self.terminated = false;
             }
-            StmtKind::For { init, cond, step, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.scopes.push(HashMap::new());
                 if let Some(init) = init {
                     self.stmt(b, init);
@@ -262,7 +281,8 @@ impl<'a> Lowerer<'a> {
     }
 
     fn expr(&mut self, b: &mut FuncBuilder<'_>, expr: &ast::Expr) -> ValueRef {
-        self.expr_maybe_void(b, expr).expect("sema rejected void value uses")
+        self.expr_maybe_void(b, expr)
+            .expect("sema rejected void value uses")
     }
 
     fn expr_maybe_void(&mut self, b: &mut FuncBuilder<'_>, expr: &ast::Expr) -> Option<ValueRef> {
@@ -438,9 +458,7 @@ mod tests {
 
     #[test]
     fn lowers_arrays_with_gep() {
-        let m = lower_src(
-            "fn f() -> int { let a: [int; 8]; a[2] = 5; return a[2]; }",
-        );
+        let m = lower_src("fn f() -> int { let a: [int; 8]; a[2] = 5; return a[2]; }");
         let text = m.to_string();
         assert!(text.contains("alloca 8"), "{text}");
         assert!(text.contains("gep"), "{text}");
@@ -448,9 +466,7 @@ mod tests {
 
     #[test]
     fn lowers_short_circuit_and() {
-        let m = lower_src(
-            "fn f(a: int, b: int) -> bool { return a > 0 && b > 0; }",
-        );
+        let m = lower_src("fn f(a: int, b: int) -> bool { return a > 0 && b > 0; }");
         let f = m.function("f").unwrap();
         // Short circuit introduces extra blocks.
         assert!(f.block_count() >= 3, "{f}");
@@ -461,14 +477,11 @@ mod tests {
     #[test]
     fn short_circuit_skips_rhs_effects() {
         // Division by zero on the rhs must be behind control flow.
-        let m = lower_src(
-            "fn f(a: int, b: int) -> bool { return b != 0 && a / b > 1; }",
-        );
+        let m = lower_src("fn f(a: int, b: int) -> bool { return b != 0 && a / b > 1; }");
         let f = m.function("f").unwrap();
         let text = f.to_string();
         // sdiv must not be in the entry block.
-        let entry_text: String =
-            text.lines().take_while(|l| !l.starts_with("bb1")).collect();
+        let entry_text: String = text.lines().take_while(|l| !l.starts_with("bb1")).collect();
         assert!(!entry_text.contains("sdiv"), "{text}");
     }
 

@@ -65,11 +65,20 @@ impl<'a> FnParser<'a> {
             .map(|(i, l)| (i + 1, l.trim()))
             .filter(|(_, l)| !l.is_empty() && !l.starts_with(';'))
             .collect();
-        FnParser { lines, pos: 0, blocks: HashMap::new(), values: HashMap::new(), pending: Vec::new() }
+        FnParser {
+            lines,
+            pos: 0,
+            blocks: HashMap::new(),
+            values: HashMap::new(),
+            pending: Vec::new(),
+        }
     }
 
     fn err(&self, line: usize, message: impl Into<String>) -> IrParseError {
-        IrParseError { line, message: message.into() }
+        IrParseError {
+            line,
+            message: message.into(),
+        }
     }
 
     fn next_line(&mut self) -> Option<(usize, &'a str)> {
@@ -128,7 +137,11 @@ impl<'a> FnParser<'a> {
         let close = rest.find(')').ok_or_else(|| self.err(ln, "missing ')'"))?;
         let params_text = &rest[open + 1..close];
         let mut params = Vec::new();
-        for p in params_text.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        for p in params_text
+            .split(',')
+            .map(str::trim)
+            .filter(|p| !p.is_empty())
+        {
             params.push(self.parse_ty(ln, p)?);
         }
         let tail = rest[close + 1..].trim().trim_end_matches('{').trim();
@@ -165,11 +178,12 @@ impl<'a> FnParser<'a> {
             }
         }
         if s.starts_with('v') {
-            return self
-                .values
-                .get(s)
-                .copied()
-                .ok_or_else(|| self.err(ln, format!("unknown value '{s}' (forward refs only allowed in phi)")));
+            return self.values.get(s).copied().ok_or_else(|| {
+                self.err(
+                    ln,
+                    format!("unknown value '{s}' (forward refs only allowed in phi)"),
+                )
+            });
         }
         if let Ok(c) = s.parse::<i64>() {
             let ty = want.unwrap_or(Ty::I64);
@@ -239,7 +253,11 @@ impl<'a> FnParser<'a> {
             if !defines {
                 return Err(self.err(ln, "void instruction cannot define a value"));
             }
-            if self.values.insert(name.clone(), ValueRef::Inst(id)).is_some() {
+            if self
+                .values
+                .insert(name.clone(), ValueRef::Inst(id))
+                .is_some()
+            {
                 return Err(self.err(ln, format!("redefinition of '{name}'")));
             }
         } else if defines {
@@ -266,9 +284,13 @@ impl<'a> FnParser<'a> {
         let rest = rest.trim();
 
         let bin = |k: BinKind| -> Result<(InstData, bool), IrParseError> {
-            let (ty_s, ops) = rest.split_once(' ').ok_or_else(|| self.err(ln, "missing type"))?;
+            let (ty_s, ops) = rest
+                .split_once(' ')
+                .ok_or_else(|| self.err(ln, "missing type"))?;
             let ty = self.parse_ty(ln, ty_s)?;
-            let (a, b) = ops.split_once(',').ok_or_else(|| self.err(ln, "need two operands"))?;
+            let (a, b) = ops
+                .split_once(',')
+                .ok_or_else(|| self.err(ln, "need two operands"))?;
             let lhs = self.parse_value(ln, a, Some(ty))?;
             let rhs = self.parse_value(ln, b, Some(ty))?;
             Ok((InstData::new(Op::Bin(k), vec![lhs, rhs], ty), true))
@@ -286,8 +308,9 @@ impl<'a> FnParser<'a> {
             "shl" => bin(BinKind::Shl),
             "ashr" => bin(BinKind::Ashr),
             "icmp" => {
-                let (pred_s, ops) =
-                    rest.split_once(' ').ok_or_else(|| self.err(ln, "missing predicate"))?;
+                let (pred_s, ops) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| self.err(ln, "missing predicate"))?;
                 let pred = match pred_s {
                     "eq" => IcmpPred::Eq,
                     "ne" => IcmpPred::Ne,
@@ -297,15 +320,17 @@ impl<'a> FnParser<'a> {
                     "sge" => IcmpPred::Sge,
                     p => return Err(self.err(ln, format!("unknown predicate '{p}'"))),
                 };
-                let (a, b) =
-                    ops.split_once(',').ok_or_else(|| self.err(ln, "need two operands"))?;
+                let (a, b) = ops
+                    .split_once(',')
+                    .ok_or_else(|| self.err(ln, "need two operands"))?;
                 let lhs = self.parse_value(ln, a, Some(Ty::I64))?;
                 let rhs = self.parse_value(ln, b, Some(Ty::I64))?;
                 Ok((InstData::new(Op::Icmp(pred), vec![lhs, rhs], Ty::I1), true))
             }
             "select" => {
-                let (ty_s, ops) =
-                    rest.split_once(' ').ok_or_else(|| self.err(ln, "missing type"))?;
+                let (ty_s, ops) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| self.err(ln, "missing type"))?;
                 let ty = self.parse_ty(ln, ty_s)?;
                 let parts: Vec<&str> = ops.split(',').map(str::trim).collect();
                 if parts.len() != 3 {
@@ -317,27 +342,31 @@ impl<'a> FnParser<'a> {
                 Ok((InstData::new(Op::Select, vec![c, a, b], ty), true))
             }
             "alloca" => {
-                let size: u32 =
-                    rest.parse().map_err(|_| self.err(ln, "alloca needs a size"))?;
+                let size: u32 = rest
+                    .parse()
+                    .map_err(|_| self.err(ln, "alloca needs a size"))?;
                 Ok((InstData::new(Op::Alloca(size), vec![], Ty::Ptr), true))
             }
             "load" => {
-                let (ty_s, ptr_s) =
-                    rest.split_once(' ').ok_or_else(|| self.err(ln, "missing type"))?;
+                let (ty_s, ptr_s) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| self.err(ln, "missing type"))?;
                 let ty = self.parse_ty(ln, ty_s)?;
                 let ptr = self.parse_value(ln, ptr_s, Some(Ty::Ptr))?;
                 Ok((InstData::new(Op::Load, vec![ptr], ty), true))
             }
             "store" => {
-                let (p, v) =
-                    rest.split_once(',').ok_or_else(|| self.err(ln, "need two operands"))?;
+                let (p, v) = rest
+                    .split_once(',')
+                    .ok_or_else(|| self.err(ln, "need two operands"))?;
                 let ptr = self.parse_value(ln, p, Some(Ty::Ptr))?;
                 let val = self.parse_value(ln, v, Some(Ty::I64))?;
                 Ok((InstData::new(Op::Store, vec![ptr, val], Ty::Void), false))
             }
             "gep" => {
-                let (p, i) =
-                    rest.split_once(',').ok_or_else(|| self.err(ln, "need two operands"))?;
+                let (p, i) = rest
+                    .split_once(',')
+                    .ok_or_else(|| self.err(ln, "need two operands"))?;
                 let base = self.parse_value(ln, p, Some(Ty::Ptr))?;
                 let idx = self.parse_value(ln, i, Some(Ty::I64))?;
                 Ok((InstData::new(Op::Gep, vec![base, idx], Ty::Ptr), true))
@@ -347,8 +376,9 @@ impl<'a> FnParser<'a> {
                 let (ty, rest) = if let Some(r) = rest.strip_prefix('@') {
                     (Ty::Void, format!("@{r}"))
                 } else {
-                    let (ty_s, r) =
-                        rest.split_once(' ').ok_or_else(|| self.err(ln, "malformed call"))?;
+                    let (ty_s, r) = rest
+                        .split_once(' ')
+                        .ok_or_else(|| self.err(ln, "malformed call"))?;
                     (self.parse_ty(ln, ty_s)?, r.trim().to_string())
                 };
                 let rest = rest
@@ -358,7 +388,10 @@ impl<'a> FnParser<'a> {
                 let close = rest.rfind(')').ok_or_else(|| self.err(ln, "missing ')'"))?;
                 let callee = rest[..open].to_string();
                 let mut args = Vec::new();
-                for a in rest[open + 1..close].split(',').map(str::trim).filter(|a| !a.is_empty())
+                for a in rest[open + 1..close]
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|a| !a.is_empty())
                 {
                     args.push(self.parse_value(ln, a, Some(Ty::I64))?);
                 }
@@ -366,8 +399,9 @@ impl<'a> FnParser<'a> {
                 Ok((InstData::new(Op::Call(callee), args, ty), defines))
             }
             "phi" => {
-                let (ty_s, rest) =
-                    rest.split_once(' ').ok_or_else(|| self.err(ln, "missing type"))?;
+                let (ty_s, rest) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| self.err(ln, "missing type"))?;
                 let ty = self.parse_ty(ln, ty_s)?;
                 let mut blocks = Vec::new();
                 let mut args = Vec::new();
@@ -385,7 +419,8 @@ impl<'a> FnParser<'a> {
                             // patched in resolve_pending. InstId::MAX marks
                             // "the instruction being parsed".
                             args.push(ValueRef::Const(ty, 0));
-                            self.pending.push((InstId(u32::MAX), slot, v.to_string(), ln));
+                            self.pending
+                                .push((InstId(u32::MAX), slot, v.to_string(), ln));
                         }
                         Err(e) => return Err(e),
                     }
@@ -399,11 +434,10 @@ impl<'a> FnParser<'a> {
 
     fn resolve_pending(&mut self, func: &mut Function) -> Result<(), IrParseError> {
         for (inst, slot, name, ln) in std::mem::take(&mut self.pending) {
-            let v = self
-                .values
-                .get(&name)
-                .copied()
-                .ok_or_else(|| self.err(ln, format!("unresolved forward reference '{name}'")))?;
+            let v =
+                self.values.get(&name).copied().ok_or_else(|| {
+                    self.err(ln, format!("unresolved forward reference '{name}'"))
+                })?;
             func.inst_mut(inst).args[slot] = v;
         }
         Ok(())
@@ -426,10 +460,8 @@ mod tests {
 
     #[test]
     fn parses_simple_function() {
-        let f = parse_function(
-            "fn @inc(i64) -> i64 {\nbb0:\n  v0 = add i64 p0, 1\n  ret v0\n}",
-        )
-        .unwrap();
+        let f = parse_function("fn @inc(i64) -> i64 {\nbb0:\n  v0 = add i64 p0, 1\n  ret v0\n}")
+            .unwrap();
         assert_eq!(f.name, "inc");
         assert_eq!(f.params, vec![Ty::I64]);
         assert_eq!(f.live_inst_count(), 1);
@@ -556,10 +588,9 @@ bb0:
 
     #[test]
     fn comments_and_blank_lines_ignored() {
-        let f = parse_function(
-            "\n; a comment\nfn @f() -> i64 {\n\nbb0:\n  ; another\n  ret 4\n}\n",
-        )
-        .unwrap();
+        let f =
+            parse_function("\n; a comment\nfn @f() -> i64 {\n\nbb0:\n  ; another\n  ret 4\n}\n")
+                .unwrap();
         assert_eq!(f.name, "f");
     }
 }

@@ -108,12 +108,19 @@ fn write_function_impl(w: &mut impl Write, func: &Function, name: &str) -> fmt::
                 write!(w, "v{} = ", inst_names[&iid])?;
             }
             match &inst.op {
-                Op::Bin(k) => {
-                    write!(w, "{k} {} {}, {}", inst.ty, value(inst.args[0]), value(inst.args[1]))?
-                }
-                Op::Icmp(p) => {
-                    write!(w, "icmp {p} {}, {}", value(inst.args[0]), value(inst.args[1]))?
-                }
+                Op::Bin(k) => write!(
+                    w,
+                    "{k} {} {}, {}",
+                    inst.ty,
+                    value(inst.args[0]),
+                    value(inst.args[1])
+                )?,
+                Op::Icmp(p) => write!(
+                    w,
+                    "icmp {p} {}, {}",
+                    value(inst.args[0]),
+                    value(inst.args[1])
+                )?,
                 Op::Select => write!(
                     w,
                     "select {} {}, {}, {}",
@@ -124,9 +131,7 @@ fn write_function_impl(w: &mut impl Write, func: &Function, name: &str) -> fmt::
                 )?,
                 Op::Alloca(size) => write!(w, "alloca {size}")?,
                 Op::Load => write!(w, "load {} {}", inst.ty, value(inst.args[0]))?,
-                Op::Store => {
-                    write!(w, "store {}, {}", value(inst.args[0]), value(inst.args[1]))?
-                }
+                Op::Store => write!(w, "store {}, {}", value(inst.args[0]), value(inst.args[1]))?,
                 Op::Gep => write!(w, "gep {}, {}", value(inst.args[0]), value(inst.args[1]))?,
                 Op::Call(callee) => {
                     write!(w, "call")?;
@@ -164,7 +169,11 @@ fn write_function_impl(w: &mut impl Write, func: &Function, name: &str) -> fmt::
         }
         match &func.block(bid).term {
             Terminator::Br(t) => writeln!(w, "  br {}", block(*t))?,
-            Terminator::CondBr { cond, then_bb, else_bb } => writeln!(
+            Terminator::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => writeln!(
                 w,
                 "  condbr {}, {}, {}",
                 value(*cond),

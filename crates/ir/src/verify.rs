@@ -22,7 +22,11 @@ pub struct VerifyError {
 
 impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "ir verify failed in '{}': {}", self.function, self.message)
+        write!(
+            f,
+            "ir verify failed in '{}': {}",
+            self.function, self.message
+        )
     }
 }
 
@@ -65,7 +69,10 @@ struct Verifier<'f> {
 
 impl<'f> Verifier<'f> {
     fn fail(&self, message: impl Into<String>) -> VerifyError {
-        VerifyError { function: self.func.name.clone(), message: message.into() }
+        VerifyError {
+            function: self.func.name.clone(),
+            message: message.into(),
+        }
     }
 
     fn check_block_id(&self, b: BlockId, what: &str) -> Result<(), VerifyError> {
@@ -87,9 +94,7 @@ impl<'f> Verifier<'f> {
                     return Err(self.fail(format!("block {b} lists out-of-range inst {i}")));
                 }
                 if let Some(prev) = owner.insert(i, b) {
-                    return Err(
-                        self.fail(format!("inst {i} attached to both {prev} and {b}"))
-                    );
+                    return Err(self.fail(format!("inst {i} attached to both {prev} and {b}")));
                 }
             }
         }
@@ -201,9 +206,7 @@ impl<'f> Verifier<'f> {
                     Ty::I64 => {}
                     Ty::I1 if logical_ok => {}
                     other => {
-                        return Err(
-                            self.fail(format!("bin {i}: {kind} not defined on {other}"))
-                        )
+                        return Err(self.fail(format!("bin {i}: {kind} not defined on {other}")))
                     }
                 }
             }
@@ -314,18 +317,15 @@ impl<'f> Verifier<'f> {
                 let mut seen = HashSet::new();
                 for &pb in blocks {
                     if dom.is_reachable(pb) && !seen.insert(pb) {
-                        return Err(
-                            self.fail(format!("phi {i}: duplicate incoming block {pb}"))
-                        );
+                        return Err(self.fail(format!("phi {i}: duplicate incoming block {pb}")));
                     }
                 }
                 for &v in &inst.args {
                     let t = self.operand_ty(v)?;
                     if t != inst.ty {
-                        return Err(self.fail(format!(
-                            "phi {i}: incoming type {t} != result {}",
-                            inst.ty
-                        )));
+                        return Err(
+                            self.fail(format!("phi {i}: incoming type {t} != result {}", inst.ty))
+                        );
                     }
                 }
             }
@@ -350,9 +350,7 @@ impl<'f> Verifier<'f> {
                 (Some(rt), Some(v)) => {
                     let t = self.operand_ty(*v)?;
                     if t != rt {
-                        return Err(
-                            self.fail(format!("ret in {b}: returns {t}, expected {rt}"))
-                        );
+                        return Err(self.fail(format!("ret in {b}: returns {t}, expected {rt}")));
                     }
                 }
                 (None, None) => {}
@@ -378,30 +376,30 @@ impl<'f> Verifier<'f> {
             }
         }
 
-        let check_use = |user_block: BlockId,
-                         user_pos: usize,
-                         used: ValueRef|
-         -> Result<(), VerifyError> {
-            let ValueRef::Inst(def) = used else { return Ok(()) };
-            let Some(&def_block) = owner.get(&def) else {
-                return Err(self.fail(format!("use of detached inst {def}")));
-            };
-            if !dom.is_reachable(user_block) {
-                return Ok(());
-            }
-            if def_block == user_block {
-                if position[&def] >= user_pos {
+        let check_use =
+            |user_block: BlockId, user_pos: usize, used: ValueRef| -> Result<(), VerifyError> {
+                let ValueRef::Inst(def) = used else {
+                    return Ok(());
+                };
+                let Some(&def_block) = owner.get(&def) else {
+                    return Err(self.fail(format!("use of detached inst {def}")));
+                };
+                if !dom.is_reachable(user_block) {
+                    return Ok(());
+                }
+                if def_block == user_block {
+                    if position[&def] >= user_pos {
+                        return Err(
+                            self.fail(format!("inst {def} used before definition in {user_block}"))
+                        );
+                    }
+                } else if !dom.dominates(def_block, user_block) {
                     return Err(self.fail(format!(
-                        "inst {def} used before definition in {user_block}"
+                        "def of {def} in {def_block} does not dominate use in {user_block}"
                     )));
                 }
-            } else if !dom.dominates(def_block, user_block) {
-                return Err(self.fail(format!(
-                    "def of {def} in {def_block} does not dominate use in {user_block}"
-                )));
-            }
-            Ok(())
-        };
+                Ok(())
+            };
 
         for b in func.block_ids() {
             if !dom.is_reachable(b) {
@@ -614,7 +612,11 @@ mod tests {
         let b1 = f.add_block();
         let id = f.append_inst(
             ENTRY,
-            InstData::new(Op::Bin(BinKind::Add), vec![ValueRef::int(1), ValueRef::int(1)], Ty::I64),
+            InstData::new(
+                Op::Bin(BinKind::Add),
+                vec![ValueRef::int(1), ValueRef::int(1)],
+                Ty::I64,
+            ),
         );
         f.block_mut(b1).insts.push(id);
         f.block_mut(ENTRY).term = Terminator::Br(b1);

@@ -23,24 +23,23 @@ impl Pass for ConstFold {
             for (_, iid) in func.iter_insts() {
                 let inst = func.inst(iid);
                 let folded = match &inst.op {
-                    Op::Bin(kind) => {
-                        match (inst.args[0].as_const(), inst.args[1].as_const()) {
-                            (Some((ty, a)), Some((_, b))) => kind
-                                .eval(a, b)
-                                .map(|v| ValueRef::Const(ty, if ty == Ty::I1 { v & 1 } else { v })),
-                            _ => None,
-                        }
-                    }
-                    Op::Icmp(pred) => {
-                        match (inst.args[0].as_const(), inst.args[1].as_const()) {
-                            (Some((_, a)), Some((_, b))) => Some(ValueRef::bool(pred.eval(a, b))),
-                            _ => None,
-                        }
-                    }
-                    Op::Select => match inst.args[0].as_const() {
-                        Some((_, c)) => Some(if c != 0 { inst.args[1] } else { inst.args[2] }),
-                        None => None,
+                    Op::Bin(kind) => match (inst.args[0].as_const(), inst.args[1].as_const()) {
+                        (Some((ty, a)), Some((_, b))) => kind
+                            .eval(a, b)
+                            .map(|v| ValueRef::Const(ty, if ty == Ty::I1 { v & 1 } else { v })),
+                        _ => None,
                     },
+                    Op::Icmp(pred) => match (inst.args[0].as_const(), inst.args[1].as_const()) {
+                        (Some((_, a)), Some((_, b))) => Some(ValueRef::bool(pred.eval(a, b))),
+                        _ => None,
+                    },
+                    Op::Select => inst.args[0].as_const().map(|(_, c)| {
+                        if c != 0 {
+                            inst.args[1]
+                        } else {
+                            inst.args[2]
+                        }
+                    }),
                     _ => None,
                 };
                 if let Some(v) = folded {
@@ -73,9 +72,8 @@ mod tests {
 
     #[test]
     fn folds_arith_chain() {
-        let (changed, text) = run(
-            "fn @f() -> i64 {\nbb0:\n  v0 = add i64 2, 3\n  v1 = mul i64 v0, 4\n  ret v1\n}",
-        );
+        let (changed, text) =
+            run("fn @f() -> i64 {\nbb0:\n  v0 = add i64 2, 3\n  v1 = mul i64 v0, 4\n  ret v1\n}");
         assert!(changed);
         assert!(text.contains("ret 20"), "{text}");
         assert!(!text.contains("add"), "{text}");
@@ -92,8 +90,7 @@ mod tests {
 
     #[test]
     fn division_by_zero_not_folded() {
-        let (changed, text) =
-            run("fn @f() -> i64 {\nbb0:\n  v0 = sdiv i64 1, 0\n  ret v0\n}");
+        let (changed, text) = run("fn @f() -> i64 {\nbb0:\n  v0 = sdiv i64 1, 0\n  ret v0\n}");
         assert!(!changed);
         assert!(text.contains("sdiv"), "{text}");
     }
@@ -109,15 +106,13 @@ mod tests {
 
     #[test]
     fn dormant_without_constants() {
-        let (changed, _) =
-            run("fn @f(i64) -> i64 {\nbb0:\n  v0 = add i64 p0, 1\n  ret v0\n}");
+        let (changed, _) = run("fn @f(i64) -> i64 {\nbb0:\n  v0 = add i64 p0, 1\n  ret v0\n}");
         assert!(!changed);
     }
 
     #[test]
     fn i1_xor_folds_in_range() {
-        let (changed, text) =
-            run("fn @f() -> i1 {\nbb0:\n  v0 = xor i1 true, true\n  ret v0\n}");
+        let (changed, text) = run("fn @f() -> i1 {\nbb0:\n  v0 = xor i1 true, true\n  ret v0\n}");
         assert!(changed);
         assert!(text.contains("ret false"), "{text}");
     }

@@ -73,8 +73,7 @@ mod tests {
 
     #[test]
     fn removes_phi_with_equal_inputs() {
-        let (c, text) = run(
-            r"
+        let (c, text) = run(r"
 fn @f(i1, i64) -> i64 {
 bb0:
   condbr p0, bb1, bb2
@@ -85,8 +84,7 @@ bb2:
 bb3:
   v0 = phi i64 [bb1: p1], [bb2: p1]
   ret v0
-}",
-        );
+}");
         assert!(c);
         assert!(text.contains("ret p1"), "{text}");
         assert!(!text.contains("phi"), "{text}");
@@ -95,8 +93,7 @@ bb3:
     #[test]
     fn removes_self_referential_loop_phi() {
         // A loop-carried value that never actually changes.
-        let (c, text) = run(
-            r"
+        let (c, text) = run(r"
 fn @f(i64) -> i64 {
 bb0:
   br bb1
@@ -110,16 +107,14 @@ bb2:
   br bb1
 bb3:
   ret v0
-}",
-        );
+}");
         assert!(c);
         assert!(text.contains("ret p0"), "{text}");
     }
 
     #[test]
     fn keeps_real_phi() {
-        let (c, _) = run(
-            r"
+        let (c, _) = run(r"
 fn @f(i1) -> i64 {
 bb0:
   condbr p0, bb1, bb2
@@ -130,16 +125,14 @@ bb2:
 bb3:
   v0 = phi i64 [bb1: 1], [bb2: 2]
   ret v0
-}",
-        );
+}");
         assert!(!c);
     }
 
     #[test]
     fn cascading_trivial_phis() {
         // v1 becomes trivial only after v0 resolves.
-        let (c, text) = run(
-            r"
+        let (c, text) = run(r"
 fn @f(i1, i64) -> i64 {
 bb0:
   condbr p0, bb1, bb2
@@ -157,8 +150,7 @@ bb5:
 bb6:
   v1 = phi i64 [bb4: v0], [bb5: p1]
   ret v1
-}",
-        );
+}");
         assert!(c);
         assert!(text.contains("ret p1"), "{text}");
     }

@@ -45,7 +45,9 @@ impl Pass for Cse {
                 let mut seen: HashMap<(String, Vec<ValueRef>), InstId> = HashMap::new();
                 for &iid in &func.block(b).insts {
                     let inst = func.inst(iid);
-                    let Some(key) = expr_key(&inst.op, &inst.args) else { continue };
+                    let Some(key) = expr_key(&inst.op, &inst.args) else {
+                        continue;
+                    };
                     match seen.get(&key) {
                         Some(&prev) => {
                             map.insert(ValueRef::Inst(iid), ValueRef::Inst(prev));
@@ -125,8 +127,7 @@ mod tests {
 
     #[test]
     fn different_blocks_not_merged() {
-        let (c, _) = run(
-            r"
+        let (c, _) = run(r"
 fn @f(i64) -> i64 {
 bb0:
   v0 = add i64 p0, 1
@@ -135,8 +136,7 @@ bb1:
   v1 = add i64 p0, 1
   v2 = add i64 v0, v1
   ret v2
-}",
-        );
+}");
         assert!(!c); // local CSE only; gvn handles cross-block
     }
 

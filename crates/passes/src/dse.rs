@@ -97,8 +97,7 @@ mod tests {
     #[test]
     fn final_store_survives_block_end() {
         // The successor reads the slot; the store at the end must stay.
-        let (c, text) = run(
-            r"
+        let (c, text) = run(r"
 fn @f() -> i64 {
 bb0:
   v0 = alloca 1
@@ -108,8 +107,7 @@ bb0:
 bb1:
   v1 = load i64 v0
   ret v1
-}",
-        );
+}");
         assert!(c);
         assert!(text.contains("store v0, 2"), "{text}");
         assert!(!text.contains("store v0, 1"), "{text}");

@@ -45,7 +45,9 @@ impl Pass for Gvn {
                         let mut added = Vec::new();
                         for &iid in &func.block(b).insts {
                             let inst = func.inst(iid);
-                            let Some(key) = expr_key(&inst.op, &inst.args) else { continue };
+                            let Some(key) = expr_key(&inst.op, &inst.args) else {
+                                continue;
+                            };
                             match table.get(&key) {
                                 Some(&prev) => {
                                     map.insert(ValueRef::Inst(iid), ValueRef::Inst(prev));
@@ -89,8 +91,7 @@ mod tests {
 
     #[test]
     fn merges_across_dominating_blocks() {
-        let (c, text) = run(
-            r"
+        let (c, text) = run(r"
 fn @f(i64) -> i64 {
 bb0:
   v0 = add i64 p0, 1
@@ -99,8 +100,7 @@ bb1:
   v1 = add i64 p0, 1
   v2 = add i64 v0, v1
   ret v2
-}",
-        );
+}");
         assert!(c);
         assert_eq!(text.matches("add i64 p0, 1").count(), 1, "{text}");
     }
@@ -108,8 +108,7 @@ bb1:
     #[test]
     fn sibling_branches_not_merged() {
         // The same expression in two non-dominating branches must stay.
-        let (c, _) = run(
-            r"
+        let (c, _) = run(r"
 fn @f(i1, i64) -> i64 {
 bb0:
   condbr p0, bb1, bb2
@@ -122,15 +121,13 @@ bb2:
 bb3:
   v2 = phi i64 [bb1: v0], [bb2: v1]
   ret v2
-}",
-        );
+}");
         assert!(!c);
     }
 
     #[test]
     fn branch_reuses_dominating_value() {
-        let (c, text) = run(
-            r"
+        let (c, text) = run(r"
 fn @f(i1, i64) -> i64 {
 bb0:
   v0 = mul i64 p1, 3
@@ -140,16 +137,14 @@ bb1:
   ret v1
 bb2:
   ret v0
-}",
-        );
+}");
         assert!(c);
         assert_eq!(text.matches("mul").count(), 1, "{text}");
     }
 
     #[test]
     fn loop_body_reuses_header_value() {
-        let (c, text) = run(
-            r"
+        let (c, text) = run(r"
 fn @f(i64) -> i64 {
 bb0:
   br bb1
@@ -164,8 +159,7 @@ bb2:
   br bb1
 bb3:
   ret v0
-}",
-        );
+}");
         assert!(c);
         assert_eq!(text.matches("mul").count(), 1, "{text}");
     }

@@ -8,9 +8,7 @@
 //! per-TU compilation model of the paper's Clang prototype.
 
 use crate::Pass;
-use sfcc_ir::{
-    BlockId, Function, InstData, InstId, Module, Op, Terminator, Ty, ValueRef,
-};
+use sfcc_ir::{BlockId, Function, InstData, InstId, Module, Op, Terminator, Ty, ValueRef};
 use std::collections::HashMap;
 
 /// Callee size limit (live instructions) for inlining.
@@ -31,7 +29,9 @@ impl Pass for Inline {
         let mut changed = false;
         let mut budget = MAX_INLINED_SITES;
         while budget > 0 {
-            let Some((block, pos, callee)) = find_site(func, snapshot) else { break };
+            let Some((block, pos, callee)) = find_site(func, snapshot) else {
+                break;
+            };
             inline_site(func, block, pos, &callee);
             changed = true;
             budget -= 1;
@@ -47,14 +47,18 @@ fn find_site(func: &Function, snapshot: &Module) -> Option<(BlockId, usize, Func
             let inst = func.inst(iid);
             let Op::Call(target) = &inst.op else { continue };
             // Only same-module, qualified `module.function` targets.
-            let Some((module_name, fn_name)) = target.split_once('.') else { continue };
+            let Some((module_name, fn_name)) = target.split_once('.') else {
+                continue;
+            };
             if module_name != snapshot.name {
                 continue;
             }
             if fn_name == func.name {
                 continue; // no self-inlining
             }
-            let Some(callee) = snapshot.function(fn_name) else { continue };
+            let Some(callee) = snapshot.function(fn_name) else {
+                continue;
+            };
             if callee.live_inst_count() > INLINE_THRESHOLD {
                 continue;
             }
@@ -126,9 +130,10 @@ fn inline_site(func: &mut Function, block: BlockId, pos: usize, callee: &Functio
         let src_insts = callee.block(cb).insts.clone();
         for &ci in &src_insts {
             let src = callee.inst(ci);
-            let args: Vec<ValueRef> =
-                src.args.iter().map(|&a| map_value(a, &inst_map)).collect();
-            let ValueRef::Inst(nid) = inst_map[&ci] else { unreachable!() };
+            let args: Vec<ValueRef> = src.args.iter().map(|&a| map_value(a, &inst_map)).collect();
+            let ValueRef::Inst(nid) = inst_map[&ci] else {
+                unreachable!()
+            };
             let dst = func.inst_mut(nid);
             dst.args = args;
             if let (Op::Phi(dst_blocks), Op::Phi(src_blocks)) = (&mut dst.op, &src.op) {
@@ -138,7 +143,11 @@ fn inline_site(func: &mut Function, block: BlockId, pos: usize, callee: &Functio
         // Terminators.
         let term = match &callee.block(cb).term {
             Terminator::Br(t) => Terminator::Br(block_map[t]),
-            Terminator::CondBr { cond, then_bb, else_bb } => Terminator::CondBr {
+            Terminator::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => Terminator::CondBr {
                 cond: map_value(*cond, &inst_map),
                 then_bb: block_map[then_bb],
                 else_bb: block_map[else_bb],
@@ -184,14 +193,13 @@ fn inline_site(func: &mut Function, block: BlockId, pos: usize, callee: &Functio
 mod tests {
     use super::*;
     use crate::simplify_cfg::SimplifyCfg;
-    use sfcc_ir::{function_to_string, parse_function, verify_function};
     use sfcc_frontend::{parse_and_check, Diagnostics, ModuleEnv};
+    use sfcc_ir::{function_to_string, parse_function, verify_function};
 
     /// Lowers a MiniC module, promotes memory, and returns it.
     fn build_module(src: &str) -> Module {
         let mut d = Diagnostics::new();
-        let checked =
-            parse_and_check("m", src, &ModuleEnv::new(), &mut d).expect("valid program");
+        let checked = parse_and_check("m", src, &ModuleEnv::new(), &mut d).expect("valid program");
         let mut module = sfcc_ir::lower_module(&checked, &ModuleEnv::new());
         for f in &mut module.functions {
             crate::mem2reg::Mem2Reg.run(f, &Module::new("m"));
@@ -240,9 +248,8 @@ mod tests {
 
     #[test]
     fn does_not_inline_self_recursion() {
-        let mut m = build_module(
-            "fn f(n: int) -> int { if (n < 1) { return 0; } return f(n - 1); }",
-        );
+        let mut m =
+            build_module("fn f(n: int) -> int { if (n < 1) { return 0; } return f(n - 1); }");
         assert!(!inline_in(&mut m, "f"));
     }
 
@@ -306,10 +313,9 @@ mod tests {
 
     #[test]
     fn cross_module_call_not_inlined() {
-        let mut f = parse_function(
-            "fn @f(i64) -> i64 {\nbb0:\n  v0 = call i64 @other.g(p0)\n  ret v0\n}",
-        )
-        .unwrap();
+        let mut f =
+            parse_function("fn @f(i64) -> i64 {\nbb0:\n  v0 = call i64 @other.g(p0)\n  ret v0\n}")
+                .unwrap();
         let snapshot = Module::new("m");
         assert!(!Inline.run(&mut f, &snapshot));
     }

@@ -42,18 +42,20 @@ fn canonicalize(func: &mut Function) -> bool {
     for iid in ids {
         let inst = func.inst_mut(iid);
         match inst.op.clone() {
-            Op::Bin(kind) if kind.is_commutative() => {
-                if inst.args[0].as_const().is_some() && inst.args[1].as_const().is_none() {
-                    inst.args.swap(0, 1);
-                    changed = true;
-                }
+            Op::Bin(kind)
+                if kind.is_commutative()
+                    && inst.args[0].as_const().is_some()
+                    && inst.args[1].as_const().is_none() =>
+            {
+                inst.args.swap(0, 1);
+                changed = true;
             }
-            Op::Icmp(pred) => {
-                if inst.args[0].as_const().is_some() && inst.args[1].as_const().is_none() {
-                    inst.args.swap(0, 1);
-                    inst.op = Op::Icmp(pred.swapped());
-                    changed = true;
-                }
+            Op::Icmp(pred)
+                if inst.args[0].as_const().is_some() && inst.args[1].as_const().is_none() =>
+            {
+                inst.args.swap(0, 1);
+                inst.op = Op::Icmp(pred.swapped());
+                changed = true;
             }
             _ => {}
         }
@@ -69,10 +71,11 @@ fn simplify(func: &mut Function) -> bool {
 
     for (_, iid) in func.iter_insts() {
         let inst = func.inst(iid);
-        let replace = |v: ValueRef, map: &mut HashMap<ValueRef, ValueRef>, dead: &mut Vec<InstId>| {
-            map.insert(ValueRef::Inst(iid), v);
-            dead.push(iid);
-        };
+        let replace =
+            |v: ValueRef, map: &mut HashMap<ValueRef, ValueRef>, dead: &mut Vec<InstId>| {
+                map.insert(ValueRef::Inst(iid), v);
+                dead.push(iid);
+            };
         match &inst.op {
             Op::Bin(kind) => {
                 let (a, b) = (inst.args[0], inst.args[1]);
@@ -80,13 +83,9 @@ fn simplify(func: &mut Function) -> bool {
                 match kind {
                     BinKind::Add if bc == Some(0) => replace(a, &mut map, &mut dead),
                     BinKind::Sub if bc == Some(0) => replace(a, &mut map, &mut dead),
-                    BinKind::Sub if a == b => {
-                        replace(ValueRef::int(0), &mut map, &mut dead)
-                    }
+                    BinKind::Sub if a == b => replace(ValueRef::int(0), &mut map, &mut dead),
                     BinKind::Mul if bc == Some(1) => replace(a, &mut map, &mut dead),
-                    BinKind::Mul if bc == Some(0) => {
-                        replace(ValueRef::int(0), &mut map, &mut dead)
-                    }
+                    BinKind::Mul if bc == Some(0) => replace(ValueRef::int(0), &mut map, &mut dead),
                     BinKind::Mul => {
                         if let Some(sh) = bc.and_then(power_of_two_shift) {
                             rewrites.push((
@@ -187,24 +186,21 @@ mod tests {
 
     #[test]
     fn constant_moves_right() {
-        let (c, text) =
-            run("fn @f(i64) -> i64 {\nbb0:\n  v0 = add i64 5, p0\n  ret v0\n}");
+        let (c, text) = run("fn @f(i64) -> i64 {\nbb0:\n  v0 = add i64 5, p0\n  ret v0\n}");
         assert!(c);
         assert!(text.contains("add i64 p0, 5"), "{text}");
     }
 
     #[test]
     fn icmp_swap_flips_predicate() {
-        let (c, text) =
-            run("fn @f(i64) -> i1 {\nbb0:\n  v0 = icmp slt 5, p0\n  ret v0\n}");
+        let (c, text) = run("fn @f(i64) -> i1 {\nbb0:\n  v0 = icmp slt 5, p0\n  ret v0\n}");
         assert!(c);
         assert!(text.contains("icmp sgt p0, 5"), "{text}");
     }
 
     #[test]
     fn mul_power_of_two_becomes_shift() {
-        let (c, text) =
-            run("fn @f(i64) -> i64 {\nbb0:\n  v0 = mul i64 p0, 8\n  ret v0\n}");
+        let (c, text) = run("fn @f(i64) -> i64 {\nbb0:\n  v0 = mul i64 p0, 8\n  ret v0\n}");
         assert!(c);
         assert!(text.contains("shl i64 p0, 3"), "{text}");
     }
@@ -234,18 +230,16 @@ mod tests {
 
     #[test]
     fn select_same_arms() {
-        let (c, text) = run(
-            "fn @f(i1, i64) -> i64 {\nbb0:\n  v0 = select i64 p0, p1, p1\n  ret v0\n}",
-        );
+        let (c, text) =
+            run("fn @f(i1, i64) -> i64 {\nbb0:\n  v0 = select i64 p0, p1, p1\n  ret v0\n}");
         assert!(c);
         assert!(text.contains("ret p1"), "{text}");
     }
 
     #[test]
     fn select_true_false_is_cond() {
-        let (c, text) = run(
-            "fn @f(i1) -> i1 {\nbb0:\n  v0 = select i1 p0, true, false\n  ret v0\n}",
-        );
+        let (c, text) =
+            run("fn @f(i1) -> i1 {\nbb0:\n  v0 = select i1 p0, true, false\n  ret v0\n}");
         assert!(c);
         assert!(text.contains("ret p0"), "{text}");
     }

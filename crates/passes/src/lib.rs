@@ -104,7 +104,10 @@ pub fn default_pipeline() -> Pipeline {
         // Inlining observes all functions after early cleanup.
         .stage(
             true,
-            vec![Box::new(inline::Inline), Box::new(simplify_cfg::SimplifyCfg)],
+            vec![
+                Box::new(inline::Inline),
+                Box::new(simplify_cfg::SimplifyCfg),
+            ],
         )
         // Scalar optimizations.
         .stage(
@@ -151,7 +154,10 @@ pub fn default_pipeline() -> Pipeline {
 pub fn minimal_pipeline() -> Pipeline {
     Pipeline::new().stage(
         false,
-        vec![Box::new(mem2reg::Mem2Reg), Box::new(simplify_cfg::SimplifyCfg)],
+        vec![
+            Box::new(mem2reg::Mem2Reg),
+            Box::new(simplify_cfg::SimplifyCfg),
+        ],
     )
 }
 
@@ -183,8 +189,7 @@ mod pipeline_tests {
 
     fn optimize(src: &str) -> (Module, PipelineTrace) {
         let mut d = Diagnostics::new();
-        let checked =
-            parse_and_check("m", src, &ModuleEnv::new(), &mut d).expect("valid program");
+        let checked = parse_and_check("m", src, &ModuleEnv::new(), &mut d).expect("valid program");
         let mut module = sfcc_ir::lower_module(&checked, &ModuleEnv::new());
         sfcc_ir::verify_module(&module).unwrap();
         let pipeline = default_pipeline();
@@ -245,8 +250,7 @@ mod pipeline_tests {
 
     #[test]
     fn exit_fingerprint_differs_from_entry_when_optimized() {
-        let (_, trace) =
-            optimize("fn f(a: int) -> int { let x: int = a * 1; return x + 0; }");
+        let (_, trace) = optimize("fn f(a: int) -> int { let x: int = a * 1; return x + 0; }");
         let f = trace.function("f").unwrap();
         assert_ne!(f.entry_fingerprint, f.exit_fingerprint);
     }
@@ -339,10 +343,22 @@ fn f(n: int) -> int {
         let mut module = sfcc_ir::lower_module(&checked, &ModuleEnv::new());
         let pipeline = default_pipeline();
         let opts = RunOptions { verify_each: true };
-        let first = run_pipeline(&mut module, &pipeline, &NeverSkip, opts).outcome_totals().0;
-        let second = run_pipeline(&mut module, &pipeline, &NeverSkip, opts).outcome_totals().0;
-        let third = run_pipeline(&mut module, &pipeline, &NeverSkip, opts).outcome_totals().0;
-        assert!(second < first, "second run should be quieter: {second} vs {first}");
-        assert!(third <= second, "third run must not regress: {third} vs {second}");
+        let first = run_pipeline(&mut module, &pipeline, &NeverSkip, opts)
+            .outcome_totals()
+            .0;
+        let second = run_pipeline(&mut module, &pipeline, &NeverSkip, opts)
+            .outcome_totals()
+            .0;
+        let third = run_pipeline(&mut module, &pipeline, &NeverSkip, opts)
+            .outcome_totals()
+            .0;
+        assert!(
+            second < first,
+            "second run should be quieter: {second} vs {first}"
+        );
+        assert!(
+            third <= second,
+            "third run must not regress: {third} vs {second}"
+        );
     }
 }

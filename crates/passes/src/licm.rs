@@ -40,7 +40,9 @@ impl Pass for Licm {
             // Innermost-last ordering lets outer loops pick up what inner
             // loops exposed on the next fixpoint iteration.
             for l in &forest.loops {
-                let Some(preheader) = l.preheader(func, &preds) else { continue };
+                let Some(preheader) = l.preheader(func, &preds) else {
+                    continue;
+                };
                 let in_loop: HashSet<_> = l.blocks.iter().copied().collect();
 
                 // A value is invariant if defined outside the loop.
@@ -143,8 +145,7 @@ bb3:
 
     #[test]
     fn hoists_dependent_chain() {
-        let (c, text) = run(
-            r"
+        let (c, text) = run(r"
 fn @f(i64, i64) -> i64 {
 bb0:
   br bb1
@@ -159,8 +160,7 @@ bb2:
   br bb1
 bb3:
   ret v0
-}",
-        );
+}");
         assert!(c);
         let entry: String = text
             .lines()
@@ -173,8 +173,7 @@ bb3:
 
     #[test]
     fn does_not_hoist_variant_values() {
-        let (c, _) = run(
-            r"
+        let (c, _) = run(r"
 fn @f(i64) -> i64 {
 bb0:
   br bb1
@@ -187,15 +186,13 @@ bb2:
   br bb1
 bb3:
   ret v0
-}",
-        );
+}");
         assert!(!c);
     }
 
     #[test]
     fn does_not_hoist_trapping_div() {
-        let (c, _) = run(
-            r"
+        let (c, _) = run(r"
 fn @f(i64, i64) -> i64 {
 bb0:
   br bb1
@@ -209,15 +206,13 @@ bb2:
   br bb1
 bb3:
   ret v0
-}",
-        );
+}");
         assert!(!c, "sdiv may trap and must not be hoisted");
     }
 
     #[test]
     fn does_not_hoist_loads() {
-        let (c, _) = run(
-            r"
+        let (c, _) = run(r"
 fn @f(i64) -> i64 {
 bb0:
   v9 = alloca 4
@@ -233,8 +228,7 @@ bb2:
   br bb1
 bb3:
   ret v0
-}",
-        );
+}");
         assert!(!c, "loads must not be hoisted without alias analysis");
     }
 

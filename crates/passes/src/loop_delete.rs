@@ -7,9 +7,7 @@
 //! side-effect-free loop may be deleted.
 
 use crate::Pass;
-use sfcc_ir::{
-    DomTree, Function, LoopForest, Module, Op, Predecessors, Terminator, ValueRef,
-};
+use sfcc_ir::{DomTree, Function, LoopForest, Module, Op, Predecessors, Terminator, ValueRef};
 use std::collections::HashSet;
 
 /// The `loop-delete` pass. See the module docs.
@@ -30,7 +28,9 @@ impl Pass for LoopDelete {
             let mut deleted = false;
 
             'loops: for l in &forest.loops {
-                let Some(preheader) = l.preheader(func, &preds) else { continue };
+                let Some(preheader) = l.preheader(func, &preds) else {
+                    continue;
+                };
                 // Exit structure: header conditionally exits to a single
                 // outside target.
                 let exits = l.exit_targets(func);
@@ -101,8 +101,8 @@ impl Pass for LoopDelete {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sfcc_ir::{function_to_string, parse_function, verify_function};
     use crate::simplify_cfg::SimplifyCfg;
+    use sfcc_ir::{function_to_string, parse_function, verify_function};
 
     fn run(text: &str) -> (bool, String) {
         let mut f = parse_function(text).unwrap();
@@ -138,8 +138,7 @@ bb3:
 
     #[test]
     fn keeps_loop_with_store() {
-        let (c, _) = run(
-            r"
+        let (c, _) = run(r"
 fn @f(i64) -> i64 {
 bb0:
   v9 = alloca 1
@@ -154,15 +153,13 @@ bb2:
   br bb1
 bb3:
   ret 42
-}",
-        );
+}");
         assert!(!c);
     }
 
     #[test]
     fn keeps_loop_whose_result_is_used() {
-        let (c, _) = run(
-            r"
+        let (c, _) = run(r"
 fn @f(i64) -> i64 {
 bb0:
   br bb1
@@ -175,15 +172,13 @@ bb2:
   br bb1
 bb3:
   ret v0
-}",
-        );
+}");
         assert!(!c);
     }
 
     #[test]
     fn exit_phi_from_outside_value_is_retargeted() {
-        let (c, text) = run(
-            r"
+        let (c, text) = run(r"
 fn @f(i64, i64) -> i64 {
 bb0:
   v9 = add i64 p1, 5
@@ -198,8 +193,7 @@ bb2:
 bb3:
   v3 = phi i64 [bb1: v9]
   ret v3
-}",
-        );
+}");
         assert!(c);
         assert!(text.contains("ret"), "{text}");
         verify_after(&text);

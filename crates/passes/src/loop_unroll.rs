@@ -64,7 +64,9 @@ struct Candidate {
 }
 
 fn unroll_one(func: &mut Function) -> bool {
-    let Some(cand) = find_candidate(func) else { return false };
+    let Some(cand) = find_candidate(func) else {
+        return false;
+    };
     apply(func, cand);
     true
 }
@@ -89,7 +91,12 @@ fn find_candidate(func: &Function) -> Option<Candidate> {
             continue;
         }
         // Header exits with a two-way branch: one edge into the latch, one out.
-        let Terminator::CondBr { cond, then_bb, else_bb } = func.block(header).term else {
+        let Terminator::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } = func.block(header).term
+        else {
             continue;
         };
         let (exit, exit_on_true) = if then_bb == latch && !l.contains(else_bb) {
@@ -123,7 +130,9 @@ fn find_candidate(func: &Function) -> Option<Candidate> {
                             next = Some(*v);
                         }
                     }
-                    let (Some(init), Some(next)) = (init, next) else { continue 'outer };
+                    let (Some(init), Some(next)) = (init, next) else {
+                        continue 'outer;
+                    };
                     phis.push((iid, init, next));
                 }
                 op if op.has_side_effects() || op.can_trap() => continue 'outer,
@@ -132,41 +141,51 @@ fn find_candidate(func: &Function) -> Option<Candidate> {
         }
 
         // The branch condition must be `icmp pred, iv, K`.
-        let ValueRef::Inst(cond_id) = cond else { continue };
-        let cond_inst = func.inst(cond_id);
-        let Op::Icmp(pred) = cond_inst.op else { continue };
-        let Some((_, bound)) = cond_inst.args[1].as_const() else { continue };
-        let iv = cond_inst.args[0];
-        let Some(&(_, init, next)) = phis
-            .iter()
-            .find(|(p, _, _)| ValueRef::Inst(*p) == iv)
-        else {
+        let ValueRef::Inst(cond_id) = cond else {
             continue;
         };
-        let Some((_, start)) = init.as_const() else { continue };
+        let cond_inst = func.inst(cond_id);
+        let Op::Icmp(pred) = cond_inst.op else {
+            continue;
+        };
+        let Some((_, bound)) = cond_inst.args[1].as_const() else {
+            continue;
+        };
+        let iv = cond_inst.args[0];
+        let Some(&(_, init, next)) = phis.iter().find(|(p, _, _)| ValueRef::Inst(*p) == iv) else {
+            continue;
+        };
+        let Some((_, start)) = init.as_const() else {
+            continue;
+        };
         // `next` must be `add iv, STEP` with constant step.
-        let ValueRef::Inst(next_id) = next else { continue };
+        let ValueRef::Inst(next_id) = next else {
+            continue;
+        };
         let next_inst = func.inst(next_id);
         if next_inst.op != Op::Bin(BinKind::Add) || next_inst.args[0] != iv {
             continue;
         }
-        let Some((_, step)) = next_inst.args[1].as_const() else { continue };
+        let Some((_, step)) = next_inst.args[1].as_const() else {
+            continue;
+        };
 
         let trips = simulate(pred, start, step, bound, exit_on_true)?;
-        return Some(Candidate { preheader, header, latch, exit, phis, trips });
+        return Some(Candidate {
+            preheader,
+            header,
+            latch,
+            exit,
+            phis,
+            trips,
+        });
     }
     None
 }
 
 /// Simulates the induction variable to a constant trip count, or `None` when
 /// it exceeds [`MAX_TRIPS`].
-fn simulate(
-    pred: IcmpPred,
-    start: i64,
-    step: i64,
-    bound: i64,
-    exit_on_true: bool,
-) -> Option<i64> {
+fn simulate(pred: IcmpPred, start: i64, step: i64, bound: i64, exit_on_true: bool) -> Option<i64> {
     let mut i = start;
     let mut trips = 0i64;
     loop {
@@ -345,8 +364,7 @@ bb3:
 
     #[test]
     fn zero_trip_loop_unrolls_to_fallthrough() {
-        let (c, text) = run(
-            r"
+        let (c, text) = run(r"
 fn @f() -> i64 {
 bb0:
   br bb1
@@ -359,16 +377,14 @@ bb2:
   br bb1
 bb3:
   ret v0
-}",
-        );
+}");
         assert!(c);
         assert!(text.contains("ret 5"), "{text}");
     }
 
     #[test]
     fn large_trip_count_not_unrolled() {
-        let (c, _) = run(
-            r"
+        let (c, _) = run(r"
 fn @f() -> i64 {
 bb0:
   br bb1
@@ -381,15 +397,13 @@ bb2:
   br bb1
 bb3:
   ret v0
-}",
-        );
+}");
         assert!(!c);
     }
 
     #[test]
     fn dynamic_bound_not_unrolled() {
-        let (c, _) = run(
-            r"
+        let (c, _) = run(r"
 fn @f(i64) -> i64 {
 bb0:
   br bb1
@@ -402,15 +416,13 @@ bb3:
 bb2:
   v1 = add i64 v0, 1
   br bb1
-}",
-        );
+}");
         assert!(!c);
     }
 
     #[test]
     fn unrolled_side_effects_stay_in_order() {
-        let (c, text) = run(
-            r"
+        let (c, text) = run(r"
 fn @f() {
 bb0:
   br bb1
@@ -424,8 +436,7 @@ bb2:
   br bb1
 bb3:
   ret
-}",
-        );
+}");
         assert!(c);
         // Three print calls with the concrete induction values.
         assert_eq!(text.matches("call @print").count(), 3, "{text}");
@@ -436,8 +447,7 @@ bb3:
     #[test]
     fn exit_uses_of_header_values_resolve() {
         // `ret v0` in the exit uses the induction variable after the loop.
-        let (c, text) = run(
-            r"
+        let (c, text) = run(r"
 fn @f() -> i64 {
 bb0:
   br bb1
@@ -450,16 +460,14 @@ bb2:
   br bb1
 bb3:
   ret v0
-}",
-        );
+}");
         assert!(c);
         assert!(text.contains("ret 4"), "{text}");
     }
 
     #[test]
     fn negative_step_downward_loop() {
-        let (c, text) = run(
-            r"
+        let (c, text) = run(r"
 fn @f() -> i64 {
 bb0:
   br bb1
@@ -474,8 +482,7 @@ bb2:
   br bb1
 bb3:
   ret v5
-}",
-        );
+}");
         assert!(c);
         // 5+4+3+2+1 = 15
         assert!(text.contains("ret 15"), "{text}");

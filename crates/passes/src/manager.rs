@@ -161,7 +161,9 @@ pub struct Pipeline {
 
 impl fmt::Debug for Pipeline {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Pipeline").field("slots", &self.slot_names()).finish()
+        f.debug_struct("Pipeline")
+            .field("slots", &self.slot_names())
+            .finish()
     }
 }
 
@@ -179,7 +181,10 @@ impl Pipeline {
 
     /// The flattened pass names, indexed by slot.
     pub fn slot_names(&self) -> Vec<&'static str> {
-        self.stages.iter().flat_map(|s| s.passes.iter().map(|p| p.name())).collect()
+        self.stages
+            .iter()
+            .flat_map(|s| s.passes.iter().map(|p| p.name()))
+            .collect()
     }
 
     /// Number of flattened pass slots.
@@ -198,7 +203,9 @@ pub struct RunOptions {
 
 impl Default for RunOptions {
     fn default() -> Self {
-        RunOptions { verify_each: cfg!(debug_assertions) }
+        RunOptions {
+            verify_each: cfg!(debug_assertions),
+        }
     }
 }
 
@@ -215,7 +222,10 @@ pub fn run_pipeline(
     oracle: &dyn SkipOracle,
     options: RunOptions,
 ) -> PipelineTrace {
-    let mut trace = PipelineTrace { module: module.name.clone(), functions: Vec::new() };
+    let mut trace = PipelineTrace {
+        module: module.name.clone(),
+        functions: Vec::new(),
+    };
     for (idx, f) in module.functions.iter().enumerate() {
         let _ = idx;
         trace.functions.push(FunctionTrace {
@@ -266,7 +276,11 @@ pub fn run_pipeline(
                 ftrace.records.push(PassRecord {
                     pass: pass.name().to_string(),
                     slot,
-                    outcome: if changed { PassOutcome::Active } else { PassOutcome::Dormant },
+                    outcome: if changed {
+                        PassOutcome::Active
+                    } else {
+                        PassOutcome::Dormant
+                    },
                     nanos,
                     cost_units,
                 });
@@ -329,8 +343,14 @@ mod tests {
         let pipeline = Pipeline::new().stage(
             false,
             vec![
-                Box::new(Probe { name: "a", changes: true }),
-                Box::new(Probe { name: "b", changes: false }),
+                Box::new(Probe {
+                    name: "a",
+                    changes: true,
+                }),
+                Box::new(Probe {
+                    name: "b",
+                    changes: false,
+                }),
             ],
         );
         let trace = run_pipeline(&mut m, &pipeline, &NeverSkip, RunOptions::default());
@@ -348,8 +368,14 @@ mod tests {
         let pipeline = Pipeline::new().stage(
             false,
             vec![
-                Box::new(Probe { name: "a", changes: true }),
-                Box::new(Probe { name: "b", changes: true }),
+                Box::new(Probe {
+                    name: "a",
+                    changes: true,
+                }),
+                Box::new(Probe {
+                    name: "b",
+                    changes: true,
+                }),
             ],
         );
         let trace = run_pipeline(&mut m, &pipeline, &SkipByName("b"), RunOptions::default());
@@ -363,8 +389,20 @@ mod tests {
     fn slots_are_stable_across_stages() {
         let mut m = test_module();
         let pipeline = Pipeline::new()
-            .stage(false, vec![Box::new(Probe { name: "a", changes: false })])
-            .stage(true, vec![Box::new(Probe { name: "b", changes: false })]);
+            .stage(
+                false,
+                vec![Box::new(Probe {
+                    name: "a",
+                    changes: false,
+                })],
+            )
+            .stage(
+                true,
+                vec![Box::new(Probe {
+                    name: "b",
+                    changes: false,
+                })],
+            );
         assert_eq!(pipeline.slot_names(), vec!["a", "b"]);
         assert_eq!(pipeline.slot_count(), 2);
         let trace = run_pipeline(&mut m, &pipeline, &NeverSkip, RunOptions::default());
@@ -376,8 +414,13 @@ mod tests {
     #[test]
     fn fingerprints_before_and_after() {
         let mut m = test_module();
-        let pipeline =
-            Pipeline::new().stage(false, vec![Box::new(Probe { name: "a", changes: true })]);
+        let pipeline = Pipeline::new().stage(
+            false,
+            vec![Box::new(Probe {
+                name: "a",
+                changes: true,
+            })],
+        );
         let trace = run_pipeline(&mut m, &pipeline, &NeverSkip, RunOptions::default());
         let f = trace.function("f").unwrap();
         // The probe adds only an unreachable block, which the canonical

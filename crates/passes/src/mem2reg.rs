@@ -6,9 +6,7 @@
 //! dominator tree — the textbook SSA-construction algorithm.
 
 use crate::Pass;
-use sfcc_ir::{
-    DomTree, Function, InstData, InstId, Module, Op, Ty, ValueRef, ENTRY,
-};
+use sfcc_ir::{DomTree, Function, InstData, InstId, Module, Op, Ty, ValueRef, ENTRY};
 use std::collections::{HashMap, HashSet};
 
 /// The `mem2reg` pass. See the module docs.
@@ -40,7 +38,12 @@ fn find_candidates(func: &Function) -> Vec<Candidate> {
         if let Op::Alloca(1) = func.inst(iid).op {
             candidates.insert(
                 iid,
-                Candidate { alloca: iid, elem: Ty::Void, loads: Vec::new(), stores: Vec::new() },
+                Candidate {
+                    alloca: iid,
+                    elem: Ty::Void,
+                    loads: Vec::new(),
+                    stores: Vec::new(),
+                },
             );
         }
     }
@@ -53,8 +56,12 @@ fn find_candidates(func: &Function) -> Vec<Candidate> {
     for (_, iid) in func.iter_insts() {
         let inst = func.inst(iid);
         for (argpos, arg) in inst.args.iter().enumerate() {
-            let ValueRef::Inst(target) = arg else { continue };
-            let Some(cand) = candidates.get_mut(target) else { continue };
+            let ValueRef::Inst(target) = arg else {
+                continue;
+            };
+            let Some(cand) = candidates.get_mut(target) else {
+                continue;
+            };
             match (&inst.op, argpos) {
                 (Op::Load, 0) => {
                     cand.loads.push(iid);
@@ -120,8 +127,7 @@ fn promote(func: &mut Function) -> bool {
         if cand.loads.is_empty() {
             continue; // store-only slot: no phis needed.
         }
-        let mut work: Vec<sfcc_ir::BlockId> =
-            cand.stores.iter().map(|s| block_of[s]).collect();
+        let mut work: Vec<sfcc_ir::BlockId> = cand.stores.iter().map(|s| block_of[s]).collect();
         let mut has_phi: HashSet<sfcc_ir::BlockId> = HashSet::new();
         while let Some(db) = work.pop() {
             if !dom.is_reachable(db) {
@@ -129,11 +135,8 @@ fn promote(func: &mut Function) -> bool {
             }
             for &fb in &frontiers[db.0 as usize] {
                 if has_phi.insert(fb) {
-                    let phi = func.alloc_inst(InstData::new(
-                        Op::Phi(Vec::new()),
-                        Vec::new(),
-                        cand.elem,
-                    ));
+                    let phi =
+                        func.alloc_inst(InstData::new(Op::Phi(Vec::new()), Vec::new(), cand.elem));
                     func.block_mut(fb).insts.insert(0, phi);
                     placed.insert((fb, ci), phi);
                     work.push(fb); // a phi is itself a definition
@@ -147,8 +150,11 @@ fn promote(func: &mut Function) -> bool {
 
     // 2. Renaming along the dominator tree.
     let undef = |elem: Ty| ValueRef::Const(if elem == Ty::Void { Ty::I64 } else { elem }, 0);
-    let cand_index: HashMap<InstId, usize> =
-        candidates.iter().enumerate().map(|(i, c)| (c.alloca, i)).collect();
+    let cand_index: HashMap<InstId, usize> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.alloca, i))
+        .collect();
 
     let mut replacements: HashMap<ValueRef, ValueRef> = HashMap::new();
     let mut dead: Vec<InstId> = Vec::new();
@@ -218,7 +224,9 @@ fn promote(func: &mut Function) -> bool {
                                 .copied()
                                 .unwrap_or_else(|| undef(candidates[ci].elem));
                             let inst = func.inst_mut(phi);
-                            let Op::Phi(blocks) = &mut inst.op else { unreachable!() };
+                            let Op::Phi(blocks) = &mut inst.op else {
+                                unreachable!()
+                            };
                             blocks.push(b);
                             inst.args.push(cur);
                         }
@@ -245,13 +253,12 @@ fn promote(func: &mut Function) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sfcc_ir::{module_to_string, parse_function, verify_function};
     use sfcc_frontend::{parse_and_check, Diagnostics, ModuleEnv};
+    use sfcc_ir::{module_to_string, parse_function, verify_function};
 
     fn promote_src(src: &str) -> String {
         let mut d = Diagnostics::new();
-        let checked =
-            parse_and_check("m", src, &ModuleEnv::new(), &mut d).expect("valid program");
+        let checked = parse_and_check("m", src, &ModuleEnv::new(), &mut d).expect("valid program");
         let mut module = sfcc_ir::lower_module(&checked, &ModuleEnv::new());
         let mut changed_any = false;
         for f in &mut module.functions {
@@ -300,10 +307,8 @@ mod tests {
 
     #[test]
     fn dormant_when_nothing_to_promote() {
-        let mut f = parse_function(
-            "fn @f(i64) -> i64 {\nbb0:\n  v0 = add i64 p0, 1\n  ret v0\n}",
-        )
-        .unwrap();
+        let mut f =
+            parse_function("fn @f(i64) -> i64 {\nbb0:\n  v0 = add i64 p0, 1\n  ret v0\n}").unwrap();
         assert!(!promote(&mut f));
     }
 

@@ -112,8 +112,7 @@ mod tests {
 
     #[test]
     fn does_not_cross_blocks() {
-        let (c, _) = run(
-            r"
+        let (c, _) = run(r"
 fn @f(i64) -> i64 {
 bb0:
   v0 = alloca 1
@@ -122,8 +121,7 @@ bb0:
 bb1:
   v1 = load i64 v0
   ret v1
-}",
-        );
+}");
         assert!(!c);
     }
 }

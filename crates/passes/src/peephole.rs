@@ -30,8 +30,11 @@ impl Pass for Peephole {
 fn invert_negated_branches(func: &mut Function) -> bool {
     let mut changed = false;
     for b in func.block_ids().collect::<Vec<_>>() {
-        let Terminator::CondBr { cond: ValueRef::Inst(c), then_bb, else_bb } =
-            func.block(b).term
+        let Terminator::CondBr {
+            cond: ValueRef::Inst(c),
+            then_bb,
+            else_bb,
+        } = func.block(b).term
         else {
             continue;
         };
@@ -41,8 +44,11 @@ fn invert_negated_branches(func: &mut Function) -> bool {
             && inst.args[1] == ValueRef::bool(true)
         {
             let inner = inst.args[0];
-            func.block_mut(b).term =
-                Terminator::CondBr { cond: inner, then_bb: else_bb, else_bb: then_bb };
+            func.block_mut(b).term = Terminator::CondBr {
+                cond: inner,
+                then_bb: else_bb,
+                else_bb: then_bb,
+            };
             // Phi inputs keyed by predecessor block are unaffected: the
             // predecessor is still `b`, only which edge is taken changes.
             changed = true;
@@ -65,7 +71,12 @@ fn form_selects(func: &mut Function) -> bool {
     let preds = Predecessors::compute(func);
     let mut changed = false;
     for b in func.block_ids().collect::<Vec<_>>() {
-        let Terminator::CondBr { cond, then_bb, else_bb } = func.block(b).term else {
+        let Terminator::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } = func.block(b).term
+        else {
             continue;
         };
         if then_bb == else_bb {
@@ -79,8 +90,12 @@ fn form_selects(func: &mut Function) -> bool {
         if !arm_ok(then_bb) || !arm_ok(else_bb) {
             continue;
         }
-        let Terminator::Br(j1) = func.block(then_bb).term else { continue };
-        let Terminator::Br(j2) = func.block(else_bb).term else { continue };
+        let Terminator::Br(j1) = func.block(then_bb).term else {
+            continue;
+        };
+        let Terminator::Br(j2) = func.block(else_bb).term else {
+            continue;
+        };
         if j1 != j2 {
             continue;
         }
@@ -100,7 +115,9 @@ fn form_selects(func: &mut Function) -> bool {
         let mut arms: Vec<(sfcc_ir::InstId, ValueRef, ValueRef)> = Vec::new();
         for &pid in &phi_ids {
             let inst = func.inst(pid);
-            let Op::Phi(blocks) = &inst.op else { unreachable!() };
+            let Op::Phi(blocks) = &inst.op else {
+                unreachable!()
+            };
             if blocks.len() != 2 {
                 rewirable = false;
                 break;
@@ -131,10 +148,8 @@ fn form_selects(func: &mut Function) -> bool {
         // the arms are empty).
         for (pid, v_then, v_else) in arms {
             let ty = func.inst(pid).ty;
-            let sel = func.append_inst(
-                b,
-                InstData::new(Op::Select, vec![cond, v_then, v_else], ty),
-            );
+            let sel =
+                func.append_inst(b, InstData::new(Op::Select, vec![cond, v_then, v_else], ty));
             let mut map = std::collections::HashMap::new();
             map.insert(ValueRef::Inst(pid), ValueRef::Inst(sel));
             func.replace_uses(&map);
@@ -162,8 +177,7 @@ mod tests {
 
     #[test]
     fn inverts_negated_branch() {
-        let (c, text) = run(
-            r"
+        let (c, text) = run(r"
 fn @f(i1) -> i64 {
 bb0:
   v0 = xor i1 p0, true
@@ -172,8 +186,7 @@ bb1:
   ret 1
 bb2:
   ret 2
-}",
-        );
+}");
         assert!(c);
         assert!(text.contains("condbr p0"), "{text}");
         // True path now returns 2: extract the first target of the condbr
@@ -197,8 +210,7 @@ bb2:
 
     #[test]
     fn forms_select_from_diamond() {
-        let (c, text) = run(
-            r"
+        let (c, text) = run(r"
 fn @f(i1, i64, i64) -> i64 {
 bb0:
   condbr p0, bb1, bb2
@@ -209,8 +221,7 @@ bb2:
 bb3:
   v0 = phi i64 [bb1: p1], [bb2: p2]
   ret v0
-}",
-        );
+}");
         assert!(c);
         assert!(text.contains("select i64 p0, p1, p2"), "{text}");
         assert!(!text.contains("phi"), "{text}");
@@ -219,8 +230,7 @@ bb3:
 
     #[test]
     fn no_select_when_arm_has_instructions() {
-        let (c, text) = run(
-            r"
+        let (c, text) = run(r"
 fn @f(i1, i64) -> i64 {
 bb0:
   condbr p0, bb1, bb2
@@ -232,8 +242,7 @@ bb2:
 bb3:
   v0 = phi i64 [bb1: v1], [bb2: p1]
   ret v0
-}",
-        );
+}");
         assert!(!c);
         assert!(text.contains("phi"), "{text}");
     }
@@ -246,8 +255,7 @@ bb3:
 
     #[test]
     fn multiple_phis_all_become_selects() {
-        let (c, text) = run(
-            r"
+        let (c, text) = run(r"
 fn @f(i1, i64, i64) -> i64 {
 bb0:
   condbr p0, bb1, bb2
@@ -260,8 +268,7 @@ bb3:
   v1 = phi i64 [bb1: p2], [bb2: p1]
   v2 = add i64 v0, v1
   ret v2
-}",
-        );
+}");
         assert!(c);
         assert_eq!(text.matches("select").count(), 2, "{text}");
     }

@@ -12,7 +12,10 @@ use sfcc_ir::{BinKind, Function, InstId, Module, Op, ValueRef};
 pub struct Reassociate;
 
 fn associative(kind: BinKind) -> bool {
-    matches!(kind, BinKind::Add | BinKind::Mul | BinKind::And | BinKind::Or | BinKind::Xor)
+    matches!(
+        kind,
+        BinKind::Add | BinKind::Mul | BinKind::And | BinKind::Or | BinKind::Xor
+    )
 }
 
 impl Pass for Reassociate {
@@ -31,13 +34,19 @@ impl Pass for Reassociate {
                 if !associative(kind) {
                     continue;
                 }
-                let Some((cty, c2)) = inst.args[1].as_const() else { continue };
-                let ValueRef::Inst(lhs) = inst.args[0] else { continue };
+                let Some((cty, c2)) = inst.args[1].as_const() else {
+                    continue;
+                };
+                let ValueRef::Inst(lhs) = inst.args[0] else {
+                    continue;
+                };
                 let lhs_inst = func.inst(lhs);
                 if lhs_inst.op != Op::Bin(kind) {
                     continue;
                 }
-                let Some((_, c1)) = lhs_inst.args[1].as_const() else { continue };
+                let Some((_, c1)) = lhs_inst.args[1].as_const() else {
+                    continue;
+                };
                 let x = lhs_inst.args[0];
                 let folded = kind.eval(c1, c2).expect("associative ops cannot trap");
                 // (x ⊕ c1) ⊕ c2 → x ⊕ folded. The old lhs may still have

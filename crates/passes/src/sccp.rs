@@ -7,9 +7,7 @@
 
 use crate::util::detach_all;
 use crate::Pass;
-use sfcc_ir::{
-    BlockId, Function, InstId, Module, Op, Terminator, Ty, ValueRef, ENTRY,
-};
+use sfcc_ir::{BlockId, Function, InstId, Module, Op, Terminator, Ty, ValueRef, ENTRY};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// The `sccp` pass. See the module docs.
@@ -161,15 +159,13 @@ impl Solver {
                 (Lattice::Bottom, _) | (_, Lattice::Bottom) => Lattice::Bottom,
                 _ => Lattice::Top,
             },
-            Op::Icmp(pred) => {
-                match (self.value_of(inst.args[0]), self.value_of(inst.args[1])) {
-                    (Lattice::Const(_, a), Lattice::Const(_, b)) => {
-                        Lattice::Const(Ty::I1, pred.eval(a, b) as i64)
-                    }
-                    (Lattice::Bottom, _) | (_, Lattice::Bottom) => Lattice::Bottom,
-                    _ => Lattice::Top,
+            Op::Icmp(pred) => match (self.value_of(inst.args[0]), self.value_of(inst.args[1])) {
+                (Lattice::Const(_, a), Lattice::Const(_, b)) => {
+                    Lattice::Const(Ty::I1, pred.eval(a, b) as i64)
                 }
-            }
+                (Lattice::Bottom, _) | (_, Lattice::Bottom) => Lattice::Bottom,
+                _ => Lattice::Top,
+            },
             Op::Select => match self.value_of(inst.args[0]) {
                 Lattice::Const(_, c) => {
                     self.value_of(if c != 0 { inst.args[1] } else { inst.args[2] })
@@ -198,7 +194,11 @@ impl Solver {
     fn visit_terminator(&mut self, func: &Function, b: BlockId) {
         match &func.block(b).term {
             Terminator::Br(t) => self.mark_edge(b, *t),
-            Terminator::CondBr { cond, then_bb, else_bb } => match self.value_of(*cond) {
+            Terminator::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => match self.value_of(*cond) {
                 Lattice::Const(_, c) => {
                     self.mark_edge(b, if c != 0 { *then_bb } else { *else_bb });
                 }
@@ -235,11 +235,17 @@ impl Solver {
             if !self.executable_blocks.contains(&b) {
                 continue;
             }
-            if let Terminator::CondBr { cond: ValueRef::Const(_, c), then_bb, else_bb } =
-                func.block(b).term
+            if let Terminator::CondBr {
+                cond: ValueRef::Const(_, c),
+                then_bb,
+                else_bb,
+            } = func.block(b).term
             {
-                let (kept, dropped) =
-                    if c != 0 { (then_bb, else_bb) } else { (else_bb, then_bb) };
+                let (kept, dropped) = if c != 0 {
+                    (then_bb, else_bb)
+                } else {
+                    (else_bb, then_bb)
+                };
                 func.block_mut(b).term = Terminator::Br(kept);
                 changed = true;
                 // Phis in the dropped successor lose this predecessor.
@@ -281,8 +287,7 @@ mod tests {
     #[test]
     fn propagates_through_branches() {
         // x is 7 on both paths; sccp proves the merged phi constant.
-        let (c, text) = run(
-            r"
+        let (c, text) = run(r"
 fn @f(i1) -> i64 {
 bb0:
   condbr p0, bb1, bb2
@@ -296,8 +301,7 @@ bb3:
   v2 = phi i64 [bb1: v0], [bb2: v1]
   v3 = mul i64 v2, 2
   ret v3
-}",
-        );
+}");
         assert!(c);
         assert!(text.contains("ret 14"), "{text}");
     }
@@ -305,8 +309,7 @@ bb3:
     #[test]
     fn kills_never_executed_path() {
         // The condition is constant, so the phi only sees one input.
-        let (c, text) = run(
-            r"
+        let (c, text) = run(r"
 fn @f(i64) -> i64 {
 bb0:
   v9 = icmp slt 1, 2
@@ -318,8 +321,7 @@ bb2:
 bb3:
   v2 = phi i64 [bb1: 10], [bb2: p0]
   ret v2
-}",
-        );
+}");
         assert!(c);
         assert!(text.contains("ret 10"), "{text}");
     }
@@ -328,8 +330,7 @@ bb3:
     fn conditional_constants_beat_simple_folding() {
         // Classic SCCP example: x = 1; while/if structure keeps x constant
         // even though a naive folder gives up at the phi.
-        let (c, text) = run(
-            r"
+        let (c, text) = run(r"
 fn @f(i1) -> i64 {
 bb0:
   br bb1
@@ -341,25 +342,20 @@ bb2:
   br bb1
 bb3:
   ret v0
-}",
-        );
+}");
         assert!(c);
         assert!(text.contains("ret 1"), "{text}");
     }
 
     #[test]
     fn dormant_on_dynamic_values() {
-        let (c, _) = run(
-            "fn @f(i64) -> i64 {\nbb0:\n  v0 = add i64 p0, 1\n  ret v0\n}",
-        );
+        let (c, _) = run("fn @f(i64) -> i64 {\nbb0:\n  v0 = add i64 p0, 1\n  ret v0\n}");
         assert!(!c);
     }
 
     #[test]
     fn trapping_fold_goes_bottom() {
-        let (c, text) = run(
-            "fn @f() -> i64 {\nbb0:\n  v0 = sdiv i64 5, 0\n  ret v0\n}",
-        );
+        let (c, text) = run("fn @f() -> i64 {\nbb0:\n  v0 = sdiv i64 5, 0\n  ret v0\n}");
         assert!(!c);
         assert!(text.contains("sdiv"), "{text}");
     }

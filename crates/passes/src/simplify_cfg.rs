@@ -39,12 +39,14 @@ fn fold_constant_branches(func: &mut Function) -> bool {
     let mut changed = false;
     for b in func.block_ids().collect::<Vec<_>>() {
         let new_term = match func.block(b).term {
-            Terminator::CondBr { cond: ValueRef::Const(Ty::I1, c), then_bb, else_bb } => {
-                Some(Terminator::Br(if c != 0 { then_bb } else { else_bb }))
-            }
-            Terminator::CondBr { then_bb, else_bb, .. } if then_bb == else_bb => {
-                Some(Terminator::Br(then_bb))
-            }
+            Terminator::CondBr {
+                cond: ValueRef::Const(Ty::I1, c),
+                then_bb,
+                else_bb,
+            } => Some(Terminator::Br(if c != 0 { then_bb } else { else_bb })),
+            Terminator::CondBr {
+                then_bb, else_bb, ..
+            } if then_bb == else_bb => Some(Terminator::Br(then_bb)),
             _ => None,
         };
         if let Some(t) = new_term {
@@ -57,7 +59,9 @@ fn fold_constant_branches(func: &mut Function) -> bool {
             // the *other* target's phis lose an input.
             let old_succs = func.block(b).term.successors();
             func.block_mut(b).term = t.clone();
-            let Terminator::Br(kept) = t else { unreachable!() };
+            let Terminator::Br(kept) = t else {
+                unreachable!()
+            };
             for lost in old_succs {
                 if lost != kept {
                     remove_phi_incoming(func, lost, b);
@@ -160,7 +164,9 @@ fn merge_straightline(func: &mut Function) -> bool {
             if !reach.is_reachable(b) {
                 continue;
             }
-            let Terminator::Br(s) = func.block(b).term else { continue };
+            let Terminator::Br(s) = func.block(b).term else {
+                continue;
+            };
             if s == b || s == ENTRY || preds.of(s) != [b] {
                 continue;
             }
@@ -223,7 +229,9 @@ fn thread_empty_blocks(func: &mut Function) -> bool {
         if !func.block(b).insts.is_empty() {
             continue;
         }
-        let Terminator::Br(t) = func.block(b).term else { continue };
+        let Terminator::Br(t) = func.block(b).term else {
+            continue;
+        };
         if t == b {
             continue;
         }
@@ -284,8 +292,7 @@ mod tests {
 
     #[test]
     fn folds_constant_condbr() {
-        let (changed, text) = run(
-            r"
+        let (changed, text) = run(r"
 fn @f() -> i64 {
 bb0:
   condbr true, bb1, bb2
@@ -293,8 +300,7 @@ bb1:
   ret 1
 bb2:
   ret 2
-}",
-        );
+}");
         assert!(changed);
         assert!(!text.contains("condbr"), "{text}");
         assert!(text.contains("ret 1"), "{text}");
@@ -303,8 +309,7 @@ bb2:
 
     #[test]
     fn removes_unreachable_phi_inputs() {
-        let (changed, text) = run(
-            r"
+        let (changed, text) = run(r"
 fn @f(i64) -> i64 {
 bb0:
   condbr false, bb1, bb2
@@ -315,8 +320,7 @@ bb2:
 bb3:
   v0 = phi i64 [bb1: 1], [bb2: 2]
   ret v0
-}",
-        );
+}");
         assert!(changed);
         // Only the bb2 path survives; the phi resolves to 2.
         assert!(text.contains("ret 2"), "{text}");
@@ -325,8 +329,7 @@ bb3:
 
     #[test]
     fn merges_straightline_chain() {
-        let (changed, text) = run(
-            r"
+        let (changed, text) = run(r"
 fn @f(i64) -> i64 {
 bb0:
   v0 = add i64 p0, 1
@@ -336,8 +339,7 @@ bb1:
   br bb2
 bb2:
   ret v1
-}",
-        );
+}");
         assert!(changed);
         // Everything collapses into the entry block.
         assert_eq!(text.matches("bb").count(), 1, "{text}");
@@ -345,8 +347,7 @@ bb2:
 
     #[test]
     fn threads_empty_blocks() {
-        let (changed, text) = run(
-            r"
+        let (changed, text) = run(r"
 fn @f(i1) -> i64 {
 bb0:
   condbr p0, bb1, bb2
@@ -356,16 +357,17 @@ bb2:
   br bb3
 bb3:
   ret 7
-}",
-        );
+}");
         assert!(changed);
-        assert!(text.contains("condbr p0, bb1, bb1") || !text.contains("condbr"), "{text}");
+        assert!(
+            text.contains("condbr p0, bb1, bb1") || !text.contains("condbr"),
+            "{text}"
+        );
     }
 
     #[test]
     fn dormant_on_clean_cfg() {
-        let (changed, _) = run(
-            r"
+        let (changed, _) = run(r"
 fn @f(i1) -> i64 {
 bb0:
   condbr p0, bb1, bb2
@@ -378,22 +380,19 @@ bb2:
 bb3:
   v2 = phi i64 [bb1: v0], [bb2: v1]
   ret v2
-}",
-        );
+}");
         assert!(!changed);
     }
 
     #[test]
     fn same_target_condbr_becomes_br() {
-        let (changed, text) = run(
-            r"
+        let (changed, text) = run(r"
 fn @f(i1) -> i64 {
 bb0:
   condbr p0, bb1, bb1
 bb1:
   ret 3
-}",
-        );
+}");
         assert!(changed);
         assert!(!text.contains("condbr"), "{text}");
     }
@@ -422,8 +421,7 @@ bb3:
     #[test]
     fn folding_then_merging_cascades() {
         // After folding the constant branch, bb1 has a single pred and merges.
-        let (changed, text) = run(
-            r"
+        let (changed, text) = run(r"
 fn @f(i64) -> i64 {
 bb0:
   v0 = add i64 p0, 1
@@ -433,8 +431,7 @@ bb1:
   ret v1
 bb2:
   ret 0
-}",
-        );
+}");
         assert!(changed);
         assert_eq!(text.matches("bb").count(), 1, "{text}");
         assert!(text.contains("mul"), "{text}");

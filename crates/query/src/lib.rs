@@ -1,0 +1,771 @@
+//! `sfcc-query` — a demand-driven incremental computation engine.
+//!
+//! The build system, the compiler's phase pipeline, and the dormancy state
+//! each used to carry their own hand-rolled invalidation logic. This crate
+//! factors the mechanism out into one generic engine in the style of
+//! PIE / salsa (see "Constructing Hybrid Incremental Compilers", Smits,
+//! Konat & Visser): every computation step is a memoized **task** with
+//! dynamically tracked dependencies, and incrementality falls out of two
+//! complementary traversals:
+//!
+//! - **bottom-up invalidation** ([`Engine::begin_session`]): stamps of all
+//!   previously read *inputs* are refreshed; tasks that read a changed input
+//!   — and, transitively, their dependents — are marked dirty. Everything
+//!   else is validated wholesale without touching a single dependency edge,
+//!   so a no-op rebuild is O(inputs), not O(tasks × deps).
+//! - **top-down demand** ([`Engine::require`]): a dirty task re-checks its
+//!   recorded dependencies *in order*; a task only re-executes when an input
+//!   stamp or a dependency's output **fingerprint** actually differs. An
+//!   execution whose output fingerprint is unchanged terminates invalidation
+//!   early ("early cutoff"): dependents validate against the fingerprint and
+//!   never re-run.
+//!
+//! Dependencies are recorded *while a task executes* (through [`Ctx`]), so
+//! the dependency graph always reflects the last execution — conditional
+//! reads, changed import lists, and removed tasks all invalidate precisely.
+//! Demand cycles are detected and reported as [`QueryError::Cycle`] rather
+//! than hanging or overflowing the stack.
+//!
+//! The engine is deliberately free of domain knowledge: keys, values,
+//! errors, task bodies, fingerprints, and input stamps are all supplied by a
+//! [`TaskSpec`] implementation (the compiler's lives in `sfcc-buildsys`).
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+
+/// The domain a [`Engine`] computes over: task keys, their values, and how
+/// to execute, fingerprint, and stamp them.
+///
+/// The spec is passed `&mut` into every engine call (rather than owned by
+/// the engine) so task bodies can borrow build-wide context — source trees,
+/// compiler sessions — without self-referential lifetimes.
+pub trait TaskSpec {
+    /// Identifies a task (e.g. "optimize module `lib`").
+    type Key: Clone + Eq + Hash + fmt::Debug;
+    /// What a task produces. Cloned on every cache hit, so implementations
+    /// should be cheap to clone (`Arc` payloads).
+    type Value: Clone;
+    /// A task body's failure.
+    type Error;
+
+    /// Executes one task. Dependencies must be acquired through `ctx` (not
+    /// read out-of-band) so the engine can record them.
+    ///
+    /// # Errors
+    ///
+    /// Domain failures are wrapped in [`QueryError::Task`]; dependency
+    /// failures from [`Ctx::require`] propagate with `?`. A failed task is
+    /// left un-memoized and will re-execute on next demand.
+    fn execute(
+        &mut self,
+        key: &Self::Key,
+        ctx: &mut Ctx<'_, Self>,
+    ) -> Result<Self::Value, QueryError<Self::Key, Self::Error>>;
+
+    /// A stable hash of a task's output, compared across builds to decide
+    /// whether dependents must re-run (early cutoff). Two equal fingerprints
+    /// must imply "dependents cannot observe a difference".
+    fn fingerprint(&self, key: &Self::Key, value: &Self::Value) -> u64;
+
+    /// The current stamp of a named input cell (a file's content hash, a
+    /// state record's version). A changed stamp invalidates its readers.
+    fn input_stamp(&mut self, input: &str) -> u64;
+}
+
+/// One recorded dependency of a task, in execution order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Dep<K> {
+    /// A read of a named input cell, with the stamp observed then.
+    Input {
+        /// Input cell name (domain-defined, e.g. `src:lib`).
+        name: String,
+        /// Stamp at the time of the read.
+        stamp: u64,
+    },
+    /// A demand of another task, with the output fingerprint observed then.
+    Task {
+        /// The demanded task.
+        key: K,
+        /// Its output fingerprint at the time of the demand.
+        fingerprint: u64,
+    },
+}
+
+/// Why a demand failed.
+#[derive(Debug)]
+pub enum QueryError<K, E> {
+    /// The demand chain closed a cycle; the path repeats its first element
+    /// at the end.
+    Cycle(Vec<K>),
+    /// A task body failed.
+    Task(E),
+}
+
+impl<K: fmt::Debug, E: fmt::Display> fmt::Display for QueryError<K, E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Cycle(path) => {
+                write!(f, "task cycle: ")?;
+                for (i, key) in path.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " -> ")?;
+                    }
+                    write!(f, "{key:?}")?;
+                }
+                Ok(())
+            }
+            QueryError::Task(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// A memoized task: its last output, fingerprint, and dependency trace.
+#[derive(Debug)]
+struct Node<K, V> {
+    value: V,
+    fingerprint: u64,
+    /// Dependencies of the last execution, in the order they were acquired.
+    deps: Vec<Dep<K>>,
+    /// Session in which this node was last demanded-and-validated (counted
+    /// in the hit/miss statistics).
+    verified: u64,
+    /// Session in which this node was last pre-validated (bottom-up phase
+    /// found no changed input underneath it, or a demand-time dependency
+    /// walk came up clean) without being demanded itself.
+    clean: u64,
+}
+
+/// The execution context handed to [`TaskSpec::execute`]: records the
+/// running task's dependencies as they are acquired.
+pub struct Ctx<'e, S: TaskSpec + ?Sized> {
+    engine: &'e mut Engine<S::Key, S::Value>,
+    deps: &'e mut Vec<Dep<S::Key>>,
+}
+
+impl<S: TaskSpec + ?Sized> Ctx<'_, S> {
+    /// Demands another task and records the edge (with the dependency's
+    /// fingerprint) on the running task.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the dependency's failure or a detected cycle.
+    pub fn require(
+        &mut self,
+        spec: &mut S,
+        key: &S::Key,
+    ) -> Result<S::Value, QueryError<S::Key, S::Error>> {
+        let value = self.engine.require(spec, key)?;
+        let fingerprint = self
+            .engine
+            .fingerprint_of(key)
+            .expect("a required task is memoized");
+        self.deps.push(Dep::Task {
+            key: key.clone(),
+            fingerprint,
+        });
+        Ok(value)
+    }
+
+    /// Reads a named input cell, recording the dependency with its current
+    /// stamp (session-cached, so each input is stamped once per build).
+    pub fn input(&mut self, spec: &mut S, name: &str) -> u64 {
+        let stamp = self.engine.stamp_of(spec, name);
+        self.deps.push(Dep::Input {
+            name: name.to_string(),
+            stamp,
+        });
+        stamp
+    }
+
+    /// Records an input dependency with an explicitly supplied stamp, for
+    /// inputs the running task itself just wrote (e.g. a state record it
+    /// updated): the dependency must hold the *post*-write stamp, or the
+    /// task would invalidate itself every session.
+    pub fn record_input(&mut self, name: &str, stamp: u64) {
+        self.engine.input_cache.insert(name.to_string(), stamp);
+        self.deps.push(Dep::Input {
+            name: name.to_string(),
+            stamp,
+        });
+    }
+}
+
+/// Per-session demand statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Distinct tasks validated from the store without executing.
+    pub hits: u64,
+    /// Distinct tasks that (re-)executed.
+    pub misses: u64,
+}
+
+/// The incremental engine: a persistent store of memoized task outputs and
+/// their dependency traces, plus the session bookkeeping driving
+/// invalidation and demand.
+#[derive(Debug)]
+pub struct Engine<K, V> {
+    nodes: HashMap<K, Node<K, V>>,
+    /// Monotonic build-session counter (see [`Engine::begin_session`]).
+    session: u64,
+    /// Demand stack, for cycle detection.
+    stack: Vec<K>,
+    /// Keys executed this session, in completion order.
+    executed: Vec<K>,
+    stats: SessionStats,
+    /// Input stamps observed this session (one [`TaskSpec::input_stamp`]
+    /// call per input per session).
+    input_cache: HashMap<String, u64>,
+}
+
+impl<K, V> Default for Engine<K, V>
+where
+    K: Clone + Eq + Hash + fmt::Debug,
+    V: Clone,
+{
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl<K, V> Engine<K, V>
+where
+    K: Clone + Eq + Hash + fmt::Debug,
+    V: Clone,
+{
+    /// An empty engine (every first demand will execute).
+    pub fn new() -> Self {
+        Engine {
+            nodes: HashMap::new(),
+            session: 0,
+            stack: Vec::new(),
+            executed: Vec::new(),
+            stats: SessionStats::default(),
+            input_cache: HashMap::new(),
+        }
+    }
+
+    /// Opens a build session: resets per-session statistics, re-stamps every
+    /// previously read input, and performs **bottom-up invalidation** —
+    /// tasks whose inputs changed (or whose dependency tasks were dropped
+    /// from the store) and their transitive dependents are marked for
+    /// demand-time re-verification; all other tasks are validated wholesale.
+    pub fn begin_session<S>(&mut self, spec: &mut S)
+    where
+        S: TaskSpec<Key = K, Value = V> + ?Sized,
+    {
+        self.session += 1;
+        self.stats = SessionStats::default();
+        self.executed.clear();
+        self.stack.clear();
+        self.input_cache.clear();
+
+        // Refresh every input stamp once.
+        let mut names: Vec<&str> = self
+            .nodes
+            .values()
+            .flat_map(|node| node.deps.iter())
+            .filter_map(|dep| match dep {
+                Dep::Input { name, .. } => Some(name.as_str()),
+                Dep::Task { .. } => None,
+            })
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        let fresh: HashMap<String, u64> = names
+            .iter()
+            .map(|&name| (name.to_string(), spec.input_stamp(name)))
+            .collect();
+        self.input_cache = fresh;
+
+        // Seed the dirty set with direct readers of changed inputs and
+        // tasks whose dependency tasks no longer exist.
+        let mut dirty: HashSet<&K> = HashSet::new();
+        for (key, node) in &self.nodes {
+            let invalidated = node.deps.iter().any(|dep| match dep {
+                Dep::Input { name, stamp } => self.input_cache[name] != *stamp,
+                Dep::Task { key: dep_key, .. } => !self.nodes.contains_key(dep_key),
+            });
+            if invalidated {
+                dirty.insert(key);
+            }
+        }
+
+        // Propagate dirtiness along reverse dependency edges.
+        let mut rdeps: HashMap<&K, Vec<&K>> = HashMap::new();
+        for (key, node) in &self.nodes {
+            for dep in &node.deps {
+                if let Dep::Task { key: dep_key, .. } = dep {
+                    rdeps.entry(dep_key).or_default().push(key);
+                }
+            }
+        }
+        let mut frontier: Vec<&K> = dirty.iter().copied().collect();
+        while let Some(key) = frontier.pop() {
+            for &dependent in rdeps.get(key).into_iter().flatten() {
+                if dirty.insert(dependent) {
+                    frontier.push(dependent);
+                }
+            }
+        }
+
+        // Everything untouched by a change is valid for the whole session.
+        let session = self.session;
+        let dirty: HashSet<K> = dirty.into_iter().cloned().collect();
+        for (key, node) in &mut self.nodes {
+            if !dirty.contains(key) {
+                node.clean = session;
+            }
+        }
+    }
+
+    /// Demands a task: validates it against its recorded dependencies and
+    /// returns the memoized value, executing only when an input stamp or a
+    /// dependency fingerprint differs from what the last execution saw.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::Cycle`] when the demand chain closes on itself,
+    /// [`QueryError::Task`] when the task (or a transitive dependency)
+    /// fails; failed tasks stay un-memoized.
+    pub fn require<S>(&mut self, spec: &mut S, key: &K) -> Result<V, QueryError<K, S::Error>>
+    where
+        S: TaskSpec<Key = K, Value = V> + ?Sized,
+    {
+        if let Some(position) = self.stack.iter().position(|k| k == key) {
+            let mut path: Vec<K> = self.stack[position..].to_vec();
+            path.push(key.clone());
+            return Err(QueryError::Cycle(path));
+        }
+
+        if let Some(node) = self.nodes.get_mut(key) {
+            if node.verified == self.session {
+                // Already demanded (and counted) this session.
+                return Ok(node.value.clone());
+            }
+            if node.clean == self.session {
+                node.verified = self.session;
+                self.stats.hits += 1;
+                return Ok(node.value.clone());
+            }
+        }
+
+        // Demand-time verification of the recorded dependency trace, in
+        // acquisition order, stopping at the first mismatch.
+        if self.nodes.contains_key(key) {
+            self.stack.push(key.clone());
+            let outcome = self.deps_hold(spec, key);
+            self.stack.pop();
+            match outcome {
+                Err(error) => return Err(error),
+                Ok(true) => {
+                    let node = self.nodes.get_mut(key).expect("checked above");
+                    node.verified = self.session;
+                    self.stats.hits += 1;
+                    return Ok(node.value.clone());
+                }
+                Ok(false) => {}
+            }
+        }
+
+        // Execute, recording fresh dependencies.
+        self.stack.push(key.clone());
+        let mut deps = Vec::new();
+        let result = {
+            let mut ctx = Ctx {
+                engine: self,
+                deps: &mut deps,
+            };
+            spec.execute(key, &mut ctx)
+        };
+        self.stack.pop();
+        let value = result?;
+        let fingerprint = spec.fingerprint(key, &value);
+        self.nodes.insert(
+            key.clone(),
+            Node {
+                value: value.clone(),
+                fingerprint,
+                deps,
+                verified: self.session,
+                clean: self.session,
+            },
+        );
+        self.stats.misses += 1;
+        self.executed.push(key.clone());
+        Ok(value)
+    }
+
+    /// Checks whether a task would be a cache hit, *without executing it*.
+    /// Dependency tasks may still execute (they must be current for the
+    /// answer to mean anything); a clean verdict is remembered so the
+    /// follow-up [`Engine::require`] is O(1).
+    ///
+    /// Build drivers use this to plan: modules whose tasks are out of date
+    /// can be pre-compiled in parallel before being demanded one by one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dependency failures and cycles.
+    pub fn up_to_date<S>(&mut self, spec: &mut S, key: &K) -> Result<bool, QueryError<K, S::Error>>
+    where
+        S: TaskSpec<Key = K, Value = V> + ?Sized,
+    {
+        match self.nodes.get(key) {
+            None => return Ok(false),
+            Some(node) if node.verified == self.session || node.clean == self.session => {
+                return Ok(true)
+            }
+            Some(_) => {}
+        }
+        self.stack.push(key.clone());
+        let outcome = self.deps_hold(spec, key);
+        self.stack.pop();
+        let holds = outcome?;
+        if holds {
+            self.nodes.get_mut(key).expect("checked above").clean = self.session;
+        }
+        Ok(holds)
+    }
+
+    /// Whether every recorded dependency of `key` still holds. Requires the
+    /// node to exist; the caller manages the cycle stack.
+    fn deps_hold<S>(&mut self, spec: &mut S, key: &K) -> Result<bool, QueryError<K, S::Error>>
+    where
+        S: TaskSpec<Key = K, Value = V> + ?Sized,
+    {
+        let deps = self.nodes[key].deps.clone();
+        for dep in deps {
+            match dep {
+                Dep::Input { name, stamp } => {
+                    if self.stamp_of(spec, &name) != stamp {
+                        return Ok(false);
+                    }
+                }
+                Dep::Task {
+                    key: dep_key,
+                    fingerprint,
+                } => {
+                    self.require(spec, &dep_key)?;
+                    let current = self
+                        .fingerprint_of(&dep_key)
+                        .expect("a required task is memoized");
+                    if current != fingerprint {
+                        return Ok(false);
+                    }
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// The session-cached stamp of an input (stamping it now if unseen).
+    fn stamp_of<S>(&mut self, spec: &mut S, name: &str) -> u64
+    where
+        S: TaskSpec<Key = K, Value = V> + ?Sized,
+    {
+        if let Some(&stamp) = self.input_cache.get(name) {
+            return stamp;
+        }
+        let stamp = spec.input_stamp(name);
+        self.input_cache.insert(name.to_string(), stamp);
+        stamp
+    }
+
+    /// The memoized value of a task, if present (no validation).
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.nodes.get(key).map(|node| &node.value)
+    }
+
+    /// The memoized output fingerprint of a task, if present.
+    pub fn fingerprint_of(&self, key: &K) -> Option<u64> {
+        self.nodes.get(key).map(|node| node.fingerprint)
+    }
+
+    /// Drops memoized tasks whose key fails the predicate (e.g. tasks of
+    /// modules that left the project). Dependents of a dropped task are
+    /// invalidated on the next [`Engine::begin_session`].
+    pub fn retain(&mut self, mut keep: impl FnMut(&K) -> bool) {
+        self.nodes.retain(|key, _| keep(key));
+    }
+
+    /// Drops the entire store; the next build re-executes everything.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+    }
+
+    /// Number of memoized tasks.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Hit/miss counters of the current session.
+    pub fn session_stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Keys executed this session, in completion order.
+    pub fn executed_keys(&self) -> &[K] {
+        &self.executed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy domain: integer input cells, `Get` tasks reading them, `Abs`
+    /// of a cell (for cutoff tests), and `Sum` of all cells listed in the
+    /// `cells` input. Executions are counted per key.
+    struct Calc {
+        cells: HashMap<String, i64>,
+        roster: Vec<&'static str>,
+        runs: HashMap<Task, usize>,
+        fail_on: Option<Task>,
+    }
+
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    enum Task {
+        Get(&'static str),
+        Abs(&'static str),
+        Dbl(&'static str),
+        Sum,
+        Selfish,
+        Ping,
+        Pong,
+    }
+
+    impl Calc {
+        fn new(cells: &[(&'static str, i64)]) -> Calc {
+            Calc {
+                cells: cells.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+                roster: cells.iter().map(|(k, _)| *k).collect(),
+                runs: HashMap::new(),
+                fail_on: None,
+            }
+        }
+
+        fn runs_of(&self, task: &Task) -> usize {
+            self.runs.get(task).copied().unwrap_or(0)
+        }
+    }
+
+    impl TaskSpec for Calc {
+        type Key = Task;
+        type Value = i64;
+        type Error = String;
+
+        fn execute(
+            &mut self,
+            key: &Task,
+            ctx: &mut Ctx<'_, Self>,
+        ) -> Result<i64, QueryError<Task, String>> {
+            *self.runs.entry(key.clone()).or_insert(0) += 1;
+            if self.fail_on.as_ref() == Some(key) {
+                return Err(QueryError::Task(format!("{key:?} failed")));
+            }
+            match key {
+                Task::Get(cell) => {
+                    ctx.input(self, cell);
+                    Ok(self.cells[*cell])
+                }
+                Task::Abs(cell) => Ok(ctx.require(self, &Task::Get(cell))?.abs()),
+                Task::Dbl(cell) => Ok(ctx.require(self, &Task::Abs(cell))? * 2),
+                Task::Sum => {
+                    ctx.input(self, "roster");
+                    let roster = self.roster.clone();
+                    let mut total = 0;
+                    for cell in roster {
+                        total += ctx.require(self, &Task::Get(cell))?;
+                    }
+                    Ok(total)
+                }
+                Task::Selfish => ctx.require(self, &Task::Selfish),
+                Task::Ping => ctx.require(self, &Task::Pong),
+                Task::Pong => ctx.require(self, &Task::Ping),
+            }
+        }
+
+        fn fingerprint(&self, _key: &Task, value: &i64) -> u64 {
+            *value as u64
+        }
+
+        fn input_stamp(&mut self, input: &str) -> u64 {
+            if input == "roster" {
+                return self.roster.len() as u64;
+            }
+            self.cells.get(input).copied().unwrap_or(i64::MIN) as u64
+        }
+    }
+
+    fn session(engine: &mut Engine<Task, i64>, spec: &mut Calc) {
+        engine.begin_session(spec);
+    }
+
+    #[test]
+    fn memoizes_within_and_across_sessions() {
+        let mut spec = Calc::new(&[("a", 2), ("b", 3)]);
+        let mut engine = Engine::new();
+        session(&mut engine, &mut spec);
+        assert_eq!(engine.require(&mut spec, &Task::Sum).unwrap(), 5);
+        assert_eq!(engine.require(&mut spec, &Task::Sum).unwrap(), 5);
+        assert_eq!(spec.runs_of(&Task::Sum), 1);
+        assert_eq!(engine.session_stats().misses, 3); // Sum, Get(a), Get(b)
+
+        session(&mut engine, &mut spec);
+        assert_eq!(engine.require(&mut spec, &Task::Sum).unwrap(), 5);
+        assert_eq!(
+            spec.runs_of(&Task::Sum),
+            1,
+            "no-op session must not re-execute"
+        );
+        assert_eq!(engine.session_stats(), SessionStats { hits: 1, misses: 0 });
+    }
+
+    #[test]
+    fn changed_input_invalidates_bottom_up() {
+        let mut spec = Calc::new(&[("a", 2), ("b", 3)]);
+        let mut engine = Engine::new();
+        session(&mut engine, &mut spec);
+        engine.require(&mut spec, &Task::Sum).unwrap();
+
+        spec.cells.insert("a".into(), 10);
+        session(&mut engine, &mut spec);
+        assert_eq!(engine.require(&mut spec, &Task::Sum).unwrap(), 13);
+        assert_eq!(spec.runs_of(&Task::Sum), 2);
+        assert_eq!(spec.runs_of(&Task::Get("a")), 2);
+        assert_eq!(
+            spec.runs_of(&Task::Get("b")),
+            1,
+            "untouched input stays memoized"
+        );
+    }
+
+    #[test]
+    fn unchanged_fingerprint_cuts_off_early() {
+        let mut spec = Calc::new(&[("a", -4)]);
+        let mut engine = Engine::new();
+        session(&mut engine, &mut spec);
+        assert_eq!(engine.require(&mut spec, &Task::Dbl("a")).unwrap(), 8);
+
+        // The input flips sign: Get and Abs re-execute, but Abs's
+        // fingerprint (|−4| = |4|) is identical — Dbl must not re-run.
+        spec.cells.insert("a".into(), 4);
+        session(&mut engine, &mut spec);
+        assert_eq!(engine.require(&mut spec, &Task::Dbl("a")).unwrap(), 8);
+        assert_eq!(spec.runs_of(&Task::Get("a")), 2);
+        assert_eq!(spec.runs_of(&Task::Abs("a")), 2);
+        assert_eq!(spec.runs_of(&Task::Dbl("a")), 1, "cutoff failed");
+        assert_eq!(engine.session_stats(), SessionStats { hits: 1, misses: 2 });
+    }
+
+    #[test]
+    fn self_cycle_is_reported() {
+        let mut spec = Calc::new(&[]);
+        let mut engine = Engine::new();
+        session(&mut engine, &mut spec);
+        match engine.require(&mut spec, &Task::Selfish) {
+            Err(QueryError::Cycle(path)) => {
+                assert_eq!(path, vec![Task::Selfish, Task::Selfish]);
+            }
+            other => panic!("expected a cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mutual_cycle_is_reported_with_path() {
+        let mut spec = Calc::new(&[]);
+        let mut engine = Engine::new();
+        session(&mut engine, &mut spec);
+        match engine.require(&mut spec, &Task::Ping) {
+            Err(QueryError::Cycle(path)) => {
+                assert_eq!(path.first(), path.last());
+                assert!(path.len() >= 3, "{path:?}");
+                let rendered = format!("{}", QueryError::<Task, String>::Cycle(path));
+                assert!(rendered.contains("->"), "{rendered}");
+            }
+            other => panic!("expected a cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_tasks_stay_unmemoized() {
+        let mut spec = Calc::new(&[("a", 1)]);
+        let mut engine = Engine::new();
+        session(&mut engine, &mut spec);
+        spec.fail_on = Some(Task::Get("a"));
+        assert!(engine.require(&mut spec, &Task::Abs("a")).is_err());
+        assert!(engine.peek(&Task::Get("a")).is_none());
+        assert!(engine.peek(&Task::Abs("a")).is_none());
+
+        spec.fail_on = None;
+        assert_eq!(engine.require(&mut spec, &Task::Abs("a")).unwrap(), 1);
+    }
+
+    #[test]
+    fn retained_store_invalidates_dependents_of_dropped_tasks() {
+        let mut spec = Calc::new(&[("a", -7)]);
+        let mut engine = Engine::new();
+        session(&mut engine, &mut spec);
+        engine.require(&mut spec, &Task::Abs("a")).unwrap();
+        assert_eq!(engine.len(), 2);
+
+        engine.retain(|key| !matches!(key, Task::Get(_)));
+        assert_eq!(engine.len(), 1);
+        session(&mut engine, &mut spec);
+        assert_eq!(engine.require(&mut spec, &Task::Abs("a")).unwrap(), 7);
+        // The dropped dependency re-executed; Abs validated against its
+        // (unchanged) fingerprint and was not re-run.
+        assert_eq!(spec.runs_of(&Task::Get("a")), 2);
+        assert_eq!(spec.runs_of(&Task::Abs("a")), 1);
+    }
+
+    #[test]
+    fn up_to_date_plans_without_executing_the_task() {
+        let mut spec = Calc::new(&[("a", -2)]);
+        let mut engine = Engine::new();
+        session(&mut engine, &mut spec);
+        assert!(!engine.up_to_date(&mut spec, &Task::Abs("a")).unwrap());
+        assert_eq!(
+            spec.runs_of(&Task::Abs("a")),
+            0,
+            "planning must not execute"
+        );
+
+        engine.require(&mut spec, &Task::Abs("a")).unwrap();
+        spec.cells.insert("a".into(), 5);
+        session(&mut engine, &mut spec);
+        assert!(!engine.up_to_date(&mut spec, &Task::Abs("a")).unwrap());
+        assert_eq!(spec.runs_of(&Task::Abs("a")), 1);
+        // Planning executed the *dependency* (it had to, to know).
+        assert_eq!(spec.runs_of(&Task::Get("a")), 2);
+
+        // And a clean verdict is remembered for the follow-up demand.
+        spec.cells.insert("a".into(), -5);
+        session(&mut engine, &mut spec);
+        engine.require(&mut spec, &Task::Abs("a")).unwrap();
+        session(&mut engine, &mut spec);
+        assert!(engine.up_to_date(&mut spec, &Task::Abs("a")).unwrap());
+        assert_eq!(engine.require(&mut spec, &Task::Abs("a")).unwrap(), 5);
+        assert_eq!(engine.session_stats().misses, 0);
+    }
+
+    #[test]
+    fn clear_forces_full_recomputation() {
+        let mut spec = Calc::new(&[("a", 1), ("b", 2)]);
+        let mut engine = Engine::new();
+        session(&mut engine, &mut spec);
+        engine.require(&mut spec, &Task::Sum).unwrap();
+        engine.clear();
+        assert!(engine.is_empty());
+        session(&mut engine, &mut spec);
+        engine.require(&mut spec, &Task::Sum).unwrap();
+        assert_eq!(spec.runs_of(&Task::Sum), 2);
+        assert_eq!(engine.executed_keys().len(), 3);
+    }
+}

@@ -38,7 +38,9 @@
 //! assert_eq!(out.return_value, Some(55));
 //! ```
 
-use sfcc_frontend::ast::{BinOp, Block, Expr, ExprKind, FunctionDef, LValue, Stmt, StmtKind, TypeAst, UnOp};
+use sfcc_frontend::ast::{
+    BinOp, Block, Expr, ExprKind, FunctionDef, LValue, Stmt, StmtKind, TypeAst, UnOp,
+};
 use sfcc_frontend::sema::{CheckedModule, BUILTIN_PRINT};
 use std::collections::HashMap;
 use std::fmt;
@@ -107,7 +109,10 @@ pub struct RefOptions {
 
 impl Default for RefOptions {
     fn default() -> Self {
-        RefOptions { fuel: DEFAULT_FUEL, max_depth: DEFAULT_MAX_DEPTH }
+        RefOptions {
+            fuel: DEFAULT_FUEL,
+            max_depth: DEFAULT_MAX_DEPTH,
+        }
     }
 }
 
@@ -136,7 +141,10 @@ impl Machine {
     /// Creates a machine from type-checked modules.
     pub fn new(modules: Vec<CheckedModule>) -> Self {
         Machine {
-            modules: modules.into_iter().map(|m| (m.ast.name.clone(), m)).collect(),
+            modules: modules
+                .into_iter()
+                .map(|m| (m.ast.name.clone(), m))
+                .collect(),
         }
     }
 
@@ -159,7 +167,10 @@ impl Machine {
             max_depth: options.max_depth,
         };
         let ret = state.call(module, function, args, 0)?;
-        Ok(RefOutput { prints: state.prints, return_value: ret })
+        Ok(RefOutput {
+            prints: state.prints,
+            return_value: ret,
+        })
     }
 }
 
@@ -222,7 +233,9 @@ impl<'m> Exec<'m> {
         if func.params.len() != args.len() {
             return Err(RefError::BadArity);
         }
-        let mut env = Env { scopes: vec![HashMap::new()] };
+        let mut env = Env {
+            scopes: vec![HashMap::new()],
+        };
         for (param, &value) in func.params.iter().zip(args) {
             env.declare(&param.name, Value::Int(value));
         }
@@ -287,7 +300,9 @@ impl<'m> Exec<'m> {
                     LValue::Index(name, idx, _) => {
                         let index = self.expr(module, func, env, idx, depth)?;
                         let slot = env.lookup(name).expect("sema resolved");
-                        let Value::Array(data) = slot else { unreachable!("sema typed") };
+                        let Value::Array(data) = slot else {
+                            unreachable!("sema typed")
+                        };
                         let len = data.len();
                         if index < 0 || index as usize >= len {
                             return Err(RefError::OutOfBounds { index, len });
@@ -297,7 +312,11 @@ impl<'m> Exec<'m> {
                 }
                 Ok(Flow::Normal)
             }
-            StmtKind::If { cond, then_block, else_block } => {
+            StmtKind::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
                 if self.expr(module, func, env, cond, depth)? != 0 {
                     self.block(module, func, env, then_block, depth)
                 } else if let Some(eb) = else_block {
@@ -306,20 +325,23 @@ impl<'m> Exec<'m> {
                     Ok(Flow::Normal)
                 }
             }
-            StmtKind::While { cond, body } => {
-                loop {
-                    self.tick()?;
-                    if self.expr(module, func, env, cond, depth)? == 0 {
-                        return Ok(Flow::Normal);
-                    }
-                    match self.block(module, func, env, body, depth)? {
-                        Flow::Normal | Flow::Continue => {}
-                        Flow::Break => return Ok(Flow::Normal),
-                        ret @ Flow::Return(_) => return Ok(ret),
-                    }
+            StmtKind::While { cond, body } => loop {
+                self.tick()?;
+                if self.expr(module, func, env, cond, depth)? == 0 {
+                    return Ok(Flow::Normal);
                 }
-            }
-            StmtKind::For { init, cond, step, body } => {
+                match self.block(module, func, env, body, depth)? {
+                    Flow::Normal | Flow::Continue => {}
+                    Flow::Break => return Ok(Flow::Normal),
+                    ret @ Flow::Return(_) => return Ok(ret),
+                }
+            },
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 env.scopes.push(HashMap::new());
                 let result = (|| {
                     if let Some(init) = init {
@@ -466,7 +488,11 @@ impl<'m> Exec<'m> {
                 };
                 Ok(Some(v))
             }
-            ExprKind::Call { module: target_module, name, args } => {
+            ExprKind::Call {
+                module: target_module,
+                name,
+                args,
+            } => {
                 let mut argv = Vec::with_capacity(args.len());
                 for a in args {
                     argv.push(self.expr(module, func, env, a, depth)?);
@@ -544,8 +570,14 @@ mod tests {
         )]);
         assert_eq!(run_main(&m, &[2]).unwrap().return_value, Some(9));
         assert_eq!(run_main(&m, &[0]).unwrap().return_value, Some(0)); // zero-init
-        assert!(matches!(run_main(&m, &[4]), Err(RefError::OutOfBounds { .. })));
-        assert!(matches!(run_main(&m, &[-1]), Err(RefError::OutOfBounds { .. })));
+        assert!(matches!(
+            run_main(&m, &[4]),
+            Err(RefError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            run_main(&m, &[-1]),
+            Err(RefError::OutOfBounds { .. })
+        ));
     }
 
     #[test]
@@ -618,8 +650,19 @@ mod tests {
 
     #[test]
     fn infinite_loop_exhausts_fuel() {
-        let m = machine(&[("main", "fn main(n: int) -> int { while (true) {} return n; }")]);
-        let out = m.run("main", "main", &[1], RefOptions { fuel: 10_000, max_depth: 8 });
+        let m = machine(&[(
+            "main",
+            "fn main(n: int) -> int { while (true) {} return n; }",
+        )]);
+        let out = m.run(
+            "main",
+            "main",
+            &[1],
+            RefOptions {
+                fuel: 10_000,
+                max_depth: 8,
+            },
+        );
         assert_eq!(out.unwrap_err(), RefError::OutOfFuel);
     }
 

@@ -50,7 +50,9 @@ pub use stats::{DormancyProfile, PassDormancy, StabilityTracker};
 mod integration {
     use super::*;
     use sfcc_ir::Fingerprint;
-    use sfcc_passes::{FunctionTrace, PassOutcome, PassQuery, PassRecord, PipelineTrace, SkipOracle};
+    use sfcc_passes::{
+        FunctionTrace, PassOutcome, PassQuery, PassRecord, PipelineTrace, SkipOracle,
+    };
 
     fn trace(func: &str, outcomes: &[PassOutcome]) -> PipelineTrace {
         PipelineTrace {
@@ -78,7 +80,10 @@ mod integration {
     fn record_then_skip_then_persist() {
         let hash = StateDb::pipeline_hash(&["pass0", "pass1"]);
         let mut db = StateDb::new();
-        db.ingest(&trace("f", &[PassOutcome::Dormant, PassOutcome::Active]), hash);
+        db.ingest(
+            &trace("f", &[PassOutcome::Dormant, PassOutcome::Active]),
+            hash,
+        );
 
         // The oracle now advises skipping slot 0 but not slot 1.
         let oracle = DbOracle::new(&db, SkipPolicy::PreviousBuild);
@@ -89,14 +94,24 @@ mod integration {
             pass: "pass0",
             slot: 0,
         };
-        let q1 = PassQuery { slot: 1, pass: "pass1", ..q0 };
+        let q1 = PassQuery {
+            slot: 1,
+            pass: "pass1",
+            ..q0
+        };
         assert!(oracle.should_skip(&q0));
         assert!(!oracle.should_skip(&q1));
 
         // Ingest the skipped build and survive a disk round-trip.
-        db.ingest(&trace("f", &[PassOutcome::Skipped, PassOutcome::Active]), hash);
+        db.ingest(
+            &trace("f", &[PassOutcome::Skipped, PassOutcome::Active]),
+            hash,
+        );
         let back = statefile::from_bytes(&statefile::to_bytes(&db)).unwrap();
         assert_eq!(back, db);
-        assert_eq!(back.module("m").unwrap().functions["f"].slots[0].times_skipped, 1);
+        assert_eq!(
+            back.module("m").unwrap().functions["f"].slots[0].times_skipped,
+            1
+        );
     }
 }

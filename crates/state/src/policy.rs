@@ -78,7 +78,10 @@ impl<'a> DbOracle<'a> {
 
     /// `(queries, skips)` counters accumulated so far.
     pub fn stats(&self) -> (u64, u64) {
-        (self.queries.load(Ordering::Relaxed), self.skips.load(Ordering::Relaxed))
+        (
+            self.queries.load(Ordering::Relaxed),
+            self.skips.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -88,8 +91,12 @@ impl<'a> SkipOracle for DbOracle<'a> {
         if self.policy == SkipPolicy::Never || self.protected.contains(&query.slot) {
             return false;
         }
-        let Some(module) = self.db.module(query.module) else { return false };
-        let Some(record) = module.functions.get(query.function) else { return false };
+        let Some(module) = self.db.module(query.module) else {
+            return false;
+        };
+        let Some(record) = module.functions.get(query.function) else {
+            return false;
+        };
         if query.slot >= record.slots.len() {
             return false; // pipeline grew; unknown slot must run
         }

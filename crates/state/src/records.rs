@@ -70,6 +70,40 @@ impl FunctionRecord {
     }
 }
 
+impl ModuleState {
+    /// A deterministic stamp of this module's dormancy content, for change
+    /// detection by incremental engines: equal stamps mean the state would
+    /// drive identical skip decisions. Function order does not matter.
+    pub fn content_stamp(&self) -> u64 {
+        let mut repr = String::new();
+        repr.push_str(&format!(
+            "ph={:x};bc={};",
+            self.pipeline_hash.0, self.build_counter
+        ));
+        let mut names: Vec<&String> = self.functions.keys().collect();
+        names.sort();
+        for name in names {
+            let record = &self.functions[name];
+            repr.push_str(&format!(
+                "{name}:{:x}/{:x}@{}",
+                record.fingerprint.0, record.exit_fingerprint.0, record.last_build
+            ));
+            for slot in &record.slots {
+                repr.push_str(&format!(
+                    "|{}{}s{}h{}o{}",
+                    slot.dormant as u8,
+                    slot.dormant_streak,
+                    slot.times_skipped,
+                    slot.history,
+                    slot.observations
+                ));
+            }
+            repr.push(';');
+        }
+        crate::codec::fnv64(repr.as_bytes())
+    }
+}
+
 /// Per-module dormancy state.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ModuleState {
@@ -140,7 +174,10 @@ impl StateDb {
 fn merge(old: Option<&FunctionRecord>, trace: &FunctionTrace, build: u64) -> FunctionRecord {
     let mut slots = Vec::with_capacity(trace.records.len());
     for (i, rec) in trace.records.iter().enumerate() {
-        let prev = old.and_then(|o| o.slots.get(i)).copied().unwrap_or_default();
+        let prev = old
+            .and_then(|o| o.slots.get(i))
+            .copied()
+            .unwrap_or_default();
         let push_history = |dormant_bit: bool| -> (u8, u8) {
             (
                 (prev.history << 1) | dormant_bit as u8,
@@ -261,8 +298,8 @@ mod tests {
         let mut db = StateDb::new();
         db.ingest(&trace_of("m", "f", &[PassOutcome::Dormant]), HASH);
         db.ingest(&trace_of("m", "g", &[PassOutcome::Dormant]), HASH);
-        assert!(db.module("m").unwrap().functions.get("f").is_none());
-        assert!(db.module("m").unwrap().functions.get("g").is_some());
+        assert!(!db.module("m").unwrap().functions.contains_key("f"));
+        assert!(db.module("m").unwrap().functions.contains_key("g"));
     }
 
     #[test]

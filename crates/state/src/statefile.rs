@@ -105,10 +105,22 @@ pub fn from_bytes(bytes: &[u8]) -> Result<StateDb, DecodeError> {
             }
             functions.insert(
                 fname,
-                FunctionRecord { fingerprint, exit_fingerprint, slots, last_build },
+                FunctionRecord {
+                    fingerprint,
+                    exit_fingerprint,
+                    slots,
+                    last_build,
+                },
             );
         }
-        modules.insert(name, ModuleState { pipeline_hash, functions, build_counter });
+        modules.insert(
+            name,
+            ModuleState {
+                pipeline_hash,
+                functions,
+                build_counter,
+            },
+        );
     }
     let payload_end = MAGIC.len() + (bytes.len() - MAGIC.len() - r.remaining());
     let declared = r.u64()?;
@@ -179,7 +191,11 @@ mod tests {
         );
         db.modules.insert(
             "m".to_string(),
-            ModuleState { pipeline_hash: Fingerprint(11), functions, build_counter: 7 },
+            ModuleState {
+                pipeline_hash: Fingerprint(11),
+                functions,
+                build_counter: 7,
+            },
         );
         db
     }
@@ -230,7 +246,10 @@ mod tests {
     fn truncation_detected() {
         let bytes = to_bytes(&sample_db());
         for cut in [bytes.len() - 1, bytes.len() / 2, 8] {
-            assert!(from_bytes(&bytes[..cut]).is_err(), "cut at {cut} not detected");
+            assert!(
+                from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} not detected"
+            );
         }
     }
 

@@ -85,8 +85,11 @@ impl DormancyProfile {
 
     /// Pass names sorted by descending dormancy rate.
     pub fn ranked(&self) -> Vec<(&str, PassDormancy)> {
-        let mut rows: Vec<(&str, PassDormancy)> =
-            self.per_pass.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        let mut rows: Vec<(&str, PassDormancy)> = self
+            .per_pass
+            .iter()
+            .map(|(k, v)| (k.as_str(), *v))
+            .collect();
         rows.sort_by(|a, b| {
             b.1.dormancy_rate()
                 .partial_cmp(&a.1.dormancy_rate())

@@ -84,9 +84,16 @@ impl EditScript {
     /// Restricts the script to a single edit kind (for per-kind sweeps).
     pub fn only(seed: u64, kind: EditKind) -> Self {
         let mut weights = [0; 4];
-        let idx = EditKind::all().iter().position(|k| *k == kind).expect("kind");
+        let idx = EditKind::all()
+            .iter()
+            .position(|k| *k == kind)
+            .expect("kind");
         weights[idx] = 1;
-        EditScript { rng: StdRng::seed_from_u64(seed ^ 0xED17), commits_applied: 0, weights }
+        EditScript {
+            rng: StdRng::seed_from_u64(seed ^ 0xED17),
+            commits_applied: 0,
+            weights,
+        }
     }
 
     fn pick_kind(&mut self) -> EditKind {
@@ -109,7 +116,7 @@ impl EditScript {
         let kind = self.pick_kind();
         self.commits_applied += 1;
         let module_idx = self.rng.gen_range(0..model.modules.len() - 1);
-        let commit = match kind {
+        match kind {
             EditKind::AddFunction => {
                 let function = self.add_function(model, module_idx);
                 Commit {
@@ -130,15 +137,19 @@ impl EditScript {
                     function: model.modules[module_idx].functions[fn_idx].name.clone(),
                 }
             }
-        };
-        commit
+        }
     }
 
     /// Applies a commit that touches `count` distinct functions (for the
     /// edit-size sweep, experiment E6). All edits are body-only tweaks.
     pub fn wide_commit(&mut self, model: &mut ProjectModel, count: usize) -> Vec<Commit> {
         let mut sites: Vec<(usize, usize)> = Vec::new();
-        for (mi, module) in model.modules.iter().enumerate().take(model.modules.len() - 1) {
+        for (mi, module) in model
+            .modules
+            .iter()
+            .enumerate()
+            .take(model.modules.len() - 1)
+        {
             for fi in 0..module.functions.len() {
                 sites.push((mi, fi));
             }

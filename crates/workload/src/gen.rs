@@ -126,15 +126,17 @@ pub fn generate_model(config: &GeneratorConfig) -> ProjectModel {
         // Cap the import list so interfaces stay readable.
         imports.truncate(6);
 
-        let fn_count =
-            rng.gen_range(config.functions_per_module.0..=config.functions_per_module.1);
+        let fn_count = rng.gen_range(config.functions_per_module.0..=config.functions_per_module.1);
         let mut functions = Vec::with_capacity(fn_count);
         for fi in 0..fn_count {
-            let func =
-                make_function(config, &mut rng, &modules, mi, &imports, fi, &functions);
+            let func = make_function(config, &mut rng, &modules, mi, &imports, fi, &functions);
             functions.push(func);
         }
-        modules.push(ModuleModel { name, imports, functions });
+        modules.push(ModuleModel {
+            name,
+            imports,
+            functions,
+        });
     }
 
     // The `main` module imports everything directly and calls a sample of
@@ -160,11 +162,23 @@ fn make_function(
     // DAG by construction.
     let mut candidates: Vec<(CalleeRef, u32)> = Vec::new();
     for (i, f) in earlier_in_module.iter().enumerate() {
-        candidates.push((CalleeRef { module: module_idx, function: i }, f.depth));
+        candidates.push((
+            CalleeRef {
+                module: module_idx,
+                function: i,
+            },
+            f.depth,
+        ));
     }
     for &imp in imports {
         for (i, f) in modules[imp].functions.iter().enumerate() {
-            candidates.push((CalleeRef { module: imp, function: i }, f.depth));
+            candidates.push((
+                CalleeRef {
+                    module: imp,
+                    function: i,
+                },
+                f.depth,
+            ));
         }
     }
     candidates.retain(|(_, depth)| *depth < MAX_CALL_DEPTH);
@@ -185,8 +199,7 @@ fn make_function(
         name: format!("f{fn_idx}"),
         params: rng.gen_range(1..=3),
         body_seed: rng.gen(),
-        stmt_budget: rng
-            .gen_range(config.stmts_per_function.0..=config.stmts_per_function.1),
+        stmt_budget: rng.gen_range(config.stmts_per_function.0..=config.stmts_per_function.1),
         callees,
         depth,
         const_bump: 0,
@@ -201,7 +214,13 @@ fn make_main(rng: &mut StdRng, modules: &[ModuleModel]) -> ModuleModel {
     let mut all: Vec<(CalleeRef, u32)> = Vec::new();
     for (mi, m) in modules.iter().enumerate() {
         for (fi, f) in m.functions.iter().enumerate() {
-            all.push((CalleeRef { module: mi, function: fi }, f.depth));
+            all.push((
+                CalleeRef {
+                    module: mi,
+                    function: fi,
+                },
+                f.depth,
+            ));
         }
     }
     all.retain(|(_, d)| *d < MAX_CALL_DEPTH);
@@ -219,7 +238,11 @@ fn make_main(rng: &mut StdRng, modules: &[ModuleModel]) -> ModuleModel {
         const_bump: 0,
         extra_stmts: 0,
     };
-    ModuleModel { name: "main".into(), imports, functions: vec![main_fn] }
+    ModuleModel {
+        name: "main".into(),
+        imports,
+        functions: vec![main_fn],
+    }
 }
 
 #[cfg(test)]
@@ -233,8 +256,8 @@ mod tests {
         for module in &model.modules {
             let src = model.render_module(module);
             let mut diags = Diagnostics::new();
-            let checked = parse_and_check(&module.name, &src, &env, &mut diags)
-                .unwrap_or_else(|| {
+            let checked =
+                parse_and_check(&module.name, &src, &env, &mut diags).unwrap_or_else(|| {
                     panic!(
                         "generated module '{}' is invalid:\n{diags:?}\n--- source ---\n{src}",
                         module.name

@@ -175,8 +175,11 @@ impl<'a> BodyBuilder<'a> {
     /// would make the loop non-terminating. Never empty — the accumulator
     /// (`v0`) is always in scope.
     fn pick_assignable(&mut self) -> String {
-        let vars: Vec<String> =
-            self.vars().into_iter().filter(|v| !v.starts_with('i')).collect();
+        let vars: Vec<String> = self
+            .vars()
+            .into_iter()
+            .filter(|v| !v.starts_with('i'))
+            .collect();
         let i = self.rng.gen_range(0..vars.len());
         vars[i].clone()
     }
@@ -238,8 +241,9 @@ impl<'a> BodyBuilder<'a> {
     }
 
     fn build(mut self) -> String {
-        let params: Vec<String> =
-            (0..self.func.params).map(|i| format!("p{i}: int")).collect();
+        let params: Vec<String> = (0..self.func.params)
+            .map(|i| format!("p{i}: int"))
+            .collect();
         let header = format!("fn {}({}) -> int {{", self.func.name, params.join(", "));
 
         // Seed an accumulator so every body has a stable return value chain.
@@ -349,13 +353,10 @@ impl<'a> BodyBuilder<'a> {
             }
             // Call a frozen callee (never under a loop; see `loop_depth`).
             85..=94 if self.loop_depth == 0 && !self.func.callees.is_empty() => {
-                let callee =
-                    self.func.callees[self.call_cursor % self.func.callees.len()];
+                let callee = self.func.callees[self.call_cursor % self.func.callees.len()];
                 self.call_cursor += 1;
-                let target =
-                    &self.model.modules[callee.module].functions[callee.function];
-                let args: Vec<String> =
-                    (0..target.params).map(|_| self.expr(1)).collect();
+                let target = &self.model.modules[callee.module].functions[callee.function];
+                let args: Vec<String> = (0..target.params).map(|_| self.expr(1)).collect();
                 let call = self.model.call_expr(self.module, callee, &args.join(", "));
                 self.line(&format!("{acc} = {acc} + {call};"));
             }

@@ -67,7 +67,10 @@ impl ChurnStats {
         script: &mut crate::edits::EditScript,
         commits: usize,
     ) -> ChurnStats {
-        let mut stats = ChurnStats { commits, ..ChurnStats::default() };
+        let mut stats = ChurnStats {
+            commits,
+            ..ChurnStats::default()
+        };
         let mut before = model.render();
         for _ in 0..commits {
             script.commit(model);
@@ -162,6 +165,9 @@ mod tests {
         let model = generate_model(&cfg);
         let project = model.render();
         let stats = ProjectStats::of(&cfg.name, &model, &project);
-        assert_eq!(stats.row().split_whitespace().count(), ProjectStats::header().split_whitespace().count());
+        assert_eq!(
+            stats.row().split_whitespace().count(),
+            ProjectStats::header().split_whitespace().count()
+        );
     }
 }

@@ -25,7 +25,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for job in 1..=8 {
         // Every job is a brand-new session; dormancy state survives on disk.
         let compiler = Compiler::new(
-            Config::stateful().with_state_path(&state_path).with_function_cache(),
+            Config::stateful()
+                .with_state_path(&state_path)
+                .with_function_cache(),
         );
         let cold = compiler.state().function_count() == 0;
         let mut builder = Builder::new(compiler);
@@ -40,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 commit.function
             );
         } else {
-            println!("job {job}: initial import{}", if cold { " (cold state)" } else { "" });
+            println!(
+                "job {job}: initial import{}",
+                if cold { " (cold state)" } else { "" }
+            );
         }
 
         let report = builder.build(&model.render())?;
@@ -67,7 +72,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         builder.compiler().save_state()?;
     }
 
-    println!("\n{verified}/8 jobs verified; state file at {}", state_path.display());
+    println!(
+        "\n{verified}/8 jobs verified; state file at {}",
+        state_path.display()
+    );
     std::fs::remove_dir_all(&state_dir)?;
     Ok(())
 }

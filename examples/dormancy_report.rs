@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     names.sort();
 
     // Legend + per-function dormancy bitmap (A = active, . = dormant).
-    println!("{:<8} {}", "", "A = pass fired, . = pass was dormant");
+    println!("{:<8} A = pass fired, . = pass was dormant", "");
     for name in names {
         let record = &module.functions[name];
         let bitmap: String = record

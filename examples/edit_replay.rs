@@ -12,7 +12,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = GeneratorConfig::medium(42);
     let commits = 12;
 
-    println!("project: {} modules (+main), replaying {commits} commits\n", config.modules);
+    println!(
+        "project: {} modules (+main), replaying {commits} commits\n",
+        config.modules
+    );
     println!(
         "{:>7}  {:<12} {:>8}  {:>14}  {:>14}  {:>8}",
         "commit", "edit", "rebuilt", "stateless(ms)", "stateful(ms)", "skipped"
@@ -25,8 +28,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut model_b = generate_model(&config);
     let mut script_b = EditScript::new(7);
-    let mut stateful =
-        Builder::new(Compiler::new(Config::stateless().with_policy(SkipPolicy::PreviousBuild)));
+    let mut stateful = Builder::new(Compiler::new(
+        Config::stateless().with_policy(SkipPolicy::PreviousBuild),
+    ));
 
     baseline.build(&model_a.render())?;
     stateful.build(&model_b.render())?;

@@ -31,12 +31,15 @@ fn main(n: int) -> int {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut diags = Diagnostics::new();
-    let checked = parse_and_check("demo", SRC, &ModuleEnv::new(), &mut diags)
-        .ok_or("frontend errors")?;
+    let checked =
+        parse_and_check("demo", SRC, &ModuleEnv::new(), &mut diags).ok_or("frontend errors")?;
     let mut module = sfcc_ir::lower_module(&checked, &ModuleEnv::new());
 
     println!("=== as lowered (Clang-style: every local is a stack slot) ===");
-    println!("{}", function_to_string(module.function("main").expect("main exists")));
+    println!(
+        "{}",
+        function_to_string(module.function("main").expect("main exists"))
+    );
 
     // The default pipeline's pass sequence, run one pass at a time over the
     // whole module so we can narrate.
@@ -84,9 +87,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if changed_any {
             sfcc_ir::verify_module(&module)?;
             println!("=== after {} (ACTIVE) ===", pass.name());
-            println!("{}", function_to_string(module.function("main").expect("main exists")));
+            println!(
+                "{}",
+                function_to_string(module.function("main").expect("main exists"))
+            );
         } else {
-            println!("--- {} was dormant — the stateful compiler would skip it next time", pass.name());
+            println!(
+                "--- {} was dormant — the stateful compiler would skip it next time",
+                pass.name()
+            );
         }
     }
 

@@ -44,7 +44,10 @@ impl Criterion {
 
     /// Opens a named group; benchmarks inside it report as `group/id`.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { parent: self, name: name.to_string() }
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+        }
     }
 }
 
@@ -61,7 +64,12 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{id}", self.name);
-        run_one(&full, self.parent.sample_size, self.parent.test_mode, &mut f);
+        run_one(
+            &full,
+            self.parent.sample_size,
+            self.parent.test_mode,
+            &mut f,
+        );
         self
     }
 
@@ -165,7 +173,10 @@ mod tests {
 
     #[test]
     fn bench_function_runs_the_routine() {
-        let mut criterion = Criterion { sample_size: 3, test_mode: false };
+        let mut criterion = Criterion {
+            sample_size: 3,
+            test_mode: false,
+        };
         let mut runs = 0u64;
         criterion.bench_function("probe", |b| b.iter(|| runs += 1));
         assert_eq!(runs, 3);
@@ -173,7 +184,10 @@ mod tests {
 
     #[test]
     fn iter_batched_runs_setup_per_iteration() {
-        let mut criterion = Criterion { sample_size: 4, test_mode: false };
+        let mut criterion = Criterion {
+            sample_size: 4,
+            test_mode: false,
+        };
         let mut setups = 0u64;
         let mut group = criterion.benchmark_group("g");
         group.bench_function("probe", |b| {

@@ -46,7 +46,9 @@ pub mod thread {
             T: Send + 'scope,
         {
             let scope = *self;
-            ScopedJoinHandle { inner: self.inner.spawn(move || f(&scope)) }
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
         }
     }
 
@@ -73,8 +75,7 @@ mod tests {
     fn scoped_threads_borrow_and_join() {
         let data = [1u64, 2, 3, 4];
         let total: u64 = crate::thread::scope(|scope| {
-            let handles: Vec<_> =
-                data.iter().map(|n| scope.spawn(move |_| n * 10)).collect();
+            let handles: Vec<_> = data.iter().map(|n| scope.spawn(move |_| n * 10)).collect();
             handles.into_iter().map(|h| h.join().unwrap()).sum()
         })
         .unwrap();
@@ -84,7 +85,10 @@ mod tests {
     #[test]
     fn children_can_spawn_siblings() {
         let v = crate::thread::scope(|scope| {
-            scope.spawn(|inner| inner.spawn(|_| 7).join().unwrap()).join().unwrap()
+            scope
+                .spawn(|inner| inner.spawn(|_| 7).join().unwrap())
+                .join()
+                .unwrap()
         })
         .unwrap();
         assert_eq!(v, 7);

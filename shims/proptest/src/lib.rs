@@ -24,7 +24,9 @@ pub mod test_runner {
     impl TestRng {
         /// A generator with the given seed.
         pub fn new(seed: u64) -> TestRng {
-            TestRng { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+            TestRng {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
         }
 
         /// The next word of the stream.
@@ -88,7 +90,9 @@ pub trait Strategy {
     where
         Self: Sized + 'static,
     {
-        BoxedStrategy { sample: Rc::new(move |rng| self.generate(rng)) }
+        BoxedStrategy {
+            sample: Rc::new(move |rng| self.generate(rng)),
+        }
     }
 }
 
@@ -129,7 +133,9 @@ pub struct BoxedStrategy<T> {
 
 impl<T> Clone for BoxedStrategy<T> {
     fn clone(&self) -> Self {
-        BoxedStrategy { sample: Rc::clone(&self.sample) }
+        BoxedStrategy {
+            sample: Rc::clone(&self.sample),
+        }
     }
 }
 
@@ -284,7 +290,9 @@ pub mod pattern {
             None => ((0x20u8..0x7f).map(char::from).collect(), 0, 16),
         };
         let len = lo + rng.below(hi - lo + 1);
-        (0..len).map(|_| alphabet[rng.below(alphabet.len())]).collect()
+        (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len())])
+            .collect()
     }
 
     fn parse(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
@@ -312,9 +320,7 @@ pub mod pattern {
                 set.push(unescape(*chars.get(i + 1)?));
                 last_literal = true;
                 i += 2;
-            } else if chars[i] == '-'
-                && last_literal
-                && chars.get(i + 1).is_some_and(|&n| n != ']')
+            } else if chars[i] == '-' && last_literal && chars.get(i + 1).is_some_and(|&n| n != ']')
             {
                 // A range: the low end was just pushed; replace it.
                 let lo = set.pop()?;
@@ -396,8 +402,8 @@ pub mod prelude {
     //! The customary `use proptest::prelude::*;` import surface.
 
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy,
-        Just, ProptestConfig, Strategy,
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy, Just,
+        ProptestConfig, Strategy,
     };
 }
 
@@ -540,8 +546,8 @@ mod tests {
     #[test]
     fn vec_and_map_compose() {
         let mut rng = TestRng::new(4);
-        let strat = crate::collection::vec((any::<bool>(), 0u32..5), 2..7)
-            .prop_map(|pairs| pairs.len());
+        let strat =
+            crate::collection::vec((any::<bool>(), 0u32..5), 2..7).prop_map(|pairs| pairs.len());
         for _ in 0..50 {
             let n = strat.generate(&mut rng);
             assert!((2..7).contains(&n));

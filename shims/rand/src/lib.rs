@@ -38,7 +38,10 @@ pub trait Rng: RngCore {
     where
         Self: Sized,
     {
-        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} out of range");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} out of range"
+        );
         ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
     }
 

@@ -29,9 +29,16 @@ fn commit_replay_rebuilds_minimally() {
         // A body edit rebuilds exactly the edited module; an interface
         // change (add-fn) additionally rebuilds dependents.
         assert!(report.rebuilt_count() >= 1, "commit {commit:?}");
-        assert!(report.module(&commit.module).unwrap().rebuilt, "commit {commit:?}");
+        assert!(
+            report.module(&commit.module).unwrap().rebuilt,
+            "commit {commit:?}"
+        );
         if commit.kind != sfcc_workload::EditKind::AddFunction {
-            assert_eq!(report.rebuilt_count(), 1, "body edit must stay local: {commit:?}");
+            assert_eq!(
+                report.rebuilt_count(),
+                1,
+                "body edit must stay local: {commit:?}"
+            );
         }
     }
 }
@@ -48,7 +55,9 @@ fn state_survives_builder_sessions_on_disk() {
     // Session 1: full build, persist.
     {
         let mut builder = Builder::new(Compiler::new(
-            Config::stateful().with_state_path(&state_path).with_verification(),
+            Config::stateful()
+                .with_state_path(&state_path)
+                .with_verification(),
         ));
         builder.build(&model.render()).unwrap();
         builder.compiler().save_state().unwrap();
@@ -58,7 +67,9 @@ fn state_survives_builder_sessions_on_disk() {
     // on the first incremental build.
     {
         let mut builder = Builder::new(Compiler::new(
-            Config::stateful().with_state_path(&state_path).with_verification(),
+            Config::stateful()
+                .with_state_path(&state_path)
+                .with_verification(),
         ));
         script.commit(&mut model);
         let report = builder.build(&model.render()).unwrap();
@@ -112,8 +123,8 @@ fn parallel_and_sequential_stateful_builds_agree() {
     let policy = SkipPolicy::PreviousBuild;
 
     let mut seq = Builder::new(Compiler::new(Config::stateless().with_policy(policy)));
-    let mut par = Builder::new(Compiler::new(Config::stateless().with_policy(policy)))
-        .with_parallelism();
+    let mut par =
+        Builder::new(Compiler::new(Config::stateless().with_policy(policy))).with_parallelism();
 
     for _ in 0..4 {
         let project = model.render();

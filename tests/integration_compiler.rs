@@ -43,7 +43,9 @@ fn collatz_steps(n: int) -> int {
 }
 fn main(n: int) -> int { return collatz_steps(n + 1); }";
     let mut o0 = Compiler::new(
-        Config::stateless().with_opt_level(OptLevel::O0).with_verification(),
+        Config::stateless()
+            .with_opt_level(OptLevel::O0)
+            .with_verification(),
     );
     let mut o2 = Compiler::new(Config::stateless().with_verification());
     let slow = o0.compile("main", src, &ModuleEnv::new()).unwrap();
@@ -79,8 +81,7 @@ fn main(n: int) -> int {
         SkipPolicy::Consecutive(2),
         SkipPolicy::AlwaysSkipKnown,
     ] {
-        let mut c =
-            Compiler::new(Config::stateless().with_policy(policy).with_verification());
+        let mut c = Compiler::new(Config::stateless().with_policy(policy).with_verification());
         c.compile("main", v1, &env).unwrap();
         c.compile("main", v1, &env).unwrap(); // build streaks
         let got = c.compile("main", &v2, &env).unwrap();
@@ -113,8 +114,10 @@ fn batch_compilation_matches_sequential() {
         .collect();
 
     let mut par = Compiler::new(Config::stateful().with_verification());
-    let units: Vec<(&str, &str, &ModuleEnv)> =
-        sources.iter().map(|(n, s)| (n.as_str(), s.as_str(), &env)).collect();
+    let units: Vec<(&str, &str, &ModuleEnv)> = sources
+        .iter()
+        .map(|(n, s)| (n.as_str(), s.as_str(), &env))
+        .collect();
     let par_outs = par.compile_batch(&units, true);
 
     for (a, b) in seq_outs.iter().zip(&par_outs) {
@@ -141,8 +144,10 @@ fn mode_reporting_is_accurate() {
 fn skipping_never_fires_for_changed_signatures() {
     // Renaming a function breaks the name-keyed record chain: the renamed
     // function is "new" and must run everything.
-    let v1 = "fn helper(x: int) -> int { return x + 1; }\nfn main(n: int) -> int { return helper(n); }";
-    let v2 = "fn assist(x: int) -> int { return x + 1; }\nfn main(n: int) -> int { return assist(n); }";
+    let v1 =
+        "fn helper(x: int) -> int { return x + 1; }\nfn main(n: int) -> int { return helper(n); }";
+    let v2 =
+        "fn assist(x: int) -> int { return x + 1; }\nfn main(n: int) -> int { return assist(n); }";
     let env = ModuleEnv::new();
     let mut c = Compiler::new(Config::stateful().with_verification());
     c.compile("main", v1, &env).unwrap();

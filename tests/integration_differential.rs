@@ -7,7 +7,10 @@ use sfcc_backend::{run, RunOutput, VmError, VmOptions};
 use sfcc_buildsys::Builder;
 use sfcc_workload::{generate_model, EditScript, GeneratorConfig};
 
-fn behaviours(report: &sfcc_buildsys::BuildReport, args: &[i64]) -> Vec<Result<RunOutput, VmError>> {
+fn behaviours(
+    report: &sfcc_buildsys::BuildReport,
+    args: &[i64],
+) -> Vec<Result<RunOutput, VmError>> {
     args.iter()
         .map(|&n| run(&report.program, "main.main", &[n], VmOptions::default()))
         .collect()
@@ -49,7 +52,10 @@ fn differential_o0_o2_stateful_agree_across_seeds() {
         st.build(&project).unwrap();
         st.clear_cache();
         let rs = st.build(&project).unwrap();
-        assert!(rs.outcome_totals().2 > 0, "seed {seed}: warm rebuild should skip");
+        assert!(
+            rs.outcome_totals().2 > 0,
+            "seed {seed}: warm rebuild should skip"
+        );
 
         let b0 = behaviours(&r0, &args);
         let b2 = behaviours(&r2, &args);

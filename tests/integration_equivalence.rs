@@ -43,7 +43,10 @@ fn check_history(config: GeneratorConfig, edit_seed: u64, commits: usize) {
             }
         }
     }
-    assert!(total_skipped > 0, "the stateful compiler never skipped anything");
+    assert!(
+        total_skipped > 0,
+        "the stateful compiler never skipped anything"
+    );
 }
 
 #[test]
@@ -116,5 +119,10 @@ fn quality_gap_stays_bounded() {
     let oa = run(&ra.program, "main.main", &[9], VmOptions::default()).unwrap();
     let ob = run(&rb.program, "main.main", &[9], VmOptions::default()).unwrap();
     let gap = (ob.executed as f64 - oa.executed as f64) / oa.executed.max(1) as f64;
-    assert!(gap < 0.10, "quality gap too large: {gap:.3} ({} vs {})", oa.executed, ob.executed);
+    assert!(
+        gap < 0.10,
+        "quality gap too large: {gap:.3} ({} vs {})",
+        oa.executed,
+        ob.executed
+    );
 }

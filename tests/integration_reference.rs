@@ -27,12 +27,7 @@ fn reference_machine(model: &ProjectModel) -> Machine {
 }
 
 /// Compares one run: reference vs VM, including trap kinds.
-fn compare(
-    machine: &Machine,
-    report: &sfcc_buildsys::BuildReport,
-    arg: i64,
-    ctx: &str,
-) {
+fn compare(machine: &Machine, report: &sfcc_buildsys::BuildReport, arg: i64, ctx: &str) {
     let want = machine.run("main", "main", &[arg], RefOptions::default());
     let got = vm_run(&report.program, "main.main", &[arg], VmOptions::default());
     match (want, got) {
