@@ -7,3 +7,5 @@ cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
 cargo fmt --check
+# Smoke-run the parallel-scaling sweep (writes BENCH_parallel.json).
+cargo run -q -p sfcc-bench --release --bin exp_parallel_scaling -- --quick

@@ -1,0 +1,18 @@
+//! E13 — extension: function-level parallel optimization scaling
+//!
+//! Usage: `cargo run -p sfcc-bench --release --bin exp_parallel_scaling [--quick]`
+//!
+//! Prints the sweep tables and writes the machine-readable artifact to
+//! `BENCH_parallel.json` in the current directory (including the host's
+//! `detected_cores`, since the achievable speedup is bounded by it).
+
+fn main() {
+    let scale = sfcc_bench::Scale::from_args();
+    println!("# E13 — extension: parallel optimize scaling\n");
+    let (table, json) = sfcc_bench::experiments::parallel::parallel_scaling(scale);
+    print!("{table}");
+    match std::fs::write("BENCH_parallel.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_parallel.json"),
+        Err(e) => eprintln!("\ncannot write BENCH_parallel.json: {e}"),
+    }
+}

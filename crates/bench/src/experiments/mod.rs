@@ -14,9 +14,11 @@
 //! | E10 | Ablation: skip policies | [`quality::skip_policy_ablation`] |
 //! | E11 | Ablation: state granularity | [`quality::granularity_ablation`] |
 //! | E12 | Extension: function-level IR cache | [`extension::fn_cache_ablation`] |
+//! | E13 | Extension: parallel optimize scaling | [`parallel::parallel_scaling`] |
 
 pub mod end_to_end;
 pub mod extension;
+pub mod parallel;
 pub mod profile;
 pub mod quality;
 pub mod state_exp;
@@ -71,6 +73,10 @@ pub fn run_all(scale: crate::Scale) -> String {
         (
             "E12 — extension: function-level IR cache",
             extension::fn_cache_ablation(scale),
+        ),
+        (
+            "E13 — extension: parallel optimize scaling",
+            parallel::parallel_scaling(scale).0,
         ),
     ];
     let mut out = String::new();

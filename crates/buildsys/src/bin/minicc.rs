@@ -35,7 +35,10 @@ build flags:
   --stateful     stateful compilation; state persists in <dir>/.sfcc-state
   --stateless    stateless compilation (default)
   --fn-cache     enable the function-level IR cache
-  --jobs <N>     worker threads per wave (default: all available cores)
+  --jobs <N>     worker threads on one shared pool, stolen between module
+                 waves and per-function optimization tasks (default: all
+                 available cores); every value produces byte-identical
+                 output — N only changes wall time
   --parallel     alias for the default --jobs behavior
   --report json  (build) print a JSON build report instead of the summary
   -O0 | -O1 | -O2  optimization level (default -O2)";
@@ -167,7 +170,12 @@ fn config_of(flags: &BuildFlags, dir: &Path) -> Config {
     if flags.fn_cache {
         config = config.with_function_cache();
     }
-    config
+    let jobs = flags.jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1)
+    });
+    config.with_jobs(jobs)
 }
 
 /// Builds the project in `dir` under `flags`; persists state when stateful.

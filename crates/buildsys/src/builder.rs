@@ -170,7 +170,7 @@ impl Builder {
         self.engine
             .retain(|task| task.module().is_none_or(|m| project.contains(m)));
 
-        let mut spec = BuildSpec::new(project, &mut self.compiler);
+        let mut spec = BuildSpec::new(project, &mut self.compiler, self.jobs);
         self.engine.begin_session(&mut spec);
 
         let graph = self
@@ -193,7 +193,9 @@ impl Builder {
                     stale.push(name);
                 }
             }
-            if self.jobs > 1 && stale.len() > 1 {
+            // Even a single stale module is worth preparing: its functions
+            // fan out across the pool's workers.
+            if self.jobs > 1 && !stale.is_empty() {
                 let mut units = Vec::with_capacity(stale.len());
                 for name in &stale {
                     let mut env = ModuleEnv::new();
@@ -210,13 +212,16 @@ impl Builder {
                     };
                     units.push(((*name).clone(), source.to_string(), env));
                 }
-                spec.prepare_wave(&units, self.jobs);
+                spec.prepare_wave(&units);
             }
             for name in wave {
                 self.engine
                     .require(&mut spec, &BuildTask::Codegen(name.clone()))
                     .map_err(seal)?;
             }
+            // Wave boundary: publish this wave's fresh cache entries so the
+            // next wave can hit them — at the same point for every --jobs.
+            spec.flush_cache_inserts();
         }
 
         let program = (*self
@@ -301,6 +306,7 @@ impl Builder {
             link_ns: spec.link_ns(),
             modules,
             query,
+            jobs: self.jobs,
         })
     }
 }

@@ -3,7 +3,12 @@
 
 use sfcc::CompileOutput;
 use sfcc_backend::Program;
+use sfcc_passes::PassOutcome;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+/// How many rows the JSON report's "slowest slots" table carries.
+const SLOWEST_SLOTS: usize = 10;
 
 /// Demand statistics of the query engine for one build session.
 #[derive(Debug, Clone, Default)]
@@ -30,6 +35,34 @@ pub struct ModuleReport {
     pub output: Option<CompileOutput>,
 }
 
+/// Wall time of one *pass* (by name) aggregated over every function of
+/// every module rebuilt this build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassAggregate {
+    /// Pass name (a pipeline may run it in several slots).
+    pub pass: String,
+    /// Total wall time across all executions (ns).
+    pub total_ns: u64,
+    /// Executions that actually ran (active or dormant).
+    pub runs: u64,
+    /// Executions skipped on the oracle's advice.
+    pub skipped: u64,
+}
+
+/// Wall time of one *pipeline slot* aggregated over every function of every
+/// module rebuilt this build — the rows of the "slowest slots" table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotAggregate {
+    /// Position in the flattened pipeline.
+    pub slot: usize,
+    /// The pass occupying that slot.
+    pub pass: String,
+    /// Total wall time across all executions (ns).
+    pub total_ns: u64,
+    /// Executions that actually ran (active or dormant).
+    pub runs: u64,
+}
+
 /// The result of one [`crate::Builder::build`] call.
 #[derive(Debug, Clone)]
 pub struct BuildReport {
@@ -44,6 +77,8 @@ pub struct BuildReport {
     pub modules: Vec<ModuleReport>,
     /// Query-engine hit/miss accounting for this build session.
     pub query: QueryStats,
+    /// Worker threads the build was allowed to use (`--jobs`).
+    pub jobs: usize,
 }
 
 impl BuildReport {
@@ -87,6 +122,65 @@ impl BuildReport {
         self.modules.iter().filter_map(|m| m.output.as_ref())
     }
 
+    /// Optimize-phase wall time of one rebuilt module (pipeline + cache and
+    /// dormancy bookkeeping, ns); `None` when the module was not rebuilt.
+    pub fn optimize_ns(&self, name: &str) -> Option<u64> {
+        let output = self.module(name)?.output.as_ref()?;
+        Some(output.timings.middle_ns + output.timings.state_ns)
+    }
+
+    /// Per-pass wall time aggregated over rebuilt modules, slowest first
+    /// (ties broken by name for determinism).
+    pub fn pass_profile(&self) -> Vec<PassAggregate> {
+        let mut by_pass: BTreeMap<&str, PassAggregate> = BTreeMap::new();
+        for record in self.records() {
+            let agg = by_pass
+                .entry(record.pass.as_str())
+                .or_insert_with(|| PassAggregate {
+                    pass: record.pass.clone(),
+                    total_ns: 0,
+                    runs: 0,
+                    skipped: 0,
+                });
+            agg.total_ns += record.nanos;
+            match record.outcome {
+                PassOutcome::Skipped => agg.skipped += 1,
+                PassOutcome::Active | PassOutcome::Dormant => agg.runs += 1,
+            }
+        }
+        let mut profile: Vec<PassAggregate> = by_pass.into_values().collect();
+        profile.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.pass.cmp(&b.pass)));
+        profile
+    }
+
+    /// The `n` slowest pipeline slots by aggregate wall time over rebuilt
+    /// modules (ties broken by slot index for determinism).
+    pub fn slowest_slots(&self, n: usize) -> Vec<SlotAggregate> {
+        let mut by_slot: BTreeMap<usize, SlotAggregate> = BTreeMap::new();
+        for record in self.records() {
+            let agg = by_slot.entry(record.slot).or_insert_with(|| SlotAggregate {
+                slot: record.slot,
+                pass: record.pass.clone(),
+                total_ns: 0,
+                runs: 0,
+            });
+            agg.total_ns += record.nanos;
+            if record.outcome != PassOutcome::Skipped {
+                agg.runs += 1;
+            }
+        }
+        let mut slots: Vec<SlotAggregate> = by_slot.into_values().collect();
+        slots.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.slot.cmp(&b.slot)));
+        slots.truncate(n);
+        slots
+    }
+
+    fn records(&self) -> impl Iterator<Item = &sfcc_passes::PassRecord> {
+        self.outputs()
+            .flat_map(|out| out.trace.functions.iter())
+            .flat_map(|func| func.records.iter())
+    }
+
     /// Renders the report as a JSON object (machine-readable build summary
     /// for `minicc build --report json`). Hand-rolled — the workspace
     /// carries no serialization dependency.
@@ -94,11 +188,12 @@ impl BuildReport {
         let mut out = String::from("{");
         let _ = write!(
             out,
-            "\"wall_ns\":{},\"link_ns\":{},\"compile_ns\":{},\"rebuilt_count\":{},",
+            "\"wall_ns\":{},\"link_ns\":{},\"compile_ns\":{},\"rebuilt_count\":{},\"jobs\":{},",
             self.wall_ns,
             self.link_ns,
             self.compile_ns(),
-            self.rebuilt_count()
+            self.rebuilt_count(),
+            self.jobs
         );
         let (active, dormant, skipped) = self.outcome_totals();
         let _ = write!(
@@ -116,7 +211,33 @@ impl BuildReport {
             }
             push_json_string(&mut out, task);
         }
-        out.push_str("]},\"modules\":[");
+        out.push_str("]},\"pass_profile\":[");
+        for (i, agg) in self.pass_profile().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"pass\":");
+            push_json_string(&mut out, &agg.pass);
+            let _ = write!(
+                out,
+                ",\"total_ns\":{},\"runs\":{},\"skipped\":{}}}",
+                agg.total_ns, agg.runs, agg.skipped
+            );
+        }
+        out.push_str("],\"slowest_slots\":[");
+        for (i, agg) in self.slowest_slots(SLOWEST_SLOTS).iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"slot\":{},\"pass\":", agg.slot);
+            push_json_string(&mut out, &agg.pass);
+            let _ = write!(
+                out,
+                ",\"total_ns\":{},\"runs\":{}}}",
+                agg.total_ns, agg.runs
+            );
+        }
+        out.push_str("],\"modules\":[");
         for (i, module) in self.modules.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -128,12 +249,13 @@ impl BuildReport {
                 let (a, d, s) = output.outcome_totals();
                 let _ = write!(
                     out,
-                    ",\"timings_ns\":{{\"frontend\":{},\"lower\":{},\"middle\":{},\"backend\":{},\"state\":{}}},\"outcomes\":{{\"active\":{a},\"dormant\":{d},\"skipped\":{s}}}",
+                    ",\"timings_ns\":{{\"frontend\":{},\"lower\":{},\"middle\":{},\"backend\":{},\"state\":{}}},\"optimize_ns\":{},\"outcomes\":{{\"active\":{a},\"dormant\":{d},\"skipped\":{s}}}",
                     output.timings.frontend_ns,
                     output.timings.lower_ns,
                     output.timings.middle_ns,
                     output.timings.backend_ns,
                     output.timings.state_ns,
+                    output.timings.middle_ns + output.timings.state_ns,
                 );
             }
             out.push('}');

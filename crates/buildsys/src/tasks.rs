@@ -28,17 +28,18 @@
 use crate::builder::BuildError;
 use crate::graph::{parse_imports, DepGraph};
 use crate::project::Project;
-use sfcc::{Compiler, PhaseTimings};
+use sfcc::{Compiler, OptimizeOutcome, PhaseTimings};
 use sfcc_backend::{link_objects, CodeObject, Program};
 use sfcc_codec::fnv64;
 use sfcc_frontend::{CheckedModule, ModuleEnv, ModuleInterface};
 use sfcc_ir::print::module_to_string;
+use sfcc_ir::{Fingerprint, Function};
 use sfcc_passes::PipelineTrace;
+use sfcc_pool::PoolScope;
 use sfcc_query::{Ctx, QueryError, TaskSpec};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// One unit of memoizable build work, keyed by module where applicable.
@@ -170,29 +171,39 @@ impl BuildValue {
 struct PreparedModule {
     frontend: Option<(CheckedModule, u64)>,
     lower: Option<(sfcc_ir::Module, u64)>,
-    optimize: Option<(sfcc_ir::Module, PipelineTrace, u64, u64)>,
+    optimize: Option<(sfcc_ir::Module, OptimizeOutcome)>,
     codegen: Option<(CodeObject, u64)>,
 }
 
 /// The [`TaskSpec`] driving one build: a project snapshot, the (stateful)
 /// compiler session, and the scratch the driver reads back afterwards
-/// (per-module phase timings, link time, pre-computed wave artifacts).
+/// (per-module phase timings, link time, pre-computed wave artifacts,
+/// deferred function-cache inserts).
 pub struct BuildSpec<'a> {
     project: &'a Project,
     compiler: &'a mut Compiler,
     prepared: HashMap<String, PreparedModule>,
     timings: HashMap<String, PhaseTimings>,
     link_ns: u64,
+    jobs: usize,
+    /// Function-cache entries produced by optimize tasks, accumulated in
+    /// demand order and applied at wave boundaries
+    /// ([`BuildSpec::flush_cache_inserts`]) — for *every* `--jobs` value,
+    /// so cache visibility (and hence every trace, image, and state file)
+    /// is independent of the worker count.
+    cache_inserts: Vec<(Fingerprint, Function)>,
 }
 
 impl<'a> BuildSpec<'a> {
-    pub(crate) fn new(project: &'a Project, compiler: &'a mut Compiler) -> Self {
+    pub(crate) fn new(project: &'a Project, compiler: &'a mut Compiler, jobs: usize) -> Self {
         BuildSpec {
             project,
             compiler,
             prepared: HashMap::new(),
             timings: HashMap::new(),
             link_ns: 0,
+            jobs: jobs.max(1),
+            cache_inserts: Vec::new(),
         }
     }
 
@@ -207,41 +218,46 @@ impl<'a> BuildSpec<'a> {
         self.link_ns
     }
 
-    /// Compiles `units` — mutually independent modules of one wave — on up
-    /// to `jobs` worker threads against an immutable compiler snapshot,
-    /// parking the artifacts for the matching task executions to consume.
+    /// Compiles `units` — mutually independent modules of one wave — on a
+    /// single shared pool of `self.jobs` workers against an immutable
+    /// compiler snapshot, parking the artifacts for the matching task
+    /// executions to consume. Each module task fans its per-function
+    /// optimization work out into the *same* pool, so worker count never
+    /// exceeds `--jobs` regardless of how modules × functions multiply out.
+    /// Units are seeded largest-source-first so big modules start earliest.
     /// Units that fail to compile are skipped; the sequential demand re-runs
     /// them and surfaces the error deterministically.
-    pub(crate) fn prepare_wave(&mut self, units: &[(String, String, ModuleEnv)], jobs: usize) {
+    pub(crate) fn prepare_wave(&mut self, units: &[(String, String, ModuleEnv)]) {
         let compiler: &Compiler = self.compiler;
-        let next = AtomicUsize::new(0);
-        let workers = jobs.min(units.len()).max(1);
-        let prepared = crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    let next = &next;
-                    s.spawn(move |_| {
-                        let mut out: Vec<(String, PreparedModule)> = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some((name, source, env)) = units.get(i) else {
-                                break;
-                            };
-                            if let Some(p) = prepare_one(compiler, name, source, env) {
-                                out.push((name.clone(), p));
-                            }
-                        }
-                        out
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("prepare worker panicked"))
-                .collect::<Vec<_>>()
-        })
-        .expect("prepare scope panicked");
-        self.prepared.extend(prepared);
+        let slots: Vec<Mutex<Option<(String, PreparedModule)>>> =
+            units.iter().map(|_| Mutex::new(None)).collect();
+        let mut order: Vec<usize> = (0..units.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(units[i].1.len()));
+        sfcc_pool::scope(self.jobs, |ps| {
+            for &i in &order {
+                let (name, source, env) = &units[i];
+                let slots = &slots;
+                ps.spawn(move |ps| {
+                    if let Some(p) = prepare_one(compiler, name, source, env, ps) {
+                        *slots[i].lock().unwrap() = Some((name.clone(), p));
+                    }
+                });
+            }
+            // The scope drains every task before returning.
+        });
+        for slot in slots {
+            if let Some((name, p)) = slot.into_inner().expect("prepare slot poisoned") {
+                self.prepared.insert(name, p);
+            }
+        }
+    }
+
+    /// Applies the wave's accumulated function-cache inserts to the session
+    /// cache. The driver calls this at wave boundaries — the same points for
+    /// every `--jobs` value — so what later waves can hit is deterministic.
+    pub(crate) fn flush_cache_inserts(&mut self) {
+        let inserts = std::mem::take(&mut self.cache_inserts);
+        self.compiler.apply_cache_inserts(inserts);
     }
 
     fn source_of(&self, module: &str) -> &'a str {
@@ -250,27 +266,25 @@ impl<'a> BuildSpec<'a> {
 }
 
 /// Runs the full pipeline for one module against an immutable session
-/// snapshot (no function cache, no state ingestion — both are replayed by
-/// the sequenced task executions).
-fn prepare_one(
-    compiler: &Compiler,
+/// snapshot, fanning function-level optimization into `pool`. No state
+/// ingestion and no cache population (the deferred inserts ride along in
+/// the parked [`OptimizeOutcome`]) — both are replayed by the sequenced
+/// task executions.
+fn prepare_one<'env>(
+    compiler: &'env Compiler,
     name: &str,
     source: &str,
     env: &ModuleEnv,
+    pool: &PoolScope<'env>,
 ) -> Option<PreparedModule> {
     let (checked, frontend_ns) = compiler.phase_frontend(name, source, env).ok()?;
     let (ir, lower_ns) = compiler.phase_lower(&checked, env);
-    let (optimized, outcome) = compiler.phase_optimize_snapshot(&ir);
+    let (optimized, outcome) = compiler.phase_optimize_with(&ir, Some(pool));
     let (object, backend_ns) = compiler.phase_codegen(&optimized).ok()?;
     Some(PreparedModule {
         frontend: Some((checked, frontend_ns)),
         lower: Some((ir, lower_ns)),
-        optimize: Some((
-            optimized,
-            outcome.trace,
-            outcome.middle_ns,
-            outcome.state_ns,
-        )),
+        optimize: Some((optimized, outcome)),
         codegen: Some((object, backend_ns)),
     })
 }
@@ -375,18 +389,20 @@ impl TaskSpec for BuildSpec<'_> {
                     .prepared
                     .get_mut(m.as_str())
                     .and_then(|p| p.optimize.take());
-                let (optimized, trace, middle_ns, mut state_ns) = match parked {
+                let (optimized, outcome) = match parked {
                     Some(ready) => ready,
-                    None => {
-                        let (optimized, outcome) = self.compiler.phase_optimize(&ir);
-                        (
-                            optimized,
-                            outcome.trace,
-                            outcome.middle_ns,
-                            outcome.state_ns,
-                        )
-                    }
+                    None => self.compiler.phase_optimize_jobs(&ir, self.jobs),
                 };
+                let OptimizeOutcome {
+                    trace,
+                    middle_ns,
+                    mut state_ns,
+                    cache_inserts,
+                } = outcome;
+                // Deferred to the wave boundary (flush_cache_inserts) for
+                // every `--jobs` value, so cache visibility is identical
+                // whether modules ran parked-parallel or on demand.
+                self.cache_inserts.extend(cache_inserts);
                 state_ns += self.compiler.ingest_trace(&trace);
                 // Recorded *after* ingestion, so the dependency holds the
                 // post-write stamp and the task does not invalidate itself.

@@ -11,10 +11,12 @@ use sfcc_ir::Fingerprint;
 use sfcc_passes::{
     default_pipeline, minimal_pipeline, scalar_pipeline, Pipeline, PipelineTrace, RunOptions,
 };
+use sfcc_pool::PoolScope;
 use sfcc_state::{statefile, DecodeError, SkipPolicy, StateDb};
 use std::fmt;
 use std::io;
 use std::path::Path;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Wall-clock time per compilation phase, in nanoseconds.
@@ -180,7 +182,8 @@ impl Compiler {
         self.pipeline.slot_names()
     }
 
-    /// Compiles one module.
+    /// Compiles one module, on the configured number of worker threads
+    /// ([`Config::jobs`]).
     ///
     /// # Errors
     ///
@@ -194,21 +197,31 @@ impl Compiler {
         let options = RunOptions {
             verify_each: self.config.verify_each,
         };
-        let cache = if self.config.function_cache {
-            Some(&mut self.fn_cache)
+        let cache = self.config.function_cache.then_some(&self.fn_cache);
+        let mode = self.config.mode;
+        let pipeline = &self.pipeline;
+        let state = &self.state;
+        let jobs = self.config.jobs.max(1);
+        let (mut output, inserts) = if jobs > 1 {
+            sfcc_pool::scope(jobs, |ps| {
+                compile_unit(
+                    name,
+                    source,
+                    env,
+                    mode,
+                    pipeline,
+                    state,
+                    options,
+                    cache,
+                    Some(ps),
+                )
+            })?
         } else {
-            None
+            compile_unit(
+                name, source, env, mode, pipeline, state, options, cache, None,
+            )?
         };
-        let mut output = compile_unit(
-            name,
-            source,
-            env,
-            self.config.mode,
-            &self.pipeline,
-            &self.state,
-            options,
-            cache,
-        )?;
+        self.apply_cache_inserts(inserts);
         if self.config.mode.is_stateful() {
             let t = Instant::now();
             self.state.ingest(&output.trace, self.pipeline_hash);
@@ -225,9 +238,14 @@ impl Compiler {
     /// Compiles several independent modules, possibly in parallel.
     ///
     /// Mirrors `make -jN` invoking several compiler processes against one
-    /// shared state directory: all units read the *same* state snapshot
-    /// (they are independent, so ordering cannot matter), and the resulting
-    /// traces are ingested sequentially afterwards.
+    /// shared state directory: all units read the *same* state and cache
+    /// snapshots (they are independent, so ordering cannot matter), and the
+    /// resulting traces and cache entries are applied sequentially, in unit
+    /// order, afterwards.
+    ///
+    /// Module tasks and the function-level tasks they fan out into share
+    /// one [`sfcc_pool`] scope sized by [`Config::jobs`] (falling back to
+    /// the machine's core count) — no `jobs × functions` oversubscription.
     ///
     /// Units are `(module_name, source, env)` triples; results come back in
     /// the same order.
@@ -243,30 +261,54 @@ impl Compiler {
                 .collect();
         }
 
-        // Parallel pipeline runs against an immutable state snapshot.
+        // Parallel pipelines run against immutable state/cache snapshots.
         let options = RunOptions {
             verify_each: self.config.verify_each,
         };
         let mode = self.config.mode;
         let pipeline = &self.pipeline;
         let state = &self.state;
-        let results: Vec<Result<CompileOutput, CompileError>> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = units
-                .iter()
-                .map(|(name, source, env)| {
-                    scope.spawn(move |_| {
-                        // The parallel path bypasses the function cache:
-                        // its bookkeeping is not thread-shared.
-                        compile_unit(name, source, env, mode, pipeline, state, options, None)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        })
-        .expect("compile scope panicked");
+        let cache = self.config.function_cache.then_some(&self.fn_cache);
+        let jobs = if self.config.jobs > 1 {
+            self.config.jobs
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        };
+        type UnitResult =
+            Result<(CompileOutput, Vec<(Fingerprint, sfcc_ir::Function)>), CompileError>;
+        let slots: Vec<Mutex<Option<UnitResult>>> =
+            units.iter().map(|_| Mutex::new(None)).collect();
+        sfcc_pool::scope(jobs, |ps| {
+            for (i, (name, source, env)) in units.iter().enumerate() {
+                let slots = &slots;
+                ps.spawn(move |ps| {
+                    let r = compile_unit(
+                        name,
+                        source,
+                        env,
+                        mode,
+                        pipeline,
+                        state,
+                        options,
+                        cache,
+                        Some(ps),
+                    );
+                    *slots[i].lock().unwrap() = Some(r);
+                });
+            }
+            // The scope drains every task before returning.
+        });
+        let mut results = Vec::with_capacity(units.len());
+        for slot in slots {
+            let unit = slot.into_inner().unwrap().expect("every unit task ran");
+            match unit {
+                Ok((output, inserts)) => {
+                    self.apply_cache_inserts(inserts);
+                    results.push(Ok(output));
+                }
+                Err(e) => results.push(Err(e)),
+            }
+        }
 
         if self.config.mode.is_stateful() {
             for result in results.iter().flatten() {
@@ -274,6 +316,23 @@ impl Compiler {
             }
         }
         results
+    }
+
+    /// Applies deferred [`crate::OptimizeOutcome::cache_inserts`] to the
+    /// session's function cache (a no-op when the cache is disabled).
+    /// Callers invoke this at a deterministic boundary — after a module in
+    /// sequential compilation, after a wave in the incremental driver — so
+    /// cache visibility does not depend on `--jobs`.
+    pub fn apply_cache_inserts(
+        &self,
+        inserts: impl IntoIterator<Item = (Fingerprint, sfcc_ir::Function)>,
+    ) {
+        if !self.config.function_cache {
+            return;
+        }
+        for (key, func) in inserts {
+            self.fn_cache.insert(key, func);
+        }
     }
 
     /// Persists the state database to the configured path.
@@ -330,18 +389,31 @@ impl Compiler {
     }
 
     /// Phase 3: the (skippable) optimization pipeline (engine task
-    /// `optimize`), including function-cache lookup/population when the
-    /// session has one. Does not ingest the trace — pair with
-    /// [`Compiler::ingest_trace`].
-    pub fn phase_optimize(&mut self, ir: &sfcc_ir::Module) -> (sfcc_ir::Module, OptimizeOutcome) {
+    /// `optimize`), including function-cache lookup when the session has
+    /// one. Fresh cache entries are applied immediately. Does not ingest
+    /// the trace — pair with [`Compiler::ingest_trace`].
+    pub fn phase_optimize(&self, ir: &sfcc_ir::Module) -> (sfcc_ir::Module, OptimizeOutcome) {
+        let (ir, mut outcome) = self.phase_optimize_with(ir, None);
+        self.apply_cache_inserts(outcome.cache_inserts.drain(..));
+        (ir, outcome)
+    }
+
+    /// [`Compiler::phase_optimize`] against immutable session snapshots,
+    /// optionally fanning function-level tasks out into `pool`: no
+    /// ingestion, no cache population — the returned
+    /// [`OptimizeOutcome::cache_inserts`] are the caller's to apply at a
+    /// deterministic boundary ([`Compiler::apply_cache_inserts`]). Safe to
+    /// call from worker threads compiling independent modules of one wave
+    /// in parallel.
+    pub fn phase_optimize_with<'env>(
+        &'env self,
+        ir: &sfcc_ir::Module,
+        pool: Option<&PoolScope<'env>>,
+    ) -> (sfcc_ir::Module, OptimizeOutcome) {
         let options = RunOptions {
             verify_each: self.config.verify_each,
         };
-        let cache = if self.config.function_cache {
-            Some(&mut self.fn_cache)
-        } else {
-            None
-        };
+        let cache = self.config.function_cache.then_some(&self.fn_cache);
         let mut ir = ir.clone();
         let outcome = phases::optimize(
             &mut ir,
@@ -350,30 +422,24 @@ impl Compiler {
             &self.state,
             options,
             cache,
+            pool,
         );
         (ir, outcome)
     }
 
-    /// [`Compiler::phase_optimize`] against an immutable session snapshot:
-    /// no function cache, no ingestion — safe to call from worker threads
-    /// compiling independent modules of one wave in parallel.
-    pub fn phase_optimize_snapshot(
+    /// [`Compiler::phase_optimize_with`] on a fresh pool of `jobs` workers
+    /// (capped at the function count; `jobs <= 1` stays on the calling
+    /// thread). For callers that are not already inside a pool scope.
+    pub fn phase_optimize_jobs(
         &self,
         ir: &sfcc_ir::Module,
+        jobs: usize,
     ) -> (sfcc_ir::Module, OptimizeOutcome) {
-        let options = RunOptions {
-            verify_each: self.config.verify_each,
-        };
-        let mut ir = ir.clone();
-        let outcome = phases::optimize(
-            &mut ir,
-            self.config.mode,
-            &self.pipeline,
-            &self.state,
-            options,
-            None,
-        );
-        (ir, outcome)
+        let jobs = jobs.clamp(1, ir.functions.len().max(1));
+        if jobs <= 1 {
+            return self.phase_optimize_with(ir, None);
+        }
+        sfcc_pool::scope(jobs, |ps| self.phase_optimize_with(ir, Some(ps)))
     }
 
     /// Folds one pipeline trace into the dormancy state (stateful mode;
@@ -425,19 +491,22 @@ fn cache_path(state_path: &Path) -> std::path::PathBuf {
     std::path::PathBuf::from(os)
 }
 
-/// Compiles one module end to end against an immutable state snapshot (no
-/// ingestion), by composing the phase functions of [`crate::phases`].
+/// Compiles one module end to end against immutable state/cache snapshots
+/// (no ingestion, no cache population — fresh cache entries are returned
+/// for the caller to apply), by composing the phase functions of
+/// [`crate::phases`].
 #[allow(clippy::too_many_arguments)]
-fn compile_unit(
+fn compile_unit<'env>(
     name: &str,
     source: &str,
     env: &ModuleEnv,
     mode: Mode,
-    pipeline: &Pipeline,
-    state: &StateDb,
+    pipeline: &'env Pipeline,
+    state: &'env StateDb,
     options: RunOptions,
-    cache: Option<&mut FunctionCache>,
-) -> Result<CompileOutput, CompileError> {
+    cache: Option<&'env FunctionCache>,
+    pool: Option<&PoolScope<'env>>,
+) -> Result<(CompileOutput, Vec<(Fingerprint, sfcc_ir::Function)>), CompileError> {
     let mut timings = PhaseTimings::default();
 
     let (checked, frontend_ns) = phases::frontend(name, source, env)?;
@@ -447,20 +516,23 @@ fn compile_unit(
     let (mut ir, lower_ns) = phases::lower(&checked, env);
     timings.lower_ns = lower_ns;
 
-    let outcome = phases::optimize(&mut ir, mode, pipeline, state, options, cache);
+    let outcome = phases::optimize(&mut ir, mode, pipeline, state, options, cache, pool);
     timings.middle_ns = outcome.middle_ns;
     timings.state_ns += outcome.state_ns;
 
     let (object, backend_ns) = phases::codegen(&ir)?;
     timings.backend_ns = backend_ns;
 
-    Ok(CompileOutput {
-        object,
-        ir,
-        interface,
-        trace: outcome.trace,
-        timings,
-    })
+    Ok((
+        CompileOutput {
+            object,
+            ir,
+            interface,
+            trace: outcome.trace,
+            timings,
+        },
+        outcome.cache_inserts,
+    ))
 }
 
 #[cfg(test)]

@@ -64,6 +64,10 @@ pub struct Config {
     /// see [`crate::fncache`]): functions whose context fingerprint matches
     /// a previous compilation reuse their optimized IR outright.
     pub function_cache: bool,
+    /// Worker threads for function-level parallel optimization (`--jobs`).
+    /// `1` (the default) runs fully sequentially; output is byte-identical
+    /// for every value.
+    pub jobs: usize,
 }
 
 impl Config {
@@ -75,6 +79,7 @@ impl Config {
             verify_each: false,
             state_path: None,
             function_cache: false,
+            jobs: 1,
         }
     }
 
@@ -113,6 +118,13 @@ impl Config {
     /// Enables the function-level IR cache.
     pub fn with_function_cache(mut self) -> Self {
         self.function_cache = true;
+        self
+    }
+
+    /// Sets the worker-thread count for function-level parallel
+    /// optimization (floored at 1).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
         self
     }
 }

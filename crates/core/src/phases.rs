@@ -13,10 +13,14 @@ use crate::config::Mode;
 use crate::fncache::{context_fingerprints, FunctionCache};
 use sfcc_backend::{compile_object, CodeObject};
 use sfcc_frontend::{CheckedModule, Diagnostics, ModuleEnv, SourceFile};
+use sfcc_ir::{Fingerprint, Function};
 use sfcc_passes::{
-    run_pipeline, NeverSkip, PassQuery, Pipeline, PipelineTrace, RunOptions, SkipOracle,
+    run_pipeline, run_pipeline_parallel, NeverSkip, PassQuery, Pipeline, PipelineTrace, RunOptions,
+    SkipOracle,
 };
+use sfcc_pool::{run_indexed, PoolScope};
 use sfcc_state::{DbOracle, StateDb};
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::compiler::CompileError;
@@ -66,13 +70,19 @@ pub struct OptimizeOutcome {
     pub middle_ns: u64,
     /// Wall time of function-cache bookkeeping (ns).
     pub state_ns: u64,
+    /// Freshly optimized cacheable functions, keyed by context fingerprint.
+    /// [`optimize`] does **not** insert them — the caller applies them at a
+    /// deterministic point (module or wave boundary) so cache visibility,
+    /// and therefore every downstream trace, is identical for every `--jobs`
+    /// value. Apply via [`crate::Compiler::apply_cache_inserts`].
+    pub cache_inserts: Vec<(Fingerprint, Function)>,
 }
 
 /// An oracle layer that force-skips every slot of cache-hit functions so
 /// their (already optimized, swapped-in) bodies pass through untouched.
-struct CacheHits<'a> {
+struct CacheHits<'env> {
     hits: std::collections::HashSet<String>,
-    inner: &'a dyn SkipOracle,
+    inner: Arc<dyn SkipOracle + Send + Sync + 'env>,
 }
 
 impl SkipOracle for CacheHits<'_> {
@@ -82,63 +92,87 @@ impl SkipOracle for CacheHits<'_> {
 }
 
 /// Runs the optimization pipeline over `ir` in place: function-cache
-/// lookup/population (when a cache is supplied), skip-oracle construction
-/// from the dormancy state, and the pass pipeline itself. Does **not**
-/// ingest the trace — recording dormancy is the caller's (sequenced)
-/// responsibility, so this function can run against an immutable state
-/// snapshot on worker threads.
-pub fn optimize(
+/// lookup (when a cache is supplied), skip-oracle construction from the
+/// dormancy state, and the pass pipeline itself — on `pool`'s workers at
+/// function granularity when one is supplied. Does **not** ingest the trace
+/// or populate the cache — recording dormancy and applying
+/// [`OptimizeOutcome::cache_inserts`] are the caller's (sequenced)
+/// responsibility, so this function can run against immutable state and
+/// cache snapshots on worker threads.
+pub fn optimize<'env>(
     ir: &mut sfcc_ir::Module,
     mode: Mode,
-    pipeline: &Pipeline,
-    state: &StateDb,
+    pipeline: &'env Pipeline,
+    state: &'env StateDb,
     options: RunOptions,
-    mut cache: Option<&mut FunctionCache>,
+    cache: Option<&'env FunctionCache>,
+    pool: Option<&PoolScope<'env>>,
 ) -> OptimizeOutcome {
     // Function-cache lookup: swap cached optimized bodies in and mark them
-    // so the pipeline skips them entirely.
+    // so the pipeline skips them entirely. Lookups never mutate entries
+    // (only counters and referenced bits), so running them concurrently —
+    // here and across modules of one wave — cannot change what any module
+    // observes.
     let t = Instant::now();
     let mut hits = std::collections::HashSet::new();
     let mut contexts = std::collections::HashMap::new();
-    if let Some(cache) = cache.as_deref_mut() {
+    if let Some(cache) = cache {
         contexts = context_fingerprints(ir);
-        for func in &mut ir.functions {
-            if let Some(&ctx) = contexts.get(&func.name) {
+        let shared_contexts = Arc::new(contexts.clone());
+        let marked: Vec<(Function, bool)> = std::mem::take(&mut ir.functions)
+            .into_iter()
+            .map(|f| (f, false))
+            .collect();
+        let order: Vec<usize> = (0..marked.len()).collect();
+        let marked = run_indexed(pool, marked, &order, move |_, (func, hit)| {
+            if let Some(&ctx) = shared_contexts.get(&func.name) {
                 if let Some(mut cached) = cache.lookup(ctx) {
                     cached.name = func.name.clone();
                     *func = cached;
-                    hits.insert(func.name.clone());
+                    *hit = true;
                 }
             }
+        });
+        ir.functions = Vec::with_capacity(marked.len());
+        for (func, hit) in marked {
+            if hit {
+                hits.insert(func.name.clone());
+            }
+            ir.functions.push(func);
         }
     }
     let mut state_ns = t.elapsed().as_nanos() as u64;
 
     let t = Instant::now();
-    let base: Box<dyn SkipOracle> = match mode {
-        Mode::Stateless => Box::new(NeverSkip),
-        Mode::Stateful(policy) => Box::new(DbOracle::new(state, policy)),
+    let base: Arc<dyn SkipOracle + Send + Sync + 'env> = match mode {
+        Mode::Stateless => Arc::new(NeverSkip),
+        Mode::Stateful(policy) => Arc::new(DbOracle::new(state, policy)),
     };
-    let trace = if hits.is_empty() {
-        run_pipeline(ir, pipeline, base.as_ref(), options)
+    let oracle: Arc<dyn SkipOracle + Send + Sync + 'env> = if hits.is_empty() {
+        base
     } else {
-        let oracle = CacheHits {
+        Arc::new(CacheHits {
             hits: hits.clone(),
-            inner: base.as_ref(),
-        };
-        run_pipeline(ir, pipeline, &oracle, options)
+            inner: base,
+        })
+    };
+    let trace = match pool {
+        Some(pool) => run_pipeline_parallel(ir, pipeline, oracle, options, pool),
+        None => run_pipeline(ir, pipeline, oracle.as_ref(), options),
     };
     let middle_ns = t.elapsed().as_nanos() as u64;
 
-    // Populate the cache with freshly optimized cacheable functions.
+    // Collect freshly optimized cacheable functions for the caller to
+    // insert at the next deterministic boundary.
     let t = Instant::now();
-    if let Some(cache) = cache {
+    let mut cache_inserts = Vec::new();
+    if cache.is_some() {
         for func in &ir.functions {
             if hits.contains(&func.name) {
                 continue;
             }
             if let Some(&ctx) = contexts.get(&func.name) {
-                cache.insert(ctx, func.clone());
+                cache_inserts.push((ctx, func.clone()));
             }
         }
     }
@@ -148,6 +182,7 @@ pub fn optimize(
         trace,
         middle_ns,
         state_ns,
+        cache_inserts,
     }
 }
 

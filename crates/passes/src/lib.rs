@@ -49,6 +49,7 @@ pub mod loop_unroll;
 pub mod manager;
 pub mod mem2reg;
 pub mod memfwd;
+pub mod parallel;
 pub mod peephole;
 pub mod reassociate;
 pub mod sccp;
@@ -61,6 +62,7 @@ pub use manager::{
     run_pipeline, FunctionTrace, NeverSkip, PassOutcome, PassQuery, PassRecord, Pipeline,
     PipelineTrace, RunOptions, SkipOracle,
 };
+pub use parallel::run_pipeline_parallel;
 
 /// A function transformation.
 ///

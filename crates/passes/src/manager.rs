@@ -191,6 +191,11 @@ impl Pipeline {
     pub fn slot_count(&self) -> usize {
         self.stages.iter().map(|s| s.passes.len()).sum()
     }
+
+    /// The pipeline's stages, in execution order.
+    pub(crate) fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
 }
 
 /// Pass-manager execution options.

@@ -1,0 +1,287 @@
+//! Function-parallel pipeline execution on a shared work-stealing pool.
+//!
+//! [`run_pipeline_parallel`] produces output that is byte-identical to the
+//! sequential [`run_pipeline`](crate::run_pipeline) for the same inputs:
+//!
+//! * Within a stage, passes read callee bodies only from the immutable
+//!   pre-stage snapshot (the same rule the sequential runner enforces), so
+//!   functions of one stage are mutually independent and can run in any
+//!   order — including concurrently.
+//! * Stage boundaries are barriers: a stage's tasks all finish before the
+//!   next stage (and any re-snapshot) begins, exactly mirroring the
+//!   sequential stage loop.
+//! * Per-function [`FunctionTrace`]s are assembled in module definition
+//!   order regardless of completion order, so the merged
+//!   [`PipelineTrace`] — and everything derived from it (dormancy state,
+//!   emitted IR, bytecode images) — does not depend on scheduling.
+//!
+//! Tasks are scheduled largest-`cost_units`-first (live instruction count)
+//! to minimize makespan: a single huge function starts immediately instead
+//! of serializing behind a tail of small ones.
+//!
+//! The oracle must be deterministic (a pure function of each query) for the
+//! byte-identity guarantee to extend to recorded outcomes; every oracle in
+//! this workspace satisfies that.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use sfcc_ir::{fingerprint, verify_function, Fingerprint, Function, Module};
+use sfcc_pool::{run_indexed, PoolScope};
+
+use crate::manager::{
+    run_pipeline, FunctionTrace, PassOutcome, PassQuery, PassRecord, Pipeline, PipelineTrace,
+    RunOptions, SkipOracle, Stage,
+};
+
+/// Per-function unit of work: the function body being optimized plus its
+/// accumulated trace. Each task owns exactly one cell for the duration of a
+/// stage, so no synchronization is needed on the payload itself.
+struct FnCell {
+    func: Function,
+    trace: FunctionTrace,
+}
+
+/// Runs `pipeline` over every function of `module` with function-level
+/// parallelism on `pool`, consulting `oracle` before each pass execution.
+///
+/// Falls back to the sequential [`run_pipeline`](crate::run_pipeline) when
+/// the pool has no workers or the module has at most one function; the
+/// result is identical either way (see the module docs for the argument).
+///
+/// # Panics
+///
+/// Panics if [`RunOptions::verify_each`] is set and a pass produces invalid
+/// IR — that is a compiler bug, not an input error. A panic inside a worker
+/// task is propagated to the caller.
+pub fn run_pipeline_parallel<'env>(
+    module: &mut Module,
+    pipeline: &'env Pipeline,
+    oracle: Arc<dyn SkipOracle + Send + Sync + 'env>,
+    options: RunOptions,
+    pool: &PoolScope<'env>,
+) -> PipelineTrace {
+    let stages = pipeline.stages();
+    if !pool.is_parallel() || module.functions.len() <= 1 || stages.is_empty() {
+        return run_pipeline(module, pipeline, oracle.as_ref(), options);
+    }
+
+    // Pre-stage snapshot: the inliner (and any other cross-function pass)
+    // reads callee bodies from here, never from the cells being mutated.
+    let mut snapshot = Arc::new(module.clone());
+    let mut cells: Vec<FnCell> = std::mem::take(&mut module.functions)
+        .into_iter()
+        .map(|func| FnCell {
+            trace: FunctionTrace {
+                function: func.name.clone(),
+                entry_fingerprint: Fingerprint::default(),
+                exit_fingerprint: Fingerprint::default(),
+                records: Vec::new(),
+            },
+            func,
+        })
+        .collect();
+
+    let last_stage = stages.len() - 1;
+    let mut slot_base = 0usize;
+    for (si, stage) in stages.iter().enumerate() {
+        if si > 0 && stage.resnapshot {
+            // Rebuild the snapshot from the current (post-previous-stage)
+            // function bodies, mirroring `snapshot = module.clone()` in the
+            // sequential runner.
+            let mut snap = Module::new(snapshot.name.clone());
+            snap.functions = cells.iter().map(|c| c.func.clone()).collect();
+            snapshot = Arc::new(snap);
+        }
+
+        // Largest-first by live instruction count to minimize makespan.
+        let mut order: Vec<usize> = (0..cells.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(cells[i].func.live_inst_count()));
+
+        let stage_snapshot = Arc::clone(&snapshot);
+        let stage_oracle = Arc::clone(&oracle);
+        let first = si == 0;
+        let last = si == last_stage;
+        cells = run_indexed(Some(pool), cells, &order, move |_, cell| {
+            run_stage_on_function(
+                cell,
+                stage,
+                slot_base,
+                &stage_snapshot,
+                stage_oracle.as_ref(),
+                options,
+                first,
+                last,
+            );
+        });
+        slot_base += stage.passes.len();
+    }
+
+    let mut functions = Vec::with_capacity(cells.len());
+    let mut traces = Vec::with_capacity(cells.len());
+    for cell in cells {
+        functions.push(cell.func);
+        traces.push(cell.trace);
+    }
+    module.functions = functions;
+    PipelineTrace {
+        module: module.name.clone(),
+        functions: traces,
+    }
+}
+
+/// Runs one stage's passes over one function, recording into its trace.
+/// This is the per-task body; it matches the sequential inner loop of
+/// [`run_pipeline`] record-for-record.
+#[allow(clippy::too_many_arguments)]
+fn run_stage_on_function(
+    cell: &mut FnCell,
+    stage: &Stage,
+    slot_base: usize,
+    snapshot: &Module,
+    oracle: &dyn SkipOracle,
+    options: RunOptions,
+    first_stage: bool,
+    last_stage: bool,
+) {
+    if first_stage {
+        cell.trace.entry_fingerprint = fingerprint(&cell.func);
+    }
+    for (pass_idx, pass) in stage.passes.iter().enumerate() {
+        let slot = slot_base + pass_idx;
+        let query = PassQuery {
+            module: &snapshot.name,
+            function: &cell.trace.function,
+            entry_fingerprint: cell.trace.entry_fingerprint,
+            pass: pass.name(),
+            slot,
+        };
+        if oracle.should_skip(&query) {
+            cell.trace.records.push(PassRecord {
+                pass: pass.name().to_string(),
+                slot,
+                outcome: PassOutcome::Skipped,
+                nanos: 0,
+                cost_units: cell.func.live_inst_count() as u64,
+            });
+            continue;
+        }
+        let cost_units = cell.func.live_inst_count() as u64;
+        let start = Instant::now();
+        let changed = pass.run(&mut cell.func, snapshot);
+        let nanos = start.elapsed().as_nanos() as u64;
+        if options.verify_each && changed {
+            let func = &cell.func;
+            verify_function(func)
+                .unwrap_or_else(|e| panic!("pass '{}' broke the IR: {e}\n{func}", pass.name()));
+        }
+        cell.trace.records.push(PassRecord {
+            pass: pass.name().to_string(),
+            slot,
+            outcome: if changed {
+                PassOutcome::Active
+            } else {
+                PassOutcome::Dormant
+            },
+            nanos,
+            cost_units,
+        });
+    }
+    if last_stage {
+        cell.trace.exit_fingerprint = fingerprint(&cell.func);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{default_pipeline, NeverSkip};
+    use sfcc_frontend::parse_and_check;
+    use sfcc_ir::lower_module;
+
+    /// A deterministic oracle that skips a fixed set of slots, to exercise
+    /// the Skipped path in parallel.
+    struct SkipSlots(Vec<usize>);
+
+    impl SkipOracle for SkipSlots {
+        fn should_skip(&self, q: &PassQuery<'_>) -> bool {
+            self.0.contains(&q.slot)
+        }
+    }
+
+    fn sample_module() -> Module {
+        let src = r#"
+            fn leaf(x: int) -> int { return x * 2 + 1; }
+            fn helper(a: int, b: int) -> int {
+                let t: int = leaf(a);
+                let u: int = leaf(b);
+                return t + u * 3;
+            }
+            fn looped(n: int) -> int {
+                let acc: int = 0;
+                for (let i: int = 0; i < n; i = i + 1) {
+                    acc = acc + helper(i, n);
+                }
+                return acc;
+            }
+            fn deadish(p: int) -> int {
+                let unused: int = p * 99;
+                let keep: int = p + 4;
+                return keep;
+            }
+            fn main() -> int {
+                return looped(10) + deadish(7) + helper(1, 2);
+            }
+        "#;
+        let env = sfcc_frontend::ModuleEnv::new();
+        let mut d = sfcc_frontend::Diagnostics::new();
+        let checked = parse_and_check("par", src, &env, &mut d).expect("sample module must check");
+        lower_module(&checked, &env)
+    }
+
+    /// Clears the timing fields, which legitimately differ run to run.
+    fn strip_nanos(mut trace: PipelineTrace) -> PipelineTrace {
+        for f in &mut trace.functions {
+            for r in &mut f.records {
+                r.nanos = 0;
+            }
+        }
+        trace
+    }
+
+    fn assert_matches_sequential(oracle: impl SkipOracle + Send + Sync + 'static, jobs: usize) {
+        let pipeline = default_pipeline();
+        let options = RunOptions { verify_each: true };
+        let oracle = Arc::new(oracle);
+
+        let mut seq = sample_module();
+        let seq_trace = run_pipeline(&mut seq, &pipeline, oracle.as_ref(), options);
+
+        let mut par = sample_module();
+        let par_trace = sfcc_pool::scope(jobs, |ps| {
+            run_pipeline_parallel(&mut par, &pipeline, Arc::clone(&oracle) as _, options, ps)
+        });
+
+        assert_eq!(seq.to_string(), par.to_string(), "optimized IR diverged");
+        assert_eq!(
+            strip_nanos(seq_trace),
+            strip_nanos(par_trace),
+            "traces diverged"
+        );
+    }
+
+    #[test]
+    fn parallel_matches_sequential_never_skip() {
+        assert_matches_sequential(NeverSkip, 4);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_with_skips() {
+        assert_matches_sequential(SkipSlots(vec![0, 3, 7, 11]), 4);
+    }
+
+    #[test]
+    fn single_worker_pool_matches_sequential() {
+        assert_matches_sequential(NeverSkip, 1);
+    }
+}

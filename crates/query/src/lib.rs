@@ -278,13 +278,24 @@ where
             .collect();
         self.input_cache = fresh;
 
-        // Seed the dirty set with direct readers of changed inputs and
-        // tasks whose dependency tasks no longer exist.
+        // Seed the dirty set with direct readers of changed inputs, tasks
+        // whose dependency tasks no longer exist, and tasks whose recorded
+        // dependency fingerprint disagrees with the store's current one.
+        // The last case arises only after a *failed* build: a dependency
+        // re-executed with a new fingerprint, then the session aborted
+        // before this dependent could re-run, leaving a cross-session
+        // inconsistency that input stamps no longer reflect.
         let mut dirty: HashSet<&K> = HashSet::new();
         for (key, node) in &self.nodes {
             let invalidated = node.deps.iter().any(|dep| match dep {
                 Dep::Input { name, stamp } => self.input_cache[name] != *stamp,
-                Dep::Task { key: dep_key, .. } => !self.nodes.contains_key(dep_key),
+                Dep::Task {
+                    key: dep_key,
+                    fingerprint,
+                } => self
+                    .nodes
+                    .get(dep_key)
+                    .is_none_or(|dep_node| dep_node.fingerprint != *fingerprint),
             });
             if invalidated {
                 dirty.insert(key);

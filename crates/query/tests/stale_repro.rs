@@ -1,3 +1,9 @@
+//! Regression test: after a session aborts mid-rebuild (a dependency
+//! re-executed with a new fingerprint, then a downstream task failed), the
+//! next session must not serve the failed task's dependents from the store
+//! — the recorded dependency fingerprints no longer match the memoized
+//! ones, and bottom-up invalidation has to notice that.
+
 use sfcc_query::{Ctx, Engine, QueryError, TaskSpec};
 use std::collections::HashMap;
 
@@ -49,7 +55,10 @@ impl TaskSpec for Calc {
 
 #[test]
 fn retry_after_failed_rebuild_serves_stale_value() {
-    let mut spec = Calc { a: 2, fail_abs: false };
+    let mut spec = Calc {
+        a: 2,
+        fail_abs: false,
+    };
     let mut engine = Engine::new();
 
     // Session 1: clean build. Dbl = |2| * 2 = 4.

@@ -1,0 +1,112 @@
+//! Determinism of parallel builds: whatever the edit history, `--jobs 1`
+//! and `--jobs 8` must produce byte-identical bytecode images **and**
+//! byte-identical persisted dormancy state (and function-cache) files.
+//! This is the contract that makes the worker count a pure wall-time knob:
+//! per-function pipelines read callees from an immutable module snapshot,
+//! traces merge in module definition order, and function-cache inserts are
+//! applied at wave boundaries for every worker count.
+
+use proptest::prelude::*;
+use sfcc::{Compiler, Config};
+use sfcc_backend::image::to_bytes;
+use sfcc_buildsys::{Builder, Project};
+use sfcc_workload::{generate_model, EditScript, GeneratorConfig};
+use std::path::{Path, PathBuf};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sfcc-it-par-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A stateful builder with the function cache on, persisting under
+/// `dir/<tag>.state`, allowed `jobs` workers.
+fn builder_with(jobs: usize, dir: &Path, tag: &str) -> Builder {
+    let config = Config::stateful()
+        .with_state_path(dir.join(format!("{tag}.state")))
+        .with_function_cache()
+        .with_jobs(jobs);
+    Builder::new(Compiler::new(config)).with_jobs(jobs)
+}
+
+/// Saves the builder's state and returns the raw bytes of the dormancy
+/// state file and the function-cache file it persisted.
+fn persisted_bytes(builder: &Builder, dir: &Path, tag: &str) -> (Vec<u8>, Vec<u8>) {
+    builder.compiler().save_state().unwrap();
+    let state = std::fs::read(dir.join(format!("{tag}.state"))).unwrap();
+    let cache = std::fs::read(dir.join(format!("{tag}.state.ircache"))).unwrap();
+    (state, cache)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Two builders — one sequential, one racing 8 workers over modules and
+    /// functions — replay the same random edit script. After every commit,
+    /// images and persisted state must agree byte for byte.
+    #[test]
+    fn jobs_1_and_jobs_8_builds_are_byte_identical(seed in any::<u64>()) {
+        let dir = scratch_dir(&format!("prop-{}", seed % 1000));
+        let config = GeneratorConfig::small(seed % 1000);
+        let mut model = generate_model(&config);
+        let mut script = EditScript::new(seed ^ 0x9e37_79b9_7f4a_7c15);
+
+        let mut seq = builder_with(1, &dir, "seq");
+        let mut par = builder_with(8, &dir, "par");
+
+        for commit in 0..6usize {
+            if commit > 0 {
+                script.commit(&mut model);
+            }
+            let p = model.render();
+            let seq_image = to_bytes(&seq.build(&p).unwrap().program);
+            let par_image = to_bytes(&par.build(&p).unwrap().program);
+            prop_assert_eq!(seq_image, par_image, "image diverged at commit {}", commit);
+
+            let (seq_state, seq_cache) = persisted_bytes(&seq, &dir, "seq");
+            let (par_state, par_cache) = persisted_bytes(&par, &dir, "par");
+            prop_assert_eq!(seq_state, par_state, "state diverged at commit {}", commit);
+            prop_assert_eq!(seq_cache, par_cache, "fn-cache diverged at commit {}", commit);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// One big module: the single-stale-module path, where all parallelism is
+/// function-level. `--jobs 8` must still match `--jobs 1` exactly.
+#[test]
+fn single_module_function_parallelism_is_deterministic() {
+    let dir = scratch_dir("single");
+    let mut source = String::new();
+    for i in 0..48 {
+        source.push_str(&format!(
+            "fn f{i}(x: int) -> int {{\n  let acc: int = x;\n  for (let j: int = 0; j < {}; j = j + 1) {{\n    acc = acc * 3 + {i};\n  }}\n  return acc;\n}}\n",
+            i % 7 + 1
+        ));
+    }
+    source.push_str("fn main(n: int) -> int { return f0(n) + f47(n); }\n");
+
+    let mut p = Project::new();
+    p.set_file("main".to_string(), source.clone());
+
+    let mut seq = builder_with(1, &dir, "seq");
+    let mut par = builder_with(8, &dir, "par");
+    for edit in 0..3 {
+        // A body-only edit of one function re-optimizes just this module.
+        let edited = source.replace("acc * 3", &format!("acc * {}", 3 + edit));
+        p.set_file("main".to_string(), edited);
+        let seq_report = seq.build(&p).unwrap();
+        let par_report = par.build(&p).unwrap();
+        assert_eq!(
+            to_bytes(&seq_report.program),
+            to_bytes(&par_report.program),
+            "image diverged at edit {edit}"
+        );
+        let (seq_state, seq_cache) = persisted_bytes(&seq, &dir, "seq");
+        let (par_state, par_cache) = persisted_bytes(&par, &dir, "par");
+        assert_eq!(seq_state, par_state, "state diverged at edit {edit}");
+        assert_eq!(seq_cache, par_cache, "fn-cache diverged at edit {edit}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
