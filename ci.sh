@@ -1,7 +1,18 @@
 #!/usr/bin/env bash
 # Local CI gate: build, test, lint, format — exactly what a PR must pass.
+#
+#   ci.sh          full gate
+#   ci.sh --quick  fast crash-consistency sweep only (the `quick_`-prefixed
+#                  subset of the fault-injection matrix: cold crash matrix,
+#                  truncation boundaries, recovery counters, durability
+#                  sync points)
 set -euo pipefail
 cd "$(dirname "$0")"
+
+if [[ "${1:-}" == "--quick" ]]; then
+    cargo test -q -p sfcc --test integration_crash quick_
+    exit 0
+fi
 
 cargo build --release
 cargo test -q
@@ -9,3 +20,5 @@ cargo clippy --all-targets -- -D warnings
 cargo fmt --check
 # Smoke-run the parallel-scaling sweep (writes BENCH_parallel.json).
 cargo run -q -p sfcc-bench --release --bin exp_parallel_scaling -- --quick
+# Crash-consistency sweep runs inside `cargo test` above; `--quick` reruns
+# just the fast subset for tight edit loops.

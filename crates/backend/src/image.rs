@@ -7,6 +7,7 @@
 
 use crate::bytecode::{Bc, CodeBlob, FuncId, Program, Src};
 use sfcc_codec::{fnv64, DecodeError, Reader, Writer};
+use sfcc_faultfs::Durability;
 use sfcc_ir::{BinKind, IcmpPred};
 use std::io;
 use std::path::Path;
@@ -119,15 +120,23 @@ pub fn from_bytes(bytes: &[u8]) -> Result<Program, DecodeError> {
     Ok(Program { funcs, entry })
 }
 
-/// Writes a program image to `path` atomically.
+/// Writes a program image to `path` atomically (unique temp + rename via
+/// the fault-injectable I/O layer), with no sync points.
 ///
 /// # Errors
 ///
 /// Propagates I/O failures.
 pub fn save(program: &Program, path: &Path) -> io::Result<()> {
-    let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, to_bytes(program))?;
-    std::fs::rename(&tmp, path)
+    save_with(program, path, Durability::Fast)
+}
+
+/// [`save`] with an explicit [`Durability`] mode.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn save_with(program: &Program, path: &Path, durability: Durability) -> io::Result<()> {
+    sfcc_faultfs::atomic_write(path, &to_bytes(program), durability)
 }
 
 /// Loads a program image from `path`.
@@ -136,7 +145,7 @@ pub fn save(program: &Program, path: &Path) -> io::Result<()> {
 ///
 /// Returns an error string describing the I/O or decode failure.
 pub fn load(path: &Path) -> Result<Program, String> {
-    let bytes = std::fs::read(path).map_err(|e| format!("cannot read image: {e}"))?;
+    let bytes = sfcc_faultfs::read(path).map_err(|e| format!("cannot read image: {e}"))?;
     from_bytes(&bytes).map_err(|e| format!("bad program image: {e}"))
 }
 

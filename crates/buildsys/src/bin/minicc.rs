@@ -7,17 +7,25 @@
 //! minicc ir    <dir> <module> [build flags]       print a module's optimized IR
 //! minicc bc    <dir> [build flags]                disassemble the linked program
 //! minicc state <state-file>                       inspect a dormancy-state file
+//! minicc fsck  <dir|state-file> [image.sbx...]    verify + repair a state dir
 //! ```
 //!
 //! Build flags: `--stateful` (persist dormancy state in `<dir>/.sfcc-state`),
 //! `--stateless` (default), `--fn-cache`, `--jobs N` (default: all cores),
-//! `-O0`/`-O1`/`-O2`; `build` also accepts `--report json` for a
-//! machine-readable summary including query-engine hit/miss counts.
+//! `--durable` (fsync durable writes), `-O0`/`-O1`/`-O2`; `build` also
+//! accepts `--report json` for a machine-readable summary including
+//! query-engine hit/miss counts and corruption-recovery counters.
+//!
+//! Fault injection (testing only): `--fault-plan <spec>` or the
+//! `SFCC_FAULT_PLAN` environment variable installs a deterministic fault
+//! plan (see `sfcc-faultfs`) for the whole invocation, e.g.
+//! `SFCC_FAULT_PLAN=crash-at:5 minicc build p --stateful` simulates a crash
+//! at the fifth durable I/O operation.
 
-use sfcc::{Compiler, Config};
-use sfcc_backend::{disasm_program, load_image, run, save_image, VmOptions};
+use sfcc::{persist, Compiler, Config, Durability};
+use sfcc_backend::{disasm_program, load_image, run, VmOptions};
 use sfcc_buildsys::{BuildReport, Builder, Project};
-use sfcc_state::statefile;
+use sfcc_faultfs::FaultPlan;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -30,6 +38,7 @@ usage:
   minicc ir    <dir> <module> [build flags]
   minicc bc    <dir> [build flags]
   minicc state <state-file>
+  minicc fsck  <dir|state-file> [image.sbx ...]
 
 build flags:
   --stateful     stateful compilation; state persists in <dir>/.sfcc-state
@@ -40,11 +49,40 @@ build flags:
                  available cores); every value produces byte-identical
                  output — N only changes wall time
   --parallel     alias for the default --jobs behavior
+  --durable      fsync state/cache/image writes (crash-consistent either
+                 way; --durable also survives OS-level crashes)
   --report json  (build) print a JSON build report instead of the summary
-  -O0 | -O1 | -O2  optimization level (default -O2)";
+  -O0 | -O1 | -O2  optimization level (default -O2)
+
+fault injection (testing):
+  --fault-plan <spec>   deterministic fault plan for this invocation, e.g.
+                        crash-at:5, torn:3:16, fail:2, enospc:1,
+                        bitflip:4:12, fail-rename:1 (comma-separated);
+                        the SFCC_FAULT_PLAN env var is equivalent";
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // The fault plan applies to the whole invocation, so it is peeled off
+    // before command dispatch; the guard stays alive until exit.
+    let mut plan_spec = std::env::var("SFCC_FAULT_PLAN").ok();
+    if let Some(i) = args.iter().position(|a| a == "--fault-plan") {
+        if i + 1 >= args.len() {
+            eprintln!("`--fault-plan` expects a spec\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+        plan_spec = Some(args.remove(i + 1));
+        args.remove(i);
+    }
+    let _fault_guard = match plan_spec.as_deref() {
+        Some(spec) => match FaultPlan::parse(spec) {
+            Ok(plan) => Some(sfcc_faultfs::install(plan)),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     match dispatch(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
@@ -66,6 +104,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         "ir" => cmd_ir(rest),
         "bc" => cmd_bc(rest),
         "state" => cmd_state(rest),
+        "fsck" => cmd_fsck(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -82,6 +121,8 @@ struct BuildFlags {
     jobs: Option<usize>,
     /// `--report json`: emit a machine-readable build report.
     report_json: bool,
+    /// `--durable`: fsync every durable write (state, cache, images).
+    durable: bool,
     opt: &'static str,
     /// Non-flag operands in order (directory, module name, …).
     operands: Vec<String>,
@@ -97,6 +138,7 @@ fn parse_flags(args: &[String]) -> Result<BuildFlags, String> {
         fn_cache: false,
         jobs: None,
         report_json: false,
+        durable: false,
         opt: "-O2",
         operands: Vec::new(),
         output: None,
@@ -108,6 +150,7 @@ fn parse_flags(args: &[String]) -> Result<BuildFlags, String> {
             "--stateful" => flags.stateful = true,
             "--stateless" => flags.stateful = false,
             "--fn-cache" => flags.fn_cache = true,
+            "--durable" => flags.durable = true,
             "--parallel" => flags.jobs = None,
             "--jobs" => {
                 let value = iter.next().ok_or("`--jobs` expects a worker count")?;
@@ -170,6 +213,9 @@ fn config_of(flags: &BuildFlags, dir: &Path) -> Config {
     if flags.fn_cache {
         config = config.with_function_cache();
     }
+    if flags.durable {
+        config = config.with_durability(Durability::Durable);
+    }
     let jobs = flags.jobs.unwrap_or_else(|| {
         std::thread::available_parallelism()
             .map(usize::from)
@@ -211,11 +257,27 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         .output
         .clone()
         .unwrap_or_else(|| dir.with_extension("sbx"));
-    save_image(&report.program, &out)
+    let durability = if flags.durable {
+        Durability::Durable
+    } else {
+        Durability::Fast
+    };
+    sfcc_backend::image::save_with(&report.program, &out, durability)
         .map_err(|e| format!("cannot write `{}`: {e}", out.display()))?;
     if flags.report_json {
         println!("{}", report.to_json());
         return Ok(());
+    }
+    if report.recovered_files > 0 {
+        println!(
+            "recovered from {} corrupt persistent file(s); quarantined: {}",
+            report.recovered_files,
+            if report.quarantined.is_empty() {
+                "(none)".to_string()
+            } else {
+                report.quarantined.join(", ")
+            }
+        );
     }
     let (active, dormant, skipped) = report.outcome_totals();
     println!(
@@ -318,21 +380,32 @@ fn cmd_bc(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Resolves a `<dir>` or `<state-file>` operand to the state base path:
+/// a directory means its `.sfcc-state` inside.
+fn state_base(operand: &str) -> PathBuf {
+    let path = Path::new(operand);
+    if path.is_dir() {
+        path.join(".sfcc-state")
+    } else {
+        path.to_path_buf()
+    }
+}
+
 fn cmd_state(args: &[String]) -> Result<(), String> {
     let [path] = args else {
         return Err(format!("`state` expects one state-file path\n\n{USAGE}"));
     };
-    let path = Path::new(path);
-    if !path.exists() {
-        return Err(format!("no state file at `{}`", path.display()));
-    }
-    let (db, error) = statefile::load_or_default(path);
-    if let Some(error) = error {
-        return Err(format!(
-            "state file `{}` is unreadable: {error:?}",
-            path.display()
-        ));
-    }
+    let path = state_base(path);
+    let db = match persist::peek_state(&path) {
+        Ok(Some(db)) => db,
+        Ok(None) => return Err(format!("no state file at `{}`", path.display())),
+        Err(reason) => {
+            return Err(format!(
+                "state file `{}` is unreadable: {reason} (run `minicc fsck` to repair)",
+                path.display()
+            ));
+        }
+    };
     println!(
         "state file {} — {} module(s), {} function(s) tracked",
         path.display(),
@@ -358,5 +431,37 @@ fn cmd_state(args: &[String]) -> Result<(), String> {
         }
     }
     println!("\n(A = pass was active at the last build, . = dormant/skippable)");
+    Ok(())
+}
+
+fn cmd_fsck(args: &[String]) -> Result<(), String> {
+    let Some((target, images)) = args.split_first() else {
+        return Err(format!(
+            "`fsck` expects a project directory or state-file path\n\n{USAGE}"
+        ));
+    };
+    let base = state_base(target);
+    let images: Vec<PathBuf> = images.iter().map(PathBuf::from).collect();
+    let report = sfcc::persist::fsck(&base, &images)
+        .map_err(|e| format!("fsck of `{}` failed: {e}", base.display()))?;
+    println!(
+        "fsck {}: {} file(s) checked",
+        base.display(),
+        report.checked
+    );
+    for path in &report.quarantined {
+        println!("  quarantined {}", path.display());
+    }
+    for path in &report.removed {
+        println!("  removed orphan {}", path.display());
+    }
+    if report.repaired_manifest {
+        println!("  manifest rewritten without the corrupt entries");
+    }
+    if report.clean() {
+        println!("  clean");
+    } else {
+        println!("  next stateful build recompiles what was lost and rewrites the state");
+    }
     Ok(())
 }

@@ -300,13 +300,27 @@ impl Builder {
                 .collect(),
         };
 
+        let link_ns = spec.link_ns();
+
+        // Recovery accounting: any quarantine / cold-start decision the
+        // compiler session took when it loaded persistent state.
+        let events = self.compiler.recovery_events();
+        let recovered_files = events.len();
+        let quarantined = events
+            .iter()
+            .filter_map(|e| e.quarantined_to.as_ref())
+            .map(|p| p.display().to_string())
+            .collect();
+
         Ok(BuildReport {
             program,
             wall_ns: start.elapsed().as_nanos() as u64,
-            link_ns: spec.link_ns(),
+            link_ns,
             modules,
             query,
             jobs: self.jobs,
+            recovered_files,
+            quarantined,
         })
     }
 }

@@ -79,6 +79,13 @@ pub struct BuildReport {
     pub query: QueryStats,
     /// Worker threads the build was allowed to use (`--jobs`).
     pub jobs: usize,
+    /// Number of persistent files (state, cache, manifest) that failed
+    /// validation when the session loaded, and were recovered from by
+    /// cold-starting the affected artifact.
+    pub recovered_files: usize,
+    /// Where corrupt files were moved aside (`*.corrupt`), one entry per
+    /// quarantined file.
+    pub quarantined: Vec<String>,
 }
 
 impl BuildReport {
@@ -210,6 +217,18 @@ impl BuildReport {
                 out.push(',');
             }
             push_json_string(&mut out, task);
+        }
+        out.push_str("]},");
+        let _ = write!(
+            out,
+            "\"recovery\":{{\"recovered_files\":{},\"quarantined\":[",
+            self.recovered_files
+        );
+        for (i, path) in self.quarantined.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(&mut out, path);
         }
         out.push_str("]},\"pass_profile\":[");
         for (i, agg) in self.pass_profile().iter().enumerate() {

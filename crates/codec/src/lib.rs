@@ -164,11 +164,20 @@ impl<'a> Reader<'a> {
     }
 
     /// Reads a LEB128 varint.
+    ///
+    /// Rejects non-canonical encodings whose tenth byte carries bits beyond
+    /// bit 63 — those bits would otherwise be shifted out silently, letting
+    /// two different byte strings decode to the same value (which would blind
+    /// checksum verification to single-bit corruption in a varint trailer).
     pub fn u64(&mut self) -> Result<u64, DecodeError> {
         let mut v: u64 = 0;
         for shift in (0..64).step_by(7) {
             let byte = self.u8()?;
-            v |= ((byte & 0x7f) as u64) << shift;
+            let bits = (byte & 0x7f) as u64;
+            if shift == 63 && bits > 1 {
+                return Err(DecodeError::Overlong);
+            }
+            v |= bits << shift;
             if byte & 0x80 == 0 {
                 return Ok(v);
             }
@@ -238,6 +247,23 @@ mod tests {
             assert_eq!(r.u64().unwrap(), v);
         }
         assert!(r.is_done());
+    }
+
+    #[test]
+    fn varint_rejects_overflow_bits_in_tenth_byte() {
+        // Canonical u64::MAX: nine continuation bytes, then 0x01.
+        let mut w = Writer::new();
+        w.u64(u64::MAX);
+        let canonical = w.into_bytes();
+        assert_eq!(canonical.len(), 10);
+        assert_eq!(canonical[9], 0x01);
+        // Any extra bit in the tenth byte encodes value bits past bit 63;
+        // accepting it would let distinct byte strings decode identically.
+        for bit in 1..7 {
+            let mut bytes = canonical.clone();
+            bytes[9] |= 1 << bit;
+            assert_eq!(Reader::new(&bytes).u64(), Err(DecodeError::Overlong));
+        }
     }
 
     #[test]

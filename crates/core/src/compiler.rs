@@ -3,6 +3,7 @@
 
 use crate::config::{Config, Mode, OptLevel};
 use crate::fncache::{CacheStats, FunctionCache};
+use crate::persist::{self, RecoveryEvent};
 use crate::phases::{self, OptimizeOutcome};
 use sfcc_backend::CodeObject;
 use sfcc_codec::fnv64;
@@ -15,7 +16,6 @@ use sfcc_pool::PoolScope;
 use sfcc_state::{statefile, DecodeError, SkipPolicy, StateDb};
 use std::fmt;
 use std::io;
-use std::path::Path;
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -119,6 +119,7 @@ pub struct Compiler {
     state: StateDb,
     state_load_error: Option<DecodeError>,
     fn_cache: FunctionCache,
+    recovery_events: Vec<RecoveryEvent>,
 }
 
 impl fmt::Debug for Compiler {
@@ -139,13 +140,14 @@ impl Compiler {
             OptLevel::O2 => default_pipeline(),
         };
         let pipeline_hash = StateDb::pipeline_hash(&pipeline.slot_names());
-        let (state, state_load_error) = match (&config.state_path, config.mode.is_stateful()) {
-            (Some(path), true) => statefile::load_or_default(path),
-            _ => (StateDb::new(), None),
-        };
-        let fn_cache = match (&config.state_path, config.function_cache) {
-            (Some(path), true) => FunctionCache::load_or_default(&cache_path(path)),
-            _ => FunctionCache::new(),
+        let want_state = config.mode.is_stateful();
+        let want_cache = config.function_cache;
+        let (state, state_load_error, fn_cache, recovery_events) = match &config.state_path {
+            Some(path) if want_state || want_cache => {
+                let loaded = persist::load(path, want_state, want_cache);
+                (loaded.db, loaded.db_error, loaded.cache, loaded.events)
+            }
+            _ => (StateDb::new(), None, FunctionCache::new(), Vec::new()),
         };
         Compiler {
             config,
@@ -154,6 +156,7 @@ impl Compiler {
             state,
             state_load_error,
             fn_cache,
+            recovery_events,
         }
     }
 
@@ -165,6 +168,12 @@ impl Compiler {
     /// Why the last state load fell back to a cold start, if it did.
     pub fn state_load_error(&self) -> Option<DecodeError> {
         self.state_load_error
+    }
+
+    /// Every quarantine / cold-start decision taken while loading this
+    /// session's persistent state (see [`crate::persist`]).
+    pub fn recovery_events(&self) -> &[RecoveryEvent] {
+        &self.recovery_events
     }
 
     /// Read access to the dormancy database.
@@ -335,18 +344,22 @@ impl Compiler {
         }
     }
 
-    /// Persists the state database to the configured path.
+    /// Persists the state database (and function cache) to the configured
+    /// path, atomically: both artifacts become visible together in one
+    /// manifest commit (see [`crate::persist`]).
     ///
     /// # Errors
     ///
     /// Propagates I/O failures; does nothing (successfully) without a
     /// configured path or in stateless mode.
     pub fn save_state(&self) -> io::Result<()> {
-        if let (Some(path), true) = (&self.config.state_path, self.config.mode.is_stateful()) {
-            statefile::save(&self.state, path)?;
-        }
-        if let (Some(path), true) = (&self.config.state_path, self.config.function_cache) {
-            self.fn_cache.save(&cache_path(path))?;
+        if let Some(path) = &self.config.state_path {
+            persist::save(
+                path,
+                self.config.mode.is_stateful().then_some(&self.state),
+                self.config.function_cache.then_some(&self.fn_cache),
+                self.config.durability,
+            )?;
         }
         Ok(())
     }
@@ -482,13 +495,6 @@ impl Compiler {
         }
         fnv64(repr.as_bytes())
     }
-}
-
-/// The IR-cache file that accompanies a state file.
-fn cache_path(state_path: &Path) -> std::path::PathBuf {
-    let mut os = state_path.as_os_str().to_os_string();
-    os.push(".ircache");
-    std::path::PathBuf::from(os)
 }
 
 /// Compiles one module end to end against immutable state/cache snapshots

@@ -1,5 +1,6 @@
 //! Compiler session configuration.
 
+use sfcc_faultfs::Durability;
 use sfcc_state::SkipPolicy;
 use std::path::PathBuf;
 
@@ -68,6 +69,10 @@ pub struct Config {
     /// `1` (the default) runs fully sequentially; output is byte-identical
     /// for every value.
     pub jobs: usize,
+    /// How hard durable writes (state, cache, images) try to survive an
+    /// OS-level crash. Both modes are crash-consistent; see
+    /// [`Durability`].
+    pub durability: Durability,
 }
 
 impl Config {
@@ -80,6 +85,7 @@ impl Config {
             state_path: None,
             function_cache: false,
             jobs: 1,
+            durability: Durability::Fast,
         }
     }
 
@@ -125,6 +131,12 @@ impl Config {
     /// optimization (floored at 1).
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Sets the durability mode for state/cache/image writes.
+    pub fn with_durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
         self
     }
 }

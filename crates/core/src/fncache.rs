@@ -38,6 +38,7 @@
 //! deterministic-output guarantee.
 
 use sfcc_codec::{fnv64, DecodeError, Reader, Writer};
+use sfcc_faultfs::Durability;
 use sfcc_ir::{fingerprint, Fingerprint, Function, Module, Op};
 use std::collections::{HashMap, VecDeque};
 use std::io;
@@ -266,20 +267,28 @@ impl FunctionCache {
         Ok(cache)
     }
 
-    /// Writes the cache to `path` atomically.
+    /// Writes the cache to `path` atomically (unique temp + rename via the
+    /// fault-injectable I/O layer), with no sync points.
     ///
     /// # Errors
     ///
     /// Propagates I/O failures.
     pub fn save(&self, path: &Path) -> io::Result<()> {
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, self.to_bytes())?;
-        std::fs::rename(&tmp, path)
+        self.save_with(path, Durability::Fast)
+    }
+
+    /// [`FunctionCache::save`] with an explicit [`Durability`] mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save_with(&self, path: &Path, durability: Durability) -> io::Result<()> {
+        sfcc_faultfs::atomic_write(path, &self.to_bytes(), durability)
     }
 
     /// Loads a cache from `path`; missing or corrupt files cold-start.
     pub fn load_or_default(path: &Path) -> Self {
-        match std::fs::read(path) {
+        match sfcc_faultfs::read(path) {
             Ok(bytes) => Self::from_bytes(&bytes).unwrap_or_default(),
             Err(_) => Self::default(),
         }

@@ -40,10 +40,13 @@
 pub mod compiler;
 pub mod config;
 pub mod fncache;
+pub mod persist;
 pub mod phases;
 
 pub use compiler::{extract_interface, CompileError, CompileOutput, Compiler, PhaseTimings};
 pub use config::{Config, Mode, OptLevel};
 pub use fncache::{CacheStats, FunctionCache};
+pub use persist::{FsckReport, LoadedState, RecoveryEvent};
 pub use phases::OptimizeOutcome;
+pub use sfcc_faultfs::Durability;
 pub use sfcc_state::SkipPolicy;

@@ -1,0 +1,528 @@
+//! The fault-injectable I/O layer.
+//!
+//! Every durable operation in the system goes through the wrappers here
+//! ([`read`], [`write`], [`rename`], [`remove_file`], [`sync_file`],
+//! [`sync_dir`], [`atomic_write`]). Each call is assigned a 1-based,
+//! thread-local operation index; an installed [`FaultPlan`] is consulted at
+//! every index and can fail the operation, tear a write, flip a bit on a
+//! read, or "crash" the thread (all subsequent operations fail).
+//!
+//! Fault state is thread-local on purpose: all durable I/O in the compiler
+//! happens on the thread that owns the `Compiler`/`Builder` (pool workers
+//! never touch disk), so a plan installed by one test cannot perturb tests
+//! running in parallel.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::plan::{Fault, FaultPlan};
+use crate::Durability;
+
+/// The kind of a durable I/O operation, as counted by the injector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Whole-file read.
+    Read,
+    /// Whole-file write (of a temp or generation file).
+    Write,
+    /// Atomic rename (the commit point of [`atomic_write`]).
+    Rename,
+    /// File removal (GC of replaced generation files).
+    Remove,
+    /// `fsync` of a file (durable mode only).
+    SyncFile,
+    /// `fsync` of a directory (durable mode only).
+    SyncDir,
+}
+
+impl OpKind {
+    /// A short label for logs and harness output.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::Read => "read",
+            OpKind::Write => "write",
+            OpKind::Rename => "rename",
+            OpKind::Remove => "remove",
+            OpKind::SyncFile => "sync-file",
+            OpKind::SyncDir => "sync-dir",
+        }
+    }
+}
+
+/// One recorded durable operation (see [`record`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpRecord {
+    /// The 1-based thread-local operation index.
+    pub index: u64,
+    /// What the operation was.
+    pub kind: OpKind,
+    /// The path it targeted.
+    pub path: PathBuf,
+}
+
+struct TlState {
+    plan: Option<FaultPlan>,
+    /// Set once a `CrashAt`/`TornAt` fault fires: the simulated process is
+    /// dead and every further operation fails.
+    crashed: bool,
+    /// Next operation index to hand out (1-based).
+    next_op: u64,
+    /// Number of rename operations seen so far (for `fail-rename`).
+    renames: u64,
+    /// One-shot faults that already fired (so `fail`/`enospc`/`fail-rename`
+    /// are transient rather than sticky).
+    fired: Vec<Fault>,
+    log: Option<Vec<OpRecord>>,
+}
+
+impl TlState {
+    const fn new() -> Self {
+        TlState {
+            plan: None,
+            crashed: false,
+            next_op: 1,
+            renames: 0,
+            fired: Vec::new(),
+            log: None,
+        }
+    }
+}
+
+thread_local! {
+    static TL: RefCell<TlState> = const { RefCell::new(TlState::new()) };
+}
+
+/// The payload of an injected [`io::Error`]; lets callers and tests
+/// distinguish scripted faults from real filesystem errors.
+#[derive(Debug)]
+struct InjectedFault {
+    op: u64,
+    what: &'static str,
+}
+
+impl fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "injected fault at op {}: {}", self.op, self.what)
+    }
+}
+
+impl std::error::Error for InjectedFault {}
+
+fn injected(op: u64, what: &'static str) -> io::Error {
+    io::Error::other(InjectedFault { op, what })
+}
+
+/// Whether an [`io::Error`] was produced by the fault injector (as opposed
+/// to a real filesystem failure).
+pub fn is_injected(err: &io::Error) -> bool {
+    err.get_ref()
+        .map(|inner| inner.is::<InjectedFault>())
+        .unwrap_or(false)
+}
+
+/// Installs a fault plan on the current thread, resetting the operation
+/// counter to 1. Dropping the returned guard uninstalls the plan.
+#[must_use = "the plan is uninstalled when the guard drops"]
+pub fn install(plan: FaultPlan) -> FaultGuard {
+    TL.with(|tl| {
+        let mut tl = tl.borrow_mut();
+        tl.plan = Some(plan);
+        tl.crashed = false;
+        tl.next_op = 1;
+        tl.renames = 0;
+        tl.fired.clear();
+    });
+    FaultGuard { _priv: () }
+}
+
+/// Uninstalls the thread's fault plan on drop. Returned by [`install`].
+#[derive(Debug)]
+pub struct FaultGuard {
+    _priv: (),
+}
+
+impl FaultGuard {
+    /// The next operation index the injector will hand out on this thread —
+    /// i.e. one past the number of operations performed since [`install`].
+    pub fn ops_so_far(&self) -> u64 {
+        TL.with(|tl| tl.borrow().next_op - 1)
+    }
+
+    /// Whether a crash fault has fired on this thread.
+    pub fn crashed(&self) -> bool {
+        TL.with(|tl| tl.borrow().crashed)
+    }
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        TL.with(|tl| {
+            let mut tl = tl.borrow_mut();
+            tl.plan = None;
+            tl.crashed = false;
+            tl.fired.clear();
+        });
+    }
+}
+
+/// Starts recording every durable operation on the current thread (and
+/// resets the operation counter to 1), so the crash harness can enumerate
+/// injection points. Dropping the guard stops recording.
+#[must_use = "recording stops when the guard drops"]
+pub fn record() -> RecordGuard {
+    TL.with(|tl| {
+        let mut tl = tl.borrow_mut();
+        tl.next_op = 1;
+        tl.renames = 0;
+        tl.log = Some(Vec::new());
+    });
+    RecordGuard { _priv: () }
+}
+
+/// Stops recording on drop; [`RecordGuard::take`] returns the log.
+/// Returned by [`record`].
+#[derive(Debug)]
+pub struct RecordGuard {
+    _priv: (),
+}
+
+impl RecordGuard {
+    /// Takes the operations recorded so far (leaving recording active with
+    /// an empty log).
+    pub fn take(&self) -> Vec<OpRecord> {
+        TL.with(|tl| tl.borrow_mut().log.replace(Vec::new()).unwrap_or_default())
+    }
+}
+
+impl Drop for RecordGuard {
+    fn drop(&mut self) {
+        TL.with(|tl| tl.borrow_mut().log = None);
+    }
+}
+
+enum Action {
+    Proceed,
+    /// Persist only this many bytes of the write, then crash.
+    Torn(usize),
+    /// Flip this absolute bit of the read-back data.
+    Flip(u64),
+}
+
+/// Counts the operation, records it if recording, and evaluates the
+/// installed plan. `Err` means the operation must fail without touching the
+/// filesystem; `Ok(action)` tells the wrapper how to proceed.
+fn enter(kind: OpKind, path: &Path) -> io::Result<Action> {
+    TL.with(|tl| {
+        let mut tl = tl.borrow_mut();
+        let op = tl.next_op;
+        tl.next_op += 1;
+        if kind == OpKind::Rename {
+            tl.renames += 1;
+        }
+        let renames = tl.renames;
+        if let Some(log) = tl.log.as_mut() {
+            log.push(OpRecord {
+                index: op,
+                kind,
+                path: path.to_path_buf(),
+            });
+        }
+        if tl.plan.is_none() {
+            return Ok(Action::Proceed);
+        }
+        if tl.crashed {
+            return Err(injected(op, "process crashed"));
+        }
+        let faults = tl
+            .plan
+            .as_ref()
+            .map(|p| p.faults.clone())
+            .unwrap_or_default();
+        let mut action = Action::Proceed;
+        for fault in faults {
+            match fault {
+                Fault::CrashAt(k) if op >= k => {
+                    tl.crashed = true;
+                    return Err(injected(op, "crash"));
+                }
+                Fault::TornAt { op: k, keep } if op == k => {
+                    if kind == OpKind::Write {
+                        tl.crashed = true;
+                        action = Action::Torn(keep);
+                    } else {
+                        tl.crashed = true;
+                        return Err(injected(op, "crash (torn on non-write)"));
+                    }
+                }
+                Fault::FailAt(k) if op == k && !tl.fired.contains(&fault) => {
+                    tl.fired.push(fault);
+                    return Err(injected(op, "transient I/O failure"));
+                }
+                Fault::EnospcAt(k) if op == k && !tl.fired.contains(&fault) => {
+                    tl.fired.push(fault);
+                    #[cfg(unix)]
+                    return Err(io::Error::from_raw_os_error(28));
+                    #[cfg(not(unix))]
+                    return Err(injected(op, "enospc"));
+                }
+                Fault::BitflipAt { op: k, bit } if op == k && kind == OpKind::Read => {
+                    action = Action::Flip(bit);
+                }
+                Fault::FailRename(n)
+                    if kind == OpKind::Rename && renames == n && !tl.fired.contains(&fault) =>
+                {
+                    tl.fired.push(fault);
+                    return Err(injected(op, "rename failure"));
+                }
+                _ => {}
+            }
+        }
+        Ok(action)
+    })
+}
+
+/// Reads a whole file through the injector. A `bitflip` fault on this
+/// operation corrupts one bit of the returned data.
+pub fn read(path: &Path) -> io::Result<Vec<u8>> {
+    let action = enter(OpKind::Read, path)?;
+    let mut data = fs::read(path)?;
+    if let Action::Flip(bit) = action {
+        if !data.is_empty() {
+            let byte = ((bit / 8) as usize) % data.len();
+            data[byte] ^= 1 << (bit % 8) as u8;
+        }
+    }
+    Ok(data)
+}
+
+/// Writes a whole file through the injector. A `torn` fault on this
+/// operation persists only a prefix of `bytes` and then crashes the thread.
+pub fn write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    match enter(OpKind::Write, path)? {
+        Action::Torn(keep) => {
+            let keep = keep.min(bytes.len());
+            fs::write(path, &bytes[..keep])?;
+            Err(injected(0, "torn write"))
+        }
+        _ => fs::write(path, bytes),
+    }
+}
+
+/// Renames a file through the injector.
+pub fn rename(from: &Path, to: &Path) -> io::Result<()> {
+    enter(OpKind::Rename, from)?;
+    fs::rename(from, to)
+}
+
+/// Removes a file through the injector.
+pub fn remove_file(path: &Path) -> io::Result<()> {
+    enter(OpKind::Remove, path)?;
+    fs::remove_file(path)
+}
+
+/// `fsync`s a file through the injector.
+pub fn sync_file(path: &Path) -> io::Result<()> {
+    enter(OpKind::SyncFile, path)?;
+    fs::File::open(path)?.sync_all()
+}
+
+/// `fsync`s a directory through the injector (a no-op error on platforms
+/// where directories cannot be opened).
+pub fn sync_dir(path: &Path) -> io::Result<()> {
+    enter(OpKind::SyncDir, path)?;
+    fs::File::open(path)?.sync_all()
+}
+
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A process-globally unique sequence number, shared with temp-file naming.
+/// Combined with the pid it makes durable file names collision-free across
+/// racing builders, so a published file is never rewritten in place.
+pub fn unique_seq() -> u64 {
+    TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A temp-file path unique across threads *and* processes: the pid and a
+/// process-global counter are embedded in the name, so two builders racing
+/// on one state directory can never interleave torn writes on one temp.
+fn unique_tmp(path: &Path) -> PathBuf {
+    let seq = unique_seq();
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "file".to_string());
+    path.with_file_name(format!("{name}.tmp.{}.{seq}", std::process::id()))
+}
+
+/// Atomically replaces `path` with `bytes`: write a uniquely named temp
+/// file, optionally sync it, rename it over `path`, optionally sync the
+/// parent directory. A crash at any point leaves either the old or the new
+/// contents at `path`, never a mixture.
+///
+/// Failed temp files are deliberately left behind (the thread may be
+/// "crashed"); `minicc fsck` garbage-collects them.
+pub fn atomic_write(path: &Path, bytes: &[u8], durability: Durability) -> io::Result<()> {
+    let tmp = unique_tmp(path);
+    write(&tmp, bytes)?;
+    if durability == Durability::Durable {
+        sync_file(&tmp)?;
+    }
+    rename(&tmp, path)?;
+    if durability == Durability::Durable {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                sync_dir(parent)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Moves a detected-corrupt file aside to `<path>.corrupt`, best-effort and
+/// *outside* the injector (quarantine is part of recovery, not a durable
+/// write; it must not consume operation indices or fail under a crash
+/// plan). Returns the quarantine path if the rename succeeded.
+pub fn quarantine(path: &Path) -> Option<PathBuf> {
+    let mut name = path.file_name()?.to_string_lossy().into_owned();
+    name.push_str(".corrupt");
+    let dest = path.with_file_name(name);
+    fs::rename(path, &dest).ok()?;
+    Some(dest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sfcc-inject-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn crash_fails_everything_from_k() {
+        let dir = tmpdir("crash");
+        let p = dir.join("a");
+        let _g = install(FaultPlan::parse("crash-at:2").unwrap());
+        write(&p, b"one").unwrap(); // op 1
+        let err = write(&p, b"two").unwrap_err(); // op 2: crash
+        assert!(is_injected(&err));
+        let err = read(&p).unwrap_err(); // op 3: still dead
+        assert!(is_injected(&err));
+        drop(_g);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_keeps_prefix_then_crashes() {
+        let dir = tmpdir("torn");
+        let p = dir.join("a");
+        let _g = install(FaultPlan::parse("torn:1:2").unwrap());
+        assert!(write(&p, b"abcdef").is_err());
+        assert!(read(&p).is_err()); // thread is dead
+        drop(_g);
+        assert_eq!(fs::read(&p).unwrap(), b"ab");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn transient_faults_fire_once() {
+        let dir = tmpdir("transient");
+        let p = dir.join("a");
+        let _g = install(FaultPlan::parse("fail:1").unwrap());
+        assert!(write(&p, b"x").is_err()); // op 1 fails once
+        write(&p, b"x").unwrap(); // op 2 proceeds
+        drop(_g);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn enospc_maps_to_raw_os_error() {
+        let dir = tmpdir("enospc");
+        let p = dir.join("a");
+        let _g = install(FaultPlan::parse("enospc:1").unwrap());
+        let err = write(&p, b"x").unwrap_err();
+        #[cfg(unix)]
+        assert_eq!(err.raw_os_error(), Some(28));
+        #[cfg(not(unix))]
+        assert!(is_injected(&err));
+        drop(_g);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bitflip_corrupts_exactly_one_bit() {
+        let dir = tmpdir("bitflip");
+        let p = dir.join("a");
+        fs::write(&p, b"\x00\x00\x00").unwrap();
+        let _g = install(FaultPlan::parse("bitflip:1:9").unwrap());
+        let data = read(&p).unwrap();
+        drop(_g);
+        assert_eq!(data, vec![0u8, 0b10, 0]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fail_rename_counts_renames_only() {
+        let dir = tmpdir("rename");
+        let a = dir.join("a");
+        let b = dir.join("b");
+        fs::write(&a, b"x").unwrap();
+        let _g = install(FaultPlan::parse("fail-rename:2").unwrap());
+        write(&dir.join("pad"), b"p").unwrap(); // write op, not a rename
+        rename(&a, &b).unwrap(); // rename #1
+        fs::write(&a, b"y").unwrap();
+        assert!(rename(&a, &b).is_err()); // rename #2 fails
+        rename(&a, &b).unwrap(); // transient: rename #3 proceeds
+        drop(_g);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn record_logs_atomic_write_ops() {
+        let dir = tmpdir("record");
+        let p = dir.join("a");
+        let rec = record();
+        atomic_write(&p, b"x", Durability::Fast).unwrap();
+        let fast = rec.take();
+        assert_eq!(
+            fast.iter().map(|r| r.kind).collect::<Vec<_>>(),
+            vec![OpKind::Write, OpKind::Rename]
+        );
+        atomic_write(&p, b"y", Durability::Durable).unwrap();
+        let durable = rec.take();
+        assert_eq!(
+            durable.iter().map(|r| r.kind).collect::<Vec<_>>(),
+            vec![
+                OpKind::Write,
+                OpKind::SyncFile,
+                OpKind::Rename,
+                OpKind::SyncDir
+            ]
+        );
+        drop(rec);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quarantine_moves_file_aside() {
+        let dir = tmpdir("quarantine");
+        let p = dir.join("state");
+        fs::write(&p, b"garbage").unwrap();
+        let dest = quarantine(&p).unwrap();
+        assert!(!p.exists());
+        assert_eq!(dest, dir.join("state.corrupt"));
+        assert_eq!(fs::read(&dest).unwrap(), b"garbage");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

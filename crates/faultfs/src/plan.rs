@@ -1,0 +1,173 @@
+//! Scripted fault plans.
+//!
+//! A plan is a comma-separated list of faults, each pinned to a
+//! deterministic operation index (operations are counted from 1, per
+//! thread, starting at [`crate::install`] / [`crate::record`]):
+//!
+//! ```text
+//! crash-at:K      every op with index >= K fails (the process "died")
+//! torn:K:B        op K (a write) persists only its first B bytes, then crash
+//! fail:K          op K fails once with a transient I/O error
+//! enospc:K        op K fails once with ENOSPC
+//! bitflip:K:B     op K (a read) returns its data with absolute bit B flipped
+//! fail-rename:N   the N-th rename operation fails once
+//! ```
+//!
+//! Plans are parsed from `--fault-plan` / the `SFCC_FAULT_PLAN` environment
+//! variable by `minicc`, and constructed directly by the crash harness.
+
+use std::fmt;
+
+/// One scripted fault. See the module docs for the spec grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Every operation with index `>= .0` fails: the process crashed.
+    CrashAt(u64),
+    /// Operation `op` (if a write) persists only `keep` bytes, then the
+    /// thread is crashed (all later operations fail).
+    TornAt {
+        /// Operation index.
+        op: u64,
+        /// Bytes actually persisted before the crash.
+        keep: usize,
+    },
+    /// Operation `.0` fails once with a generic injected I/O error;
+    /// later operations proceed (a transient fault).
+    FailAt(u64),
+    /// Operation `.0` fails once with `ENOSPC`.
+    EnospcAt(u64),
+    /// Operation `op` (if a read) succeeds but returns its data with
+    /// absolute bit `bit` flipped — silent media corruption.
+    BitflipAt {
+        /// Operation index.
+        op: u64,
+        /// Absolute bit position; mapped into the buffer modulo its length.
+        bit: u64,
+    },
+    /// The `.0`-th *rename* operation (1-based, counted over renames only)
+    /// fails once.
+    FailRename(u64),
+}
+
+/// A deterministic, scriptable set of faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The scripted faults, applied independently per operation.
+    pub faults: Vec<Fault>,
+}
+
+/// A malformed fault-plan spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanError(String);
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad fault plan: {}", self.0)
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl FaultPlan {
+    /// The empty plan (no faults).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan with a single fault.
+    pub fn single(fault: Fault) -> Self {
+        FaultPlan {
+            faults: vec![fault],
+        }
+    }
+
+    /// Parses a comma-separated spec string (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] describing the first malformed clause.
+    pub fn parse(spec: &str) -> Result<Self, PlanError> {
+        let mut faults = Vec::new();
+        for clause in spec.split(',') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            let mut parts = clause.split(':');
+            let kind = parts.next().unwrap_or_default();
+            let mut num = |what: &str| -> Result<u64, PlanError> {
+                parts
+                    .next()
+                    .ok_or_else(|| PlanError(format!("`{clause}`: missing {what}")))?
+                    .parse::<u64>()
+                    .map_err(|_| PlanError(format!("`{clause}`: {what} is not a number")))
+            };
+            let fault = match kind {
+                "crash-at" => Fault::CrashAt(num("op index")?),
+                "torn" => Fault::TornAt {
+                    op: num("op index")?,
+                    keep: num("byte count")? as usize,
+                },
+                "fail" => Fault::FailAt(num("op index")?),
+                "enospc" => Fault::EnospcAt(num("op index")?),
+                "bitflip" => Fault::BitflipAt {
+                    op: num("op index")?,
+                    bit: num("bit position")?,
+                },
+                "fail-rename" => Fault::FailRename(num("rename index")?),
+                other => {
+                    return Err(PlanError(format!("unknown fault kind `{other}`")));
+                }
+            };
+            if let Some(extra) = parts.next() {
+                return Err(PlanError(format!("`{clause}`: trailing `{extra}`")));
+            }
+            faults.push(fault);
+        }
+        Ok(FaultPlan { faults })
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_kind() {
+        let plan = FaultPlan::parse(
+            "crash-at:3, torn:2:17, fail:9, enospc:1, bitflip:4:12, fail-rename:2",
+        )
+        .unwrap();
+        assert_eq!(
+            plan.faults,
+            vec![
+                Fault::CrashAt(3),
+                Fault::TornAt { op: 2, keep: 17 },
+                Fault::FailAt(9),
+                Fault::EnospcAt(1),
+                Fault::BitflipAt { op: 4, bit: 12 },
+                Fault::FailRename(2),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_spec_is_empty_plan() {
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse(" , ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(FaultPlan::parse("explode:1").is_err());
+        assert!(FaultPlan::parse("crash-at").is_err());
+        assert!(FaultPlan::parse("crash-at:x").is_err());
+        assert!(FaultPlan::parse("torn:1").is_err());
+        assert!(FaultPlan::parse("crash-at:1:2").is_err());
+    }
+}

@@ -7,6 +7,7 @@
 
 use crate::codec::{fnv64, DecodeError, Reader, Writer};
 use crate::records::{FunctionRecord, ModuleState, SlotRecord, StateDb};
+use sfcc_faultfs::Durability;
 use sfcc_ir::Fingerprint;
 use std::collections::HashMap;
 use std::io;
@@ -133,22 +134,29 @@ pub fn from_bytes(bytes: &[u8]) -> Result<StateDb, DecodeError> {
     Ok(StateDb { modules })
 }
 
-/// Writes the database to `path` atomically (write-to-temp + rename).
+/// Writes the database to `path` atomically (unique temp + rename, via the
+/// fault-injectable I/O layer), with no sync points.
 ///
 /// # Errors
 ///
 /// Propagates I/O failures.
 pub fn save(db: &StateDb, path: &Path) -> io::Result<()> {
-    let bytes = to_bytes(db);
-    let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, &bytes)?;
-    std::fs::rename(&tmp, path)
+    save_with(db, path, Durability::Fast)
+}
+
+/// [`save`] with an explicit [`Durability`] mode.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn save_with(db: &StateDb, path: &Path, durability: Durability) -> io::Result<()> {
+    sfcc_faultfs::atomic_write(path, &to_bytes(db), durability)
 }
 
 /// Loads the database from `path`; any missing/corrupt file yields a cold
 /// start (`StateDb::new()`), with the reason in the second tuple slot.
 pub fn load_or_default(path: &Path) -> (StateDb, Option<DecodeError>) {
-    match std::fs::read(path) {
+    match sfcc_faultfs::read(path) {
         Ok(bytes) => match from_bytes(&bytes) {
             Ok(db) => (db, None),
             Err(e) => (StateDb::new(), Some(e)),

@@ -1,0 +1,747 @@
+//! Crash-consistency matrix for the compiler's persistent state.
+//!
+//! The invariant under test: **a crash, torn write, or silent corruption at
+//! any point may cost a cold start, never a wrong build**. The harness
+//! records the durable-op trace of one builder session (load state → build →
+//! commit state + IR cache → write image), then replays the session with a
+//! deterministic fault injected at every operation index (`sfcc-faultfs`),
+//! reruns cleanly, and asserts the recovered state, cache, and image are
+//! *byte-identical* to a reference trajectory that never crashed. Because
+//! the manifest rename is the single commit point, every trial must land on
+//! exactly one of two references: all-old (crash before the rename) or
+//! all-new (crash after).
+//!
+//! Satellites ride along: racing builders sharing one state directory,
+//! durability-mode fsync verification, exhaustive truncation and bit-flip
+//! decoding sweeps, recovery counters in the JSON build report, and
+//! fsck-based debris collection. Tests prefixed `quick_` form the
+//! `ci.sh --quick` crash-consistency sweep.
+
+use proptest::prelude::*;
+use sfcc::{persist, Compiler, Config, Durability, FunctionCache};
+use sfcc_backend::VmOptions;
+use sfcc_buildsys::{BuildReport, Builder, Project};
+use sfcc_faultfs::{self as ffs, CommitDir, Fault, FaultPlan, OpKind};
+use sfcc_state::statefile;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+const STATE_BASE: &str = ".sfcc-state";
+const IMAGE_NAME: &str = "out.sbx";
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sfcc-crash-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn cleanup(dir: &Path) {
+    let _ = fs::remove_dir_all(dir);
+}
+
+fn project(files: &[(&str, &str)]) -> Project {
+    let mut p = Project::new();
+    for (name, src) in files {
+        p.set_file((*name).to_string(), (*src).to_string());
+    }
+    p
+}
+
+fn project_v1() -> Project {
+    project(&[
+        ("base", "fn g(x: int) -> int { return x * 2; }"),
+        (
+            "lib",
+            "import base;\nfn f(x: int) -> int { return base::g(x) + 1; }",
+        ),
+        (
+            "main",
+            "import lib;\nfn main(n: int) -> int { return lib::f(n); }",
+        ),
+    ])
+}
+
+/// `project_v1` with an edited `lib` — main.main(21) becomes 45 instead
+/// of 43.
+fn project_v2() -> Project {
+    project(&[
+        ("base", "fn g(x: int) -> int { return x * 2; }"),
+        (
+            "lib",
+            "import base;\nfn f(x: int) -> int { return base::g(x) + 3; }",
+        ),
+        (
+            "main",
+            "import lib;\nfn main(n: int) -> int { return lib::f(n); }",
+        ),
+    ])
+}
+
+fn state_base(dir: &Path) -> PathBuf {
+    dir.join(STATE_BASE)
+}
+
+/// One full builder session against `dir`: load persistent state, build,
+/// commit state + cache through the manifest protocol, write the program
+/// image. Mirrors one `minicc build --stateful --fn-cache` invocation.
+fn run_session(dir: &Path, p: &Project, durability: Durability) -> Result<BuildReport, String> {
+    let config = Config::stateful()
+        .with_state_path(state_base(dir))
+        .with_function_cache()
+        .with_durability(durability);
+    let mut builder = Builder::new(Compiler::new(config));
+    let report = builder.build(p).map_err(|e| e.to_string())?;
+    builder.compiler().save_state().map_err(|e| e.to_string())?;
+    sfcc_backend::image::save_with(&report.program, &dir.join(IMAGE_NAME), durability)
+        .map_err(|e| e.to_string())?;
+    Ok(report)
+}
+
+/// The committed manifest generation at `dir` (0 when none). A crashed
+/// directory must always have an absent-or-valid manifest, never a torn one.
+fn generation(dir: &Path) -> u64 {
+    CommitDir::new(&state_base(dir))
+        .read_manifest()
+        .expect("manifest must be absent or valid after a crash, never torn")
+        .map(|m| m.generation)
+        .unwrap_or(0)
+}
+
+/// The logical durable artifacts of a directory, independent of physical
+/// generation-file names.
+#[derive(PartialEq)]
+struct Snapshot {
+    state: Vec<u8>,
+    cache: Vec<u8>,
+    image: Vec<u8>,
+}
+
+fn snapshot(dir: &Path) -> Snapshot {
+    let cd = CommitDir::new(&state_base(dir));
+    let m = cd
+        .read_manifest()
+        .unwrap()
+        .expect("a completed session must have committed a manifest");
+    Snapshot {
+        state: cd
+            .load_entry(m.entry(persist::STATE_LOGICAL).unwrap())
+            .unwrap(),
+        cache: cd
+            .load_entry(m.entry(persist::CACHE_LOGICAL).unwrap())
+            .unwrap(),
+        image: fs::read(dir.join(IMAGE_NAME)).unwrap(),
+    }
+}
+
+fn assert_snapshots_eq(got: &Snapshot, want: &Snapshot, label: &str) {
+    assert_eq!(got.state, want.state, "state bytes diverge: {label}");
+    assert_eq!(got.cache, want.cache, "cache bytes diverge: {label}");
+    assert_eq!(got.image, want.image, "image bytes diverge: {label}");
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    fs::create_dir_all(dst).unwrap();
+    for dirent in fs::read_dir(src).unwrap() {
+        let dirent = dirent.unwrap();
+        fs::copy(dirent.path(), dst.join(dirent.file_name())).unwrap();
+    }
+}
+
+/// Records the per-session durable-op traces of running `projects` in
+/// sequence against one fresh scratch directory. Op indices within each
+/// trace are 1-based *relative to the session start* (`enumerate` position
+/// + 1), matching how an installed plan counts them.
+fn recorded_ops(
+    projects: &[&Project],
+    durability: Durability,
+    tag: &str,
+) -> Vec<Vec<ffs::OpRecord>> {
+    let dir = tmpdir(tag);
+    let rec = ffs::record();
+    let mut logs = Vec::new();
+    for p in projects {
+        run_session(&dir, p, durability).unwrap();
+        logs.push(rec.take());
+    }
+    drop(rec);
+    cleanup(&dir);
+    logs
+}
+
+/// References for a cold-start trial: the artifacts after one clean session
+/// (`f1`, the all-old outcome) and after two (`f2`, the all-new outcome).
+struct ColdRefs {
+    f1: Snapshot,
+    f2: Snapshot,
+}
+
+fn cold_references(durability: Durability, tag: &str) -> ColdRefs {
+    let p = project_v1();
+    let f1_dir = tmpdir(&format!("{tag}-f1"));
+    run_session(&f1_dir, &p, durability).unwrap();
+    let f1 = snapshot(&f1_dir);
+    cleanup(&f1_dir);
+
+    let f2_dir = tmpdir(&format!("{tag}-f2"));
+    run_session(&f2_dir, &p, durability).unwrap();
+    run_session(&f2_dir, &p, durability).unwrap();
+    let f2 = snapshot(&f2_dir);
+    cleanup(&f2_dir);
+    ColdRefs { f1, f2 }
+}
+
+/// The crash-point harness: enumerate every durable op of a cold session,
+/// crash at each, rerun cleanly, and demand byte-identity with the
+/// matching never-crashed reference.
+fn cold_crash_matrix(durability: Durability) {
+    let p = project_v1();
+    let label = durability.label();
+    let refs = cold_references(durability, &format!("cold-{label}"));
+    let logs = recorded_ops(&[&p], durability, &format!("cold-rec-{label}"));
+    let n = logs[0].len() as u64;
+    assert!(
+        n >= 8,
+        "a session must perform several durable ops, got {n}"
+    );
+
+    // K = n + 1 is the fault-free boundary trial.
+    for k in 1..=n + 1 {
+        let dir = tmpdir(&format!("cold-{label}-k{k}"));
+        {
+            let _g = ffs::install(FaultPlan::single(Fault::CrashAt(k)));
+            let _ = run_session(&dir, &p, durability);
+        }
+        let committed = generation(&dir) > 0;
+        let report = run_session(&dir, &p, durability)
+            .unwrap_or_else(|e| panic!("recovery session failed after crash at op {k}: {e}"));
+        assert_eq!(
+            report.recovered_files, 0,
+            "a clean crash must not look like corruption (op {k})"
+        );
+        let want = if committed { &refs.f2 } else { &refs.f1 };
+        assert_snapshots_eq(
+            &snapshot(&dir),
+            want,
+            &format!("{label} crash at op {k}, committed={committed}"),
+        );
+        cleanup(&dir);
+    }
+}
+
+#[test]
+fn quick_cold_crash_matrix_fast() {
+    cold_crash_matrix(Durability::Fast);
+}
+
+#[test]
+fn cold_crash_matrix_durable() {
+    cold_crash_matrix(Durability::Durable);
+}
+
+#[test]
+fn warm_crash_matrix_fast() {
+    let d = Durability::Fast;
+    let v1 = project_v1();
+    let v2 = project_v2();
+
+    // Seed: one clean v1 session; trials crash an *incremental* v2 session.
+    let seed = tmpdir("warm-seed");
+    run_session(&seed, &v1, d).unwrap();
+    let seed_gen = generation(&seed);
+
+    let w2_dir = tmpdir("warm-w2");
+    copy_dir(&seed, &w2_dir);
+    run_session(&w2_dir, &v2, d).unwrap();
+    let w2 = snapshot(&w2_dir);
+    cleanup(&w2_dir);
+
+    let w3_dir = tmpdir("warm-w3");
+    copy_dir(&seed, &w3_dir);
+    run_session(&w3_dir, &v2, d).unwrap();
+    run_session(&w3_dir, &v2, d).unwrap();
+    let w3 = snapshot(&w3_dir);
+    cleanup(&w3_dir);
+
+    let n = {
+        let dir = tmpdir("warm-rec");
+        copy_dir(&seed, &dir);
+        let rec = ffs::record();
+        run_session(&dir, &v2, d).unwrap();
+        let n = rec.take().len() as u64;
+        drop(rec);
+        cleanup(&dir);
+        n
+    };
+    assert!(
+        n >= 8,
+        "a warm session must perform several durable ops, got {n}"
+    );
+
+    for k in 1..=n + 1 {
+        let dir = tmpdir(&format!("warm-k{k}"));
+        copy_dir(&seed, &dir);
+        {
+            let _g = ffs::install(FaultPlan::single(Fault::CrashAt(k)));
+            let _ = run_session(&dir, &v2, d);
+        }
+        let committed = generation(&dir) > seed_gen;
+        let report = run_session(&dir, &v2, d)
+            .unwrap_or_else(|e| panic!("recovery failed after warm crash at op {k}: {e}"));
+        assert_eq!(report.recovered_files, 0, "op {k}");
+        let want = if committed { &w3 } else { &w2 };
+        assert_snapshots_eq(
+            &snapshot(&dir),
+            want,
+            &format!("warm crash at op {k}, committed={committed}"),
+        );
+        cleanup(&dir);
+    }
+    cleanup(&seed);
+}
+
+#[test]
+fn torn_write_matrix_fast() {
+    let d = Durability::Fast;
+    let p = project_v1();
+    let refs = cold_references(d, "torn");
+    let logs = recorded_ops(&[&p], d, "torn-rec");
+    let writes: Vec<u64> = logs[0]
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.kind == OpKind::Write)
+        .map(|(i, _)| i as u64 + 1)
+        .collect();
+    assert!(
+        writes.len() >= 4,
+        "a cold session writes two generations, a manifest, and an image"
+    );
+
+    for &k in &writes {
+        for keep in [0usize, 1, 17] {
+            let dir = tmpdir(&format!("torn-k{k}-b{keep}"));
+            {
+                let _g = ffs::install(FaultPlan::single(Fault::TornAt { op: k, keep }));
+                let _ = run_session(&dir, &p, d);
+            }
+            let committed = generation(&dir) > 0;
+            run_session(&dir, &p, d).unwrap_or_else(|e| {
+                panic!("recovery failed after torn write at op {k} keep {keep}: {e}")
+            });
+            let want = if committed { &refs.f2 } else { &refs.f1 };
+            assert_snapshots_eq(
+                &snapshot(&dir),
+                want,
+                &format!("torn write at op {k} keep {keep}, committed={committed}"),
+            );
+            cleanup(&dir);
+        }
+    }
+}
+
+#[test]
+fn bitflip_read_matrix_never_accepts_corrupt_data() {
+    let d = Durability::Fast;
+    let v1 = project_v1();
+    let seed = tmpdir("flip-seed");
+    run_session(&seed, &v1, d).unwrap();
+
+    let reads: Vec<u64> = {
+        let dir = tmpdir("flip-rec");
+        copy_dir(&seed, &dir);
+        let rec = ffs::record();
+        run_session(&dir, &v1, d).unwrap();
+        let log = rec.take();
+        drop(rec);
+        cleanup(&dir);
+        log.iter()
+            .enumerate()
+            .filter(|(_, r)| r.kind == OpKind::Read)
+            .map(|(i, _)| i as u64 + 1)
+            .collect()
+    };
+    assert!(
+        reads.len() >= 3,
+        "a warm session reads at least manifest, state, and cache"
+    );
+
+    for &k in &reads {
+        for bit in [0u64, 8 * 9 + 3, 8 * 40 + 6] {
+            let dir = tmpdir(&format!("flip-k{k}-b{bit}"));
+            copy_dir(&seed, &dir);
+            let report = {
+                let _g = ffs::install(FaultPlan::single(Fault::BitflipAt { op: k, bit }));
+                run_session(&dir, &v1, d).unwrap_or_else(|e| {
+                    panic!("silent corruption must degrade, not fail (op {k} bit {bit}): {e}")
+                })
+            };
+            // The build never consumed the flipped data as valid: the
+            // program behaves exactly like an uncorrupted build.
+            let out = sfcc_backend::run(&report.program, "main.main", &[21], VmOptions::default())
+                .unwrap();
+            assert_eq!(out.return_value, Some(43), "op {k} bit {bit}");
+            // And the session recommitted a fully healthy directory.
+            let clean = run_session(&dir, &v1, d).unwrap();
+            assert_eq!(clean.recovered_files, 0, "op {k} bit {bit}");
+            let out = sfcc_backend::run(&clean.program, "main.main", &[21], VmOptions::default())
+                .unwrap();
+            assert_eq!(out.return_value, Some(43), "op {k} bit {bit}");
+            cleanup(&dir);
+        }
+    }
+    cleanup(&seed);
+}
+
+/// Byte streams of the durable formats from a warm two-session run, for
+/// decode-hardening sweeps.
+struct RawArtifacts {
+    state: Vec<u8>,
+    cache: Vec<u8>,
+    manifest: Vec<u8>,
+    image: Vec<u8>,
+}
+
+fn reference_artifacts() -> &'static RawArtifacts {
+    static ARTS: OnceLock<RawArtifacts> = OnceLock::new();
+    ARTS.get_or_init(|| {
+        let dir = tmpdir("refbytes");
+        run_session(&dir, &project_v1(), Durability::Fast).unwrap();
+        run_session(&dir, &project_v1(), Durability::Fast).unwrap();
+        let cd = CommitDir::new(&state_base(&dir));
+        let m = cd.read_manifest().unwrap().unwrap();
+        let state = cd
+            .load_entry(m.entry(persist::STATE_LOGICAL).unwrap())
+            .unwrap();
+        let cache = cd
+            .load_entry(m.entry(persist::CACHE_LOGICAL).unwrap())
+            .unwrap();
+        let manifest = fs::read(cd.manifest_path()).unwrap();
+        let image = fs::read(dir.join(IMAGE_NAME)).unwrap();
+        cleanup(&dir);
+        RawArtifacts {
+            state,
+            cache,
+            manifest,
+            image,
+        }
+    })
+}
+
+#[test]
+fn quick_truncation_at_every_byte_boundary_errors() {
+    let RawArtifacts { state, cache, .. } = reference_artifacts();
+    for cut in 0..state.len() {
+        assert!(
+            statefile::from_bytes(&state[..cut]).is_err(),
+            "truncated state (cut {cut}) must not decode"
+        );
+    }
+    for cut in 0..cache.len() {
+        assert!(
+            FunctionCache::from_bytes(&cache[..cut]).is_err(),
+            "truncated cache (cut {cut}) must not decode"
+        );
+    }
+}
+
+#[test]
+fn single_bitflips_on_disk_never_decode() {
+    let RawArtifacts {
+        state,
+        cache,
+        manifest,
+        image,
+    } = reference_artifacts();
+    for i in 0..state.len() {
+        let mut b = state.clone();
+        b[i] ^= 1 << (i % 8);
+        assert!(
+            statefile::from_bytes(&b).is_err(),
+            "state flip at byte {i} accepted as valid"
+        );
+    }
+    for i in 0..cache.len() {
+        let mut b = cache.clone();
+        b[i] ^= 1 << (i % 8);
+        assert!(
+            FunctionCache::from_bytes(&b).is_err(),
+            "cache flip at byte {i} accepted as valid"
+        );
+    }
+    for i in 0..image.len() {
+        let mut b = image.clone();
+        b[i] ^= 1 << (i % 8);
+        assert!(
+            sfcc_backend::image::from_bytes(&b).is_err(),
+            "image flip at byte {i} accepted as valid"
+        );
+    }
+    // The manifest decoder is only reachable through a CommitDir.
+    let dir = tmpdir("flip-manifest");
+    let cd = CommitDir::new(&state_base(&dir));
+    for i in 0..manifest.len() {
+        let mut b = manifest.clone();
+        b[i] ^= 1 << (i % 8);
+        fs::write(cd.manifest_path(), &b).unwrap();
+        assert!(
+            cd.read_manifest().is_err(),
+            "manifest flip at byte {i} accepted as valid"
+        );
+    }
+    cleanup(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Beyond the exhaustive boundary sweeps: random *combinations* of a
+    /// truncation and a bit flip must still never decode.
+    #[test]
+    fn random_truncate_and_flip_never_decodes(seed in any::<u64>()) {
+        let RawArtifacts { state, cache, .. } = reference_artifacts();
+        let cut = 1 + (seed as usize) % (state.len() - 1);
+        let mut b = state[..cut].to_vec();
+        let j = ((seed >> 17) as usize) % b.len();
+        b[j] ^= 1 << ((seed >> 40) % 8);
+        prop_assert!(statefile::from_bytes(&b).is_err());
+
+        let cut = 1 + ((seed >> 9) as usize) % (cache.len() - 1);
+        let mut b = cache[..cut].to_vec();
+        let j = ((seed >> 23) as usize) % b.len();
+        b[j] ^= 1 << ((seed >> 33) % 8);
+        prop_assert!(FunctionCache::from_bytes(&b).is_err());
+    }
+}
+
+#[test]
+fn truncated_files_recover_through_the_builder() {
+    let RawArtifacts { state, cache, .. } = reference_artifacts();
+    let d = Durability::Fast;
+    let v1 = project_v1();
+
+    // Legacy layout: plain truncated state + cache files, no manifest.
+    // Cut points are per-file so both files are genuinely damaged.
+    let cuts = |len: usize| [1, len / 2, len - 1];
+    for (scut, ccut) in cuts(state.len()).into_iter().zip(cuts(cache.len())) {
+        let cut = scut;
+        let dir = tmpdir(&format!("trunc-legacy-{cut}"));
+        fs::write(state_base(&dir), &state[..scut]).unwrap();
+        fs::write(
+            persist::legacy_cache_path(&state_base(&dir)),
+            &cache[..ccut],
+        )
+        .unwrap();
+        let report = run_session(&dir, &v1, d).unwrap();
+        assert_eq!(report.recovered_files, 2, "cut {cut}");
+        assert_eq!(report.quarantined.len(), 2, "cut {cut}");
+        let clean = run_session(&dir, &v1, d).unwrap();
+        assert_eq!(clean.recovered_files, 0, "cut {cut}");
+        cleanup(&dir);
+    }
+
+    // Manifest layout: truncate one committed generation file.
+    let dir = tmpdir("trunc-entry");
+    run_session(&dir, &v1, d).unwrap();
+    let cd = CommitDir::new(&state_base(&dir));
+    let m = cd.read_manifest().unwrap().unwrap();
+    let spath = cd.entry_path(m.entry(persist::STATE_LOGICAL).unwrap());
+    let bytes = fs::read(&spath).unwrap();
+    fs::write(&spath, &bytes[..bytes.len() / 2]).unwrap();
+    let report = run_session(&dir, &v1, d).unwrap();
+    assert_eq!(report.recovered_files, 1);
+    assert!(report.quarantined[0].ends_with(".corrupt"));
+    cleanup(&dir);
+}
+
+#[test]
+fn quick_recovery_counters_surface_in_json_report() {
+    let d = Durability::Fast;
+    let v1 = project_v1();
+    let dir = tmpdir("counters");
+    run_session(&dir, &v1, d).unwrap();
+
+    // Corrupt both committed entries on disk.
+    let cd = CommitDir::new(&state_base(&dir));
+    let m = cd.read_manifest().unwrap().unwrap();
+    for logical in [persist::STATE_LOGICAL, persist::CACHE_LOGICAL] {
+        fs::write(cd.entry_path(m.entry(logical).unwrap()), b"garbage").unwrap();
+    }
+    let report = run_session(&dir, &v1, d).unwrap();
+    assert_eq!(report.recovered_files, 2);
+    assert_eq!(report.quarantined.len(), 2);
+    assert!(report.quarantined.iter().all(|q| q.ends_with(".corrupt")));
+    let json = report.to_json();
+    assert!(
+        json.contains("\"recovery\":{\"recovered_files\":2,\"quarantined\":["),
+        "{json}"
+    );
+    assert!(json.contains(".corrupt"), "{json}");
+
+    // The recovery session recommitted healthy state: the next build is
+    // fully incremental again — warm state, no recovery, dormant skipping.
+    let next = run_session(&dir, &v1, d).unwrap();
+    assert_eq!(next.recovered_files, 0);
+    assert!(next
+        .to_json()
+        .contains("\"recovery\":{\"recovered_files\":0,\"quarantined\":[]}"));
+    let (_, _, skipped) = next.outcome_totals();
+    assert!(skipped > 0, "warm rebuild must skip dormant pass slots");
+    cleanup(&dir);
+}
+
+#[test]
+fn racing_builders_share_a_state_directory_safely() {
+    let dir = tmpdir("race");
+    let threads: Vec<_> = (0..4)
+        .map(|_| {
+            let dir = dir.clone();
+            std::thread::spawn(move || {
+                let p = project_v1();
+                for _ in 0..3 {
+                    run_session(&dir, &p, Durability::Fast).unwrap();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    // Quiescent: the surviving manifest is valid and both artifacts load
+    // without a single recovery event — losers' generations are merely
+    // orphaned, never half-published.
+    let loaded = persist::load(&state_base(&dir), true, true);
+    assert!(loaded.db_error.is_none(), "{:?}", loaded.events);
+    assert!(loaded.events.is_empty(), "{:?}", loaded.events);
+
+    // fsck reclaims the orphaned generations; a re-check is clean, and the
+    // next session still builds a correct program from the shared state.
+    let report = persist::fsck(&state_base(&dir), &[dir.join(IMAGE_NAME)]).unwrap();
+    assert!(report.quarantined.is_empty(), "{report:?}");
+    assert!(persist::fsck(&state_base(&dir), &[]).unwrap().clean());
+    let final_report = run_session(&dir, &project_v1(), Durability::Fast).unwrap();
+    assert_eq!(final_report.recovered_files, 0);
+    let out = sfcc_backend::run(
+        &final_report.program,
+        "main.main",
+        &[21],
+        VmOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(out.return_value, Some(43));
+    cleanup(&dir);
+}
+
+#[test]
+fn quick_durable_mode_emits_sync_points_fast_does_not() {
+    let p = project_v1();
+    let fast_dir = tmpdir("dur-fast");
+    let rec = ffs::record();
+    run_session(&fast_dir, &p, Durability::Fast).unwrap();
+    let fast_ops = rec.take();
+    let durable_dir = tmpdir("dur-durable");
+    run_session(&durable_dir, &p, Durability::Durable).unwrap();
+    let durable_ops = rec.take();
+    drop(rec);
+
+    assert!(
+        fast_ops
+            .iter()
+            .all(|r| r.kind != OpKind::SyncFile && r.kind != OpKind::SyncDir),
+        "fast mode must not fsync"
+    );
+    let sync_files = durable_ops
+        .iter()
+        .filter(|r| r.kind == OpKind::SyncFile)
+        .count();
+    let sync_dirs = durable_ops
+        .iter()
+        .filter(|r| r.kind == OpKind::SyncDir)
+        .count();
+    // Both generation files, the manifest temp, and the image temp are
+    // synced; the manifest and image renames are each followed by a
+    // directory sync.
+    assert!(
+        sync_files >= 4,
+        "durable mode fsyncs data files, got {sync_files}"
+    );
+    assert!(
+        sync_dirs >= 2,
+        "durable mode fsyncs directories, got {sync_dirs}"
+    );
+    cleanup(&fast_dir);
+    cleanup(&durable_dir);
+}
+
+#[test]
+fn transient_enospc_and_rename_failures_keep_the_directory_consistent() {
+    let d = Durability::Fast;
+    let p = project_v1();
+    let refs = cold_references(d, "transient");
+    for spec in [
+        "enospc:5",
+        "fail:6",
+        "fail-rename:1",
+        "fail-rename:2",
+        "enospc:8",
+    ] {
+        let dir = tmpdir(&format!("transient-{}", spec.replace(':', "-")));
+        {
+            let _g = ffs::install(FaultPlan::parse(spec).unwrap());
+            let _ = run_session(&dir, &p, d);
+        }
+        let committed = generation(&dir) > 0;
+        run_session(&dir, &p, d).unwrap_or_else(|e| panic!("recovery failed after `{spec}`: {e}"));
+        let want = if committed { &refs.f2 } else { &refs.f1 };
+        assert_snapshots_eq(
+            &snapshot(&dir),
+            want,
+            &format!("transient `{spec}`, committed={committed}"),
+        );
+        cleanup(&dir);
+    }
+}
+
+#[test]
+fn fsck_reclaims_crash_debris_and_quarantines_bad_images() {
+    let d = Durability::Fast;
+    let p = project_v1();
+    let dir = tmpdir("fsck-debris");
+
+    // Crash at the first rename: both generation files and the manifest
+    // temp are already on disk, referenced by nothing.
+    let logs = recorded_ops(&[&p], d, "fsck-rec");
+    let k = logs[0]
+        .iter()
+        .enumerate()
+        .find(|(_, r)| r.kind == OpKind::Rename)
+        .map(|(i, _)| i as u64 + 1)
+        .expect("a session must rename at least the manifest");
+    {
+        let _g = ffs::install(FaultPlan::single(Fault::CrashAt(k)));
+        let _ = run_session(&dir, &p, d);
+    }
+    let report = persist::fsck(&state_base(&dir), &[]).unwrap();
+    assert!(
+        report.removed.len() >= 3,
+        "crash debris must be collected: {report:?}"
+    );
+    assert!(persist::fsck(&state_base(&dir), &[]).unwrap().clean());
+
+    // A corrupt image is quarantined by fsck.
+    run_session(&dir, &p, d).unwrap();
+    let image = dir.join(IMAGE_NAME);
+    let mut bytes = fs::read(&image).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 1;
+    fs::write(&image, &bytes).unwrap();
+    let report = persist::fsck(&state_base(&dir), std::slice::from_ref(&image)).unwrap();
+    assert_eq!(report.quarantined.len(), 1, "{report:?}");
+    assert!(!image.exists(), "corrupt image must be moved aside");
+    cleanup(&dir);
+}

@@ -31,11 +31,15 @@ fn builder_with(jobs: usize, dir: &Path, tag: &str) -> Builder {
 }
 
 /// Saves the builder's state and returns the raw bytes of the dormancy
-/// state file and the function-cache file it persisted.
+/// state file and the function-cache file it persisted. State is published
+/// through the atomic-commit manifest, so the logical entries are read
+/// back through it rather than as plain files.
 fn persisted_bytes(builder: &Builder, dir: &Path, tag: &str) -> (Vec<u8>, Vec<u8>) {
     builder.compiler().save_state().unwrap();
-    let state = std::fs::read(dir.join(format!("{tag}.state"))).unwrap();
-    let cache = std::fs::read(dir.join(format!("{tag}.state.ircache"))).unwrap();
+    let cd = sfcc_faultfs::CommitDir::new(&dir.join(format!("{tag}.state")));
+    let m = cd.read_manifest().unwrap().unwrap();
+    let state = cd.load_entry(m.entry("state").unwrap()).unwrap();
+    let cache = cd.load_entry(m.entry("ircache").unwrap()).unwrap();
     (state, cache)
 }
 
