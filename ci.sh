@@ -2,15 +2,34 @@
 # Local CI gate: build, test, lint, format — exactly what a PR must pass.
 #
 #   ci.sh          full gate
-#   ci.sh --quick  fast crash-consistency sweep only (the `quick_`-prefixed
-#                  subset of the fault-injection matrix: cold crash matrix,
-#                  truncation boundaries, recovery counters, durability
-#                  sync points)
+#   ci.sh --quick  fast sweep only: the `quick_`-prefixed subset of the
+#                  fault-injection matrix (cold crash matrix, truncation
+#                  boundaries, recovery counters, durability sync points)
+#                  and of the observability suite (trace well-formedness,
+#                  report schema, metrics consistency, CLI contracts),
+#                  plus a traced demo build validated with `trace-check`
 set -euo pipefail
 cd "$(dirname "$0")"
 
+# Trace smoke: build the demo with --trace into a scratch copy (so the
+# checked-in demo/ stays free of .sfcc-report.json), then validate the
+# exported trace's schema and span nesting.
+trace_smoke() {
+    local scratch
+    scratch="$(mktemp -d)"
+    trap 'rm -rf "$scratch"' RETURN
+    cp demo/*.mc "$scratch"/
+    cargo run -q -p sfcc-buildsys --bin minicc -- \
+        build "$scratch" --trace "$scratch/trace.json" > /dev/null
+    cargo run -q -p sfcc-buildsys --bin minicc -- \
+        trace-check "$scratch/trace.json"
+}
+
 if [[ "${1:-}" == "--quick" ]]; then
     cargo test -q -p sfcc --test integration_crash quick_
+    cargo test -q -p sfcc --test integration_trace quick_
+    cargo test -q -p sfcc-buildsys --test cli quick_
+    trace_smoke
     exit 0
 fi
 
@@ -18,7 +37,10 @@ cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
 cargo fmt --check
-# Smoke-run the parallel-scaling sweep (writes BENCH_parallel.json).
+trace_smoke
+# Smoke-run the parallel-scaling and observability-overhead sweeps (write
+# BENCH_parallel.json / BENCH_trace.json).
 cargo run -q -p sfcc-bench --release --bin exp_parallel_scaling -- --quick
-# Crash-consistency sweep runs inside `cargo test` above; `--quick` reruns
-# just the fast subset for tight edit loops.
+cargo run -q -p sfcc-bench --release --bin exp_trace_overhead -- --quick
+# Crash-consistency and golden-trace sweeps run inside `cargo test` above;
+# `--quick` reruns just the fast subsets for tight edit loops.

@@ -15,9 +15,11 @@
 //! | E11 | Ablation: state granularity | [`quality::granularity_ablation`] |
 //! | E12 | Extension: function-level IR cache | [`extension::fn_cache_ablation`] |
 //! | E13 | Extension: parallel optimize scaling | [`parallel::parallel_scaling`] |
+//! | E14 | Extension: observability overhead | [`observe::trace_overhead`] |
 
 pub mod end_to_end;
 pub mod extension;
+pub mod observe;
 pub mod parallel;
 pub mod profile;
 pub mod quality;
@@ -77,6 +79,10 @@ pub fn run_all(scale: crate::Scale) -> String {
         (
             "E13 — extension: parallel optimize scaling",
             parallel::parallel_scaling(scale).0,
+        ),
+        (
+            "E14 — extension: observability (tracing/metrics) overhead",
+            observe::trace_overhead(scale).0,
         ),
     ];
     let mut out = String::new();

@@ -8,13 +8,19 @@
 //! minicc bc    <dir> [build flags]                disassemble the linked program
 //! minicc state <state-file>                       inspect a dormancy-state file
 //! minicc fsck  <dir|state-file> [image.sbx...]    verify + repair a state dir
+//! minicc stats <dir>                              metrics of the last build
+//! minicc trace-check <trace.json>                 validate an exported trace
 //! ```
 //!
 //! Build flags: `--stateful` (persist dormancy state in `<dir>/.sfcc-state`),
 //! `--stateless` (default), `--fn-cache`, `--jobs N` (default: all cores),
 //! `--durable` (fsync durable writes), `-O0`/`-O1`/`-O2`; `build` also
 //! accepts `--report json` for a machine-readable summary including
-//! query-engine hit/miss counts and corruption-recovery counters.
+//! query-engine hit/miss counts and corruption-recovery counters, and
+//! `--trace <out.json>` to export a deterministic Chrome/Perfetto span
+//! trace of the build (`--trace-wall` adds non-deterministic wall-clock
+//! annotations). Every `build` persists its JSON report to
+//! `<dir>/.sfcc-report.json`, which `minicc stats` pretty-prints.
 //!
 //! Fault injection (testing only): `--fault-plan <spec>` or the
 //! `SFCC_FAULT_PLAN` environment variable installs a deterministic fault
@@ -32,13 +38,15 @@ use std::process::ExitCode;
 const USAGE: &str = "minicc — incremental MiniC compiler driver
 
 usage:
-  minicc build <dir> [-o <out.sbx>] [--report json] [build flags]
+  minicc build <dir> [-o <out.sbx>] [--report json] [--trace <out.json>] [build flags]
   minicc run   <dir> [build flags] -- <args...>
   minicc exec  <file.sbx> -- <args...>
   minicc ir    <dir> <module> [build flags]
   minicc bc    <dir> [build flags]
   minicc state <state-file>
   minicc fsck  <dir|state-file> [image.sbx ...]
+  minicc stats <dir>
+  minicc trace-check <trace.json>
 
 build flags:
   --stateful     stateful compilation; state persists in <dir>/.sfcc-state
@@ -52,7 +60,18 @@ build flags:
   --durable      fsync state/cache/image writes (crash-consistent either
                  way; --durable also survives OS-level crashes)
   --report json  (build) print a JSON build report instead of the summary
+  --trace <out.json>  (build) export a Chrome/Perfetto trace of the build;
+                 the timeline is deterministic cost units, so the bytes are
+                 identical across runs and --jobs values
+  --trace-wall   annotate trace events with measured wall-clock nanoseconds
+                 (makes the trace non-deterministic)
   -O0 | -O1 | -O2  optimization level (default -O2)
+
+observability:
+  every `build` persists its JSON report to <dir>/.sfcc-report.json;
+  `minicc stats <dir>` pretty-prints that report's metrics registry, and
+  `minicc trace-check <trace.json>` validates an exported trace (schema +
+  strict span nesting) and prints summary statistics
 
 fault injection (testing):
   --fault-plan <spec>   deterministic fault plan for this invocation, e.g.
@@ -105,6 +124,8 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         "bc" => cmd_bc(rest),
         "state" => cmd_state(rest),
         "fsck" => cmd_fsck(rest),
+        "stats" => cmd_stats(rest),
+        "trace-check" => cmd_trace_check(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -121,6 +142,10 @@ struct BuildFlags {
     jobs: Option<usize>,
     /// `--report json`: emit a machine-readable build report.
     report_json: bool,
+    /// `--trace <path>`: export a Chrome-trace JSON of the build.
+    trace: Option<PathBuf>,
+    /// `--trace-wall`: include wall-clock annotations in the trace.
+    trace_wall: bool,
     /// `--durable`: fsync every durable write (state, cache, images).
     durable: bool,
     opt: &'static str,
@@ -138,6 +163,8 @@ fn parse_flags(args: &[String]) -> Result<BuildFlags, String> {
         fn_cache: false,
         jobs: None,
         report_json: false,
+        trace: None,
+        trace_wall: false,
         durable: false,
         opt: "-O2",
         operands: Vec::new(),
@@ -171,6 +198,11 @@ fn parse_flags(args: &[String]) -> Result<BuildFlags, String> {
                 }
                 flags.report_json = true;
             }
+            "--trace" => {
+                let path = iter.next().ok_or("`--trace` expects an output path")?;
+                flags.trace = Some(PathBuf::from(path));
+            }
+            "--trace-wall" => flags.trace_wall = true,
             "-O0" | "-O1" | "-O2" => {
                 flags.opt = match arg.as_str() {
                     "-O0" => "-O0",
@@ -224,7 +256,15 @@ fn config_of(flags: &BuildFlags, dir: &Path) -> Config {
     config.with_jobs(jobs)
 }
 
+/// The file every build persists its JSON report to, inside the project
+/// directory; `minicc stats` reads it back.
+const REPORT_FILE: &str = ".sfcc-report.json";
+
 /// Builds the project in `dir` under `flags`; persists state when stateful.
+/// Also persists the JSON report to `<dir>/.sfcc-report.json` (plain
+/// `std::fs`, deliberately outside the fault-injectable I/O layer so
+/// telemetry never shifts a fault plan's op numbering) and exports the
+/// trace when `--trace` was given.
 fn build_project(flags: &BuildFlags, dir: &Path) -> Result<(Builder, BuildReport), String> {
     let project = Project::from_dir(dir)
         .map_err(|e| format!("cannot load project `{}`: {e}", dir.display()))?;
@@ -236,12 +276,26 @@ fn build_project(flags: &BuildFlags, dir: &Path) -> Result<(Builder, BuildReport
         Some(jobs) => builder.with_jobs(jobs),
         None => builder.with_parallelism(),
     };
+    if flags.trace.is_some() {
+        builder = builder.with_tracing();
+    }
     let report = builder.build(&project).map_err(|e| e.to_string())?;
     if flags.stateful {
         builder
             .compiler()
             .save_state()
             .map_err(|e| format!("cannot save state: {e}"))?;
+    }
+    let report_path = dir.join(REPORT_FILE);
+    std::fs::write(&report_path, report.to_json())
+        .map_err(|e| format!("cannot write `{}`: {e}", report_path.display()))?;
+    if let Some(path) = &flags.trace {
+        let trace = report
+            .trace
+            .as_ref()
+            .expect("a traced builder records a trace");
+        std::fs::write(path, trace.to_chrome_json(flags.trace_wall))
+            .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
     }
     Ok((builder, report))
 }
@@ -463,5 +517,45 @@ fn cmd_fsck(args: &[String]) -> Result<(), String> {
     } else {
         println!("  next stateful build recompiles what was lost and rewrites the state");
     }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let [dir] = args else {
+        return Err(format!("`stats` expects one project directory\n\n{USAGE}"));
+    };
+    let path = Path::new(dir).join(REPORT_FILE);
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "cannot read `{}`: {e} (run `minicc build {dir}` first)",
+            path.display()
+        )
+    })?;
+    let doc = sfcc_trace::json::parse(&text)
+        .map_err(|e| format!("`{}` is not valid JSON: {e}", path.display()))?;
+    let metrics = doc
+        .get("metrics")
+        .ok_or_else(|| format!("`{}` has no \"metrics\" block", path.display()))?;
+    let snapshot = sfcc_trace::MetricsSnapshot::from_json(metrics)
+        .map_err(|e| format!("`{}`: {e}", path.display()))?;
+    println!(
+        "metrics of the last build of `{dir}` ({} metric(s)):\n",
+        snapshot.len()
+    );
+    print!("{}", snapshot.render_pretty());
+    Ok(())
+}
+
+fn cmd_trace_check(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err(format!("`trace-check` expects one trace file\n\n{USAGE}"));
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let summary = sfcc_trace::validate_chrome_trace(&text)
+        .map_err(|e| format!("`{path}` is not a valid trace: {e}"))?;
+    println!(
+        "{path}: valid — {} event(s) ({} span(s), {} instant(s)), max depth {}, {} pass event(s)",
+        summary.events, summary.complete, summary.instants, summary.max_depth, summary.pass_events
+    );
     Ok(())
 }

@@ -34,9 +34,10 @@ use crate::tasks::{BuildSpec, BuildTask};
 use sfcc::{CompileError, CompileOutput, Compiler};
 use sfcc_backend::LinkError;
 use sfcc_frontend::ModuleEnv;
-use sfcc_passes::PipelineTrace;
+use sfcc_passes::{PassOutcome, PipelineTrace};
 use sfcc_query::{Engine, QueryError};
-use std::collections::HashSet;
+use sfcc_trace::{ArgValue, MetricsSnapshot, Registry, SpanId};
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::time::Instant;
 
@@ -103,6 +104,7 @@ pub struct Builder {
     compiler: Compiler,
     engine: Engine<BuildTask, BuildValue>,
     jobs: usize,
+    tracing: bool,
 }
 
 impl fmt::Debug for Builder {
@@ -124,7 +126,18 @@ impl Builder {
             compiler,
             engine: Engine::new(),
             jobs: 1,
+            tracing: false,
         }
+    }
+
+    /// Records a hierarchical span trace of every subsequent build
+    /// (build → wave → module → phase → function → pass, plus
+    /// query/cache/IO events) into [`BuildReport::trace`]. Builds with
+    /// tracing installed serialize process-wide (the tracer is global);
+    /// the build outputs themselves are unaffected.
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
+        self
     }
 
     /// Enables parallel compilation within each wave, with one worker per
@@ -163,6 +176,9 @@ impl Builder {
     /// the final link fails.
     pub fn build(&mut self, project: &Project) -> Result<BuildReport, BuildError> {
         let start = Instant::now();
+        let trace_handle = self.tracing.then(sfcc_trace::install);
+        let ops_before = sfcc_faultfs::op_counts();
+        let root = sfcc_trace::span("build", "build", 0);
 
         // Drop tasks of modules that left the project so their objects
         // cannot leak into the link; dependents are invalidated by the
@@ -179,7 +195,10 @@ impl Builder {
             .map_err(seal)?
             .expect_graph();
 
-        for wave in graph.waves() {
+        let mut wave_ids: Vec<SpanId> = Vec::with_capacity(graph.waves().len());
+        for (wave_idx, wave) in graph.waves().iter().enumerate() {
+            let wave_span = sfcc_trace::span("wave", format!("wave {wave_idx}"), wave_idx as u64);
+            wave_ids.push(wave_span.id());
             // Plan the wave: modules whose frontend task fails validation
             // will certainly execute, so they are worth pre-compiling in
             // parallel (they are mutually independent by construction).
@@ -224,12 +243,15 @@ impl Builder {
             spec.flush_cache_inserts();
         }
 
+        let link_span = sfcc_trace::span("link", "link", graph.waves().len() as u64);
         let program = (*self
             .engine
             .require(&mut spec, &BuildTask::Link)
             .map_err(seal)?
             .expect_link())
         .clone();
+        drop(link_span);
+        let query_log = spec.take_query_log();
 
         // Assemble the report from the store: a module counts as rebuilt
         // when any of its compile-pipeline tasks actually executed this
@@ -312,7 +334,7 @@ impl Builder {
             .map(|p| p.display().to_string())
             .collect();
 
-        Ok(BuildReport {
+        let mut report = BuildReport {
             program,
             wall_ns: start.elapsed().as_nanos() as u64,
             link_ns,
@@ -321,7 +343,235 @@ impl Builder {
             jobs: self.jobs,
             recovered_files,
             quarantined,
-        })
+            metrics: MetricsSnapshot::default(),
+            trace: None,
+        };
+
+        // Populate the metrics registry — the single source for every
+        // numeric the JSON report emits — then snapshot it into the report.
+        let registry = Registry::new();
+        record_report_metrics(&report, graph.waves().len(), &registry);
+        self.compiler.record_metrics(&registry);
+        let ops = sfcc_faultfs::op_counts().delta_since(&ops_before);
+        registry.gauge_set("faultfs.reads", ops.reads);
+        registry.gauge_set("faultfs.writes", ops.writes);
+        registry.gauge_set("faultfs.renames", ops.renames);
+        registry.gauge_set("faultfs.removes", ops.removes);
+        registry.gauge_set("faultfs.sync_files", ops.sync_files);
+        registry.gauge_set("faultfs.sync_dirs", ops.sync_dirs);
+        report.metrics = registry.snapshot();
+
+        // The deterministic portion of the trace (module/phase/function/
+        // pass subtrees, query instants, session roll-ups) is emitted
+        // synthetically from the assembled report, so its structure cannot
+        // depend on worker scheduling.
+        if trace_handle.is_some() {
+            emit_trace_tree(&report, graph.waves(), &wave_ids, root.id(), &query_log);
+            let seq = graph.waves().len() as u64;
+            let cache = self.compiler.cache_stats();
+            sfcc_trace::emit_instant(
+                root.id(),
+                "cache",
+                "fn-cache",
+                seq + 2,
+                vec![
+                    ("hits", ArgValue::U64(cache.hits)),
+                    ("misses", ArgValue::U64(cache.misses)),
+                    ("evictions", ArgValue::U64(cache.evictions)),
+                    ("entries", ArgValue::U64(cache.entries as u64)),
+                ],
+            );
+            sfcc_trace::emit_instant(
+                root.id(),
+                "io",
+                "faultfs-ops",
+                seq + 3,
+                vec![
+                    ("reads", ArgValue::U64(ops.reads)),
+                    ("writes", ArgValue::U64(ops.writes)),
+                    ("renames", ArgValue::U64(ops.renames)),
+                    ("removes", ArgValue::U64(ops.removes)),
+                    ("sync_files", ArgValue::U64(ops.sync_files)),
+                    ("sync_dirs", ArgValue::U64(ops.sync_dirs)),
+                ],
+            );
+        }
+        drop(root);
+        if let Some(handle) = trace_handle {
+            report.trace = Some(handle.finish());
+        }
+        Ok(report)
+    }
+}
+
+/// Gauges mirroring every numeric field of the JSON report. The report's
+/// `to_json` reads these back (see [`BuildReport::to_json`]), so a value
+/// recorded here *is* the value the report prints.
+fn record_report_metrics(report: &BuildReport, waves: usize, registry: &Registry) {
+    registry.gauge_set("build.wall_ns", report.wall_ns);
+    registry.gauge_set("build.link_ns", report.link_ns);
+    registry.gauge_set("build.compile_ns", report.compile_ns());
+    registry.gauge_set("build.rebuilt_count", report.rebuilt_count() as u64);
+    registry.gauge_set("build.jobs", report.jobs as u64);
+    registry.gauge_set("build.modules", report.modules.len() as u64);
+    registry.gauge_set("build.waves", waves as u64);
+    registry.gauge_set("build.executed_cost_units", report.executed_cost_units());
+    let (active, dormant, skipped) = report.outcome_totals();
+    registry.gauge_set("outcomes.active", active as u64);
+    registry.gauge_set("outcomes.dormant", dormant as u64);
+    registry.gauge_set("outcomes.skipped", skipped as u64);
+    registry.gauge_set("query.hits", report.query.hits);
+    registry.gauge_set("query.misses", report.query.misses);
+    registry.gauge_set("query.executed", report.query.executed.len() as u64);
+    registry.gauge_set("recovery.recovered_files", report.recovered_files as u64);
+    registry.gauge_set("recovery.quarantined", report.quarantined.len() as u64);
+    for agg in report.pass_profile() {
+        registry.gauge_set(&format!("pass.{}.total_ns", agg.pass), agg.total_ns);
+        registry.gauge_set(&format!("pass.{}.runs", agg.pass), agg.runs);
+        registry.gauge_set(&format!("pass.{}.skipped", agg.pass), agg.skipped);
+    }
+    for agg in report.slowest_slots(usize::MAX) {
+        registry.gauge_set(&format!("slot.{}.total_ns", agg.slot), agg.total_ns);
+        registry.gauge_set(&format!("slot.{}.runs", agg.slot), agg.runs);
+    }
+    for module in &report.modules {
+        let Some(output) = &module.output else {
+            continue;
+        };
+        let key = |field: &str| format!("module.{}.{field}", module.name);
+        let t = &output.timings;
+        registry.gauge_set(&key("frontend_ns"), t.frontend_ns);
+        registry.gauge_set(&key("lower_ns"), t.lower_ns);
+        registry.gauge_set(&key("middle_ns"), t.middle_ns);
+        registry.gauge_set(&key("backend_ns"), t.backend_ns);
+        registry.gauge_set(&key("state_ns"), t.state_ns);
+        registry.gauge_set(&key("optimize_ns"), t.middle_ns + t.state_ns);
+        let (a, d, s) = output.outcome_totals();
+        registry.gauge_set(&key("active"), a as u64);
+        registry.gauge_set(&key("dormant"), d as u64);
+        registry.gauge_set(&key("skipped"), s as u64);
+    }
+}
+
+/// Emits the deterministic synthetic span subtrees of one build: per-module
+/// pipelines (module → phase → function → pass, costs in live-instruction
+/// units) under their wave spans, and the session's query demand instants
+/// sorted by task name so the exported bytes are identical for every
+/// `--jobs` value.
+fn emit_trace_tree(
+    report: &BuildReport,
+    waves: &[Vec<String>],
+    wave_ids: &[SpanId],
+    root: SpanId,
+    query_log: &[(String, bool)],
+) {
+    let mut wave_pos: HashMap<&str, (usize, u64)> = HashMap::new();
+    for (w, wave) in waves.iter().enumerate() {
+        for (i, name) in wave.iter().enumerate() {
+            wave_pos.insert(name.as_str(), (w, i as u64));
+        }
+    }
+    for module in &report.modules {
+        let Some(&(w, pos)) = wave_pos.get(module.name.as_str()) else {
+            continue;
+        };
+        let parent = wave_ids.get(w).copied().unwrap_or(root);
+        let Some(output) = &module.output else {
+            sfcc_trace::emit_instant(
+                parent,
+                "module",
+                &module.name,
+                pos,
+                vec![("rebuilt", ArgValue::Bool(false))],
+            );
+            continue;
+        };
+        let module_span = sfcc_trace::emit_span(
+            parent,
+            "module",
+            &module.name,
+            pos,
+            0,
+            output.timings.total_ns(),
+            vec![("rebuilt", ArgValue::Bool(true))],
+        );
+        let t = &output.timings;
+        let phases = [
+            ("frontend", t.frontend_ns),
+            ("lower", t.lower_ns),
+            ("middle", t.middle_ns),
+            ("backend", t.backend_ns),
+            ("state", t.state_ns),
+        ];
+        for (pi, (phase, wall_ns)) in phases.iter().enumerate() {
+            let phase_span = sfcc_trace::emit_span(
+                module_span,
+                "phase",
+                *phase,
+                pi as u64,
+                0,
+                *wall_ns,
+                Vec::new(),
+            );
+            if *phase != "middle" {
+                continue;
+            }
+            for (fi, func) in output.trace.functions.iter().enumerate() {
+                let fn_span = sfcc_trace::emit_span(
+                    phase_span,
+                    "function",
+                    &func.function,
+                    fi as u64,
+                    0,
+                    func.total_nanos(),
+                    Vec::new(),
+                );
+                for (ri, rec) in func.records.iter().enumerate() {
+                    // A skipped slot did no work: its span costs nothing
+                    // on the deterministic timeline, but still appears
+                    // exactly once, tagged with its outcome.
+                    let cost = if rec.outcome == PassOutcome::Skipped {
+                        0
+                    } else {
+                        rec.cost_units
+                    };
+                    sfcc_trace::emit_span(
+                        fn_span,
+                        "pass",
+                        &rec.pass,
+                        ri as u64,
+                        cost,
+                        rec.nanos,
+                        vec![
+                            ("outcome", ArgValue::Str(rec.outcome.to_string())),
+                            ("slot", ArgValue::U64(rec.slot as u64)),
+                        ],
+                    );
+                }
+            }
+        }
+    }
+    // Query demand instants: one per demanded task, sorted by task name —
+    // the *set* is jobs-independent even though the demand order is not.
+    let query_span = sfcc_trace::emit_span(
+        root,
+        "query",
+        "queries",
+        waves.len() as u64 + 1,
+        0,
+        0,
+        Vec::new(),
+    );
+    let mut log: Vec<&(String, bool)> = query_log.iter().collect();
+    log.sort();
+    for (i, (task, hit)) in log.into_iter().enumerate() {
+        sfcc_trace::emit_instant(
+            query_span,
+            "query",
+            task,
+            i as u64,
+            vec![("hit", ArgValue::Bool(*hit))],
+        );
     }
 }
 

@@ -50,5 +50,7 @@ pub mod tasks;
 pub use builder::{BuildError, Builder};
 pub use graph::{DepGraph, GraphError};
 pub use project::Project;
-pub use report::{BuildReport, ModuleReport, PassAggregate, QueryStats, SlotAggregate};
+pub use report::{
+    validate_report_json, BuildReport, ModuleReport, PassAggregate, QueryStats, SlotAggregate,
+};
 pub use tasks::{BuildTask, BuildValue};

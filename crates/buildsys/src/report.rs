@@ -1,9 +1,18 @@
 //! What one build produced: the linked program plus per-module and
 //! per-query accounting.
+//!
+//! Every numeric the JSON report emits is sourced from the build's
+//! [`MetricsSnapshot`] (the struct fields are the fallback for reports
+//! assembled without a registry), and the snapshot itself is emitted as the
+//! report's `"metrics"` block — so the registry is the single source of
+//! truth and the two views cannot drift. [`validate_report_json`] pins the
+//! full report schema for regression tests.
 
 use sfcc::CompileOutput;
 use sfcc_backend::Program;
 use sfcc_passes::PassOutcome;
+use sfcc_trace::json::Value;
+use sfcc_trace::MetricsSnapshot;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -86,6 +95,14 @@ pub struct BuildReport {
     /// Where corrupt files were moved aside (`*.corrupt`), one entry per
     /// quarantined file.
     pub quarantined: Vec<String>,
+    /// Snapshot of the build's metrics registry — query stats, cache
+    /// stats, dormancy counts, pass profile, faultfs op counts, recovery
+    /// counters. The single source for every numeric [`Self::to_json`]
+    /// emits.
+    pub metrics: MetricsSnapshot,
+    /// The build's recorded span tree when the builder ran with tracing
+    /// enabled ([`crate::Builder::with_tracing`]); `None` otherwise.
+    pub trace: Option<sfcc_trace::Trace>,
 }
 
 impl BuildReport {
@@ -188,29 +205,43 @@ impl BuildReport {
             .flat_map(|func| func.records.iter())
     }
 
+    /// A scalar from the metrics snapshot, falling back to the
+    /// struct-derived value for reports assembled without a registry.
+    /// Keeping every numeric the JSON emits on this path is what makes the
+    /// snapshot the report's single source of truth.
+    fn metric(&self, name: &str, fallback: u64) -> u64 {
+        self.metrics.scalar(name).unwrap_or(fallback)
+    }
+
     /// Renders the report as a JSON object (machine-readable build summary
     /// for `minicc build --report json`). Hand-rolled — the workspace
-    /// carries no serialization dependency.
+    /// carries no serialization dependency. Every numeric field reads from
+    /// the metrics snapshot ([`Self::metric`]), which is also emitted
+    /// verbatim as the trailing `"metrics"` block.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
         let _ = write!(
             out,
             "\"wall_ns\":{},\"link_ns\":{},\"compile_ns\":{},\"rebuilt_count\":{},\"jobs\":{},",
-            self.wall_ns,
-            self.link_ns,
-            self.compile_ns(),
-            self.rebuilt_count(),
-            self.jobs
+            self.metric("build.wall_ns", self.wall_ns),
+            self.metric("build.link_ns", self.link_ns),
+            self.metric("build.compile_ns", self.compile_ns()),
+            self.metric("build.rebuilt_count", self.rebuilt_count() as u64),
+            self.metric("build.jobs", self.jobs as u64)
         );
         let (active, dormant, skipped) = self.outcome_totals();
         let _ = write!(
             out,
-            "\"outcomes\":{{\"active\":{active},\"dormant\":{dormant},\"skipped\":{skipped}}},"
+            "\"outcomes\":{{\"active\":{},\"dormant\":{},\"skipped\":{}}},",
+            self.metric("outcomes.active", active as u64),
+            self.metric("outcomes.dormant", dormant as u64),
+            self.metric("outcomes.skipped", skipped as u64)
         );
         let _ = write!(
             out,
             "\"query\":{{\"hits\":{},\"misses\":{},\"executed\":[",
-            self.query.hits, self.query.misses
+            self.metric("query.hits", self.query.hits),
+            self.metric("query.misses", self.query.misses)
         );
         for (i, task) in self.query.executed.iter().enumerate() {
             if i > 0 {
@@ -222,7 +253,7 @@ impl BuildReport {
         let _ = write!(
             out,
             "\"recovery\":{{\"recovered_files\":{},\"quarantined\":[",
-            self.recovered_files
+            self.metric("recovery.recovered_files", self.recovered_files as u64)
         );
         for (i, path) in self.quarantined.iter().enumerate() {
             if i > 0 {
@@ -240,7 +271,9 @@ impl BuildReport {
             let _ = write!(
                 out,
                 ",\"total_ns\":{},\"runs\":{},\"skipped\":{}}}",
-                agg.total_ns, agg.runs, agg.skipped
+                self.metric(&format!("pass.{}.total_ns", agg.pass), agg.total_ns),
+                self.metric(&format!("pass.{}.runs", agg.pass), agg.runs),
+                self.metric(&format!("pass.{}.skipped", agg.pass), agg.skipped)
             );
         }
         out.push_str("],\"slowest_slots\":[");
@@ -253,7 +286,8 @@ impl BuildReport {
             let _ = write!(
                 out,
                 ",\"total_ns\":{},\"runs\":{}}}",
-                agg.total_ns, agg.runs
+                self.metric(&format!("slot.{}.total_ns", agg.slot), agg.total_ns),
+                self.metric(&format!("slot.{}.runs", agg.slot), agg.runs)
             );
         }
         out.push_str("],\"modules\":[");
@@ -266,22 +300,185 @@ impl BuildReport {
             let _ = write!(out, ",\"rebuilt\":{}", module.rebuilt);
             if let Some(output) = &module.output {
                 let (a, d, s) = output.outcome_totals();
+                let key = |field: &str| format!("module.{}.{field}", module.name);
                 let _ = write!(
                     out,
-                    ",\"timings_ns\":{{\"frontend\":{},\"lower\":{},\"middle\":{},\"backend\":{},\"state\":{}}},\"optimize_ns\":{},\"outcomes\":{{\"active\":{a},\"dormant\":{d},\"skipped\":{s}}}",
-                    output.timings.frontend_ns,
-                    output.timings.lower_ns,
-                    output.timings.middle_ns,
-                    output.timings.backend_ns,
-                    output.timings.state_ns,
-                    output.timings.middle_ns + output.timings.state_ns,
+                    ",\"timings_ns\":{{\"frontend\":{},\"lower\":{},\"middle\":{},\"backend\":{},\"state\":{}}},\"optimize_ns\":{},\"outcomes\":{{\"active\":{},\"dormant\":{},\"skipped\":{}}}",
+                    self.metric(&key("frontend_ns"), output.timings.frontend_ns),
+                    self.metric(&key("lower_ns"), output.timings.lower_ns),
+                    self.metric(&key("middle_ns"), output.timings.middle_ns),
+                    self.metric(&key("backend_ns"), output.timings.backend_ns),
+                    self.metric(&key("state_ns"), output.timings.state_ns),
+                    self.metric(
+                        &key("optimize_ns"),
+                        output.timings.middle_ns + output.timings.state_ns
+                    ),
+                    self.metric(&key("active"), a as u64),
+                    self.metric(&key("dormant"), d as u64),
+                    self.metric(&key("skipped"), s as u64),
                 );
             }
             out.push('}');
         }
-        out.push_str("]}");
+        out.push_str("],\"metrics\":");
+        out.push_str(&self.metrics.to_json());
+        out.push('}');
         out
     }
+}
+
+/// Validates the JSON produced by [`BuildReport::to_json`] against the
+/// report's schema: the exact top-level key sequence, the type of every
+/// field, and the shape of each nested block (including the `"metrics"`
+/// snapshot, which must parse back via [`MetricsSnapshot::from_json`]).
+/// A regression test pins this down so schema drift is an explicit,
+/// reviewed change rather than an accident.
+pub fn validate_report_json(text: &str) -> Result<(), String> {
+    let doc = sfcc_trace::json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let fields = doc.as_obj().ok_or("report: expected a top-level object")?;
+    let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+    let expected = [
+        "wall_ns",
+        "link_ns",
+        "compile_ns",
+        "rebuilt_count",
+        "jobs",
+        "outcomes",
+        "query",
+        "recovery",
+        "pass_profile",
+        "slowest_slots",
+        "modules",
+        "metrics",
+    ];
+    if keys != expected {
+        return Err(format!(
+            "report: key sequence {keys:?} does not match the schema {expected:?}"
+        ));
+    }
+    let num = |v: &Value, ctx: &str| -> Result<u64, String> {
+        v.as_u64().ok_or(format!("{ctx}: expected a number"))
+    };
+    for scalar in ["wall_ns", "link_ns", "compile_ns", "rebuilt_count", "jobs"] {
+        num(doc.get(scalar).unwrap(), scalar)?;
+    }
+    let outcome_block = |v: &Value, ctx: &str| -> Result<(), String> {
+        for field in ["active", "dormant", "skipped"] {
+            num(
+                v.get(field).ok_or(format!("{ctx}: missing {field:?}"))?,
+                &format!("{ctx}.{field}"),
+            )?;
+        }
+        Ok(())
+    };
+    outcome_block(doc.get("outcomes").unwrap(), "outcomes")?;
+
+    let query = doc.get("query").unwrap();
+    num(
+        query.get("hits").ok_or("query: missing hits")?,
+        "query.hits",
+    )?;
+    num(
+        query.get("misses").ok_or("query: missing misses")?,
+        "query.misses",
+    )?;
+    let executed = query
+        .get("executed")
+        .and_then(Value::as_arr)
+        .ok_or("query.executed: expected an array")?;
+    for entry in executed {
+        entry.as_str().ok_or("query.executed: expected strings")?;
+    }
+
+    let recovery = doc.get("recovery").unwrap();
+    num(
+        recovery
+            .get("recovered_files")
+            .ok_or("recovery: missing recovered_files")?,
+        "recovery.recovered_files",
+    )?;
+    let quarantined = recovery
+        .get("quarantined")
+        .and_then(Value::as_arr)
+        .ok_or("recovery.quarantined: expected an array")?;
+    for entry in quarantined {
+        entry
+            .as_str()
+            .ok_or("recovery.quarantined: expected strings")?;
+    }
+
+    for (block, fields) in [
+        ("pass_profile", &["total_ns", "runs", "skipped"][..]),
+        ("slowest_slots", &["total_ns", "runs"][..]),
+    ] {
+        let rows = doc
+            .get(block)
+            .and_then(Value::as_arr)
+            .ok_or(format!("{block}: expected an array"))?;
+        for (i, row) in rows.iter().enumerate() {
+            let ctx = format!("{block}[{i}]");
+            row.get("pass")
+                .and_then(Value::as_str)
+                .ok_or(format!("{ctx}: missing string \"pass\""))?;
+            if block == "slowest_slots" {
+                num(row.get("slot").ok_or(format!("{ctx}: missing slot"))?, &ctx)?;
+            }
+            for field in fields {
+                num(
+                    row.get(field).ok_or(format!("{ctx}: missing {field:?}"))?,
+                    &format!("{ctx}.{field}"),
+                )?;
+            }
+        }
+    }
+
+    let modules = doc
+        .get("modules")
+        .and_then(Value::as_arr)
+        .ok_or("modules: expected an array")?;
+    for (i, module) in modules.iter().enumerate() {
+        let ctx = format!("modules[{i}]");
+        module
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or(format!("{ctx}: missing string \"name\""))?;
+        let rebuilt = module
+            .get("rebuilt")
+            .and_then(Value::as_bool)
+            .ok_or(format!("{ctx}: missing bool \"rebuilt\""))?;
+        match module.get("timings_ns") {
+            Some(timings) => {
+                for field in ["frontend", "lower", "middle", "backend", "state"] {
+                    num(
+                        timings
+                            .get(field)
+                            .ok_or(format!("{ctx}: missing {field:?}"))?,
+                        &format!("{ctx}.timings_ns.{field}"),
+                    )?;
+                }
+                num(
+                    module
+                        .get("optimize_ns")
+                        .ok_or(format!("{ctx}: missing optimize_ns"))?,
+                    &format!("{ctx}.optimize_ns"),
+                )?;
+                outcome_block(
+                    module
+                        .get("outcomes")
+                        .ok_or(format!("{ctx}: missing outcomes"))?,
+                    &format!("{ctx}.outcomes"),
+                )?;
+            }
+            None if rebuilt => {
+                return Err(format!("{ctx}: rebuilt module without timings_ns"));
+            }
+            None => {}
+        }
+    }
+
+    let metrics = doc.get("metrics").ok_or("metrics: missing block")?;
+    MetricsSnapshot::from_json(metrics).map_err(|e| format!("metrics: {e}"))?;
+    Ok(())
 }
 
 /// Appends `s` as a JSON string literal, escaping quotes, backslashes, and

@@ -192,6 +192,10 @@ pub struct BuildSpec<'a> {
     /// so cache visibility (and hence every trace, image, and state file)
     /// is independent of the worker count.
     cache_inserts: Vec<(Fingerprint, Function)>,
+    /// `(task, hit)` pairs observed by the engine, one per demanded task
+    /// ([`TaskSpec::observe`]); the driver turns them into query trace
+    /// events and metrics after the build.
+    query_log: Vec<(String, bool)>,
 }
 
 impl<'a> BuildSpec<'a> {
@@ -204,7 +208,16 @@ impl<'a> BuildSpec<'a> {
             link_ns: 0,
             jobs: jobs.max(1),
             cache_inserts: Vec::new(),
+            query_log: Vec::new(),
         }
+    }
+
+    /// The `(task, hit)` observations accumulated this build, in demand
+    /// order. The *set* is `--jobs`-independent (every jobs value demands
+    /// the same tasks with the same staleness verdicts); only the order can
+    /// differ, which is why the driver sorts before emitting trace events.
+    pub(crate) fn take_query_log(&mut self) -> Vec<(String, bool)> {
+        std::mem::take(&mut self.query_log)
     }
 
     /// Phase timings accumulated for a module this build (zeros for phases
@@ -476,6 +489,10 @@ impl TaskSpec for BuildSpec<'_> {
             BuildValue::Codegen(object) => fnv64(format!("{object:?}").as_bytes()),
             BuildValue::Link(program) => fnv64(&sfcc_backend::image::to_bytes(program)),
         }
+    }
+
+    fn observe(&mut self, key: &BuildTask, hit: bool) {
+        self.query_log.push((key.to_string(), hit));
     }
 
     fn input_stamp(&mut self, input: &str) -> u64 {

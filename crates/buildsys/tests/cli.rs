@@ -1,0 +1,247 @@
+//! CLI-level coverage for the `minicc` observability and recovery
+//! commands: exit codes and stderr/stdout contracts of `stats`,
+//! `trace-check`, and `fsck` against a clean project, quarantined state
+//! files, and a missing state dir. Tests prefixed `quick_` form the CI
+//! smoke subset.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sfcc-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A scratch copy of the checked-in `demo/` project (three modules).
+fn demo_copy(tag: &str) -> PathBuf {
+    let dir = scratch_dir(tag);
+    let demo = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../demo");
+    for entry in std::fs::read_dir(demo).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "mc") {
+            std::fs::copy(&path, dir.join(path.file_name().unwrap())).unwrap();
+        }
+    }
+    dir
+}
+
+fn minicc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_minicc"))
+        .args(args)
+        .output()
+        .expect("failed to launch minicc")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn quick_stats_without_report_fails_with_hint() {
+    let dir = demo_copy("stats-missing");
+    let out = minicc(&["stats", dir.to_str().unwrap()]);
+    assert!(!out.status.success(), "stats must fail before any build");
+    let err = stderr(&out);
+    assert!(
+        err.contains(".sfcc-report.json") && err.contains("run `minicc build"),
+        "stderr must name the missing report and hint at `build`: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn quick_build_then_stats_renders_registry() {
+    let dir = demo_copy("stats-ok");
+    let d = dir.to_str().unwrap();
+    let built = minicc(&["build", d]);
+    assert!(built.status.success(), "build failed: {}", stderr(&built));
+    assert!(
+        dir.join(".sfcc-report.json").is_file(),
+        "report not persisted"
+    );
+
+    let out = minicc(&["stats", d]);
+    assert!(out.status.success(), "stats failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("metric(s)"), "missing header: {text}");
+    for metric in [
+        "build.wall_ns",
+        "query.misses",
+        "outcomes.dormant",
+        "cache.hits",
+    ] {
+        assert!(
+            text.contains(metric),
+            "stats output missing {metric}: {text}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn quick_trace_export_validates_and_is_deterministic() {
+    let dir_a = demo_copy("trace-a");
+    let dir_b = demo_copy("trace-b");
+    let trace_a = dir_a.join("trace.json");
+    let trace_b = dir_b.join("trace.json");
+    let run = |dir: &Path, trace: &Path, jobs: &str| {
+        let out = minicc(&[
+            "build",
+            dir.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+            "--jobs",
+            jobs,
+        ]);
+        assert!(
+            out.status.success(),
+            "traced build failed: {}",
+            stderr(&out)
+        );
+    };
+    // Two cold builds of identical sources, opposite parallelism.
+    run(&dir_a, &trace_a, "1");
+    run(&dir_b, &trace_b, "8");
+    let bytes_a = std::fs::read(&trace_a).unwrap();
+    let bytes_b = std::fs::read(&trace_b).unwrap();
+    assert_eq!(
+        bytes_a, bytes_b,
+        "trace bytes differ between --jobs 1 and 8"
+    );
+
+    let out = minicc(&["trace-check", trace_a.to_str().unwrap()]);
+    assert!(out.status.success(), "trace-check failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("valid") && text.contains("pass event(s)"),
+        "unexpected trace-check summary: {text}"
+    );
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn quick_trace_check_rejects_invalid_and_missing() {
+    let dir = scratch_dir("trace-bad");
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "{\"traceEvents\": [{\"ph\": \"X\"}]}").unwrap();
+    let out = minicc(&["trace-check", bad.to_str().unwrap()]);
+    assert!(!out.status.success(), "malformed trace must be rejected");
+
+    let missing = dir.join("nope.json");
+    let out = minicc(&["trace-check", missing.to_str().unwrap()]);
+    assert!(!out.status.success(), "missing trace file must be rejected");
+    assert!(
+        stderr(&out).contains("nope.json"),
+        "stderr must name the missing file: {}",
+        stderr(&out)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fsck_clean_after_stateful_build() {
+    let dir = demo_copy("fsck-clean");
+    let d = dir.to_str().unwrap();
+    let built = minicc(&["build", d, "--stateful", "--fn-cache"]);
+    assert!(built.status.success(), "build failed: {}", stderr(&built));
+
+    let out = minicc(&["fsck", d]);
+    assert!(out.status.success(), "fsck failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("2 file(s) checked") && text.contains("clean"),
+        "clean state dir must verify both entries: {text}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fsck_quarantines_corrupt_manifest_then_recovers() {
+    let dir = demo_copy("fsck-corrupt");
+    let d = dir.to_str().unwrap();
+    let built = minicc(&["build", d, "--stateful", "--fn-cache"]);
+    assert!(built.status.success(), "build failed: {}", stderr(&built));
+
+    // Flip one byte in the middle of the commit manifest.
+    let manifest = dir.join(".sfcc-state.manifest");
+    let mut bytes = std::fs::read(&manifest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&manifest, &bytes).unwrap();
+
+    let out = minicc(&["fsck", d]);
+    assert!(
+        out.status.success(),
+        "fsck must not fail on corruption: {}",
+        stderr(&out)
+    );
+    let text = stdout(&out);
+    assert!(
+        text.contains("quarantined"),
+        "corrupt manifest not quarantined: {text}"
+    );
+    assert!(
+        dir.join(".sfcc-state.manifest.corrupt").is_file(),
+        "quarantined manifest must be preserved with a .corrupt suffix"
+    );
+    assert!(
+        text.contains("next stateful build recompiles"),
+        "fsck must explain the recovery path: {text}"
+    );
+
+    // A second fsck finds nothing left to quarantine, and a rebuild
+    // recreates a clean state dir from scratch.
+    let again = minicc(&["fsck", d]);
+    assert!(again.status.success());
+    assert!(
+        stdout(&again).contains("clean"),
+        "second fsck not clean: {}",
+        stdout(&again)
+    );
+    let rebuilt = minicc(&["build", d, "--stateful", "--fn-cache"]);
+    assert!(
+        rebuilt.status.success(),
+        "rebuild failed: {}",
+        stderr(&rebuilt)
+    );
+    let final_check = minicc(&["fsck", d]);
+    assert!(stdout(&final_check).contains("2 file(s) checked"));
+    assert!(stdout(&final_check).contains("clean"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fsck_missing_state_dir_reports_clean() {
+    let dir = scratch_dir("fsck-missing");
+    let missing = dir.join("no-such-project");
+    let out = minicc(&["fsck", missing.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "fsck of absent state must succeed: {}",
+        stderr(&out)
+    );
+    let text = stdout(&out);
+    assert!(
+        text.contains("0 file(s) checked") && text.contains("clean"),
+        "absent state must be vacuously clean: {text}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fsck_without_operand_prints_usage() {
+    let out = minicc(&["fsck"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("usage:"),
+        "missing usage: {}",
+        stderr(&out)
+    );
+}

@@ -244,6 +244,21 @@ impl Compiler {
         self.fn_cache.stats()
     }
 
+    /// Publishes the session's cache, dormancy-state, and recovery
+    /// telemetry as gauges in `registry` (the build driver calls this once
+    /// per build, after compilation finishes).
+    pub fn record_metrics(&self, registry: &sfcc_trace::Registry) {
+        let cache = self.cache_stats();
+        registry.gauge_set("cache.hits", cache.hits);
+        registry.gauge_set("cache.misses", cache.misses);
+        registry.gauge_set("cache.evictions", cache.evictions);
+        registry.gauge_set("cache.entries", cache.entries as u64);
+        registry.gauge_set("state.functions", self.state.function_count() as u64);
+        registry.gauge_set("state.dormant_slots", self.state.dormant_slot_count());
+        registry.gauge_set("state.recorded_skips", self.state.total_recorded_skips());
+        registry.gauge_set("recovery.events", self.recovery_events.len() as u64);
+    }
+
     /// Compiles several independent modules, possibly in parallel.
     ///
     /// Mirrors `make -jN` invoking several compiler processes against one

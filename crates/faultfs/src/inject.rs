@@ -53,6 +53,65 @@ impl OpKind {
     }
 }
 
+/// Cumulative per-kind counts of durable operations on the current thread
+/// (see [`op_counts`]). Unlike the 1-based fault-plan index, these are
+/// *never reset* — not by [`install`], not by [`record`] — so telemetry
+/// reads cannot perturb the op numbering existing fault plans rely on.
+/// Callers wanting per-build figures snapshot before/after and subtract
+/// ([`OpCounts::delta_since`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Whole-file reads.
+    pub reads: u64,
+    /// Whole-file writes.
+    pub writes: u64,
+    /// Atomic renames.
+    pub renames: u64,
+    /// File removals.
+    pub removes: u64,
+    /// File fsyncs.
+    pub sync_files: u64,
+    /// Directory fsyncs.
+    pub sync_dirs: u64,
+}
+
+impl OpCounts {
+    /// Total operations across all kinds.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes + self.renames + self.removes + self.sync_files + self.sync_dirs
+    }
+
+    /// Per-kind difference `self − earlier` (saturating), for turning two
+    /// cumulative snapshots into one interval's counts.
+    pub fn delta_since(&self, earlier: &OpCounts) -> OpCounts {
+        OpCounts {
+            reads: self.reads.saturating_sub(earlier.reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+            renames: self.renames.saturating_sub(earlier.renames),
+            removes: self.removes.saturating_sub(earlier.removes),
+            sync_files: self.sync_files.saturating_sub(earlier.sync_files),
+            sync_dirs: self.sync_dirs.saturating_sub(earlier.sync_dirs),
+        }
+    }
+
+    fn bump(&mut self, kind: OpKind) {
+        match kind {
+            OpKind::Read => self.reads += 1,
+            OpKind::Write => self.writes += 1,
+            OpKind::Rename => self.renames += 1,
+            OpKind::Remove => self.removes += 1,
+            OpKind::SyncFile => self.sync_files += 1,
+            OpKind::SyncDir => self.sync_dirs += 1,
+        }
+    }
+}
+
+/// The current thread's cumulative durable-operation counts (attempted
+/// operations, including ones a fault plan failed).
+pub fn op_counts() -> OpCounts {
+    TL.with(|tl| tl.borrow().counts)
+}
+
 /// One recorded durable operation (see [`record`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OpRecord {
@@ -77,6 +136,8 @@ struct TlState {
     /// are transient rather than sticky).
     fired: Vec<Fault>,
     log: Option<Vec<OpRecord>>,
+    /// Lifetime per-kind op counters (never reset; see [`OpCounts`]).
+    counts: OpCounts,
 }
 
 impl TlState {
@@ -88,6 +149,14 @@ impl TlState {
             renames: 0,
             fired: Vec::new(),
             log: None,
+            counts: OpCounts {
+                reads: 0,
+                writes: 0,
+                renames: 0,
+                removes: 0,
+                sync_files: 0,
+                sync_dirs: 0,
+            },
         }
     }
 }
@@ -220,6 +289,7 @@ fn enter(kind: OpKind, path: &Path) -> io::Result<Action> {
         let mut tl = tl.borrow_mut();
         let op = tl.next_op;
         tl.next_op += 1;
+        tl.counts.bump(kind);
         if kind == OpKind::Rename {
             tl.renames += 1;
         }
@@ -511,6 +581,28 @@ mod tests {
             ]
         );
         drop(rec);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn op_counts_accumulate_and_survive_install() {
+        let dir = tmpdir("counts");
+        let p = dir.join("a");
+        let before = op_counts();
+        atomic_write(&p, b"x", Durability::Durable).unwrap();
+        let mid = op_counts().delta_since(&before);
+        assert_eq!((mid.writes, mid.renames), (1, 1));
+        assert_eq!((mid.sync_files, mid.sync_dirs), (1, 1));
+        assert_eq!(mid.total(), 4);
+        // install() resets the fault-plan op index but must NOT reset the
+        // cumulative counters (telemetry reads cannot perturb plans).
+        let guard = install(FaultPlan::parse("fail:1").unwrap());
+        assert!(read(&p).is_err()); // op 1 fails, still counted
+        read(&p).unwrap();
+        drop(guard);
+        let after = op_counts().delta_since(&before);
+        assert_eq!(after.reads, 2);
+        assert_eq!(after.total(), 6);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -52,8 +52,8 @@ pub mod plan;
 
 pub use commit::{CommitDir, EntryError, Manifest, ManifestEntry, ManifestError};
 pub use inject::{
-    atomic_write, install, is_injected, quarantine, read, record, remove_file, rename, sync_dir,
-    sync_file, unique_seq, write, FaultGuard, OpKind, OpRecord, RecordGuard,
+    atomic_write, install, is_injected, op_counts, quarantine, read, record, remove_file, rename,
+    sync_dir, sync_file, unique_seq, write, FaultGuard, OpCounts, OpKind, OpRecord, RecordGuard,
 };
 pub use plan::{Fault, FaultPlan, PlanError};
 

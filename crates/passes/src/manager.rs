@@ -97,6 +97,17 @@ impl PipelineTrace {
         self.functions.iter().find(|f| f.function == name)
     }
 
+    /// Total deterministic cost of executed (non-skipped) slots across all
+    /// functions — the module's cost-unit contribution to a build trace.
+    pub fn executed_cost(&self) -> u64 {
+        self.functions.iter().map(|f| f.executed_cost()).sum()
+    }
+
+    /// Total pass-execution wall time across all functions.
+    pub fn total_nanos(&self) -> u64 {
+        self.functions.iter().map(|f| f.total_nanos()).sum()
+    }
+
     /// Aggregate outcome counts `(active, dormant, skipped)`.
     pub fn outcome_totals(&self) -> (usize, usize, usize) {
         let mut t = (0, 0, 0);

@@ -120,10 +120,19 @@ impl<'env> PoolScope<'env> {
     /// own deque (depth-first, cache-warm); from any other thread it goes to
     /// the shared FIFO injector, so spawn order is service order there —
     /// submit the largest task first to minimize makespan.
+    ///
+    /// The spawner's trace context travels with the task: whichever worker
+    /// eventually runs (or steals) it re-enters that context first, so spans
+    /// recorded inside the task nest under the spawn site's span rather
+    /// than under whatever the worker happened to be doing.
     pub fn spawn(&self, task: impl FnOnce(&PoolScope<'env>) + Send + 'env) {
         self.spawned.fetch_add(1, Ordering::Relaxed);
         self.pending.fetch_add(1, Ordering::SeqCst);
-        let task: Task<'env> = Box::new(task);
+        let ctx = sfcc_trace::current_ctx();
+        let task: Task<'env> = Box::new(move |scope: &PoolScope<'env>| {
+            let _trace = ctx.enter();
+            task(scope);
+        });
         match WORKER.get() {
             Some((id, idx)) if id == self.identity() => {
                 self.locals[idx].lock().unwrap().push_back(task);
@@ -468,6 +477,30 @@ mod tests {
             });
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn spawned_tasks_inherit_the_spawner_trace_context() {
+        let handle = sfcc_trace::install();
+        let root = sfcc_trace::span("build", "root", 0);
+        let root_id = root.id();
+        scope(4, |pool| {
+            for i in 0..8u64 {
+                pool.spawn(move |_| {
+                    let _child = sfcc_trace::span("function", format!("f{i}"), i);
+                });
+            }
+        });
+        drop(root);
+        let trace = handle.finish();
+        let children: Vec<_> = trace.spans.iter().filter(|s| s.cat == "function").collect();
+        assert_eq!(children.len(), 8);
+        for child in children {
+            assert_eq!(
+                child.parent, root_id.0,
+                "stolen task span must nest under the spawn site"
+            );
+        }
     }
 
     #[test]

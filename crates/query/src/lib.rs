@@ -71,6 +71,14 @@ pub trait TaskSpec {
     /// The current stamp of a named input cell (a file's content hash, a
     /// state record's version). A changed stamp invalidates its readers.
     fn input_stamp(&mut self, input: &str) -> u64;
+
+    /// Observation hook: called exactly once per task per session, at the
+    /// moment the engine accounts the demand as a hit (`hit == true`:
+    /// validated without executing) or a miss (`hit == false`: executed).
+    /// The calls mirror [`SessionStats`] one-for-one, in demand order.
+    /// Default: no-op; domains use it to feed telemetry (trace events,
+    /// metrics) without the engine knowing about either.
+    fn observe(&mut self, _key: &Self::Key, _hit: bool) {}
 }
 
 /// One recorded dependency of a task, in execution order.
@@ -357,7 +365,9 @@ where
             if node.clean == self.session {
                 node.verified = self.session;
                 self.stats.hits += 1;
-                return Ok(node.value.clone());
+                let value = node.value.clone();
+                spec.observe(key, true);
+                return Ok(value);
             }
         }
 
@@ -373,7 +383,9 @@ where
                     let node = self.nodes.get_mut(key).expect("checked above");
                     node.verified = self.session;
                     self.stats.hits += 1;
-                    return Ok(node.value.clone());
+                    let value = node.value.clone();
+                    spec.observe(key, true);
+                    return Ok(value);
                 }
                 Ok(false) => {}
             }
@@ -404,6 +416,7 @@ where
         );
         self.stats.misses += 1;
         self.executed.push(key.clone());
+        spec.observe(key, false);
         Ok(value)
     }
 
@@ -538,6 +551,7 @@ mod tests {
         roster: Vec<&'static str>,
         runs: HashMap<Task, usize>,
         fail_on: Option<Task>,
+        observed: Vec<(Task, bool)>,
     }
 
     #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -558,6 +572,7 @@ mod tests {
                 roster: cells.iter().map(|(k, _)| *k).collect(),
                 runs: HashMap::new(),
                 fail_on: None,
+                observed: Vec::new(),
             }
         }
 
@@ -611,6 +626,10 @@ mod tests {
                 return self.roster.len() as u64;
             }
             self.cells.get(input).copied().unwrap_or(i64::MIN) as u64
+        }
+
+        fn observe(&mut self, key: &Task, hit: bool) {
+            self.observed.push((key.clone(), hit));
         }
     }
 
@@ -764,6 +783,33 @@ mod tests {
         assert!(engine.up_to_date(&mut spec, &Task::Abs("a")).unwrap());
         assert_eq!(engine.require(&mut spec, &Task::Abs("a")).unwrap(), 5);
         assert_eq!(engine.session_stats().misses, 0);
+    }
+
+    #[test]
+    fn observe_mirrors_session_stats_once_per_task() {
+        let mut spec = Calc::new(&[("a", 2), ("b", 3)]);
+        let mut engine = Engine::new();
+        session(&mut engine, &mut spec);
+        engine.require(&mut spec, &Task::Sum).unwrap();
+        // Repeated demand in the same session: no second observation.
+        engine.require(&mut spec, &Task::Sum).unwrap();
+        assert_eq!(
+            spec.observed,
+            vec![
+                (Task::Get("a"), false),
+                (Task::Get("b"), false),
+                (Task::Sum, false),
+            ]
+        );
+
+        spec.observed.clear();
+        spec.cells.insert("a".into(), 9);
+        session(&mut engine, &mut spec);
+        engine.require(&mut spec, &Task::Sum).unwrap();
+        let stats = engine.session_stats();
+        let hits = spec.observed.iter().filter(|(_, h)| *h).count() as u64;
+        let misses = spec.observed.iter().filter(|(_, h)| !*h).count() as u64;
+        assert_eq!((hits, misses), (stats.hits, stats.misses));
     }
 
     #[test]

@@ -140,6 +140,28 @@ impl StateDb {
         self.modules.get(name)
     }
 
+    /// Slots currently believed dormant, across all modules and functions
+    /// (telemetry gauge for the metrics registry).
+    pub fn dormant_slot_count(&self) -> u64 {
+        self.modules
+            .values()
+            .flat_map(|m| m.functions.values())
+            .flat_map(|f| f.slots.iter())
+            .filter(|s| s.dormant)
+            .count() as u64
+    }
+
+    /// Lifetime skip decisions recorded across all slots (telemetry gauge
+    /// for the metrics registry).
+    pub fn total_recorded_skips(&self) -> u64 {
+        self.modules
+            .values()
+            .flat_map(|m| m.functions.values())
+            .flat_map(|f| f.slots.iter())
+            .map(|s| u64::from(s.times_skipped))
+            .sum()
+    }
+
     /// Hash of a pipeline's slot names, for invalidation.
     pub fn pipeline_hash(slot_names: &[&str]) -> Fingerprint {
         Fingerprint::of_str(&slot_names.join("\u{1f}"))
