@@ -4,10 +4,13 @@
 #   ci.sh          full gate
 #   ci.sh --quick  fast sweep only: the `quick_`-prefixed subset of the
 #                  fault-injection matrix (cold crash matrix, truncation
-#                  boundaries, recovery counters, durability sync points)
-#                  and of the observability suite (trace well-formedness,
-#                  report schema, metrics consistency, CLI contracts),
-#                  plus a traced demo build validated with `trace-check`
+#                  boundaries, recovery counters, durability sync points),
+#                  of the observability suite (trace well-formedness,
+#                  report schema, metrics consistency, CLI contracts), and
+#                  of the dependency-soundness suite (clean-build audit,
+#                  per-task-kind seeded lies, E15 fuzz matrix), plus a
+#                  traced demo build validated with `trace-check` and a
+#                  depcheck run over the demo project
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -25,11 +28,24 @@ trace_smoke() {
         trace-check "$scratch/trace.json"
 }
 
+# Depcheck smoke: audit the demo build's dependency soundness in a scratch
+# copy; a nonzero exit (findings or build failure) fails the gate.
+depcheck_smoke() {
+    local scratch
+    scratch="$(mktemp -d)"
+    trap 'rm -rf "$scratch"' RETURN
+    cp demo/*.mc "$scratch"/
+    cargo run -q -p sfcc-buildsys --bin minicc -- depcheck "$scratch"
+}
+
 if [[ "${1:-}" == "--quick" ]]; then
     cargo test -q -p sfcc --test integration_crash quick_
     cargo test -q -p sfcc --test integration_trace quick_
+    cargo test -q -p sfcc --test integration_depcheck quick_
     cargo test -q -p sfcc-buildsys --test cli quick_
+    cargo test -q -p sfcc-bench --lib quick_every_mutation_is_caught_before_divergence
     trace_smoke
+    depcheck_smoke
     exit 0
 fi
 
@@ -38,9 +54,12 @@ cargo test -q
 cargo clippy --all-targets -- -D warnings
 cargo fmt --check
 trace_smoke
-# Smoke-run the parallel-scaling and observability-overhead sweeps (write
-# BENCH_parallel.json / BENCH_trace.json).
+depcheck_smoke
+# Smoke-run the parallel-scaling, observability-overhead, and
+# dependency-soundness sweeps (write BENCH_parallel.json /
+# BENCH_trace.json / BENCH_depcheck.json).
 cargo run -q -p sfcc-bench --release --bin exp_parallel_scaling -- --quick
 cargo run -q -p sfcc-bench --release --bin exp_trace_overhead -- --quick
+cargo run -q -p sfcc-bench --release --bin exp_depcheck_fuzz -- --quick
 # Crash-consistency and golden-trace sweeps run inside `cargo test` above;
 # `--quick` reruns just the fast subsets for tight edit loops.

@@ -1,0 +1,19 @@
+//! E15 — extension: dependency-soundness fuzzing (depcheck)
+//!
+//! Usage: `cargo run -p sfcc-bench --release --bin exp_depcheck_fuzz [--quick]`
+//!
+//! Prints the fuzz matrix (one row per injected dependency lie, with the
+//! step depcheck flagged it vs the step the build's bytes went wrong) and
+//! writes the machine-readable artifact to `BENCH_depcheck.json` in the
+//! current directory.
+
+fn main() {
+    let scale = sfcc_bench::Scale::from_args();
+    println!("# E15 — extension: dependency-soundness fuzzing\n");
+    let (table, json) = sfcc_bench::experiments::depcheck_fuzz::depcheck_fuzz(scale);
+    print!("{table}");
+    match std::fs::write("BENCH_depcheck.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_depcheck.json"),
+        Err(e) => eprintln!("\ncannot write BENCH_depcheck.json: {e}"),
+    }
+}

@@ -16,7 +16,9 @@
 //! | E12 | Extension: function-level IR cache | [`extension::fn_cache_ablation`] |
 //! | E13 | Extension: parallel optimize scaling | [`parallel::parallel_scaling`] |
 //! | E14 | Extension: observability overhead | [`observe::trace_overhead`] |
+//! | E15 | Extension: dependency-soundness fuzzing | [`depcheck_fuzz::depcheck_fuzz`] |
 
+pub mod depcheck_fuzz;
 pub mod end_to_end;
 pub mod extension;
 pub mod observe;
@@ -83,6 +85,10 @@ pub fn run_all(scale: crate::Scale) -> String {
         (
             "E14 — extension: observability (tracing/metrics) overhead",
             observe::trace_overhead(scale).0,
+        ),
+        (
+            "E15 — extension: dependency-soundness fuzzing (depcheck)",
+            depcheck_fuzz::depcheck_fuzz(scale).0,
         ),
     ];
     let mut out = String::new();

@@ -10,6 +10,7 @@
 //! minicc fsck  <dir|state-file> [image.sbx...]    verify + repair a state dir
 //! minicc stats <dir>                              metrics of the last build
 //! minicc trace-check <trace.json>                 validate an exported trace
+//! minicc depcheck <dir> [build flags]             audit dependency soundness
 //! ```
 //!
 //! Build flags: `--stateful` (persist dormancy state in `<dir>/.sfcc-state`),
@@ -47,6 +48,7 @@ usage:
   minicc fsck  <dir|state-file> [image.sbx ...]
   minicc stats <dir>
   minicc trace-check <trace.json>
+  minicc depcheck <dir> [--report json] [build flags]
 
 build flags:
   --stateful     stateful compilation; state persists in <dir>/.sfcc-state
@@ -71,7 +73,18 @@ observability:
   every `build` persists its JSON report to <dir>/.sfcc-report.json;
   `minicc stats <dir>` pretty-prints that report's metrics registry, and
   `minicc trace-check <trace.json>` validates an exported trace (schema +
-  strict span nesting) and prints summary statistics
+  strict span nesting) and prints summary statistics. A build that fails
+  moves the previous report to .sfcc-report.json.stale first, so `stats`
+  can never mistake it for the failed build's telemetry.
+
+dependency soundness:
+  `minicc depcheck <dir>` runs an instrumented cold build plus a no-op
+  rebuild (read-only: no state is saved, no report file is written) and
+  diffs every task's actual resource accesses against its declared
+  dependencies. fsck-style exit codes make it CI-gateable:
+    0  clean — declared deps match observed accesses exactly
+    1  findings — missing/redundant deps, stale serves, or untracked I/O
+    2  the audited build itself failed
 
 fault injection (testing):
   --fault-plan <spec>   deterministic fault plan for this invocation, e.g.
@@ -103,7 +116,7 @@ fn main() -> ExitCode {
         None => None,
     };
     match dispatch(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(message) => {
             eprintln!("{message}");
             ExitCode::FAILURE
@@ -111,7 +124,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn dispatch(args: &[String]) -> Result<(), String> {
+fn dispatch(args: &[String]) -> Result<ExitCode, String> {
     let Some(command) = args.first() else {
         return Err(USAGE.to_string());
     };
@@ -126,9 +139,10 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         "fsck" => cmd_fsck(rest),
         "stats" => cmd_stats(rest),
         "trace-check" => cmd_trace_check(rest),
+        "depcheck" => cmd_depcheck(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }
@@ -260,6 +274,11 @@ fn config_of(flags: &BuildFlags, dir: &Path) -> Config {
 /// directory; `minicc stats` reads it back.
 const REPORT_FILE: &str = ".sfcc-report.json";
 
+/// Where the previous build's report is parked while a build runs. A build
+/// that fails leaves it here, so `minicc stats` can tell "the last build
+/// did not complete" apart from "here is the last build's telemetry".
+const STALE_REPORT_FILE: &str = ".sfcc-report.json.stale";
+
 /// Builds the project in `dir` under `flags`; persists state when stateful.
 /// Also persists the JSON report to `<dir>/.sfcc-report.json` (plain
 /// `std::fs`, deliberately outside the fault-injectable I/O layer so
@@ -279,16 +298,23 @@ fn build_project(flags: &BuildFlags, dir: &Path) -> Result<(Builder, BuildReport
     if flags.trace.is_some() {
         builder = builder.with_tracing();
     }
-    let report = builder.build(&project).map_err(|e| e.to_string())?;
+    // Park the previous report before building: if this build fails or
+    // crashes, `stats` must not serve yesterday's numbers as today's.
+    let report_path = dir.join(REPORT_FILE);
+    let stale_path = dir.join(STALE_REPORT_FILE);
+    if report_path.exists() {
+        let _ = std::fs::rename(&report_path, &stale_path);
+    }
+    let mut report = builder.build(&project).map_err(|e| e.to_string())?;
     if flags.stateful {
-        builder
+        report.state_generation = builder
             .compiler()
             .save_state()
             .map_err(|e| format!("cannot save state: {e}"))?;
     }
-    let report_path = dir.join(REPORT_FILE);
     std::fs::write(&report_path, report.to_json())
         .map_err(|e| format!("cannot write `{}`: {e}", report_path.display()))?;
+    let _ = std::fs::remove_file(&stale_path);
     if let Some(path) = &flags.trace {
         let trace = report
             .trace
@@ -300,7 +326,7 @@ fn build_project(flags: &BuildFlags, dir: &Path) -> Result<(Builder, BuildReport
     Ok((builder, report))
 }
 
-fn cmd_build(args: &[String]) -> Result<(), String> {
+fn cmd_build(args: &[String]) -> Result<ExitCode, String> {
     let flags = parse_flags(args)?;
     let [dir] = flags.operands.as_slice() else {
         return Err(format!("`build` expects one project directory\n\n{USAGE}"));
@@ -320,7 +346,7 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("cannot write `{}`: {e}", out.display()))?;
     if flags.report_json {
         println!("{}", report.to_json());
-        return Ok(());
+        return Ok(ExitCode::SUCCESS);
     }
     if report.recovered_files > 0 {
         println!(
@@ -346,7 +372,7 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         report.query.misses,
     );
     println!("wrote {}", out.display());
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 fn run_report(program: &sfcc_backend::Program, args: &[i64]) -> Result<(), String> {
@@ -375,7 +401,7 @@ fn run_report(program: &sfcc_backend::Program, args: &[i64]) -> Result<(), Strin
     Ok(())
 }
 
-fn cmd_run(args: &[String]) -> Result<(), String> {
+fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     let flags = parse_flags(args)?;
     let [dir] = flags.operands.as_slice() else {
         return Err(format!("`run` expects one project directory\n\n{USAGE}"));
@@ -392,20 +418,22 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         let stats = builder.compiler().cache_stats();
         println!("fn-cache: {} hit(s), {} miss(es)", stats.hits, stats.misses);
     }
-    run_report(&report.program, &flags.program_args)
+    run_report(&report.program, &flags.program_args)?;
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_exec(args: &[String]) -> Result<(), String> {
+fn cmd_exec(args: &[String]) -> Result<ExitCode, String> {
     let flags = parse_flags(args)?;
     let [image] = flags.operands.as_slice() else {
         return Err(format!("`exec` expects one .sbx image\n\n{USAGE}"));
     };
     let program =
         load_image(Path::new(image)).map_err(|e| format!("cannot load `{image}`: {e}"))?;
-    run_report(&program, &flags.program_args)
+    run_report(&program, &flags.program_args)?;
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_ir(args: &[String]) -> Result<(), String> {
+fn cmd_ir(args: &[String]) -> Result<ExitCode, String> {
     let flags = parse_flags(args)?;
     let [dir, module] = flags.operands.as_slice() else {
         return Err(format!(
@@ -421,17 +449,17 @@ fn cmd_ir(args: &[String]) -> Result<(), String> {
         .as_ref()
         .expect("a fresh builder recompiles every module");
     print!("{}", sfcc_ir::module_to_string(&output.ir));
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_bc(args: &[String]) -> Result<(), String> {
+fn cmd_bc(args: &[String]) -> Result<ExitCode, String> {
     let flags = parse_flags(args)?;
     let [dir] = flags.operands.as_slice() else {
         return Err(format!("`bc` expects one project directory\n\n{USAGE}"));
     };
     let (_, report) = build_project(&flags, Path::new(dir))?;
     print!("{}", disasm_program(&report.program));
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Resolves a `<dir>` or `<state-file>` operand to the state base path:
@@ -445,7 +473,7 @@ fn state_base(operand: &str) -> PathBuf {
     }
 }
 
-fn cmd_state(args: &[String]) -> Result<(), String> {
+fn cmd_state(args: &[String]) -> Result<ExitCode, String> {
     let [path] = args else {
         return Err(format!("`state` expects one state-file path\n\n{USAGE}"));
     };
@@ -485,10 +513,10 @@ fn cmd_state(args: &[String]) -> Result<(), String> {
         }
     }
     println!("\n(A = pass was active at the last build, . = dormant/skippable)");
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_fsck(args: &[String]) -> Result<(), String> {
+fn cmd_fsck(args: &[String]) -> Result<ExitCode, String> {
     let Some((target, images)) = args.split_first() else {
         return Err(format!(
             "`fsck` expects a project directory or state-file path\n\n{USAGE}"
@@ -517,14 +545,24 @@ fn cmd_fsck(args: &[String]) -> Result<(), String> {
     } else {
         println!("  next stateful build recompiles what was lost and rewrites the state");
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_stats(args: &[String]) -> Result<(), String> {
+fn cmd_stats(args: &[String]) -> Result<ExitCode, String> {
     let [dir] = args else {
         return Err(format!("`stats` expects one project directory\n\n{USAGE}"));
     };
     let path = Path::new(dir).join(REPORT_FILE);
+    let stale_path = Path::new(dir).join(STALE_REPORT_FILE);
+    if !path.exists() && stale_path.exists() {
+        // A build parked the previous report and never completed; refusing
+        // beats presenting the prior build's telemetry as current.
+        return Err(format!(
+            "the last build of `{dir}` did not complete; `{}` holds the report of the \
+             previous successful build (rebuild to refresh)",
+            stale_path.display()
+        ));
+    }
     let text = std::fs::read_to_string(&path).map_err(|e| {
         format!(
             "cannot read `{}`: {e} (run `minicc build {dir}` first)",
@@ -533,6 +571,34 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     })?;
     let doc = sfcc_trace::json::parse(&text)
         .map_err(|e| format!("`{}` is not valid JSON: {e}", path.display()))?;
+    // Reports predating the outcome stamp are treated as unverifiable.
+    let outcome = doc
+        .get("outcome")
+        .and_then(sfcc_trace::json::Value::as_str)
+        .unwrap_or("unknown");
+    if outcome != "success" {
+        println!("WARNING: this report's build outcome is `{outcome}`, not `success`");
+    }
+    let report_generation = doc
+        .get("state_generation")
+        .and_then(sfcc_trace::json::Value::as_u64)
+        .unwrap_or(0);
+    // When the project has a persistent state directory, cross-check the
+    // report against its current generation: a newer state commit means a
+    // later build ran and this telemetry is not from it.
+    if report_generation > 0 {
+        let state_dir = Path::new(dir).join(".sfcc-state");
+        if let Ok(Some(manifest)) = sfcc_faultfs::CommitDir::new(&state_dir).read_manifest() {
+            if manifest.generation > report_generation {
+                println!(
+                    "WARNING: this report is stale — it was saved at state generation \
+                     {report_generation}, but the state directory is at generation {} \
+                     (rebuild to refresh)",
+                    manifest.generation
+                );
+            }
+        }
+    }
     let metrics = doc
         .get("metrics")
         .ok_or_else(|| format!("`{}` has no \"metrics\" block", path.display()))?;
@@ -543,10 +609,74 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
         snapshot.len()
     );
     print!("{}", snapshot.render_pretty());
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_trace_check(args: &[String]) -> Result<(), String> {
+/// Audits dependency soundness: an instrumented cold build (whose access
+/// diff covers every task kind) followed by a no-op rebuild (whose stamp
+/// audit covers store serves), findings merged. Read-only — saves no
+/// state and writes no report file — so it can run against a checkout
+/// without dirtying it. Exit codes: 0 clean, 1 findings, 2 build failure.
+fn cmd_depcheck(args: &[String]) -> Result<ExitCode, String> {
+    let flags = parse_flags(args)?;
+    let [dir] = flags.operands.as_slice() else {
+        return Err(format!(
+            "`depcheck` expects one project directory\n\n{USAGE}"
+        ));
+    };
+    let dir = Path::new(dir);
+    let project = Project::from_dir(dir)
+        .map_err(|e| format!("cannot load project `{}`: {e}", dir.display()))?;
+    if project.is_empty() {
+        return Err(format!("no .mc files in `{}`", dir.display()));
+    }
+    let mut builder = Builder::new(Compiler::new(config_of(&flags, dir))).with_depcheck();
+    builder = match flags.jobs {
+        Some(jobs) => builder.with_jobs(jobs),
+        None => builder.with_parallelism(),
+    };
+    // Build failures are exit code 2 — distinct from "findings" (1) so CI
+    // can tell a broken project apart from a lying one.
+    let first = match builder.build(&project) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("depcheck: cold build failed: {e}");
+            return Ok(ExitCode::from(2));
+        }
+    };
+    let mut second = match builder.build(&project) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("depcheck: no-op rebuild failed: {e}");
+            return Ok(ExitCode::from(2));
+        }
+    };
+    let mut merged = first.depcheck.clone().unwrap_or_default();
+    merged.merge(second.depcheck.take().unwrap_or_default());
+    let clean = merged.is_clean();
+    if flags.report_json {
+        // The emitted report is the rebuild's, carrying the merged verdict
+        // of both audited builds.
+        second.depcheck = Some(merged);
+        println!("{}", second.to_json());
+    } else {
+        print!("{}", merged.render());
+        if clean {
+            println!(
+                "depcheck `{}`: clean — every declared dependency was accessed and \
+                 every access was declared",
+                dir.display()
+            );
+        }
+    }
+    Ok(if clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn cmd_trace_check(args: &[String]) -> Result<ExitCode, String> {
     let [path] = args else {
         return Err(format!("`trace-check` expects one trace file\n\n{USAGE}"));
     };
@@ -557,5 +687,5 @@ fn cmd_trace_check(args: &[String]) -> Result<(), String> {
         "{path}: valid — {} event(s) ({} span(s), {} instant(s)), max depth {}, {} pass event(s)",
         summary.events, summary.complete, summary.instants, summary.max_depth, summary.pass_events
     );
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }

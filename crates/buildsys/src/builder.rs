@@ -27,6 +27,7 @@
 //! store*, forcing full recompilation while keeping the dormancy state,
 //! which is exactly the "fresh checkout, warm state" CI scenario.
 
+use crate::depcheck::{self, DepMutations, DepcheckReport};
 use crate::graph::GraphError;
 use crate::project::Project;
 use crate::report::{BuildReport, ModuleReport, QueryStats};
@@ -105,6 +106,8 @@ pub struct Builder {
     engine: Engine<BuildTask, BuildValue>,
     jobs: usize,
     tracing: bool,
+    depcheck: bool,
+    mutations: DepMutations,
 }
 
 impl fmt::Debug for Builder {
@@ -127,7 +130,27 @@ impl Builder {
             engine: Engine::new(),
             jobs: 1,
             tracing: false,
+            depcheck: false,
+            mutations: DepMutations::new(),
         }
+    }
+
+    /// Turns on dependency-soundness checking: subsequent builds record
+    /// every task-attributed resource access and faultfs op, diff them
+    /// against the engine's declared dependencies, and attach the verdict
+    /// as [`BuildReport::depcheck`]. Instrumented builds serialize
+    /// process-wide on the access log and are slower; build outputs are
+    /// unaffected.
+    pub fn with_depcheck(mut self) -> Self {
+        self.depcheck = true;
+        self
+    }
+
+    /// Installs adversarial dependency mutations for subsequent builds —
+    /// the fuzzing half of depcheck (see [`DepMutations`]).
+    pub fn with_dep_mutations(mut self, mutations: DepMutations) -> Self {
+        self.mutations = mutations;
+        self
     }
 
     /// Records a hierarchical span trace of every subsequent build
@@ -177,6 +200,13 @@ impl Builder {
     pub fn build(&mut self, project: &Project) -> Result<BuildReport, BuildError> {
         let start = Instant::now();
         let trace_handle = self.tracing.then(sfcc_trace::install);
+        // Depcheck instrumentation: the access log captures note_access
+        // calls from every thread (task attribution rides across pool
+        // spawns); the op recorder is thread-local and resets the op
+        // counter, so depcheck builds are incompatible with an installed
+        // fault plan — an accepted limitation of the audit mode.
+        let access_guard = self.depcheck.then(sfcc_faultfs::record_accesses);
+        let op_guard = self.depcheck.then(sfcc_faultfs::record);
         let ops_before = sfcc_faultfs::op_counts();
         let root = sfcc_trace::span("build", "build", 0);
 
@@ -186,7 +216,12 @@ impl Builder {
         self.engine
             .retain(|task| task.module().is_none_or(|m| project.contains(m)));
 
-        let mut spec = BuildSpec::new(project, &mut self.compiler, self.jobs);
+        let mut spec = BuildSpec::new(
+            project,
+            &mut self.compiler,
+            self.jobs,
+            self.mutations.clone(),
+        );
         self.engine.begin_session(&mut spec);
 
         let graph = self
@@ -252,6 +287,21 @@ impl Builder {
         .clone();
         drop(link_span);
         let query_log = spec.take_query_log();
+
+        // Dependency-soundness verdict: diff the recorded evidence against
+        // the engine's dependency traces while the spec (raw stamps) and
+        // engine (dep traces) are both still on hand.
+        let depcheck_report = match (&access_guard, &op_guard) {
+            (Some(accesses), Some(ops)) => Some(depcheck::analyze(
+                &self.engine,
+                &mut spec,
+                &accesses.take(),
+                &ops.take(),
+            )),
+            _ => None,
+        };
+        drop(op_guard);
+        drop(access_guard);
 
         // Assemble the report from the store: a module counts as rebuilt
         // when any of its compile-pipeline tasks actually executed this
@@ -341,8 +391,11 @@ impl Builder {
             modules,
             query,
             jobs: self.jobs,
+            outcome: "success".to_string(),
+            state_generation: 0,
             recovered_files,
             quarantined,
+            depcheck: depcheck_report,
             metrics: MetricsSnapshot::default(),
             trace: None,
         };
@@ -395,6 +448,19 @@ impl Builder {
                     ("sync_dirs", ArgValue::U64(ops.sync_dirs)),
                 ],
             );
+            if let Some(dc) = &report.depcheck {
+                sfcc_trace::emit_instant(
+                    root.id(),
+                    "depcheck",
+                    "dep-soundness",
+                    seq + 4,
+                    vec![
+                        ("findings", ArgValue::U64(dc.findings.len() as u64)),
+                        ("tasks_checked", ArgValue::U64(dc.tasks_checked)),
+                        ("accesses", ArgValue::U64(dc.accesses)),
+                    ],
+                );
+            }
         }
         drop(root);
         if let Some(handle) = trace_handle {
@@ -425,6 +491,33 @@ fn record_report_metrics(report: &BuildReport, waves: usize, registry: &Registry
     registry.gauge_set("query.executed", report.query.executed.len() as u64);
     registry.gauge_set("recovery.recovered_files", report.recovered_files as u64);
     registry.gauge_set("recovery.quarantined", report.quarantined.len() as u64);
+    // Depcheck gauges are emitted on *every* build — zeros when the audit
+    // is off — so the report schema never loses keys on any exit path.
+    let quiet = DepcheckReport::default();
+    let (enabled, dc) = match &report.depcheck {
+        Some(dc) => (1, dc),
+        None => (0, &quiet),
+    };
+    registry.gauge_set("depcheck.enabled", enabled);
+    registry.gauge_set("depcheck.findings", dc.findings.len() as u64);
+    registry.gauge_set(
+        "depcheck.missing",
+        dc.count(crate::depcheck::DepFindingKind::MissingDep) as u64,
+    );
+    registry.gauge_set(
+        "depcheck.redundant",
+        dc.count(crate::depcheck::DepFindingKind::RedundantDep) as u64,
+    );
+    registry.gauge_set(
+        "depcheck.stale",
+        dc.count(crate::depcheck::DepFindingKind::StaleServe) as u64,
+    );
+    registry.gauge_set(
+        "depcheck.untracked_io",
+        dc.count(crate::depcheck::DepFindingKind::UntrackedIo) as u64,
+    );
+    registry.gauge_set("depcheck.tasks_checked", dc.tasks_checked);
+    registry.gauge_set("depcheck.accesses", dc.accesses);
     for agg in report.pass_profile() {
         registry.gauge_set(&format!("pass.{}.total_ns", agg.pass), agg.total_ns);
         registry.gauge_set(&format!("pass.{}.runs", agg.pass), agg.runs);

@@ -20,8 +20,12 @@
 //! - [`BuildReport`]: per-module rebuild flags, traces, timings,
 //!   pass-outcome totals, and query hit/miss counts ([`QueryStats`]), as
 //!   consumed by the evaluation harness;
+//! - [`depcheck`]: dependency-soundness checking — task-attributed
+//!   resource accesses diffed against the engine's declared dependencies
+//!   (missing/redundant deps, stale serves, untracked I/O), plus the
+//!   adversarial [`DepMutations`] hooks the depcheck fuzzer drives;
 //! - the `minicc` binary: a command-line driver over all of the above
-//!   (`build` / `run` / `exec` / `ir` / `bc` / `state`).
+//!   (`build` / `run` / `exec` / `ir` / `bc` / `state` / `depcheck`).
 //!
 //! ```
 //! use sfcc::{Compiler, Config};
@@ -42,12 +46,14 @@
 //! ```
 
 pub mod builder;
+pub mod depcheck;
 pub mod graph;
 pub mod project;
 pub mod report;
 pub mod tasks;
 
 pub use builder::{BuildError, Builder};
+pub use depcheck::{DepFinding, DepFindingKind, DepMutations, DepcheckReport};
 pub use graph::{DepGraph, GraphError};
 pub use project::Project;
 pub use report::{

@@ -8,6 +8,7 @@
 //! truth and the two views cannot drift. [`validate_report_json`] pins the
 //! full report schema for regression tests.
 
+use crate::depcheck::DepcheckReport;
 use sfcc::CompileOutput;
 use sfcc_backend::Program;
 use sfcc_passes::PassOutcome;
@@ -88,6 +89,17 @@ pub struct BuildReport {
     pub query: QueryStats,
     /// Worker threads the build was allowed to use (`--jobs`).
     pub jobs: usize,
+    /// How the build ended. The builder only ever emits `"success"`
+    /// reports (failures return errors, not reports); the stamp exists so
+    /// a persisted report can never be mistaken for one from a build that
+    /// did not complete.
+    pub outcome: String,
+    /// Generation of the persistent state commit this build's results were
+    /// saved under, `0` when the session is stateless or unsaved. Stamped
+    /// by the driver *after* [`crate::Builder::build`] returns (the save
+    /// happens outside the build), so this field intentionally bypasses
+    /// the metrics snapshot and is emitted from the struct.
+    pub state_generation: u64,
     /// Number of persistent files (state, cache, manifest) that failed
     /// validation when the session loaded, and were recovered from by
     /// cold-starting the affected artifact.
@@ -95,6 +107,13 @@ pub struct BuildReport {
     /// Where corrupt files were moved aside (`*.corrupt`), one entry per
     /// quarantined file.
     pub quarantined: Vec<String>,
+    /// Dependency-soundness verdict when the build ran with
+    /// [`crate::Builder::with_depcheck`]; `None` otherwise. Emitted from
+    /// the struct (not the metrics snapshot) so a driver can merge
+    /// findings across builds — e.g. `minicc depcheck`'s cold+incremental
+    /// pair — before rendering; the `depcheck.*` gauges still mirror the
+    /// per-build counts.
+    pub depcheck: Option<DepcheckReport>,
     /// Snapshot of the build's metrics registry — query stats, cache
     /// stats, dormancy counts, pass profile, faultfs op counts, recovery
     /// counters. The single source for every numeric [`Self::to_json`]
@@ -229,6 +248,9 @@ impl BuildReport {
             self.metric("build.rebuilt_count", self.rebuilt_count() as u64),
             self.metric("build.jobs", self.jobs as u64)
         );
+        out.push_str("\"outcome\":");
+        push_json_string(&mut out, &self.outcome);
+        let _ = write!(out, ",\"state_generation\":{},", self.state_generation);
         let (active, dormant, skipped) = self.outcome_totals();
         let _ = write!(
             out,
@@ -260,6 +282,41 @@ impl BuildReport {
                 out.push(',');
             }
             push_json_string(&mut out, path);
+        }
+        // The depcheck block is present on every report — zeroed when the
+        // audit was off — so consumers never have to branch on a missing
+        // key. Counts come from the struct, not the snapshot: drivers may
+        // merge findings across builds before serializing.
+        let quiet = DepcheckReport::default();
+        let (enabled, dc) = match &self.depcheck {
+            Some(dc) => (true, dc),
+            None => (false, &quiet),
+        };
+        let _ = write!(
+            out,
+            "]}},\"depcheck\":{{\"enabled\":{},\"missing\":{},\"redundant\":{},\"stale\":{},\
+             \"untracked_io\":{},\"tasks_checked\":{},\"accesses\":{},\"findings\":[",
+            enabled,
+            dc.count(crate::depcheck::DepFindingKind::MissingDep),
+            dc.count(crate::depcheck::DepFindingKind::RedundantDep),
+            dc.count(crate::depcheck::DepFindingKind::StaleServe),
+            dc.count(crate::depcheck::DepFindingKind::UntrackedIo),
+            dc.tasks_checked,
+            dc.accesses
+        );
+        for (i, f) in dc.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"kind\":");
+            push_json_string(&mut out, f.kind.label());
+            out.push_str(",\"task\":");
+            push_json_string(&mut out, &f.task);
+            out.push_str(",\"resource\":");
+            push_json_string(&mut out, &f.resource);
+            out.push_str(",\"detail\":");
+            push_json_string(&mut out, &f.detail);
+            out.push('}');
         }
         out.push_str("]},\"pass_profile\":[");
         for (i, agg) in self.pass_profile().iter().enumerate() {
@@ -343,9 +400,12 @@ pub fn validate_report_json(text: &str) -> Result<(), String> {
         "compile_ns",
         "rebuilt_count",
         "jobs",
+        "outcome",
+        "state_generation",
         "outcomes",
         "query",
         "recovery",
+        "depcheck",
         "pass_profile",
         "slowest_slots",
         "modules",
@@ -359,9 +419,19 @@ pub fn validate_report_json(text: &str) -> Result<(), String> {
     let num = |v: &Value, ctx: &str| -> Result<u64, String> {
         v.as_u64().ok_or(format!("{ctx}: expected a number"))
     };
-    for scalar in ["wall_ns", "link_ns", "compile_ns", "rebuilt_count", "jobs"] {
+    for scalar in [
+        "wall_ns",
+        "link_ns",
+        "compile_ns",
+        "rebuilt_count",
+        "jobs",
+        "state_generation",
+    ] {
         num(doc.get(scalar).unwrap(), scalar)?;
     }
+    doc.get("outcome")
+        .and_then(Value::as_str)
+        .ok_or("outcome: expected a string")?;
     let outcome_block = |v: &Value, ctx: &str| -> Result<(), String> {
         for field in ["active", "dormant", "skipped"] {
             num(
@@ -405,6 +475,39 @@ pub fn validate_report_json(text: &str) -> Result<(), String> {
         entry
             .as_str()
             .ok_or("recovery.quarantined: expected strings")?;
+    }
+
+    let depcheck = doc.get("depcheck").unwrap();
+    depcheck
+        .get("enabled")
+        .and_then(Value::as_bool)
+        .ok_or("depcheck: missing bool \"enabled\"")?;
+    for field in [
+        "missing",
+        "redundant",
+        "stale",
+        "untracked_io",
+        "tasks_checked",
+        "accesses",
+    ] {
+        num(
+            depcheck
+                .get(field)
+                .ok_or(format!("depcheck: missing {field:?}"))?,
+            &format!("depcheck.{field}"),
+        )?;
+    }
+    let findings = depcheck
+        .get("findings")
+        .and_then(Value::as_arr)
+        .ok_or("depcheck.findings: expected an array")?;
+    for (i, finding) in findings.iter().enumerate() {
+        for field in ["kind", "task", "resource", "detail"] {
+            finding
+                .get(field)
+                .and_then(Value::as_str)
+                .ok_or(format!("depcheck.findings[{i}]: missing string {field:?}"))?;
+        }
     }
 
     for (block, fields) in [

@@ -26,6 +26,7 @@
 //! the modules they would affect.
 
 use crate::builder::BuildError;
+use crate::depcheck::DepMutations;
 use crate::graph::{parse_imports, DepGraph};
 use crate::project::Project;
 use sfcc::{Compiler, OptimizeOutcome, PhaseTimings};
@@ -196,10 +197,18 @@ pub struct BuildSpec<'a> {
     /// ([`TaskSpec::observe`]); the driver turns them into query trace
     /// events and metrics after the build.
     query_log: Vec<(String, bool)>,
+    /// Adversarial dependency mutations (depcheck fuzzing); empty for an
+    /// honest build.
+    mutations: DepMutations,
 }
 
 impl<'a> BuildSpec<'a> {
-    pub(crate) fn new(project: &'a Project, compiler: &'a mut Compiler, jobs: usize) -> Self {
+    pub(crate) fn new(
+        project: &'a Project,
+        compiler: &'a mut Compiler,
+        jobs: usize,
+        mutations: DepMutations,
+    ) -> Self {
         BuildSpec {
             project,
             compiler,
@@ -209,6 +218,7 @@ impl<'a> BuildSpec<'a> {
             jobs: jobs.max(1),
             cache_inserts: Vec::new(),
             query_log: Vec::new(),
+            mutations,
         }
     }
 
@@ -273,8 +283,38 @@ impl<'a> BuildSpec<'a> {
         self.compiler.apply_cache_inserts(inserts);
     }
 
+    /// Reads a module's source — the build's actual access to the `src:m`
+    /// resource, noted for depcheck attribution at the point of use.
     fn source_of(&self, module: &str) -> &'a str {
+        sfcc_faultfs::note_access(&format!("src:{module}"));
         self.project.file(module).unwrap_or("")
+    }
+
+    /// Declares `input` as a dependency through `ctx` — unless a depcheck
+    /// mutation suppresses exactly this declaration (seeding a missing
+    /// dep).
+    fn declare_input(&mut self, ctx: &mut Ctx<'_, Self>, label: &str, input: &str) {
+        if !self.mutations.drops(label, input) {
+            ctx.input(self, input);
+        }
+    }
+
+    /// The honest stamp of an input cell, bypassing depcheck mutations.
+    /// This is what the staleness audit compares recorded stamps against.
+    pub(crate) fn raw_input_stamp(&mut self, input: &str) -> u64 {
+        if input == "manifest" {
+            let names: Vec<&str> = self.project.names().collect();
+            fnv64(names.join(",").as_bytes())
+        } else if let Some(m) = input.strip_prefix("src:") {
+            match self.project.file(m) {
+                Some(source) => fnv64(source.as_bytes()),
+                None => fnv64(b"<absent>"),
+            }
+        } else if let Some(m) = input.strip_prefix("state:") {
+            self.compiler.state_stamp(m)
+        } else {
+            0
+        }
     }
 }
 
@@ -290,10 +330,25 @@ fn prepare_one<'env>(
     env: &ModuleEnv,
     pool: &PoolScope<'env>,
 ) -> Option<PreparedModule> {
-    let (checked, frontend_ns) = compiler.phase_frontend(name, source, env).ok()?;
-    let (ir, lower_ns) = compiler.phase_lower(&checked, env);
-    let (optimized, outcome) = compiler.phase_optimize_with(&ir, Some(pool));
-    let (object, backend_ns) = compiler.phase_codegen(&optimized).ok()?;
+    // Each phase runs under the task scope of the task that will consume
+    // its parked artifact, so resource accesses made here (e.g. the state
+    // read inside optimize) attribute to the right task for depcheck.
+    let (checked, frontend_ns) = {
+        let _scope = sfcc_faultfs::task_scope(format!("frontend({name})"));
+        compiler.phase_frontend(name, source, env).ok()?
+    };
+    let (ir, lower_ns) = {
+        let _scope = sfcc_faultfs::task_scope(format!("lower({name})"));
+        compiler.phase_lower(&checked, env)
+    };
+    let (optimized, outcome) = {
+        let _scope = sfcc_faultfs::task_scope(format!("optimize({name})"));
+        compiler.phase_optimize_with(&ir, Some(pool))
+    };
+    let (object, backend_ns) = {
+        let _scope = sfcc_faultfs::task_scope(format!("codegen({name})"));
+        compiler.phase_codegen(&optimized).ok()?
+    };
     Some(PreparedModule {
         frontend: Some((checked, frontend_ns)),
         lower: Some((ir, lower_ns)),
@@ -312,14 +367,69 @@ impl TaskSpec for BuildSpec<'_> {
         key: &BuildTask,
         ctx: &mut Ctx<'_, Self>,
     ) -> Result<BuildValue, QueryError<BuildTask, BuildError>> {
+        // Every resource access made while this task runs — on this thread
+        // or on pool workers it fans out to — attributes to its label.
+        let label = key.to_string();
+        let _scope = sfcc_faultfs::task_scope(label.clone());
+        for resource in self.mutations.phantom_accesses_for(&label) {
+            sfcc_faultfs::note_access(&resource);
+        }
+        let value = self.execute_inner(key, ctx, &label)?;
+        for input in self.mutations.phantom_deps_for(&label) {
+            ctx.input(self, &input);
+        }
+        Ok(value)
+    }
+
+    fn fingerprint(&self, _key: &BuildTask, value: &BuildValue) -> u64 {
+        match value {
+            BuildValue::Imports(deps) => fnv64(deps.join(",").as_bytes()),
+            BuildValue::Interface(interface) => interface_hash(interface),
+            BuildValue::Graph(graph) => {
+                let mut repr = String::new();
+                for m in graph.topo_order() {
+                    repr.push_str(m);
+                    repr.push('=');
+                    repr.push_str(&graph.imports_of(m).join(","));
+                    repr.push(';');
+                }
+                fnv64(repr.as_bytes())
+            }
+            BuildValue::Frontend(art) => {
+                fnv64(format!("{:x}:{:x}", art.src_hash, art.env_hash).as_bytes())
+            }
+            BuildValue::Lower(ir) => fnv64(module_to_string(ir).as_bytes()),
+            BuildValue::Optimize(art) => fnv64(module_to_string(&art.ir).as_bytes()),
+            BuildValue::Codegen(object) => fnv64(format!("{object:?}").as_bytes()),
+            BuildValue::Link(program) => fnv64(&sfcc_backend::image::to_bytes(program)),
+        }
+    }
+
+    fn observe(&mut self, key: &BuildTask, hit: bool) {
+        self.query_log.push((key.to_string(), hit));
+    }
+
+    fn input_stamp(&mut self, input: &str) -> u64 {
+        let raw = self.raw_input_stamp(input);
+        self.mutations.stamp(input, raw)
+    }
+}
+
+impl BuildSpec<'_> {
+    fn execute_inner(
+        &mut self,
+        key: &BuildTask,
+        ctx: &mut Ctx<'_, Self>,
+        label: &str,
+    ) -> Result<BuildValue, QueryError<BuildTask, BuildError>> {
         match key {
             BuildTask::Imports(m) => {
-                ctx.input(self, &format!("src:{m}"));
+                self.declare_input(ctx, label, &format!("src:{m}"));
                 let deps = parse_imports(m, self.source_of(m));
                 Ok(BuildValue::Imports(Arc::new(deps)))
             }
             BuildTask::Interface(m) => {
-                ctx.input(self, &format!("src:{m}"));
+                self.declare_input(ctx, label, &format!("src:{m}"));
                 let interface = sfcc::extract_interface(m, self.source_of(m)).map_err(|error| {
                     QueryError::Task(BuildError::Compile {
                         module: m.clone(),
@@ -329,7 +439,10 @@ impl TaskSpec for BuildSpec<'_> {
                 Ok(BuildValue::Interface(Arc::new(interface)))
             }
             BuildTask::Graph => {
-                ctx.input(self, "manifest");
+                self.declare_input(ctx, label, "manifest");
+                // The module roster *is* the manifest resource: reading it
+                // here is the access the declaration above must cover.
+                sfcc_faultfs::note_access("manifest");
                 let names: Vec<String> = self.project.names().map(str::to_string).collect();
                 let mut imports = BTreeMap::new();
                 for name in names {
@@ -341,7 +454,7 @@ impl TaskSpec for BuildSpec<'_> {
                 Ok(BuildValue::Graph(Arc::new(graph)))
             }
             BuildTask::Frontend(m) => {
-                ctx.input(self, &format!("src:{m}"));
+                self.declare_input(ctx, label, &format!("src:{m}"));
                 let imports = ctx
                     .require(self, &BuildTask::Imports(m.clone()))?
                     .expect_imports();
@@ -419,8 +532,11 @@ impl TaskSpec for BuildSpec<'_> {
                 state_ns += self.compiler.ingest_trace(&trace);
                 // Recorded *after* ingestion, so the dependency holds the
                 // post-write stamp and the task does not invalidate itself.
-                let stamp = self.compiler.state_stamp(m);
-                ctx.record_input(&format!("state:{m}"), stamp);
+                let state_input = format!("state:{m}");
+                if !self.mutations.drops(label, &state_input) {
+                    let stamp = self.compiler.state_stamp(m);
+                    ctx.record_input(&state_input, stamp);
+                }
                 let timings = self.timings.entry(m.clone()).or_default();
                 timings.middle_ns = middle_ns;
                 timings.state_ns = state_ns;
@@ -464,50 +580,6 @@ impl TaskSpec for BuildSpec<'_> {
                 self.link_ns = t.elapsed().as_nanos() as u64;
                 Ok(BuildValue::Link(Arc::new(program)))
             }
-        }
-    }
-
-    fn fingerprint(&self, _key: &BuildTask, value: &BuildValue) -> u64 {
-        match value {
-            BuildValue::Imports(deps) => fnv64(deps.join(",").as_bytes()),
-            BuildValue::Interface(interface) => interface_hash(interface),
-            BuildValue::Graph(graph) => {
-                let mut repr = String::new();
-                for m in graph.topo_order() {
-                    repr.push_str(m);
-                    repr.push('=');
-                    repr.push_str(&graph.imports_of(m).join(","));
-                    repr.push(';');
-                }
-                fnv64(repr.as_bytes())
-            }
-            BuildValue::Frontend(art) => {
-                fnv64(format!("{:x}:{:x}", art.src_hash, art.env_hash).as_bytes())
-            }
-            BuildValue::Lower(ir) => fnv64(module_to_string(ir).as_bytes()),
-            BuildValue::Optimize(art) => fnv64(module_to_string(&art.ir).as_bytes()),
-            BuildValue::Codegen(object) => fnv64(format!("{object:?}").as_bytes()),
-            BuildValue::Link(program) => fnv64(&sfcc_backend::image::to_bytes(program)),
-        }
-    }
-
-    fn observe(&mut self, key: &BuildTask, hit: bool) {
-        self.query_log.push((key.to_string(), hit));
-    }
-
-    fn input_stamp(&mut self, input: &str) -> u64 {
-        if input == "manifest" {
-            let names: Vec<&str> = self.project.names().collect();
-            fnv64(names.join(",").as_bytes())
-        } else if let Some(m) = input.strip_prefix("src:") {
-            match self.project.file(m) {
-                Some(source) => fnv64(source.as_bytes()),
-                None => fnv64(b"<absent>"),
-            }
-        } else if let Some(m) = input.strip_prefix("state:") {
-            self.compiler.state_stamp(m)
-        } else {
-            0
         }
     }
 }

@@ -361,22 +361,24 @@ impl Compiler {
 
     /// Persists the state database (and function cache) to the configured
     /// path, atomically: both artifacts become visible together in one
-    /// manifest commit (see [`crate::persist`]).
+    /// manifest commit (see [`crate::persist`]). Returns the generation
+    /// number of the committed manifest, `0` when nothing was saved (no
+    /// configured path, or a stateless session without a function cache).
     ///
     /// # Errors
     ///
     /// Propagates I/O failures; does nothing (successfully) without a
     /// configured path or in stateless mode.
-    pub fn save_state(&self) -> io::Result<()> {
+    pub fn save_state(&self) -> io::Result<u64> {
         if let Some(path) = &self.config.state_path {
-            persist::save(
+            return persist::save(
                 path,
                 self.config.mode.is_stateful().then_some(&self.state),
                 self.config.function_cache.then_some(&self.fn_cache),
                 self.config.durability,
-            )?;
+            );
         }
-        Ok(())
+        Ok(0)
     }
 
     /// Drops all accumulated state (for experiments that need a cold start).

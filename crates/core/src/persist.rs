@@ -195,7 +195,9 @@ fn load_entry_bytes(
 
 /// Commits the given artifacts at `base` atomically: both files (or either
 /// alone, carrying the other forward) become visible in one manifest
-/// rename.
+/// rename. Returns the generation number of the committed manifest (`0`
+/// when there was nothing to save), so callers can stamp reports with
+/// exactly which state commit their results correspond to.
 ///
 /// # Errors
 ///
@@ -206,7 +208,7 @@ pub fn save(
     db: Option<&StateDb>,
     cache: Option<&FunctionCache>,
     durability: Durability,
-) -> io::Result<()> {
+) -> io::Result<u64> {
     let state_bytes = db.map(statefile::to_bytes);
     let cache_bytes = cache.map(FunctionCache::to_bytes);
     let mut files: Vec<(&str, &[u8])> = Vec::new();
@@ -217,10 +219,10 @@ pub fn save(
         files.push((CACHE_LOGICAL, b.as_slice()));
     }
     if files.is_empty() {
-        return Ok(());
+        return Ok(0);
     }
-    CommitDir::new(base).commit(&files, durability)?;
-    Ok(())
+    let manifest = CommitDir::new(base).commit(&files, durability)?;
+    Ok(manifest.generation)
 }
 
 /// Read-only state lookup for inspection commands (`minicc state`):

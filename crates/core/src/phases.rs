@@ -108,6 +108,11 @@ pub fn optimize<'env>(
     cache: Option<&'env FunctionCache>,
     pool: Option<&PoolScope<'env>>,
 ) -> OptimizeOutcome {
+    // The dormancy state is a tracked input of the optimize task
+    // (`state:m`); this is its actual read, noted for depcheck attribution
+    // in both modes — stateless builds consult the state to decide *not*
+    // to skip, which is still an observation of it.
+    sfcc_faultfs::note_access(&format!("state:{}", ir.name));
     // Function-cache lookup: swap cached optimized bodies in and mark them
     // so the pipeline skips them entirely. Lookups never mutate entries
     // (only counters and referenced bits), so running them concurrently —

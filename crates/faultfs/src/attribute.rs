@@ -1,0 +1,223 @@
+//! Task attribution for I/O and logical-resource accesses.
+//!
+//! The dependency-soundness checker (`minicc depcheck`) needs every file
+//! access and every logical-input read (a source file, the project
+//! manifest, a module's dormancy record) attributed to the *query task*
+//! that performed it, so it can diff actual accesses against the engine's
+//! declared dependencies. Two pieces live here:
+//!
+//! * a **thread-local task-context stack** ([`task_scope`]): the build
+//!   system pushes the active task's label around each task body, and the
+//!   work-stealing pool carries a cloneable snapshot ([`current_task`] /
+//!   [`TaskCtx::enter`]) across `spawn`, so work executed on a worker
+//!   thread is attributed to the task that spawned it — mirroring how
+//!   `sfcc_trace` propagates span contexts;
+//! * a **process-global access log** ([`record_accesses`] /
+//!   [`note_access`]): while a recording guard is alive, every noted
+//!   logical-resource access is appended as an [`AccessRecord`] tagged
+//!   with the calling thread's active task. The log is global (not
+//!   thread-local) precisely because pool workers access resources on
+//!   behalf of tasks; an install lock serializes concurrent recorders the
+//!   same way `sfcc_trace::install` does.
+//!
+//! When no recorder is installed, [`note_access`] is one relaxed atomic
+//! load — recording sites stay in the hot path unconditionally.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+thread_local! {
+    /// Stack of active task labels on this thread; the top attributes.
+    static TASK_STACK: RefCell<Vec<Arc<str>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Pushes `label` as the thread's active task until the guard drops.
+/// Nested scopes attribute to the innermost label.
+#[must_use = "the task context pops when the guard drops"]
+pub fn task_scope(label: impl Into<String>) -> TaskGuard {
+    let label: Arc<str> = Arc::from(label.into());
+    TASK_STACK.with(|s| s.borrow_mut().push(label));
+    TaskGuard { _priv: () }
+}
+
+/// Pops the task label pushed by [`task_scope`] on drop.
+#[derive(Debug)]
+pub struct TaskGuard {
+    _priv: (),
+}
+
+impl Drop for TaskGuard {
+    fn drop(&mut self) {
+        TASK_STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// The thread's active task label, if any (the innermost [`task_scope`]).
+pub fn active_task() -> Option<String> {
+    TASK_STACK.with(|s| s.borrow().last().map(|l| l.to_string()))
+}
+
+/// A cloneable snapshot of the calling thread's task context, for carrying
+/// attribution across thread boundaries (a pool `spawn`). Entering an empty
+/// context is free and changes nothing.
+#[derive(Debug, Clone)]
+pub struct TaskCtx(Option<Arc<str>>);
+
+/// Captures the calling thread's current task context.
+pub fn current_task() -> TaskCtx {
+    TaskCtx(TASK_STACK.with(|s| s.borrow().last().cloned()))
+}
+
+impl TaskCtx {
+    /// Makes this context the thread's active task until the guard drops.
+    #[must_use = "the task context pops when the guard drops"]
+    pub fn enter(&self) -> TaskCtxGuard {
+        match &self.0 {
+            Some(label) => {
+                TASK_STACK.with(|s| s.borrow_mut().push(Arc::clone(label)));
+                TaskCtxGuard { pushed: true }
+            }
+            None => TaskCtxGuard { pushed: false },
+        }
+    }
+}
+
+/// RAII guard restoring the previous task context; see [`TaskCtx::enter`].
+#[derive(Debug)]
+pub struct TaskCtxGuard {
+    pushed: bool,
+}
+
+impl Drop for TaskCtxGuard {
+    fn drop(&mut self) {
+        if self.pushed {
+            TASK_STACK.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+}
+
+/// One logical-resource access noted while a recorder was installed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessRecord {
+    /// The task active on the accessing thread, if any. Accesses outside
+    /// any task scope (driver/session-level work) carry `None`.
+    pub task: Option<String>,
+    /// The logical resource name (domain-defined, e.g. `src:lib`,
+    /// `manifest`, `state:lib`).
+    pub resource: String,
+}
+
+static ACCESS_ENABLED: AtomicBool = AtomicBool::new(false);
+static ACCESS_INSTALL: Mutex<()> = Mutex::new(());
+static ACCESS_LOG: Mutex<Vec<AccessRecord>> = Mutex::new(Vec::new());
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Installs the process-global access recorder. Holds a static install lock
+/// for the guard's lifetime, so concurrent recorders (parallel tests)
+/// serialize instead of mixing logs. Dropping the guard stops recording and
+/// clears the log.
+#[must_use = "recording stops when the guard drops"]
+pub fn record_accesses() -> AccessLogGuard {
+    let guard = ACCESS_INSTALL.lock().unwrap_or_else(|e| e.into_inner());
+    lock(&ACCESS_LOG).clear();
+    ACCESS_ENABLED.store(true, Ordering::SeqCst);
+    AccessLogGuard { _guard: guard }
+}
+
+/// Owner of the installed access recorder; see [`record_accesses`].
+pub struct AccessLogGuard {
+    _guard: MutexGuard<'static, ()>,
+}
+
+impl AccessLogGuard {
+    /// Takes the accesses recorded so far (recording stays active with an
+    /// empty log).
+    pub fn take(&self) -> Vec<AccessRecord> {
+        std::mem::take(&mut lock(&ACCESS_LOG))
+    }
+}
+
+impl Drop for AccessLogGuard {
+    fn drop(&mut self) {
+        ACCESS_ENABLED.store(false, Ordering::SeqCst);
+        lock(&ACCESS_LOG).clear();
+    }
+}
+
+/// Notes a logical-resource access, attributed to the calling thread's
+/// active task. One relaxed atomic load when no recorder is installed.
+#[inline]
+pub fn note_access(resource: &str) {
+    if !ACCESS_ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    lock(&ACCESS_LOG).push(AccessRecord {
+        task: active_task(),
+        resource: resource.to_string(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_scopes_nest_and_pop() {
+        assert_eq!(active_task(), None);
+        let outer = task_scope("outer");
+        assert_eq!(active_task().as_deref(), Some("outer"));
+        {
+            let _inner = task_scope("inner");
+            assert_eq!(active_task().as_deref(), Some("inner"));
+        }
+        assert_eq!(active_task().as_deref(), Some("outer"));
+        drop(outer);
+        assert_eq!(active_task(), None);
+    }
+
+    #[test]
+    fn ctx_carries_attribution_across_threads() {
+        let rec = record_accesses();
+        let ctx = {
+            let _scope = task_scope("optimize(lib)");
+            current_task()
+        };
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _enter = ctx.enter();
+                note_access("state:lib");
+            });
+        });
+        note_access("manifest"); // outside any task scope
+        let log = rec.take();
+        assert_eq!(
+            log,
+            vec![
+                AccessRecord {
+                    task: Some("optimize(lib)".into()),
+                    resource: "state:lib".into()
+                },
+                AccessRecord {
+                    task: None,
+                    resource: "manifest".into()
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn disabled_recording_is_inert() {
+        // The install lock guarantees no recorder is alive concurrently.
+        let _lock = ACCESS_INSTALL.lock().unwrap_or_else(|e| e.into_inner());
+        note_access("src:lib");
+        assert!(lock(&ACCESS_LOG).is_empty());
+    }
+}

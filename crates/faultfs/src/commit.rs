@@ -349,8 +349,8 @@ impl CommitDir {
     /// Scans the base directory for files that belong to this base's commit
     /// protocol but are referenced by nothing: abandoned temp files and
     /// generation files not named by the current manifest. The manifest
-    /// itself, quarantined `*.corrupt` files, and foreign files are never
-    /// reported.
+    /// itself, quarantined `*.corrupt`/`*.corrupt.<seq>` files, and foreign
+    /// files are never reported.
     pub fn orphans(&self, manifest: Option<&Manifest>) -> io::Result<Vec<PathBuf>> {
         let base_name = self.base_name();
         let manifest_name = format!("{base_name}.manifest");
@@ -361,7 +361,7 @@ impl CommitDir {
             if !name.starts_with(&base_name) {
                 continue;
             }
-            if name == base_name || name == manifest_name || name.ends_with(".corrupt") {
+            if name == base_name || name == manifest_name || inject::is_quarantine_name(&name) {
                 continue;
             }
             let tail = &name[base_name.len()..];
@@ -512,7 +512,10 @@ mod tests {
         let stale = dir.join(".sfcc-state.state.g9-999-0");
         let foreign = dir.join("unrelated.txt");
         let corrupt = dir.join(".sfcc-state.corrupt");
-        for p in [&tmp, &stale, &foreign, &corrupt] {
+        // A quarantined temp (repeat corruption → .corrupt.<seq> suffix)
+        // contains ".tmp." but must survive the sweep: it is evidence.
+        let quarantined_tmp = dir.join(".sfcc-state.manifest.tmp.999.1.corrupt.7");
+        for p in [&tmp, &stale, &foreign, &corrupt, &quarantined_tmp] {
             fs::write(p, b"x").unwrap();
         }
         let orphans = cd.orphans(Some(&m)).unwrap();
@@ -520,6 +523,7 @@ mod tests {
         assert!(orphans.contains(&stale));
         assert!(!orphans.contains(&foreign));
         assert!(!orphans.contains(&corrupt));
+        assert!(!orphans.contains(&quarantined_tmp));
         let live = cd.entry_path(m.entry("state").unwrap());
         assert!(!orphans.contains(&live));
         cleanup(&base);

@@ -121,6 +121,10 @@ pub struct OpRecord {
     pub kind: OpKind,
     /// The path it targeted.
     pub path: PathBuf,
+    /// The query task active when the operation ran (see
+    /// [`crate::task_scope`]), if any. Session-level I/O (state load/save,
+    /// report writes) carries `None`.
+    pub task: Option<String>,
 }
 
 struct TlState {
@@ -294,12 +298,16 @@ fn enter(kind: OpKind, path: &Path) -> io::Result<Action> {
             tl.renames += 1;
         }
         let renames = tl.renames;
-        if let Some(log) = tl.log.as_mut() {
-            log.push(OpRecord {
-                index: op,
-                kind,
-                path: path.to_path_buf(),
-            });
+        if tl.log.is_some() {
+            let task = crate::attribute::active_task();
+            if let Some(log) = tl.log.as_mut() {
+                log.push(OpRecord {
+                    index: op,
+                    kind,
+                    path: path.to_path_buf(),
+                    task,
+                });
+            }
         }
         if tl.plan.is_none() {
             return Ok(Action::Proceed);
@@ -455,13 +463,34 @@ pub fn atomic_write(path: &Path, bytes: &[u8], durability: Durability) -> io::Re
 /// Moves a detected-corrupt file aside to `<path>.corrupt`, best-effort and
 /// *outside* the injector (quarantine is part of recovery, not a durable
 /// write; it must not consume operation indices or fail under a crash
-/// plan). Returns the quarantine path if the rename succeeded.
+/// plan). If `<path>.corrupt` already holds earlier forensic debris, a
+/// unique `<path>.corrupt.<seq>` destination is chosen instead — a repeat
+/// corruption of the same logical file must never destroy the evidence of
+/// the previous one. Returns the quarantine path if the rename succeeded.
 pub fn quarantine(path: &Path) -> Option<PathBuf> {
-    let mut name = path.file_name()?.to_string_lossy().into_owned();
-    name.push_str(".corrupt");
-    let dest = path.with_file_name(name);
+    let name = path.file_name()?.to_string_lossy().into_owned();
+    let mut dest = path.with_file_name(format!("{name}.corrupt"));
+    while dest.exists() {
+        dest = path.with_file_name(format!("{name}.corrupt.{}", unique_seq()));
+    }
     fs::rename(path, &dest).ok()?;
     Some(dest)
+}
+
+/// Whether `name` is a quarantine destination produced by [`quarantine`]:
+/// `<file>.corrupt` or `<file>.corrupt.<seq>`. Garbage collectors (`fsck`
+/// orphan sweeps) must skip these — they are forensic evidence, not debris.
+pub fn is_quarantine_name(name: &str) -> bool {
+    match name.rsplit_once(".corrupt") {
+        Some((prefix, tail)) => {
+            !prefix.is_empty()
+                && (tail.is_empty()
+                    || tail.strip_prefix('.').is_some_and(|seq| {
+                        !seq.is_empty() && seq.bytes().all(|b| b.is_ascii_digit())
+                    }))
+        }
+        None => false,
+    }
 }
 
 #[cfg(test)]
@@ -615,6 +644,59 @@ mod tests {
         assert!(!p.exists());
         assert_eq!(dest, dir.join("state.corrupt"));
         assert_eq!(fs::read(&dest).unwrap(), b"garbage");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn repeated_quarantine_keeps_all_evidence() {
+        let dir = tmpdir("quarantine-repeat");
+        let p = dir.join("state");
+        fs::write(&p, b"first corruption").unwrap();
+        let first = quarantine(&p).unwrap();
+        fs::write(&p, b"second corruption").unwrap();
+        let second = quarantine(&p).unwrap();
+        fs::write(&p, b"third corruption").unwrap();
+        let third = quarantine(&p).unwrap();
+        assert_eq!(first, dir.join("state.corrupt"));
+        assert_ne!(second, first);
+        assert_ne!(third, second);
+        assert_eq!(fs::read(&first).unwrap(), b"first corruption");
+        assert_eq!(fs::read(&second).unwrap(), b"second corruption");
+        assert_eq!(fs::read(&third).unwrap(), b"third corruption");
+        for dest in [&first, &second, &third] {
+            let name = dest.file_name().unwrap().to_string_lossy();
+            assert!(is_quarantine_name(&name), "{name}");
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quarantine_name_classification() {
+        assert!(is_quarantine_name("state.corrupt"));
+        assert!(is_quarantine_name("state.corrupt.7"));
+        assert!(is_quarantine_name(
+            ".sfcc-state.manifest.tmp.12.3.corrupt.41"
+        ));
+        assert!(!is_quarantine_name("state"));
+        assert!(!is_quarantine_name("state.corrupted"));
+        assert!(!is_quarantine_name("state.corrupt.bak"));
+        assert!(!is_quarantine_name(".corrupt"));
+    }
+
+    #[test]
+    fn op_records_carry_active_task() {
+        let dir = tmpdir("op-task");
+        let p = dir.join("a");
+        let rec = record();
+        write(&p, b"outside").unwrap();
+        {
+            let _task = crate::task_scope("link");
+            write(&p, b"inside").unwrap();
+        }
+        let log = rec.take();
+        assert_eq!(log[0].task, None);
+        assert_eq!(log[1].task.as_deref(), Some("link"));
+        drop(rec);
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -21,6 +21,13 @@
 //!   fully-new — there is exactly one commit point — which is what lets the
 //!   crash-consistency matrix assert byte-identical recovery.
 //!
+//! A third piece supports the dependency-soundness checker: **task
+//! attribution** ([`task_scope`], [`current_task`], [`note_access`],
+//! [`record_accesses`]). Recorded operations and noted logical-resource
+//! accesses are tagged with the query task active on the calling thread, so
+//! `minicc depcheck` can diff a build's actual accesses against the query
+//! engine's declared dependencies with task-level provenance.
+//!
 //! Temp and generation file names embed the pid and a process-global
 //! counter, so concurrent builders sharing a state directory can never
 //! interleave torn writes on one temp file.
@@ -46,14 +53,20 @@
 //! # std::fs::remove_dir_all(&dir).unwrap();
 //! ```
 
+pub mod attribute;
 pub mod commit;
 pub mod inject;
 pub mod plan;
 
+pub use attribute::{
+    active_task, current_task, note_access, record_accesses, task_scope, AccessLogGuard,
+    AccessRecord, TaskCtx, TaskCtxGuard, TaskGuard,
+};
 pub use commit::{CommitDir, EntryError, Manifest, ManifestEntry, ManifestError};
 pub use inject::{
-    atomic_write, install, is_injected, op_counts, quarantine, read, record, remove_file, rename,
-    sync_dir, sync_file, unique_seq, write, FaultGuard, OpCounts, OpKind, OpRecord, RecordGuard,
+    atomic_write, install, is_injected, is_quarantine_name, op_counts, quarantine, read, record,
+    remove_file, rename, sync_dir, sync_file, unique_seq, write, FaultGuard, OpCounts, OpKind,
+    OpRecord, RecordGuard,
 };
 pub use plan::{Fault, FaultPlan, PlanError};
 

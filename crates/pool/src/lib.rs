@@ -124,13 +124,18 @@ impl<'env> PoolScope<'env> {
     /// The spawner's trace context travels with the task: whichever worker
     /// eventually runs (or steals) it re-enters that context first, so spans
     /// recorded inside the task nest under the spawn site's span rather
-    /// than under whatever the worker happened to be doing.
+    /// than under whatever the worker happened to be doing. The spawner's
+    /// faultfs task context travels the same way, so resource accesses made
+    /// on a worker are attributed to the query task that spawned the work
+    /// (the depcheck attribution model).
     pub fn spawn(&self, task: impl FnOnce(&PoolScope<'env>) + Send + 'env) {
         self.spawned.fetch_add(1, Ordering::Relaxed);
         self.pending.fetch_add(1, Ordering::SeqCst);
         let ctx = sfcc_trace::current_ctx();
+        let task_ctx = sfcc_faultfs::current_task();
         let task: Task<'env> = Box::new(move |scope: &PoolScope<'env>| {
             let _trace = ctx.enter();
+            let _task_ctx = task_ctx.enter();
             task(scope);
         });
         match WORKER.get() {
@@ -433,6 +438,30 @@ mod tests {
             pool.help_until(|| done.load(Ordering::SeqCst) == 6);
         });
         assert_eq!(done.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn spawn_carries_faultfs_task_context() {
+        // A worker (or the caller, at jobs=1) running a spawned closure must
+        // see the spawner's active task, not its own idle state.
+        for jobs in [1, 4] {
+            let seen: Mutex<Vec<Option<String>>> = Mutex::new(Vec::new());
+            scope(jobs, |pool| {
+                let _scope = sfcc_faultfs::task_scope("optimize(lib)");
+                for _ in 0..4 {
+                    let seen = &seen;
+                    pool.spawn(move |_| {
+                        seen.lock().unwrap().push(sfcc_faultfs::active_task());
+                    });
+                }
+            });
+            let seen = seen.into_inner().unwrap();
+            assert_eq!(seen.len(), 4);
+            assert!(
+                seen.iter().all(|t| t.as_deref() == Some("optimize(lib)")),
+                "jobs={jobs}: {seen:?}"
+            );
+        }
     }
 
     #[test]

@@ -537,6 +537,30 @@ where
     pub fn executed_keys(&self) -> &[K] {
         &self.executed
     }
+
+    /// The dependency trace recorded for a memoized task, if present — the
+    /// engine's *declared* view of what the task read, in declaration order.
+    /// This is what the depcheck layer diffs against actual accesses.
+    pub fn deps_of(&self, key: &K) -> Option<&[Dep<K>]> {
+        self.nodes.get(key).map(|node| node.deps.as_slice())
+    }
+
+    /// Keys validated this session *without* executing — demanded cache
+    /// hits (`verified`) and tasks the wholesale invalidation walk judged
+    /// current (`clean`). For each, the recorded input stamps were judged
+    /// unchanged — a depcheck staleness audit re-derives those stamps from
+    /// the raw inputs and flags any divergence as a suppressed
+    /// invalidation.
+    pub fn verified_hit_keys(&self) -> Vec<K> {
+        self.nodes
+            .iter()
+            .filter(|(key, node)| {
+                (node.verified == self.session || node.clean == self.session)
+                    && !self.executed.contains(key)
+            })
+            .map(|(key, _)| key.clone())
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -655,6 +679,40 @@ mod tests {
             "no-op session must not re-execute"
         );
         assert_eq!(engine.session_stats(), SessionStats { hits: 1, misses: 0 });
+    }
+
+    #[test]
+    fn deps_of_and_verified_hits_expose_declared_view() {
+        let mut spec = Calc::new(&[("a", 2), ("b", 3)]);
+        let mut engine = Engine::new();
+        session(&mut engine, &mut spec);
+        engine.require(&mut spec, &Task::Sum).unwrap();
+        let deps = engine.deps_of(&Task::Sum).unwrap();
+        assert_eq!(
+            deps,
+            &[
+                Dep::Input {
+                    name: "roster".into(),
+                    stamp: 2
+                },
+                Dep::Task {
+                    key: Task::Get("a"),
+                    fingerprint: 2
+                },
+                Dep::Task {
+                    key: Task::Get("b"),
+                    fingerprint: 3
+                },
+            ]
+        );
+        assert!(engine.deps_of(&Task::Abs("a")).is_none());
+        assert!(engine.verified_hit_keys().is_empty(), "all executed");
+
+        session(&mut engine, &mut spec);
+        engine.require(&mut spec, &Task::Sum).unwrap();
+        let mut hits = engine.verified_hit_keys();
+        hits.sort_by_key(|k| format!("{k:?}"));
+        assert_eq!(hits, vec![Task::Get("a"), Task::Get("b"), Task::Sum]);
     }
 
     #[test]

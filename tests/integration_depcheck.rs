@@ -1,0 +1,310 @@
+//! Dependency-soundness matrix for `depcheck`.
+//!
+//! The invariant under test: **the incremental engine's declared
+//! dependencies and the build's actual resource accesses agree, and any
+//! disagreement is flagged before the byte-identity oracle can tell the
+//! difference**. Clean builds — sequential, parallel, stateful, and the
+//! committed demo project — must produce zero findings; every seeded lie
+//! (`DepMutations`) must produce exactly the expected finding with task and
+//! resource provenance; a frozen input stamp must surface as a stale serve
+//! on the very build whose output went wrong.
+
+use sfcc::{Compiler, Config};
+use sfcc_backend::{run, VmOptions};
+use sfcc_buildsys::{
+    validate_report_json, Builder, DepFindingKind, DepMutations, DepcheckReport, Project,
+};
+
+fn project(files: &[(&str, &str)]) -> Project {
+    let mut p = Project::new();
+    for (name, src) in files {
+        p.set_file((*name).to_string(), (*src).to_string());
+    }
+    p
+}
+
+/// Three modules exercising every task kind: per-module imports, interface,
+/// frontend, lower, optimize, codegen, plus the singleton graph and link.
+fn project_v1() -> Project {
+    project(&[
+        ("base", "fn g(x: int) -> int { return x * 2; }"),
+        (
+            "lib",
+            "import base;\nfn f(x: int) -> int { return base::g(x) + 1; }",
+        ),
+        (
+            "main",
+            "import lib;\nfn main(n: int) -> int { return lib::f(n); }",
+        ),
+    ])
+}
+
+/// `project_v1` with `base` edited — main.main(21) becomes 64 instead of 43.
+fn project_v2() -> Project {
+    project(&[
+        ("base", "fn g(x: int) -> int { return x * 3; }"),
+        (
+            "lib",
+            "import base;\nfn f(x: int) -> int { return base::g(x) + 1; }",
+        ),
+        (
+            "main",
+            "import lib;\nfn main(n: int) -> int { return lib::f(n); }",
+        ),
+    ])
+}
+
+/// One cold depcheck-instrumented build of `project_v1` with `mutations`
+/// injected, returning its analysis.
+fn depcheck_build(mutations: DepMutations) -> DepcheckReport {
+    let mut builder = Builder::new(Compiler::new(Config::stateless()))
+        .with_depcheck()
+        .with_dep_mutations(mutations);
+    let report = builder.build(&project_v1()).unwrap();
+    report.depcheck.expect("depcheck was enabled")
+}
+
+#[test]
+fn quick_clean_build_has_zero_findings_cold_and_warm() {
+    let mut builder = Builder::new(Compiler::new(Config::stateless())).with_depcheck();
+    let p = project_v1();
+
+    // Cold: every task kind executes and its declared inputs must match its
+    // accesses exactly.
+    let cold = builder.build(&p).unwrap().depcheck.unwrap();
+    assert!(
+        cold.is_clean(),
+        "cold build must be clean:\n{}",
+        cold.render()
+    );
+    assert!(cold.tasks_checked > 0, "the audit must have seen tasks");
+    assert!(cold.accesses > 0, "the audit must have seen accesses");
+
+    // Warm no-op: nothing executes; every store-served task passes the
+    // stamp audit.
+    let warm = builder.build(&p).unwrap().depcheck.unwrap();
+    assert!(
+        warm.is_clean(),
+        "warm build must be clean:\n{}",
+        warm.render()
+    );
+    assert!(warm.tasks_checked > 0, "served tasks must still be audited");
+}
+
+#[test]
+fn clean_parallel_stateful_build_has_zero_findings() {
+    // Task attribution must survive the work-stealing pool and the stateful
+    // skip/cache machinery: same zero-findings bar with jobs=4, dormancy
+    // skipping, and the function cache all on.
+    let config = Config::stateful().with_function_cache();
+    let mut builder = Builder::new(Compiler::new(config))
+        .with_depcheck()
+        .with_jobs(4);
+    let p = project_v1();
+    for label in ["cold", "warm"] {
+        let dc = builder.build(&p).unwrap().depcheck.unwrap();
+        assert!(
+            dc.is_clean(),
+            "{label} parallel stateful build must be clean:\n{}",
+            dc.render()
+        );
+    }
+}
+
+#[test]
+fn committed_demo_project_depchecks_clean() {
+    // The acceptance bar for `minicc depcheck demo`, as a test: cold build
+    // plus no-op rebuild of the hand-written demo project, zero findings.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../demo");
+    let p = Project::from_dir(&dir).expect("demo directory exists");
+    let mut builder = Builder::new(Compiler::new(Config::stateless())).with_depcheck();
+    let mut merged = builder.build(&p).unwrap().depcheck.unwrap();
+    merged.merge(builder.build(&p).unwrap().depcheck.unwrap());
+    assert!(
+        merged.is_clean(),
+        "demo project must depcheck clean:\n{}",
+        merged.render()
+    );
+}
+
+#[test]
+fn quick_seeded_missing_dep_is_caught_for_every_task_kind() {
+    // Input-carrying tasks lie by *dropping* a declaration they need...
+    let dropped = [
+        ("imports(base)", "src:base"),
+        ("interface(base)", "src:base"),
+        ("frontend(base)", "src:base"),
+        ("graph", "manifest"),
+        ("optimize(base)", "state:base"),
+    ];
+    for (task, input) in dropped {
+        let dc = depcheck_build(DepMutations::new().drop_dep(task, input));
+        assert_eq!(
+            dc.findings.len(),
+            1,
+            "dropping {input} from {task} must yield exactly one finding:\n{}",
+            dc.render()
+        );
+        let f = &dc.findings[0];
+        assert_eq!(f.kind, DepFindingKind::MissingDep, "{task}");
+        assert_eq!(f.task, task);
+        assert_eq!(f.resource, input);
+    }
+
+    // ...input-free tasks (lower, codegen, link declare only Task deps) lie
+    // by *accessing* a resource they never declare.
+    let ghosts = [
+        ("lower(base)", "ghost:ir"),
+        ("codegen(base)", "ghost:obj"),
+        ("link", "ghost:image"),
+    ];
+    for (task, resource) in ghosts {
+        let dc = depcheck_build(DepMutations::new().phantom_access(task, resource));
+        assert_eq!(
+            dc.findings.len(),
+            1,
+            "phantom access {resource} by {task} must yield exactly one finding:\n{}",
+            dc.render()
+        );
+        let f = &dc.findings[0];
+        assert_eq!(f.kind, DepFindingKind::MissingDep, "{task}");
+        assert_eq!(f.task, task);
+        assert_eq!(f.resource, resource);
+    }
+}
+
+#[test]
+fn quick_seeded_redundant_dep_is_caught_for_every_task_kind() {
+    let tasks = [
+        "imports(base)",
+        "interface(base)",
+        "frontend(base)",
+        "graph",
+        "lower(base)",
+        "optimize(base)",
+        "codegen(base)",
+        "link",
+    ];
+    for task in tasks {
+        let dc = depcheck_build(DepMutations::new().phantom_dep(task, "phantom:seeded"));
+        assert_eq!(
+            dc.findings.len(),
+            1,
+            "phantom dep on {task} must yield exactly one finding:\n{}",
+            dc.render()
+        );
+        let f = &dc.findings[0];
+        assert_eq!(f.kind, DepFindingKind::RedundantDep, "{task}");
+        assert_eq!(f.task, task);
+        assert_eq!(f.resource, "phantom:seeded");
+    }
+}
+
+#[test]
+fn frozen_stamp_surfaces_as_stale_serve_on_the_wrong_build() {
+    // A frozen input stamp is the canonical silent wrong build: the edit to
+    // `base` never invalidates its dependents, so the store serves the old
+    // program. Depcheck must flag the stale serve on exactly the build whose
+    // bytes went wrong.
+    let mut lying = Builder::new(Compiler::new(Config::stateless()))
+        .with_depcheck()
+        .with_dep_mutations(DepMutations::new().freeze_stamp("src:base"));
+    let mut honest = Builder::new(Compiler::new(Config::stateless()));
+
+    // Build 1: the frozen stamp equals the raw stamp, so nothing is stale
+    // yet and the audit is clean.
+    let first = lying.build(&project_v1()).unwrap();
+    assert!(first.depcheck.unwrap().is_clean());
+
+    // Build 2 after the edit: invalidation is suppressed.
+    let stale = lying.build(&project_v2()).unwrap();
+    let dc = stale.depcheck.unwrap();
+    assert!(
+        dc.count(DepFindingKind::StaleServe) > 0,
+        "suppressed invalidation must surface as stale serves:\n{}",
+        dc.render()
+    );
+    assert!(
+        dc.findings
+            .iter()
+            .all(|f| f.kind == DepFindingKind::StaleServe && f.resource == "src:base"),
+        "every finding must point at the frozen input:\n{}",
+        dc.render()
+    );
+
+    // The flagged build really is wrong: it still computes v1's answer
+    // while an honest build of v2 computes the new one.
+    let lied = run(&stale.program, "main.main", &[21], VmOptions::default()).unwrap();
+    assert_eq!(
+        lied.return_value,
+        Some(43),
+        "the stale serve kept v1's output"
+    );
+    let truth = honest.build(&project_v2()).unwrap();
+    let out = run(&truth.program, "main.main", &[21], VmOptions::default()).unwrap();
+    assert_eq!(out.return_value, Some(64));
+}
+
+#[test]
+fn quick_depcheck_counters_always_present_in_report_json() {
+    // Satellite regression: the depcheck block must exist — zeroed, not
+    // absent — on reports from builds that never enabled the audit, so
+    // `validate_report_json` holds on every exit path.
+    let mut plain = Builder::new(Compiler::new(Config::stateless()));
+    let report = plain.build(&project_v1()).unwrap();
+    let json = report.to_json();
+    validate_report_json(&json).expect("plain report must match the schema");
+    assert!(
+        json.contains("\"depcheck\":{\"enabled\":false,\"missing\":0,\"redundant\":0,"),
+        "{json}"
+    );
+
+    // And with the audit on plus seeded findings, the same schema holds and
+    // the findings serialize with full provenance.
+    let mut audited = Builder::new(Compiler::new(Config::stateless()))
+        .with_depcheck()
+        .with_dep_mutations(DepMutations::new().drop_dep("graph", "manifest"));
+    let report = audited.build(&project_v1()).unwrap();
+    let json = report.to_json();
+    validate_report_json(&json).expect("audited report must match the schema");
+    assert!(
+        json.contains("\"depcheck\":{\"enabled\":true,\"missing\":1,"),
+        "{json}"
+    );
+    assert!(
+        json.contains("{\"kind\":\"missing-dep\",\"task\":\"graph\",\"resource\":\"manifest\","),
+        "{json}"
+    );
+}
+
+#[test]
+fn recovery_build_report_json_still_validates() {
+    // The other error path of satellite 3: a build that recovers from
+    // quarantined state must still emit schema-valid JSON with both the
+    // recovery counters and the (zeroed) depcheck block present.
+    let dir = std::env::temp_dir().join(format!(
+        "sfcc-depcheck-recovery-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let state = dir.join(".sfcc-state");
+    std::fs::write(&state, b"garbage, not a state file").unwrap();
+
+    let config = Config::stateful().with_state_path(&state);
+    let mut builder = Builder::new(Compiler::new(config));
+    let report = builder.build(&project_v1()).unwrap();
+    assert!(
+        report.recovered_files > 0,
+        "the garbage state must quarantine"
+    );
+    let json = report.to_json();
+    validate_report_json(&json).expect("recovery report must match the schema");
+    assert!(
+        json.contains("\"recovery\":{\"recovered_files\":"),
+        "{json}"
+    );
+    assert!(json.contains("\"depcheck\":{\"enabled\":false,"), "{json}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
