@@ -8,7 +8,8 @@
 #                  of the observability suite (trace well-formedness,
 #                  report schema, metrics consistency, CLI contracts), and
 #                  of the dependency-soundness suite (clean-build audit,
-#                  per-task-kind seeded lies, E15 fuzz matrix), plus a
+#                  per-task-kind seeded lies, E15 fuzz matrix), the
+#                  function-granularity suite and its E16 gate, plus a
 #                  traced demo build validated with `trace-check` and a
 #                  depcheck run over the demo project
 set -euo pipefail
@@ -44,6 +45,8 @@ if [[ "${1:-}" == "--quick" ]]; then
     cargo test -q -p sfcc --test integration_depcheck quick_
     cargo test -q -p sfcc-buildsys --test cli quick_
     cargo test -q -p sfcc-bench --lib quick_every_mutation_is_caught_before_divergence
+    cargo test -q -p sfcc --test integration_fngrain
+    cargo test -q -p sfcc-bench --lib quick_one_function_edit_beats_module_grain_five_fold
     trace_smoke
     depcheck_smoke
     exit 0
@@ -56,10 +59,12 @@ cargo fmt --check
 trace_smoke
 depcheck_smoke
 # Smoke-run the parallel-scaling, observability-overhead, and
-# dependency-soundness sweeps (write BENCH_parallel.json /
-# BENCH_trace.json / BENCH_depcheck.json).
+# dependency-soundness sweeps, plus the function-granularity comparison
+# (write BENCH_parallel.json / BENCH_trace.json / BENCH_depcheck.json /
+# BENCH_fngrain.json).
 cargo run -q -p sfcc-bench --release --bin exp_parallel_scaling -- --quick
 cargo run -q -p sfcc-bench --release --bin exp_trace_overhead -- --quick
 cargo run -q -p sfcc-bench --release --bin exp_depcheck_fuzz -- --quick
+cargo run -q -p sfcc-bench --release --bin exp_fngrain -- --quick
 # Crash-consistency and golden-trace sweeps run inside `cargo test` above;
 # `--quick` reruns just the fast subsets for tight edit loops.

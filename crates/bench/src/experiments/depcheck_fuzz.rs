@@ -105,10 +105,10 @@ pub fn depcheck_fuzz(scale: Scale) -> (String, String) {
     type Mutate = dyn Fn(&[String]) -> DepMutations;
     let catalog: Vec<(&'static str, Box<Mutate>)> = vec![
         (
-            "drop-dep frontend/src",
+            "drop-dep parse/src",
             Box::new(|names: &[String]| {
                 DepMutations::new().drop_dep(
-                    &format!("frontend({})", names[0]),
+                    &format!("parse({})", names[0]),
                     &format!("src:{}", names[0]),
                 )
             }),

@@ -17,10 +17,12 @@
 //! | E13 | Extension: parallel optimize scaling | [`parallel::parallel_scaling`] |
 //! | E14 | Extension: observability overhead | [`observe::trace_overhead`] |
 //! | E15 | Extension: dependency-soundness fuzzing | [`depcheck_fuzz::depcheck_fuzz`] |
+//! | E16 | Extension: function-granularity dependencies | [`fngrain::fngrain`] |
 
 pub mod depcheck_fuzz;
 pub mod end_to_end;
 pub mod extension;
+pub mod fngrain;
 pub mod observe;
 pub mod parallel;
 pub mod profile;
@@ -89,6 +91,10 @@ pub fn run_all(scale: crate::Scale) -> String {
         (
             "E15 — extension: dependency-soundness fuzzing (depcheck)",
             depcheck_fuzz::depcheck_fuzz(scale).0,
+        ),
+        (
+            "E16 — extension: function-granularity cross-module dependencies",
+            fngrain::fngrain(scale).0,
         ),
     ];
     let mut out = String::new();

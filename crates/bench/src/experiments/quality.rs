@@ -219,8 +219,11 @@ pub fn granularity_ablation(scale: Scale) -> String {
     ));
     out.push_str(
         "shape check: module-grained skipping saves little (one active\n\
-         function in a file forces every pass to run for the whole file);\n\
-         function granularity is where the paper's savings come from.\n",
+         function in a file forces every pass to run for the whole file) —\n\
+         it can even cost *more* than the baseline builder, whose\n\
+         function-grained task graph already avoids re-running unedited\n\
+         functions; function granularity is where the paper's savings\n\
+         come from.\n",
     );
     out
 }
@@ -338,9 +341,13 @@ mod tests {
             costs[2] <= costs[1],
             "function grain should skip at least as much: {out}"
         );
+        // The builder's baseline is itself function-grained now (unedited
+        // functions never re-enter the pipeline), so the coarse
+        // module-grain driver — which re-runs whole changed files — may
+        // cost more than the baseline; fine grain must beat both.
         assert!(
-            costs[1] <= costs[0],
-            "module grain should not add work: {out}"
+            costs[2] <= costs[0],
+            "function grain should not add work over the baseline: {out}"
         );
     }
 }

@@ -371,6 +371,13 @@ fn cmd_build(args: &[String]) -> Result<ExitCode, String> {
         report.query.hits,
         report.query.misses,
     );
+    println!(
+        "fn-grain: {} signature pin(s) held, {} re-extracted; {} function pipeline task(s) ran, {} saved by cutoff",
+        report.fngrain.signature_hits,
+        report.fngrain.signature_misses,
+        report.fngrain.fn_tasks_executed,
+        report.fngrain.cutoff_saved,
+    );
     println!("wrote {}", out.display());
     Ok(ExitCode::SUCCESS)
 }

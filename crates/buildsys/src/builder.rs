@@ -5,22 +5,30 @@
 //! Each [`Builder::build`] call:
 //!
 //! 1. opens an engine session, which re-stamps every tracked input (source
-//!    files, the module manifest, dormancy state) and invalidates exactly
-//!    the tasks downstream of a changed stamp;
+//!    files, the module manifest, per-function dormancy state) and
+//!    invalidates exactly the tasks downstream of a changed stamp;
 //! 2. demands the [`BuildTask::Graph`] task (import extraction, cycle and
 //!    missing-import diagnostics, wave scheduling);
-//! 3. walks the wave schedule: modules whose `frontend` task fails
-//!    validation are pre-compiled in parallel against an immutable compiler
-//!    snapshot (when [`Builder::with_jobs`] allows), then each module's
-//!    `codegen` task is demanded in order — hitting the store wherever an
-//!    output fingerprint proves nothing changed (early cutoff);
+//! 3. walks the wave schedule at *function* granularity: each module's
+//!    roster comes from its `modcheck` task, each function's `optimizefn`
+//!    task is probed for staleness, and the stale functions' union call
+//!    closure is optimized as one restricted batch per module on a shared
+//!    worker pool — then each module's `codegen` task is demanded, hitting
+//!    the store wherever an output fingerprint proves nothing changed
+//!    (early cutoff);
 //! 4. demands [`BuildTask::Link`], which reuses the memoized program when
 //!    no object changed.
 //!
-//! The interface-hash staleness rule of the previous builder is now an
-//! emergent property of the task taxonomy (see [`crate::tasks`]): a
-//! body-only edit changes no `interface(m)` fingerprint, so dependents'
-//! tasks validate instead of re-running.
+//! The old interface-hash staleness cliff is gone: cross-module dependencies
+//! attach to per-function `signature(q::g)` fingerprints recorded by the
+//! `checkfn` tasks that actually resolved them (see [`crate::tasks`]), so a
+//! signature edit re-demands only the functions that call it, and a body
+//! edit re-runs exactly one function's pipeline.
+//!
+//! Skip decisions during a build read a state snapshot *frozen* at session
+//! start ([`Compiler::freeze_state`]): per-function trace ingestion mutates
+//! the live database mid-session, and freezing keeps every function's skip
+//! decision — and therefore every byte — independent of demand order.
 //!
 //! The compiler session's dormancy state persists across builds (that is
 //! the paper's point); [`Builder::clear_cache`] drops only the *query
@@ -30,16 +38,17 @@
 use crate::depcheck::{self, DepMutations, DepcheckReport};
 use crate::graph::GraphError;
 use crate::project::Project;
-use crate::report::{BuildReport, ModuleReport, QueryStats};
-use crate::tasks::{BuildSpec, BuildTask};
+use crate::report::{BuildReport, FngrainStats, ModuleReport, QueryStats};
+use crate::tasks::{BuildSpec, BuildTask, WaveBatch};
 use sfcc::{CompileError, CompileOutput, Compiler};
 use sfcc_backend::LinkError;
-use sfcc_frontend::ModuleEnv;
+use sfcc_ir::{Function, Op};
 use sfcc_passes::{PassOutcome, PipelineTrace};
 use sfcc_query::{Engine, QueryError};
 use sfcc_trace::{ArgValue, MetricsSnapshot, Registry, SpanId};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::tasks::BuildValue;
@@ -198,7 +207,18 @@ impl Builder {
     /// for the first module that fails to compile, [`BuildError::Link`] if
     /// the final link fails.
     pub fn build(&mut self, project: &Project) -> Result<BuildReport, BuildError> {
+        // Freeze the dormancy snapshot skip decisions read for the whole
+        // session; per-function ingestion writes the live database. Thawed
+        // on every exit so direct compiles between builds see live state.
+        self.compiler.freeze_state();
+        let result = self.build_inner(project);
+        self.compiler.thaw_state();
+        result
+    }
+
+    fn build_inner(&mut self, project: &Project) -> Result<BuildReport, BuildError> {
         let start = Instant::now();
+        let snap_before = sfcc_passes::snapshot_stats();
         let trace_handle = self.tracing.then(sfcc_trace::install);
         // Depcheck instrumentation: the access log captures note_access
         // calls from every thread (task attribution rides across pool
@@ -230,44 +250,86 @@ impl Builder {
             .map_err(seal)?
             .expect_graph();
 
+        // Definition-order function rosters, per module, filled in wave
+        // order; drives codegen assembly, report assembly, and end-of-build
+        // garbage collection of per-function tasks and state records.
+        let mut rosters: HashMap<String, Vec<String>> = HashMap::new();
+
         let mut wave_ids: Vec<SpanId> = Vec::with_capacity(graph.waves().len());
         for (wave_idx, wave) in graph.waves().iter().enumerate() {
             let wave_span = sfcc_trace::span("wave", format!("wave {wave_idx}"), wave_idx as u64);
             wave_ids.push(wave_span.id());
-            // Plan the wave: modules whose frontend task fails validation
-            // will certainly execute, so they are worth pre-compiling in
-            // parallel (they are mutually independent by construction).
-            let mut stale: Vec<&String> = Vec::new();
+            // Plan the wave at function grain: demand each module's roster,
+            // probe each function's optimizefn for staleness, and assemble
+            // one restricted batch per module from the stale functions'
+            // union call closure. Probing validates (and where needed
+            // executes) the cheap frontend chain — parse, fnast, signature,
+            // checkfn, lowerfn — whose fingerprints decide how far each
+            // edit's blast radius really extends.
+            let mut batches: Vec<WaveBatch> = Vec::new();
             for name in wave {
-                let fresh = self
-                    .engine
-                    .up_to_date(&mut spec, &BuildTask::Frontend(name.clone()))
+                self.engine
+                    .require(&mut spec, &BuildTask::Interface(name.clone()))
                     .map_err(seal)?;
-                if !fresh {
-                    stale.push(name);
-                }
-            }
-            // Even a single stale module is worth preparing: its functions
-            // fan out across the pool's workers.
-            if self.jobs > 1 && !stale.is_empty() {
-                let mut units = Vec::with_capacity(stale.len());
-                for name in &stale {
-                    let mut env = ModuleEnv::new();
-                    for dep in graph.imports_of(name) {
-                        let interface = self
-                            .engine
-                            .require(&mut spec, &BuildTask::Interface(dep.clone()))
-                            .map_err(seal)?
-                            .expect_interface();
-                        env.insert(dep.clone(), (*interface).clone());
+                let modcheck = self
+                    .engine
+                    .require(&mut spec, &BuildTask::ModCheck(name.clone()))
+                    .map_err(seal)?
+                    .expect_modcheck();
+                rosters.insert(name.clone(), modcheck.roster.clone());
+                let mut stale: Vec<String> = Vec::new();
+                for f in &modcheck.roster {
+                    let fresh = self
+                        .engine
+                        .up_to_date(&mut spec, &BuildTask::OptimizeFn(name.clone(), f.clone()))
+                        .map_err(seal)?;
+                    if !fresh {
+                        stale.push(f.clone());
                     }
-                    let Some(source) = project.file(name) else {
-                        continue;
-                    };
-                    units.push(((*name).clone(), source.to_string(), env));
                 }
-                spec.prepare_wave(&units);
+                if stale.is_empty() {
+                    continue;
+                }
+                // Union call closure of the stale set from memoized lowerfn
+                // values, sorted by name (a BTreeMap) so the batch module is
+                // identical for every demand order and --jobs value.
+                let mut closure: BTreeMap<String, Arc<Function>> = BTreeMap::new();
+                let mut queue = stale.clone();
+                while let Some(g) = queue.pop() {
+                    if closure.contains_key(&g) {
+                        continue;
+                    }
+                    let func = self
+                        .engine
+                        .require(&mut spec, &BuildTask::LowerFn(name.clone(), g.clone()))
+                        .map_err(seal)?
+                        .expect_lowerfn();
+                    let prefix = format!("{name}.");
+                    for (_, iid) in func.iter_insts() {
+                        if let Op::Call(target) = &func.inst(iid).op {
+                            if let Some(local) = target.strip_prefix(&prefix) {
+                                if !closure.contains_key(local) {
+                                    queue.push(local.to_string());
+                                }
+                            }
+                        }
+                    }
+                    closure.insert(g, func);
+                }
+                let mut ir = sfcc_ir::Module::new(name.clone());
+                for func in closure.values() {
+                    ir.functions.push((**func).clone());
+                }
+                batches.push(WaveBatch {
+                    module: name.clone(),
+                    ir,
+                    stale,
+                });
             }
+            // One restricted run per module with stale functions — on the
+            // shared pool when --jobs allows, sequentially otherwise; the
+            // same batches either way, so results and traces are identical.
+            spec.run_batches(batches);
             for name in wave {
                 self.engine
                     .require(&mut spec, &BuildTask::Codegen(name.clone()))
@@ -288,6 +350,29 @@ impl Builder {
         drop(link_span);
         let query_log = spec.take_query_log();
 
+        // Function-grain dependency accounting: how often per-function
+        // signature pins validated, and how many function-pipeline
+        // re-executions the per-function cutoffs saved.
+        let mut fngrain = FngrainStats::default();
+        for (task, hit) in &query_log {
+            if task.starts_with("signature(") {
+                if *hit {
+                    fngrain.signature_hits += 1;
+                } else {
+                    fngrain.signature_misses += 1;
+                }
+            } else if task.starts_with("checkfn(")
+                || task.starts_with("lowerfn(")
+                || task.starts_with("optimizefn(")
+            {
+                if *hit {
+                    fngrain.cutoff_saved += 1;
+                } else {
+                    fngrain.fn_tasks_executed += 1;
+                }
+            }
+        }
+
         // Dependency-soundness verdict: diff the recorded evidence against
         // the engine's dependency traces while the spec (raw stamps) and
         // engine (dep traces) are both still on hand.
@@ -304,49 +389,63 @@ impl Builder {
         drop(access_guard);
 
         // Assemble the report from the store: a module counts as rebuilt
-        // when any of its compile-pipeline tasks actually executed this
-        // session (validated-but-cached tasks do not count).
+        // when any of its per-function pipeline tasks (or its codegen)
+        // actually executed this session — validated-but-cached tasks, and
+        // the parse/fnast probes whose unchanged fingerprints *caused* the
+        // cutoffs, do not count.
         let executed: HashSet<&BuildTask> = self.engine.executed_keys().iter().collect();
         let mut modules = Vec::with_capacity(graph.len());
         for name in graph.topo_order() {
-            let pipeline_tasks = [
-                BuildTask::Frontend(name.clone()),
-                BuildTask::Lower(name.clone()),
-                BuildTask::Optimize(name.clone()),
-                BuildTask::Codegen(name.clone()),
-            ];
-            let rebuilt = pipeline_tasks.iter().any(|t| executed.contains(t));
+            let roster = rosters.get(name).cloned().unwrap_or_default();
+            let rebuilt = executed.contains(&BuildTask::Codegen(name.clone()))
+                || roster.iter().any(|f| {
+                    [
+                        BuildTask::CheckFn(name.clone(), f.clone()),
+                        BuildTask::LowerFn(name.clone(), f.clone()),
+                        BuildTask::OptimizeFn(name.clone(), f.clone()),
+                    ]
+                    .iter()
+                    .any(|t| executed.contains(t))
+                });
             let output = if rebuilt {
-                let front = self
+                let interface = self
                     .engine
-                    .peek(&BuildTask::Frontend(name.clone()))
-                    .expect("a built module has a frontend value")
-                    .expect_frontend();
-                let art = self
-                    .engine
-                    .peek(&BuildTask::Optimize(name.clone()))
-                    .expect("a built module has an optimize value")
-                    .expect_optimize();
+                    .peek(&BuildTask::Interface(name.clone()))
+                    .expect("a built module has an interface value")
+                    .expect_interface();
                 let object = self
                     .engine
                     .peek(&BuildTask::Codegen(name.clone()))
                     .expect("a built module has a codegen value")
                     .expect_codegen();
-                // A module can be "rebuilt" (its frontend re-ran) while the
-                // middle end was cut off: the trace is then empty, because
-                // no pass executed this build.
-                let trace = if executed.contains(&BuildTask::Optimize(name.clone())) {
-                    art.trace.clone()
-                } else {
-                    PipelineTrace {
-                        module: name.clone(),
-                        functions: Vec::new(),
+                // Reassemble the module IR and pipeline trace from the
+                // per-function store values, in roster (definition) order.
+                // Functions whose optimizefn validated contributed no pass
+                // work this build, so only executed ones enter the trace.
+                let mut ir = sfcc_ir::Module::new(name.clone());
+                let mut functions = Vec::new();
+                for f in &roster {
+                    let art = self
+                        .engine
+                        .peek(&BuildTask::OptimizeFn(name.clone(), f.clone()))
+                        .expect("a built module has every roster optimizefn value")
+                        .expect_optimizefn();
+                    ir.functions.push(art.func.clone());
+                    if executed.contains(&BuildTask::OptimizeFn(name.clone(), f.clone())) {
+                        functions.push(art.ftrace.clone());
                     }
+                }
+                let (snapshot_clones, snapshot_cost_units) = spec.take_snapshots(name);
+                let trace = PipelineTrace {
+                    module: name.clone(),
+                    functions,
+                    snapshot_clones,
+                    snapshot_cost_units,
                 };
                 Some(CompileOutput {
                     object: (*object).clone(),
-                    ir: art.ir.clone(),
-                    interface: front.checked.interface.clone(),
+                    ir,
+                    interface: (*interface).clone(),
                     trace,
                     timings: spec.take_timings(name),
                 })
@@ -373,6 +472,19 @@ impl Builder {
         };
 
         let link_ns = spec.link_ns();
+        drop(spec);
+
+        // Garbage-collect function-grained tasks (and dormancy records) of
+        // functions that left their module's roster, so deleted functions
+        // cannot linger in the store or the state database.
+        self.engine.retain(|task| match task.function() {
+            Some((m, f)) => rosters.get(m).is_some_and(|r| r.iter().any(|g| g == f)),
+            None => true,
+        });
+        for (module, roster) in &rosters {
+            self.compiler
+                .retain_state_functions(module, |f| roster.iter().any(|g| g == f));
+        }
 
         // Recovery accounting: any quarantine / cold-start decision the
         // compiler session took when it loaded persistent state.
@@ -390,6 +502,7 @@ impl Builder {
             link_ns,
             modules,
             query,
+            fngrain,
             jobs: self.jobs,
             outcome: "success".to_string(),
             state_generation: 0,
@@ -412,6 +525,11 @@ impl Builder {
         registry.gauge_set("faultfs.removes", ops.removes);
         registry.gauge_set("faultfs.sync_files", ops.sync_files);
         registry.gauge_set("faultfs.sync_dirs", ops.sync_dirs);
+        // Snapshot-clone wall time is jobs-variant and registry-only; the
+        // deterministic clone/cost counters live in the report (summed from
+        // the per-module traces by record_report_metrics).
+        let snap = sfcc_passes::snapshot_stats().delta_since(&snap_before);
+        registry.gauge_set("snapshot.wall_ns", snap.wall_ns);
         report.metrics = registry.snapshot();
 
         // The deterministic portion of the trace (module/phase/function/
@@ -489,6 +607,22 @@ fn record_report_metrics(report: &BuildReport, waves: usize, registry: &Registry
     registry.gauge_set("query.hits", report.query.hits);
     registry.gauge_set("query.misses", report.query.misses);
     registry.gauge_set("query.executed", report.query.executed.len() as u64);
+    registry.gauge_set("fngrain.signature_hits", report.fngrain.signature_hits);
+    registry.gauge_set("fngrain.signature_misses", report.fngrain.signature_misses);
+    registry.gauge_set(
+        "fngrain.fn_tasks_executed",
+        report.fngrain.fn_tasks_executed,
+    );
+    registry.gauge_set("fngrain.cutoff_saved", report.fngrain.cutoff_saved);
+    let (snap_clones, snap_cost) = report
+        .modules
+        .iter()
+        .filter_map(|m| m.output.as_ref())
+        .fold((0u64, 0u64), |(c, u), o| {
+            (c + o.trace.snapshot_clones, u + o.trace.snapshot_cost_units)
+        });
+    registry.gauge_set("snapshot.clones", snap_clones);
+    registry.gauge_set("snapshot.cost_units", snap_cost);
     registry.gauge_set("recovery.recovered_files", report.recovered_files as u64);
     registry.gauge_set("recovery.quarantined", report.quarantined.len() as u64);
     // Depcheck gauges are emitted on *every* build — zeros when the audit
@@ -643,6 +777,22 @@ fn emit_trace_tree(
                 }
             }
         }
+        // Per-stage module-snapshot cloning of this module's restricted
+        // optimization runs: deterministic counters (clones and summed
+        // live-instruction cost), safe in byte-stable traces.
+        sfcc_trace::emit_instant(
+            module_span,
+            "snapshot_clone",
+            "snapshots",
+            phases.len() as u64,
+            vec![
+                ("clones", ArgValue::U64(output.trace.snapshot_clones)),
+                (
+                    "cost_units",
+                    ArgValue::U64(output.trace.snapshot_cost_units),
+                ),
+            ],
+        );
     }
     // Query demand instants: one per demanded task, sorted by task name —
     // the *set* is jobs-independent even though the demand order is not.
@@ -733,7 +883,7 @@ mod tests {
     }
 
     #[test]
-    fn body_edit_executes_only_that_modules_tasks() {
+    fn body_edit_executes_only_that_functions_pipeline() {
         let mut builder = Builder::new(Compiler::new(Config::stateless()));
         let mut p = three_module_project();
         builder.build(&p).unwrap();
@@ -742,49 +892,108 @@ mod tests {
             "fn g(x: int) -> int { return x * 3; }".into(),
         );
         let report = builder.build(&p).unwrap();
-        // The re-executed tasks are exactly base's pipeline (plus the
-        // parse-only import/interface extraction whose unchanged
-        // fingerprints are what spare everyone else) and the relink.
+        // The re-executed tasks are exactly the edited function's pipeline
+        // (plus the parse-level re-extractions whose unchanged fingerprints
+        // are what spare everyone else) and the relink. Nothing of lib or
+        // main — not even signature probes — re-executes.
         let mut executed = report.query.executed.clone();
         executed.sort();
         assert_eq!(
             executed,
             vec![
+                "checkfn(base::g)",
                 "codegen(base)",
-                "frontend(base)",
+                "fnast(base::g)",
                 "imports(base)",
                 "interface(base)",
                 "link",
-                "lower(base)",
-                "optimize(base)",
+                "lowerfn(base::g)",
+                "modcheck(base)",
+                "optimizefn(base::g)",
+                "parse(base)",
             ]
         );
-        assert_eq!(report.query.misses, 7);
+        assert_eq!(report.query.misses, 10);
         assert!(report.query.hits > 0);
+        assert_eq!(report.fngrain.fn_tasks_executed, 3);
     }
 
     #[test]
-    fn interface_change_rebuilds_direct_importers_only() {
+    fn added_function_does_not_rebuild_importers() {
+        // The headline of function-granularity dependencies: adding a
+        // function changes base's *interface hash*, but lib's checkfn
+        // recorded a dependency on signature(base::g) alone — which is
+        // unchanged — so no lib or main task re-executes. Under the old
+        // module-grained taxonomy this edit rebuilt lib.
         let mut builder = Builder::new(Compiler::new(Config::stateless()));
         let mut p = three_module_project();
         builder.build(&p).unwrap();
-        // Adding a function changes base's interface: lib (direct importer)
-        // rebuilds; main (transitive) does not, because lib's own interface
-        // is unchanged.
         p.set_file(
             "base".into(),
             "fn g(x: int) -> int { return x * 2; }\nfn extra() -> int { return 7; }".into(),
         );
         let report = builder.build(&p).unwrap();
         assert!(report.module("base").unwrap().rebuilt);
-        assert!(report.module("lib").unwrap().rebuilt);
+        assert!(!report.module("lib").unwrap().rebuilt);
         assert!(!report.module("main").unwrap().rebuilt);
-        assert_eq!(report.rebuilt_count(), 2);
-        // lib's frontend re-checks against the new interface, but no task
-        // of main executes.
+        assert_eq!(report.rebuilt_count(), 1);
         let executed = &report.query.executed;
-        assert!(executed.iter().any(|t| t == "frontend(lib)"));
-        assert!(!executed.iter().any(|t| t.ends_with("(main)")));
+        // base re-runs the new function's pipeline and re-assembles its
+        // object; the signature pin lib holds on base::g re-executes (its
+        // interface dependency changed) but fingerprints identically.
+        assert!(executed.iter().any(|t| t == "optimizefn(base::extra)"));
+        assert!(executed.iter().any(|t| t == "signature(base::g)"));
+        // lib's module-check re-derives (its interface(base) dependency
+        // changed) but fingerprints identically, so nothing of lib's — or
+        // main's — *pipeline* re-executes: no checkfn, no optimizefn, no
+        // codegen, and no per-function task at all.
+        assert!(executed.iter().any(|t| t == "modcheck(lib)"));
+        for t in executed {
+            assert!(!t.contains("lib::"), "lib function task re-executed: {t}");
+            assert!(!t.contains("main::"), "main function task re-executed: {t}");
+            assert_ne!(t, "codegen(lib)");
+            assert_ne!(t, "codegen(main)");
+            assert_ne!(t, "modcheck(main)");
+        }
+        // The cutoff ledger shows the signature pin validating downstream.
+        assert!(report.fngrain.signature_hits > 0 || report.fngrain.cutoff_saved > 0);
+    }
+
+    #[test]
+    fn signature_edit_reaches_only_callers() {
+        // Two functions in base, one caller each in lib. Editing g2's
+        // signature (and its one caller, atomically) must not re-execute
+        // f1's pipeline: f1 depends on signature(base::g1) only.
+        let mut builder = Builder::new(Compiler::new(Config::stateless()));
+        let mut p = project(&[
+            (
+                "base",
+                "fn g1(x: int) -> int { return x + 1; }\nfn g2(x: int) -> int { return x + 2; }",
+            ),
+            (
+                "lib",
+                "import base;\nfn f1(x: int) -> int { return base::g1(x); }\nfn f2(x: int) -> int { return base::g2(x); }",
+            ),
+        ]);
+        builder.build(&p).unwrap();
+        p.set_file(
+            "base".into(),
+            "fn g1(x: int) -> int { return x + 1; }\nfn g2(x: int, y: int) -> int { return x + y; }"
+                .into(),
+        );
+        p.set_file(
+            "lib".into(),
+            "import base;\nfn f1(x: int) -> int { return base::g1(x); }\nfn f2(x: int) -> int { return base::g2(x, x); }"
+                .into(),
+        );
+        let report = builder.build(&p).unwrap();
+        let executed = &report.query.executed;
+        assert!(executed.iter().any(|t| t == "checkfn(lib::f2)"));
+        assert!(!executed.iter().any(|t| t == "checkfn(lib::f1)"));
+        assert!(!executed.iter().any(|t| t == "optimizefn(lib::f1)"));
+        // g1 itself was not edited either: its whole pipeline validates.
+        assert!(!executed.iter().any(|t| t == "checkfn(base::g1)"));
+        assert!(!executed.iter().any(|t| t == "optimizefn(base::g1)"));
     }
 
     #[test]
@@ -816,6 +1025,21 @@ mod tests {
         let report = builder.build(&p).unwrap();
         assert_eq!(report.modules.len(), 1);
         assert!(report.module("dead").is_none());
+    }
+
+    #[test]
+    fn removed_function_is_garbage_collected() {
+        let mut builder = Builder::new(Compiler::new(Config::stateless()));
+        let mut p = project(&[(
+            "m",
+            "fn keep(x: int) -> int { return x; }\nfn gone() -> int { return 1; }",
+        )]);
+        builder.build(&p).unwrap();
+        let before = builder.engine.len();
+        p.set_file("m".into(), "fn keep(x: int) -> int { return x; }".into());
+        builder.build(&p).unwrap();
+        // gone's five per-function tasks left the store.
+        assert!(builder.engine.len() < before);
     }
 
     #[test]

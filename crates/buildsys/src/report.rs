@@ -32,6 +32,28 @@ pub struct QueryStats {
     pub executed: Vec<String>,
 }
 
+/// Function-granularity dependency accounting for one build session: how
+/// the per-function `signature(q::g)` pins and per-function pipeline
+/// cutoffs behaved. `signature_hits + cutoff_saved` is the work the
+/// function-grained taxonomy *avoided* that a module-grained interface
+/// hash would have re-done.
+#[derive(Debug, Clone, Default)]
+pub struct FngrainStats {
+    /// `signature(m::f)` tasks validated without executing — a dependent's
+    /// pin held without even re-extracting the signature.
+    pub signature_hits: u64,
+    /// `signature(m::f)` tasks that re-executed (their module's interface
+    /// changed); an unchanged fingerprint afterwards still cuts off
+    /// dependents.
+    pub signature_misses: u64,
+    /// Per-function pipeline tasks (`checkfn`/`lowerfn`/`optimizefn`) that
+    /// actually re-executed this build.
+    pub fn_tasks_executed: u64,
+    /// Per-function pipeline tasks validated from the store — function
+    /// re-executions the fine-grained cutoffs saved.
+    pub cutoff_saved: u64,
+}
+
 /// Per-module outcome of one build.
 #[derive(Debug, Clone)]
 pub struct ModuleReport {
@@ -87,6 +109,9 @@ pub struct BuildReport {
     pub modules: Vec<ModuleReport>,
     /// Query-engine hit/miss accounting for this build session.
     pub query: QueryStats,
+    /// Function-granularity dependency accounting (signature pins and
+    /// per-function cutoffs) for this build session.
+    pub fngrain: FngrainStats,
     /// Worker threads the build was allowed to use (`--jobs`).
     pub jobs: usize,
     /// How the build ended. The builder only ever emits `"success"`
@@ -274,6 +299,14 @@ impl BuildReport {
         out.push_str("]},");
         let _ = write!(
             out,
+            "\"fngrain\":{{\"signature_hits\":{},\"signature_misses\":{},\"fn_tasks_executed\":{},\"cutoff_saved\":{}}},",
+            self.metric("fngrain.signature_hits", self.fngrain.signature_hits),
+            self.metric("fngrain.signature_misses", self.fngrain.signature_misses),
+            self.metric("fngrain.fn_tasks_executed", self.fngrain.fn_tasks_executed),
+            self.metric("fngrain.cutoff_saved", self.fngrain.cutoff_saved)
+        );
+        let _ = write!(
+            out,
             "\"recovery\":{{\"recovered_files\":{},\"quarantined\":[",
             self.metric("recovery.recovered_files", self.recovered_files as u64)
         );
@@ -404,6 +437,7 @@ pub fn validate_report_json(text: &str) -> Result<(), String> {
         "state_generation",
         "outcomes",
         "query",
+        "fngrain",
         "recovery",
         "depcheck",
         "pass_profile",
@@ -458,6 +492,21 @@ pub fn validate_report_json(text: &str) -> Result<(), String> {
         .ok_or("query.executed: expected an array")?;
     for entry in executed {
         entry.as_str().ok_or("query.executed: expected strings")?;
+    }
+
+    let fngrain = doc.get("fngrain").unwrap();
+    for field in [
+        "signature_hits",
+        "signature_misses",
+        "fn_tasks_executed",
+        "cutoff_saved",
+    ] {
+        num(
+            fngrain
+                .get(field)
+                .ok_or(format!("fngrain: missing {field:?}"))?,
+            &format!("fngrain.{field}"),
+        )?;
     }
 
     let recovery = doc.get("recovery").unwrap();

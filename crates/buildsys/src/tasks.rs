@@ -4,61 +4,86 @@
 //! executes them against a [`Project`] and a [`Compiler`] session, recording
 //! every dependency through the engine's [`Ctx`] so the next build can
 //! validate instead of re-run. The taxonomy mirrors the compiler pipeline,
-//! split where early cutoff pays:
+//! split where early cutoff pays — and split to *function* granularity from
+//! type checking onward, so cross-module dependencies attach to the specific
+//! callee signatures a function actually consumes:
 //!
-//! | task           | inputs/deps                                | fingerprint (cutoff) |
-//! |----------------|--------------------------------------------|----------------------|
-//! | `imports(m)`   | `src:m`                                    | import list          |
-//! | `interface(m)` | `src:m`                                    | exported signatures  |
-//! | `graph`        | `manifest`, every `imports(m)`             | whole import relation|
-//! | `frontend(m)`  | `src:m`, `imports(m)`, deps' `interface`   | source + env hashes  |
-//! | `lower(m)`     | `frontend(m)`                              | IR text              |
-//! | `optimize(m)`  | `lower(m)`, `state:m`                      | optimized IR text    |
-//! | `codegen(m)`   | `optimize(m)`                              | object contents      |
-//! | `link`         | `graph`, every `codegen(m)`                | image bytes          |
+//! | task              | inputs/deps                                   | fingerprint (cutoff)   |
+//! |-------------------|-----------------------------------------------|------------------------|
+//! | `imports(m)`      | `src:m`                                       | import list            |
+//! | `parse(m)`        | `src:m`                                       | source hash            |
+//! | `interface(m)`    | `parse(m)`                                    | exported signatures    |
+//! | `graph`           | `manifest`, every `imports(m)`                | whole import relation  |
+//! | `modcheck(m)`     | `parse(m)`, `imports(m)`, deps' `interface`   | globals+imports+roster |
+//! | `fnast(m::f)`     | `parse(m)`                                    | span-free def text     |
+//! | `signature(m::f)` | `interface(m)`                                | one signature          |
+//! | `checkfn(m::f)`   | `fnast(m::f)`, `modcheck(m)`, callees' `signature` | def + context     |
+//! | `lowerfn(m::f)`   | `checkfn(m::f)`                               | IR text                |
+//! | `optimizefn(m::f)`| closure's `lowerfn`, `state:m::f`             | optimized IR text      |
+//! | `codegen(m)`      | `modcheck(m)`, every `optimizefn(m::f)`       | object contents        |
+//! | `link`            | `graph`, every `codegen(m)`                   | image bytes            |
 //!
-//! The interface-hash cutoff of the old builder falls out of this table: a
-//! body-only edit re-executes `interface(m)` but leaves its fingerprint
-//! unchanged, so dependents' `frontend` tasks validate without running. A
-//! comment-only edit cuts off one level later, at `lower(m)`'s IR text.
-//! Dormancy state is a *tracked input* (`state:m`, stamped via
-//! [`Compiler::state_stamp`]), so stale skip decisions invalidate exactly
-//! the modules they would affect.
+//! The old per-module `interface(m)` cutoff — any dependent of a module
+//! rebuilds whenever *any* exported signature changes — is gone. A dependent
+//! function's `checkfn(m::f)` records the `signature(q::g)` of each callee it
+//! actually resolves, so changing one signature in `q` re-demands only the
+//! functions that call it; every other importer task validates via unchanged
+//! signature fingerprints. A body-only edit changes `fnast(m::f)` for the one
+//! edited function (definition fingerprints are span-free), re-runs that
+//! function's check → lower → optimize chain, and cuts off everywhere else.
+//! Dormancy state is a *tracked input* at function grain (`state:m::f`,
+//! stamped via [`Compiler::state_stamp_fn`]), so stale skip decisions
+//! invalidate exactly the functions they would affect.
 
 use crate::builder::BuildError;
 use crate::depcheck::DepMutations;
 use crate::graph::{parse_imports, DepGraph};
 use crate::project::Project;
-use sfcc::{Compiler, OptimizeOutcome, PhaseTimings};
+use sfcc::{CompileError, Compiler, OptimizeOutcome, PhaseTimings};
 use sfcc_backend::{link_objects, CodeObject, Program};
 use sfcc_codec::fnv64;
-use sfcc_frontend::{CheckedModule, ModuleEnv, ModuleInterface};
-use sfcc_ir::print::module_to_string;
-use sfcc_ir::{Fingerprint, Function};
-use sfcc_passes::PipelineTrace;
-use sfcc_pool::PoolScope;
+use sfcc_frontend::ast::{FunctionDef, Import, TypeAst};
+use sfcc_frontend::fingerprint::def_repr;
+use sfcc_frontend::{
+    callees_of, check_function_with, check_module_level, def_fingerprint, parser, CheckedModule,
+    Diagnostics, FuncSig, ModuleEnv, ModuleInterface, ModuleLevel, SourceFile, Span,
+};
+use sfcc_ir::print::function_to_string;
+use sfcc_ir::{Fingerprint, Function, Op};
+use sfcc_passes::FunctionTrace;
 use sfcc_query::{Ctx, QueryError, TaskSpec};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-/// One unit of memoizable build work, keyed by module where applicable.
+/// One unit of memoizable build work, keyed by module — and, from type
+/// checking onward, by function.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum BuildTask {
     /// Extract a module's import list from its source (parse-only).
     Imports(String),
-    /// Extract a module's exported interface from its source (parse-only).
+    /// Lex and parse a module's source to an AST.
+    Parse(String),
+    /// Extract a module's exported interface from its parsed AST.
     Interface(String),
     /// Assemble the whole-project import graph and wave schedule.
     Graph,
-    /// Lex, parse, and type-check a module against its imports' interfaces.
-    Frontend(String),
-    /// Lower a checked module to IR.
-    Lower(String),
-    /// Run the (skippable) optimization pipeline and ingest its trace.
-    Optimize(String),
-    /// Compile optimized IR to a relocatable object.
+    /// Module-level semantic analysis: import validity, global constants,
+    /// signature collection, and the definition-order function roster.
+    ModCheck(String),
+    /// Project one function's definition out of the module AST.
+    FnAst(String, String),
+    /// Project one function's exported signature out of the interface.
+    Signature(String, String),
+    /// Type-check one function body against its callees' signatures.
+    CheckFn(String, String),
+    /// Lower one checked function to IR.
+    LowerFn(String, String),
+    /// Run the (skippable) optimization pipeline for one function and
+    /// ingest its trace.
+    OptimizeFn(String, String),
+    /// Compile a module's optimized functions to a relocatable object.
     Codegen(String),
     /// Link all objects into a complete program.
     Link,
@@ -69,12 +94,29 @@ impl BuildTask {
     pub fn module(&self) -> Option<&str> {
         match self {
             BuildTask::Imports(m)
+            | BuildTask::Parse(m)
             | BuildTask::Interface(m)
-            | BuildTask::Frontend(m)
-            | BuildTask::Lower(m)
-            | BuildTask::Optimize(m)
+            | BuildTask::ModCheck(m)
+            | BuildTask::FnAst(m, _)
+            | BuildTask::Signature(m, _)
+            | BuildTask::CheckFn(m, _)
+            | BuildTask::LowerFn(m, _)
+            | BuildTask::OptimizeFn(m, _)
             | BuildTask::Codegen(m) => Some(m),
             BuildTask::Graph | BuildTask::Link => None,
+        }
+    }
+
+    /// The `(module, function)` pair this task belongs to, if it is a
+    /// function-grained task.
+    pub fn function(&self) -> Option<(&str, &str)> {
+        match self {
+            BuildTask::FnAst(m, f)
+            | BuildTask::Signature(m, f)
+            | BuildTask::CheckFn(m, f)
+            | BuildTask::LowerFn(m, f)
+            | BuildTask::OptimizeFn(m, f) => Some((m, f)),
+            _ => None,
         }
     }
 }
@@ -83,39 +125,68 @@ impl fmt::Display for BuildTask {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BuildTask::Imports(m) => write!(f, "imports({m})"),
+            BuildTask::Parse(m) => write!(f, "parse({m})"),
             BuildTask::Interface(m) => write!(f, "interface({m})"),
             BuildTask::Graph => write!(f, "graph"),
-            BuildTask::Frontend(m) => write!(f, "frontend({m})"),
-            BuildTask::Lower(m) => write!(f, "lower({m})"),
-            BuildTask::Optimize(m) => write!(f, "optimize({m})"),
+            BuildTask::ModCheck(m) => write!(f, "modcheck({m})"),
+            BuildTask::FnAst(m, func) => write!(f, "fnast({m}::{func})"),
+            BuildTask::Signature(m, func) => write!(f, "signature({m}::{func})"),
+            BuildTask::CheckFn(m, func) => write!(f, "checkfn({m}::{func})"),
+            BuildTask::LowerFn(m, func) => write!(f, "lowerfn({m}::{func})"),
+            BuildTask::OptimizeFn(m, func) => write!(f, "optimizefn({m}::{func})"),
             BuildTask::Codegen(m) => write!(f, "codegen({m})"),
             BuildTask::Link => write!(f, "link"),
         }
     }
 }
 
-/// What the frontend task memoizes: the checked module plus the hashes its
-/// fingerprint is built from.
+/// What the parse task memoizes: the AST plus the source text it came from
+/// (kept for diagnostic rendering and the source-hash fingerprint).
 #[derive(Debug, Clone)]
-pub struct FrontendArtifact {
-    /// The type-checked module (AST + interface + global constants).
-    pub checked: CheckedModule,
-    /// The import environment the module was checked against.
-    pub env: ModuleEnv,
-    /// FNV-64 of the module's source text.
-    pub src_hash: u64,
-    /// Hash of the imports' interface fingerprints, in import order.
-    pub env_hash: u64,
+pub struct ParseArtifact {
+    /// The parsed module AST.
+    pub ast: sfcc_frontend::Module,
+    /// The source text the AST was parsed from.
+    pub source: String,
 }
 
-/// What the optimize task memoizes: the transformed IR and the pass trace
-/// that produced it.
+/// What the module-level check memoizes: everything per-function checks
+/// share, plus the definition-order roster codegen assembles by.
 #[derive(Debug, Clone)]
-pub struct OptimizeArtifact {
-    /// The optimized IR.
-    pub ir: sfcc_ir::Module,
-    /// Per-pass instrumentation of the pipeline run.
-    pub trace: PipelineTrace,
+pub struct ModCheckArtifact {
+    /// Global constant values by name.
+    pub global_values: HashMap<String, i64>,
+    /// Global constant types by name.
+    pub global_types: HashMap<String, TypeAst>,
+    /// The module's import list (sorted, deduplicated).
+    pub imports: Vec<String>,
+    /// Function names in definition order — the roster codegen iterates.
+    pub roster: Vec<String>,
+}
+
+/// What a per-function check memoizes: a single-function [`CheckedModule`]
+/// shell ready for lowering, the pruned import environment it resolved
+/// against, and the canonical context text its fingerprint hashes.
+#[derive(Debug, Clone)]
+pub struct CheckFnArtifact {
+    /// A checked module containing exactly this function, with the local
+    /// interface pruned to the signatures its call sites consult.
+    pub checked: CheckedModule,
+    /// Import environment pruned to the modules this function calls into.
+    pub env: ModuleEnv,
+    /// Canonical text of everything beyond the definition that lowering can
+    /// observe: global constants and resolved callee signatures.
+    pub context_repr: String,
+}
+
+/// What a per-function optimize memoizes: the transformed function and the
+/// pass trace that produced it.
+#[derive(Debug, Clone)]
+pub struct OptimizeFnArtifact {
+    /// The optimized function.
+    pub func: Function,
+    /// Per-pass instrumentation for this function.
+    pub ftrace: FunctionTrace,
 }
 
 /// A task's memoized output. Payloads are `Arc`-wrapped so cache hits clone
@@ -124,16 +195,26 @@ pub struct OptimizeArtifact {
 pub enum BuildValue {
     /// Output of [`BuildTask::Imports`]: sorted, deduplicated import names.
     Imports(Arc<Vec<String>>),
+    /// Output of [`BuildTask::Parse`].
+    Parse(Arc<ParseArtifact>),
     /// Output of [`BuildTask::Interface`].
     Interface(Arc<ModuleInterface>),
     /// Output of [`BuildTask::Graph`].
     Graph(Arc<DepGraph>),
-    /// Output of [`BuildTask::Frontend`].
-    Frontend(Arc<FrontendArtifact>),
-    /// Output of [`BuildTask::Lower`]: the unoptimized IR.
-    Lower(Arc<sfcc_ir::Module>),
-    /// Output of [`BuildTask::Optimize`].
-    Optimize(Arc<OptimizeArtifact>),
+    /// Output of [`BuildTask::ModCheck`].
+    ModCheck(Arc<ModCheckArtifact>),
+    /// Output of [`BuildTask::FnAst`]: the definition, `None` when the
+    /// function is absent from the module.
+    FnAst(Arc<Option<FunctionDef>>),
+    /// Output of [`BuildTask::Signature`]: the exported signature, `None`
+    /// when the function is absent from the interface.
+    Signature(Arc<Option<FuncSig>>),
+    /// Output of [`BuildTask::CheckFn`].
+    CheckFn(Arc<CheckFnArtifact>),
+    /// Output of [`BuildTask::LowerFn`]: one unoptimized IR function.
+    LowerFn(Arc<Function>),
+    /// Output of [`BuildTask::OptimizeFn`].
+    OptimizeFn(Arc<OptimizeFnArtifact>),
     /// Output of [`BuildTask::Codegen`].
     Codegen(Arc<CodeObject>),
     /// Output of [`BuildTask::Link`]: the complete program.
@@ -156,35 +237,58 @@ macro_rules! expect_variant {
 
 impl BuildValue {
     expect_variant!(expect_imports, Imports, Vec<String>, "imports");
+    expect_variant!(expect_parse, Parse, ParseArtifact, "parse");
     expect_variant!(expect_interface, Interface, ModuleInterface, "interface");
     expect_variant!(expect_graph, Graph, DepGraph, "graph");
-    expect_variant!(expect_frontend, Frontend, FrontendArtifact, "frontend");
-    expect_variant!(expect_lower, Lower, sfcc_ir::Module, "lower");
-    expect_variant!(expect_optimize, Optimize, OptimizeArtifact, "optimize");
+    expect_variant!(expect_modcheck, ModCheck, ModCheckArtifact, "modcheck");
+    expect_variant!(expect_fnast, FnAst, Option<FunctionDef>, "fnast");
+    expect_variant!(expect_signature, Signature, Option<FuncSig>, "signature");
+    expect_variant!(expect_checkfn, CheckFn, CheckFnArtifact, "checkfn");
+    expect_variant!(expect_lowerfn, LowerFn, Function, "lowerfn");
+    expect_variant!(
+        expect_optimizefn,
+        OptimizeFn,
+        OptimizeFnArtifact,
+        "optimizefn"
+    );
     expect_variant!(expect_codegen, Codegen, CodeObject, "codegen");
     expect_variant!(expect_link, Link, Program, "link");
 }
 
-/// Artifacts a wave-parallel prepare pass computed ahead of demand. Each
-/// phase is taken at most once by the matching task execution; phases the
-/// engine validates instead of executing are simply dropped.
-#[derive(Debug, Default)]
-struct PreparedModule {
-    frontend: Option<(CheckedModule, u64)>,
-    lower: Option<(sfcc_ir::Module, u64)>,
-    optimize: Option<(sfcc_ir::Module, OptimizeOutcome)>,
-    codegen: Option<(CodeObject, u64)>,
+/// An optimized function a wave-parallel batch computed ahead of demand,
+/// taken at most once by the matching `optimizefn` execution.
+#[derive(Debug)]
+struct PreparedFn {
+    func: Function,
+    ftrace: FunctionTrace,
+}
+
+/// One module's restricted optimization batch for [`BuildSpec::run_batches`]:
+/// the union call closure of its stale functions, assembled by the driver
+/// from `lowerfn` values, plus the stale function names whose artifacts the
+/// batch parks.
+pub(crate) struct WaveBatch {
+    pub module: String,
+    /// Restricted module holding the stale functions' union call closure,
+    /// sorted by function name (any superset of each function's closure
+    /// yields byte-identical per-function results).
+    pub ir: sfcc_ir::Module,
+    /// Functions whose `optimizefn` tasks will consume parked artifacts.
+    pub stale: Vec<String>,
 }
 
 /// The [`TaskSpec`] driving one build: a project snapshot, the (stateful)
 /// compiler session, and the scratch the driver reads back afterwards
-/// (per-module phase timings, link time, pre-computed wave artifacts,
-/// deferred function-cache inserts).
+/// (per-module phase timings, link time, pre-computed batch artifacts,
+/// deferred function-cache inserts, per-module snapshot-clone totals).
 pub struct BuildSpec<'a> {
     project: &'a Project,
     compiler: &'a mut Compiler,
-    prepared: HashMap<String, PreparedModule>,
+    prepared: HashMap<(String, String), PreparedFn>,
     timings: HashMap<String, PhaseTimings>,
+    /// Per-module `(snapshot_clones, snapshot_cost_units)` accumulated by
+    /// restricted optimization runs (batched or solo) this build.
+    snapshots: HashMap<String, (u64, u64)>,
     link_ns: u64,
     jobs: usize,
     /// Function-cache entries produced by optimize tasks, accumulated in
@@ -214,6 +318,7 @@ impl<'a> BuildSpec<'a> {
             compiler,
             prepared: HashMap::new(),
             timings: HashMap::new(),
+            snapshots: HashMap::new(),
             link_ns: 0,
             jobs: jobs.max(1),
             cache_inserts: Vec::new(),
@@ -236,42 +341,85 @@ impl<'a> BuildSpec<'a> {
         self.timings.remove(module).unwrap_or_default()
     }
 
+    /// `(snapshot_clones, snapshot_cost_units)` accumulated for a module's
+    /// restricted optimization runs this build.
+    pub(crate) fn take_snapshots(&mut self, module: &str) -> (u64, u64) {
+        self.snapshots.remove(module).unwrap_or_default()
+    }
+
     /// Wall time of the link step this build, 0 when the link was cached.
     pub(crate) fn link_ns(&self) -> u64 {
         self.link_ns
     }
 
-    /// Compiles `units` — mutually independent modules of one wave — on a
-    /// single shared pool of `self.jobs` workers against an immutable
-    /// compiler snapshot, parking the artifacts for the matching task
-    /// executions to consume. Each module task fans its per-function
-    /// optimization work out into the *same* pool, so worker count never
-    /// exceeds `--jobs` regardless of how modules × functions multiply out.
-    /// Units are seeded largest-source-first so big modules start earliest.
-    /// Units that fail to compile are skipped; the sequential demand re-runs
-    /// them and surfaces the error deterministically.
-    pub(crate) fn prepare_wave(&mut self, units: &[(String, String, ModuleEnv)]) {
+    /// Runs one restricted optimization batch per module of a wave on a
+    /// single shared pool of `self.jobs` workers (sequentially for
+    /// `--jobs 1`) against the immutable session snapshot, parking each
+    /// stale function's artifact for the matching `optimizefn` execution to
+    /// consume. Batches run *outside* any task scope: their resource
+    /// accesses are deliberately unattributed (each `optimizefn` task notes
+    /// its own `state:m::f` read), and their per-function results are
+    /// byte-identical to solo runs, so parking is a pure latency play.
+    /// Batches are seeded largest-closure-first so big modules start
+    /// earliest.
+    pub(crate) fn run_batches(&mut self, batches: Vec<WaveBatch>) {
+        if batches.is_empty() {
+            return;
+        }
         let compiler: &Compiler = self.compiler;
-        let slots: Vec<Mutex<Option<(String, PreparedModule)>>> =
-            units.iter().map(|_| Mutex::new(None)).collect();
-        let mut order: Vec<usize> = (0..units.len()).collect();
-        order.sort_by_key(|&i| std::cmp::Reverse(units[i].1.len()));
-        sfcc_pool::scope(self.jobs, |ps| {
-            for &i in &order {
-                let (name, source, env) = &units[i];
-                let slots = &slots;
-                ps.spawn(move |ps| {
-                    if let Some(p) = prepare_one(compiler, name, source, env, ps) {
-                        *slots[i].lock().unwrap() = Some((name.clone(), p));
-                    }
-                });
+        let mut results: Vec<Option<(sfcc_ir::Module, OptimizeOutcome)>> = Vec::new();
+        if self.jobs <= 1 {
+            for batch in &batches {
+                results.push(Some(compiler.phase_optimize_restricted(&batch.ir, None)));
             }
-            // The scope drains every task before returning.
-        });
-        for slot in slots {
-            if let Some((name, p)) = slot.into_inner().expect("prepare slot poisoned") {
-                self.prepared.insert(name, p);
+        } else {
+            let slots: Vec<Mutex<Option<(sfcc_ir::Module, OptimizeOutcome)>>> =
+                batches.iter().map(|_| Mutex::new(None)).collect();
+            let mut order: Vec<usize> = (0..batches.len()).collect();
+            order.sort_by_key(|&i| std::cmp::Reverse(batches[i].ir.functions.len()));
+            sfcc_pool::scope(self.jobs, |ps| {
+                for &i in &order {
+                    let batch = &batches[i];
+                    let slots = &slots;
+                    ps.spawn(move |ps| {
+                        *slots[i].lock().unwrap() =
+                            Some(compiler.phase_optimize_restricted(&batch.ir, Some(ps)));
+                    });
+                }
+                // The scope drains every task before returning.
+            });
+            for slot in slots {
+                results.push(slot.into_inner().expect("batch slot poisoned"));
             }
+        }
+        for (batch, result) in batches.into_iter().zip(results) {
+            let Some((optimized, outcome)) = result else {
+                continue;
+            };
+            for f in &batch.stale {
+                let func = optimized
+                    .function(f)
+                    .cloned()
+                    .expect("stale function present in its own closure batch");
+                let ftrace = outcome
+                    .trace
+                    .functions
+                    .iter()
+                    .find(|t| t.function == *f)
+                    .cloned()
+                    .expect("batch trace covers every batched function");
+                self.prepared.insert(
+                    (batch.module.clone(), f.clone()),
+                    PreparedFn { func, ftrace },
+                );
+            }
+            self.cache_inserts.extend(outcome.cache_inserts);
+            let timings = self.timings.entry(batch.module.clone()).or_default();
+            timings.middle_ns += outcome.middle_ns;
+            timings.state_ns += outcome.state_ns;
+            let snap = self.snapshots.entry(batch.module.clone()).or_default();
+            snap.0 += outcome.trace.snapshot_clones;
+            snap.1 += outcome.trace.snapshot_cost_units;
         }
     }
 
@@ -310,51 +458,50 @@ impl<'a> BuildSpec<'a> {
                 Some(source) => fnv64(source.as_bytes()),
                 None => fnv64(b"<absent>"),
             }
-        } else if let Some(m) = input.strip_prefix("state:") {
-            self.compiler.state_stamp(m)
+        } else if let Some(rest) = input.strip_prefix("state:") {
+            match rest.split_once("::") {
+                Some((m, f)) => self.compiler.state_stamp_fn(m, f),
+                None => self.compiler.state_stamp(rest),
+            }
         } else {
             0
         }
     }
-}
 
-/// Runs the full pipeline for one module against an immutable session
-/// snapshot, fanning function-level optimization into `pool`. No state
-/// ingestion and no cache population (the deferred inserts ride along in
-/// the parked [`OptimizeOutcome`]) — both are replayed by the sequenced
-/// task executions.
-fn prepare_one<'env>(
-    compiler: &'env Compiler,
-    name: &str,
-    source: &str,
-    env: &ModuleEnv,
-    pool: &PoolScope<'env>,
-) -> Option<PreparedModule> {
-    // Each phase runs under the task scope of the task that will consume
-    // its parked artifact, so resource accesses made here (e.g. the state
-    // read inside optimize) attribute to the right task for depcheck.
-    let (checked, frontend_ns) = {
-        let _scope = sfcc_faultfs::task_scope(format!("frontend({name})"));
-        compiler.phase_frontend(name, source, env).ok()?
-    };
-    let (ir, lower_ns) = {
-        let _scope = sfcc_faultfs::task_scope(format!("lower({name})"));
-        compiler.phase_lower(&checked, env)
-    };
-    let (optimized, outcome) = {
-        let _scope = sfcc_faultfs::task_scope(format!("optimize({name})"));
-        compiler.phase_optimize_with(&ir, Some(pool))
-    };
-    let (object, backend_ns) = {
-        let _scope = sfcc_faultfs::task_scope(format!("codegen({name})"));
-        compiler.phase_codegen(&optimized).ok()?
-    };
-    Some(PreparedModule {
-        frontend: Some((checked, frontend_ns)),
-        lower: Some((ir, lower_ns)),
-        optimize: Some((optimized, outcome)),
-        codegen: Some((object, backend_ns)),
-    })
+    /// Runs one function's restricted optimization on demand (no parked
+    /// batch artifact): the function's own call closure, sequentially.
+    /// Byte-identical to the batched path by construction.
+    fn optimize_solo(
+        &mut self,
+        m: &str,
+        f: &str,
+        closure: &BTreeMap<String, Arc<Function>>,
+    ) -> (Function, FunctionTrace) {
+        let mut ir = sfcc_ir::Module::new(m);
+        for func in closure.values() {
+            ir.functions.push((**func).clone());
+        }
+        let (optimized, outcome) = self.compiler.phase_optimize_restricted(&ir, None);
+        let func = optimized
+            .function(f)
+            .cloned()
+            .expect("demanded function present in its own closure");
+        let ftrace = outcome
+            .trace
+            .functions
+            .iter()
+            .find(|t| t.function == f)
+            .cloned()
+            .expect("restricted trace covers the demanded function");
+        self.cache_inserts.extend(outcome.cache_inserts);
+        let timings = self.timings.entry(m.to_string()).or_default();
+        timings.middle_ns += outcome.middle_ns;
+        timings.state_ns += outcome.state_ns;
+        let snap = self.snapshots.entry(m.to_string()).or_default();
+        snap.0 += outcome.trace.snapshot_clones;
+        snap.1 += outcome.trace.snapshot_cost_units;
+        (func, ftrace)
+    }
 }
 
 impl TaskSpec for BuildSpec<'_> {
@@ -384,6 +531,7 @@ impl TaskSpec for BuildSpec<'_> {
     fn fingerprint(&self, _key: &BuildTask, value: &BuildValue) -> u64 {
         match value {
             BuildValue::Imports(deps) => fnv64(deps.join(",").as_bytes()),
+            BuildValue::Parse(art) => fnv64(art.source.as_bytes()),
             BuildValue::Interface(interface) => interface_hash(interface),
             BuildValue::Graph(graph) => {
                 let mut repr = String::new();
@@ -395,11 +543,34 @@ impl TaskSpec for BuildSpec<'_> {
                 }
                 fnv64(repr.as_bytes())
             }
-            BuildValue::Frontend(art) => {
-                fnv64(format!("{:x}:{:x}", art.src_hash, art.env_hash).as_bytes())
+            BuildValue::ModCheck(art) => {
+                let mut names: Vec<&String> = art.global_types.keys().collect();
+                names.sort();
+                let mut repr = String::from("globals:");
+                for name in names {
+                    let value = art.global_values.get(name).copied().unwrap_or(0);
+                    repr.push_str(&format!("{name}:{:?}={value};", art.global_types[name]));
+                }
+                repr.push_str("imports:");
+                repr.push_str(&art.imports.join(","));
+                repr.push_str(";roster:");
+                repr.push_str(&art.roster.join(","));
+                fnv64(repr.as_bytes())
             }
-            BuildValue::Lower(ir) => fnv64(module_to_string(ir).as_bytes()),
-            BuildValue::Optimize(art) => fnv64(module_to_string(&art.ir).as_bytes()),
+            BuildValue::FnAst(def) => match def.as_ref() {
+                Some(def) => def_fingerprint(def),
+                None => fnv64(b"<absent>"),
+            },
+            BuildValue::Signature(sig) => match sig.as_ref() {
+                Some(sig) => fnv64(signature_repr(sig).as_bytes()),
+                None => fnv64(b"<absent>"),
+            },
+            BuildValue::CheckFn(art) => {
+                let def = &art.checked.ast.functions[0];
+                fnv64(format!("{}|{}", def_repr(def), art.context_repr).as_bytes())
+            }
+            BuildValue::LowerFn(func) => fnv64(function_to_string(func).as_bytes()),
+            BuildValue::OptimizeFn(art) => fnv64(function_to_string(&art.func).as_bytes()),
             BuildValue::Codegen(object) => fnv64(format!("{object:?}").as_bytes()),
             BuildValue::Link(program) => fnv64(&sfcc_backend::image::to_bytes(program)),
         }
@@ -428,15 +599,27 @@ impl BuildSpec<'_> {
                 let deps = parse_imports(m, self.source_of(m));
                 Ok(BuildValue::Imports(Arc::new(deps)))
             }
-            BuildTask::Interface(m) => {
+            BuildTask::Parse(m) => {
                 self.declare_input(ctx, label, &format!("src:{m}"));
-                let interface = sfcc::extract_interface(m, self.source_of(m)).map_err(|error| {
-                    QueryError::Task(BuildError::Compile {
-                        module: m.clone(),
-                        error,
-                    })
-                })?;
-                Ok(BuildValue::Interface(Arc::new(interface)))
+                let t = Instant::now();
+                let source = self.source_of(m).to_string();
+                let mut diags = Diagnostics::new();
+                let ast = parser::parse(m, &source, &mut diags);
+                let elapsed = t.elapsed().as_nanos() as u64;
+                if diags.has_errors() {
+                    let file = SourceFile::new(format!("{m}.mc"), source.as_str());
+                    return Err(compile_error(m, diags, &file));
+                }
+                self.timings.entry(m.clone()).or_default().frontend_ns += elapsed;
+                Ok(BuildValue::Parse(Arc::new(ParseArtifact { ast, source })))
+            }
+            BuildTask::Interface(m) => {
+                let parse = ctx
+                    .require(self, &BuildTask::Parse(m.clone()))?
+                    .expect_parse();
+                Ok(BuildValue::Interface(Arc::new(ModuleInterface::of(
+                    &parse.ast,
+                ))))
             }
             BuildTask::Graph => {
                 self.declare_input(ctx, label, "manifest");
@@ -453,116 +636,264 @@ impl BuildSpec<'_> {
                     .map_err(|e| QueryError::Task(BuildError::Graph(e)))?;
                 Ok(BuildValue::Graph(Arc::new(graph)))
             }
-            BuildTask::Frontend(m) => {
-                self.declare_input(ctx, label, &format!("src:{m}"));
+            BuildTask::ModCheck(m) => {
+                let parse = ctx
+                    .require(self, &BuildTask::Parse(m.clone()))?
+                    .expect_parse();
                 let imports = ctx
                     .require(self, &BuildTask::Imports(m.clone()))?
                     .expect_imports();
                 let mut env = ModuleEnv::new();
-                let mut env_repr = String::new();
                 for dep in imports.iter() {
                     let interface = ctx
                         .require(self, &BuildTask::Interface(dep.clone()))?
                         .expect_interface();
-                    env_repr.push_str(&format!("{dep}={:x};", interface_hash(&interface)));
                     env.insert(dep.clone(), (*interface).clone());
                 }
-                let source = self.source_of(m);
-                let parked = self
-                    .prepared
-                    .get_mut(m.as_str())
-                    .and_then(|p| p.frontend.take());
-                let (checked, frontend_ns) = match parked {
-                    Some(ready) => ready,
-                    None => self
-                        .compiler
-                        .phase_frontend(m, source, &env)
-                        .map_err(|error| {
-                            QueryError::Task(BuildError::Compile {
-                                module: m.clone(),
-                                error,
-                            })
-                        })?,
+                let t = Instant::now();
+                let mut diags = Diagnostics::new();
+                let level = check_module_level(&parse.ast, &env, &mut diags);
+                let elapsed = t.elapsed().as_nanos() as u64;
+                let Some(level) = level else {
+                    let file = SourceFile::new(format!("{m}.mc"), parse.source.as_str());
+                    return Err(compile_error(m, diags, &file));
                 };
-                self.timings.entry(m.clone()).or_default().frontend_ns = frontend_ns;
-                Ok(BuildValue::Frontend(Arc::new(FrontendArtifact {
-                    checked,
-                    env,
-                    src_hash: fnv64(source.as_bytes()),
-                    env_hash: fnv64(env_repr.as_bytes()),
+                self.timings.entry(m.clone()).or_default().frontend_ns += elapsed;
+                let roster = parse.ast.functions.iter().map(|f| f.name.clone()).collect();
+                Ok(BuildValue::ModCheck(Arc::new(ModCheckArtifact {
+                    global_values: level.global_values,
+                    global_types: level.global_types,
+                    imports: (*imports).clone(),
+                    roster,
                 })))
             }
-            BuildTask::Lower(m) => {
-                let front = ctx
-                    .require(self, &BuildTask::Frontend(m.clone()))?
-                    .expect_frontend();
-                let parked = self
-                    .prepared
-                    .get_mut(m.as_str())
-                    .and_then(|p| p.lower.take());
-                let (ir, lower_ns) = match parked {
-                    Some(ready) => ready,
-                    None => self.compiler.phase_lower(&front.checked, &front.env),
-                };
-                self.timings.entry(m.clone()).or_default().lower_ns = lower_ns;
-                Ok(BuildValue::Lower(Arc::new(ir)))
+            BuildTask::FnAst(m, f) => {
+                let parse = ctx
+                    .require(self, &BuildTask::Parse(m.clone()))?
+                    .expect_parse();
+                Ok(BuildValue::FnAst(Arc::new(parse.ast.function(f).cloned())))
             }
-            BuildTask::Optimize(m) => {
-                let ir = ctx
-                    .require(self, &BuildTask::Lower(m.clone()))?
-                    .expect_lower();
-                let parked = self
-                    .prepared
-                    .get_mut(m.as_str())
-                    .and_then(|p| p.optimize.take());
-                let (optimized, outcome) = match parked {
-                    Some(ready) => ready,
-                    None => self.compiler.phase_optimize_jobs(&ir, self.jobs),
+            BuildTask::Signature(m, f) => {
+                let interface = ctx
+                    .require(self, &BuildTask::Interface(m.clone()))?
+                    .expect_interface();
+                Ok(BuildValue::Signature(Arc::new(
+                    interface.functions.get(f.as_str()).cloned(),
+                )))
+            }
+            BuildTask::CheckFn(m, f) => {
+                let def = ctx
+                    .require(self, &BuildTask::FnAst(m.clone(), f.clone()))?
+                    .expect_fnast();
+                let Some(def) = def.as_ref().clone() else {
+                    return Err(QueryError::Task(BuildError::Compile {
+                        module: m.clone(),
+                        error: CompileError::Frontend {
+                            rendered: format!(
+                                "error: function `{f}` vanished from module `{m}` between parse and check"
+                            ),
+                            errors: 1,
+                        },
+                    }));
                 };
-                let OptimizeOutcome {
-                    trace,
-                    middle_ns,
-                    mut state_ns,
-                    cache_inserts,
-                } = outcome;
-                // Deferred to the wave boundary (flush_cache_inserts) for
-                // every `--jobs` value, so cache visibility is identical
-                // whether modules ran parked-parallel or on demand.
-                self.cache_inserts.extend(cache_inserts);
-                state_ns += self.compiler.ingest_trace(&trace);
+                let modcheck = ctx
+                    .require(self, &BuildTask::ModCheck(m.clone()))?
+                    .expect_modcheck();
+                // Per-callee signature dependencies: this is the edge that
+                // kills the interface-hash cliff. Each resolved callee pins
+                // exactly one `signature(q::g)` fingerprint; signatures this
+                // function never consults cannot invalidate it.
+                let mut local_sigs: HashMap<String, FuncSig> = HashMap::new();
+                local_sigs.insert(def.name.clone(), FuncSig::of(&def));
+                let mut env = ModuleEnv::new();
+                let mut foreign: BTreeMap<String, HashMap<String, FuncSig>> = BTreeMap::new();
+                let mut callee_repr = String::new();
+                for (qualifier, callee) in callees_of(&def) {
+                    match qualifier {
+                        None => {
+                            let sig = ctx
+                                .require(self, &BuildTask::Signature(m.clone(), callee.clone()))?
+                                .expect_signature();
+                            match sig.as_ref() {
+                                Some(sig) => {
+                                    callee_repr.push_str(&format!(
+                                        "{m}::{}={};",
+                                        callee,
+                                        signature_repr(sig)
+                                    ));
+                                    local_sigs.insert(callee.clone(), sig.clone());
+                                }
+                                None => {
+                                    callee_repr.push_str(&format!("{m}::{callee}=<absent>;"));
+                                }
+                            }
+                        }
+                        Some(q) if modcheck.imports.contains(&q) => {
+                            let sig = ctx
+                                .require(self, &BuildTask::Signature(q.clone(), callee.clone()))?
+                                .expect_signature();
+                            match sig.as_ref() {
+                                Some(sig) => {
+                                    callee_repr.push_str(&format!(
+                                        "{q}::{}={};",
+                                        callee,
+                                        signature_repr(sig)
+                                    ));
+                                    foreign
+                                        .entry(q)
+                                        .or_default()
+                                        .insert(callee.clone(), sig.clone());
+                                }
+                                None => {
+                                    callee_repr.push_str(&format!("{q}::{callee}=<absent>;"));
+                                }
+                            }
+                        }
+                        Some(q) => {
+                            // Unimported module: no dependency to record —
+                            // the checker reports the bad call from the
+                            // shell's import list alone.
+                            callee_repr.push_str(&format!("{q}::{callee}=<unimported>;"));
+                        }
+                    }
+                }
+                for (q, sigs) in foreign {
+                    env.insert(q, ModuleInterface { functions: sigs });
+                }
+                let shell = sfcc_frontend::Module {
+                    name: m.clone(),
+                    imports: modcheck
+                        .imports
+                        .iter()
+                        .map(|q| Import {
+                            module: q.clone(),
+                            span: Span::default(),
+                        })
+                        .collect(),
+                    globals: Vec::new(),
+                    functions: vec![def.clone()],
+                };
+                let level = ModuleLevel {
+                    global_values: modcheck.global_values.clone(),
+                    global_types: modcheck.global_types.clone(),
+                    local_sigs: local_sigs.clone(),
+                };
+                let t = Instant::now();
+                let mut diags = Diagnostics::new();
+                let ok = check_function_with(&shell, &env, &level, &def, &mut diags);
+                let elapsed = t.elapsed().as_nanos() as u64;
+                if !ok {
+                    // Error path: render against the real source (spans are
+                    // from the real parse). Read directly — the build aborts
+                    // before any dependency audit runs.
+                    let source = self.project.file(m).unwrap_or("");
+                    let file = SourceFile::new(format!("{m}.mc"), source);
+                    return Err(compile_error(m, diags, &file));
+                }
+                self.timings.entry(m.clone()).or_default().frontend_ns += elapsed;
+                let mut names: Vec<&String> = modcheck.global_types.keys().collect();
+                names.sort();
+                let mut context_repr = String::from("globals:");
+                for name in names {
+                    let value = modcheck.global_values.get(name).copied().unwrap_or(0);
+                    context_repr.push_str(&format!(
+                        "{name}:{:?}={value};",
+                        modcheck.global_types[name]
+                    ));
+                }
+                context_repr.push_str("callees:");
+                context_repr.push_str(&callee_repr);
+                Ok(BuildValue::CheckFn(Arc::new(CheckFnArtifact {
+                    checked: CheckedModule {
+                        ast: shell,
+                        global_values: modcheck.global_values.clone(),
+                        global_types: modcheck.global_types.clone(),
+                        interface: ModuleInterface {
+                            functions: local_sigs,
+                        },
+                    },
+                    env,
+                    context_repr,
+                })))
+            }
+            BuildTask::LowerFn(m, f) => {
+                let art = ctx
+                    .require(self, &BuildTask::CheckFn(m.clone(), f.clone()))?
+                    .expect_checkfn();
+                let t = Instant::now();
+                let def = &art.checked.ast.functions[0];
+                let func = sfcc_ir::lower_function_def(&art.checked, &art.env, def);
+                self.timings.entry(m.clone()).or_default().lower_ns +=
+                    t.elapsed().as_nanos() as u64;
+                Ok(BuildValue::LowerFn(Arc::new(func)))
+            }
+            BuildTask::OptimizeFn(m, f) => {
+                // The intra-module call closure: pass pipelines may consult
+                // callee bodies (inlining), so every transitively called
+                // local function rides along in the restricted run. Results
+                // for `f` are identical for any module ⊇ closure(f).
+                let mut closure: BTreeMap<String, Arc<Function>> = BTreeMap::new();
+                let mut queue = vec![f.clone()];
+                while let Some(g) = queue.pop() {
+                    if closure.contains_key(&g) {
+                        continue;
+                    }
+                    let func = ctx
+                        .require(self, &BuildTask::LowerFn(m.clone(), g.clone()))?
+                        .expect_lowerfn();
+                    let prefix = format!("{m}.");
+                    for (_, iid) in func.iter_insts() {
+                        if let Op::Call(target) = &func.inst(iid).op {
+                            if let Some(local) = target.strip_prefix(&prefix) {
+                                if !closure.contains_key(local) {
+                                    queue.push(local.to_string());
+                                }
+                            }
+                        }
+                    }
+                    closure.insert(g, func);
+                }
+                // The dormancy record is this task's tracked input; this is
+                // its actual read, noted here (not in the batch, which runs
+                // unattributed) so depcheck pins it to this label.
+                sfcc_faultfs::note_access(&format!("state:{m}::{f}"));
+                let parked = self.prepared.remove(&(m.clone(), f.clone()));
+                let (func, ftrace) = match parked {
+                    Some(PreparedFn { func, ftrace }) => (func, ftrace),
+                    None => self.optimize_solo(m, f, &closure),
+                };
+                let ingest_ns = self.compiler.ingest_function_trace(m, &ftrace);
+                self.timings.entry(m.clone()).or_default().state_ns += ingest_ns;
                 // Recorded *after* ingestion, so the dependency holds the
                 // post-write stamp and the task does not invalidate itself.
-                let state_input = format!("state:{m}");
+                let state_input = format!("state:{m}::{f}");
                 if !self.mutations.drops(label, &state_input) {
-                    let stamp = self.compiler.state_stamp(m);
+                    let stamp = self.compiler.state_stamp_fn(m, f);
                     ctx.record_input(&state_input, stamp);
                 }
-                let timings = self.timings.entry(m.clone()).or_default();
-                timings.middle_ns = middle_ns;
-                timings.state_ns = state_ns;
-                Ok(BuildValue::Optimize(Arc::new(OptimizeArtifact {
-                    ir: optimized,
-                    trace,
+                Ok(BuildValue::OptimizeFn(Arc::new(OptimizeFnArtifact {
+                    func,
+                    ftrace,
                 })))
             }
             BuildTask::Codegen(m) => {
-                let art = ctx
-                    .require(self, &BuildTask::Optimize(m.clone()))?
-                    .expect_optimize();
-                let parked = self
-                    .prepared
-                    .get_mut(m.as_str())
-                    .and_then(|p| p.codegen.take());
-                let (object, backend_ns) = match parked {
-                    Some(ready) => ready,
-                    None => self.compiler.phase_codegen(&art.ir).map_err(|error| {
-                        QueryError::Task(BuildError::Compile {
-                            module: m.clone(),
-                            error,
-                        })
-                    })?,
-                };
-                self.timings.entry(m.clone()).or_default().backend_ns = backend_ns;
+                let modcheck = ctx
+                    .require(self, &BuildTask::ModCheck(m.clone()))?
+                    .expect_modcheck();
+                let mut ir = sfcc_ir::Module::new(m.clone());
+                for f in &modcheck.roster {
+                    let art = ctx
+                        .require(self, &BuildTask::OptimizeFn(m.clone(), f.clone()))?
+                        .expect_optimizefn();
+                    ir.functions.push(art.func.clone());
+                }
+                let (object, backend_ns) = self.compiler.phase_codegen(&ir).map_err(|error| {
+                    QueryError::Task(BuildError::Compile {
+                        module: m.clone(),
+                        error,
+                    })
+                })?;
+                self.timings.entry(m.clone()).or_default().backend_ns += backend_ns;
                 Ok(BuildValue::Codegen(Arc::new(object)))
             }
             BuildTask::Link => {
@@ -584,22 +915,47 @@ impl BuildSpec<'_> {
     }
 }
 
+/// Renders accumulated diagnostics into a [`BuildError::Compile`].
+fn compile_error(
+    module: &str,
+    diags: Diagnostics,
+    file: &SourceFile,
+) -> QueryError<BuildTask, BuildError> {
+    QueryError::Task(BuildError::Compile {
+        module: module.to_string(),
+        error: CompileError::Frontend {
+            rendered: diags.render_all(file),
+            errors: diags.error_count(),
+        },
+    })
+}
+
+/// The canonical text of one function signature: name, parameter types, and
+/// return type. Equal reprs mean callers cannot observe a difference, which
+/// is what makes its hash the `signature(m::f)` task's early-cutoff
+/// fingerprint.
+pub fn signature_repr(sig: &FuncSig) -> String {
+    let mut repr = String::new();
+    repr.push_str(&sig.name);
+    repr.push('(');
+    for param in &sig.params {
+        repr.push_str(&format!("{param:?},"));
+    }
+    repr.push_str(&format!(")->{:?}", sig.ret));
+    repr
+}
+
 /// A deterministic hash of a module's exported interface: function names
 /// and signatures, order-independent (the underlying map is unordered).
-/// Equal hashes mean dependents cannot observe a difference, which is what
-/// makes this the `interface(m)` task's early-cutoff fingerprint.
+/// Equal hashes mean dependents cannot observe a *set-level* difference;
+/// per-caller invalidation goes through [`signature_repr`] instead.
 pub fn interface_hash(interface: &ModuleInterface) -> u64 {
     let mut names: Vec<&String> = interface.functions.keys().collect();
     names.sort();
     let mut repr = String::new();
     for name in names {
-        let sig = &interface.functions[name];
-        repr.push_str(name);
-        repr.push('(');
-        for param in &sig.params {
-            repr.push_str(&format!("{param:?},"));
-        }
-        repr.push_str(&format!(")->{:?};", sig.ret));
+        repr.push_str(&signature_repr(&interface.functions[name]));
+        repr.push(';');
     }
     fnv64(repr.as_bytes())
 }

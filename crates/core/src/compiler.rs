@@ -10,10 +10,12 @@ use sfcc_codec::fnv64;
 use sfcc_frontend::{CheckedModule, Diagnostics, ModuleEnv, ModuleInterface, SourceFile};
 use sfcc_ir::Fingerprint;
 use sfcc_passes::{
-    default_pipeline, minimal_pipeline, scalar_pipeline, Pipeline, PipelineTrace, RunOptions,
+    default_pipeline, minimal_pipeline, scalar_pipeline, FunctionTrace, Pipeline, PipelineTrace,
+    RunOptions,
 };
 use sfcc_pool::PoolScope;
 use sfcc_state::{statefile, DecodeError, SkipPolicy, StateDb};
+use std::collections::HashSet;
 use std::fmt;
 use std::io;
 use std::sync::Mutex;
@@ -117,6 +119,16 @@ pub struct Compiler {
     pipeline: Pipeline,
     pipeline_hash: Fingerprint,
     state: StateDb,
+    /// A snapshot of `state` taken at build-session start
+    /// ([`Compiler::freeze_state`]). While present, skip decisions read the
+    /// snapshot and per-function ingests mutate the live database, so no
+    /// optimize task can observe a sibling's same-session ingest — skip
+    /// decisions become independent of demand order and `--jobs`.
+    frozen: Option<StateDb>,
+    /// Modules whose build counter was already bumped this frozen session
+    /// (per-function ingests bump once per module per session, mirroring the
+    /// one bump a whole-module ingest performs).
+    session_bumped: HashSet<String>,
     state_load_error: Option<DecodeError>,
     fn_cache: FunctionCache,
     recovery_events: Vec<RecoveryEvent>,
@@ -154,6 +166,8 @@ impl Compiler {
             pipeline,
             pipeline_hash,
             state,
+            frozen: None,
+            session_bumped: HashSet::new(),
             state_load_error,
             fn_cache,
             recovery_events,
@@ -449,7 +463,35 @@ impl Compiler {
             &mut ir,
             self.config.mode,
             &self.pipeline,
-            &self.state,
+            self.skip_state(),
+            options,
+            cache,
+            pool,
+        );
+        (ir, outcome)
+    }
+
+    /// [`Compiler::phase_optimize_with`] for a *restricted* module — one
+    /// carrying only the call closure of the functions actually demanded
+    /// (engine task `optimizefn`). Identical pipeline semantics; the only
+    /// difference is depcheck attribution: the state read is noted per
+    /// function (`state:m::f`), matching the per-function inputs the
+    /// function-grained optimize tasks record.
+    pub fn phase_optimize_restricted<'env>(
+        &'env self,
+        ir: &sfcc_ir::Module,
+        pool: Option<&PoolScope<'env>>,
+    ) -> (sfcc_ir::Module, OptimizeOutcome) {
+        let options = RunOptions {
+            verify_each: self.config.verify_each,
+        };
+        let cache = self.config.function_cache.then_some(&self.fn_cache);
+        let mut ir = ir.clone();
+        let outcome = phases::optimize_fn_grained(
+            &mut ir,
+            self.config.mode,
+            &self.pipeline,
+            self.skip_state(),
             options,
             cache,
             pool,
@@ -472,6 +514,45 @@ impl Compiler {
         sfcc_pool::scope(jobs, |ps| self.phase_optimize_with(ir, Some(ps)))
     }
 
+    /// [`Compiler::phase_optimize_restricted`] on a fresh pool of `jobs`
+    /// workers (same clamping as [`Compiler::phase_optimize_jobs`]).
+    pub fn phase_optimize_restricted_jobs(
+        &self,
+        ir: &sfcc_ir::Module,
+        jobs: usize,
+    ) -> (sfcc_ir::Module, OptimizeOutcome) {
+        let jobs = jobs.clamp(1, ir.functions.len().max(1));
+        if jobs <= 1 {
+            return self.phase_optimize_restricted(ir, None);
+        }
+        sfcc_pool::scope(jobs, |ps| self.phase_optimize_restricted(ir, Some(ps)))
+    }
+
+    /// The state skip decisions read from: the frozen session snapshot when
+    /// one is active ([`Compiler::freeze_state`]), the live database
+    /// otherwise.
+    fn skip_state(&self) -> &StateDb {
+        self.frozen.as_ref().unwrap_or(&self.state)
+    }
+
+    /// Freezes a snapshot of the dormancy state for the duration of one
+    /// build session. While frozen, optimize phases consult the snapshot for
+    /// skip decisions and [`Compiler::ingest_function_trace`] mutates only
+    /// the live database — so a function's skip decisions cannot observe a
+    /// sibling's (or its own earlier) same-session ingest, regardless of
+    /// demand order or `--jobs`. Pair with [`Compiler::thaw_state`].
+    pub fn freeze_state(&mut self) {
+        self.frozen = Some(self.state.clone());
+        self.session_bumped.clear();
+    }
+
+    /// Drops the snapshot taken by [`Compiler::freeze_state`]; subsequent
+    /// skip decisions read the live (fully ingested) database again.
+    pub fn thaw_state(&mut self) {
+        self.frozen = None;
+        self.session_bumped.clear();
+    }
+
     /// Folds one pipeline trace into the dormancy state (stateful mode;
     /// a no-op otherwise). Returns the time spent (ns).
     pub fn ingest_trace(&mut self, trace: &PipelineTrace) -> u64 {
@@ -481,6 +562,33 @@ impl Compiler {
         let t = Instant::now();
         self.state.ingest(trace, self.pipeline_hash);
         t.elapsed().as_nanos() as u64
+    }
+
+    /// Folds one *function's* trace into the dormancy state (stateful mode;
+    /// a no-op otherwise), leaving every sibling record untouched. The
+    /// module's build counter is bumped once per frozen session — the first
+    /// per-function ingest for a module performs the same single bump a
+    /// whole-module [`Compiler::ingest_trace`] would, so streak/window
+    /// bookkeeping is identical either way. Returns the time spent (ns).
+    pub fn ingest_function_trace(&mut self, module: &str, ftrace: &FunctionTrace) -> u64 {
+        if !self.config.mode.is_stateful() {
+            return 0;
+        }
+        let t = Instant::now();
+        if self.session_bumped.insert(module.to_string()) {
+            self.state.bump_build_counter(module);
+        }
+        self.state
+            .ingest_function(module, ftrace, self.pipeline_hash);
+        t.elapsed().as_nanos() as u64
+    }
+
+    /// Garbage-collects per-function dormancy records of `module`: drops
+    /// every record whose function name fails `keep` (deleted or renamed
+    /// functions). The build driver calls this after a successful build with
+    /// the module's current roster.
+    pub fn retain_state_functions(&mut self, module: &str, keep: impl FnMut(&str) -> bool) {
+        self.state.retain_functions(module, keep);
     }
 
     /// Phase 4: optimized IR → object code (engine task `codegen`). Returns
@@ -507,6 +615,29 @@ impl Compiler {
         if self.config.mode.is_stateful() {
             match self.state.module(module) {
                 Some(state) => repr.push_str(&format!("state={:x}", state.content_stamp())),
+                None => repr.push_str("state=absent"),
+            }
+        }
+        fnv64(repr.as_bytes())
+    }
+
+    /// Per-function variant of [`Compiler::state_stamp`]: a deterministic
+    /// stamp of everything that steers skip decisions for one function —
+    /// mode, pipeline, and *that function's* dormancy record only. Always
+    /// reads the live database: the function-grained optimize task records
+    /// this stamp immediately after its own ingest, and sibling ingests
+    /// never touch the record, so the stamp the next session recomputes at
+    /// validation time matches byte for byte unless the record itself
+    /// changed.
+    pub fn state_stamp_fn(&self, module: &str, function: &str) -> u64 {
+        let mut repr = format!(
+            "mode={};pipeline={:x};",
+            self.config.mode.label(),
+            self.pipeline_hash.0
+        );
+        if self.config.mode.is_stateful() {
+            match self.state.function_stamp(module, function) {
+                Some(stamp) => repr.push_str(&format!("state={stamp:x}")),
                 None => repr.push_str("state=absent"),
             }
         }

@@ -113,6 +113,39 @@ pub fn optimize<'env>(
     // in both modes — stateless builds consult the state to decide *not*
     // to skip, which is still an observation of it.
     sfcc_faultfs::note_access(&format!("state:{}", ir.name));
+    optimize_prenoted(ir, mode, pipeline, state, options, cache, pool)
+}
+
+/// [`optimize`] for a *restricted* module (one carrying only the demanded
+/// functions' call closure): identical pipeline semantics, but **no**
+/// module-level `state:m` access note. Function-grained callers attribute
+/// the dormancy-state read per function (`state:m::f`) themselves, inside
+/// each function's own task scope — a batch restricted run executes outside
+/// any task scope, so a note emitted here would either be unattributed
+/// (batched) or mis-attributed to whichever task happened to be active
+/// (solo), and depcheck would flag phantom context-function reads.
+pub fn optimize_fn_grained<'env>(
+    ir: &mut sfcc_ir::Module,
+    mode: Mode,
+    pipeline: &'env Pipeline,
+    state: &'env StateDb,
+    options: RunOptions,
+    cache: Option<&'env FunctionCache>,
+    pool: Option<&PoolScope<'env>>,
+) -> OptimizeOutcome {
+    optimize_prenoted(ir, mode, pipeline, state, options, cache, pool)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn optimize_prenoted<'env>(
+    ir: &mut sfcc_ir::Module,
+    mode: Mode,
+    pipeline: &'env Pipeline,
+    state: &'env StateDb,
+    options: RunOptions,
+    cache: Option<&'env FunctionCache>,
+    pool: Option<&PoolScope<'env>>,
+) -> OptimizeOutcome {
     // Function-cache lookup: swap cached optimized bodies in and mark them
     // so the pipeline skips them entirely. Lookups never mutate entries
     // (only counters and referenced bits), so running them concurrently —

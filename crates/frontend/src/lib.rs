@@ -23,6 +23,7 @@
 
 pub mod ast;
 pub mod diag;
+pub mod fingerprint;
 pub mod lexer;
 pub mod parser;
 pub mod sema;
@@ -31,7 +32,11 @@ pub mod token;
 
 pub use ast::Module;
 pub use diag::{Diagnostic, Diagnostics, Severity};
-pub use sema::{check, CheckedModule, FuncSig, ModuleEnv, ModuleInterface, BUILTIN_PRINT};
+pub use fingerprint::{callees_of, def_fingerprint};
+pub use sema::{
+    check, check_function_with, check_module_level, CheckedModule, FuncSig, ModuleEnv,
+    ModuleInterface, ModuleLevel, BUILTIN_PRINT,
+};
 pub use source::{LineCol, SourceFile, Span};
 
 /// Parses and type-checks `text` as module `name` in one step.

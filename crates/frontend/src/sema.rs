@@ -115,6 +115,95 @@ pub fn check(module: Module, env: &ModuleEnv, diags: &mut Diagnostics) -> Option
     })
 }
 
+/// Module-level semantic facts shared by every per-function check: import
+/// validity, evaluated global constants, and collected local signatures.
+///
+/// Produced by [`check_module_level`]; consumed by [`check_function_with`].
+/// The function-granular build pipeline computes this once per module and
+/// then checks each function independently against it.
+#[derive(Debug, Clone, Default)]
+pub struct ModuleLevel {
+    /// Global constant values by name.
+    pub global_values: HashMap<String, i64>,
+    /// Global constant types by name.
+    pub global_types: HashMap<String, TypeAst>,
+    /// Signatures of this module's own functions by name.
+    pub local_sigs: HashMap<String, FuncSig>,
+}
+
+/// Runs the module-level half of semantic analysis: import checks, global
+/// constant evaluation, and signature collection (duplicate functions,
+/// illegal parameter/return types, builtin redefinition).
+///
+/// Function bodies are *not* checked — that is [`check_function_with`]'s job.
+///
+/// # Errors
+///
+/// Returns `None` after recording at least one error in `diags`.
+pub fn check_module_level(
+    module: &Module,
+    env: &ModuleEnv,
+    diags: &mut Diagnostics,
+) -> Option<ModuleLevel> {
+    let before = diags.error_count();
+    let level = {
+        let mut checker = Checker::new(module, env, diags);
+        checker.check_imports();
+        checker.check_globals();
+        checker.collect_signatures();
+        ModuleLevel {
+            global_values: checker
+                .globals
+                .iter()
+                .map(|(k, (_, v))| (k.clone(), *v))
+                .collect(),
+            global_types: checker
+                .globals
+                .iter()
+                .map(|(k, (t, _))| (k.clone(), *t))
+                .collect(),
+            local_sigs: checker.local_sigs.clone(),
+        }
+    };
+    if diags.error_count() > before {
+        return None;
+    }
+    Some(level)
+}
+
+/// Type-checks one function body against pre-computed module-level facts.
+///
+/// `module` supplies the import list and module name consulted by call
+/// resolution; `level.local_sigs` may be pruned to exactly the signatures
+/// the function's call sites can consult (see
+/// [`crate::fingerprint::callees_of`]) — body checking never looks at any
+/// other local signature. Returns `false` when new errors were recorded.
+pub fn check_function_with(
+    module: &Module,
+    env: &ModuleEnv,
+    level: &ModuleLevel,
+    func: &FunctionDef,
+    diags: &mut Diagnostics,
+) -> bool {
+    let before = diags.error_count();
+    {
+        let mut checker = Checker::new(module, env, diags);
+        checker.globals = level
+            .global_types
+            .iter()
+            .map(|(k, t)| {
+                (
+                    k.clone(),
+                    (*t, level.global_values.get(k).copied().unwrap_or(0)),
+                )
+            })
+            .collect();
+        checker.local_sigs = level.local_sigs.clone();
+        checker.check_function(func);
+    }
+    diags.error_count() == before
+}
+
 struct Checker<'a, 'd> {
     module: &'a Module,
     env: &'a ModuleEnv,
@@ -1113,6 +1202,73 @@ mod tests {
             d.iter().any(|diag| diag.message.contains("unreachable")),
             "{d:?}"
         );
+    }
+
+    #[test]
+    fn split_check_matches_whole_module_check() {
+        let src = "const K: int = 3;\n\
+                   fn g(x: int) -> int { return x * K; }\n\
+                   fn f(x: int) -> int { return g(x) + 1; }";
+        let mut d = Diagnostics::new();
+        let m = parse("test", src, &mut d);
+        let env = ModuleEnv::new();
+        let level = check_module_level(&m, &env, &mut d).expect("module level ok");
+        assert_eq!(level.global_values["K"], 3);
+        assert_eq!(level.local_sigs.len(), 2);
+        for func in &m.functions {
+            assert!(check_function_with(&m, &env, &level, func, &mut d));
+        }
+        assert!(!d.has_errors());
+    }
+
+    #[test]
+    fn split_check_surfaces_body_errors_per_function() {
+        let src = "fn ok() {}\nfn bad() -> int { return true; }";
+        let mut d = Diagnostics::new();
+        let m = parse("test", src, &mut d);
+        let env = ModuleEnv::new();
+        let level = check_module_level(&m, &env, &mut d).expect("module level ok");
+        assert!(check_function_with(
+            &m,
+            &env,
+            &level,
+            m.function("ok").unwrap(),
+            &mut d
+        ));
+        assert!(!check_function_with(
+            &m,
+            &env,
+            &level,
+            m.function("bad").unwrap(),
+            &mut d
+        ));
+    }
+
+    #[test]
+    fn module_level_rejects_duplicate_functions() {
+        let mut d = Diagnostics::new();
+        let m = parse("test", "fn f() {}\nfn f() {}", &mut d);
+        assert!(check_module_level(&m, &ModuleEnv::new(), &mut d).is_none());
+    }
+
+    #[test]
+    fn pruned_local_sigs_make_unlisted_callees_unknown() {
+        let src = "fn g() {}\nfn f() { g(); }";
+        let mut d = Diagnostics::new();
+        let m = parse("test", src, &mut d);
+        let env = ModuleEnv::new();
+        let mut level = check_module_level(&m, &env, &mut d).expect("module level ok");
+        level.local_sigs.remove("g");
+        assert!(!check_function_with(
+            &m,
+            &env,
+            &level,
+            m.function("f").unwrap(),
+            &mut d
+        ));
+        assert!(d
+            .iter()
+            .any(|diag| diag.message.contains("unknown function")));
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub use fingerprint::{fingerprint, Fingerprint};
 pub use function::{BlockData, FuncBuilder, Function, Module, ENTRY};
 pub use inst::{BinKind, BlockId, IcmpPred, InstData, InstId, Op, Terminator, Ty, ValueRef};
 pub use loops::{Loop, LoopForest};
-pub use lower::lower_module;
+pub use lower::{lower_function_def, lower_module};
 pub use parse::{parse_function, IrParseError};
 pub use print::{function_to_string, module_to_string};
 pub use verify::{verify_function, verify_module, VerifyError};

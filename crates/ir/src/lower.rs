@@ -25,6 +25,22 @@ pub fn lower_module(checked: &CheckedModule, env: &ModuleEnv) -> Module {
     module
 }
 
+/// Lowers a single function definition to IR.
+///
+/// `checked` only needs to carry what lowering actually consults for `def`:
+/// the module name, evaluated globals, and the signatures of `def`'s local
+/// callees in `interface.functions` (`env` supplies cross-module ones). The
+/// function-granular pipeline exploits this by lowering against a pruned
+/// [`CheckedModule`] — the emitted IR is identical to the corresponding
+/// function of [`lower_module`] on the full module.
+pub fn lower_function_def(
+    checked: &CheckedModule,
+    env: &ModuleEnv,
+    def: &ast::FunctionDef,
+) -> Function {
+    lower_function(checked, env, def)
+}
+
 fn type_of(ast_ty: ast::TypeAst) -> Ty {
     match ast_ty {
         ast::TypeAst::Int => Ty::I64,
@@ -524,6 +540,23 @@ mod tests {
         let m = lower_src("fn f() { print(1); }");
         let text = m.function("f").unwrap().to_string();
         assert!(text.contains("  ret\n"), "{text}");
+    }
+
+    #[test]
+    fn per_function_lowering_matches_whole_module() {
+        let src = "const K: int = 3;\n\
+                   fn g(x: int) -> int { return x * K; }\n\
+                   fn f(x: int) -> int { return g(x) + 1; }";
+        let mut d = Diagnostics::new();
+        let checked = parse_and_check("m", src, &ModuleEnv::new(), &mut d).unwrap();
+        let whole = lower_module(&checked, &ModuleEnv::new());
+        for def in &checked.ast.functions {
+            let solo = lower_function_def(&checked, &ModuleEnv::new(), def);
+            assert_eq!(
+                solo.to_string(),
+                whole.function(&def.name).unwrap().to_string()
+            );
+        }
     }
 
     #[test]

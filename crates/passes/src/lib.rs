@@ -54,6 +54,7 @@ pub mod peephole;
 pub mod reassociate;
 pub mod sccp;
 pub mod simplify_cfg;
+pub mod snapstats;
 pub mod util;
 
 use sfcc_ir::{Function, Module};
@@ -63,6 +64,7 @@ pub use manager::{
     PipelineTrace, RunOptions, SkipOracle,
 };
 pub use parallel::run_pipeline_parallel;
+pub use snapstats::{snapshot_stats, SnapshotStats};
 
 /// A function transformation.
 ///

@@ -89,6 +89,12 @@ pub struct PipelineTrace {
     pub module: String,
     /// One trace per function, in module order.
     pub functions: Vec<FunctionTrace>,
+    /// Module snapshots cloned during this run (pipeline entry + every
+    /// re-snapshot stage). Identical across sequential and parallel runners.
+    pub snapshot_clones: u64,
+    /// Σ live instruction count over the functions of every cloned snapshot
+    /// — the deterministic cost proxy for snapshot overhead.
+    pub snapshot_cost_units: u64,
 }
 
 impl PipelineTrace {
@@ -241,6 +247,8 @@ pub fn run_pipeline(
     let mut trace = PipelineTrace {
         module: module.name.clone(),
         functions: Vec::new(),
+        snapshot_clones: 0,
+        snapshot_cost_units: 0,
     };
     for (idx, f) in module.functions.iter().enumerate() {
         let _ = idx;
@@ -252,11 +260,16 @@ pub fn run_pipeline(
         });
     }
 
-    let mut snapshot = module.clone();
+    let (mut snapshot, cost) = clone_snapshot(module);
+    trace.snapshot_clones += 1;
+    trace.snapshot_cost_units += cost;
     let mut slot_base = 0usize;
     for stage in &pipeline.stages {
         if stage.resnapshot {
-            snapshot = module.clone();
+            let (snap, cost) = clone_snapshot(module);
+            snapshot = snap;
+            trace.snapshot_clones += 1;
+            trace.snapshot_cost_units += cost;
         }
         for func_idx in 0..module.functions.len() {
             for (pass_idx, pass) in stage.passes.iter().enumerate() {
@@ -309,6 +322,21 @@ pub fn run_pipeline(
         ftrace.exit_fingerprint = fingerprint(f);
     }
     trace
+}
+
+/// Clones the module for a stage snapshot, recording the clone in the
+/// process-global [`crate::snapstats`] counters. Returns the snapshot and
+/// its deterministic cost (Σ live instruction count).
+pub(crate) fn clone_snapshot(module: &Module) -> (Module, u64) {
+    let cost: u64 = module
+        .functions
+        .iter()
+        .map(|f| f.live_inst_count() as u64)
+        .sum();
+    let start = Instant::now();
+    let snapshot = module.clone();
+    crate::snapstats::record_clone(cost, start.elapsed().as_nanos() as u64);
+    (snapshot, cost)
 }
 
 #[cfg(test)]

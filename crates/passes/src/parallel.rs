@@ -68,7 +68,10 @@ pub fn run_pipeline_parallel<'env>(
 
     // Pre-stage snapshot: the inliner (and any other cross-function pass)
     // reads callee bodies from here, never from the cells being mutated.
-    let mut snapshot = Arc::new(module.clone());
+    let (initial, initial_cost) = crate::manager::clone_snapshot(module);
+    let mut snapshot = Arc::new(initial);
+    let mut snapshot_clones = 1u64;
+    let mut snapshot_cost_units = initial_cost;
     let mut cells: Vec<FnCell> = std::mem::take(&mut module.functions)
         .into_iter()
         .map(|func| FnCell {
@@ -89,9 +92,14 @@ pub fn run_pipeline_parallel<'env>(
             // Rebuild the snapshot from the current (post-previous-stage)
             // function bodies, mirroring `snapshot = module.clone()` in the
             // sequential runner.
+            let cost: u64 = cells.iter().map(|c| c.func.live_inst_count() as u64).sum();
+            let start = Instant::now();
             let mut snap = Module::new(snapshot.name.clone());
             snap.functions = cells.iter().map(|c| c.func.clone()).collect();
+            crate::snapstats::record_clone(cost, start.elapsed().as_nanos() as u64);
             snapshot = Arc::new(snap);
+            snapshot_clones += 1;
+            snapshot_cost_units += cost;
         }
 
         // Largest-first by live instruction count to minimize makespan.
@@ -127,6 +135,8 @@ pub fn run_pipeline_parallel<'env>(
     PipelineTrace {
         module: module.name.clone(),
         functions: traces,
+        snapshot_clones,
+        snapshot_cost_units,
     }
 }
 

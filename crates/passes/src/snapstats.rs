@@ -1,0 +1,77 @@
+//! Process-global counters for per-stage module-snapshot cloning.
+//!
+//! Both pipeline runners clone the module being optimized — once at pipeline
+//! entry and once more at every re-snapshot stage boundary — so that
+//! cross-function passes (the inliner) read callee bodies race-free. That
+//! cloning is pure overhead that grows with module width and is the leading
+//! suspect for the `--jobs ≥ 2` optimize-time inflation visible in
+//! BENCH_parallel.json; these counters make it measurable.
+//!
+//! `clones` and `cost_units` (Σ live instruction count of every function
+//! cloned) are deterministic and identical across `--jobs` values — the
+//! sequential and parallel runners snapshot at exactly the same points — so
+//! they are safe to surface in byte-stable traces. `wall_ns` is wall-clock
+//! and belongs only in the (jobs-variant) metrics registry.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CLONES: AtomicU64 = AtomicU64::new(0);
+static COST_UNITS: AtomicU64 = AtomicU64::new(0);
+static WALL_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative snapshot-clone counters since process start.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Number of module snapshots taken.
+    pub clones: u64,
+    /// Σ live instruction count over every function cloned (deterministic
+    /// cost proxy, jobs-invariant).
+    pub cost_units: u64,
+    /// Wall time spent cloning, in nanoseconds (jobs-variant).
+    pub wall_ns: u64,
+}
+
+impl SnapshotStats {
+    /// Counter deltas accumulated since `earlier` was captured.
+    pub fn delta_since(&self, earlier: &SnapshotStats) -> SnapshotStats {
+        SnapshotStats {
+            clones: self.clones.wrapping_sub(earlier.clones),
+            cost_units: self.cost_units.wrapping_sub(earlier.cost_units),
+            wall_ns: self.wall_ns.wrapping_sub(earlier.wall_ns),
+        }
+    }
+}
+
+/// Reads the process-global snapshot-clone counters.
+pub fn snapshot_stats() -> SnapshotStats {
+    SnapshotStats {
+        clones: CLONES.load(Ordering::Relaxed),
+        cost_units: COST_UNITS.load(Ordering::Relaxed),
+        wall_ns: WALL_NS.load(Ordering::Relaxed),
+    }
+}
+
+/// Records one module snapshot of `cost_units` total live instructions that
+/// took `wall_ns` to clone. Called by the pipeline runners.
+pub(crate) fn record_clone(cost_units: u64, wall_ns: u64) {
+    CLONES.fetch_add(1, Ordering::Relaxed);
+    COST_UNITS.fetch_add(cost_units, Ordering::Relaxed);
+    WALL_NS.fetch_add(wall_ns, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_and_delta_subtracts() {
+        let before = snapshot_stats();
+        record_clone(10, 100);
+        record_clone(5, 50);
+        let delta = snapshot_stats().delta_since(&before);
+        // Other tests in the process may also record; lower bounds only.
+        assert!(delta.clones >= 2);
+        assert!(delta.cost_units >= 15);
+        assert!(delta.wall_ns >= 150);
+    }
+}

@@ -73,6 +73,8 @@ mod integration {
                     })
                     .collect(),
             }],
+            snapshot_clones: 0,
+            snapshot_cost_units: 0,
         }
     }
 

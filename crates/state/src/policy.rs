@@ -147,6 +147,8 @@ mod tests {
                         })
                         .collect(),
                 }],
+                snapshot_clones: 0,
+                snapshot_cost_units: 0,
             };
             db.ingest(&trace, Fingerprint(9));
         }

@@ -59,6 +59,29 @@ pub struct FunctionRecord {
 }
 
 impl FunctionRecord {
+    /// A deterministic stamp of this record's skip-relevant content.
+    ///
+    /// Unlike [`ModuleState::content_stamp`] this excludes `last_build` and
+    /// any module-wide counter: equal stamps mean the record would drive
+    /// identical skip decisions for this one function. That makes the stamp
+    /// stable across no-op rebuilds and independent of the order in which
+    /// sibling functions were re-optimized — the property the per-function
+    /// `state:module::function` build input relies on.
+    pub fn content_stamp(&self) -> u64 {
+        let mut repr = format!("{:x}/{:x}", self.fingerprint.0, self.exit_fingerprint.0);
+        for slot in &self.slots {
+            repr.push_str(&format!(
+                "|{}{}s{}h{}o{}",
+                slot.dormant as u8,
+                slot.dormant_streak,
+                slot.times_skipped,
+                slot.history,
+                slot.observations
+            ));
+        }
+        crate::codec::fnv64(repr.as_bytes())
+    }
+
     /// Whether the slot at `index` is recorded dormant.
     pub fn is_dormant(&self, index: usize) -> bool {
         self.slots.get(index).is_some_and(|s| s.dormant)
@@ -190,6 +213,62 @@ impl StateDb {
         }
         module.functions = fresh;
     }
+
+    /// Folds a single function's trace into `module_name`'s state, leaving
+    /// every sibling record untouched (no garbage collection — callers that
+    /// ingest function-by-function GC deleted functions explicitly with
+    /// [`StateDb::retain_functions`]).
+    ///
+    /// The module's build counter is *not* bumped here; drivers bump it once
+    /// per build session via [`StateDb::bump_build_counter`] so that
+    /// per-function ingest order cannot influence any stamp.
+    ///
+    /// A pipeline-hash mismatch resets the module before ingesting.
+    pub fn ingest_function(
+        &mut self,
+        module_name: &str,
+        ftrace: &FunctionTrace,
+        pipeline_hash: Fingerprint,
+    ) {
+        let module = self.modules.entry(module_name.to_string()).or_default();
+        if module.pipeline_hash != pipeline_hash {
+            module.functions.clear();
+            module.pipeline_hash = pipeline_hash;
+        }
+        let build = module.build_counter;
+        let old = module.functions.get(&ftrace.function);
+        let fresh = merge(old, ftrace, build);
+        module.functions.insert(ftrace.function.clone(), fresh);
+    }
+
+    /// Advances `module_name`'s build counter by one, creating the module
+    /// entry if needed, and returns the new value. Companion to
+    /// [`StateDb::ingest_function`].
+    pub fn bump_build_counter(&mut self, module_name: &str) -> u64 {
+        let module = self.modules.entry(module_name.to_string()).or_default();
+        module.build_counter += 1;
+        module.build_counter
+    }
+
+    /// Drops function records of `module_name` whose names fail `keep` —
+    /// the explicit garbage-collection companion to
+    /// [`StateDb::ingest_function`] (whole-module [`StateDb::ingest`] GCs
+    /// implicitly by rebuilding the record map from the trace).
+    pub fn retain_functions(&mut self, module_name: &str, mut keep: impl FnMut(&str) -> bool) {
+        if let Some(module) = self.modules.get_mut(module_name) {
+            module.functions.retain(|name, _| keep(name));
+        }
+    }
+
+    /// The stamp of one function's record, or `None` when the module or
+    /// function has no state yet.
+    pub fn function_stamp(&self, module_name: &str, function: &str) -> Option<u64> {
+        self.modules
+            .get(module_name)?
+            .functions
+            .get(function)
+            .map(FunctionRecord::content_stamp)
+    }
 }
 
 /// Merges one function's new trace into its previous record.
@@ -274,6 +353,8 @@ mod tests {
                     })
                     .collect(),
             }],
+            snapshot_clones: 0,
+            snapshot_cost_units: 0,
         }
     }
 
@@ -350,6 +431,86 @@ mod tests {
         let c = StateDb::pipeline_hash(&["x", "y"]);
         assert_ne!(a, b);
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn ingest_function_leaves_siblings_alone() {
+        let mut db = StateDb::new();
+        db.ingest(&trace_of("m", "f", &[PassOutcome::Dormant]), HASH);
+        let g = trace_of("m", "g", &[PassOutcome::Active]);
+        db.ingest_function("m", &g.functions[0], HASH);
+        let module = db.module("m").unwrap();
+        assert!(module.functions.contains_key("f"), "sibling survives");
+        assert!(module.functions.contains_key("g"));
+    }
+
+    #[test]
+    fn ingest_function_merges_like_whole_module_ingest() {
+        let mut whole = StateDb::new();
+        let mut fngrain = StateDb::new();
+        for outcome in [PassOutcome::Dormant, PassOutcome::Skipped] {
+            let t = trace_of("m", "f", &[outcome]);
+            whole.ingest(&t, HASH);
+            fngrain.bump_build_counter("m");
+            fngrain.ingest_function("m", &t.functions[0], HASH);
+        }
+        assert_eq!(
+            whole.module("m").unwrap().functions["f"],
+            fngrain.module("m").unwrap().functions["f"],
+        );
+    }
+
+    #[test]
+    fn ingest_function_pipeline_mismatch_resets_module() {
+        let mut db = StateDb::new();
+        db.ingest(&trace_of("m", "f", &[PassOutcome::Dormant]), HASH);
+        let g = trace_of("m", "g", &[PassOutcome::Dormant]);
+        db.ingest_function("m", &g.functions[0], Fingerprint(7));
+        let module = db.module("m").unwrap();
+        assert!(!module.functions.contains_key("f"), "old pipeline cleared");
+        assert_eq!(module.functions["g"].streak(0), 1);
+    }
+
+    #[test]
+    fn retain_functions_gcs_deleted_names() {
+        let mut db = StateDb::new();
+        let f = trace_of("m", "f", &[PassOutcome::Dormant]);
+        let g = trace_of("m", "g", &[PassOutcome::Dormant]);
+        db.ingest_function("m", &f.functions[0], HASH);
+        db.ingest_function("m", &g.functions[0], HASH);
+        db.retain_functions("m", |name| name == "g");
+        assert!(!db.module("m").unwrap().functions.contains_key("f"));
+        assert!(db.module("m").unwrap().functions.contains_key("g"));
+    }
+
+    #[test]
+    fn function_stamp_ignores_build_counters() {
+        let mut a = StateDb::new();
+        let mut b = StateDb::new();
+        let t = trace_of("m", "f", &[PassOutcome::Dormant]);
+        a.ingest_function("m", &t.functions[0], HASH);
+        for _ in 0..5 {
+            b.bump_build_counter("m");
+        }
+        b.ingest_function("m", &t.functions[0], HASH);
+        assert_eq!(
+            a.function_stamp("m", "f").unwrap(),
+            b.function_stamp("m", "f").unwrap(),
+            "stamps must not depend on how many builds have run"
+        );
+        assert!(a.function_stamp("m", "nope").is_none());
+        assert!(a.function_stamp("other", "f").is_none());
+    }
+
+    #[test]
+    fn function_stamp_tracks_slot_content() {
+        let mut db = StateDb::new();
+        let t = trace_of("m", "f", &[PassOutcome::Dormant]);
+        db.ingest_function("m", &t.functions[0], HASH);
+        let before = db.function_stamp("m", "f").unwrap();
+        db.ingest_function("m", &t.functions[0], HASH);
+        let after = db.function_stamp("m", "f").unwrap();
+        assert_ne!(before, after, "streak growth is skip-relevant content");
     }
 
     #[test]

@@ -201,6 +201,8 @@ mod tests {
                     })
                     .collect(),
             }],
+            snapshot_clones: 0,
+            snapshot_cost_units: 0,
         }
     }
 

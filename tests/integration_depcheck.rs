@@ -129,13 +129,15 @@ fn committed_demo_project_depchecks_clean() {
 
 #[test]
 fn quick_seeded_missing_dep_is_caught_for_every_task_kind() {
-    // Input-carrying tasks lie by *dropping* a declaration they need...
+    // Input-carrying tasks lie by *dropping* a declaration they need. In
+    // the function-grained taxonomy the raw inputs are per-module source
+    // (imports, parse), the manifest (graph), and the *per-function*
+    // dormancy stamp (optimizefn).
     let dropped = [
         ("imports(base)", "src:base"),
-        ("interface(base)", "src:base"),
-        ("frontend(base)", "src:base"),
+        ("parse(base)", "src:base"),
         ("graph", "manifest"),
-        ("optimize(base)", "state:base"),
+        ("optimizefn(base::g)", "state:base::g"),
     ];
     for (task, input) in dropped {
         let dc = depcheck_build(DepMutations::new().drop_dep(task, input));
@@ -151,10 +153,16 @@ fn quick_seeded_missing_dep_is_caught_for_every_task_kind() {
         assert_eq!(f.resource, input);
     }
 
-    // ...input-free tasks (lower, codegen, link declare only Task deps) lie
-    // by *accessing* a resource they never declare.
+    // ...input-free tasks (the derivation chain from parse to link declares
+    // only Task deps) lie by *accessing* a resource they never declare —
+    // including every per-function kind.
     let ghosts = [
-        ("lower(base)", "ghost:ir"),
+        ("interface(base)", "ghost:iface"),
+        ("modcheck(base)", "ghost:level"),
+        ("fnast(base::g)", "ghost:ast"),
+        ("signature(base::g)", "ghost:sig"),
+        ("checkfn(base::g)", "ghost:checked"),
+        ("lowerfn(base::g)", "ghost:ir"),
         ("codegen(base)", "ghost:obj"),
         ("link", "ghost:image"),
     ];
@@ -177,11 +185,15 @@ fn quick_seeded_missing_dep_is_caught_for_every_task_kind() {
 fn quick_seeded_redundant_dep_is_caught_for_every_task_kind() {
     let tasks = [
         "imports(base)",
+        "parse(base)",
         "interface(base)",
-        "frontend(base)",
         "graph",
-        "lower(base)",
-        "optimize(base)",
+        "modcheck(base)",
+        "fnast(base::g)",
+        "signature(base::g)",
+        "checkfn(base::g)",
+        "lowerfn(base::g)",
+        "optimizefn(base::g)",
         "codegen(base)",
         "link",
     ];

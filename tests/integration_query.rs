@@ -73,9 +73,10 @@ fn interface_edit_reexecutes_dependents_tasks_with_cutoff() {
     assert_eq!(first.query.hits, 0);
     assert!(first.query.misses > 0);
 
-    // Interface edit: base exports one more function. lib's frontend must
-    // re-check against the new environment, but its IR (and so everything
-    // downstream, and all of main) is spared by fingerprint cutoff.
+    // Interface edit: base exports one more function. Under function-grained
+    // dependencies lib's pin is on signature(base::g) alone — unchanged — so
+    // only lib's cheap module-check re-derives (and fingerprints
+    // identically); no per-function task of lib, nothing of main.
     p.set_file(
         "base".into(),
         "fn g(x: int) -> int { return x * 2; }\nfn extra() -> int { return 7; }".into(),
@@ -83,12 +84,15 @@ fn interface_edit_reexecutes_dependents_tasks_with_cutoff() {
     let report = builder.build(&p).unwrap();
     let executed = &report.query.executed;
     assert!(
-        executed.iter().any(|t| t == "frontend(lib)"),
+        executed.iter().any(|t| t == "signature(base::g)"),
         "{executed:?}"
     );
-    assert!(executed.iter().any(|t| t == "lower(lib)"), "{executed:?}");
     assert!(
-        !executed.iter().any(|t| t == "optimize(lib)"),
+        executed.iter().any(|t| t == "modcheck(lib)"),
+        "{executed:?}"
+    );
+    assert!(
+        !executed.iter().any(|t| t.contains("lib::")),
         "{executed:?}"
     );
     assert!(
@@ -96,7 +100,9 @@ fn interface_edit_reexecutes_dependents_tasks_with_cutoff() {
         "{executed:?}"
     );
     assert!(
-        !executed.iter().any(|t| t.ends_with("(main)")),
+        !executed
+            .iter()
+            .any(|t| t.ends_with("(main)") || t.contains("main::")),
         "{executed:?}"
     );
     assert!(report.query.hits > 0);
@@ -116,13 +122,14 @@ fn body_edit_hits_everything_but_the_edited_module() {
         "fn g(x: int) -> int { return x * 7; }".into(),
     );
     let report = builder.build(&p).unwrap();
-    // No task of lib or main executes; only base's pipeline and the link.
+    // No task of lib or main executes; only base's tasks (module-level and
+    // per-function alike) and the link.
     assert!(
         report
             .query
             .executed
             .iter()
-            .all(|t| t.ends_with("(base)") || t == "link"),
+            .all(|t| t.contains("(base") || t == "link"),
         "{:?}",
         report.query.executed
     );
