@@ -9,9 +9,10 @@
 #                  report schema, metrics consistency, CLI contracts), and
 #                  of the dependency-soundness suite (clean-build audit,
 #                  per-task-kind seeded lies, E15 fuzz matrix), the
-#                  function-granularity suite and its E16 gate, plus a
-#                  traced demo build validated with `trace-check` and a
-#                  depcheck run over the demo project
+#                  function-granularity suite and its E16 gate, the
+#                  parallel byte-identity suite and its E13 fan-out
+#                  overhead gate, plus a traced demo build validated with
+#                  `trace-check` and a depcheck run over the demo project
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -47,6 +48,10 @@ if [[ "${1:-}" == "--quick" ]]; then
     cargo test -q -p sfcc-bench --lib quick_every_mutation_is_caught_before_divergence
     cargo test -q -p sfcc --test integration_fngrain
     cargo test -q -p sfcc-bench --lib quick_one_function_edit_beats_module_grain_five_fold
+    cargo test -q -p sfcc --test integration_parallel quick_
+    # Fan-out overhead smoke: jobs=8 optimize time must stay within 5% of
+    # jobs=1 on the single-module sweep (pure overhead on a 1-core host).
+    cargo run -q -p sfcc-bench --release --bin exp_parallel_scaling -- --quick --gate-overhead 5
     trace_smoke
     depcheck_smoke
     exit 0
@@ -62,7 +67,7 @@ depcheck_smoke
 # dependency-soundness sweeps, plus the function-granularity comparison
 # (write BENCH_parallel.json / BENCH_trace.json / BENCH_depcheck.json /
 # BENCH_fngrain.json).
-cargo run -q -p sfcc-bench --release --bin exp_parallel_scaling -- --quick
+cargo run -q -p sfcc-bench --release --bin exp_parallel_scaling -- --quick --gate-overhead 5
 cargo run -q -p sfcc-bench --release --bin exp_trace_overhead -- --quick
 cargo run -q -p sfcc-bench --release --bin exp_depcheck_fuzz -- --quick
 cargo run -q -p sfcc-bench --release --bin exp_fngrain -- --quick

@@ -616,6 +616,19 @@ fn cmd_stats(args: &[String]) -> Result<ExitCode, String> {
         snapshot.len()
     );
     print!("{}", snapshot.render_pretty());
+    // Copy-on-write snapshot economics at a glance: how much cloning the
+    // re-snapshot stages actually did vs. how much the dirty-bit rule saved.
+    if let (Some(clones), Some(reused)) = (
+        snapshot.scalar("snapshot.clones"),
+        snapshot.scalar("snapshot.reused"),
+    ) {
+        let cost = snapshot.scalar("snapshot.cost_units").unwrap_or(0);
+        let batches = snapshot.scalar("batch.count").unwrap_or(0);
+        println!(
+            "\nsnapshot reuse: {reused} function(s) reused across {clones} snapshot(s) \
+             ({cost} cost units cloned, {batches} batch(es) planned)"
+        );
+    }
     Ok(ExitCode::SUCCESS)
 }
 

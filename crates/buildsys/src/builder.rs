@@ -182,7 +182,11 @@ impl Builder {
     }
 
     /// Sets the worker count for within-wave parallel compilation. `1`
-    /// (also the floor) means fully sequential builds.
+    /// (also the floor) means fully sequential builds. The value is a cap,
+    /// not a demand: the pool is sized at
+    /// `min(jobs, available parallelism)` when builds run, so an oversized
+    /// `--jobs` on a small host costs nothing (outputs are byte-identical
+    /// for every worker count either way).
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs.max(1);
         self
@@ -435,12 +439,15 @@ impl Builder {
                         functions.push(art.ftrace.clone());
                     }
                 }
-                let (snapshot_clones, snapshot_cost_units) = spec.take_snapshots(name);
+                let snap = spec.take_snapshots(name);
                 let trace = PipelineTrace {
                     module: name.clone(),
                     functions,
-                    snapshot_clones,
-                    snapshot_cost_units,
+                    snapshot_clones: snap.clones,
+                    snapshot_cost_units: snap.cost_units,
+                    snapshot_reused: snap.reused,
+                    batch_count: snap.batch_count,
+                    batch_max_cost: snap.batch_max_cost,
                 };
                 Some(CompileOutput {
                     object: (*object).clone(),
@@ -614,15 +621,12 @@ fn record_report_metrics(report: &BuildReport, waves: usize, registry: &Registry
         report.fngrain.fn_tasks_executed,
     );
     registry.gauge_set("fngrain.cutoff_saved", report.fngrain.cutoff_saved);
-    let (snap_clones, snap_cost) = report
-        .modules
-        .iter()
-        .filter_map(|m| m.output.as_ref())
-        .fold((0u64, 0u64), |(c, u), o| {
-            (c + o.trace.snapshot_clones, u + o.trace.snapshot_cost_units)
-        });
-    registry.gauge_set("snapshot.clones", snap_clones);
-    registry.gauge_set("snapshot.cost_units", snap_cost);
+    let parallel = report.parallel_stats();
+    registry.gauge_set("snapshot.clones", parallel.snapshot_clones);
+    registry.gauge_set("snapshot.cost_units", parallel.snapshot_cost_units);
+    registry.gauge_set("snapshot.reused", parallel.snapshot_reused);
+    registry.gauge_set("batch.count", parallel.batch_count);
+    registry.gauge_set("batch.max_cost", parallel.batch_max_cost);
     registry.gauge_set("recovery.recovered_files", report.recovered_files as u64);
     registry.gauge_set("recovery.quarantined", report.quarantined.len() as u64);
     // Depcheck gauges are emitted on *every* build — zeros when the audit
@@ -778,8 +782,9 @@ fn emit_trace_tree(
             }
         }
         // Per-stage module-snapshot cloning of this module's restricted
-        // optimization runs: deterministic counters (clones and summed
-        // live-instruction cost), safe in byte-stable traces.
+        // optimization runs: deterministic counters (clones, summed
+        // deep-clone cost, and copy-on-write Arc reuses), safe in
+        // byte-stable traces.
         sfcc_trace::emit_instant(
             module_span,
             "snapshot_clone",
@@ -791,6 +796,7 @@ fn emit_trace_tree(
                     "cost_units",
                     ArgValue::U64(output.trace.snapshot_cost_units),
                 ),
+                ("reused", ArgValue::U64(output.trace.snapshot_reused)),
             ],
         );
     }

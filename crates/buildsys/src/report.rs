@@ -54,6 +54,26 @@ pub struct FngrainStats {
     pub cutoff_saved: u64,
 }
 
+/// Parallel-optimization accounting for one build: copy-on-write snapshot
+/// counters and cost-balanced batch counters, summed (`batch_max_cost`:
+/// maxed) over the rebuilt modules' pipeline traces. All fields are
+/// deterministic and identical for every `--jobs` value.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParallelStats {
+    /// Module snapshots taken (pipeline entry + re-snapshot stages).
+    pub snapshot_clones: u64,
+    /// Σ live instruction count over functions actually deep-cloned into
+    /// snapshots.
+    pub snapshot_cost_units: u64,
+    /// Functions whose previous snapshot `Arc` was reused instead of
+    /// deep-cloned — the copy-on-write savings.
+    pub snapshot_reused: u64,
+    /// Cost-balanced batches planned across all pipeline stages.
+    pub batch_count: u64,
+    /// Largest single-batch planned cost (live instructions) of any stage.
+    pub batch_max_cost: u64,
+}
+
 /// Per-module outcome of one build.
 #[derive(Debug, Clone)]
 pub struct ModuleReport {
@@ -190,6 +210,21 @@ impl BuildReport {
         self.modules.iter().filter_map(|m| m.output.as_ref())
     }
 
+    /// Copy-on-write snapshot and batching totals over rebuilt modules —
+    /// the struct-derived source for the `parallel` JSON block and the
+    /// `snapshot.*`/`batch.*` gauges.
+    pub fn parallel_stats(&self) -> ParallelStats {
+        let mut stats = ParallelStats::default();
+        for out in self.outputs() {
+            stats.snapshot_clones += out.trace.snapshot_clones;
+            stats.snapshot_cost_units += out.trace.snapshot_cost_units;
+            stats.snapshot_reused += out.trace.snapshot_reused;
+            stats.batch_count += out.trace.batch_count;
+            stats.batch_max_cost = stats.batch_max_cost.max(out.trace.batch_max_cost);
+        }
+        stats
+    }
+
     /// Optimize-phase wall time of one rebuilt module (pipeline + cache and
     /// dormancy bookkeeping, ns); `None` when the module was not rebuilt.
     pub fn optimize_ns(&self, name: &str) -> Option<u64> {
@@ -304,6 +339,16 @@ impl BuildReport {
             self.metric("fngrain.signature_misses", self.fngrain.signature_misses),
             self.metric("fngrain.fn_tasks_executed", self.fngrain.fn_tasks_executed),
             self.metric("fngrain.cutoff_saved", self.fngrain.cutoff_saved)
+        );
+        let parallel = self.parallel_stats();
+        let _ = write!(
+            out,
+            "\"parallel\":{{\"snapshot_clones\":{},\"snapshot_cost_units\":{},\"snapshot_reused\":{},\"batch_count\":{},\"batch_max_cost\":{}}},",
+            self.metric("snapshot.clones", parallel.snapshot_clones),
+            self.metric("snapshot.cost_units", parallel.snapshot_cost_units),
+            self.metric("snapshot.reused", parallel.snapshot_reused),
+            self.metric("batch.count", parallel.batch_count),
+            self.metric("batch.max_cost", parallel.batch_max_cost)
         );
         let _ = write!(
             out,
@@ -438,6 +483,7 @@ pub fn validate_report_json(text: &str) -> Result<(), String> {
         "outcomes",
         "query",
         "fngrain",
+        "parallel",
         "recovery",
         "depcheck",
         "pass_profile",
@@ -506,6 +552,22 @@ pub fn validate_report_json(text: &str) -> Result<(), String> {
                 .get(field)
                 .ok_or(format!("fngrain: missing {field:?}"))?,
             &format!("fngrain.{field}"),
+        )?;
+    }
+
+    let parallel = doc.get("parallel").unwrap();
+    for field in [
+        "snapshot_clones",
+        "snapshot_cost_units",
+        "snapshot_reused",
+        "batch_count",
+        "batch_max_cost",
+    ] {
+        num(
+            parallel
+                .get(field)
+                .ok_or(format!("parallel: missing {field:?}"))?,
+            &format!("parallel.{field}"),
         )?;
     }
 

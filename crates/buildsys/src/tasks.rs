@@ -277,6 +277,35 @@ pub(crate) struct WaveBatch {
     pub stale: Vec<String>,
 }
 
+/// Per-module snapshot/batch totals accumulated over one build's restricted
+/// optimization runs. All fields are deterministic and `--jobs`-invariant
+/// (they derive from the pipeline runners' jobs-invariant trace counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct SnapshotTotals {
+    /// Module snapshots taken (pipeline entry + re-snapshot stages).
+    pub clones: u64,
+    /// Σ live instruction count over functions actually deep-cloned.
+    pub cost_units: u64,
+    /// Functions whose previous snapshot `Arc` was reused (copy-on-write
+    /// savings).
+    pub reused: u64,
+    /// Cost-balanced batches planned across all stages.
+    pub batch_count: u64,
+    /// Largest single-batch planned cost seen in any run (max, not sum).
+    pub batch_max_cost: u64,
+}
+
+impl SnapshotTotals {
+    /// Folds one pipeline run's counters into the totals.
+    pub(crate) fn absorb(&mut self, trace: &sfcc_passes::PipelineTrace) {
+        self.clones += trace.snapshot_clones;
+        self.cost_units += trace.snapshot_cost_units;
+        self.reused += trace.snapshot_reused;
+        self.batch_count += trace.batch_count;
+        self.batch_max_cost = self.batch_max_cost.max(trace.batch_max_cost);
+    }
+}
+
 /// The [`TaskSpec`] driving one build: a project snapshot, the (stateful)
 /// compiler session, and the scratch the driver reads back afterwards
 /// (per-module phase timings, link time, pre-computed batch artifacts,
@@ -286,9 +315,9 @@ pub struct BuildSpec<'a> {
     compiler: &'a mut Compiler,
     prepared: HashMap<(String, String), PreparedFn>,
     timings: HashMap<String, PhaseTimings>,
-    /// Per-module `(snapshot_clones, snapshot_cost_units)` accumulated by
-    /// restricted optimization runs (batched or solo) this build.
-    snapshots: HashMap<String, (u64, u64)>,
+    /// Per-module [`SnapshotTotals`] accumulated by restricted optimization
+    /// runs (batched or solo) this build.
+    snapshots: HashMap<String, SnapshotTotals>,
     link_ns: u64,
     jobs: usize,
     /// Function-cache entries produced by optimize tasks, accumulated in
@@ -341,9 +370,9 @@ impl<'a> BuildSpec<'a> {
         self.timings.remove(module).unwrap_or_default()
     }
 
-    /// `(snapshot_clones, snapshot_cost_units)` accumulated for a module's
-    /// restricted optimization runs this build.
-    pub(crate) fn take_snapshots(&mut self, module: &str) -> (u64, u64) {
+    /// [`SnapshotTotals`] accumulated for a module's restricted optimization
+    /// runs this build.
+    pub(crate) fn take_snapshots(&mut self, module: &str) -> SnapshotTotals {
         self.snapshots.remove(module).unwrap_or_default()
     }
 
@@ -353,8 +382,9 @@ impl<'a> BuildSpec<'a> {
     }
 
     /// Runs one restricted optimization batch per module of a wave on a
-    /// single shared pool of `self.jobs` workers (sequentially for
-    /// `--jobs 1`) against the immutable session snapshot, parking each
+    /// single shared pool of `self.jobs` workers — capped at the host's
+    /// available parallelism, sequentially when that leaves one worker —
+    /// against the immutable session snapshot, parking each
     /// stale function's artifact for the matching `optimizefn` execution to
     /// consume. Batches run *outside* any task scope: their resource
     /// accesses are deliberately unattributed (each `optimizefn` task notes
@@ -368,7 +398,8 @@ impl<'a> BuildSpec<'a> {
         }
         let compiler: &Compiler = self.compiler;
         let mut results: Vec<Option<(sfcc_ir::Module, OptimizeOutcome)>> = Vec::new();
-        if self.jobs <= 1 {
+        let width = sfcc_pool::effective_jobs(self.jobs);
+        if width <= 1 {
             for batch in &batches {
                 results.push(Some(compiler.phase_optimize_restricted(&batch.ir, None)));
             }
@@ -377,7 +408,7 @@ impl<'a> BuildSpec<'a> {
                 batches.iter().map(|_| Mutex::new(None)).collect();
             let mut order: Vec<usize> = (0..batches.len()).collect();
             order.sort_by_key(|&i| std::cmp::Reverse(batches[i].ir.functions.len()));
-            sfcc_pool::scope(self.jobs, |ps| {
+            sfcc_pool::scope(width, |ps| {
                 for &i in &order {
                     let batch = &batches[i];
                     let slots = &slots;
@@ -417,9 +448,10 @@ impl<'a> BuildSpec<'a> {
             let timings = self.timings.entry(batch.module.clone()).or_default();
             timings.middle_ns += outcome.middle_ns;
             timings.state_ns += outcome.state_ns;
-            let snap = self.snapshots.entry(batch.module.clone()).or_default();
-            snap.0 += outcome.trace.snapshot_clones;
-            snap.1 += outcome.trace.snapshot_cost_units;
+            self.snapshots
+                .entry(batch.module.clone())
+                .or_default()
+                .absorb(&outcome.trace);
         }
     }
 
@@ -497,9 +529,10 @@ impl<'a> BuildSpec<'a> {
         let timings = self.timings.entry(m.to_string()).or_default();
         timings.middle_ns += outcome.middle_ns;
         timings.state_ns += outcome.state_ns;
-        let snap = self.snapshots.entry(m.to_string()).or_default();
-        snap.0 += outcome.trace.snapshot_clones;
-        snap.1 += outcome.trace.snapshot_cost_units;
+        self.snapshots
+            .entry(m.to_string())
+            .or_default()
+            .absorb(&outcome.trace);
         (func, ftrace)
     }
 }

@@ -224,7 +224,7 @@ impl Compiler {
         let mode = self.config.mode;
         let pipeline = &self.pipeline;
         let state = &self.state;
-        let jobs = self.config.jobs.max(1);
+        let jobs = sfcc_pool::effective_jobs(self.config.jobs);
         let (mut output, inserts) = if jobs > 1 {
             sfcc_pool::scope(jobs, |ps| {
                 compile_unit(
@@ -307,11 +307,11 @@ impl Compiler {
         let pipeline = &self.pipeline;
         let state = &self.state;
         let cache = self.config.function_cache.then_some(&self.fn_cache);
-        let jobs = if self.config.jobs > 1 {
+        let jobs = sfcc_pool::effective_jobs(if self.config.jobs > 1 {
             self.config.jobs
         } else {
             std::thread::available_parallelism().map_or(1, |n| n.get())
-        };
+        });
         type UnitResult =
             Result<(CompileOutput, Vec<(Fingerprint, sfcc_ir::Function)>), CompileError>;
         let slots: Vec<Mutex<Option<UnitResult>>> =
@@ -500,14 +500,15 @@ impl Compiler {
     }
 
     /// [`Compiler::phase_optimize_with`] on a fresh pool of `jobs` workers
-    /// (capped at the function count; `jobs <= 1` stays on the calling
-    /// thread). For callers that are not already inside a pool scope.
+    /// (capped at the function count and the host's available parallelism;
+    /// `jobs <= 1` stays on the calling thread). For callers that are not
+    /// already inside a pool scope.
     pub fn phase_optimize_jobs(
         &self,
         ir: &sfcc_ir::Module,
         jobs: usize,
     ) -> (sfcc_ir::Module, OptimizeOutcome) {
-        let jobs = jobs.clamp(1, ir.functions.len().max(1));
+        let jobs = sfcc_pool::effective_jobs(jobs).min(ir.functions.len().max(1));
         if jobs <= 1 {
             return self.phase_optimize_with(ir, None);
         }
@@ -521,7 +522,7 @@ impl Compiler {
         ir: &sfcc_ir::Module,
         jobs: usize,
     ) -> (sfcc_ir::Module, OptimizeOutcome) {
-        let jobs = jobs.clamp(1, ir.functions.len().max(1));
+        let jobs = sfcc_pool::effective_jobs(jobs).min(ir.functions.len().max(1));
         if jobs <= 1 {
             return self.phase_optimize_restricted(ir, None);
         }

@@ -45,6 +45,7 @@ pub mod loops;
 pub mod lower;
 pub mod parse;
 pub mod print;
+pub mod snapshot;
 pub mod verify;
 
 pub use cfg::{post_order, reverse_post_order, Predecessors, Reachability};
@@ -56,6 +57,7 @@ pub use loops::{Loop, LoopForest};
 pub use lower::{lower_function_def, lower_module};
 pub use parse::{parse_function, IrParseError};
 pub use print::{function_to_string, module_to_string};
+pub use snapshot::ModuleSnapshot;
 pub use verify::{verify_function, verify_module, VerifyError};
 
 #[cfg(test)]

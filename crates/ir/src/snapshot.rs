@@ -1,0 +1,133 @@
+//! Copy-on-write module snapshots for cross-function passes.
+//!
+//! A pipeline stage that reads *other* functions (the inliner) must observe
+//! a frozen pre-stage world, independent of the order in which functions of
+//! the stage are transformed — that is what makes per-function pipeline
+//! tasks order-independent and `--jobs` a pure wall-time knob. The naive
+//! realization is `module.clone()` per snapshot point, which costs a full
+//! deep copy of every function even when a stage changed almost nothing.
+//!
+//! [`ModuleSnapshot`] holds functions as `Arc<Function>` instead: taking a
+//! new snapshot re-wraps only the functions that actually changed since the
+//! previous one and reuses the old `Arc` for the rest (zero copy). Shared
+//! ownership also makes one snapshot safely readable from any number of
+//! worker threads for the duration of a stage.
+
+use crate::function::{Function, Module};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An immutable, cheaply shareable view of a module's functions, used as
+/// the read-only `snapshot` argument of every pass.
+///
+/// Lookups are by unqualified function name, pre-indexed (the inliner
+/// resolves callees on every call site it considers).
+#[derive(Debug, Clone)]
+pub struct ModuleSnapshot {
+    /// Module name (callee targets are qualified `module.function`).
+    pub name: String,
+    functions: Vec<Arc<Function>>,
+    index: HashMap<String, usize>,
+}
+
+impl ModuleSnapshot {
+    /// A snapshot with no functions — for passes under test that never read
+    /// their snapshot, and for cross-module lookups that must all miss.
+    pub fn empty(name: impl Into<String>) -> Self {
+        ModuleSnapshot {
+            name: name.into(),
+            functions: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Snapshots `module` by deep-cloning every function (the cold path —
+    /// re-snapshots should go through [`ModuleSnapshot::from_arcs`] with
+    /// reused `Arc`s for unchanged functions).
+    pub fn of(module: &Module) -> Self {
+        Self::from_arcs(
+            module.name.clone(),
+            module
+                .functions
+                .iter()
+                .map(|f| Arc::new(f.clone()))
+                .collect(),
+        )
+    }
+
+    /// Assembles a snapshot from pre-wrapped functions — the copy-on-write
+    /// constructor: callers pass fresh `Arc`s for changed functions and
+    /// clones of the previous snapshot's `Arc`s for untouched ones.
+    pub fn from_arcs(name: impl Into<String>, functions: Vec<Arc<Function>>) -> Self {
+        let index = functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.clone(), i))
+            .collect();
+        ModuleSnapshot {
+            name: name.into(),
+            functions,
+            index,
+        }
+    }
+
+    /// Finds a function by unqualified name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.index.get(name).map(|&i| &*self.functions[i])
+    }
+
+    /// The snapshot's functions, in definition order.
+    pub fn arcs(&self) -> &[Arc<Function>] {
+        &self.functions
+    }
+
+    /// Number of functions in the snapshot.
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Whether the snapshot holds no functions.
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::FuncBuilder;
+
+    fn module_with(names: &[&str]) -> Module {
+        let mut m = Module::new("m");
+        for n in names {
+            let mut f = Function::new(*n, vec![], None);
+            FuncBuilder::at_entry(&mut f).ret(None);
+            m.add_function(f);
+        }
+        m
+    }
+
+    #[test]
+    fn of_indexes_every_function() {
+        let snap = ModuleSnapshot::of(&module_with(&["a", "b", "c"]));
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap.function("b").unwrap().name, "b");
+        assert!(snap.function("missing").is_none());
+    }
+
+    #[test]
+    fn empty_snapshot_misses_everything() {
+        let snap = ModuleSnapshot::empty("m");
+        assert!(snap.is_empty());
+        assert!(snap.function("a").is_none());
+    }
+
+    #[test]
+    fn from_arcs_shares_rather_than_copies() {
+        let snap = ModuleSnapshot::of(&module_with(&["a", "b"]));
+        let reused = snap.arcs().to_vec();
+        let again = ModuleSnapshot::from_arcs("m", reused);
+        assert!(Arc::ptr_eq(&snap.arcs()[0], &again.arcs()[0]));
+        assert!(Arc::ptr_eq(&snap.arcs()[1], &again.arcs()[1]));
+    }
+}

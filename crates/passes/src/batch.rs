@@ -1,0 +1,136 @@
+//! Deterministic cost-balanced batching of per-function pipeline work.
+//!
+//! Spawning one pool task per function per stage makes tiny functions pay
+//! the full per-task fixed cost (allocation, queue traffic, steal
+//! attempts) for microseconds of pass work — the dominant `--jobs`
+//! overhead on wide modules. Instead, each stage pre-buckets its functions
+//! into at most [`BATCH_BINS`] cost-balanced batches (largest cost first
+//! into the least-loaded bin) and spawns one task per batch.
+//!
+//! The plan is a pure function of the functions' live-instruction costs in
+//! roster order — deliberately *not* of the worker count — so batch
+//! composition, batch counters, and everything downstream of them stay
+//! byte-identical for every `--jobs` value. [`BATCH_BINS`] is fixed at
+//! twice the largest worker count the evaluation sweeps (`--jobs 8`),
+//! which keeps enough batches in flight for work-stealing to balance
+//! stragglers while bounding fan-out fixed costs.
+
+/// Upper bound on batches per stage: 2 × the largest swept `--jobs` (8).
+pub(crate) const BATCH_BINS: usize = 16;
+
+/// One stage's batch plan: disjoint index groups covering every function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct BatchPlan {
+    /// Function-index groups, ordered largest-total-cost-first (the spawn
+    /// order — the shared injector is FIFO, so the costliest batch starts
+    /// earliest). Indices within a group are in descending cost order.
+    pub batches: Vec<Vec<usize>>,
+    /// The largest single batch's total cost.
+    pub max_cost: u64,
+}
+
+/// Plans one stage's batches from per-function costs (live instruction
+/// counts), indexable by roster position. Deterministic: depends only on
+/// `costs` — identical for every worker count.
+pub(crate) fn plan_batches(costs: &[u64]) -> BatchPlan {
+    if costs.is_empty() {
+        return BatchPlan {
+            batches: Vec::new(),
+            max_cost: 0,
+        };
+    }
+    let bins = BATCH_BINS.min(costs.len());
+    // Largest first (ties by roster order), greedily into the least-loaded
+    // bin (ties by bin number) — the classic LPT heuristic, fully
+    // deterministic.
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(costs[i]), i));
+    let mut batches: Vec<Vec<usize>> = vec![Vec::new(); bins];
+    let mut loads = vec![0u64; bins];
+    for &i in &order {
+        let b = (0..bins)
+            .min_by_key(|&b| (loads[b], b))
+            .expect("bins is nonzero");
+        batches[b].push(i);
+        // Zero-cost functions still occupy a slot's worth of fixed cost;
+        // floor at 1 so they spread instead of piling into one bin.
+        loads[b] += costs[i].max(1);
+    }
+    let max_cost = loads.iter().copied().max().unwrap_or(0);
+    let mut by_load: Vec<usize> = (0..bins).collect();
+    by_load.sort_by_key(|&b| (std::cmp::Reverse(loads[b]), b));
+    BatchPlan {
+        batches: by_load
+            .into_iter()
+            .map(|b| std::mem::take(&mut batches[b]))
+            .filter(|batch| !batch.is_empty())
+            .collect(),
+        max_cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(plan: &BatchPlan) -> Vec<usize> {
+        let mut all: Vec<usize> = plan.batches.iter().flatten().copied().collect();
+        all.sort_unstable();
+        all
+    }
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        let costs: Vec<u64> = (0..100).map(|i| (i * 37) % 53).collect();
+        let plan = plan_batches(&costs);
+        assert_eq!(flat(&plan), (0..100).collect::<Vec<_>>());
+        assert_eq!(plan.batches.len(), BATCH_BINS);
+    }
+
+    #[test]
+    fn fewer_functions_than_bins_get_one_batch_each() {
+        let plan = plan_batches(&[10, 20, 30]);
+        assert_eq!(plan.batches.len(), 3);
+        assert_eq!(flat(&plan), vec![0, 1, 2]);
+        // Largest-cost-first service order.
+        assert_eq!(plan.batches[0], vec![2]);
+        assert_eq!(plan.max_cost, 30);
+    }
+
+    #[test]
+    fn loads_are_balanced_within_the_largest_item() {
+        // LPT guarantee: max load ≤ min load + max item cost.
+        let costs: Vec<u64> = (0..64).map(|i| 1 + (i * i * 7) % 97).collect();
+        let plan = plan_batches(&costs);
+        let loads: Vec<u64> = plan
+            .batches
+            .iter()
+            .map(|b| b.iter().map(|&i| costs[i].max(1)).sum())
+            .collect();
+        let max = *loads.iter().max().unwrap();
+        let min = *loads.iter().min().unwrap();
+        let biggest = *costs.iter().max().unwrap();
+        assert!(max <= min + biggest, "max={max} min={min} item={biggest}");
+        assert_eq!(plan.max_cost, max);
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_cost_only() {
+        let costs: Vec<u64> = (0..40).map(|i| (i * 13) % 29).collect();
+        assert_eq!(plan_batches(&costs), plan_batches(&costs));
+    }
+
+    #[test]
+    fn zero_cost_functions_spread_across_bins() {
+        let plan = plan_batches(&[0; 32]);
+        assert_eq!(plan.batches.len(), BATCH_BINS);
+        assert!(plan.batches.iter().all(|b| b.len() == 2));
+    }
+
+    #[test]
+    fn empty_input_plans_nothing() {
+        let plan = plan_batches(&[]);
+        assert!(plan.batches.is_empty());
+        assert_eq!(plan.max_cost, 0);
+    }
+}

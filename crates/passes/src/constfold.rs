@@ -2,7 +2,7 @@
 
 use crate::util::detach_all;
 use crate::Pass;
-use sfcc_ir::{Function, Module, Op, Ty, ValueRef};
+use sfcc_ir::{Function, ModuleSnapshot, Op, Ty, ValueRef};
 use std::collections::HashMap;
 
 /// The `const-fold` pass: folds `bin`/`icmp`/`select` over constants.
@@ -14,7 +14,7 @@ impl Pass for ConstFold {
         "const-fold"
     }
 
-    fn run(&self, func: &mut Function, _snapshot: &Module) -> bool {
+    fn run(&self, func: &mut Function, _snapshot: &ModuleSnapshot) -> bool {
         let mut changed = false;
         // Fold repeatedly: folding one instruction can make users foldable.
         loop {
@@ -65,7 +65,7 @@ mod tests {
 
     fn run(text: &str) -> (bool, String) {
         let mut f = parse_function(text).unwrap();
-        let changed = ConstFold.run(&mut f, &Module::new("t"));
+        let changed = ConstFold.run(&mut f, &ModuleSnapshot::empty("t"));
         verify_function(&f).unwrap_or_else(|e| panic!("{e}\n{f}"));
         (changed, function_to_string(&f))
     }

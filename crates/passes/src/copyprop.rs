@@ -3,7 +3,7 @@
 
 use crate::util::detach_all;
 use crate::Pass;
-use sfcc_ir::{Function, InstId, Module, Op, ValueRef};
+use sfcc_ir::{Function, InstId, ModuleSnapshot, Op, ValueRef};
 use std::collections::HashMap;
 
 /// The `copy-prop` pass. See the module docs.
@@ -15,7 +15,7 @@ impl Pass for CopyProp {
         "copy-prop"
     }
 
-    fn run(&self, func: &mut Function, _snapshot: &Module) -> bool {
+    fn run(&self, func: &mut Function, _snapshot: &ModuleSnapshot) -> bool {
         let mut changed = false;
         // Removing one phi may make another trivial; iterate.
         loop {
@@ -66,7 +66,7 @@ mod tests {
 
     fn run(text: &str) -> (bool, String) {
         let mut f = parse_function(text).unwrap();
-        let changed = CopyProp.run(&mut f, &Module::new("t"));
+        let changed = CopyProp.run(&mut f, &ModuleSnapshot::empty("t"));
         verify_function(&f).unwrap_or_else(|e| panic!("{e}\n{f}"));
         (changed, function_to_string(&f))
     }

@@ -2,7 +2,7 @@
 
 use crate::util::detach_all;
 use crate::Pass;
-use sfcc_ir::{Function, InstId, Module, Op, ValueRef};
+use sfcc_ir::{Function, InstId, ModuleSnapshot, Op, ValueRef};
 use std::collections::HashMap;
 
 /// The `cse` pass: within each block, replaces a pure instruction whose
@@ -36,7 +36,7 @@ impl Pass for Cse {
         "cse"
     }
 
-    fn run(&self, func: &mut Function, _snapshot: &Module) -> bool {
+    fn run(&self, func: &mut Function, _snapshot: &ModuleSnapshot) -> bool {
         let mut changed = false;
         loop {
             let mut map: HashMap<ValueRef, ValueRef> = HashMap::new();
@@ -76,7 +76,7 @@ mod tests {
 
     fn run(text: &str) -> (bool, String) {
         let mut f = parse_function(text).unwrap();
-        let changed = Cse.run(&mut f, &Module::new("t"));
+        let changed = Cse.run(&mut f, &ModuleSnapshot::empty("t"));
         verify_function(&f).unwrap_or_else(|e| panic!("{e}\n{f}"));
         (changed, function_to_string(&f))
     }

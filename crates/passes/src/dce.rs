@@ -8,7 +8,7 @@
 
 use crate::util::{detach_all, is_removable_when_dead, use_counts};
 use crate::Pass;
-use sfcc_ir::{Function, InstId, Module, ValueRef};
+use sfcc_ir::{Function, InstId, ModuleSnapshot, ValueRef};
 use std::collections::HashSet;
 
 /// Trivial dead-code elimination. See the module docs.
@@ -20,7 +20,7 @@ impl Pass for Dce {
         "dce"
     }
 
-    fn run(&self, func: &mut Function, _snapshot: &Module) -> bool {
+    fn run(&self, func: &mut Function, _snapshot: &ModuleSnapshot) -> bool {
         let mut changed = false;
         loop {
             let counts = use_counts(func);
@@ -50,7 +50,7 @@ impl Pass for Adce {
         "adce"
     }
 
-    fn run(&self, func: &mut Function, _snapshot: &Module) -> bool {
+    fn run(&self, func: &mut Function, _snapshot: &ModuleSnapshot) -> bool {
         // Roots: side-effecting instructions and terminator operands.
         let mut live: HashSet<InstId> = HashSet::new();
         let mut work: Vec<InstId> = Vec::new();
@@ -95,7 +95,7 @@ mod tests {
 
     fn run_pass(pass: &dyn Pass, text: &str) -> (bool, String) {
         let mut f = parse_function(text).unwrap();
-        let changed = pass.run(&mut f, &Module::new("t"));
+        let changed = pass.run(&mut f, &ModuleSnapshot::empty("t"));
         verify_function(&f).unwrap_or_else(|e| panic!("{e}\n{f}"));
         (changed, function_to_string(&f))
     }

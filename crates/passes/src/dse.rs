@@ -8,7 +8,7 @@
 
 use crate::util::detach_all;
 use crate::Pass;
-use sfcc_ir::{Function, InstId, Module, Op, ValueRef};
+use sfcc_ir::{Function, InstId, ModuleSnapshot, Op, ValueRef};
 use std::collections::HashMap;
 
 /// The `dse` pass. See the module docs.
@@ -20,7 +20,7 @@ impl Pass for Dse {
         "dse"
     }
 
-    fn run(&self, func: &mut Function, _snapshot: &Module) -> bool {
+    fn run(&self, func: &mut Function, _snapshot: &ModuleSnapshot) -> bool {
         let mut dead: Vec<InstId> = Vec::new();
         for b in func.block_ids().collect::<Vec<_>>() {
             // Pending stores whose value has not been observable yet:
@@ -55,7 +55,7 @@ mod tests {
 
     fn run(text: &str) -> (bool, String) {
         let mut f = parse_function(text).unwrap();
-        let changed = Dse.run(&mut f, &Module::new("t"));
+        let changed = Dse.run(&mut f, &ModuleSnapshot::empty("t"));
         verify_function(&f).unwrap_or_else(|e| panic!("{e}\n{f}"));
         (changed, function_to_string(&f))
     }

@@ -8,7 +8,7 @@
 use crate::cse::expr_key;
 use crate::util::detach_all;
 use crate::Pass;
-use sfcc_ir::{BlockId, DomTree, Function, InstId, Module, ValueRef, ENTRY};
+use sfcc_ir::{BlockId, DomTree, Function, InstId, ModuleSnapshot, ValueRef, ENTRY};
 use std::collections::HashMap;
 
 /// The `gvn` pass. See the module docs.
@@ -20,7 +20,7 @@ impl Pass for Gvn {
         "gvn"
     }
 
-    fn run(&self, func: &mut Function, _snapshot: &Module) -> bool {
+    fn run(&self, func: &mut Function, _snapshot: &ModuleSnapshot) -> bool {
         let mut changed = false;
         loop {
             let dom = DomTree::compute(func);
@@ -84,7 +84,7 @@ mod tests {
 
     fn run(text: &str) -> (bool, String) {
         let mut f = parse_function(text).unwrap();
-        let changed = Gvn.run(&mut f, &Module::new("t"));
+        let changed = Gvn.run(&mut f, &ModuleSnapshot::empty("t"));
         verify_function(&f).unwrap_or_else(|e| panic!("{e}\n{f}"));
         (changed, function_to_string(&f))
     }

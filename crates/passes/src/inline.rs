@@ -8,7 +8,7 @@
 //! per-TU compilation model of the paper's Clang prototype.
 
 use crate::Pass;
-use sfcc_ir::{BlockId, Function, InstData, InstId, Module, Op, Terminator, Ty, ValueRef};
+use sfcc_ir::{BlockId, Function, InstData, InstId, ModuleSnapshot, Op, Terminator, Ty, ValueRef};
 use std::collections::HashMap;
 
 /// Callee size limit (live instructions) for inlining.
@@ -25,7 +25,7 @@ impl Pass for Inline {
         "inline"
     }
 
-    fn run(&self, func: &mut Function, snapshot: &Module) -> bool {
+    fn run(&self, func: &mut Function, snapshot: &ModuleSnapshot) -> bool {
         let mut changed = false;
         let mut budget = MAX_INLINED_SITES;
         while budget > 0 {
@@ -41,7 +41,7 @@ impl Pass for Inline {
 }
 
 /// Finds the first inlinable call site: `(block, index, callee clone)`.
-fn find_site(func: &Function, snapshot: &Module) -> Option<(BlockId, usize, Function)> {
+fn find_site(func: &Function, snapshot: &ModuleSnapshot) -> Option<(BlockId, usize, Function)> {
     for b in func.block_ids() {
         for (pos, &iid) in func.block(b).insts.iter().enumerate() {
             let inst = func.inst(iid);
@@ -197,19 +197,19 @@ mod tests {
     use sfcc_ir::{function_to_string, parse_function, verify_function};
 
     /// Lowers a MiniC module, promotes memory, and returns it.
-    fn build_module(src: &str) -> Module {
+    fn build_module(src: &str) -> sfcc_ir::Module {
         let mut d = Diagnostics::new();
         let checked = parse_and_check("m", src, &ModuleEnv::new(), &mut d).expect("valid program");
         let mut module = sfcc_ir::lower_module(&checked, &ModuleEnv::new());
         for f in &mut module.functions {
-            crate::mem2reg::Mem2Reg.run(f, &Module::new("m"));
-            SimplifyCfg.run(f, &Module::new("m"));
+            crate::mem2reg::Mem2Reg.run(f, &ModuleSnapshot::empty("m"));
+            SimplifyCfg.run(f, &ModuleSnapshot::empty("m"));
         }
         module
     }
 
-    fn inline_in(module: &mut Module, func_name: &str) -> bool {
-        let snapshot = module.clone();
+    fn inline_in(module: &mut sfcc_ir::Module, func_name: &str) -> bool {
+        let snapshot = ModuleSnapshot::of(module);
         let f = module.function_mut(func_name).unwrap();
         let changed = Inline.run(f, &snapshot);
         verify_function(f).unwrap_or_else(|e| panic!("{e}\n{f}"));
@@ -316,7 +316,7 @@ mod tests {
         let mut f =
             parse_function("fn @f(i64) -> i64 {\nbb0:\n  v0 = call i64 @other.g(p0)\n  ret v0\n}")
                 .unwrap();
-        let snapshot = Module::new("m");
+        let snapshot = ModuleSnapshot::empty("m");
         assert!(!Inline.run(&mut f, &snapshot));
     }
 }

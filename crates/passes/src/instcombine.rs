@@ -7,7 +7,7 @@
 
 use crate::util::{detach_all, power_of_two_shift};
 use crate::Pass;
-use sfcc_ir::{BinKind, Function, InstData, InstId, Module, Op, Ty, ValueRef};
+use sfcc_ir::{BinKind, Function, InstData, InstId, ModuleSnapshot, Op, Ty, ValueRef};
 use std::collections::HashMap;
 
 /// The `instcombine` pass. See the module docs.
@@ -19,7 +19,7 @@ impl Pass for InstCombine {
         "instcombine"
     }
 
-    fn run(&self, func: &mut Function, _snapshot: &Module) -> bool {
+    fn run(&self, func: &mut Function, _snapshot: &ModuleSnapshot) -> bool {
         let mut changed = false;
         loop {
             let mut round = false;
@@ -172,7 +172,7 @@ mod tests {
 
     fn run(text: &str) -> (bool, String) {
         let mut f = parse_function(text).unwrap();
-        let changed = InstCombine.run(&mut f, &Module::new("t"));
+        let changed = InstCombine.run(&mut f, &ModuleSnapshot::empty("t"));
         verify_function(&f).unwrap_or_else(|e| panic!("{e}\n{f}"));
         (changed, function_to_string(&f))
     }

@@ -35,6 +35,7 @@
 //! assert_eq!(skipped, 0);    // baseline never skips
 //! ```
 
+pub(crate) mod batch;
 pub mod constfold;
 pub mod copyprop;
 pub mod cse;
@@ -57,7 +58,7 @@ pub mod simplify_cfg;
 pub mod snapstats;
 pub mod util;
 
-use sfcc_ir::{Function, Module};
+use sfcc_ir::{Function, ModuleSnapshot};
 
 pub use manager::{
     run_pipeline, FunctionTrace, NeverSkip, PassOutcome, PassQuery, PassRecord, Pipeline,
@@ -72,14 +73,15 @@ pub use snapstats::{snapshot_stats, SnapshotStats};
 /// `false` when it had nothing to do (the pass was *dormant*) — the signal
 /// at the core of the stateful compiler's skipping machinery.
 ///
-/// `snapshot` is a read-only copy of the whole module taken at the start of
-/// the enclosing pipeline stage; only the inliner uses it.
+/// `snapshot` is a read-only, copy-on-write view of the whole module taken
+/// at the start of the enclosing pipeline stage
+/// ([`sfcc_ir::ModuleSnapshot`]); only the inliner uses it.
 pub trait Pass: Send + Sync {
     /// Stable pass name used in traces and dormancy records.
     fn name(&self) -> &'static str;
 
     /// Transforms `func`; returns whether anything changed.
-    fn run(&self, func: &mut Function, snapshot: &Module) -> bool;
+    fn run(&self, func: &mut Function, snapshot: &ModuleSnapshot) -> bool;
 }
 
 /// Names of every pass in [`default_pipeline`], in slot order.
@@ -190,6 +192,7 @@ mod pipeline_tests {
     use super::*;
     use manager::{run_pipeline, NeverSkip, RunOptions};
     use sfcc_frontend::{parse_and_check, Diagnostics, ModuleEnv};
+    use sfcc_ir::Module;
 
     fn optimize(src: &str) -> (Module, PipelineTrace) {
         let mut d = Diagnostics::new();

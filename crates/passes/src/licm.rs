@@ -6,7 +6,7 @@
 //! speculatively could introduce traps or reorder side effects.
 
 use crate::Pass;
-use sfcc_ir::{DomTree, Function, InstId, LoopForest, Module, Op, Predecessors, ValueRef};
+use sfcc_ir::{DomTree, Function, InstId, LoopForest, ModuleSnapshot, Op, Predecessors, ValueRef};
 use std::collections::HashSet;
 
 /// The `licm` pass. See the module docs.
@@ -26,7 +26,7 @@ impl Pass for Licm {
         "licm"
     }
 
-    fn run(&self, func: &mut Function, _snapshot: &Module) -> bool {
+    fn run(&self, func: &mut Function, _snapshot: &ModuleSnapshot) -> bool {
         let mut changed = false;
         loop {
             let dom = DomTree::compute(func);
@@ -108,7 +108,7 @@ mod tests {
 
     fn run(text: &str) -> (bool, String) {
         let mut f = parse_function(text).unwrap();
-        let changed = Licm.run(&mut f, &Module::new("t"));
+        let changed = Licm.run(&mut f, &ModuleSnapshot::empty("t"));
         verify_function(&f).unwrap_or_else(|e| panic!("{e}\n{f}"));
         (changed, function_to_string(&f))
     }
@@ -235,7 +235,7 @@ bb3:
     #[test]
     fn idempotent_after_hoisting() {
         let mut f = parse_function(LOOP_WITH_INVARIANT).unwrap();
-        assert!(Licm.run(&mut f, &Module::new("t")));
-        assert!(!Licm.run(&mut f, &Module::new("t")));
+        assert!(Licm.run(&mut f, &ModuleSnapshot::empty("t")));
+        assert!(!Licm.run(&mut f, &ModuleSnapshot::empty("t")));
     }
 }

@@ -7,7 +7,9 @@
 //! side-effect-free loop may be deleted.
 
 use crate::Pass;
-use sfcc_ir::{DomTree, Function, LoopForest, Module, Op, Predecessors, Terminator, ValueRef};
+use sfcc_ir::{
+    DomTree, Function, LoopForest, ModuleSnapshot, Op, Predecessors, Terminator, ValueRef,
+};
 use std::collections::HashSet;
 
 /// The `loop-delete` pass. See the module docs.
@@ -19,7 +21,7 @@ impl Pass for LoopDelete {
         "loop-delete"
     }
 
-    fn run(&self, func: &mut Function, _snapshot: &Module) -> bool {
+    fn run(&self, func: &mut Function, _snapshot: &ModuleSnapshot) -> bool {
         let mut changed = false;
         loop {
             let dom = DomTree::compute(func);
@@ -106,9 +108,9 @@ mod tests {
 
     fn run(text: &str) -> (bool, String) {
         let mut f = parse_function(text).unwrap();
-        let changed = LoopDelete.run(&mut f, &Module::new("t"));
+        let changed = LoopDelete.run(&mut f, &ModuleSnapshot::empty("t"));
         // Clean up the now-unreachable loop body before verifying phis.
-        SimplifyCfg.run(&mut f, &Module::new("t"));
+        SimplifyCfg.run(&mut f, &ModuleSnapshot::empty("t"));
         verify_function(&f).unwrap_or_else(|e| panic!("{e}\n{f}"));
         (changed, function_to_string(&f))
     }

@@ -21,8 +21,8 @@
 
 use crate::Pass;
 use sfcc_ir::{
-    BinKind, BlockId, DomTree, Function, IcmpPred, InstData, InstId, LoopForest, Module, Op,
-    Predecessors, Terminator, ValueRef,
+    BinKind, BlockId, DomTree, Function, IcmpPred, InstData, InstId, LoopForest, ModuleSnapshot,
+    Op, Predecessors, Terminator, ValueRef,
 };
 use std::collections::HashMap;
 
@@ -40,7 +40,7 @@ impl Pass for LoopUnroll {
         "loop-unroll"
     }
 
-    fn run(&self, func: &mut Function, _snapshot: &Module) -> bool {
+    fn run(&self, func: &mut Function, _snapshot: &ModuleSnapshot) -> bool {
         let mut changed = false;
         // Unroll one loop per analysis round (the CFG changes underneath).
         loop {
@@ -327,10 +327,10 @@ mod tests {
 
     fn run(text: &str) -> (bool, String) {
         let mut f = parse_function(text).unwrap();
-        let changed = LoopUnroll.run(&mut f, &Module::new("t"));
+        let changed = LoopUnroll.run(&mut f, &ModuleSnapshot::empty("t"));
         verify_function(&f).unwrap_or_else(|e| panic!("{e}\n{f}"));
-        SimplifyCfg.run(&mut f, &Module::new("t"));
-        ConstFold.run(&mut f, &Module::new("t"));
+        SimplifyCfg.run(&mut f, &ModuleSnapshot::empty("t"));
+        ConstFold.run(&mut f, &ModuleSnapshot::empty("t"));
         verify_function(&f).unwrap_or_else(|e| panic!("{e}\n{f}"));
         (changed, function_to_string(&f))
     }

@@ -7,8 +7,9 @@
 //! records — may decide to *skip* the pass entirely.
 
 use crate::Pass;
-use sfcc_ir::{fingerprint, verify_function, Fingerprint, Module};
+use sfcc_ir::{fingerprint, verify_function, Fingerprint, Function, Module, ModuleSnapshot};
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// What happened to one pass slot on one function.
@@ -89,12 +90,26 @@ pub struct PipelineTrace {
     pub module: String,
     /// One trace per function, in module order.
     pub functions: Vec<FunctionTrace>,
-    /// Module snapshots cloned during this run (pipeline entry + every
+    /// Module snapshots taken during this run (pipeline entry + every
     /// re-snapshot stage). Identical across sequential and parallel runners.
     pub snapshot_clones: u64,
-    /// Σ live instruction count over the functions of every cloned snapshot
-    /// — the deterministic cost proxy for snapshot overhead.
+    /// Σ live instruction count over the functions actually deep-cloned
+    /// into snapshots — the deterministic cost proxy for snapshot overhead.
+    /// Copy-on-write re-snapshots clone only functions a pass changed since
+    /// the previous snapshot, so this is far below `functions × snapshots`
+    /// on converged code.
     pub snapshot_cost_units: u64,
+    /// Functions whose previous snapshot `Arc` was reused at a re-snapshot
+    /// instead of deep-cloned — the copy-on-write savings. Deterministic
+    /// and identical across runners and `--jobs` values.
+    pub snapshot_reused: u64,
+    /// Cost-balanced batches planned across all stages (the parallel
+    /// runner's fan-out unit; the sequential runner computes the identical
+    /// plan so the counter is `--jobs`-invariant).
+    pub batch_count: u64,
+    /// Largest single-batch total cost (live instructions) planned by any
+    /// stage of this run.
+    pub batch_max_cost: u64,
 }
 
 impl PipelineTrace {
@@ -249,6 +264,9 @@ pub fn run_pipeline(
         functions: Vec::new(),
         snapshot_clones: 0,
         snapshot_cost_units: 0,
+        snapshot_reused: 0,
+        batch_count: 0,
+        batch_max_cost: 0,
     };
     for (idx, f) in module.functions.iter().enumerate() {
         let _ = idx;
@@ -260,18 +278,41 @@ pub fn run_pipeline(
         });
     }
 
-    let (mut snapshot, cost) = clone_snapshot(module);
-    trace.snapshot_clones += 1;
-    trace.snapshot_cost_units += cost;
+    // Copy-on-write dirty bits: set when any pass changes a function, so a
+    // re-snapshot deep-clones only what actually moved since the last one.
+    let mut dirty = vec![false; module.functions.len()];
+    let mut snapshot = {
+        let funcs: Vec<&Function> = module.functions.iter().collect();
+        let (snapshot, cost, reused) = cow_snapshot(&module.name, &funcs, &dirty, None);
+        trace.snapshot_clones += 1;
+        trace.snapshot_cost_units += cost;
+        trace.snapshot_reused += reused;
+        snapshot
+    };
     let mut slot_base = 0usize;
     for stage in &pipeline.stages {
         if stage.resnapshot {
-            let (snap, cost) = clone_snapshot(module);
+            let funcs: Vec<&Function> = module.functions.iter().collect();
+            let (snap, cost, reused) = cow_snapshot(&module.name, &funcs, &dirty, Some(&snapshot));
             snapshot = snap;
             trace.snapshot_clones += 1;
             trace.snapshot_cost_units += cost;
+            trace.snapshot_reused += reused;
+            dirty.fill(false);
         }
-        for func_idx in 0..module.functions.len() {
+        // Plan (but do not use) the stage's cost-balanced batches: the
+        // parallel runner fans out by this plan, and computing the identical
+        // plan here keeps the batch counters — and every trace derived from
+        // them — byte-identical between runners and across `--jobs`.
+        let costs: Vec<u64> = module
+            .functions
+            .iter()
+            .map(|f| f.live_inst_count() as u64)
+            .collect();
+        let plan = crate::batch::plan_batches(&costs);
+        trace.batch_count += plan.batches.len() as u64;
+        trace.batch_max_cost = trace.batch_max_cost.max(plan.max_cost);
+        for (func_idx, dirty_bit) in dirty.iter_mut().enumerate() {
             for (pass_idx, pass) in stage.passes.iter().enumerate() {
                 let slot = slot_base + pass_idx;
                 let func = &mut module.functions[func_idx];
@@ -297,6 +338,9 @@ pub fn run_pipeline(
                 let start = Instant::now();
                 let changed = pass.run(func, &snapshot);
                 let nanos = start.elapsed().as_nanos() as u64;
+                if changed {
+                    *dirty_bit = true;
+                }
                 if options.verify_each && changed {
                     verify_function(func).unwrap_or_else(|e| {
                         panic!("pass '{}' broke the IR: {e}\n{func}", pass.name())
@@ -324,19 +368,44 @@ pub fn run_pipeline(
     trace
 }
 
-/// Clones the module for a stage snapshot, recording the clone in the
-/// process-global [`crate::snapstats`] counters. Returns the snapshot and
-/// its deterministic cost (Σ live instruction count).
-pub(crate) fn clone_snapshot(module: &Module) -> (Module, u64) {
-    let cost: u64 = module
-        .functions
-        .iter()
-        .map(|f| f.live_inst_count() as u64)
-        .sum();
+/// Builds the next copy-on-write snapshot from the current function bodies:
+/// functions flagged `dirty` (changed by some pass since `prev` was taken)
+/// are deep-cloned into fresh `Arc`s, clean ones reuse `prev`'s `Arc`s at
+/// zero copy cost. `prev: None` is the pipeline-entry snapshot, which
+/// clones everything. Records the event in the process-global
+/// [`crate::snapstats`] counters and returns
+/// `(snapshot, cloned_cost_units, reused_functions)`.
+///
+/// `funcs` must be the same functions, in the same order, as `prev`'s —
+/// pipeline stages transform bodies but never add, remove, or reorder
+/// functions, so positions align across snapshots.
+pub(crate) fn cow_snapshot(
+    name: &str,
+    funcs: &[&Function],
+    dirty: &[bool],
+    prev: Option<&ModuleSnapshot>,
+) -> (ModuleSnapshot, u64, u64) {
+    debug_assert_eq!(funcs.len(), dirty.len());
     let start = Instant::now();
-    let snapshot = module.clone();
-    crate::snapstats::record_clone(cost, start.elapsed().as_nanos() as u64);
-    (snapshot, cost)
+    let mut cost = 0u64;
+    let mut reused = 0u64;
+    let mut arcs = Vec::with_capacity(funcs.len());
+    for (i, func) in funcs.iter().enumerate() {
+        match prev {
+            Some(prev) if !dirty[i] => {
+                debug_assert_eq!(prev.arcs()[i].name, func.name);
+                arcs.push(Arc::clone(&prev.arcs()[i]));
+                reused += 1;
+            }
+            _ => {
+                cost += func.live_inst_count() as u64;
+                arcs.push(Arc::new((*func).clone()));
+            }
+        }
+    }
+    let snapshot = ModuleSnapshot::from_arcs(name, arcs);
+    crate::snapstats::record_snapshot(cost, reused, start.elapsed().as_nanos() as u64);
+    (snapshot, cost, reused)
 }
 
 #[cfg(test)]
@@ -355,7 +424,7 @@ mod tests {
             self.name
         }
 
-        fn run(&self, func: &mut Function, _snapshot: &Module) -> bool {
+        fn run(&self, func: &mut Function, _snapshot: &ModuleSnapshot) -> bool {
             if self.changes {
                 // Make a harmless real change so verification passes: append
                 // a fresh unreachable block.

@@ -6,7 +6,7 @@
 //! dominator tree — the textbook SSA-construction algorithm.
 
 use crate::Pass;
-use sfcc_ir::{DomTree, Function, InstData, InstId, Module, Op, Ty, ValueRef, ENTRY};
+use sfcc_ir::{DomTree, Function, InstData, InstId, ModuleSnapshot, Op, Ty, ValueRef, ENTRY};
 use std::collections::{HashMap, HashSet};
 
 /// The `mem2reg` pass. See the module docs.
@@ -18,7 +18,7 @@ impl Pass for Mem2Reg {
         "mem2reg"
     }
 
-    fn run(&self, func: &mut Function, _snapshot: &Module) -> bool {
+    fn run(&self, func: &mut Function, _snapshot: &ModuleSnapshot) -> bool {
         promote(func)
     }
 }

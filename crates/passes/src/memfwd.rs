@@ -9,7 +9,7 @@
 
 use crate::util::detach_all;
 use crate::Pass;
-use sfcc_ir::{Function, InstId, Module, Op, ValueRef};
+use sfcc_ir::{Function, InstId, ModuleSnapshot, Op, ValueRef};
 use std::collections::HashMap;
 
 /// The `memfwd` pass. See the module docs.
@@ -21,7 +21,7 @@ impl Pass for MemFwd {
         "memfwd"
     }
 
-    fn run(&self, func: &mut Function, _snapshot: &Module) -> bool {
+    fn run(&self, func: &mut Function, _snapshot: &ModuleSnapshot) -> bool {
         let mut map: HashMap<ValueRef, ValueRef> = HashMap::new();
         let mut dead: Vec<InstId> = Vec::new();
         for b in func.block_ids().collect::<Vec<_>>() {
@@ -70,7 +70,7 @@ mod tests {
 
     fn run(text: &str) -> (bool, String) {
         let mut f = parse_function(text).unwrap();
-        let changed = MemFwd.run(&mut f, &Module::new("t"));
+        let changed = MemFwd.run(&mut f, &ModuleSnapshot::empty("t"));
         verify_function(&f).unwrap_or_else(|e| panic!("{e}\n{f}"));
         (changed, function_to_string(&f))
     }

@@ -15,9 +15,18 @@
 //!   [`PipelineTrace`] — and everything derived from it (dormancy state,
 //!   emitted IR, bytecode images) — does not depend on scheduling.
 //!
-//! Tasks are scheduled largest-`cost_units`-first (live instruction count)
-//! to minimize makespan: a single huge function starts immediately instead
-//! of serializing behind a tail of small ones.
+//! Fan-out is *batched*: each stage's functions are pre-bucketed into
+//! cost-balanced batches ([`crate::batch::plan_batches`], largest
+//! live-instruction cost first into the least-loaded bin) and one pool task
+//! runs per batch, so tiny functions share a task's fixed cost instead of
+//! each paying it. Batches are serviced largest-total-cost-first. The plan
+//! depends only on costs and roster order — never on the worker count — so
+//! batch composition and counters are identical for every `--jobs` value.
+//!
+//! Snapshots are copy-on-write: a re-snapshot deep-clones only functions
+//! some pass changed since the previous snapshot and reuses the previous
+//! `Arc` for the rest, using the same dirty-bit rule as the sequential
+//! runner — so snapshot counters, like everything else, stay byte-identical.
 //!
 //! The oracle must be deterministic (a pure function of each query) for the
 //! byte-identity guarantee to extend to recorded outcomes; every oracle in
@@ -26,20 +35,23 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use sfcc_ir::{fingerprint, verify_function, Fingerprint, Function, Module};
-use sfcc_pool::{run_indexed, PoolScope};
+use sfcc_ir::{fingerprint, verify_function, Fingerprint, Function, Module, ModuleSnapshot};
+use sfcc_pool::{run_batched, PoolScope};
 
 use crate::manager::{
-    run_pipeline, FunctionTrace, PassOutcome, PassQuery, PassRecord, Pipeline, PipelineTrace,
-    RunOptions, SkipOracle, Stage,
+    cow_snapshot, run_pipeline, FunctionTrace, PassOutcome, PassQuery, PassRecord, Pipeline,
+    PipelineTrace, RunOptions, SkipOracle, Stage,
 };
 
-/// Per-function unit of work: the function body being optimized plus its
-/// accumulated trace. Each task owns exactly one cell for the duration of a
-/// stage, so no synchronization is needed on the payload itself.
+/// Per-function unit of work: the function body being optimized, its
+/// accumulated trace, and the copy-on-write dirty bit (set when a pass
+/// changes the function, cleared at each re-snapshot). Each task owns
+/// exactly one cell for the duration of a stage, so no synchronization is
+/// needed on the payload itself.
 struct FnCell {
     func: Function,
     trace: FunctionTrace,
+    dirty: bool,
 }
 
 /// Runs `pipeline` over every function of `module` with function-level
@@ -68,10 +80,6 @@ pub fn run_pipeline_parallel<'env>(
 
     // Pre-stage snapshot: the inliner (and any other cross-function pass)
     // reads callee bodies from here, never from the cells being mutated.
-    let (initial, initial_cost) = crate::manager::clone_snapshot(module);
-    let mut snapshot = Arc::new(initial);
-    let mut snapshot_clones = 1u64;
-    let mut snapshot_cost_units = initial_cost;
     let mut cells: Vec<FnCell> = std::mem::take(&mut module.functions)
         .into_iter()
         .map(|func| FnCell {
@@ -82,35 +90,60 @@ pub fn run_pipeline_parallel<'env>(
                 records: Vec::new(),
             },
             func,
+            dirty: false,
         })
         .collect();
+    let mut snapshot_clones = 0u64;
+    let mut snapshot_cost_units = 0u64;
+    let mut snapshot_reused = 0u64;
+    let mut batch_count = 0u64;
+    let mut batch_max_cost = 0u64;
+    let mut snapshot = {
+        let funcs: Vec<&Function> = cells.iter().map(|c| &c.func).collect();
+        let dirty = vec![false; cells.len()];
+        let (snap, cost, reused) = cow_snapshot(&module.name, &funcs, &dirty, None);
+        snapshot_clones += 1;
+        snapshot_cost_units += cost;
+        snapshot_reused += reused;
+        Arc::new(snap)
+    };
 
     let last_stage = stages.len() - 1;
     let mut slot_base = 0usize;
     for (si, stage) in stages.iter().enumerate() {
         if si > 0 && stage.resnapshot {
             // Rebuild the snapshot from the current (post-previous-stage)
-            // function bodies, mirroring `snapshot = module.clone()` in the
-            // sequential runner.
-            let cost: u64 = cells.iter().map(|c| c.func.live_inst_count() as u64).sum();
-            let start = Instant::now();
-            let mut snap = Module::new(snapshot.name.clone());
-            snap.functions = cells.iter().map(|c| c.func.clone()).collect();
-            crate::snapstats::record_clone(cost, start.elapsed().as_nanos() as u64);
+            // function bodies: copy-on-write, so only functions some pass
+            // actually changed are deep-cloned — the rest reuse the previous
+            // snapshot's `Arc`s. Same dirty rule as the sequential runner.
+            let funcs: Vec<&Function> = cells.iter().map(|c| &c.func).collect();
+            let dirty: Vec<bool> = cells.iter().map(|c| c.dirty).collect();
+            let (snap, cost, reused) = cow_snapshot(&module.name, &funcs, &dirty, Some(&snapshot));
             snapshot = Arc::new(snap);
             snapshot_clones += 1;
             snapshot_cost_units += cost;
+            snapshot_reused += reused;
+            for cell in &mut cells {
+                cell.dirty = false;
+            }
         }
 
-        // Largest-first by live instruction count to minimize makespan.
-        let mut order: Vec<usize> = (0..cells.len()).collect();
-        order.sort_by_key(|&i| std::cmp::Reverse(cells[i].func.live_inst_count()));
+        // Cost-balanced batches, largest-total-cost-first; one pool task per
+        // batch. The plan depends only on costs and roster order — never the
+        // worker count — so it matches the sequential runner's accounting.
+        let costs: Vec<u64> = cells
+            .iter()
+            .map(|c| c.func.live_inst_count() as u64)
+            .collect();
+        let plan = crate::batch::plan_batches(&costs);
+        batch_count += plan.batches.len() as u64;
+        batch_max_cost = batch_max_cost.max(plan.max_cost);
 
         let stage_snapshot = Arc::clone(&snapshot);
         let stage_oracle = Arc::clone(&oracle);
         let first = si == 0;
         let last = si == last_stage;
-        cells = run_indexed(Some(pool), cells, &order, move |_, cell| {
+        cells = run_batched(Some(pool), cells, &plan.batches, move |_, cell| {
             run_stage_on_function(
                 cell,
                 stage,
@@ -137,6 +170,9 @@ pub fn run_pipeline_parallel<'env>(
         functions: traces,
         snapshot_clones,
         snapshot_cost_units,
+        snapshot_reused,
+        batch_count,
+        batch_max_cost,
     }
 }
 
@@ -148,7 +184,7 @@ fn run_stage_on_function(
     cell: &mut FnCell,
     stage: &Stage,
     slot_base: usize,
-    snapshot: &Module,
+    snapshot: &ModuleSnapshot,
     oracle: &dyn SkipOracle,
     options: RunOptions,
     first_stage: bool,
@@ -180,6 +216,9 @@ fn run_stage_on_function(
         let start = Instant::now();
         let changed = pass.run(&mut cell.func, snapshot);
         let nanos = start.elapsed().as_nanos() as u64;
+        if changed {
+            cell.dirty = true;
+        }
         if options.verify_each && changed {
             let func = &cell.func;
             verify_function(func)

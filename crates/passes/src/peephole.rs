@@ -6,7 +6,8 @@
 
 use crate::Pass;
 use sfcc_ir::{
-    BinKind, BlockId, Function, InstData, Module, Op, Predecessors, Terminator, Ty, ValueRef,
+    BinKind, BlockId, Function, InstData, ModuleSnapshot, Op, Predecessors, Terminator, Ty,
+    ValueRef,
 };
 
 /// The `peephole` pass. See the module docs.
@@ -18,7 +19,7 @@ impl Pass for Peephole {
         "peephole"
     }
 
-    fn run(&self, func: &mut Function, _snapshot: &Module) -> bool {
+    fn run(&self, func: &mut Function, _snapshot: &ModuleSnapshot) -> bool {
         let mut changed = false;
         changed |= invert_negated_branches(func);
         changed |= form_selects(func);
@@ -169,9 +170,9 @@ mod tests {
 
     fn run(text: &str) -> (bool, String) {
         let mut f = parse_function(text).unwrap();
-        let changed = Peephole.run(&mut f, &Module::new("t"));
+        let changed = Peephole.run(&mut f, &ModuleSnapshot::empty("t"));
         verify_function(&f).unwrap_or_else(|e| panic!("{e}\n{f}"));
-        SimplifyCfg.run(&mut f, &Module::new("t"));
+        SimplifyCfg.run(&mut f, &ModuleSnapshot::empty("t"));
         (changed, function_to_string(&f))
     }
 

@@ -5,7 +5,7 @@
 //! `instcombine` has pushed constants to the right-hand side.
 
 use crate::Pass;
-use sfcc_ir::{BinKind, Function, InstId, Module, Op, ValueRef};
+use sfcc_ir::{BinKind, Function, InstId, ModuleSnapshot, Op, ValueRef};
 
 /// The `reassociate` pass. See the module docs.
 #[derive(Debug, Clone, Copy, Default)]
@@ -23,7 +23,7 @@ impl Pass for Reassociate {
         "reassociate"
     }
 
-    fn run(&self, func: &mut Function, _snapshot: &Module) -> bool {
+    fn run(&self, func: &mut Function, _snapshot: &ModuleSnapshot) -> bool {
         let mut changed = false;
         loop {
             let mut round = false;
@@ -72,7 +72,7 @@ mod tests {
 
     fn run(text: &str) -> (bool, String) {
         let mut f = parse_function(text).unwrap();
-        let changed = Reassociate.run(&mut f, &Module::new("t"));
+        let changed = Reassociate.run(&mut f, &ModuleSnapshot::empty("t"));
         verify_function(&f).unwrap_or_else(|e| panic!("{e}\n{f}"));
         (changed, function_to_string(&f))
     }

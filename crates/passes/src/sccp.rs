@@ -7,7 +7,7 @@
 
 use crate::util::detach_all;
 use crate::Pass;
-use sfcc_ir::{BlockId, Function, InstId, Module, Op, Terminator, Ty, ValueRef, ENTRY};
+use sfcc_ir::{BlockId, Function, InstId, ModuleSnapshot, Op, Terminator, Ty, ValueRef, ENTRY};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// The `sccp` pass. See the module docs.
@@ -40,7 +40,7 @@ impl Pass for Sccp {
         "sccp"
     }
 
-    fn run(&self, func: &mut Function, _snapshot: &Module) -> bool {
+    fn run(&self, func: &mut Function, _snapshot: &ModuleSnapshot) -> bool {
         Solver::new(func).solve_and_apply(func)
     }
 }
@@ -278,8 +278,8 @@ mod tests {
 
     fn run(text: &str) -> (bool, String) {
         let mut f = parse_function(text).unwrap();
-        let changed = Sccp.run(&mut f, &Module::new("t"));
-        SimplifyCfg.run(&mut f, &Module::new("t"));
+        let changed = Sccp.run(&mut f, &ModuleSnapshot::empty("t"));
+        SimplifyCfg.run(&mut f, &ModuleSnapshot::empty("t"));
         verify_function(&f).unwrap_or_else(|e| panic!("{e}\n{f}"));
         (changed, function_to_string(&f))
     }

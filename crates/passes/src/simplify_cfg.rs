@@ -3,7 +3,8 @@
 
 use crate::Pass;
 use sfcc_ir::{
-    BlockId, Function, Module, Op, Predecessors, Reachability, Terminator, Ty, ValueRef, ENTRY,
+    BlockId, Function, ModuleSnapshot, Op, Predecessors, Reachability, Terminator, Ty, ValueRef,
+    ENTRY,
 };
 use std::collections::HashMap;
 
@@ -16,7 +17,7 @@ impl Pass for SimplifyCfg {
         "simplify-cfg"
     }
 
-    fn run(&self, func: &mut Function, _snapshot: &Module) -> bool {
+    fn run(&self, func: &mut Function, _snapshot: &ModuleSnapshot) -> bool {
         let mut changed = false;
         // Iterate to a fixpoint: each sub-transform can expose more work.
         loop {
@@ -285,7 +286,7 @@ mod tests {
 
     fn run(text: &str) -> (bool, String) {
         let mut f = parse_function(text).unwrap();
-        let changed = SimplifyCfg.run(&mut f, &Module::new("t"));
+        let changed = SimplifyCfg.run(&mut f, &ModuleSnapshot::empty("t"));
         verify_function(&f).unwrap_or_else(|e| panic!("{e}\n{f}"));
         (changed, function_to_string(&f))
     }

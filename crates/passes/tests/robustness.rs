@@ -58,7 +58,7 @@ fn corpus() -> Vec<Module> {
 }
 
 fn apply(pass: &dyn Pass, module: &mut Module) {
-    let snapshot = module.clone();
+    let snapshot = sfcc_ir::ModuleSnapshot::of(module);
     for func in &mut module.functions {
         pass.run(func, &snapshot);
     }
@@ -121,10 +121,10 @@ fn double_application_is_safe() {
 fn inline_handles_stale_and_fresh_snapshots() {
     let mut modules = corpus();
     let module = &mut modules[0];
-    let raw_snapshot = module.clone();
+    let raw_snapshot = sfcc_ir::ModuleSnapshot::of(module);
     // Optimize the module heavily, then inline against the *raw* snapshot.
     for pass in all_passes() {
-        let snap = module.clone();
+        let snap = sfcc_ir::ModuleSnapshot::of(module);
         for func in &mut module.functions {
             pass.run(func, &snap);
         }
@@ -153,7 +153,7 @@ fn simplify_cfg_handles_degenerate_shapes() {
         m.add_function(f);
         apply(&SimplifyCfg, &mut m);
         // Fixpoint: a second run must be dormant.
-        let snapshot = m.clone();
+        let snapshot = sfcc_ir::ModuleSnapshot::of(&m);
         let changed = SimplifyCfg.run(&mut m.functions[0], &snapshot);
         assert!(!changed, "simplify-cfg not at fixpoint for {text}\n{m}");
     }
@@ -186,7 +186,7 @@ bb5:
     m.add_function(f);
     for pass in [&Licm as &dyn Pass, &LoopUnroll, &LoopDelete] {
         let mut copy = m.clone();
-        let snapshot = copy.clone();
+        let snapshot = sfcc_ir::ModuleSnapshot::of(&copy);
         let changed = pass.run(&mut copy.functions[0], &snapshot);
         assert!(!changed, "{} should bail without a preheader", pass.name());
         verify_module(&copy).unwrap();

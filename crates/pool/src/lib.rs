@@ -265,10 +265,27 @@ impl<'env> PoolScope<'env> {
     }
 }
 
+/// The worker width a `jobs` request actually gets: `jobs` capped at the
+/// host's available parallelism, floored at 1. Worker threads beyond the
+/// physical core count cannot run concurrently — on an oversubscribed host
+/// every task handoff is a context switch and every parked worker's poll
+/// steals time from the one doing work — so callers size their pools with
+/// this before [`scope`]. Build outputs are byte-identical for every worker
+/// width, so the cap only ever changes wall time, never results. Tests that
+/// need a specific width (e.g. to force interleavings) call [`scope`] with
+/// an exact count instead.
+pub fn effective_jobs(jobs: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    jobs.min(cores).max(1)
+}
+
 /// Runs `f` against a pool of `jobs` workers (the calling thread counts as
 /// one of them). Tasks spawned inside the scope are guaranteed to finish
 /// before `scope` returns; with `jobs <= 1` no threads are spawned and every
-/// task runs on the calling thread during joins and teardown.
+/// task runs on the calling thread during joins and teardown. The width is
+/// used exactly as given — user-facing callers should pass it through
+/// [`effective_jobs`] first so an oversized `--jobs` does not oversubscribe
+/// the host.
 ///
 /// # Panics
 ///
@@ -349,6 +366,83 @@ where
             // Release the slot before announcing completion, so the take()
             // below cannot observe an unfinished item.
             remaining.fetch_sub(1, Ordering::SeqCst);
+        });
+    }
+    pool.help_until(|| remaining.load(Ordering::SeqCst) == 0);
+    (0..slots.len())
+        .map(|i| {
+            slots[i]
+                .lock()
+                .unwrap()
+                .take()
+                .expect("every task ran exactly once")
+        })
+        .collect()
+}
+
+/// Applies `f` to each item, fanning out one pool task per *batch* (a group
+/// of item indices) instead of one per item — the fixed per-task cost
+/// (allocation, queue traffic, steal attempts) is paid per batch, which is
+/// what makes wide fan-outs of tiny items profitable. `batches` must be
+/// disjoint and cover every index exactly once; schedule the costliest
+/// batch first (the injector is FIFO). `f` receives each item's original
+/// index and must touch only its own item; items come back in their original
+/// positions, so results are independent of execution order.
+pub fn run_batched<'env, T, F>(
+    pool: Option<&PoolScope<'env>>,
+    mut items: Vec<T>,
+    batches: &[Vec<usize>],
+    f: F,
+) -> Vec<T>
+where
+    T: Send + 'env,
+    F: Fn(usize, &mut T) + Send + Sync + 'env,
+{
+    #[cfg(debug_assertions)]
+    {
+        let mut seen = vec![false; items.len()];
+        for &i in batches.iter().flatten() {
+            assert!(!seen[i], "index {i} appears in two batches");
+            seen[i] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "batches must cover every item index"
+        );
+    }
+    let parallel = pool.is_some_and(|p| p.is_parallel()) && batches.len() > 1;
+    if !parallel {
+        for batch in batches {
+            for &i in batch {
+                f(i, &mut items[i]);
+            }
+        }
+        return items;
+    }
+    let pool = pool.unwrap();
+    let total = items.len();
+    let slots: std::sync::Arc<Vec<Mutex<Option<T>>>> = std::sync::Arc::new(
+        items
+            .into_iter()
+            .map(|item| Mutex::new(Some(item)))
+            .collect(),
+    );
+    let remaining = std::sync::Arc::new(AtomicUsize::new(total));
+    let f = std::sync::Arc::new(f);
+    for batch in batches {
+        let batch = batch.clone();
+        let slots = std::sync::Arc::clone(&slots);
+        let remaining = std::sync::Arc::clone(&remaining);
+        let f = std::sync::Arc::clone(&f);
+        pool.spawn(move |_| {
+            for i in batch {
+                let mut slot = slots[i].lock().unwrap();
+                f(i, slot.as_mut().expect("slot is filled until taken below"));
+                drop(slot);
+                // Release the slot before announcing completion, so the
+                // take() below cannot observe an unfinished item.
+                remaining.fetch_sub(1, Ordering::SeqCst);
+            }
         });
     }
     pool.help_until(|| remaining.load(Ordering::SeqCst) == 0);
@@ -486,6 +580,46 @@ mod tests {
     }
 
     #[test]
+    fn run_batched_preserves_positions_and_runs_each_once() {
+        for jobs in [1, 4] {
+            let items: Vec<u64> = (0..41).collect();
+            // Uneven batches in arbitrary order, covering every index once.
+            let batches: Vec<Vec<usize>> = vec![
+                (30..41).collect(),
+                (0..7).rev().collect(),
+                (7..30).step_by(2).collect(),
+                (8..30).step_by(2).collect(),
+            ];
+            let out = scope(jobs, |pool| {
+                run_batched(Some(pool), items, &batches, |i, item| {
+                    *item = *item * 10 + i as u64 % 10;
+                })
+            });
+            let expect: Vec<u64> = (0..41).map(|i| i * 10 + i % 10).collect();
+            assert_eq!(out, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn run_batched_spawns_one_task_per_batch() {
+        let items: Vec<u32> = (0..12).collect();
+        let batches: Vec<Vec<usize>> = vec![(0..6).collect(), (6..12).collect()];
+        let (out, stats) = scope(4, |pool| {
+            let out = run_batched(Some(pool), items, &batches, |_, x| *x += 1);
+            (out, pool.stats())
+        });
+        assert_eq!(out, (1..13).collect::<Vec<u32>>());
+        assert_eq!(stats.spawned, 2, "one pool task per batch, not per item");
+    }
+
+    #[test]
+    fn run_batched_without_pool_is_sequential() {
+        let batches = vec![vec![2, 0], vec![1]];
+        let out = run_batched::<u32, _>(None, vec![1, 2, 3], &batches, |_, x| *x += 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
     fn stats_count_spawns() {
         let stats = scope(2, |pool| {
             for _ in 0..5 {
@@ -530,6 +664,15 @@ mod tests {
                 "stolen task span must nest under the spawn site"
             );
         }
+    }
+
+    #[test]
+    fn effective_jobs_caps_at_host_parallelism() {
+        let cores = std::thread::available_parallelism().map_or(1, usize::from);
+        assert_eq!(effective_jobs(0), 1);
+        assert_eq!(effective_jobs(1), 1);
+        assert_eq!(effective_jobs(usize::MAX), cores);
+        assert!(effective_jobs(8) <= cores.max(8));
     }
 
     #[test]

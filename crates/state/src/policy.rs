@@ -149,6 +149,9 @@ mod tests {
                 }],
                 snapshot_clones: 0,
                 snapshot_cost_units: 0,
+                snapshot_reused: 0,
+                batch_count: 0,
+                batch_max_cost: 0,
             };
             db.ingest(&trace, Fingerprint(9));
         }

@@ -74,7 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     for pass in &passes {
-        let snapshot = module.clone();
+        let snapshot = sfcc_ir::ModuleSnapshot::of(&module);
         let mut changed_any = false;
         for func in &mut module.functions {
             if func.name != "main" {
