@@ -11,8 +11,10 @@
 #                  per-task-kind seeded lies, E15 fuzz matrix), the
 #                  function-granularity suite and its E16 gate, the
 #                  parallel byte-identity suite and its E13 fan-out
-#                  overhead gate, plus a traced demo build validated with
-#                  `trace-check` and a depcheck run over the demo project
+#                  overhead gate, the shared-artifact-store soundness
+#                  suite and its E17 sharing gate, plus a traced demo
+#                  build validated with `trace-check` and a depcheck run
+#                  over the demo project
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -49,6 +51,8 @@ if [[ "${1:-}" == "--quick" ]]; then
     cargo test -q -p sfcc --test integration_fngrain
     cargo test -q -p sfcc-bench --lib quick_one_function_edit_beats_module_grain_five_fold
     cargo test -q -p sfcc --test integration_parallel quick_
+    cargo test -q -p sfcc --test integration_cas quick_
+    cargo test -q -p sfcc-bench --lib quick_followers_hit_the_shared_surface_byte_identically
     # Fan-out overhead smoke: jobs=8 optimize time must stay within 5% of
     # jobs=1 on the single-module sweep (pure overhead on a 1-core host).
     cargo run -q -p sfcc-bench --release --bin exp_parallel_scaling -- --quick --gate-overhead 5
@@ -64,12 +68,13 @@ cargo fmt --check
 trace_smoke
 depcheck_smoke
 # Smoke-run the parallel-scaling, observability-overhead, and
-# dependency-soundness sweeps, plus the function-granularity comparison
-# (write BENCH_parallel.json / BENCH_trace.json / BENCH_depcheck.json /
-# BENCH_fngrain.json).
+# dependency-soundness sweeps, plus the function-granularity and
+# shared-store comparisons (write BENCH_parallel.json / BENCH_trace.json /
+# BENCH_depcheck.json / BENCH_fngrain.json / BENCH_cas.json).
 cargo run -q -p sfcc-bench --release --bin exp_parallel_scaling -- --quick --gate-overhead 5
 cargo run -q -p sfcc-bench --release --bin exp_trace_overhead -- --quick
 cargo run -q -p sfcc-bench --release --bin exp_depcheck_fuzz -- --quick
 cargo run -q -p sfcc-bench --release --bin exp_fngrain -- --quick
+cargo run -q -p sfcc-bench --release --bin exp_cas_sharing -- --quick
 # Crash-consistency and golden-trace sweeps run inside `cargo test` above;
 # `--quick` reruns just the fast subsets for tight edit loops.

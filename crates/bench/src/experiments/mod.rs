@@ -18,7 +18,9 @@
 //! | E14 | Extension: observability overhead | [`observe::trace_overhead`] |
 //! | E15 | Extension: dependency-soundness fuzzing | [`depcheck_fuzz::depcheck_fuzz`] |
 //! | E16 | Extension: function-granularity dependencies | [`fngrain::fngrain`] |
+//! | E17 | Extension: shared artifact store | [`cas_sharing::cas_sharing`] |
 
+pub mod cas_sharing;
 pub mod depcheck_fuzz;
 pub mod end_to_end;
 pub mod extension;
@@ -95,6 +97,10 @@ pub fn run_all(scale: crate::Scale) -> String {
         (
             "E16 — extension: function-granularity cross-module dependencies",
             fngrain::fngrain(scale).0,
+        ),
+        (
+            "E17 — extension: shared artifact store (cross-project sharing)",
+            cas_sharing::cas_sharing(scale).0,
         ),
     ];
     let mut out = String::new();

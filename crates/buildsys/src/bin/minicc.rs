@@ -7,14 +7,16 @@
 //! minicc ir    <dir> <module> [build flags]       print a module's optimized IR
 //! minicc bc    <dir> [build flags]                disassemble the linked program
 //! minicc state <state-file>                       inspect a dormancy-state file
-//! minicc fsck  <dir|state-file> [image.sbx...]    verify + repair a state dir
+//! minicc fsck  <dir|state-file> [image.sbx...]    verify + repair state/CAS dirs
 //! minicc stats <dir>                              metrics of the last build
 //! minicc trace-check <trace.json>                 validate an exported trace
 //! minicc depcheck <dir> [build flags]             audit dependency soundness
 //! ```
 //!
 //! Build flags: `--stateful` (persist dormancy state in `<dir>/.sfcc-state`),
-//! `--stateless` (default), `--fn-cache`, `--jobs N` (default: all cores),
+//! `--stateless` (default), `--fn-cache`, `--cas <dir>` (shared
+//! content-addressed artifact store; `SFCC_CAS`/`SFCC_CAS_BUDGET` env
+//! equivalents), `--jobs N` (default: all cores),
 //! `--durable` (fsync durable writes), `-O0`/`-O1`/`-O2`; `build` also
 //! accepts `--report json` for a machine-readable summary including
 //! query-engine hit/miss counts and corruption-recovery counters, and
@@ -54,6 +56,14 @@ build flags:
   --stateful     stateful compilation; state persists in <dir>/.sfcc-state
   --stateless    stateless compilation (default)
   --fn-cache     enable the function-level IR cache
+  --cas <dir>    attach a shared content-addressed artifact store rooted at
+                 <dir>/.sfcc-cas; artifacts are keyed on (function
+                 fingerprint, pass pipeline, flag digest, backend version),
+                 so distinct projects built with identical configuration
+                 share optimized IR byte-identically (implies --fn-cache;
+                 SFCC_CAS=<dir> is equivalent)
+  --cas-budget <bytes>  evict least-recently-used store entries beyond this
+                 size budget (SFCC_CAS_BUDGET=<bytes> is equivalent)
   --jobs <N>     worker threads on one shared pool, stolen between module
                  waves and per-function optimization tasks (default: all
                  available cores); every value produces byte-identical
@@ -152,6 +162,10 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
 struct BuildFlags {
     stateful: bool,
     fn_cache: bool,
+    /// `--cas <dir>`: attach a shared content-addressed artifact store.
+    cas: Option<PathBuf>,
+    /// `--cas-budget <bytes>`: LRU-evict the store beyond this size.
+    cas_budget: Option<u64>,
     /// Worker threads per wave; `None` means all available cores.
     jobs: Option<usize>,
     /// `--report json`: emit a machine-readable build report.
@@ -175,6 +189,8 @@ fn parse_flags(args: &[String]) -> Result<BuildFlags, String> {
     let mut flags = BuildFlags {
         stateful: false,
         fn_cache: false,
+        cas: None,
+        cas_budget: None,
         jobs: None,
         report_json: false,
         trace: None,
@@ -191,6 +207,17 @@ fn parse_flags(args: &[String]) -> Result<BuildFlags, String> {
             "--stateful" => flags.stateful = true,
             "--stateless" => flags.stateful = false,
             "--fn-cache" => flags.fn_cache = true,
+            "--cas" => {
+                let dir = iter.next().ok_or("`--cas` expects a store directory")?;
+                flags.cas = Some(PathBuf::from(dir));
+            }
+            "--cas-budget" => {
+                let value = iter.next().ok_or("`--cas-budget` expects a byte count")?;
+                let n: u64 = value
+                    .parse()
+                    .map_err(|_| format!("`--cas-budget` expects a number, got `{value}`"))?;
+                flags.cas_budget = Some(n);
+            }
             "--durable" => flags.durable = true,
             "--parallel" => flags.jobs = None,
             "--jobs" => {
@@ -258,6 +285,21 @@ fn config_of(flags: &BuildFlags, dir: &Path) -> Config {
     };
     if flags.fn_cache {
         config = config.with_function_cache();
+    }
+    // `--cas` wins over the environment; either attaches the shared store
+    // (and implies the function cache, which fronts it).
+    let cas_dir = flags
+        .cas
+        .clone()
+        .or_else(|| std::env::var("SFCC_CAS").ok().map(PathBuf::from));
+    if let Some(store) = cas_dir {
+        config = config.with_cas_path(store);
+        let budget = flags
+            .cas_budget
+            .or_else(|| std::env::var("SFCC_CAS_BUDGET").ok()?.parse().ok());
+        if let Some(budget) = budget {
+            config = config.with_cas_budget(budget);
+        }
     }
     if flags.durable {
         config = config.with_durability(Durability::Durable);
@@ -551,6 +593,40 @@ fn cmd_fsck(args: &[String]) -> Result<ExitCode, String> {
         println!("  clean");
     } else {
         println!("  next stateful build recompiles what was lost and rewrites the state");
+    }
+    // A directory operand may also root a shared artifact store; audit it
+    // too, validating every artifact's checksum *and* embedded provenance.
+    let target_path = Path::new(target);
+    let cas_manifest =
+        sfcc_faultfs::CommitDir::new(&target_path.join(sfcc_cas::CAS_BASE)).manifest_path();
+    if target_path.is_dir() && cas_manifest.exists() {
+        let cas_report = sfcc_cas::fsck(target_path)
+            .map_err(|e| format!("cas fsck of `{}` failed: {e}", target_path.display()))?;
+        println!(
+            "cas fsck {}: {} artifact(s) checked",
+            target_path.join(sfcc_cas::CAS_BASE).display(),
+            cas_report.checked
+        );
+        for path in &cas_report.quarantined {
+            println!("  quarantined {path}");
+        }
+        if cas_report.removed > 0 {
+            println!("  removed {} orphan file(s)", cas_report.removed);
+        }
+        if cas_report.repaired_manifest {
+            println!("  manifest rewritten without the corrupt entries");
+        }
+        if cas_report.clean() {
+            println!("  clean");
+        } else if cas_report.quarantined.is_empty() && !cas_report.repaired_manifest {
+            // Orphan debris only (shared commits never GC replaced
+            // generations) — nothing referenced was touched.
+            println!("  clean after sweep");
+        } else {
+            println!(
+                "  the store lost artifacts, not correctness: evicted keys miss and recompile"
+            );
+        }
     }
     Ok(ExitCode::SUCCESS)
 }

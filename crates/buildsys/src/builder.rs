@@ -240,6 +240,12 @@ impl Builder {
         self.engine
             .retain(|task| task.module().is_none_or(|m| project.contains(m)));
 
+        // Shared-store session boundary: clear per-session serve records,
+        // pick up other processes' commits, and (adversarially) install any
+        // seeded key-component drops for this build.
+        self.compiler.cas_set_key_drops(self.mutations.key_drops());
+        self.compiler.cas_begin_session();
+
         let mut spec = BuildSpec::new(
             project,
             &mut self.compiler,

@@ -169,6 +169,13 @@ pub struct DepMutations {
     frozen: BTreeSet<String>,
     /// First-observed stamps of frozen inputs, shared across clones.
     frozen_seen: Arc<Mutex<HashMap<String, u64>>>,
+    /// Shared-store key components (by `sfcc_cas::KEY_COMPONENTS` name) to
+    /// omit from key derivation — the classic "flag missing from the cache
+    /// key" lie, seeding cross-configuration stale serves.
+    key_drops: Vec<String>,
+    /// `(task label, path)` durable reads to perform inside the task's
+    /// scope without declaring any dependency (seeds untracked I/O).
+    rogue_reads: Vec<(String, String)>,
 }
 
 impl DepMutations {
@@ -183,6 +190,8 @@ impl DepMutations {
             && self.phantoms.is_empty()
             && self.phantom_accesses.is_empty()
             && self.frozen.is_empty()
+            && self.key_drops.is_empty()
+            && self.rogue_reads.is_empty()
     }
 
     /// Suppresses `task`'s declaration of `input` (seeds a missing dep).
@@ -213,6 +222,23 @@ impl DepMutations {
         self
     }
 
+    /// Omits `component` (a `sfcc_cas::KEY_COMPONENTS` name: `fn`,
+    /// `pipeline`, `flags`, `backend`) from the shared store's key
+    /// derivation, at both publish and lookup — re-creating the classic
+    /// under-keyed cache that serves one configuration's artifacts to
+    /// another (seeds a stale serve across configurations).
+    pub fn drop_flag_from_key(mut self, component: &str) -> Self {
+        self.key_drops.push(component.to_string());
+        self
+    }
+
+    /// Performs a real durable read of `path` inside `task`'s scope with
+    /// no dependency channel declared (seeds untracked I/O).
+    pub fn rogue_io(mut self, task: &str, path: &str) -> Self {
+        self.rogue_reads.push((task.to_string(), path.to_string()));
+        self
+    }
+
     /// Whether `task`'s declaration of `input` is suppressed.
     pub(crate) fn drops(&self, task: &str, input: &str) -> bool {
         self.dropped.iter().any(|(t, i)| t == task && i == input)
@@ -233,6 +259,20 @@ impl DepMutations {
             .iter()
             .filter(|(t, _)| t == task)
             .map(|(_, r)| r.clone())
+            .collect()
+    }
+
+    /// Shared-store key components to omit from derivation.
+    pub(crate) fn key_drops(&self) -> &[String] {
+        &self.key_drops
+    }
+
+    /// Paths `task` should rogue-read inside its scope.
+    pub(crate) fn rogue_reads_for(&self, task: &str) -> Vec<String> {
+        self.rogue_reads
+            .iter()
+            .filter(|(t, _)| t == task)
+            .map(|(_, p)| p.clone())
             .collect()
     }
 
@@ -312,6 +352,32 @@ pub(crate) fn analyze(
                     .to_string(),
             });
         }
+        // Shared-store serves recorded by executed tasks: the stamp the
+        // task recorded is the *served* artifact's provenance key; the raw
+        // stamp is the honest derivation from today's source and config.
+        // They disagree exactly when the store answered with another
+        // identity's artifact (an under-keyed lookup) — a stale serve the
+        // moment it happens, before any byte can diverge downstream.
+        for dep in engine.deps_of(key).into_iter().flatten() {
+            let Dep::Input { name, stamp } = dep else {
+                continue;
+            };
+            if !name.starts_with("cas:") {
+                continue;
+            }
+            let raw = spec.raw_input_stamp(name);
+            if raw != *stamp {
+                findings.push(DepFinding {
+                    kind: DepFindingKind::StaleServe,
+                    task: label.clone(),
+                    resource: name.clone(),
+                    detail: format!(
+                        "shared store served an artifact with provenance stamp {stamp:#x}, \
+                         but the honest key derivation stamps {raw:#x}"
+                    ),
+                });
+            }
+        }
     }
 
     // Store-served tasks: every recorded input stamp must match the input's
@@ -339,8 +405,15 @@ pub(crate) fn analyze(
     }
 
     // Durable I/O inside a task scope: the engine has no channel for it.
+    // The shared artifact store is the one sanctioned exception: its ops
+    // run under the dedicated `cas` scope and its reads are tracked
+    // through the `cas:` input-stamp audit above, so they are visible to
+    // invalidation the way ad-hoc task I/O is not.
     for op in ops {
         if let Some(task) = &op.task {
+            if task == sfcc_cas::CAS_TASK_LABEL {
+                continue;
+            }
             findings.push(DepFinding {
                 kind: DepFindingKind::UntrackedIo,
                 task: task.clone(),
@@ -372,13 +445,20 @@ mod tests {
             .drop_dep("imports(a)", "src:a")
             .phantom_dep("lower(a)", "phantom:x")
             .phantom_access("link", "ghost:link")
-            .freeze_stamp("src:b");
+            .freeze_stamp("src:b")
+            .drop_flag_from_key("flags")
+            .rogue_io("codegen(a)", "/tmp/rogue");
         assert!(m.drops("imports(a)", "src:a"));
         assert!(!m.drops("imports(b)", "src:b"));
         assert_eq!(m.phantom_deps_for("lower(a)"), vec!["phantom:x"]);
         assert_eq!(m.phantom_accesses_for("link"), vec!["ghost:link"]);
+        assert_eq!(m.key_drops(), ["flags".to_string()]);
+        assert_eq!(m.rogue_reads_for("codegen(a)"), vec!["/tmp/rogue"]);
+        assert!(m.rogue_reads_for("codegen(b)").is_empty());
         assert!(!m.is_empty());
         assert!(DepMutations::new().is_empty());
+        assert!(!DepMutations::new().drop_flag_from_key("fn").is_empty());
+        assert!(!DepMutations::new().rogue_io("t", "/p").is_empty());
     }
 
     #[test]

@@ -396,7 +396,22 @@ impl BuildReport {
             push_json_string(&mut out, &f.detail);
             out.push('}');
         }
-        out.push_str("]},\"pass_profile\":[");
+        // The cas block mirrors the `cas.*` gauges the compiler publishes:
+        // always present, zeroed (enabled=false) when no shared store is
+        // attached, so consumers never branch on a missing key.
+        let _ = write!(
+            out,
+            "]}},\"cas\":{{\"enabled\":{},\"hits\":{},\"misses\":{},\"evictions\":{},\
+             \"publishes\":{},\"entries\":{},\"bytes\":{}}}",
+            self.metric("cas.enabled", 0) != 0,
+            self.metric("cas.hits", 0),
+            self.metric("cas.misses", 0),
+            self.metric("cas.evictions", 0),
+            self.metric("cas.publishes", 0),
+            self.metric("cas.entries", 0),
+            self.metric("cas.bytes", 0)
+        );
+        out.push_str(",\"pass_profile\":[");
         for (i, agg) in self.pass_profile().iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -486,6 +501,7 @@ pub fn validate_report_json(text: &str) -> Result<(), String> {
         "parallel",
         "recovery",
         "depcheck",
+        "cas",
         "pass_profile",
         "slowest_slots",
         "modules",
@@ -619,6 +635,24 @@ pub fn validate_report_json(text: &str) -> Result<(), String> {
                 .and_then(Value::as_str)
                 .ok_or(format!("depcheck.findings[{i}]: missing string {field:?}"))?;
         }
+    }
+
+    let cas = doc.get("cas").unwrap();
+    cas.get("enabled")
+        .and_then(Value::as_bool)
+        .ok_or("cas: missing bool \"enabled\"")?;
+    for field in [
+        "hits",
+        "misses",
+        "evictions",
+        "publishes",
+        "entries",
+        "bytes",
+    ] {
+        num(
+            cas.get(field).ok_or(format!("cas: missing {field:?}"))?,
+            &format!("cas.{field}"),
+        )?;
     }
 
     for (block, fields) in [

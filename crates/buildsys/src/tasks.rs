@@ -333,6 +333,11 @@ pub struct BuildSpec<'a> {
     /// Adversarial dependency mutations (depcheck fuzzing); empty for an
     /// honest build.
     mutations: DepMutations,
+    /// Per-module context fingerprints recomputed from today's source, for
+    /// the honest `cas:m::f` stamp ([`BuildSpec::raw_input_stamp`]). Lazy:
+    /// a module is frontend-ed and lowered from scratch at most once per
+    /// build, and only when a `cas:` stamp is actually demanded.
+    cas_contexts: HashMap<String, HashMap<String, Fingerprint>>,
 }
 
 impl<'a> BuildSpec<'a> {
@@ -353,6 +358,7 @@ impl<'a> BuildSpec<'a> {
             cache_inserts: Vec::new(),
             query_log: Vec::new(),
             mutations,
+            cas_contexts: HashMap::new(),
         }
     }
 
@@ -495,9 +501,52 @@ impl<'a> BuildSpec<'a> {
                 Some((m, f)) => self.compiler.state_stamp_fn(m, f),
                 None => self.compiler.state_stamp(rest),
             }
+        } else if let Some(rest) = input.strip_prefix("cas:") {
+            match rest.split_once("::") {
+                Some((m, f)) => self.cas_honest_stamp(m, f),
+                None => 0,
+            }
         } else {
             0
         }
+    }
+
+    /// The honest shared-store stamp for `m::f`: what a sound serve record
+    /// must claim. Re-derived *from scratch* — today's source is frontend-ed
+    /// and lowered, context fingerprints recomputed, and the full (never
+    /// component-dropped) key built from them — so no amount of lying in
+    /// the serve path can contaminate the reference value.
+    fn cas_honest_stamp(&mut self, m: &str, f: &str) -> u64 {
+        if !self.cas_contexts.contains_key(m) {
+            let contexts = self.compute_cas_contexts(m).unwrap_or_default();
+            self.cas_contexts.insert(m.to_string(), contexts);
+        }
+        self.cas_contexts
+            .get(m)
+            .and_then(|ctxs| ctxs.get(f))
+            .and_then(|&ctx| self.compiler.cas_honest_stamp(ctx))
+            .unwrap_or(0)
+    }
+
+    /// Frontend + lower `m` from the project's current source and return
+    /// its context fingerprints. Function context fingerprints are
+    /// closure-local, so the full-module derivation here agrees with the
+    /// restricted-closure derivation the optimize tasks use.
+    fn compute_cas_contexts(&self, m: &str) -> Option<HashMap<String, Fingerprint>> {
+        let source = self.project.file(m)?;
+        let mut env = ModuleEnv::new();
+        for dep in parse_imports(m, source) {
+            let Some(dep_src) = self.project.file(&dep) else {
+                continue;
+            };
+            if let Ok(iface) = sfcc::extract_interface(&dep, dep_src) {
+                env.insert(dep, iface);
+            }
+        }
+        let mut diags = Diagnostics::new();
+        let checked = sfcc_frontend::parse_and_check(m, source, &env, &mut diags)?;
+        let ir = sfcc_ir::lower_module(&checked, &env);
+        Some(sfcc::fncache::context_fingerprints(&ir))
     }
 
     /// Runs one function's restricted optimization on demand (no parked
@@ -553,6 +602,12 @@ impl TaskSpec for BuildSpec<'_> {
         let _scope = sfcc_faultfs::task_scope(label.clone());
         for resource in self.mutations.phantom_accesses_for(&label) {
             sfcc_faultfs::note_access(&resource);
+        }
+        for path in self.mutations.rogue_reads_for(&label) {
+            // A real durable read inside the task scope with no dependency
+            // channel: the untracked-io class depcheck must flag. The op is
+            // recorded whether or not the path exists.
+            let _ = sfcc_faultfs::read(std::path::Path::new(&path));
         }
         let value = self.execute_inner(key, ctx, &label)?;
         for input in self.mutations.phantom_deps_for(&label) {
@@ -903,6 +958,18 @@ impl BuildSpec<'_> {
                 if !self.mutations.drops(label, &state_input) {
                     let stamp = self.compiler.state_stamp_fn(m, f);
                     ctx.record_input(&state_input, stamp);
+                }
+                // A shared-store serve is a tracked input of this task: the
+                // recorded stamp is the *served* artifact's provenance key,
+                // so revalidation (and the depcheck audit) compares it
+                // against the honest key derivation — an under-keyed serve
+                // is caught the session it happens.
+                if let Some(stamps) = self.compiler.cas_served(m, f) {
+                    let cas_input = format!("cas:{m}::{f}");
+                    sfcc_faultfs::note_access(&cas_input);
+                    if !self.mutations.drops(label, &cas_input) {
+                        ctx.record_input(&cas_input, stamps.served);
+                    }
                 }
                 Ok(BuildValue::OptimizeFn(Arc::new(OptimizeFnArtifact {
                     func,

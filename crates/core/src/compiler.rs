@@ -6,6 +6,7 @@ use crate::fncache::{CacheStats, FunctionCache};
 use crate::persist::{self, RecoveryEvent};
 use crate::phases::{self, OptimizeOutcome};
 use sfcc_backend::CodeObject;
+use sfcc_cas::{CasStats, CasStore, KeyComponents, ServedStamps, DEFAULT_BACKEND_VERSION};
 use sfcc_codec::fnv64;
 use sfcc_frontend::{CheckedModule, Diagnostics, ModuleEnv, ModuleInterface, SourceFile};
 use sfcc_ir::Fingerprint;
@@ -131,6 +132,11 @@ pub struct Compiler {
     session_bumped: HashSet<String>,
     state_load_error: Option<DecodeError>,
     fn_cache: FunctionCache,
+    /// The shared content-addressed artifact store, consulted below the
+    /// in-process function cache ([`Config::cas_path`]). `None` when
+    /// disabled or when opening the store failed (the session degrades to
+    /// cache-only; a broken store must never fail a build).
+    cas: Option<CasStore>,
     recovery_events: Vec<RecoveryEvent>,
 }
 
@@ -161,6 +167,30 @@ impl Compiler {
             }
             _ => (StateDb::new(), None, FunctionCache::new(), Vec::new()),
         };
+        let cas = config.cas_path.as_ref().and_then(|dir| {
+            // The key's flag digest covers exactly the configuration that
+            // changes generated code and is *not* already in the pipeline
+            // fingerprint: mode (skip policy) and verification. The opt
+            // level selects the pass pipeline, so the pipeline component
+            // keys it; cache toggles and job counts are excluded by
+            // design — they are proven not to change bytes.
+            let flag_repr = format!("mode={};verify={}", config.mode.label(), config.verify_each);
+            let components = KeyComponents {
+                pipeline: pipeline_hash,
+                flags: fnv64(flag_repr.as_bytes()),
+                backend: config
+                    .cas_backend_version
+                    .unwrap_or(DEFAULT_BACKEND_VERSION),
+                flag_repr,
+                pipeline_repr: pipeline.slot_names().join(","),
+            };
+            CasStore::open_dir(dir, components, config.durability)
+                .ok()
+                .map(|mut store| {
+                    store.set_budget(config.cas_budget);
+                    store
+                })
+        });
         Compiler {
             config,
             pipeline,
@@ -170,6 +200,7 @@ impl Compiler {
             session_bumped: HashSet::new(),
             state_load_error,
             fn_cache,
+            cas,
             recovery_events,
         }
     }
@@ -221,6 +252,7 @@ impl Compiler {
             verify_each: self.config.verify_each,
         };
         let cache = self.config.function_cache.then_some(&self.fn_cache);
+        let cas = self.cas.as_ref();
         let mode = self.config.mode;
         let pipeline = &self.pipeline;
         let state = &self.state;
@@ -236,12 +268,13 @@ impl Compiler {
                     state,
                     options,
                     cache,
+                    cas,
                     Some(ps),
                 )
             })?
         } else {
             compile_unit(
-                name, source, env, mode, pipeline, state, options, cache, None,
+                name, source, env, mode, pipeline, state, options, cache, cas, None,
             )?
         };
         self.apply_cache_inserts(inserts);
@@ -271,6 +304,53 @@ impl Compiler {
         registry.gauge_set("state.dormant_slots", self.state.dormant_slot_count());
         registry.gauge_set("state.recorded_skips", self.state.total_recorded_skips());
         registry.gauge_set("recovery.events", self.recovery_events.len() as u64);
+        let cas = self.cas_stats().unwrap_or_default();
+        registry.gauge_set("cas.enabled", self.cas.is_some() as u64);
+        registry.gauge_set("cas.hits", cas.hits);
+        registry.gauge_set("cas.misses", cas.misses);
+        registry.gauge_set("cas.evictions", cas.evictions);
+        registry.gauge_set("cas.publishes", cas.publishes);
+        registry.gauge_set("cas.entries", cas.entries);
+        registry.gauge_set("cas.bytes", cas.bytes);
+    }
+
+    /// The shared artifact store, when the session has one.
+    pub fn cas(&self) -> Option<&CasStore> {
+        self.cas.as_ref()
+    }
+
+    /// Counters of the shared artifact store, when the session has one.
+    pub fn cas_stats(&self) -> Option<CasStats> {
+        self.cas.as_ref().map(|c| c.stats())
+    }
+
+    /// Starts a fresh shared-store session: clears per-session serve
+    /// records and refreshes the view of other processes' commits. The
+    /// build driver calls this once per build.
+    pub fn cas_begin_session(&self) {
+        if let Some(cas) = &self.cas {
+            cas.begin_session();
+        }
+    }
+
+    /// Forwards adversarial key-component drops to the shared store (test
+    /// hook; see [`CasStore::set_key_drops`]).
+    pub fn cas_set_key_drops(&self, components: &[String]) {
+        if let Some(cas) = &self.cas {
+            cas.set_key_drops(components);
+        }
+    }
+
+    /// The shared store's serve record for `module::function` this
+    /// session, if its lookup hit.
+    pub fn cas_served(&self, module: &str, function: &str) -> Option<ServedStamps> {
+        self.cas.as_ref().and_then(|c| c.served(module, function))
+    }
+
+    /// The honest store-key stamp for a context fingerprint (what a sound
+    /// serve record must claim). `None` without a store.
+    pub fn cas_honest_stamp(&self, fn_ctx: Fingerprint) -> Option<u64> {
+        self.cas.as_ref().map(|c| c.honest_stamp(fn_ctx))
     }
 
     /// Compiles several independent modules, possibly in parallel.
@@ -307,6 +387,7 @@ impl Compiler {
         let pipeline = &self.pipeline;
         let state = &self.state;
         let cache = self.config.function_cache.then_some(&self.fn_cache);
+        let cas = self.cas.as_ref();
         let jobs = sfcc_pool::effective_jobs(if self.config.jobs > 1 {
             self.config.jobs
         } else {
@@ -329,6 +410,7 @@ impl Compiler {
                         state,
                         options,
                         cache,
+                        cas,
                         Some(ps),
                     );
                     *slots[i].lock().unwrap() = Some(r);
@@ -357,19 +439,30 @@ impl Compiler {
     }
 
     /// Applies deferred [`crate::OptimizeOutcome::cache_inserts`] to the
-    /// session's function cache (a no-op when the cache is disabled).
-    /// Callers invoke this at a deterministic boundary — after a module in
-    /// sequential compilation, after a wave in the incremental driver — so
-    /// cache visibility does not depend on `--jobs`.
+    /// session's function cache and publishes them to the shared store (a
+    /// no-op when both are disabled). Callers invoke this at a
+    /// deterministic boundary — after a module in sequential compilation,
+    /// after a wave in the incremental driver — so cache visibility does
+    /// not depend on `--jobs`. Local inserts replace same-key entries in
+    /// place (byte-identical by the cache-key invariant) and the store
+    /// skips already-published keys, so a shared-store hit racing a local
+    /// recomputation of the same key converges to identical bytes for
+    /// every `--jobs` value.
     pub fn apply_cache_inserts(
         &self,
         inserts: impl IntoIterator<Item = (Fingerprint, sfcc_ir::Function)>,
     ) {
-        if !self.config.function_cache {
+        if !self.config.function_cache && self.cas.is_none() {
             return;
         }
-        for (key, func) in inserts {
-            self.fn_cache.insert(key, func);
+        let inserts: Vec<(Fingerprint, sfcc_ir::Function)> = inserts.into_iter().collect();
+        if self.config.function_cache {
+            for (key, func) in &inserts {
+                self.fn_cache.insert(*key, func.clone());
+            }
+        }
+        if let Some(cas) = &self.cas {
+            cas.publish(&inserts);
         }
     }
 
@@ -466,6 +559,7 @@ impl Compiler {
             self.skip_state(),
             options,
             cache,
+            self.cas.as_ref(),
             pool,
         );
         (ir, outcome)
@@ -494,6 +588,7 @@ impl Compiler {
             self.skip_state(),
             options,
             cache,
+            self.cas.as_ref(),
             pool,
         );
         (ir, outcome)
@@ -660,6 +755,7 @@ fn compile_unit<'env>(
     state: &'env StateDb,
     options: RunOptions,
     cache: Option<&'env FunctionCache>,
+    cas: Option<&'env CasStore>,
     pool: Option<&PoolScope<'env>>,
 ) -> Result<(CompileOutput, Vec<(Fingerprint, sfcc_ir::Function)>), CompileError> {
     let mut timings = PhaseTimings::default();
@@ -671,7 +767,7 @@ fn compile_unit<'env>(
     let (mut ir, lower_ns) = phases::lower(&checked, env);
     timings.lower_ns = lower_ns;
 
-    let outcome = phases::optimize(&mut ir, mode, pipeline, state, options, cache, pool);
+    let outcome = phases::optimize(&mut ir, mode, pipeline, state, options, cache, cas, pool);
     timings.middle_ns = outcome.middle_ns;
     timings.state_ns += outcome.state_ns;
 
@@ -923,6 +1019,46 @@ fn main(n: int) -> int {
         let after = c.cache_stats();
         // caller's context changed with the callee's body: no hits at all.
         assert_eq!(after.hits, before.hits, "caller must not hit a stale entry");
+    }
+
+    #[test]
+    fn shared_store_hits_across_sessions_byte_identically() {
+        let dir = std::env::temp_dir().join(format!("sfcc-cas-compiler-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Session A (no local persistence) populates the shared store.
+        let mut a = Compiler::new(Config::stateless().with_cas_path(&dir).with_verification());
+        let out_a = a.compile("main", SRC_V1, &ModuleEnv::new()).unwrap();
+        let stats_a = a.cas_stats().unwrap();
+        assert!(stats_a.publishes > 0, "{stats_a:?}");
+
+        // A fresh session (cold local cache) hits the shared store and
+        // produces the same bytes as a plain build.
+        let mut b = Compiler::new(Config::stateless().with_cas_path(&dir).with_verification());
+        let out_b = b.compile("main", SRC_V1, &ModuleEnv::new()).unwrap();
+        let stats_b = b.cas_stats().unwrap();
+        assert!(stats_b.hits > 0, "{stats_b:?}");
+        assert_eq!(out_a.object, out_b.object);
+        assert!(b.cas_served("main", "helper").is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shared_store_misses_across_differing_flags() {
+        let dir = std::env::temp_dir().join(format!("sfcc-cas-flags-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut a = Compiler::new(Config::stateless().with_cas_path(&dir));
+        a.compile("main", SRC_V1, &ModuleEnv::new()).unwrap();
+        // Same source, different verify flag: the flag digest differs, so
+        // every lookup must miss.
+        let mut b = Compiler::new(Config::stateless().with_cas_path(&dir).with_verification());
+        b.compile("main", SRC_V1, &ModuleEnv::new()).unwrap();
+        let stats = b.cas_stats().unwrap();
+        assert_eq!(stats.hits, 0, "{stats:?}");
+        assert!(stats.misses > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -73,6 +73,18 @@ pub struct Config {
     /// OS-level crash. Both modes are crash-consistent; see
     /// [`Durability`].
     pub durability: Durability,
+    /// Directory of a shared content-addressed artifact store
+    /// (`sfcc-cas`), consulted as a second level below the in-process
+    /// function cache. `None` disables the store.
+    pub cas_path: Option<PathBuf>,
+    /// Size budget (bytes) for the shared store: publishes evict
+    /// least-recently-used artifacts until the store fits. `None` never
+    /// evicts.
+    pub cas_budget: Option<u64>,
+    /// Override of the backend format version baked into every store key
+    /// (defaults to [`sfcc_cas::DEFAULT_BACKEND_VERSION`]); tests use it
+    /// to prove the component is load-bearing.
+    pub cas_backend_version: Option<u32>,
 }
 
 impl Config {
@@ -86,6 +98,9 @@ impl Config {
             function_cache: false,
             jobs: 1,
             durability: Durability::Fast,
+            cas_path: None,
+            cas_budget: None,
+            cas_backend_version: None,
         }
     }
 
@@ -137,6 +152,26 @@ impl Config {
     /// Sets the durability mode for state/cache/image writes.
     pub fn with_durability(mut self, durability: Durability) -> Self {
         self.durability = durability;
+        self
+    }
+
+    /// Points the session at a shared content-addressed artifact store
+    /// directory (also enables the function cache, which fronts it).
+    pub fn with_cas_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.cas_path = Some(path.into());
+        self.function_cache = true;
+        self
+    }
+
+    /// Sets the shared store's size budget in bytes.
+    pub fn with_cas_budget(mut self, budget: u64) -> Self {
+        self.cas_budget = Some(budget);
+        self
+    }
+
+    /// Overrides the backend format version in the store key (test hook).
+    pub fn with_cas_backend_version(mut self, version: u32) -> Self {
+        self.cas_backend_version = Some(version);
         self
     }
 }

@@ -12,6 +12,7 @@
 use crate::config::Mode;
 use crate::fncache::{context_fingerprints, FunctionCache};
 use sfcc_backend::{compile_object, CodeObject};
+use sfcc_cas::CasStore;
 use sfcc_frontend::{CheckedModule, Diagnostics, ModuleEnv, SourceFile};
 use sfcc_ir::{Fingerprint, Function};
 use sfcc_passes::{
@@ -99,6 +100,7 @@ impl SkipOracle for CacheHits<'_> {
 /// [`OptimizeOutcome::cache_inserts`] are the caller's (sequenced)
 /// responsibility, so this function can run against immutable state and
 /// cache snapshots on worker threads.
+#[allow(clippy::too_many_arguments)]
 pub fn optimize<'env>(
     ir: &mut sfcc_ir::Module,
     mode: Mode,
@@ -106,6 +108,7 @@ pub fn optimize<'env>(
     state: &'env StateDb,
     options: RunOptions,
     cache: Option<&'env FunctionCache>,
+    cas: Option<&'env CasStore>,
     pool: Option<&PoolScope<'env>>,
 ) -> OptimizeOutcome {
     // The dormancy state is a tracked input of the optimize task
@@ -113,7 +116,7 @@ pub fn optimize<'env>(
     // in both modes — stateless builds consult the state to decide *not*
     // to skip, which is still an observation of it.
     sfcc_faultfs::note_access(&format!("state:{}", ir.name));
-    optimize_prenoted(ir, mode, pipeline, state, options, cache, pool)
+    optimize_prenoted(ir, mode, pipeline, state, options, cache, cas, pool)
 }
 
 /// [`optimize`] for a *restricted* module (one carrying only the demanded
@@ -124,6 +127,7 @@ pub fn optimize<'env>(
 /// any task scope, so a note emitted here would either be unattributed
 /// (batched) or mis-attributed to whichever task happened to be active
 /// (solo), and depcheck would flag phantom context-function reads.
+#[allow(clippy::too_many_arguments)]
 pub fn optimize_fn_grained<'env>(
     ir: &mut sfcc_ir::Module,
     mode: Mode,
@@ -131,9 +135,22 @@ pub fn optimize_fn_grained<'env>(
     state: &'env StateDb,
     options: RunOptions,
     cache: Option<&'env FunctionCache>,
+    cas: Option<&'env CasStore>,
     pool: Option<&PoolScope<'env>>,
 ) -> OptimizeOutcome {
-    optimize_prenoted(ir, mode, pipeline, state, options, cache, pool)
+    optimize_prenoted(ir, mode, pipeline, state, options, cache, cas, pool)
+}
+
+/// How a function's pre-pipeline lookup resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LookupHit {
+    /// No cached body anywhere: the pipeline must run.
+    Miss,
+    /// Served by the in-process [`FunctionCache`].
+    Local,
+    /// Served by the shared artifact store; the local cache gets warmed
+    /// with it at the next insert boundary.
+    Shared,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -144,37 +161,50 @@ fn optimize_prenoted<'env>(
     state: &'env StateDb,
     options: RunOptions,
     cache: Option<&'env FunctionCache>,
+    cas: Option<&'env CasStore>,
     pool: Option<&PoolScope<'env>>,
 ) -> OptimizeOutcome {
     // Function-cache lookup: swap cached optimized bodies in and mark them
-    // so the pipeline skips them entirely. Lookups never mutate entries
-    // (only counters and referenced bits), so running them concurrently —
-    // here and across modules of one wave — cannot change what any module
-    // observes.
+    // so the pipeline skips them entirely. The shared store (CAS) is the
+    // second level: consulted only on a local miss. Lookups never mutate
+    // entries (only counters, recency, and referenced bits), so running
+    // them concurrently — here and across modules of one wave — cannot
+    // change what any module observes.
     let t = Instant::now();
     let mut hits = std::collections::HashSet::new();
+    let mut shared_hits = std::collections::HashSet::new();
     let mut contexts = std::collections::HashMap::new();
-    if let Some(cache) = cache {
+    if cache.is_some() || cas.is_some() {
         contexts = context_fingerprints(ir);
         let shared_contexts = Arc::new(contexts.clone());
-        let marked: Vec<(Function, bool)> = std::mem::take(&mut ir.functions)
+        let module_name = ir.name.clone();
+        let marked: Vec<(Function, LookupHit)> = std::mem::take(&mut ir.functions)
             .into_iter()
-            .map(|f| (f, false))
+            .map(|f| (f, LookupHit::Miss))
             .collect();
         let order: Vec<usize> = (0..marked.len()).collect();
         let marked = run_indexed(pool, marked, &order, move |_, (func, hit)| {
-            if let Some(&ctx) = shared_contexts.get(&func.name) {
-                if let Some(mut cached) = cache.lookup(ctx) {
-                    cached.name = func.name.clone();
-                    *func = cached;
-                    *hit = true;
-                }
+            let Some(&ctx) = shared_contexts.get(&func.name) else {
+                return;
+            };
+            if let Some(mut cached) = cache.and_then(|cache| cache.lookup(ctx)) {
+                cached.name = func.name.clone();
+                *func = cached;
+                *hit = LookupHit::Local;
+            } else if let Some(served) =
+                cas.and_then(|cas| cas.lookup(&module_name, &func.name, ctx))
+            {
+                *func = served;
+                *hit = LookupHit::Shared;
             }
         });
         ir.functions = Vec::with_capacity(marked.len());
         for (func, hit) in marked {
-            if hit {
+            if hit != LookupHit::Miss {
                 hits.insert(func.name.clone());
+            }
+            if hit == LookupHit::Shared {
+                shared_hits.insert(func.name.clone());
             }
             ir.functions.push(func);
         }
@@ -200,13 +230,15 @@ fn optimize_prenoted<'env>(
     };
     let middle_ns = t.elapsed().as_nanos() as u64;
 
-    // Collect freshly optimized cacheable functions for the caller to
-    // insert at the next deterministic boundary.
+    // Collect cacheable functions for the caller to insert at the next
+    // deterministic boundary: freshly optimized ones, plus shared-store
+    // hits (which warm the local cache; re-publishing an existing key is
+    // a no-op, the store is content-addressed).
     let t = Instant::now();
     let mut cache_inserts = Vec::new();
-    if cache.is_some() {
+    if cache.is_some() || cas.is_some() {
         for func in &ir.functions {
-            if hits.contains(&func.name) {
+            if hits.contains(&func.name) && !shared_hits.contains(&func.name) {
                 continue;
             }
             if let Some(&ctx) = contexts.get(&func.name) {

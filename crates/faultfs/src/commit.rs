@@ -262,6 +262,35 @@ impl CommitDir {
     /// Any I/O failure before the manifest rename aborts the commit with
     /// the old generation intact.
     pub fn commit(&self, files: &[(&str, &[u8])], durability: Durability) -> io::Result<Manifest> {
+        self.commit_inner(files, durability, true)
+    }
+
+    /// Like [`CommitDir::commit`], but never deletes the generation files
+    /// this commit replaced. In a directory shared by concurrent *processes*
+    /// the replaced-file GC is unsound: a racing committer may have read the
+    /// old manifest and carried its entries forward, so its (later, winning)
+    /// manifest would reference files this commit just deleted. Shared
+    /// directories leave replaced generations as debris for fsck's orphan
+    /// sweep instead.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure before the manifest rename aborts the commit with
+    /// the old generation intact.
+    pub fn commit_shared(
+        &self,
+        files: &[(&str, &[u8])],
+        durability: Durability,
+    ) -> io::Result<Manifest> {
+        self.commit_inner(files, durability, false)
+    }
+
+    fn commit_inner(
+        &self,
+        files: &[(&str, &[u8])],
+        durability: Durability,
+        gc_replaced: bool,
+    ) -> io::Result<Manifest> {
         // A corrupt old manifest must not block a new commit: treat it as
         // absent (recovery already quarantined or will quarantine it).
         let old = self.read_manifest().ok().flatten();
@@ -310,6 +339,10 @@ impl CommitDir {
         // GC: delete only the entry files this commit replaced. Foreign or
         // abandoned generations are fsck's job — deleting them here could
         // race a concurrent builder whose manifest still references them.
+        // (Skipped entirely for shared directories; see `commit_shared`.)
+        if !gc_replaced {
+            return Ok(manifest);
+        }
         if let Some(old) = &old {
             for e in &old.entries {
                 let replaced = manifest

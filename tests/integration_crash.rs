@@ -745,3 +745,140 @@ fn fsck_reclaims_crash_debris_and_quarantines_bad_images() {
     assert!(!image.exists(), "corrupt image must be moved aside");
     cleanup(&dir);
 }
+
+// ---------------------------------------------------------------------------
+// Shared artifact store (sfcc-cas) fault matrix
+// ---------------------------------------------------------------------------
+
+/// One stateless builder session against a shared artifact store at
+/// `store`. Every durable op the session performs belongs to the store, so
+/// op indices map directly onto the CAS publish/lookup protocol.
+fn cas_session(store: &Path, p: &Project) -> Result<BuildReport, String> {
+    let mut builder = Builder::new(Compiler::new(
+        Config::stateless().with_cas_path(store.to_path_buf()),
+    ));
+    builder.build(p).map_err(|e| e.to_string())
+}
+
+fn assert_runs_43(report: &BuildReport, label: &str) {
+    let out = sfcc_backend::run(&report.program, "main.main", &[21], VmOptions::default())
+        .unwrap_or_else(|e| panic!("{label}: program does not run: {e:?}"));
+    assert_eq!(out.return_value, Some(43), "{label}");
+}
+
+#[test]
+fn quick_cas_bitflip_reads_are_quarantined_never_served() {
+    let p = project_v1();
+    let store = tmpdir("cas-flip-seed");
+    cas_session(&store, &p).unwrap();
+
+    // Record the read ops of a warm session: manifest, artifacts, recency.
+    let reads: Vec<u64> = {
+        let rec = ffs::record();
+        cas_session(&store, &p).unwrap();
+        let log = rec.take();
+        drop(rec);
+        log.iter()
+            .enumerate()
+            .filter(|(_, r)| r.kind == OpKind::Read)
+            .map(|(i, _)| i as u64 + 1)
+            .collect()
+    };
+    assert!(
+        reads.len() >= 2,
+        "a warm store session reads at least the manifest and an artifact"
+    );
+
+    for &k in &reads {
+        for bit in [0u64, 8 * 9 + 3] {
+            let dir = tmpdir(&format!("cas-flip-k{k}-b{bit}"));
+            copy_dir(&store, &dir);
+            let report = {
+                let _g = ffs::install(FaultPlan::single(Fault::BitflipAt { op: k, bit }));
+                cas_session(&dir, &p).unwrap_or_else(|e| {
+                    panic!("store corruption must degrade, not fail (op {k} bit {bit}): {e}")
+                })
+            };
+            // The flipped bytes were never accepted: checksum or manifest
+            // validation rejected them and the build recompiled locally.
+            assert_runs_43(&report, &format!("cas flip op {k} bit {bit}"));
+            // The store remains auditable; repair converges.
+            sfcc_cas::fsck(&dir).unwrap();
+            assert!(sfcc_cas::fsck(&dir).unwrap().clean(), "op {k} bit {bit}");
+            let clean = cas_session(&dir, &p).unwrap();
+            assert_runs_43(&clean, &format!("post-repair op {k} bit {bit}"));
+            cleanup(&dir);
+        }
+    }
+    cleanup(&store);
+}
+
+#[test]
+fn cas_enospc_at_every_op_degrades_to_local_compilation() {
+    let p = project_v1();
+    let n = {
+        let dir = tmpdir("cas-enospc-rec");
+        let rec = ffs::record();
+        cas_session(&dir, &p).unwrap();
+        let n = rec.take().len() as u64;
+        drop(rec);
+        cleanup(&dir);
+        n
+    };
+    assert!(n >= 5, "a cold store session performs several ops, got {n}");
+
+    for k in 1..=n {
+        let store = tmpdir(&format!("cas-enospc-k{k}"));
+        let report = {
+            let _g = ffs::install(FaultPlan::single(Fault::EnospcAt(k)));
+            cas_session(&store, &p)
+                .unwrap_or_else(|e| panic!("ENOSPC at op {k} must not fail the build: {e}"))
+        };
+        assert_runs_43(&report, &format!("enospc op {k}"));
+        sfcc_cas::fsck(&store).unwrap();
+        assert!(sfcc_cas::fsck(&store).unwrap().clean(), "op {k}");
+        let clean = cas_session(&store, &p).unwrap();
+        assert_runs_43(&clean, &format!("post-enospc op {k}"));
+        cleanup(&store);
+    }
+}
+
+#[test]
+fn quick_cas_fsck_quarantines_tampered_artifacts() {
+    let p = project_v1();
+    let store = tmpdir("cas-tamper");
+    cas_session(&store, &p).unwrap();
+
+    // Flip one byte in the middle of every published artifact file.
+    let mut tampered = 0;
+    for dirent in fs::read_dir(&store).unwrap() {
+        let path = dirent.unwrap().path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        if !name.starts_with(".sfcc-cas.a") {
+            continue;
+        }
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        fs::write(&path, &bytes).unwrap();
+        tampered += 1;
+    }
+    assert!(tampered >= 3, "the session must have published artifacts");
+
+    // fsck detects every tampered artifact through its checksum +
+    // provenance validation, moves it aside, and repairs the manifest.
+    let report = sfcc_cas::fsck(&store).unwrap();
+    assert_eq!(
+        report.quarantined.len(),
+        tampered,
+        "every tampered artifact must be quarantined: {report:?}"
+    );
+    assert!(report.repaired_manifest, "{report:?}");
+    assert!(sfcc_cas::fsck(&store).unwrap().clean());
+
+    // The repaired store serves nothing stale: a rebuild misses, recompiles
+    // locally, republishes, and runs correctly.
+    let clean = cas_session(&store, &p).unwrap();
+    assert_runs_43(&clean, "post-tamper rebuild");
+    cleanup(&store);
+}

@@ -320,3 +320,81 @@ fn recovery_build_report_json_still_validates() {
     assert!(json.contains("\"depcheck\":{\"enabled\":false,"), "{json}");
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+#[test]
+fn quick_cas_enabled_audit_stays_clean_cold_and_warm() {
+    // Satellite: the shared artifact store routes every read and write
+    // through its own task scope, and serves are audited via the
+    // `cas:module::function` stamp channel — so attaching a store must
+    // never cost a finding: not untracked I/O on the cold (publishing)
+    // build, not a stale serve on the warm (fully served) one.
+    let dir = std::env::temp_dir().join(format!(
+        "sfcc-depcheck-cas-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let config = || Config::stateless().with_cas_path(&dir);
+    let mut cold = Builder::new(Compiler::new(config())).with_depcheck();
+    let dc = cold.build(&project_v1()).unwrap().depcheck.unwrap();
+    assert!(
+        dc.is_clean(),
+        "publishing through the store must stay clean:\n{}",
+        dc.render()
+    );
+
+    // A fresh builder over the warm store: every function is served from
+    // the shared store and the serve stamps must all audit honest.
+    let mut warm = Builder::new(Compiler::new(config())).with_depcheck();
+    let dc = warm.build(&project_v1()).unwrap().depcheck.unwrap();
+    assert!(
+        dc.is_clean(),
+        "store-served build must stay clean:\n{}",
+        dc.render()
+    );
+    let stats = warm.compiler().cas_stats().unwrap();
+    assert!(
+        stats.hits > 0,
+        "the warm build must actually be served: {stats:?}"
+    );
+
+    // The report's cas block reflects the serves and still validates.
+    let report = Builder::new(Compiler::new(config()))
+        .build(&project_v1())
+        .unwrap();
+    let json = report.to_json();
+    validate_report_json(&json).unwrap();
+    assert!(
+        json.contains("\"cas\":{\"enabled\":true,\"hits\":"),
+        "{json}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn quick_rogue_io_outside_any_dependency_channel_is_flagged() {
+    // Untracked-I/O regression seed: a task that touches the durable I/O
+    // layer on a path no dependency channel tracks must be flagged, with
+    // the task and path in the finding. This pins the audit that exempts
+    // the store's own scope — the exemption must not widen past `cas`.
+    let tasks = ["link", "codegen(base)", "optimizefn(base::g)"];
+    for task in tasks {
+        let dc =
+            depcheck_build(DepMutations::new().rogue_io(task, "/nonexistent/sfcc-rogue-probe"));
+        assert_eq!(
+            dc.findings.len(),
+            1,
+            "rogue I/O by {task} must yield exactly one finding:\n{}",
+            dc.render()
+        );
+        let f = &dc.findings[0];
+        assert_eq!(f.kind, DepFindingKind::UntrackedIo, "{task}");
+        assert_eq!(f.task, task);
+        assert!(
+            f.resource.contains("sfcc-rogue-probe"),
+            "the finding must name the path: {f:?}"
+        );
+    }
+}
