@@ -12,9 +12,10 @@
 #                  function-granularity suite and its E16 gate, the
 #                  parallel byte-identity suite and its E13 fan-out
 #                  overhead gate, the shared-artifact-store soundness
-#                  suite and its E17 sharing gate, plus a traced demo
-#                  build validated with `trace-check` and a depcheck run
-#                  over the demo project
+#                  suite and its E17 sharing gate, the warm-daemon
+#                  differential suite and its E18 warm-latency gate,
+#                  plus a traced demo build validated with `trace-check`
+#                  and a depcheck run over the demo project
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -53,9 +54,14 @@ if [[ "${1:-}" == "--quick" ]]; then
     cargo test -q -p sfcc --test integration_parallel quick_
     cargo test -q -p sfcc --test integration_cas quick_
     cargo test -q -p sfcc-bench --lib quick_followers_hit_the_shared_surface_byte_identically
+    cargo test -q -p sfcc --test integration_serve quick_
+    cargo test -q -p sfcc-bench --lib quick_warm_serves_beat_cold_sessions_and_nothing_is_rejected
     # Fan-out overhead smoke: jobs=8 optimize time must stay within 5% of
     # jobs=1 on the single-module sweep (pure overhead on a 1-core host).
     cargo run -q -p sfcc-bench --release --bin exp_parallel_scaling -- --quick --gate-overhead 5
+    # Warm-latency smoke: a warm daemon serve of a one-function edit must
+    # be at least 3x faster (p50) than an equivalent cold CLI session.
+    cargo run -q -p sfcc-bench --release --bin exp_serve_warm -- --quick --gate-speedup 3
     trace_smoke
     depcheck_smoke
     exit 0
@@ -68,13 +74,15 @@ cargo fmt --check
 trace_smoke
 depcheck_smoke
 # Smoke-run the parallel-scaling, observability-overhead, and
-# dependency-soundness sweeps, plus the function-granularity and
-# shared-store comparisons (write BENCH_parallel.json / BENCH_trace.json /
-# BENCH_depcheck.json / BENCH_fngrain.json / BENCH_cas.json).
+# dependency-soundness sweeps, plus the function-granularity,
+# shared-store, and warm-daemon comparisons (write BENCH_parallel.json /
+# BENCH_trace.json / BENCH_depcheck.json / BENCH_fngrain.json /
+# BENCH_cas.json / BENCH_serve.json).
 cargo run -q -p sfcc-bench --release --bin exp_parallel_scaling -- --quick --gate-overhead 5
 cargo run -q -p sfcc-bench --release --bin exp_trace_overhead -- --quick
 cargo run -q -p sfcc-bench --release --bin exp_depcheck_fuzz -- --quick
 cargo run -q -p sfcc-bench --release --bin exp_fngrain -- --quick
 cargo run -q -p sfcc-bench --release --bin exp_cas_sharing -- --quick
+cargo run -q -p sfcc-bench --release --bin exp_serve_warm -- --quick --gate-speedup 3
 # Crash-consistency and golden-trace sweeps run inside `cargo test` above;
 # `--quick` reruns just the fast subsets for tight edit loops.

@@ -19,6 +19,7 @@
 //! | E15 | Extension: dependency-soundness fuzzing | [`depcheck_fuzz::depcheck_fuzz`] |
 //! | E16 | Extension: function-granularity dependencies | [`fngrain::fngrain`] |
 //! | E17 | Extension: shared artifact store | [`cas_sharing::cas_sharing`] |
+//! | E18 | Extension: warm build daemon | [`serve_warm::serve_warm`] |
 
 pub mod cas_sharing;
 pub mod depcheck_fuzz;
@@ -29,6 +30,7 @@ pub mod observe;
 pub mod parallel;
 pub mod profile;
 pub mod quality;
+pub mod serve_warm;
 pub mod state_exp;
 
 /// Runs every experiment at the given scale and returns the combined report.
@@ -101,6 +103,10 @@ pub fn run_all(scale: crate::Scale) -> String {
         (
             "E17 — extension: shared artifact store (cross-project sharing)",
             cas_sharing::cas_sharing(scale).0,
+        ),
+        (
+            "E18 — extension: warm build daemon (minicc serve)",
+            serve_warm::serve_warm(scale).0,
         ),
     ];
     let mut out = String::new();

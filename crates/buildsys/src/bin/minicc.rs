@@ -33,10 +33,13 @@
 
 use sfcc::{persist, Compiler, Config, Durability};
 use sfcc_backend::{disasm_program, load_image, run, VmOptions};
+use sfcc_buildsys::serve::BuildService;
 use sfcc_buildsys::{BuildReport, Builder, Project};
+use sfcc_daemon::{Daemon, DaemonOptions, ErrorKind, Reply, Request};
 use sfcc_faultfs::FaultPlan;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "minicc — incremental MiniC compiler driver
 
@@ -51,6 +54,8 @@ usage:
   minicc stats <dir>
   minicc trace-check <trace.json>
   minicc depcheck <dir> [--report json] [build flags]
+  minicc serve <root-dir> [--socket <path>] [serve flags]
+  minicc client <socket> <build|run|ir|depcheck|stats|ping|shutdown> [...]
 
 build flags:
   --stateful     stateful compilation; state persists in <dir>/.sfcc-state
@@ -78,6 +83,26 @@ build flags:
   --trace-wall   annotate trace events with measured wall-clock nanoseconds
                  (makes the trace non-deterministic)
   -O0 | -O1 | -O2  optimization level (default -O2)
+  --daemon <socket>  (build/run/ir/depcheck) serve the request through a
+                 warm `minicc serve` daemon when one is reachable at
+                 <socket>; falls back to a local cold build otherwise
+
+build daemon:
+  `minicc serve <root-dir>` starts a warm build daemon on a unix socket
+  (default <root-dir>/daemon.sock): per-project sessions keep the query
+  engine, function cache, CAS handle, and per-function dormancy stamps
+  resident, so repeat builds skip cold start. Projects must live under
+  <root-dir>. Serve flags: --socket <path>, --max-active <N> (default 2),
+  --max-queued <N> (default 16), --timeout-ms <N> (default 30000),
+  --idle-snapshot-ms <N>. SIGTERM at any point leaves every state dir
+  acceptable to a cold `minicc build`.
+  `minicc client <socket> <cmd> ...` sends one request. Exit codes:
+    0  success (and `shutdown` of an already-gone daemon)
+    1  the request failed (build error, depcheck findings)
+    2  transport failure (cannot connect, protocol error) or, for
+       depcheck, the audited build itself failed
+    3  daemon at capacity (typed busy; retry later)
+    4  request timed out in the daemon's admission queue
 
 observability:
   every `build` persists its JSON report to <dir>/.sfcc-report.json;
@@ -150,6 +175,8 @@ fn dispatch(args: &[String]) -> Result<ExitCode, String> {
         "stats" => cmd_stats(rest),
         "trace-check" => cmd_trace_check(rest),
         "depcheck" => cmd_depcheck(rest),
+        "serve" => cmd_serve(rest),
+        "client" => cmd_client(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -177,6 +204,8 @@ struct BuildFlags {
     /// `--durable`: fsync every durable write (state, cache, images).
     durable: bool,
     opt: &'static str,
+    /// `--daemon <socket>`: route through a warm daemon when reachable.
+    daemon: Option<PathBuf>,
     /// Non-flag operands in order (directory, module name, …).
     operands: Vec<String>,
     /// `-o` argument, when given.
@@ -197,6 +226,7 @@ fn parse_flags(args: &[String]) -> Result<BuildFlags, String> {
         trace_wall: false,
         durable: false,
         opt: "-O2",
+        daemon: None,
         operands: Vec::new(),
         output: None,
         program_args: Vec::new(),
@@ -244,6 +274,10 @@ fn parse_flags(args: &[String]) -> Result<BuildFlags, String> {
                 flags.trace = Some(PathBuf::from(path));
             }
             "--trace-wall" => flags.trace_wall = true,
+            "--daemon" => {
+                let socket = iter.next().ok_or("`--daemon` expects a socket path")?;
+                flags.daemon = Some(PathBuf::from(socket));
+            }
             "-O0" | "-O1" | "-O2" => {
                 flags.opt = match arg.as_str() {
                     "-O0" => "-O0",
@@ -370,6 +404,9 @@ fn build_project(flags: &BuildFlags, dir: &Path) -> Result<(Builder, BuildReport
 
 fn cmd_build(args: &[String]) -> Result<ExitCode, String> {
     let flags = parse_flags(args)?;
+    if let Some(result) = try_daemon("build", &flags) {
+        return result;
+    }
     let [dir] = flags.operands.as_slice() else {
         return Err(format!("`build` expects one project directory\n\n{USAGE}"));
     };
@@ -452,6 +489,9 @@ fn run_report(program: &sfcc_backend::Program, args: &[i64]) -> Result<(), Strin
 
 fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     let flags = parse_flags(args)?;
+    if let Some(result) = try_daemon("run", &flags) {
+        return result;
+    }
     let [dir] = flags.operands.as_slice() else {
         return Err(format!("`run` expects one project directory\n\n{USAGE}"));
     };
@@ -484,6 +524,9 @@ fn cmd_exec(args: &[String]) -> Result<ExitCode, String> {
 
 fn cmd_ir(args: &[String]) -> Result<ExitCode, String> {
     let flags = parse_flags(args)?;
+    if let Some(result) = try_daemon("ir", &flags) {
+        return result;
+    }
     let [dir, module] = flags.operands.as_slice() else {
         return Err(format!(
             "`ir` expects a project directory and a module name\n\n{USAGE}"
@@ -715,6 +758,9 @@ fn cmd_stats(args: &[String]) -> Result<ExitCode, String> {
 /// without dirtying it. Exit codes: 0 clean, 1 findings, 2 build failure.
 fn cmd_depcheck(args: &[String]) -> Result<ExitCode, String> {
     let flags = parse_flags(args)?;
+    if let Some(result) = try_daemon("depcheck", &flags) {
+        return result;
+    }
     let [dir] = flags.operands.as_slice() else {
         return Err(format!(
             "`depcheck` expects one project directory\n\n{USAGE}"
@@ -770,6 +816,306 @@ fn cmd_depcheck(args: &[String]) -> Result<ExitCode, String> {
     } else {
         ExitCode::from(1)
     })
+}
+
+// ─── build daemon: `minicc serve` / `minicc client` / `--daemon` ───
+
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut socket: Option<PathBuf> = None;
+    let mut max_active = 2usize;
+    let mut max_queued = 16usize;
+    let mut timeout_ms = 30_000u64;
+    let mut idle_ms: Option<u64> = None;
+    let mut iter = args.iter();
+    let number = |flag: &str, value: Option<&String>| -> Result<u64, String> {
+        let value = value.ok_or_else(|| format!("`{flag}` expects a number"))?;
+        value
+            .parse()
+            .map_err(|_| format!("`{flag}` expects a number, got `{value}`"))
+    };
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--socket" => {
+                let path = iter.next().ok_or("`--socket` expects a path")?;
+                socket = Some(PathBuf::from(path));
+            }
+            "--max-active" => max_active = number("--max-active", iter.next())?.max(1) as usize,
+            "--max-queued" => max_queued = number("--max-queued", iter.next())? as usize,
+            "--timeout-ms" => timeout_ms = number("--timeout-ms", iter.next())?.max(1),
+            "--idle-snapshot-ms" => {
+                idle_ms = Some(number("--idle-snapshot-ms", iter.next())?.max(1));
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown serve flag `{other}`\n\n{USAGE}"));
+            }
+            operand if root.is_none() => root = Some(PathBuf::from(operand)),
+            other => return Err(format!("`serve` expects one root directory, got `{other}`")),
+        }
+    }
+    let root = root.ok_or_else(|| format!("`serve` expects a root directory\n\n{USAGE}"))?;
+    std::fs::create_dir_all(&root)
+        .map_err(|e| format!("cannot create `{}`: {e}", root.display()))?;
+    let mut options = DaemonOptions::new(&root);
+    if let Some(path) = socket {
+        options.socket = path;
+    }
+    options.max_active = max_active;
+    options.max_queued = max_queued;
+    options.request_timeout = Duration::from_millis(timeout_ms);
+    options.idle_snapshot = idle_ms.map(Duration::from_millis);
+    let socket_path = options.socket.clone();
+    sfcc_daemon::install_term_handler();
+    let daemon = Daemon::bind(options, BuildService::factory())?;
+    println!(
+        "minicc daemon: serving projects under `{}` on `{}`",
+        root.display(),
+        socket_path.display()
+    );
+    daemon.run();
+    println!("minicc daemon: shut down cleanly");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Resolves a path the daemon must interpret against *this* process's cwd.
+fn absolutize(path: &Path) -> String {
+    if path.is_absolute() {
+        path.display().to_string()
+    } else {
+        std::env::current_dir()
+            .unwrap_or_default()
+            .join(path)
+            .display()
+            .to_string()
+    }
+}
+
+/// The session-flag args of a daemon request (the daemon keys sessions on
+/// these, so the rendering is canonical: fixed order, no defaults).
+fn session_args(flags: &BuildFlags) -> Vec<String> {
+    let mut args = Vec::new();
+    if flags.stateful {
+        args.push("--stateful".to_string());
+    }
+    if flags.fn_cache {
+        args.push("--fn-cache".to_string());
+    }
+    if let Some(cas) = &flags.cas {
+        args.push("--cas".to_string());
+        args.push(absolutize(cas));
+    }
+    if let Some(budget) = flags.cas_budget {
+        args.push("--cas-budget".to_string());
+        args.push(budget.to_string());
+    }
+    if let Some(jobs) = flags.jobs {
+        args.push("--jobs".to_string());
+        args.push(jobs.to_string());
+    }
+    if flags.durable {
+        args.push("--durable".to_string());
+    }
+    if flags.opt != "-O2" {
+        args.push(flags.opt.to_string());
+    }
+    args
+}
+
+/// Builds the daemon request of a build-class command from parsed flags.
+fn remote_request(cmd: &str, flags: &BuildFlags) -> Result<Request, String> {
+    let (dir, module) = match (cmd, flags.operands.as_slice()) {
+        ("ir", [dir, module]) => (dir, Some(module.clone())),
+        (_, [dir]) => (dir, None),
+        ("ir", _) => {
+            return Err(format!(
+                "`ir` expects a project directory and a module name\n\n{USAGE}"
+            ));
+        }
+        _ => return Err(format!("`{cmd}` expects one project directory\n\n{USAGE}")),
+    };
+    let dir = std::fs::canonicalize(dir)
+        .map_err(|e| format!("cannot resolve project directory `{dir}`: {e}"))?;
+    Ok(Request {
+        cmd: cmd.to_string(),
+        dir: Some(dir.display().to_string()),
+        module,
+        out: flags.output.as_deref().map(absolutize),
+        args: session_args(flags),
+        prog_args: flags.program_args.clone(),
+    })
+}
+
+/// Extracts an integer field from a response body.
+fn body_num(reply: &Reply, key: &str) -> i64 {
+    match reply.body.get(key) {
+        Some(sfcc_trace::json::Value::Num(n)) => *n as i64,
+        _ => 0,
+    }
+}
+
+/// Prints a daemon reply the way the local command would print its own
+/// result, and maps it to the documented exit code.
+fn render_reply(request: &Request, reply: &Reply) -> ExitCode {
+    if !reply.ok {
+        let (kind, message) = reply
+            .error
+            .clone()
+            .unwrap_or((ErrorKind::Internal, String::new()));
+        eprintln!("daemon error ({}): {message}", kind.label());
+        return match kind {
+            ErrorKind::Busy => ExitCode::from(3),
+            ErrorKind::Timeout => ExitCode::from(4),
+            ErrorKind::Build if request.cmd == "depcheck" => ExitCode::from(2),
+            _ => ExitCode::FAILURE,
+        };
+    }
+    match request.cmd.as_str() {
+        "build" => {
+            let recovered = body_num(reply, "recovered");
+            if recovered > 0 {
+                println!("recovered from {recovered} corrupt persistent file(s)");
+            }
+            println!(
+                "built {} module(s) ({} recompiled) in {:.2} ms; pass slots: {} active, {} dormant, {} skipped; queries: {} hit(s), {} miss(es)",
+                body_num(reply, "modules"),
+                body_num(reply, "rebuilt"),
+                body_num(reply, "wall_ns") as f64 / 1e6,
+                body_num(reply, "active"),
+                body_num(reply, "dormant"),
+                body_num(reply, "skipped"),
+                body_num(reply, "hits"),
+                body_num(reply, "misses"),
+            );
+            if let Some(image) = reply.body.get("image").and_then(|v| v.as_str()) {
+                println!("wrote {image}");
+            }
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            if let Some(prints) = reply.body.get("prints").and_then(|v| v.as_arr()) {
+                for value in prints {
+                    if let sfcc_trace::json::Value::Num(n) = value {
+                        println!("{}", *n as i64);
+                    }
+                }
+            }
+            let args = &request.prog_args;
+            match reply.body.get("return") {
+                Some(sfcc_trace::json::Value::Num(v)) => {
+                    println!("main.main({args:?}) = {}", *v as i64);
+                }
+                _ => println!("main.main({args:?}) returned"),
+            }
+            println!("({} instructions executed)", body_num(reply, "executed"));
+            ExitCode::SUCCESS
+        }
+        "ir" => {
+            if let Some(ir) = reply.body.get("ir").and_then(|v| v.as_str()) {
+                print!("{ir}");
+            }
+            ExitCode::SUCCESS
+        }
+        "depcheck" => {
+            if let Some(render) = reply.body.get("render").and_then(|v| v.as_str()) {
+                print!("{render}");
+            }
+            let clean = reply
+                .body
+                .get("clean")
+                .and_then(|v| v.as_bool())
+                .unwrap_or(false);
+            if clean {
+                println!("depcheck (warm daemon serve): clean");
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        // ping/stats/shutdown: show the raw JSON body.
+        _ => {
+            println!("{}", reply.raw);
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+/// Whether a daemon answers pings at `socket` right now.
+fn daemon_reachable(socket: &Path) -> bool {
+    sfcc_daemon::roundtrip_with_timeout(socket, &Request::bare("ping"), Duration::from_secs(5))
+        .map(|reply| reply.ok)
+        .unwrap_or(false)
+}
+
+/// Routes a build-class command through `--daemon` when the daemon is
+/// reachable. `None` means "serve locally instead" (no daemon requested,
+/// or the daemon is unreachable — the auto-connect fallback).
+fn try_daemon(cmd: &str, flags: &BuildFlags) -> Option<Result<ExitCode, String>> {
+    let socket = flags.daemon.as_deref()?;
+    if !daemon_reachable(socket) {
+        eprintln!(
+            "daemon at `{}` is unreachable; serving locally",
+            socket.display()
+        );
+        return None;
+    }
+    let request = match remote_request(cmd, flags) {
+        Ok(request) => request,
+        Err(e) => return Some(Err(e)),
+    };
+    match sfcc_daemon::roundtrip(socket, &request) {
+        Ok(reply) => Some(Ok(render_reply(&request, &reply))),
+        Err(e) => Some(Err(format!("daemon request failed: {e}"))),
+    }
+}
+
+fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
+    let Some((socket, rest)) = args.split_first() else {
+        return Err(format!(
+            "`client` expects a socket path and a command\n\n{USAGE}"
+        ));
+    };
+    let Some((cmd, rest)) = rest.split_first() else {
+        return Err(format!(
+            "`client` expects a command after the socket\n\n{USAGE}"
+        ));
+    };
+    let socket = Path::new(socket);
+    match cmd.as_str() {
+        "ping" | "stats" => match sfcc_daemon::roundtrip(socket, &Request::bare(cmd)) {
+            Ok(reply) => {
+                let request = Request::bare(cmd);
+                Ok(render_reply(&request, &reply))
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                Ok(ExitCode::from(2))
+            }
+        },
+        // Shutdown is idempotent: a dead socket means the daemon is
+        // already down, which is the requested state — exit 0.
+        "shutdown" => match sfcc_daemon::roundtrip(socket, &Request::bare("shutdown")) {
+            Ok(_) => {
+                println!("daemon: shutting down");
+                Ok(ExitCode::SUCCESS)
+            }
+            Err(_) => {
+                println!("daemon: already gone");
+                Ok(ExitCode::SUCCESS)
+            }
+        },
+        "build" | "run" | "ir" | "depcheck" => {
+            let flags = parse_flags(rest)?;
+            let request = remote_request(cmd, &flags)?;
+            match sfcc_daemon::roundtrip(socket, &request) {
+                Ok(reply) => Ok(render_reply(&request, &reply)),
+                Err(e) => {
+                    eprintln!("{e}");
+                    Ok(ExitCode::from(2))
+                }
+            }
+        }
+        other => Err(format!("unknown client command `{other}`\n\n{USAGE}")),
+    }
 }
 
 fn cmd_trace_check(args: &[String]) -> Result<ExitCode, String> {

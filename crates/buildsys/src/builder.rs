@@ -162,6 +162,36 @@ impl Builder {
         self
     }
 
+    /// Toggles depcheck on an existing builder (see [`Builder::with_depcheck`]).
+    /// The daemon flips this per request: audit builds run instrumented,
+    /// ordinary serves do not pay the serialization cost.
+    pub fn set_depcheck(&mut self, on: bool) {
+        self.depcheck = on;
+    }
+
+    /// The optimized IR of one module, reassembled from the query store in
+    /// roster (definition) order — available for *any* module the last
+    /// build touched, including warm modules whose report entry carries no
+    /// [`CompileOutput`] because nothing recompiled. `None` when the store
+    /// has no artifacts for the module (never built, or evicted).
+    pub fn module_ir(&self, module: &str) -> Option<sfcc_ir::Module> {
+        let roster = self
+            .engine
+            .peek(&BuildTask::ModCheck(module.to_string()))?
+            .expect_modcheck()
+            .roster
+            .clone();
+        let mut ir = sfcc_ir::Module::new(module.to_string());
+        for f in &roster {
+            let art = self
+                .engine
+                .peek(&BuildTask::OptimizeFn(module.to_string(), f.clone()))?
+                .expect_optimizefn();
+            ir.functions.push(art.func.clone());
+        }
+        Some(ir)
+    }
+
     /// Records a hierarchical span trace of every subsequent build
     /// (build → wave → module → phase → function → pass, plus
     /// query/cache/IO events) into [`BuildReport::trace`]. Builds with

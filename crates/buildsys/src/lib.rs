@@ -50,6 +50,7 @@ pub mod depcheck;
 pub mod graph;
 pub mod project;
 pub mod report;
+pub mod serve;
 pub mod tasks;
 
 pub use builder::{BuildError, Builder};

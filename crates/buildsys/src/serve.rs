@@ -1,0 +1,407 @@
+//! The warm build service behind `minicc serve`.
+//!
+//! `sfcc-daemon` owns sockets, framing, admission, and session slots; this
+//! module supplies what it serves: a [`BuildService`] wrapping a
+//! persistent [`Builder`] whose query engine, function cache, CAS handle,
+//! and per-function dormancy stamps stay resident between requests. A warm
+//! serve re-validates inputs through the engine's stamps (the per-function
+//! `state:m::f` dormancy inputs included) instead of reloading state from
+//! disk, which is exactly the paper's statefulness applied across process
+//! boundaries.
+//!
+//! Request semantics mirror the cold CLI byte-for-byte: a `build` request
+//! parks the previous report, builds, persists state through the
+//! `CommitDir` protocol, writes `.sfcc-report.json`, and writes the image
+//! — the same durable ops in the same order as `minicc build`, so a crash
+//! mid-request leaves exactly the states a cold build's crash would, and
+//! the differential suite can hold warm responses to cold-build
+//! byte-identity.
+
+use crate::{Builder, DepMutations, Project};
+use sfcc::{Compiler, Config, Durability};
+use sfcc_backend::{run, VmOptions};
+use sfcc_daemon::{Request, Service};
+use sfcc_trace::json;
+use std::path::{Path, PathBuf};
+
+/// The build flags one daemon session is keyed under — the subset of
+/// `minicc` build flags that makes sense per-session.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SessionFlags {
+    /// `--stateful`: persist dormancy state in `<dir>/.sfcc-state`.
+    pub stateful: bool,
+    /// `--fn-cache`: enable the function-level IR cache.
+    pub fn_cache: bool,
+    /// `--cas <dir>`: attach a shared content-addressed artifact store.
+    pub cas: Option<PathBuf>,
+    /// `--cas-budget <bytes>`.
+    pub cas_budget: Option<u64>,
+    /// `--jobs <N>`; `None` means all available cores.
+    pub jobs: Option<usize>,
+    /// `--durable`: fsync durable writes.
+    pub durable: bool,
+    /// `-O0` / `-O1` / `-O2`.
+    pub opt: u8,
+}
+
+impl SessionFlags {
+    /// Parses the `args` of a daemon request (verbatim CLI flag syntax).
+    ///
+    /// # Errors
+    ///
+    /// Names the first unknown or malformed flag.
+    pub fn parse(args: &[String]) -> Result<SessionFlags, String> {
+        let mut flags = SessionFlags {
+            opt: 2,
+            ..SessionFlags::default()
+        };
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--stateful" => flags.stateful = true,
+                "--stateless" => flags.stateful = false,
+                "--fn-cache" => flags.fn_cache = true,
+                "--cas" => {
+                    let dir = iter.next().ok_or("`--cas` expects a store directory")?;
+                    flags.cas = Some(PathBuf::from(dir));
+                }
+                "--cas-budget" => {
+                    let value = iter.next().ok_or("`--cas-budget` expects a byte count")?;
+                    flags.cas_budget =
+                        Some(value.parse().map_err(|_| {
+                            format!("`--cas-budget` expects a number, got `{value}`")
+                        })?);
+                }
+                "--jobs" => {
+                    let value = iter.next().ok_or("`--jobs` expects a worker count")?;
+                    let n: usize = value
+                        .parse()
+                        .map_err(|_| format!("`--jobs` expects a number, got `{value}`"))?;
+                    if n == 0 {
+                        return Err("`--jobs` expects at least 1 worker".to_string());
+                    }
+                    flags.jobs = Some(n);
+                }
+                "--parallel" => flags.jobs = None,
+                "--durable" => flags.durable = true,
+                "-O0" => flags.opt = 0,
+                "-O1" => flags.opt = 1,
+                "-O2" => flags.opt = 2,
+                other => return Err(format!("unknown session flag `{other}`")),
+            }
+        }
+        Ok(flags)
+    }
+
+    /// The compiler configuration these flags select for `dir` — the same
+    /// mapping the cold CLI applies, environment fallbacks
+    /// (`SFCC_CAS`, `SFCC_CAS_BUDGET`) included.
+    pub fn config(&self, dir: &Path) -> Config {
+        let mut config = if self.stateful {
+            Config::stateful().with_state_path(dir.join(".sfcc-state"))
+        } else {
+            Config::stateless()
+        };
+        config = match self.opt {
+            0 => config.with_opt_level(sfcc::OptLevel::O0),
+            1 => config.with_opt_level(sfcc::OptLevel::O1),
+            _ => config,
+        };
+        if self.fn_cache {
+            config = config.with_function_cache();
+        }
+        let cas_dir = self
+            .cas
+            .clone()
+            .or_else(|| std::env::var("SFCC_CAS").ok().map(PathBuf::from));
+        if let Some(store) = cas_dir {
+            config = config.with_cas_path(store);
+            let budget = self
+                .cas_budget
+                .or_else(|| std::env::var("SFCC_CAS_BUDGET").ok()?.parse().ok());
+            if let Some(budget) = budget {
+                config = config.with_cas_budget(budget);
+            }
+        }
+        if self.durable {
+            config = config.with_durability(Durability::Durable);
+        }
+        let jobs = self.jobs.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(usize::from)
+                .unwrap_or(1)
+        });
+        config.with_jobs(jobs)
+    }
+}
+
+/// Parses a `SFCC_DAEMON_MUTATIONS`-style spec into [`DepMutations`] —
+/// the adversarial hook the depcheck audit tests seed lies through
+/// (e.g. `freeze-stamp:state:main::main`). Comma-separated entries.
+///
+/// # Errors
+///
+/// Names the first unknown mutation kind.
+pub fn parse_mutations(spec: &str) -> Result<DepMutations, String> {
+    let mut mutations = DepMutations::new();
+    for entry in spec.split(',').filter(|e| !e.is_empty()) {
+        match entry.split_once(':') {
+            Some(("freeze-stamp", input)) => {
+                mutations = mutations.freeze_stamp(input);
+            }
+            _ => return Err(format!("unknown dependency mutation `{entry}`")),
+        }
+    }
+    Ok(mutations)
+}
+
+/// The warm per-project session: one persistent [`Builder`] plus the flags
+/// it was configured under.
+pub struct BuildService {
+    dir: PathBuf,
+    flags: SessionFlags,
+    builder: Builder,
+    /// Whether the builder holds state newer than the last durable save.
+    /// Builds save their own state before responding, so this only flips
+    /// when a future request kind mutates without saving.
+    dirty: bool,
+}
+
+/// The report file every build persists, `minicc stats`'s input.
+pub const REPORT_FILE: &str = ".sfcc-report.json";
+/// Where the previous report parks while a build runs.
+pub const STALE_REPORT_FILE: &str = ".sfcc-report.json.stale";
+
+impl BuildService {
+    /// A warm session for `dir` under `args` (verbatim CLI build flags).
+    /// Mutation specs (the depcheck fuzzing hook) come from the
+    /// `SFCC_DAEMON_MUTATIONS` environment variable.
+    ///
+    /// # Errors
+    ///
+    /// Bad flags or a bad mutation spec.
+    pub fn new(dir: &Path, args: &[String]) -> Result<BuildService, String> {
+        let mutations = match std::env::var("SFCC_DAEMON_MUTATIONS") {
+            Ok(spec) => parse_mutations(&spec)?,
+            Err(_) => DepMutations::new(),
+        };
+        BuildService::new_with(dir, args, mutations)
+    }
+
+    /// [`BuildService::new`] with explicit dependency mutations — the
+    /// in-process hook the audit tests seed lies through without touching
+    /// process-global environment.
+    ///
+    /// # Errors
+    ///
+    /// Bad flags.
+    pub fn new_with(
+        dir: &Path,
+        args: &[String],
+        mutations: DepMutations,
+    ) -> Result<BuildService, String> {
+        let flags = SessionFlags::parse(args)?;
+        let mut builder = Builder::new(Compiler::new(flags.config(dir)));
+        builder = match flags.jobs {
+            Some(jobs) => builder.with_jobs(jobs),
+            None => builder.with_parallelism(),
+        };
+        if !mutations.is_empty() {
+            builder = builder.with_dep_mutations(mutations);
+        }
+        Ok(BuildService {
+            dir: dir.to_path_buf(),
+            flags,
+            builder,
+            dirty: false,
+        })
+    }
+
+    /// A [`sfcc_daemon::ServiceFactory`] over [`BuildService::new`].
+    pub fn factory() -> sfcc_daemon::ServiceFactory {
+        Box::new(|dir, args| Ok(Box::new(BuildService::new(dir, args)?)))
+    }
+
+    fn load_project(&self) -> Result<Project, String> {
+        let project = Project::from_dir(&self.dir)
+            .map_err(|e| format!("cannot load project `{}`: {e}", self.dir.display()))?;
+        if project.is_empty() {
+            return Err(format!("no .mc files in `{}`", self.dir.display()));
+        }
+        Ok(project)
+    }
+
+    /// One warm build with the cold CLI's exact durable-op sequence: park
+    /// report → build → save state → write report → unpark. Returns the
+    /// report.
+    fn build_once(&mut self) -> Result<crate::BuildReport, String> {
+        let project = self.load_project()?;
+        let report_path = self.dir.join(REPORT_FILE);
+        let stale_path = self.dir.join(STALE_REPORT_FILE);
+        if report_path.exists() {
+            let _ = std::fs::rename(&report_path, &stale_path);
+        }
+        // Dirty from the moment the engine may mutate until the state is
+        // durably committed: if the save below fails (or the build dies
+        // partway), the shutdown/idle snapshot retries the commit.
+        self.dirty = true;
+        let mut report = self.builder.build(&project).map_err(|e| e.to_string())?;
+        if self.flags.stateful {
+            report.state_generation = self
+                .builder
+                .compiler()
+                .save_state()
+                .map_err(|e| format!("cannot save state: {e}"))?;
+        }
+        self.dirty = false;
+        std::fs::write(&report_path, report.to_json())
+            .map_err(|e| format!("cannot write `{}`: {e}", report_path.display()))?;
+        let _ = std::fs::remove_file(&stale_path);
+        Ok(report)
+    }
+
+    fn handle_build(&mut self, request: &Request) -> Result<String, String> {
+        let report = self.build_once()?;
+        let out = match request.out.as_deref() {
+            Some(path) => PathBuf::from(path),
+            None => self.dir.with_extension("sbx"),
+        };
+        let durability = if self.flags.durable {
+            Durability::Durable
+        } else {
+            Durability::Fast
+        };
+        sfcc_backend::image::save_with(&report.program, &out, durability)
+            .map_err(|e| format!("cannot write `{}`: {e}", out.display()))?;
+        let (active, dormant, skipped) = report.outcome_totals();
+        let mut payload = String::from("\"image\":");
+        json::escape_into(&mut payload, &out.display().to_string());
+        payload.push_str(&format!(
+            ",\"modules\":{},\"rebuilt\":{},\"generation\":{},\"recovered\":{},\
+             \"active\":{active},\"dormant\":{dormant},\"skipped\":{skipped},\
+             \"hits\":{},\"misses\":{},\"wall_ns\":{},\"report\":{}",
+            report.modules.len(),
+            report.rebuilt_count(),
+            report.state_generation,
+            report.recovered_files,
+            report.query.hits,
+            report.query.misses,
+            report.wall_ns,
+            report.to_json(),
+        ));
+        Ok(payload)
+    }
+
+    fn handle_run(&mut self, request: &Request) -> Result<String, String> {
+        let report = self.build_once()?;
+        let args = &request.prog_args;
+        if let Some(id) = report.program.func_id("main.main") {
+            let arity = report.program.func(id).arity as usize;
+            if args.len() != arity {
+                return Err(format!(
+                    "main.main takes {arity} argument(s), got {} (pass them after `--`)",
+                    args.len()
+                ));
+            }
+        }
+        let out = run(&report.program, "main.main", args, VmOptions::default())
+            .map_err(|e| format!("runtime error: {e:?}"))?;
+        let mut payload = String::from("\"prints\":[");
+        for (i, value) in out.prints.iter().enumerate() {
+            if i > 0 {
+                payload.push(',');
+            }
+            payload.push_str(&value.to_string());
+        }
+        payload.push(']');
+        match out.return_value {
+            Some(v) => payload.push_str(&format!(",\"return\":{v}")),
+            None => payload.push_str(",\"return\":null"),
+        }
+        payload.push_str(&format!(
+            ",\"executed\":{},\"modules\":{},\"rebuilt\":{},\"skipped\":{}",
+            out.executed,
+            report.modules.len(),
+            report.rebuilt_count(),
+            report.outcome_totals().2,
+        ));
+        Ok(payload)
+    }
+
+    fn handle_ir(&mut self, request: &Request) -> Result<String, String> {
+        let module = request
+            .module
+            .as_deref()
+            .ok_or("`ir` requires a \"module\" field")?;
+        // Bring the warm store up to date with the tree first — the cold
+        // CLI's `ir` also builds before printing.
+        self.build_once()?;
+        let ir = self
+            .builder
+            .module_ir(module)
+            .ok_or_else(|| format!("no module `{module}` in `{}`", self.dir.display()))?;
+        let mut payload = String::from("\"module\":");
+        json::escape_into(&mut payload, module);
+        payload.push_str(",\"ir\":");
+        json::escape_into(&mut payload, &sfcc_ir::module_to_string(&ir));
+        Ok(payload)
+    }
+
+    fn handle_depcheck(&mut self) -> Result<String, String> {
+        let project = self.load_project()?;
+        // Read-only audit: instrument the warm builder, run the serve plus
+        // a no-op rebuild, merge, and restore. No state save, no report
+        // file — exactly the cold `minicc depcheck` contract, applied to
+        // warm serves.
+        self.builder.set_depcheck(true);
+        let audit: Result<crate::DepcheckReport, String> = (|| {
+            let first = self
+                .builder
+                .build(&project)
+                .map_err(|e| format!("depcheck: audited build failed: {e}"))?;
+            let mut second = self
+                .builder
+                .build(&project)
+                .map_err(|e| format!("depcheck: no-op rebuild failed: {e}"))?;
+            let mut merged = first.depcheck.clone().unwrap_or_default();
+            merged.merge(second.depcheck.take().unwrap_or_default());
+            Ok(merged)
+        })();
+        self.builder.set_depcheck(false);
+        let merged = audit?;
+        let mut payload = format!(
+            "\"clean\":{},\"findings\":{},\"render\":",
+            merged.is_clean(),
+            merged.findings.len()
+        );
+        json::escape_into(&mut payload, &merged.render());
+        Ok(payload)
+    }
+}
+
+impl Service for BuildService {
+    fn handle(&mut self, request: &Request) -> Result<String, String> {
+        match request.cmd.as_str() {
+            "build" => self.handle_build(request),
+            "run" => self.handle_run(request),
+            "ir" => self.handle_ir(request),
+            "depcheck" => self.handle_depcheck(),
+            other => Err(format!("session cannot serve `{other}`")),
+        }
+    }
+
+    fn snapshot(&mut self) -> Result<(), String> {
+        // Builds persist their own state before responding, so this only
+        // writes when a request mutated without saving; re-saving
+        // unconditionally would advance the state generation past what a
+        // cold build lineage produces and break byte-identity.
+        if self.dirty && self.flags.stateful {
+            self.builder
+                .compiler()
+                .save_state()
+                .map_err(|e| format!("cannot save state: {e}"))?;
+            self.dirty = false;
+        }
+        Ok(())
+    }
+}

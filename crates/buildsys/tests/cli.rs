@@ -245,3 +245,445 @@ fn fsck_without_operand_prints_usage() {
         stderr(&out)
     );
 }
+
+// ---------------------------------------------------------------------------
+// `minicc serve` / `minicc client` protocol contract (real processes)
+// ---------------------------------------------------------------------------
+
+/// A live `minicc serve` child process. Killed on drop so a failing test
+/// never leaks a daemon.
+struct ServeProc {
+    child: Option<std::process::Child>,
+    socket: PathBuf,
+}
+
+impl ServeProc {
+    fn socket(&self) -> &str {
+        self.socket.to_str().unwrap()
+    }
+
+    /// Asks the daemon to shut down and returns its captured output.
+    fn shutdown_and_wait(mut self) -> Output {
+        let out = minicc(&["client", self.socket(), "shutdown"]);
+        assert!(out.status.success(), "shutdown must succeed");
+        self.child.take().unwrap().wait_with_output().unwrap()
+    }
+
+    /// Sends SIGTERM to the daemon and returns its captured output.
+    fn terminate_and_wait(mut self) -> Output {
+        let child = self.child.take().unwrap();
+        let pid = child.id().to_string();
+        let status = Command::new("kill")
+            .args(["-TERM", &pid])
+            .status()
+            .expect("launch kill");
+        assert!(status.success(), "kill -TERM must succeed");
+        child.wait_with_output().unwrap()
+    }
+}
+
+impl Drop for ServeProc {
+    fn drop(&mut self) {
+        if let Some(child) = &mut self.child {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+fn spawn_serve(root: &Path, extra: &[&str]) -> ServeProc {
+    let socket = root.join("d.sock");
+    let child = Command::new(env!("CARGO_BIN_EXE_minicc"))
+        .arg("serve")
+        .arg(root)
+        .arg("--socket")
+        .arg(&socket)
+        .args(extra)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("launch minicc serve");
+    let proc = ServeProc {
+        child: Some(child),
+        socket,
+    };
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    loop {
+        if minicc(&["client", proc.socket(), "ping"]).status.success() {
+            return proc;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "daemon did not come up within 20s"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+}
+
+fn write_project(dir: &Path, files: &[(&str, &str)]) {
+    std::fs::create_dir_all(dir).unwrap();
+    for (name, src) in files {
+        std::fs::write(dir.join(format!("{name}.mc")), src).unwrap();
+    }
+}
+
+fn v1_files() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("base", "fn g(x: int) -> int { return x * 2; }"),
+        (
+            "lib",
+            "import base;\nfn f(x: int) -> int { return base::g(x) + 1; }",
+        ),
+        (
+            "main",
+            "import lib;\nfn main(n: int) -> int { return lib::f(n); }",
+        ),
+    ]
+}
+
+#[test]
+fn quick_serve_client_lifecycle_contract() {
+    let root = scratch_dir("serve-life");
+    let dir = root.join("p");
+    write_project(&dir, &v1_files());
+    let dir = dir.to_str().unwrap().to_string();
+    let daemon = spawn_serve(&root, &[]);
+    let sock = daemon.socket().to_string();
+
+    // Cold served build: summary + image path on stdout, exit 0.
+    let out = minicc(&["client", &sock, "build", &dir, "--stateful", "--fn-cache"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("built 3 module(s)"), "{text}");
+    assert!(text.contains("wrote "), "{text}");
+
+    // Warm rebuild: nothing recompiles, the engine answers from memory.
+    let out = minicc(&["client", &sock, "build", &dir, "--stateful", "--fn-cache"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("(0 recompiled)"), "{}", stdout(&out));
+
+    // Warm run and IR serves.
+    let out = minicc(&[
+        "client",
+        &sock,
+        "run",
+        &dir,
+        "--stateful",
+        "--fn-cache",
+        "--",
+        "21",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("main.main([21]) = 43"),
+        "{}",
+        stdout(&out)
+    );
+    let out = minicc(&[
+        "client",
+        &sock,
+        "ir",
+        &dir,
+        "main",
+        "--stateful",
+        "--fn-cache",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("fn @main"), "{}", stdout(&out));
+
+    // Stats is served inline and reports the session.
+    let out = minicc(&["client", &sock, "stats"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("\"daemon\""), "{}", stdout(&out));
+
+    // Malformed client commands are rejected before touching the wire.
+    let out = minicc(&["client", &sock, "frobnicate"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("unknown client command"),
+        "{}",
+        stderr(&out)
+    );
+
+    // Graceful shutdown removes the socket; shutdown is idempotent; a
+    // dead socket is a transport failure (exit 2) for ordinary commands.
+    let out = daemon.shutdown_and_wait();
+    assert!(out.status.success());
+    assert!(
+        stdout(&out).contains("shut down cleanly"),
+        "{}",
+        stdout(&out)
+    );
+    assert!(!Path::new(&sock).exists(), "socket file must be removed");
+    let out = minicc(&["client", &sock, "shutdown"]);
+    assert!(out.status.success(), "second shutdown must be idempotent");
+    assert!(
+        stdout(&out).contains("daemon: already gone"),
+        "{}",
+        stdout(&out)
+    );
+    let out = minicc(&["client", &sock, "ping"]);
+    assert_eq!(out.status.code(), Some(2), "dead socket must exit 2");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn quick_stale_socket_is_recovered_on_bind() {
+    let root = scratch_dir("serve-stale");
+    let socket = root.join("d.sock");
+    // A dead daemon leaves its socket file behind: bind one and drop it
+    // without unlinking.
+    drop(std::os::unix::net::UnixListener::bind(&socket).unwrap());
+    assert!(socket.exists(), "stale socket file must remain on disk");
+
+    let daemon = spawn_serve(&root, &[]);
+    let out = minicc(&["client", daemon.socket(), "ping"]);
+    assert!(out.status.success(), "daemon must recover the stale socket");
+    let out = daemon.shutdown_and_wait();
+    assert!(out.status.success());
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn quick_second_daemon_on_a_live_socket_is_refused() {
+    let root = scratch_dir("serve-dup");
+    let daemon = spawn_serve(&root, &[]);
+
+    let out = Command::new(env!("CARGO_BIN_EXE_minicc"))
+        .arg("serve")
+        .arg(&root)
+        .arg("--socket")
+        .arg(&daemon.socket)
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "second daemon must be refused");
+    assert!(stderr(&out).contains("already serving"), "{}", stderr(&out));
+
+    // The live daemon is unharmed.
+    let out = minicc(&["client", daemon.socket(), "ping"]);
+    assert!(out.status.success());
+    let out = daemon.shutdown_and_wait();
+    assert!(out.status.success());
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn quick_sigterm_snapshots_and_a_cold_build_accepts() {
+    let root = scratch_dir("serve-term");
+    let dir = root.join("p");
+    write_project(&dir, &v1_files());
+    let dir_s = dir.to_str().unwrap().to_string();
+    let daemon = spawn_serve(&root, &[]);
+    let sock = daemon.socket().to_string();
+
+    let out = minicc(&["client", &sock, "build", &dir_s, "--stateful", "--fn-cache"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // kill -TERM at an arbitrary quiet point: the daemon drains, snapshots,
+    // and exits cleanly.
+    let out = daemon.terminate_and_wait();
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("shut down cleanly"),
+        "{}",
+        stdout(&out)
+    );
+    assert!(!Path::new(&sock).exists(), "socket file must be removed");
+
+    // A cold CLI build accepts the daemon's state directory: no recovery,
+    // and the warm state serves (nothing reported recovered).
+    let out = minicc(&["build", "--stateful", "--fn-cache", &dir_s]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(
+        !stdout(&out).contains("recovered from"),
+        "cold build must accept the daemon's state dir: {}",
+        stdout(&out)
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn quick_daemon_flag_falls_back_to_local_when_unreachable() {
+    let root = scratch_dir("serve-fallback");
+    let dir = root.join("p");
+    write_project(&dir, &v1_files());
+    let missing = root.join("no-daemon.sock");
+    let out = minicc(&[
+        "build",
+        "--daemon",
+        missing.to_str().unwrap(),
+        "--stateful",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("unreachable; serving locally"),
+        "fallback must be announced on stderr: {}",
+        stderr(&out)
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn quick_daemon_flag_routes_through_a_live_daemon() {
+    let root = scratch_dir("serve-route");
+    let dir = root.join("p");
+    write_project(&dir, &v1_files());
+    let daemon = spawn_serve(&root, &[]);
+
+    let out = minicc(&[
+        "build",
+        "--daemon",
+        daemon.socket(),
+        "--stateful",
+        "--fn-cache",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("built 3 module(s)"),
+        "{}",
+        stdout(&out)
+    );
+
+    // The request went through the daemon, not a local session.
+    let out = minicc(&["client", daemon.socket(), "stats"]);
+    assert!(
+        stdout(&out).contains("\"sessions_created\":1"),
+        "{}",
+        stdout(&out)
+    );
+    let out = daemon.shutdown_and_wait();
+    assert!(out.status.success());
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A project big enough that one cold build holds the daemon's single
+/// worker slot for a while: a long import chain (sequential waves) of
+/// modules with several optimizable functions each.
+fn slow_project(dir: &Path, modules: usize) {
+    std::fs::create_dir_all(dir).unwrap();
+    for i in 0..modules {
+        let mut src = String::new();
+        if i > 0 {
+            src.push_str(&format!("import m{:03};\n", i - 1));
+        }
+        for f in 0..6 {
+            src.push_str(&format!(
+                "fn f{f}(x: int) -> int {{ let a: int = x * {m}; let b: int = a + {f}; \
+                 let c: int = b * 2 - x; return c + a * b; }}\n",
+                m = i + 1,
+            ));
+        }
+        std::fs::write(dir.join(format!("m{i:03}.mc")), src).unwrap();
+    }
+}
+
+/// Polls `client stats` until the daemon reports an active request.
+fn wait_for_active(sock: &str) {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    loop {
+        let out = minicc(&["client", sock, "stats"]);
+        if stdout(&out).contains("\"active\":1") {
+            return;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "first build never became active"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn client_busy_and_timeout_exit_codes() {
+    // Busy: one worker slot, zero queue slots — while a slow build holds
+    // the slot, a second project's request is rejected immediately with
+    // exit 3.
+    let root = scratch_dir("serve-busy");
+    slow_project(&root.join("big"), 220);
+    write_project(&root.join("small"), &v1_files());
+    let daemon = spawn_serve(&root, &["--max-active", "1", "--max-queued", "0"]);
+    let sock = daemon.socket().to_string();
+
+    let holder = {
+        let sock = sock.clone();
+        let big = root.join("big").to_str().unwrap().to_string();
+        std::thread::spawn(move || {
+            minicc(&["client", &sock, "build", &big, "--stateful", "--jobs", "1"])
+        })
+    };
+    wait_for_active(&sock);
+    let out = minicc(&[
+        "client",
+        &sock,
+        "build",
+        root.join("small").to_str().unwrap(),
+        "--stateful",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "busy must exit 3: {}",
+        stderr(&out)
+    );
+    assert!(
+        stderr(&out).contains("daemon error (busy)"),
+        "{}",
+        stderr(&out)
+    );
+    let held = holder.join().unwrap();
+    assert!(held.status.success(), "{}", stderr(&held));
+    let out = daemon.shutdown_and_wait();
+    assert!(out.status.success());
+    let _ = std::fs::remove_dir_all(&root);
+
+    // Timeout: two requests on the *same* project serialize on the session
+    // slot; with a short request timeout the second gets a typed timeout,
+    // exit 4 — never a hang.
+    let root = scratch_dir("serve-timeout");
+    slow_project(&root.join("big"), 220);
+    let daemon = spawn_serve(
+        &root,
+        &[
+            "--max-active",
+            "2",
+            "--max-queued",
+            "4",
+            "--timeout-ms",
+            "150",
+        ],
+    );
+    let sock = daemon.socket().to_string();
+    let holder = {
+        let sock = sock.clone();
+        let big = root.join("big").to_str().unwrap().to_string();
+        std::thread::spawn(move || {
+            minicc(&["client", &sock, "build", &big, "--stateful", "--jobs", "1"])
+        })
+    };
+    wait_for_active(&sock);
+    let out = minicc(&[
+        "client",
+        &sock,
+        "build",
+        root.join("big").to_str().unwrap(),
+        "--stateful",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "timeout must exit 4: {}",
+        stderr(&out)
+    );
+    assert!(
+        stderr(&out).contains("daemon error (timeout)"),
+        "{}",
+        stderr(&out)
+    );
+    let held = holder.join().unwrap();
+    assert!(held.status.success(), "{}", stderr(&held));
+    let out = daemon.shutdown_and_wait();
+    assert!(out.status.success());
+    let _ = std::fs::remove_dir_all(&root);
+}

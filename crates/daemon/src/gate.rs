@@ -1,0 +1,235 @@
+//! Admission control for build requests.
+//!
+//! The daemon serves many clients but builds are heavy, so concurrent
+//! build-class requests pass through one [`Gate`]: at most `max_active`
+//! run at once, at most `max_queued` wait in a FIFO queue, and no request
+//! waits beyond its deadline. Arrivals beyond the queue bound are rejected
+//! *immediately* with [`GateError::Busy`] — overload produces a typed
+//! error, never a hang — and a queued request whose deadline passes
+//! withdraws with [`GateError::Timeout`].
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a request was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GateError {
+    /// The waiting queue was already full when the request arrived.
+    Busy {
+        /// Requests running at rejection time.
+        active: usize,
+        /// Requests queued at rejection time.
+        queued: usize,
+    },
+    /// The request queued but no slot freed before the deadline.
+    Timeout {
+        /// How long the request waited.
+        waited: Duration,
+    },
+}
+
+impl std::fmt::Display for GateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GateError::Busy { active, queued } => write!(
+                f,
+                "daemon is at capacity ({active} active, {queued} queued); retry later"
+            ),
+            GateError::Timeout { waited } => write!(
+                f,
+                "request timed out after waiting {} ms for a worker slot",
+                waited.as_millis()
+            ),
+        }
+    }
+}
+
+struct GateState {
+    active: usize,
+    /// Tickets of waiting requests, FIFO. A withdrawn (timed-out) ticket is
+    /// removed in place, so the queue never serves ghosts.
+    queue: VecDeque<u64>,
+    next_ticket: u64,
+}
+
+/// A bounded FIFO admission gate. See the module docs.
+pub struct Gate {
+    max_active: usize,
+    max_queued: usize,
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+impl Gate {
+    /// A gate running at most `max_active` requests with at most
+    /// `max_queued` waiting (both floored at 1 and 0 respectively).
+    pub fn new(max_active: usize, max_queued: usize) -> Gate {
+        Gate {
+            max_active: max_active.max(1),
+            max_queued,
+            state: Mutex::new(GateState {
+                active: 0,
+                queue: VecDeque::new(),
+                next_ticket: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Admits the caller, waiting in FIFO order up to `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`GateError::Busy`] when the queue is full on arrival;
+    /// [`GateError::Timeout`] when the deadline passes while queued.
+    pub fn admit(&self, timeout: Duration) -> Result<Permit<'_>, GateError> {
+        let start = Instant::now();
+        let mut state = self.state.lock().unwrap();
+        if state.active < self.max_active && state.queue.is_empty() {
+            state.active += 1;
+            return Ok(Permit { gate: self });
+        }
+        if state.queue.len() >= self.max_queued {
+            return Err(GateError::Busy {
+                active: state.active,
+                queued: state.queue.len(),
+            });
+        }
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        state.queue.push_back(ticket);
+        loop {
+            if state.active < self.max_active && state.queue.front() == Some(&ticket) {
+                state.queue.pop_front();
+                state.active += 1;
+                // The next waiter may also be admittable.
+                self.cv.notify_all();
+                return Ok(Permit { gate: self });
+            }
+            let waited = start.elapsed();
+            if waited >= timeout {
+                state.queue.retain(|&t| t != ticket);
+                // Withdrawing from the head may unblock the next ticket.
+                self.cv.notify_all();
+                return Err(GateError::Timeout { waited });
+            }
+            let (next, _) = self.cv.wait_timeout(state, timeout - waited).unwrap();
+            state = next;
+        }
+    }
+
+    /// Current (active, queued) occupancy.
+    pub fn occupancy(&self) -> (usize, usize) {
+        let state = self.state.lock().unwrap();
+        (state.active, state.queue.len())
+    }
+}
+
+/// An admitted request's slot; releasing is dropping.
+pub struct Permit<'a> {
+    gate: &'a Gate,
+}
+
+impl std::fmt::Debug for Permit<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Permit")
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut state = self.gate.state.lock().unwrap();
+        state.active = state.active.saturating_sub(1);
+        drop(state);
+        self.gate.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn admits_up_to_capacity_then_queues_then_rejects() {
+        let gate = Gate::new(1, 1);
+        let first = gate.admit(Duration::from_millis(10)).unwrap();
+        // Second arrival queues and times out (nobody releases).
+        let err = gate.admit(Duration::from_millis(10)).unwrap_err();
+        assert!(matches!(err, GateError::Timeout { .. }), "{err:?}");
+        drop(first);
+        // After release the slot is free again.
+        let _again = gate.admit(Duration::from_millis(10)).unwrap();
+    }
+
+    #[test]
+    fn overflow_is_rejected_immediately_as_busy() {
+        let gate = Arc::new(Gate::new(1, 1));
+        let held = gate.admit(Duration::from_millis(10)).unwrap();
+        let waiter = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || gate.admit(Duration::from_secs(5)).map(|_| ()))
+        };
+        // Wait until the waiter occupies the queue slot.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while gate.occupancy().1 == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let start = Instant::now();
+        let err = gate.admit(Duration::from_secs(5)).unwrap_err();
+        assert!(matches!(err, GateError::Busy { queued: 1, .. }), "{err:?}");
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "busy must be immediate, not a wait"
+        );
+        drop(held);
+        waiter.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn fifo_order_is_respected() {
+        let gate = Arc::new(Gate::new(1, 8));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let running = Arc::new(AtomicUsize::new(0));
+        let held = gate.admit(Duration::from_secs(5)).unwrap();
+        let mut threads = Vec::new();
+        for i in 0..4 {
+            let worker_gate = Arc::clone(&gate);
+            let order = Arc::clone(&order);
+            let running = Arc::clone(&running);
+            threads.push(std::thread::spawn(move || {
+                let permit = worker_gate.admit(Duration::from_secs(30)).unwrap();
+                assert_eq!(
+                    running.fetch_add(1, Ordering::SeqCst),
+                    0,
+                    "max_active=1 must serialize"
+                );
+                order.lock().unwrap().push(i);
+                std::thread::sleep(Duration::from_millis(2));
+                running.fetch_sub(1, Ordering::SeqCst);
+                drop(permit);
+            }));
+            // Ensure thread i queued before spawning i+1.
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while gate.occupancy().1 <= i && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        drop(held);
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_queue_gate_never_waits() {
+        let gate = Gate::new(1, 0);
+        let held = gate.admit(Duration::from_secs(1)).unwrap();
+        let err = gate.admit(Duration::from_secs(1)).unwrap_err();
+        assert!(matches!(err, GateError::Busy { queued: 0, .. }), "{err:?}");
+        drop(held);
+    }
+}

@@ -1,0 +1,26 @@
+//! `sfcc-daemon`: warm build-daemon infrastructure.
+//!
+//! The paper's stateful compiler beats batch compilation by keeping
+//! fine-grained state alive between builds — but a state *file* still pays
+//! cold start on every invocation (state load, query-store rebuild,
+//! re-parse of unchanged modules). This crate provides the persistent-
+//! worker half of the story: a unix-socket daemon that keeps sessions warm
+//! in memory and serves build requests over a length-prefixed JSON
+//! protocol.
+//!
+//! The crate is deliberately build-system agnostic — it knows framing
+//! ([`protocol`]), admission control ([`gate`]), and session lifecycle
+//! ([`server`]), but delegates actual compilation to a [`Service`]
+//! implementation supplied by the embedder (the `minicc` build system
+//! plugs its warm `Builder` in here).
+
+pub mod gate;
+pub mod protocol;
+pub mod server;
+
+pub use gate::{Gate, GateError, Permit};
+pub use protocol::{ErrorKind, Reply, Request, MAX_FRAME};
+pub use server::{
+    install_term_handler, roundtrip, roundtrip_with_timeout, term_received, Daemon, DaemonHandle,
+    DaemonOptions, Service, ServiceFactory,
+};

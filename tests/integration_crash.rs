@@ -20,12 +20,14 @@
 use proptest::prelude::*;
 use sfcc::{persist, Compiler, Config, Durability, FunctionCache};
 use sfcc_backend::VmOptions;
+use sfcc_buildsys::serve::BuildService;
 use sfcc_buildsys::{BuildReport, Builder, Project};
+use sfcc_daemon::{roundtrip, Daemon, DaemonHandle, DaemonOptions, Request, Service};
 use sfcc_faultfs::{self as ffs, CommitDir, Fault, FaultPlan, OpKind};
 use sfcc_state::statefile;
 use std::fs;
 use std::path::{Path, PathBuf};
-use std::sync::OnceLock;
+use std::sync::{Arc, Mutex, OnceLock};
 
 const STATE_BASE: &str = ".sfcc-state";
 const IMAGE_NAME: &str = "out.sbx";
@@ -881,4 +883,211 @@ fn quick_cas_fsck_quarantines_tampered_artifacts() {
     let clean = cas_session(&store, &p).unwrap();
     assert_runs_43(&clean, "post-tamper rebuild");
     cleanup(&store);
+}
+
+// ---------------------------------------------------------------------------
+// Warm build daemon (`minicc serve`) crash rows
+// ---------------------------------------------------------------------------
+
+/// Runs a warm [`BuildService`] session with a fault plan installed on the
+/// daemon's connection thread for the span of each request — faultfs plans
+/// are thread-local, so a plan installed on the test thread would never
+/// reach the daemon. Once a crash fault fires, the wrapper also refuses
+/// the shutdown snapshot: the simulated daemon died at op `k` and never
+/// got the chance to snapshot.
+struct FaultySession {
+    inner: BuildService,
+    plan: FaultPlan,
+    ops: Arc<Mutex<u64>>,
+    crashed: bool,
+}
+
+impl Service for FaultySession {
+    fn handle(&mut self, request: &Request) -> Result<String, String> {
+        let guard = ffs::install(self.plan.clone());
+        let result = self.inner.handle(request);
+        *self.ops.lock().unwrap() = guard.ops_so_far();
+        self.crashed = self.crashed || guard.crashed();
+        result
+    }
+
+    fn snapshot(&mut self) -> Result<(), String> {
+        if self.crashed {
+            return Ok(());
+        }
+        self.inner.snapshot()
+    }
+}
+
+fn faulty_daemon(root: &Path, plan: FaultPlan) -> (DaemonHandle, Arc<Mutex<u64>>) {
+    let ops = Arc::new(Mutex::new(0u64));
+    let factory_ops = ops.clone();
+    let mut options = DaemonOptions::new(root);
+    options.socket = root.join("daemon.sock");
+    let handle = Daemon::bind(
+        options,
+        Box::new(move |dir, args| {
+            Ok(Box::new(FaultySession {
+                inner: BuildService::new(dir, args)?,
+                plan: plan.clone(),
+                ops: factory_ops.clone(),
+                crashed: false,
+            }))
+        }),
+    )
+    .expect("bind daemon")
+    .spawn();
+    (handle, ops)
+}
+
+/// One warm `build` request against the daemon at `socket`, writing the
+/// image where [`run_session`] does so the [`snapshot`] comparison applies.
+fn daemon_build(socket: &Path, dir: &Path) -> Result<(), String> {
+    let request = Request {
+        cmd: "build".to_string(),
+        dir: Some(dir.display().to_string()),
+        module: None,
+        out: Some(dir.join(IMAGE_NAME).display().to_string()),
+        args: ["--stateful", "--fn-cache", "--jobs", "1"]
+            .map(String::from)
+            .to_vec(),
+        prog_args: Vec::new(),
+    };
+    let reply = roundtrip(socket, &request)?;
+    if reply.ok {
+        Ok(())
+    } else {
+        Err(reply.raw)
+    }
+}
+
+/// Crash the daemon at every durable op of a served incremental build; a
+/// cold rebuild must always recover to one of the two no-crash references,
+/// byte for byte — the same invariant the cold/warm matrices above demand
+/// of CLI sessions. (References come from plain cold sessions:
+/// `tests/integration_serve.rs` proves a served build leaves byte-identical
+/// artifacts, so `run_session` doubles as the reference generator.)
+#[test]
+fn quick_daemon_serve_crash_matrix_fast() {
+    let d = Durability::Fast;
+    let v1 = project_v1();
+    let v2 = project_v2();
+
+    let seed = tmpdir("dserve-seed");
+    run_session(&seed, &v1, d).unwrap();
+    let seed_gen = generation(&seed);
+
+    let w2_dir = tmpdir("dserve-w2");
+    copy_dir(&seed, &w2_dir);
+    run_session(&w2_dir, &v2, d).unwrap();
+    let w2 = snapshot(&w2_dir);
+    cleanup(&w2_dir);
+
+    let w3_dir = tmpdir("dserve-w3");
+    copy_dir(&seed, &w3_dir);
+    run_session(&w3_dir, &v2, d).unwrap();
+    run_session(&w3_dir, &v2, d).unwrap();
+    let w3 = snapshot(&w3_dir);
+    cleanup(&w3_dir);
+
+    // Count the durable ops of one daemon-served incremental build.
+    let n = {
+        let root = tmpdir("dserve-rec");
+        let dir = root.join("p");
+        copy_dir(&seed, &dir);
+        v2.write_to_dir(&dir).unwrap();
+        let (handle, ops) = faulty_daemon(&root, FaultPlan::none());
+        daemon_build(&handle.socket(), &dir).unwrap();
+        handle.shutdown();
+        let n = *ops.lock().unwrap();
+        cleanup(&root);
+        n
+    };
+    assert!(
+        n >= 8,
+        "a served build must perform several durable ops, got {n}"
+    );
+
+    for k in 1..=n + 1 {
+        let root = tmpdir(&format!("dserve-k{k}"));
+        let dir = root.join("p");
+        copy_dir(&seed, &dir);
+        v2.write_to_dir(&dir).unwrap();
+        let (handle, _) = faulty_daemon(&root, FaultPlan::single(Fault::CrashAt(k)));
+        let _ = daemon_build(&handle.socket(), &dir);
+        handle.shutdown(); // snapshot suppressed when the crash fired
+
+        let committed = generation(&dir) > seed_gen;
+        let report = run_session(&dir, &v2, d)
+            .unwrap_or_else(|e| panic!("recovery failed after daemon crash at op {k}: {e}"));
+        assert_eq!(
+            report.recovered_files, 0,
+            "a daemon crash must not look like corruption (op {k})"
+        );
+        let want = if committed { &w3 } else { &w2 };
+        assert_snapshots_eq(
+            &snapshot(&dir),
+            want,
+            &format!("daemon crash at op {k}, committed={committed}"),
+        );
+        cleanup(&root);
+    }
+    cleanup(&seed);
+}
+
+/// A served build whose state commit fails leaves the session dirty; the
+/// graceful-shutdown snapshot must retry and land the *completed* build's
+/// state — byte-identical to a session that never hit the fault.
+#[test]
+fn quick_daemon_shutdown_snapshot_retries_a_failed_state_commit() {
+    let d = Durability::Fast;
+    let refs = cold_references(d, "dserve-dirty");
+    let root = tmpdir("dserve-dirty");
+    let dir = root.join("p");
+    fs::create_dir_all(&dir).unwrap();
+    project_v1().write_to_dir(&dir).unwrap();
+
+    // The first rename of a cold served build is the state-commit manifest
+    // rename: failing it makes the request error *after* the engine ran.
+    let (handle, _) = faulty_daemon(&root, FaultPlan::parse("fail-rename:1").unwrap());
+    let err = daemon_build(&handle.socket(), &dir)
+        .expect_err("the served build must surface the failed state commit");
+    assert!(err.contains("cannot save state"), "{err}");
+    assert_eq!(
+        generation(&dir),
+        0,
+        "the failed commit must not have published a manifest"
+    );
+
+    handle.shutdown();
+    assert!(
+        generation(&dir) > 0,
+        "the shutdown snapshot must commit the dirty session state"
+    );
+    // The retried commit is the one-clean-session state, byte for byte.
+    let cd = CommitDir::new(&state_base(&dir));
+    let m = cd.read_manifest().unwrap().unwrap();
+    assert_eq!(
+        cd.load_entry(m.entry(persist::STATE_LOGICAL).unwrap())
+            .unwrap(),
+        refs.f1.state,
+        "snapshot state diverges from a never-faulted session"
+    );
+    assert_eq!(
+        cd.load_entry(m.entry(persist::CACHE_LOGICAL).unwrap())
+            .unwrap(),
+        refs.f1.cache,
+        "snapshot cache diverges from a never-faulted session"
+    );
+
+    // A cold session accepts the snapshot wholesale and lands on the
+    // two-session reference: warm pass slots, no recovery, correct output.
+    let report = run_session(&dir, &project_v1(), d).unwrap();
+    assert_eq!(report.recovered_files, 0);
+    let (_, _, skipped) = report.outcome_totals();
+    assert!(skipped > 0, "the snapshot state must warm the next session");
+    assert_snapshots_eq(&snapshot(&dir), &refs.f2, "post-snapshot cold session");
+    let out = sfcc_backend::run(&report.program, "main.main", &[21], VmOptions::default()).unwrap();
+    assert_eq!(out.return_value, Some(43));
+    cleanup(&root);
 }
